@@ -1,0 +1,22 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at reduced
+scale (see ``repro.experiments.common.BENCH_SCALE``) and prints the same rows
+the paper reports, so running ``pytest benchmarks/ --benchmark-only -s``
+produces a textual version of the whole evaluation section.
+
+``once`` wraps ``benchmark.pedantic`` so each expensive experiment executes a
+single round instead of pytest-benchmark's default calibration loop.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run the benchmarked callable exactly once and return its result."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

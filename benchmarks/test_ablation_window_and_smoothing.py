@@ -1,0 +1,87 @@
+"""Ablation benchmarks: window size and prediction smoothing.
+
+Window size is one of the genes the paper's evolutionary search explores
+(100-200 samples); smoothing is a design choice of the real-time loop.  These
+ablations quantify both on the simulated cohort.
+"""
+
+import numpy as np
+
+from repro.core.config import CognitiveArmConfig
+from repro.core.pipeline import CognitiveArmPipeline, ScriptedIntent
+from repro.dataset.windows import WindowDataset
+from repro.dataset.splits import stratified_split
+from repro.experiments.common import BENCH_SCALE, build_cohort_dataset, small_reference_models
+from repro.signals.synthetic import ACTION_RIGHT, ParticipantProfile
+
+
+def _crop(dataset: WindowDataset, window_size: int) -> WindowDataset:
+    current = dataset.window_size
+    if window_size >= current:
+        return dataset
+    return WindowDataset(
+        windows=dataset.windows[:, :, current - window_size:],
+        labels=dataset.labels,
+        label_names=dataset.label_names,
+        participant_ids=dataset.participant_ids,
+        sampling_rate_hz=dataset.sampling_rate_hz,
+    )
+
+
+def test_ablation_window_size(once):
+    """Accuracy as a function of the classification window length."""
+    dataset = build_cohort_dataset(BENCH_SCALE)
+
+    def sweep():
+        rows = []
+        for window_size in (50, 75, 100):
+            cropped = _crop(dataset, window_size)
+            train, validation = stratified_split(cropped, 0.25, seed=0)
+            model = small_reference_models(epochs=3)["transformer"]
+            model.fit(train, validation)
+            rows.append((window_size, model.evaluate(validation)))
+        return rows
+
+    rows = once(sweep)
+    assert len(rows) == 3
+    accuracies = dict(rows)
+    # Longer windows carry more evidence; the longest window should not be the
+    # worst of the sweep.
+    assert accuracies[100] >= min(accuracies.values())
+    print("\n" + "=" * 80)
+    print("Ablation — classification window size (samples at 125 Hz)")
+    print("window size | validation accuracy")
+    for window_size, accuracy in rows:
+        print(f"{window_size} | {accuracy:.3f}")
+
+
+def test_ablation_smoothing_window(once):
+    """Effect of majority-vote smoothing on real-time intent accuracy."""
+    models = small_reference_models(epochs=3)
+    dataset = build_cohort_dataset(BENCH_SCALE)
+    train, validation = stratified_split(dataset, 0.25, seed=0)
+    model = models["transformer"]
+    model.fit(train, validation)
+    profile = ParticipantProfile(participant_id="SMOOTH", seed=13)
+    profile.rhythms.erd_depth = 0.8
+    script = [ScriptedIntent(3.0, ACTION_RIGHT, voice_keyword="arm")]
+
+    def sweep():
+        rows = []
+        for smoothing in (1, 3, 5):
+            config = CognitiveArmConfig(window_size=BENCH_SCALE.window_size,
+                                        smoothing_window=smoothing,
+                                        confidence_threshold=0.34)
+            pipeline = CognitiveArmPipeline(model, profile=profile, config=config, seed=3)
+            report = pipeline.run_scripted_session(script, success_threshold=0.0)
+            rows.append((smoothing, report.intent_accuracy))
+        return rows
+
+    rows = once(sweep)
+    assert len(rows) == 3
+    assert all(0.0 <= accuracy <= 1.0 for _, accuracy in rows)
+    print("\n" + "=" * 80)
+    print("Ablation — majority-vote smoothing of the 15 Hz label stream")
+    print("smoothing window (labels) | intent accuracy")
+    for smoothing, accuracy in rows:
+        print(f"{smoothing} | {accuracy:.3f}")

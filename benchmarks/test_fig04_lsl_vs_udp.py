@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 4 (LSL vs UDP streaming comparison)."""
+
+from repro.experiments import fig04_lsl_vs_udp
+
+
+def test_fig04_lsl_vs_udp(once):
+    result = once(fig04_lsl_vs_udp.run, n_samples=4000, seed=0)
+    # Shape check from the paper: LSL leads everywhere except bandwidth.
+    assert result.lsl_wins_everything_but_bandwidth()
+    print("\n" + "=" * 80)
+    print("Fig. 4 — LSL vs UDP for EEG streaming")
+    print(fig04_lsl_vs_udp.format_report(result))

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 5 (original vs filtered EEG)."""
+
+from repro.experiments import fig05_filtering
+
+
+def test_fig05_filtering(once):
+    result = once(fig05_filtering.run, duration_s=10.0, channel="C3", seed=0)
+    assert result.line_noise_reduction > 10.0
+    assert result.snr_improvement_db > 0.0
+    print("\n" + "=" * 80)
+    print("Fig. 5 — Original vs filtered EEG (Butterworth band-pass + 50 Hz notch)")
+    print(fig05_filtering.format_report(result))

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 7 (ASR model Pareto front)."""
+
+from repro.experiments import fig07_asr_pareto
+
+
+def test_fig07_asr_pareto(once):
+    result = once(fig07_asr_pareto.run, n_train_per_word=20, n_eval_per_word=10, seed=0)
+    assert len(result.points) == 5
+    # The selected model should not be the largest family member (the paper
+    # rejects whisper-large for its runtime) and must sit near the best accuracy.
+    largest = max(result.points, key=lambda p: p.vram_mb)
+    assert result.selected != largest.name
+    print("\n" + "=" * 80)
+    print("Fig. 7 — ASR accuracy vs inference time vs memory (whisper-family analogues)")
+    print(fig07_asr_pareto.format_report(result))

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig. 8 (evolutionary search per model family)."""
+
+from repro.experiments import fig08_evolutionary
+
+
+def test_fig08_evolutionary_search(once):
+    result = once(
+        fig08_evolutionary.run,
+        population_size=4,
+        generations=2,
+        training_epochs=3,
+        model_scale=0.05,
+        seed=0,
+    )
+    assert set(result.per_family) == {"cnn", "lstm", "transformer"}
+    for family, search_result in result.per_family.items():
+        assert search_result.best is not None
+        assert search_result.best.accuracy > 1.0 / 3.0  # better than chance
+    print("\n" + "=" * 80)
+    print("Fig. 8 — Evolutionary search: per-family accuracy vs parameter count")
+    print(fig08_evolutionary.format_report(result))

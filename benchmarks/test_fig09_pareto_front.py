@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Fig. 9 (combined accuracy vs parameter-count Pareto front)."""
+
+from repro.experiments import fig08_evolutionary, fig09_pareto_front
+
+
+def test_fig09_pareto_front(once):
+    fig08_result = fig08_evolutionary.run(
+        population_size=3, generations=2, training_epochs=3, model_scale=0.05, seed=1
+    )
+    result = once(
+        fig09_pareto_front.run,
+        fig08_result=fig08_result,
+        rf_estimator_counts=(5, 15),
+        seed=1,
+    )
+    assert result.front
+    assert result.best is not None
+    families = {p.family for p in result.points}
+    assert families == {"cnn", "lstm", "transformer", "rf"}
+    print("\n" + "=" * 80)
+    print("Fig. 9 — Pareto front: accuracy vs parameter count across all families")
+    print(fig09_pareto_front.format_report(result))

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 10 (Random-Forest hyper-parameter selection)."""
+
+from repro.experiments import fig10_rf_search
+
+
+def test_fig10_rf_search(once):
+    result = once(
+        fig10_rf_search.run, estimator_counts=(5, 10, 20), depths=(5, 10, 20), seed=0
+    )
+    assert len(result.grid) == 9
+    assert result.best.accuracy == max(result.accuracies())
+    print("\n" + "=" * 80)
+    print("Fig. 10 — Random Forest: estimators x depth sweep")
+    print(fig10_rf_search.format_report(result))

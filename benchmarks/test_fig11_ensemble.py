@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 11 (ensemble inference time vs accuracy)."""
+
+from repro.experiments import fig11_ensemble
+
+
+def test_fig11_ensemble_comparison(once):
+    result = once(fig11_ensemble.run, epochs=4, latency_repeats=3, seed=0)
+    assert len(result.singles) == 4
+    assert len(result.ensembles) == 6
+    best_single = max(p.accuracy for p in result.singles)
+    # The winning ensemble should be competitive with the best single model.
+    assert result.best_ensemble.accuracy >= best_single - 0.1
+    print("\n" + "=" * 80)
+    print("Fig. 11 — Ensembles: inference time vs accuracy")
+    print(fig11_ensemble.format_report(result))

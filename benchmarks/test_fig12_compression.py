@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 12 (accuracy vs inference time under compression)."""
+
+from repro.experiments import fig12_compression
+
+
+def test_fig12_compression_sweep(once):
+    result = once(fig12_compression.run, epochs=4, seed=0)
+    labels = {p.label for p in result.points}
+    assert {"pruning 0%", "pruning 30%", "pruning 50%", "pruning 70%", "pruning 90%",
+            "8-bit quantization"} == labels
+    # Paper shape: 70 % pruning stays close to the uncompressed accuracy.
+    assert result.selected.accuracy >= result.baseline.accuracy - 0.15
+    # Quantization must reduce the estimated edge latency vs the baseline.
+    assert result.quantized.estimated_latency_s <= result.baseline.estimated_latency_s
+    print("\n" + "=" * 80)
+    print("Fig. 12 — Test accuracy vs inference time: pruning levels and 8-bit quantization")
+    print(fig12_compression.format_report(result))

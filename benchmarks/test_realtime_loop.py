@@ -1,0 +1,44 @@
+"""Benchmark: the real-time control loop (Fig. 6 scenario) at the 15 Hz label rate."""
+
+import numpy as np
+
+from repro.core.config import CognitiveArmConfig
+from repro.core.pipeline import CognitiveArmPipeline, ScriptedIntent
+from repro.experiments.common import BENCH_SCALE, small_reference_models, train_validation
+from repro.models.ensemble import EnsembleClassifier
+from repro.signals.synthetic import ACTION_IDLE, ACTION_LEFT, ACTION_RIGHT, ParticipantProfile
+
+
+def test_realtime_multiplexed_control(once):
+    train, validation = train_validation()
+    models = small_reference_models(epochs=3)
+    ensemble = EnsembleClassifier([models["cnn"], models["transformer"]])
+    ensemble.fit(train, validation)
+    profile = ParticipantProfile(participant_id="BENCH", seed=33)
+    profile.rhythms.erd_depth = 0.8
+    config = CognitiveArmConfig(window_size=BENCH_SCALE.window_size,
+                                confidence_threshold=0.34, smoothing_window=3)
+    script = [
+        ScriptedIntent(1.0, ACTION_IDLE),
+        ScriptedIntent(2.0, ACTION_RIGHT, voice_keyword="arm"),
+        ScriptedIntent(2.0, ACTION_LEFT, voice_keyword="elbow"),
+        ScriptedIntent(2.0, ACTION_RIGHT, voice_keyword="fingers"),
+        ScriptedIntent(1.0, ACTION_IDLE),
+    ]
+
+    def run_session():
+        pipeline = CognitiveArmPipeline(ensemble, profile=profile, config=config, seed=7)
+        return pipeline, pipeline.run_scripted_session(script, success_threshold=0.3)
+
+    pipeline, report = once(run_session)
+    assert report.mode_switches >= 2
+    assert report.mean_processing_latency_s > 0
+    print("\n" + "=" * 80)
+    print("Fig. 6 scenario — real-time multiplexed control session")
+    print(f"intent accuracy: {report.intent_accuracy:.3f}")
+    print(f"per-phase accuracy: {[round(a, 2) for a in report.per_phase_accuracy]}")
+    print(f"mean per-label processing latency: {report.mean_processing_latency_s * 1000:.1f} ms "
+          f"(budget {1000 / report.label_rate_hz:.1f} ms at {report.label_rate_hz:.0f} Hz)")
+    print(f"mode switches: {report.mode_switches}, "
+          f"actuation rate: {report.events.actuation_rate():.2f}, "
+          f"final elbow angle: {pipeline.controller.joint_state().elbow_deg:.1f} deg")

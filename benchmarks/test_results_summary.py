@@ -1,0 +1,15 @@
+"""Benchmark: regenerate the §V-A headline results (paper vs measured)."""
+
+from repro.experiments import results_summary
+
+
+def test_results_summary(once):
+    summary = once(
+        results_summary.run, epochs=3, loso_max_folds=2, validation_sessions=3, seed=0
+    )
+    assert summary.ensemble_accuracy > 0.45
+    assert 0 <= summary.validation_successes <= summary.validation_sessions
+    assert summary.ensemble_latency_s > 0
+    print("\n" + "=" * 80)
+    print("Section V-A — Headline results (paper vs this reproduction)")
+    print(results_summary.format_report(summary))

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table I (EMG vs EEG applicability)."""
+
+from repro.experiments import table1_conditions
+
+
+def test_table1_conditions(once):
+    rows = once(table1_conditions.run)
+    assert len(rows) == 5
+    print("\n" + "=" * 80)
+    print("Table I — Comparison of EMG and EEG effectiveness in various conditions")
+    print(table1_conditions.format_report(rows))

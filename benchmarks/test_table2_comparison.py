@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table II (comparison of brain-controlled prosthetic arms)."""
+
+from repro.experiments import table2_comparison
+
+
+def test_table2_comparison(once):
+    rows = once(table2_comparison.run, epochs=3)
+    our_row = [r for r in rows if "CognitiveArm" in r.solution][0]
+    assert our_row.cost == "$500"
+    print("\n" + "=" * 80)
+    print("Table II — Comparison of Brain-Controlled Prosthetic Arms")
+    print(table2_comparison.format_report(rows))

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table III (hyper-parameters and architectures searched)."""
+
+from repro.experiments import table3_search_space
+
+
+def test_table3_search_space(once):
+    rows = once(table3_search_space.run)
+    assert [r["model"] for r in rows] == ["cnn", "lstm", "transformer", "rf"]
+    print("\n" + "=" * 80)
+    print("Table III — Hyperparameters and Model Architectures Tested in Evolutionary Search")
+    print(table3_search_space.format_report(rows))

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Design-space exploration: evolutionary search, ensembles and compression.
+
+Reproduces the model-selection half of the paper (Figs. 8-12) at a scale that
+runs in a few minutes on a laptop:
+
+1. evolutionary search over the CNN/LSTM/Transformer design spaces,
+2. the combined accuracy-vs-parameters Pareto front with Random Forests,
+3. all pairwise ensembles (inference time vs accuracy), and
+4. pruning/quantization of the selected model for edge deployment.
+
+Run with:  python examples/model_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    fig08_evolutionary,
+    fig09_pareto_front,
+    fig10_rf_search,
+    fig11_ensemble,
+    fig12_compression,
+)
+from repro.experiments.common import BENCH_SCALE
+
+
+def main() -> None:
+    print("=== Evolutionary search per model family (Fig. 8) ===")
+    fig08 = fig08_evolutionary.run(
+        scale=BENCH_SCALE, population_size=6, generations=3, training_epochs=4,
+        model_scale=0.1, seed=0,
+    )
+    print(fig08_evolutionary.format_report(fig08))
+
+    print("\n=== Combined Pareto front (Fig. 9) ===")
+    fig09 = fig09_pareto_front.run(fig08_result=fig08, rf_estimator_counts=(10, 30), seed=0)
+    print(fig09_pareto_front.format_report(fig09))
+
+    print("\n=== Random Forest hyper-parameter sweep (Fig. 10) ===")
+    fig10 = fig10_rf_search.run(estimator_counts=(10, 20, 40), depths=(5, 10, 20), seed=0)
+    print(fig10_rf_search.format_report(fig10))
+
+    print("\n=== Ensemble comparison (Fig. 11) ===")
+    fig11 = fig11_ensemble.run(epochs=4, seed=0)
+    print(fig11_ensemble.format_report(fig11))
+
+    print("\n=== Compression sweep (Fig. 12) ===")
+    fig12 = fig12_compression.run(epochs=4, seed=0)
+    print(fig12_compression.format_report(fig12))
+
+    print("\nSelected configuration:", fig11.best_ensemble.name,
+          "| compressed pick:", fig12.selected.label)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Voice-command mode switching: VAD, keyword spotting and the multiplexer.
+
+Reproduces the ASR half of the system (paper §III-F and Fig. 7):
+
+1. compares the keyword-recogniser family (Whisper-variant analogues) on
+   accuracy, latency and memory, picking the knee-point model;
+2. runs a continuous audio stream with embedded commands through VAD gating
+   and the selected recogniser; and
+3. feeds the decoded commands into the mode multiplexer that the real-time
+   control loop uses.
+
+Run with:  python examples/voice_multiplexing.py
+"""
+
+from __future__ import annotations
+
+from repro.asr.audio import CommandAudioGenerator
+from repro.asr.commands import VoiceCommandPipeline
+from repro.asr.recognizer import recognizer_family
+from repro.core.multiplexer import ModeMultiplexer
+from repro.experiments import fig07_asr_pareto
+
+
+def main() -> None:
+    print("=== ASR model family trade-off (Fig. 7) ===")
+    result = fig07_asr_pareto.run(n_train_per_word=20, n_eval_per_word=10, seed=0)
+    print(fig07_asr_pareto.format_report(result))
+    print(f"\nselected recogniser: {result.selected}")
+
+    print("\n=== VAD-gated command decoding on a continuous stream ===")
+    generator = CommandAudioGenerator(seed=3)
+    family = recognizer_family(generator, n_train_per_word=20, seed=0)
+    recognizer = family[result.selected]
+    pipeline = VoiceCommandPipeline(recognizer)
+    schedule = [(2.0, "arm"), (5.0, "elbow"), (8.0, "fingers")]
+    stream = generator.stream_with_commands(schedule, total_duration_s=11.0)
+    print(f"  stream duration: 11.0 s, commands spoken at "
+          f"{[t for t, _ in schedule]} s")
+    print(f"  fraction of audio the ASR model actually processes (VAD duty cycle): "
+          f"{pipeline.duty_cycle(stream):.2f}")
+
+    multiplexer = ModeMultiplexer()
+    print(f"  initial control mode: {multiplexer.mode}")
+    for command in pipeline.process_stream(stream):
+        switched = multiplexer.handle_command(command)
+        outcome = "switched to" if switched else "kept"
+        print(f"  t={command.time_s:5.2f}s  heard '{command.keyword}' -> {outcome} "
+              f"mode '{multiplexer.mode}'")
+    print(f"  final control mode: {multiplexer.mode} "
+          f"({multiplexer.switch_count()} switches)")
+
+
+if __name__ == "__main__":
+    main()

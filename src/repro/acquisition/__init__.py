@@ -1,0 +1,29 @@
+"""EEG acquisition substrate: simulated board, ring buffer and stream transports.
+
+Stands in for the BrainFlow + OpenBCI Cyton/Daisy hardware stack and for the
+Lab Streaming Layer (LSL) / UDP transports compared in Fig. 4 of the paper.
+"""
+
+from repro.acquisition.board import BoardConfig, SimulatedCytonDaisyBoard
+from repro.acquisition.ringbuffer import RingBuffer
+from repro.acquisition.streaming import (
+    LSLStream,
+    StreamMetrics,
+    StreamSample,
+    UDPStream,
+    compare_transports,
+)
+from repro.acquisition.synchronization import ClockSynchronizer, TimestampCorrector
+
+__all__ = [
+    "BoardConfig",
+    "SimulatedCytonDaisyBoard",
+    "RingBuffer",
+    "LSLStream",
+    "UDPStream",
+    "StreamSample",
+    "StreamMetrics",
+    "compare_transports",
+    "ClockSynchronizer",
+    "TimestampCorrector",
+]

@@ -1,0 +1,208 @@
+"""Simulated OpenBCI Cyton + Daisy board with a BrainFlow-style API.
+
+The paper acquires EEG through BrainFlow's ``BoardShim`` abstraction.  This
+module reproduces the parts of that API the pipeline relies on —
+``prepare_session`` / ``start_stream`` / ``get_current_board_data`` /
+``get_board_data`` / ``stop_stream`` / ``release_session`` — backed by the
+synthetic EEG generator instead of the physical headset.
+
+Time is simulated explicitly (the caller advances it with :meth:`advance`),
+which keeps tests deterministic and lets the real-time pipeline run faster
+than wall clock when benchmarking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.acquisition.ringbuffer import RingBuffer
+from repro.signals.montage import Montage
+from repro.signals.synthetic import (
+    ACTION_IDLE,
+    ACTIONS,
+    ParticipantProfile,
+    SyntheticEEGGenerator,
+)
+
+
+class BoardError(RuntimeError):
+    """Raised on invalid board state transitions (mirrors BrainFlow errors)."""
+
+
+@dataclass
+class BoardConfig:
+    """Static configuration of the simulated Cyton + Daisy board."""
+
+    sampling_rate_hz: float = 125.0
+    n_channels: int = 16
+    gain: float = 24.0
+    ring_buffer_seconds: float = 30.0
+    #: Standard deviation of per-sample timestamp jitter, in seconds.
+    timestamp_jitter_s: float = 0.0005
+    #: Constant offset between the board clock and the host clock, seconds.
+    clock_offset_s: float = 0.012
+
+
+@dataclass
+class _SessionState:
+    prepared: bool = False
+    streaming: bool = False
+    current_action: str = ACTION_IDLE
+    sim_time_s: float = 0.0
+    #: Simulated time at which the current action began (for the ERD ramp).
+    action_onset_s: float = 0.0
+    samples_emitted: int = 0
+    marker_log: List[Tuple[float, str]] = field(default_factory=list)
+
+
+class SimulatedCytonDaisyBoard:
+    """A drop-in stand-in for ``BoardShim(CYTON_DAISY_BOARD)``.
+
+    Parameters
+    ----------
+    profile:
+        Participant whose EEG the board "records".
+    config:
+        Board configuration (sampling rate, buffer size, clock behaviour).
+    montage:
+        Electrode montage; must have ``config.n_channels`` channels.
+    """
+
+    def __init__(
+        self,
+        profile: Optional[ParticipantProfile] = None,
+        config: Optional[BoardConfig] = None,
+        montage: Optional[Montage] = None,
+    ) -> None:
+        self.config = config or BoardConfig()
+        self.montage = montage or Montage()
+        if self.montage.n_channels != self.config.n_channels:
+            raise ValueError(
+                "Montage channel count does not match board configuration"
+            )
+        self.profile = profile or ParticipantProfile(participant_id="SIM")
+        self.generator = SyntheticEEGGenerator(
+            self.profile, self.montage, self.config.sampling_rate_hz
+        )
+        capacity = int(self.config.ring_buffer_seconds * self.config.sampling_rate_hz)
+        self._buffer = RingBuffer(self.config.n_channels, capacity)
+        self._state = _SessionState()
+        self._rng = np.random.default_rng(self.profile.seed + 7)
+
+    # ------------------------------------------------------------------ #
+    # BrainFlow-style session management
+    # ------------------------------------------------------------------ #
+    def prepare_session(self) -> None:
+        """Allocate the session (idempotent errors mirror BrainFlow)."""
+        if self._state.prepared:
+            raise BoardError("Session already prepared")
+        self._state.prepared = True
+
+    def start_stream(self) -> None:
+        """Begin streaming samples into the ring buffer."""
+        if not self._state.prepared:
+            raise BoardError("prepare_session must be called before start_stream")
+        if self._state.streaming:
+            raise BoardError("Stream already running")
+        self._state.streaming = True
+
+    def stop_stream(self) -> None:
+        if not self._state.streaming:
+            raise BoardError("Stream is not running")
+        self._state.streaming = False
+
+    def release_session(self) -> None:
+        if not self._state.prepared:
+            raise BoardError("Session is not prepared")
+        if self._state.streaming:
+            self.stop_stream()
+        self._state.prepared = False
+        self._buffer.clear()
+
+    @property
+    def is_streaming(self) -> bool:
+        return self._state.streaming
+
+    @property
+    def sampling_rate_hz(self) -> float:
+        return self.config.sampling_rate_hz
+
+    @property
+    def sim_time_s(self) -> float:
+        """Current simulated board time in seconds."""
+        return self._state.sim_time_s
+
+    # ------------------------------------------------------------------ #
+    # Simulation control
+    # ------------------------------------------------------------------ #
+    def set_action(self, action: str) -> None:
+        """Set the mental task the simulated participant is performing."""
+        if action not in ACTIONS:
+            raise ValueError(f"Unknown action {action!r}; expected one of {ACTIONS}")
+        if action != self._state.current_action:
+            self._state.action_onset_s = self._state.sim_time_s
+        self._state.current_action = action
+
+    def insert_marker(self, marker: str) -> None:
+        """Record an event marker at the current simulated time."""
+        self._state.marker_log.append((self._state.sim_time_s, marker))
+
+    @property
+    def markers(self) -> List[Tuple[float, str]]:
+        return list(self._state.marker_log)
+
+    def advance(self, duration_s: float) -> np.ndarray:
+        """Advance simulated time, generating and buffering new samples.
+
+        Returns the newly generated block of shape ``(n_channels, k)``.
+        """
+        if not self._state.streaming:
+            raise BoardError("Cannot advance a board that is not streaming")
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        onset_elapsed = max(0.0, self._state.sim_time_s - self._state.action_onset_s)
+        block = self.generator.generate(
+            duration_s, self._state.current_action, onset_elapsed_s=onset_elapsed
+        )
+        k = block.shape[1]
+        base = self._state.sim_time_s + np.arange(1, k + 1) / self.config.sampling_rate_hz
+        jitter = self.config.timestamp_jitter_s * self._rng.standard_normal(k)
+        timestamps = base + self.config.clock_offset_s + jitter
+        self._buffer.append(block, timestamps)
+        self._state.sim_time_s += k / self.config.sampling_rate_hz
+        self._state.samples_emitted += k
+        return block
+
+    # ------------------------------------------------------------------ #
+    # BrainFlow-style data access
+    # ------------------------------------------------------------------ #
+    def get_current_board_data(self, n_samples: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the latest ``n_samples`` without removing them.
+
+        Mirrors ``BoardShim.get_current_board_data``: returns ``(data,
+        timestamps)`` where ``data`` is ``(n_channels, n_samples)``.
+        """
+        if not self._state.prepared:
+            raise BoardError("Session is not prepared")
+        return self._buffer.latest(n_samples)
+
+    def get_board_data(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return and clear everything currently buffered."""
+        if not self._state.prepared:
+            raise BoardError("Session is not prepared")
+        available = len(self._buffer)
+        if available == 0:
+            return (
+                np.zeros((self.config.n_channels, 0)),
+                np.zeros(0),
+            )
+        data, ts = self._buffer.latest(available)
+        self._buffer.clear()
+        return data, ts
+
+    def available_samples(self) -> int:
+        """Number of samples currently held in the ring buffer."""
+        return len(self._buffer)

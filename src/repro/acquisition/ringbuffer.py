@@ -1,0 +1,115 @@
+"""Fixed-capacity ring buffer for streaming multi-channel samples.
+
+BrainFlow exposes board data through an internal ring buffer which clients
+poll (``get_current_board_data``).  The real-time pipeline uses the same
+pattern: the acquisition thread appends samples, the inference loop reads the
+most recent window without copying the whole history.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class RingBuffer:
+    """A circular buffer holding the last ``capacity`` multi-channel samples.
+
+    Data is stored column-per-sample, matching the ``(n_channels, n_samples)``
+    convention used across the library.
+    """
+
+    def __init__(self, n_channels: int, capacity: int) -> None:
+        if n_channels <= 0:
+            raise ValueError("n_channels must be positive")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.n_channels = int(n_channels)
+        self.capacity = int(capacity)
+        self._data = np.zeros((self.n_channels, self.capacity))
+        self._timestamps = np.zeros(self.capacity)
+        self._write_pos = 0
+        self._count = 0
+        self._total_appended = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def total_appended(self) -> int:
+        """Number of samples ever appended (including overwritten ones)."""
+        return self._total_appended
+
+    @property
+    def is_full(self) -> bool:
+        return self._count == self.capacity
+
+    def append(self, samples: np.ndarray, timestamps: Optional[np.ndarray] = None) -> None:
+        """Append one or more samples.
+
+        ``samples`` may be a 1-D array of length ``n_channels`` (one sample)
+        or a 2-D ``(n_channels, k)`` block.  Older data is overwritten when
+        the buffer is full.
+        """
+        block = np.asarray(samples, dtype=float)
+        if block.ndim == 1:
+            block = block[:, None]
+        if block.shape[0] != self.n_channels:
+            raise ValueError(
+                f"Expected {self.n_channels} channels, got {block.shape[0]}"
+            )
+        k = block.shape[1]
+        if timestamps is None:
+            ts = np.full(k, np.nan)
+        else:
+            ts = np.asarray(timestamps, dtype=float).reshape(-1)
+            if ts.shape[0] != k:
+                raise ValueError("timestamps length must match number of samples")
+        if k >= self.capacity:
+            # Only the last `capacity` samples survive.
+            self._data[:, :] = block[:, -self.capacity:]
+            self._timestamps[:] = ts[-self.capacity:]
+            self._write_pos = 0
+            self._count = self.capacity
+        else:
+            end = self._write_pos + k
+            if end <= self.capacity:
+                self._data[:, self._write_pos:end] = block
+                self._timestamps[self._write_pos:end] = ts
+            else:
+                first = self.capacity - self._write_pos
+                self._data[:, self._write_pos:] = block[:, :first]
+                self._timestamps[self._write_pos:] = ts[:first]
+                self._data[:, : end - self.capacity] = block[:, first:]
+                self._timestamps[: end - self.capacity] = ts[first:]
+            self._write_pos = end % self.capacity
+            self._count = min(self.capacity, self._count + k)
+        self._total_appended += k
+
+    def latest(self, n_samples: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the most recent ``n_samples`` as ``(data, timestamps)``.
+
+        Raises ``ValueError`` if fewer samples are available.
+        """
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        if n_samples > self._count:
+            raise ValueError(
+                f"Requested {n_samples} samples but only {self._count} available"
+            )
+        end = self._write_pos
+        start = (end - n_samples) % self.capacity
+        if start < end or end == 0:
+            stop = end if end != 0 else self.capacity
+            data = self._data[:, start:stop].copy()
+            ts = self._timestamps[start:stop].copy()
+        else:
+            data = np.concatenate([self._data[:, start:], self._data[:, :end]], axis=1)
+            ts = np.concatenate([self._timestamps[start:], self._timestamps[:end]])
+        return data, ts
+
+    def clear(self) -> None:
+        """Discard all buffered samples (capacity is preserved)."""
+        self._write_pos = 0
+        self._count = 0

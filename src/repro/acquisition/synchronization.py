@@ -1,0 +1,107 @@
+"""Clock synchronisation and timestamp correction.
+
+LSL's key property for EEG work (paper §III-A2) is precise, synchronised
+timestamps across devices.  This module provides the receiver-side machinery:
+estimating the constant offset between board clock and host clock from paired
+timestamp observations, and re-stamping incoming samples onto the host
+timeline at a fixed nominal sampling rate (dejittering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ClockSynchronizer:
+    """Estimate the offset between a remote (board) clock and the local clock.
+
+    Offset estimation mirrors LSL/NTP practice: for each probe we record the
+    local send time, the remote timestamp and the local receive time; the
+    offset estimate is ``remote - midpoint(local_send, local_recv)`` and the
+    reported value is the median over a sliding history, which is robust to
+    asymmetric network delays.
+    """
+
+    history_size: int = 64
+
+    def __post_init__(self) -> None:
+        self._observations: List[float] = []
+
+    def add_probe(
+        self, local_send_s: float, remote_time_s: float, local_recv_s: float
+    ) -> None:
+        if local_recv_s < local_send_s:
+            raise ValueError("local_recv_s must not precede local_send_s")
+        midpoint = 0.5 * (local_send_s + local_recv_s)
+        self._observations.append(remote_time_s - midpoint)
+        if len(self._observations) > self.history_size:
+            self._observations = self._observations[-self.history_size:]
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._observations)
+
+    def offset_s(self) -> float:
+        """Current best estimate of (remote clock - local clock), seconds."""
+        if not self._observations:
+            return 0.0
+        return float(np.median(self._observations))
+
+    def to_local(self, remote_time_s: float) -> float:
+        """Convert a remote timestamp onto the local timeline."""
+        return remote_time_s - self.offset_s()
+
+
+class TimestampCorrector:
+    """Dejitter incoming sample timestamps onto a regular sampling grid.
+
+    Real acquisition timestamps jitter around the nominal sampling interval.
+    Downstream windowing assumes an exact 125 Hz grid, so the corrector fits
+    ``t[n] = t0 + n / rate`` by recursive least squares, matching what LSL's
+    ``postprocessing`` dejitter option does.
+    """
+
+    def __init__(self, sampling_rate_hz: float = 125.0, learning_rate: float = 0.05) -> None:
+        if sampling_rate_hz <= 0:
+            raise ValueError("sampling_rate_hz must be positive")
+        self.sampling_rate_hz = float(sampling_rate_hz)
+        self.learning_rate = float(learning_rate)
+        self._t0: Optional[float] = None
+        self._count = 0
+
+    def correct(self, raw_timestamp_s: float) -> float:
+        """Return the dejittered timestamp for the next sample."""
+        expected_delta = 1.0 / self.sampling_rate_hz
+        if self._t0 is None:
+            self._t0 = raw_timestamp_s
+            self._count = 0
+            return raw_timestamp_s
+        self._count += 1
+        predicted = self._t0 + self._count * expected_delta
+        error = raw_timestamp_s - predicted
+        # Slowly track genuine clock drift without following per-sample jitter.
+        self._t0 += self.learning_rate * error
+        return self._t0 + self._count * expected_delta
+
+    def correct_block(self, raw_timestamps_s: Sequence[float]) -> np.ndarray:
+        """Correct a block of consecutive timestamps."""
+        return np.array([self.correct(t) for t in raw_timestamps_s])
+
+    def reset(self) -> None:
+        self._t0 = None
+        self._count = 0
+
+
+def jitter_statistics(timestamps_s: Sequence[float], sampling_rate_hz: float) -> Tuple[float, float]:
+    """Return (mean absolute deviation, std) of inter-sample intervals vs nominal, in ms."""
+    ts = np.asarray(timestamps_s, dtype=float)
+    if ts.size < 2:
+        return 0.0, 0.0
+    deltas = np.diff(ts)
+    nominal = 1.0 / sampling_rate_hz
+    dev = deltas - nominal
+    return float(np.mean(np.abs(dev)) * 1000.0), float(np.std(dev) * 1000.0)

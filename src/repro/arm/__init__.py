@@ -1,0 +1,36 @@
+"""Prosthetic-arm substrate: servos, serial protocol, kinematics and control.
+
+Stands in for the paper's in-house 3-D-printed arm (3 DoF, five servos driven
+by an Arduino over a serial link from the Jetson).  The simulation covers the
+pieces the control loop exercises: slew-rate-limited servo dynamics, CCPM-style
+calibration, serial command framing, forward kinematics of the 3-DoF linkage,
+a pose/task library (grip, handshake, cup-pick) and the controller that maps
+EEG action labels plus the active voice mode onto joint commands.
+"""
+
+from repro.arm.servo import ServoCalibration, ServoMotor, ServoSpec
+from repro.arm.arduino import ArduinoLink, ServoCommand, decode_frame, encode_frame
+from repro.arm.kinematics import ArmGeometry, ArmKinematics, JointLimits, JointState
+from repro.arm.poses import POSE_LIBRARY, Pose, TaskScript, task_library
+from repro.arm.controller import ActionMapping, ArmController, ProstheticArm
+
+__all__ = [
+    "ServoCalibration",
+    "ServoMotor",
+    "ServoSpec",
+    "ArduinoLink",
+    "ServoCommand",
+    "encode_frame",
+    "decode_frame",
+    "ArmGeometry",
+    "ArmKinematics",
+    "JointLimits",
+    "JointState",
+    "POSE_LIBRARY",
+    "Pose",
+    "TaskScript",
+    "task_library",
+    "ActionMapping",
+    "ArmController",
+    "ProstheticArm",
+]

@@ -1,0 +1,149 @@
+"""Serial protocol between the edge device and the Arduino (paper §IV-A7).
+
+The Jetson sends servo set-points to an Arduino microcontroller over a serial
+link; the Arduino translates them into PWM pulses.  The protocol modelled
+here is a small framed binary format with a checksum — enough structure to
+test framing, corruption detection and round-trip latency of the motor-control
+path without the physical UART.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arm.servo import ServoMotor
+
+#: Frame start byte.
+FRAME_HEADER = 0xAA
+
+
+class ProtocolError(ValueError):
+    """Raised on malformed or corrupted serial frames."""
+
+
+@dataclass(frozen=True)
+class ServoCommand:
+    """A set-point for one servo channel."""
+
+    channel: int
+    angle_deg: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.channel <= 15:
+            raise ValueError("channel must be in [0, 15]")
+        if not 0.0 <= self.angle_deg <= 180.0:
+            raise ValueError("angle_deg must be in [0, 180]")
+
+
+def encode_frame(commands: Sequence[ServoCommand]) -> bytes:
+    """Encode servo commands into one serial frame.
+
+    Layout: ``[header, count, (channel, angle_hi, angle_lo) * count, checksum]``
+    where the angle is transmitted in centidegrees and the checksum is the
+    low byte of the sum of all preceding bytes.
+    """
+    if not commands:
+        raise ProtocolError("A frame must contain at least one command")
+    if len(commands) > 255:
+        raise ProtocolError("Too many commands for one frame")
+    payload = bytearray([FRAME_HEADER, len(commands)])
+    for command in commands:
+        centideg = int(round(command.angle_deg * 100))
+        payload.append(command.channel)
+        payload.append((centideg >> 8) & 0xFF)
+        payload.append(centideg & 0xFF)
+    payload.append(sum(payload) & 0xFF)
+    return bytes(payload)
+
+
+def decode_frame(frame: bytes) -> List[ServoCommand]:
+    """Decode and validate one serial frame."""
+    if len(frame) < 6:
+        raise ProtocolError("Frame too short")
+    if frame[0] != FRAME_HEADER:
+        raise ProtocolError("Bad frame header")
+    count = frame[1]
+    expected_length = 2 + 3 * count + 1
+    if len(frame) != expected_length:
+        raise ProtocolError("Frame length does not match command count")
+    if sum(frame[:-1]) & 0xFF != frame[-1]:
+        raise ProtocolError("Checksum mismatch")
+    commands = []
+    for i in range(count):
+        offset = 2 + 3 * i
+        channel = frame[offset]
+        centideg = (frame[offset + 1] << 8) | frame[offset + 2]
+        commands.append(ServoCommand(channel=channel, angle_deg=centideg / 100.0))
+    return commands
+
+
+class ArduinoLink:
+    """A simulated serial link plus the Arduino-side servo driver.
+
+    ``send`` encodes and 'transmits' commands (with optional byte corruption
+    to exercise the checksum), the virtual Arduino decodes them and applies
+    the set-points to its attached servos.
+    """
+
+    def __init__(
+        self,
+        servos: Dict[int, ServoMotor],
+        baud_rate: int = 115200,
+        corruption_probability: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not servos:
+            raise ValueError("ArduinoLink requires at least one attached servo")
+        if baud_rate <= 0:
+            raise ValueError("baud_rate must be positive")
+        if not 0.0 <= corruption_probability <= 1.0:
+            raise ValueError("corruption_probability must be in [0, 1]")
+        self.servos = dict(servos)
+        self.baud_rate = baud_rate
+        self.corruption_probability = corruption_probability
+        self._rng = np.random.default_rng(seed)
+        self.frames_sent = 0
+        self.frames_rejected = 0
+        self.bytes_sent = 0
+
+    def transmission_time_s(self, frame: bytes) -> float:
+        """Serial transmission time: 10 bits per byte at the configured baud rate."""
+        return len(frame) * 10.0 / self.baud_rate
+
+    def send(self, commands: Sequence[ServoCommand]) -> float:
+        """Encode, transmit and apply commands; returns the link latency in seconds.
+
+        Corrupted frames are detected by the checksum and dropped (the
+        Arduino keeps its previous set-points), mirroring how the firmware
+        ignores malformed packets.
+        """
+        frame = bytearray(encode_frame(commands))
+        self.frames_sent += 1
+        self.bytes_sent += len(frame)
+        latency = self.transmission_time_s(bytes(frame))
+        if self.corruption_probability and self._rng.random() < self.corruption_probability:
+            index = int(self._rng.integers(0, len(frame)))
+            frame[index] ^= 0xFF
+        try:
+            decoded = decode_frame(bytes(frame))
+        except ProtocolError:
+            self.frames_rejected += 1
+            return latency
+        for command in decoded:
+            servo = self.servos.get(command.channel)
+            if servo is not None:
+                servo.command(command.angle_deg)
+        return latency
+
+    def step(self, dt_s: float) -> Dict[int, float]:
+        """Advance all attached servos and return their physical angles."""
+        return {channel: servo.step(dt_s) for channel, servo in self.servos.items()}
+
+    @property
+    def rejection_rate(self) -> float:
+        if self.frames_sent == 0:
+            return 0.0
+        return self.frames_rejected / self.frames_sent

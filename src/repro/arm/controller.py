@@ -1,0 +1,158 @@
+"""Arm controller: EEG action labels + voice mode -> joint motion.
+
+Implements the multiplexed control scheme of Fig. 6: the three EEG classes
+(*left*, *right*, *idle*) produce a variable amount of change in whichever
+degree of freedom the active voice mode selects —
+
+=============  ======================  ======================
+voice mode      "right" action          "left" action
+=============  ======================  ======================
+``arm``         raise hand (elbow up)   lower hand (elbow down)
+``elbow``       rotate clockwise        rotate anti-clockwise
+``fingers``     close fingers           open fingers
+=============  ======================  ======================
+
+*idle* leaves the arm where it is.  The controller converts the resulting
+joint state into per-servo commands, ships them over the (simulated) Arduino
+serial link and steps the servo dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arm.arduino import ArduinoLink, ServoCommand
+from repro.arm.kinematics import ArmKinematics, JointState
+from repro.arm.servo import ServoMotor, ServoSpec
+from repro.asr.commands import CONTROL_MODES, MODE_ARM, MODE_ELBOW, MODE_FINGERS
+from repro.signals.synthetic import ACTION_IDLE, ACTION_LEFT, ACTION_RIGHT
+
+#: Fixed servo channel assignment used by the firmware.
+SERVO_CHANNELS: Dict[str, int] = {
+    "elbow": 0,
+    "wrist": 1,
+    "finger_thumb": 2,
+    "finger_index": 3,
+    "finger_rest": 4,
+}
+
+
+@dataclass
+class ActionMapping:
+    """Per-action increments applied to the active degree of freedom."""
+
+    elbow_step_deg: float = 8.0
+    wrist_step_deg: float = 10.0
+    grip_step_percent: float = 12.0
+
+    def __post_init__(self) -> None:
+        if min(self.elbow_step_deg, self.wrist_step_deg, self.grip_step_percent) <= 0:
+            raise ValueError("Step sizes must be positive")
+
+
+def build_default_servos(seed: int = 0) -> Dict[int, ServoMotor]:
+    """The five servos of the printed arm, keyed by serial channel."""
+    rng = np.random.default_rng(seed)
+    servos: Dict[int, ServoMotor] = {}
+    for name, channel in SERVO_CHANNELS.items():
+        spec = ServoSpec(name=name, slew_rate_dps=float(rng.uniform(300, 500)))
+        servos[channel] = ServoMotor(spec)
+    return servos
+
+
+class ProstheticArm:
+    """The physical arm: servos, serial link and kinematic model."""
+
+    def __init__(
+        self,
+        link: Optional[ArduinoLink] = None,
+        kinematics: Optional[ArmKinematics] = None,
+        seed: int = 0,
+    ) -> None:
+        self.kinematics = kinematics or ArmKinematics()
+        self.link = link or ArduinoLink(build_default_servos(seed))
+        self.joint_state = JointState()
+        self._trajectory: List[JointState] = [self.joint_state]
+
+    def move_to(self, state: JointState, settle_s: float = 0.2, dt_s: float = 0.02) -> float:
+        """Command a joint state; returns the serial + settling latency in seconds."""
+        clamped = self.kinematics.clamp(state)
+        targets = self.kinematics.servo_targets(clamped)
+        commands = [
+            ServoCommand(channel=SERVO_CHANNELS[name], angle_deg=angle)
+            for name, angle in targets.items()
+        ]
+        latency = self.link.send(commands)
+        steps = max(1, int(round(settle_s / dt_s)))
+        for _ in range(steps):
+            self.link.step(dt_s)
+        self.joint_state = clamped
+        self._trajectory.append(clamped)
+        return latency + settle_s
+
+    @property
+    def trajectory(self) -> List[JointState]:
+        return list(self._trajectory)
+
+    def fingertip_position_cm(self) -> Tuple[float, float, float]:
+        return self.kinematics.fingertip_position_cm(self.joint_state)
+
+
+class ArmController:
+    """Maps (EEG action, active mode) onto incremental arm motion."""
+
+    def __init__(
+        self,
+        arm: Optional[ProstheticArm] = None,
+        mapping: Optional[ActionMapping] = None,
+        initial_mode: str = MODE_ARM,
+    ) -> None:
+        self.arm = arm or ProstheticArm()
+        self.mapping = mapping or ActionMapping()
+        if initial_mode not in CONTROL_MODES:
+            raise ValueError(f"Unknown control mode {initial_mode!r}")
+        self.mode = initial_mode
+        self.action_log: List[Tuple[str, str]] = []
+
+    def set_mode(self, mode: str) -> None:
+        """Switch the active degree-of-freedom group (voice command)."""
+        if mode not in CONTROL_MODES:
+            raise ValueError(f"Unknown control mode {mode!r}")
+        self.mode = mode
+
+    def apply_action(self, action: str, confidence: float = 1.0) -> JointState:
+        """Apply one EEG action label; returns the new joint state.
+
+        ``confidence`` scales the increment (the paper's "variable amount of
+        change in the position of the arm"), so low-confidence predictions
+        nudge the arm less than confident ones.
+        """
+        if action not in (ACTION_LEFT, ACTION_RIGHT, ACTION_IDLE):
+            raise ValueError(f"Unknown action {action!r}")
+        if not 0.0 <= confidence <= 1.0:
+            raise ValueError("confidence must be in [0, 1]")
+        self.action_log.append((self.mode, action))
+        state = self.arm.joint_state
+        if action == ACTION_IDLE or confidence == 0.0:
+            return state
+        direction = 1.0 if action == ACTION_RIGHT else -1.0
+        scale = direction * confidence
+        new_state = JointState(
+            elbow_deg=state.elbow_deg,
+            wrist_rotation_deg=state.wrist_rotation_deg,
+            grip_percent=state.grip_percent,
+        )
+        if self.mode == MODE_ARM:
+            new_state.elbow_deg += scale * self.mapping.elbow_step_deg
+        elif self.mode == MODE_ELBOW:
+            new_state.wrist_rotation_deg += scale * self.mapping.wrist_step_deg
+        elif self.mode == MODE_FINGERS:
+            new_state.grip_percent += scale * self.mapping.grip_step_percent
+        self.arm.move_to(new_state)
+        return self.arm.joint_state
+
+    def joint_state(self) -> JointState:
+        return self.arm.joint_state

@@ -1,0 +1,168 @@
+"""3-DoF arm kinematics (paper §IV-A).
+
+The prototype arm has three degrees of freedom: elbow flexion/extension,
+wrist/forearm rotation and finger grip.  The kinematic model here computes
+the wrist and fingertip positions of the planar-elbow + rotating-forearm
+linkage, which the examples and tests use to check that EEG-commanded motions
+move the end effector in the intended direction and stay inside joint limits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+@dataclass
+class JointLimits:
+    """Allowed range of one joint in degrees."""
+
+    min_deg: float
+    max_deg: float
+
+    def __post_init__(self) -> None:
+        if self.max_deg <= self.min_deg:
+            raise ValueError("max_deg must exceed min_deg")
+
+    def clamp(self, value_deg: float) -> float:
+        return float(np.clip(value_deg, self.min_deg, self.max_deg))
+
+    def contains(self, value_deg: float) -> bool:
+        return self.min_deg <= value_deg <= self.max_deg
+
+    def normalised(self, value_deg: float) -> float:
+        """Map the joint range onto [0, 1]."""
+        return (self.clamp(value_deg) - self.min_deg) / (self.max_deg - self.min_deg)
+
+
+@dataclass
+class ArmGeometry:
+    """Link lengths of the prosthetic arm in centimetres."""
+
+    upper_arm_cm: float = 28.0
+    forearm_cm: float = 26.0
+    hand_cm: float = 18.0
+
+    def __post_init__(self) -> None:
+        if min(self.upper_arm_cm, self.forearm_cm, self.hand_cm) <= 0:
+            raise ValueError("Link lengths must be positive")
+
+
+@dataclass
+class JointState:
+    """The arm's three controlled joints plus the grip aperture."""
+
+    elbow_deg: float = 90.0
+    wrist_rotation_deg: float = 0.0
+    #: 0 = fully open hand, 100 = fully closed grip.
+    grip_percent: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "elbow_deg": self.elbow_deg,
+            "wrist_rotation_deg": self.wrist_rotation_deg,
+            "grip_percent": self.grip_percent,
+        }
+
+
+#: Default joint limits of the printed arm.
+DEFAULT_LIMITS: Dict[str, JointLimits] = {
+    "elbow_deg": JointLimits(10.0, 160.0),
+    "wrist_rotation_deg": JointLimits(-90.0, 90.0),
+    "grip_percent": JointLimits(0.0, 100.0),
+}
+
+
+class ArmKinematics:
+    """Forward kinematics and joint-limit handling of the 3-DoF arm."""
+
+    def __init__(
+        self,
+        geometry: ArmGeometry = None,
+        limits: Dict[str, JointLimits] = None,
+    ) -> None:
+        self.geometry = geometry or ArmGeometry()
+        self.limits = dict(DEFAULT_LIMITS if limits is None else limits)
+        missing = {"elbow_deg", "wrist_rotation_deg", "grip_percent"} - set(self.limits)
+        if missing:
+            raise ValueError(f"Joint limits missing for: {sorted(missing)}")
+
+    def clamp(self, state: JointState) -> JointState:
+        """Clamp every joint of a state into its limits."""
+        return JointState(
+            elbow_deg=self.limits["elbow_deg"].clamp(state.elbow_deg),
+            wrist_rotation_deg=self.limits["wrist_rotation_deg"].clamp(state.wrist_rotation_deg),
+            grip_percent=self.limits["grip_percent"].clamp(state.grip_percent),
+        )
+
+    def within_limits(self, state: JointState) -> bool:
+        return (
+            self.limits["elbow_deg"].contains(state.elbow_deg)
+            and self.limits["wrist_rotation_deg"].contains(state.wrist_rotation_deg)
+            and self.limits["grip_percent"].contains(state.grip_percent)
+        )
+
+    def wrist_position_cm(self, state: JointState) -> Tuple[float, float, float]:
+        """Wrist position with the shoulder at the origin.
+
+        The upper arm hangs along -z; elbow flexion rotates the forearm in
+        the x-z (sagittal) plane: 0 deg = fully extended (straight down),
+        90 deg = forearm horizontal, pointing forward (+x).
+        """
+        geom = self.geometry
+        elbow = math.radians(state.elbow_deg)
+        elbow_point = np.array([0.0, 0.0, -geom.upper_arm_cm])
+        forearm_direction = np.array([math.sin(elbow), 0.0, -math.cos(elbow)])
+        wrist = elbow_point + geom.forearm_cm * forearm_direction
+        return float(wrist[0]), float(wrist[1]), float(wrist[2])
+
+    def fingertip_position_cm(self, state: JointState) -> Tuple[float, float, float]:
+        """Fingertip position; wrist rotation swings the hand out of the sagittal plane.
+
+        The grip closes the hand, shortening its effective reach by up to 40 %.
+        """
+        geom = self.geometry
+        wrist = np.array(self.wrist_position_cm(state))
+        elbow = math.radians(state.elbow_deg)
+        rotation = math.radians(state.wrist_rotation_deg)
+        forearm_direction = np.array([math.sin(elbow), 0.0, -math.cos(elbow)])
+        # Hand direction: start along the forearm, rotate about the forearm
+        # axis so that wrist rotation moves the fingertip laterally (y).
+        lateral = np.array([0.0, 1.0, 0.0])
+        hand_direction = (
+            math.cos(rotation) * forearm_direction + math.sin(rotation) * lateral
+        )
+        grip_factor = 1.0 - 0.4 * (state.grip_percent / 100.0)
+        fingertip = wrist + geom.hand_cm * grip_factor * hand_direction
+        return float(fingertip[0]), float(fingertip[1]), float(fingertip[2])
+
+    def reach_cm(self, state: JointState) -> float:
+        """Distance from shoulder to fingertip."""
+        return float(np.linalg.norm(self.fingertip_position_cm(state)))
+
+    def max_reach_cm(self) -> float:
+        geom = self.geometry
+        return geom.upper_arm_cm + geom.forearm_cm + geom.hand_cm
+
+    def servo_targets(self, state: JointState) -> Dict[str, float]:
+        """Map a joint state onto the five physical servo angles (0-180 deg).
+
+        Three finger servos share the grip command (the printed hand gangs
+        them mechanically), one servo drives the elbow and one the wrist.
+        """
+        clamped = self.clamp(state)
+        elbow_angle = 180.0 * self.limits["elbow_deg"].normalised(clamped.elbow_deg)
+        wrist_angle = 180.0 * self.limits["wrist_rotation_deg"].normalised(
+            clamped.wrist_rotation_deg
+        )
+        grip_angle = 180.0 * self.limits["grip_percent"].normalised(clamped.grip_percent)
+        return {
+            "elbow": elbow_angle,
+            "wrist": wrist_angle,
+            "finger_thumb": grip_angle,
+            "finger_index": grip_angle,
+            "finger_rest": grip_angle,
+        }

@@ -1,0 +1,131 @@
+"""Pose and task library (paper Fig. 6 and abstract: handshake, cup picking).
+
+A :class:`Pose` is a named joint configuration; a :class:`TaskScript` is an
+ordered sequence of poses with dwell times that together perform an everyday
+task.  The real-time examples replay these scripts through the controller to
+demonstrate multiplexed, variable movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.arm.kinematics import JointState
+
+
+@dataclass(frozen=True)
+class Pose:
+    """A named joint-space configuration of the arm."""
+
+    name: str
+    state: JointState
+
+    def blend(self, other: "Pose", fraction: float) -> JointState:
+        """Linear interpolation between two poses (0 = self, 1 = other)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        a, b = self.state, other.state
+        return JointState(
+            elbow_deg=a.elbow_deg + fraction * (b.elbow_deg - a.elbow_deg),
+            wrist_rotation_deg=a.wrist_rotation_deg
+            + fraction * (b.wrist_rotation_deg - a.wrist_rotation_deg),
+            grip_percent=a.grip_percent + fraction * (b.grip_percent - a.grip_percent),
+        )
+
+
+#: Canonical poses used by the demonstration tasks.
+POSE_LIBRARY: Dict[str, Pose] = {
+    "rest": Pose("rest", JointState(elbow_deg=20.0, wrist_rotation_deg=0.0, grip_percent=0.0)),
+    "raised": Pose("raised", JointState(elbow_deg=110.0, wrist_rotation_deg=0.0, grip_percent=0.0)),
+    "open_hand": Pose("open_hand", JointState(elbow_deg=90.0, wrist_rotation_deg=0.0, grip_percent=0.0)),
+    "closed_grip": Pose("closed_grip", JointState(elbow_deg=90.0, wrist_rotation_deg=0.0, grip_percent=85.0)),
+    "handshake_ready": Pose(
+        "handshake_ready", JointState(elbow_deg=95.0, wrist_rotation_deg=-20.0, grip_percent=15.0)
+    ),
+    "handshake_grip": Pose(
+        "handshake_grip", JointState(elbow_deg=95.0, wrist_rotation_deg=-20.0, grip_percent=55.0)
+    ),
+    "cup_approach": Pose(
+        "cup_approach", JointState(elbow_deg=70.0, wrist_rotation_deg=0.0, grip_percent=10.0)
+    ),
+    "cup_grip": Pose("cup_grip", JointState(elbow_deg=70.0, wrist_rotation_deg=0.0, grip_percent=70.0)),
+    "cup_lift": Pose("cup_lift", JointState(elbow_deg=110.0, wrist_rotation_deg=0.0, grip_percent=70.0)),
+    "catch_ready": Pose(
+        "catch_ready", JointState(elbow_deg=100.0, wrist_rotation_deg=30.0, grip_percent=5.0)
+    ),
+    "catch_close": Pose(
+        "catch_close", JointState(elbow_deg=100.0, wrist_rotation_deg=30.0, grip_percent=90.0)
+    ),
+}
+
+
+@dataclass
+class TaskScript:
+    """An everyday task as a sequence of (pose, dwell seconds) steps."""
+
+    name: str
+    steps: Tuple[Tuple[Pose, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("A task script needs at least one step")
+        if any(dwell <= 0 for _, dwell in self.steps):
+            raise ValueError("Dwell times must be positive")
+
+    @property
+    def duration_s(self) -> float:
+        return sum(dwell for _, dwell in self.steps)
+
+    def pose_at(self, time_s: float) -> JointState:
+        """Joint state at ``time_s``, blending linearly between steps."""
+        if time_s <= 0:
+            return self.steps[0][0].state
+        elapsed = 0.0
+        for index, (pose, dwell) in enumerate(self.steps):
+            if time_s <= elapsed + dwell:
+                if index + 1 < len(self.steps):
+                    next_pose = self.steps[index + 1][0]
+                else:
+                    next_pose = pose
+                fraction = (time_s - elapsed) / dwell
+                return pose.blend(next_pose, min(1.0, fraction))
+            elapsed += dwell
+        return self.steps[-1][0].state
+
+
+def task_library() -> Dict[str, TaskScript]:
+    """The everyday tasks demonstrated by the paper."""
+    poses = POSE_LIBRARY
+    return {
+        "handshake": TaskScript(
+            "handshake",
+            (
+                (poses["rest"], 1.0),
+                (poses["handshake_ready"], 1.5),
+                (poses["handshake_grip"], 2.0),
+                (poses["handshake_ready"], 1.0),
+                (poses["rest"], 1.0),
+            ),
+        ),
+        "cup_picking": TaskScript(
+            "cup_picking",
+            (
+                (poses["rest"], 1.0),
+                (poses["cup_approach"], 1.5),
+                (poses["cup_grip"], 1.5),
+                (poses["cup_lift"], 2.0),
+                (poses["cup_grip"], 1.5),
+                (poses["rest"], 1.0),
+            ),
+        ),
+        "ball_catch": TaskScript(
+            "ball_catch",
+            (
+                (poses["rest"], 0.5),
+                (poses["catch_ready"], 1.0),
+                (poses["catch_close"], 0.5),
+                (poses["rest"], 1.0),
+            ),
+        ),
+    }

@@ -1,0 +1,144 @@
+"""Servo motor model and calibration (paper §IV-A6).
+
+The prototype uses five hobby servos (one per finger group plus elbow and
+wrist rotation) calibrated with a CCPM 3-channel servo tester.  The model
+captures what matters to the control loop: commanded angle vs. actual angle
+with a finite slew rate, pulse-width-to-angle mapping, and per-servo
+calibration offsets/scales discovered by the calibration routine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ServoSpec:
+    """Static characteristics of one servo."""
+
+    name: str
+    min_angle_deg: float = 0.0
+    max_angle_deg: float = 180.0
+    #: Maximum rotation speed, degrees per second (typical hobby servo ~400).
+    slew_rate_dps: float = 400.0
+    min_pulse_us: float = 1000.0
+    max_pulse_us: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.max_angle_deg <= self.min_angle_deg:
+            raise ValueError("max_angle_deg must exceed min_angle_deg")
+        if self.slew_rate_dps <= 0:
+            raise ValueError("slew_rate_dps must be positive")
+        if self.max_pulse_us <= self.min_pulse_us:
+            raise ValueError("max_pulse_us must exceed min_pulse_us")
+
+
+@dataclass
+class ServoCalibration:
+    """Per-servo correction: actual = scale * commanded + offset."""
+
+    offset_deg: float = 0.0
+    scale: float = 1.0
+
+    def apply(self, angle_deg: float) -> float:
+        return self.scale * angle_deg + self.offset_deg
+
+    def invert(self, desired_deg: float) -> float:
+        """Commanded angle that produces ``desired_deg`` after the distortion."""
+        if self.scale == 0:
+            raise ValueError("Calibration scale must be non-zero")
+        return (desired_deg - self.offset_deg) / self.scale
+
+
+class ServoMotor:
+    """A slew-rate-limited servo with optional mechanical distortion.
+
+    ``distortion`` models an uncalibrated linkage (e.g. horn misalignment):
+    the physical angle is ``distortion.apply(commanded)``.  The calibration
+    routine estimates the inverse mapping so the controller can command true
+    angles.
+    """
+
+    def __init__(
+        self,
+        spec: ServoSpec,
+        distortion: Optional[ServoCalibration] = None,
+        initial_angle_deg: Optional[float] = None,
+    ) -> None:
+        self.spec = spec
+        self.distortion = distortion or ServoCalibration()
+        mid = 0.5 * (spec.min_angle_deg + spec.max_angle_deg)
+        self._target_deg = float(initial_angle_deg if initial_angle_deg is not None else mid)
+        self._angle_deg = self._target_deg
+        self.calibration = ServoCalibration()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def angle_deg(self) -> float:
+        """Current physical angle (after distortion)."""
+        return self.distortion.apply(self._angle_deg)
+
+    @property
+    def commanded_angle_deg(self) -> float:
+        return self._target_deg
+
+    def command(self, angle_deg: float) -> float:
+        """Set a new target angle (clamped to the servo's range)."""
+        clamped = float(np.clip(angle_deg, self.spec.min_angle_deg, self.spec.max_angle_deg))
+        self._target_deg = clamped
+        return clamped
+
+    def command_pulse(self, pulse_us: float) -> float:
+        """Command via PWM pulse width, as the Arduino firmware would."""
+        spec = self.spec
+        fraction = (pulse_us - spec.min_pulse_us) / (spec.max_pulse_us - spec.min_pulse_us)
+        fraction = float(np.clip(fraction, 0.0, 1.0))
+        angle = spec.min_angle_deg + fraction * (spec.max_angle_deg - spec.min_angle_deg)
+        return self.command(angle)
+
+    def step(self, dt_s: float) -> float:
+        """Advance the servo towards its target; returns the new raw angle."""
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        max_step = self.spec.slew_rate_dps * dt_s
+        error = self._target_deg - self._angle_deg
+        self._angle_deg += float(np.clip(error, -max_step, max_step))
+        return self._angle_deg
+
+    def settle(self, timeout_s: float = 2.0, dt_s: float = 0.01) -> float:
+        """Step until the servo reaches its target (or the timeout expires)."""
+        elapsed = 0.0
+        while abs(self._target_deg - self._angle_deg) > 1e-6 and elapsed < timeout_s:
+            self.step(dt_s)
+            elapsed += dt_s
+        return self.angle_deg
+
+    # ------------------------------------------------------------------ #
+    def calibrate(self, probe_angles: Tuple[float, ...] = (30.0, 90.0, 150.0)) -> ServoCalibration:
+        """Estimate the inverse of the mechanical distortion (CCPM-tester style).
+
+        Commands a few probe angles, lets the servo settle, measures the
+        physical angle and fits a linear correction by least squares.  The
+        resulting calibration is stored on the servo and used by
+        :meth:`command_calibrated`.
+        """
+        commanded = []
+        measured = []
+        for angle in probe_angles:
+            self.command(angle)
+            self.settle()
+            commanded.append(self.commanded_angle_deg)
+            measured.append(self.angle_deg)
+        commanded_arr = np.array(commanded)
+        measured_arr = np.array(measured)
+        design = np.vstack([measured_arr, np.ones_like(measured_arr)]).T
+        scale, offset = np.linalg.lstsq(design, commanded_arr, rcond=None)[0]
+        self.calibration = ServoCalibration(offset_deg=float(offset), scale=float(scale))
+        return self.calibration
+
+    def command_calibrated(self, desired_deg: float) -> float:
+        """Command a *physical* angle using the stored calibration."""
+        return self.command(self.calibration.apply(desired_deg))

@@ -1,0 +1,42 @@
+"""Voice-command subsystem (paper §III-F and Fig. 7).
+
+The paper integrates a Whisper-small ASR model, gated by voice activity
+detection (VAD), to switch the prosthetic's control mode between degrees of
+freedom ("arm", "elbow", "fingers").  Whisper and a microphone are not
+available offline, so this package provides the documented substitution:
+
+* a synthetic command-audio generator (keyword-specific formant patterns in
+  noise),
+* an energy-based VAD with hangover smoothing,
+* an MFCC front-end, and
+* a family of keyword-spotting recognisers of graded capacity standing in
+  for whisper-tiny/base/small/medium/large — reproducing the accuracy vs.
+  runtime vs. memory Pareto trade-off of Fig. 7 and feeding the same command
+  grammar into the mode multiplexer.
+"""
+
+from repro.asr.audio import CommandAudioGenerator, KEYWORDS
+from repro.asr.vad import VADConfig, VoiceActivityDetector
+from repro.asr.features import mfcc, log_mel_spectrogram
+from repro.asr.recognizer import (
+    ASR_MODEL_FAMILY,
+    KeywordRecognizer,
+    RecognizerProfile,
+    recognizer_family,
+)
+from repro.asr.commands import CommandGrammar, VoiceCommandPipeline
+
+__all__ = [
+    "CommandAudioGenerator",
+    "KEYWORDS",
+    "VADConfig",
+    "VoiceActivityDetector",
+    "mfcc",
+    "log_mel_spectrogram",
+    "ASR_MODEL_FAMILY",
+    "KeywordRecognizer",
+    "RecognizerProfile",
+    "recognizer_family",
+    "CommandGrammar",
+    "VoiceCommandPipeline",
+]

@@ -1,0 +1,93 @@
+"""Voice-command grammar and the VAD-gated command pipeline (paper §III-F).
+
+The grammar maps recognised keywords onto the prosthetic's control modes
+("arm" -> shoulder/elevation DoF group, "elbow" -> elbow flexion, "fingers"
+-> grip).  The pipeline chains VAD gating, utterance extraction and keyword
+recognition, and reports how much of the stream actually reached the
+recogniser — the resource saving the paper attributes to VAD gating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.asr.audio import KEYWORDS
+from repro.asr.recognizer import KeywordRecognizer
+from repro.asr.vad import VoiceActivityDetector
+
+#: Control modes of the 3-DoF prosthetic arm.
+MODE_ARM = "arm"
+MODE_ELBOW = "elbow"
+MODE_FINGERS = "fingers"
+CONTROL_MODES: Tuple[str, ...] = (MODE_ARM, MODE_ELBOW, MODE_FINGERS)
+
+
+@dataclass
+class CommandGrammar:
+    """Keyword -> control-mode mapping with confidence thresholding."""
+
+    keyword_to_mode: Dict[str, str] = field(
+        default_factory=lambda: {k: k for k in KEYWORDS}
+    )
+
+    def __post_init__(self) -> None:
+        invalid = set(self.keyword_to_mode.values()) - set(CONTROL_MODES)
+        if invalid:
+            raise ValueError(f"Unknown control modes in grammar: {sorted(invalid)}")
+
+    def mode_for(self, keyword: str) -> Optional[str]:
+        """Control mode for a recognised keyword, or None for non-commands."""
+        return self.keyword_to_mode.get(keyword)
+
+
+@dataclass
+class DetectedCommand:
+    """A command recognised in a continuous audio stream."""
+
+    time_s: float
+    keyword: str
+    mode: Optional[str]
+
+
+class VoiceCommandPipeline:
+    """VAD-gated keyword spotting over continuous audio."""
+
+    def __init__(
+        self,
+        recognizer: KeywordRecognizer,
+        vad: Optional[VoiceActivityDetector] = None,
+        grammar: Optional[CommandGrammar] = None,
+        min_segment_s: float = 0.15,
+    ) -> None:
+        self.recognizer = recognizer
+        self.vad = vad or VoiceActivityDetector(sampling_rate_hz=recognizer.sampling_rate_hz)
+        self.grammar = grammar or CommandGrammar()
+        self.min_segment_s = min_segment_s
+
+    def process_stream(self, audio: np.ndarray) -> List[DetectedCommand]:
+        """Detect and decode every command in a continuous waveform."""
+        fs = self.recognizer.sampling_rate_hz
+        commands: List[DetectedCommand] = []
+        for start_s, end_s in self.vad.voiced_segments(audio):
+            if end_s - start_s < self.min_segment_s:
+                continue
+            segment = audio[int(start_s * fs) : int(end_s * fs)]
+            try:
+                keyword = self.recognizer.transcribe(segment)
+            except ValueError:
+                continue
+            commands.append(
+                DetectedCommand(
+                    time_s=start_s,
+                    keyword=keyword,
+                    mode=self.grammar.mode_for(keyword),
+                )
+            )
+        return commands
+
+    def duty_cycle(self, audio: np.ndarray) -> float:
+        """Fraction of the stream forwarded to the recogniser (VAD saving)."""
+        return self.vad.activity_fraction(audio)

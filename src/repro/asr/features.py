@@ -1,0 +1,96 @@
+"""Audio feature extraction: log-mel spectrogram and MFCCs."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.fft import dct
+
+
+def _hz_to_mel(hz: np.ndarray) -> np.ndarray:
+    return 2595.0 * np.log10(1.0 + np.asarray(hz) / 700.0)
+
+
+def _mel_to_hz(mel: np.ndarray) -> np.ndarray:
+    return 700.0 * (10.0 ** (np.asarray(mel) / 2595.0) - 1.0)
+
+
+def mel_filterbank(
+    n_filters: int, n_fft: int, sampling_rate_hz: float, f_min: float = 0.0,
+    f_max: float = None,
+) -> np.ndarray:
+    """Triangular mel filterbank of shape ``(n_filters, n_fft // 2 + 1)``."""
+    if f_max is None:
+        f_max = sampling_rate_hz / 2.0
+    if n_filters <= 0:
+        raise ValueError("n_filters must be positive")
+    mel_points = np.linspace(_hz_to_mel(f_min), _hz_to_mel(f_max), n_filters + 2)
+    hz_points = _mel_to_hz(mel_points)
+    bins = np.floor((n_fft + 1) * hz_points / sampling_rate_hz).astype(int)
+    bins = np.clip(bins, 0, n_fft // 2)
+    bank = np.zeros((n_filters, n_fft // 2 + 1))
+    for i in range(n_filters):
+        left, centre, right = bins[i], bins[i + 1], bins[i + 2]
+        if centre > left:
+            bank[i, left:centre] = (np.arange(left, centre) - left) / (centre - left)
+        if right > centre:
+            bank[i, centre:right] = (right - np.arange(centre, right)) / (right - centre)
+    return bank
+
+
+def log_mel_spectrogram(
+    audio: np.ndarray,
+    sampling_rate_hz: float = 16000.0,
+    frame_length: int = 400,
+    hop_length: int = 160,
+    n_fft: int = 512,
+    n_mels: int = 26,
+) -> np.ndarray:
+    """Log-mel spectrogram of shape ``(n_frames, n_mels)``."""
+    audio = np.asarray(audio, dtype=np.float64)
+    if audio.ndim != 1:
+        raise ValueError("audio must be a 1-D waveform")
+    if audio.shape[0] < frame_length:
+        raise ValueError("audio shorter than one analysis frame")
+    n_frames = 1 + (audio.shape[0] - frame_length) // hop_length
+    window = np.hanning(frame_length)
+    frames = np.stack(
+        [
+            audio[i * hop_length : i * hop_length + frame_length] * window
+            for i in range(n_frames)
+        ]
+    )
+    spectrum = np.abs(np.fft.rfft(frames, n=n_fft, axis=1)) ** 2
+    bank = mel_filterbank(n_mels, n_fft, sampling_rate_hz)
+    mel_energies = spectrum @ bank.T
+    return np.log(mel_energies + 1e-10)
+
+
+def mfcc(
+    audio: np.ndarray,
+    sampling_rate_hz: float = 16000.0,
+    n_coefficients: int = 13,
+    n_mels: int = 26,
+    frame_length: int = 400,
+    hop_length: int = 160,
+) -> np.ndarray:
+    """Mel-frequency cepstral coefficients, shape ``(n_frames, n_coefficients)``."""
+    if n_coefficients <= 0 or n_coefficients > n_mels:
+        raise ValueError("n_coefficients must be in (0, n_mels]")
+    log_mel = log_mel_spectrogram(
+        audio,
+        sampling_rate_hz=sampling_rate_hz,
+        frame_length=frame_length,
+        hop_length=hop_length,
+        n_mels=n_mels,
+    )
+    cepstra = dct(log_mel, type=2, axis=1, norm="ortho")
+    return cepstra[:, :n_coefficients]
+
+
+def utterance_embedding(audio: np.ndarray, sampling_rate_hz: float = 16000.0,
+                        n_coefficients: int = 13) -> np.ndarray:
+    """Fixed-length utterance descriptor: mean and std of MFCCs over time."""
+    coefficients = mfcc(audio, sampling_rate_hz, n_coefficients=n_coefficients)
+    return np.concatenate([coefficients.mean(axis=0), coefficients.std(axis=0)])

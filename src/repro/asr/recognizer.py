@@ -1,0 +1,140 @@
+"""Keyword-spotting recogniser family standing in for Whisper variants.
+
+Fig. 7 of the paper places Whisper tiny/base/small/medium/large(-turbo) on a
+Pareto plot of transcription quality (PCC score) vs. inference time, with
+marker size showing VRAM use, and selects Whisper-small as the knee point.
+The substitution here is a family of template-matching keyword recognisers
+whose capacity (number of stored reference templates per word and MFCC
+resolution) grows across the family: bigger members are more accurate and
+slower, reproducing the trade-off that drives the paper's model choice.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.asr.audio import CommandAudioGenerator
+from repro.asr.features import utterance_embedding
+
+
+@dataclass(frozen=True)
+class RecognizerProfile:
+    """Capacity/latency profile of one member of the recogniser family."""
+
+    name: str
+    templates_per_word: int
+    n_mfcc: int
+    #: Approximate memory footprint reported in Fig. 7's marker sizes (MB).
+    vram_mb: float
+    #: Extra compute per inference, modelled as repeated scoring passes —
+    #: larger models do proportionally more work per utterance.
+    compute_passes: int
+
+
+#: The Whisper-family analogues evaluated in Fig. 7.
+ASR_MODEL_FAMILY: Tuple[RecognizerProfile, ...] = (
+    RecognizerProfile("kws-tiny", templates_per_word=2, n_mfcc=6, vram_mb=390, compute_passes=1),
+    RecognizerProfile("kws-base", templates_per_word=4, n_mfcc=8, vram_mb=500, compute_passes=2),
+    RecognizerProfile("kws-small", templates_per_word=10, n_mfcc=13, vram_mb=1200, compute_passes=4),
+    RecognizerProfile("kws-medium", templates_per_word=24, n_mfcc=13, vram_mb=2900, compute_passes=10),
+    RecognizerProfile("kws-large", templates_per_word=48, n_mfcc=13, vram_mb=5800, compute_passes=24),
+)
+
+
+class KeywordRecognizer:
+    """Nearest-template keyword recogniser over MFCC utterance embeddings."""
+
+    def __init__(self, profile: RecognizerProfile, sampling_rate_hz: float = 16000.0,
+                 seed: int = 0) -> None:
+        self.profile = profile
+        self.sampling_rate_hz = sampling_rate_hz
+        self.seed = seed
+        self._templates: Dict[str, np.ndarray] = {}
+        self._fitted = False
+
+    @property
+    def vocabulary(self) -> List[str]:
+        return sorted(self._templates)
+
+    def fit(self, waveforms: Sequence[np.ndarray], labels: Sequence[str]) -> "KeywordRecognizer":
+        """Store per-word reference templates (capacity-limited by the profile)."""
+        if len(waveforms) != len(labels):
+            raise ValueError("waveforms and labels must have the same length")
+        if not waveforms:
+            raise ValueError("Cannot fit a recogniser with no examples")
+        rng = np.random.default_rng(self.seed)
+        per_word: Dict[str, List[np.ndarray]] = {}
+        for waveform, label in zip(waveforms, labels):
+            embedding = utterance_embedding(
+                waveform, self.sampling_rate_hz, n_coefficients=self.profile.n_mfcc
+            )
+            per_word.setdefault(label, []).append(embedding)
+        self._templates = {}
+        for word, embeddings in per_word.items():
+            embeddings_arr = np.stack(embeddings)
+            k = min(self.profile.templates_per_word, embeddings_arr.shape[0])
+            chosen = rng.choice(embeddings_arr.shape[0], size=k, replace=False)
+            self._templates[word] = embeddings_arr[chosen]
+        self._fitted = True
+        return self
+
+    def transcribe(self, waveform: np.ndarray) -> str:
+        """Return the best-matching vocabulary word for one utterance."""
+        scores = self.scores(waveform)
+        return min(scores, key=scores.get)
+
+    def scores(self, waveform: np.ndarray) -> Dict[str, float]:
+        """Distance of the utterance to each word's nearest template."""
+        if not self._fitted:
+            raise RuntimeError("Recogniser has not been fitted")
+        embedding = utterance_embedding(
+            waveform, self.sampling_rate_hz, n_coefficients=self.profile.n_mfcc
+        )
+        scores: Dict[str, float] = {}
+        # compute_passes models the larger model's heavier per-inference work.
+        for _ in range(self.profile.compute_passes):
+            for word, templates in self._templates.items():
+                distances = np.linalg.norm(templates - embedding[None, :], axis=1)
+                scores[word] = float(distances.min())
+        return scores
+
+    def accuracy(self, waveforms: Sequence[np.ndarray], labels: Sequence[str]) -> float:
+        """Keyword accuracy on a labelled evaluation set.
+
+        Serves as the PCC-score analogue of Fig. 7 (higher is better).
+        """
+        if not waveforms:
+            return 0.0
+        correct = sum(
+            1 for w, label in zip(waveforms, labels) if self.transcribe(w) == label
+        )
+        return correct / len(waveforms)
+
+    def inference_latency_s(self, waveform: np.ndarray, repeats: int = 3) -> float:
+        """Median wall-clock latency of one transcription."""
+        timings = []
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            self.transcribe(waveform)
+            timings.append(time.perf_counter() - start)
+        return float(np.median(timings))
+
+
+def recognizer_family(
+    generator: Optional[CommandAudioGenerator] = None,
+    n_train_per_word: int = 30,
+    seed: int = 0,
+) -> Dict[str, KeywordRecognizer]:
+    """Fit every member of :data:`ASR_MODEL_FAMILY` on the same training audio."""
+    generator = generator or CommandAudioGenerator(seed=seed)
+    waveforms, labels = generator.labelled_dataset(n_per_word=n_train_per_word)
+    family = {}
+    for profile in ASR_MODEL_FAMILY:
+        recognizer = KeywordRecognizer(profile, generator.sampling_rate_hz, seed=seed)
+        recognizer.fit(waveforms, labels)
+        family[profile.name] = recognizer
+    return family

@@ -1,0 +1,106 @@
+"""Energy-based voice activity detection (paper §III-F2).
+
+The paper triggers the ASR model only when speech is detected, minimising
+resource consumption and latency on the edge device.  The detector here is a
+classic short-time-energy VAD with an adaptive noise floor and hangover
+smoothing: frames whose energy exceeds the noise floor by a configurable
+margin are voiced, and activity is extended for a few frames after the last
+voiced frame so word endings are not clipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class VADConfig:
+    """Voice-activity-detection parameters."""
+
+    frame_duration_s: float = 0.02
+    #: Energy must exceed the running noise floor by this factor (linear).
+    energy_threshold: float = 4.0
+    #: Number of frames activity persists after the last voiced frame.
+    hangover_frames: int = 5
+    #: Exponential-averaging coefficient for the noise-floor estimate.
+    noise_adaptation: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.frame_duration_s <= 0:
+            raise ValueError("frame_duration_s must be positive")
+        if self.energy_threshold <= 1.0:
+            raise ValueError("energy_threshold must exceed 1.0")
+        if self.hangover_frames < 0:
+            raise ValueError("hangover_frames must be non-negative")
+        if not 0.0 < self.noise_adaptation < 1.0:
+            raise ValueError("noise_adaptation must be in (0, 1)")
+
+
+class VoiceActivityDetector:
+    """Frame-level speech/non-speech decisions over an audio stream."""
+
+    def __init__(self, config: VADConfig = None, sampling_rate_hz: float = 16000.0) -> None:
+        self.config = config or VADConfig()
+        self.sampling_rate_hz = float(sampling_rate_hz)
+        self.frame_length = max(1, int(self.config.frame_duration_s * self.sampling_rate_hz))
+
+    def frame_energies(self, audio: np.ndarray) -> np.ndarray:
+        """Mean squared energy of each complete frame."""
+        audio = np.asarray(audio, dtype=np.float64)
+        n_frames = audio.shape[0] // self.frame_length
+        if n_frames == 0:
+            return np.zeros(0)
+        frames = audio[: n_frames * self.frame_length].reshape(n_frames, self.frame_length)
+        return np.mean(frames**2, axis=1)
+
+    def detect_frames(self, audio: np.ndarray) -> np.ndarray:
+        """Boolean voicing decision per frame."""
+        energies = self.frame_energies(audio)
+        if energies.size == 0:
+            return np.zeros(0, dtype=bool)
+        cfg = self.config
+        # Initialise the noise floor from the quietest fifth of the frames so
+        # streams that begin with speech do not poison the estimate.
+        sorted_energy = np.sort(energies)
+        noise_floor = max(float(np.mean(sorted_energy[: max(1, len(energies) // 5)])), 1e-12)
+        decisions = np.zeros(energies.shape[0], dtype=bool)
+        hangover = 0
+        for i, energy in enumerate(energies):
+            if energy > cfg.energy_threshold * noise_floor:
+                decisions[i] = True
+                hangover = cfg.hangover_frames
+            elif hangover > 0:
+                decisions[i] = True
+                hangover -= 1
+            else:
+                noise_floor = (
+                    (1 - cfg.noise_adaptation) * noise_floor + cfg.noise_adaptation * energy
+                )
+                noise_floor = max(noise_floor, 1e-12)
+        return decisions
+
+    def voiced_segments(self, audio: np.ndarray) -> List[Tuple[float, float]]:
+        """Contiguous voiced regions as ``(start_s, end_s)`` pairs."""
+        decisions = self.detect_frames(audio)
+        segments: List[Tuple[float, float]] = []
+        start = None
+        frame_s = self.frame_length / self.sampling_rate_hz
+        for i, voiced in enumerate(decisions):
+            if voiced and start is None:
+                start = i * frame_s
+            elif not voiced and start is not None:
+                segments.append((start, i * frame_s))
+                start = None
+        if start is not None:
+            segments.append((start, decisions.shape[0] * frame_s))
+        return segments
+
+    def activity_fraction(self, audio: np.ndarray) -> float:
+        """Fraction of frames classified as speech (the ASR duty cycle)."""
+        decisions = self.detect_frames(audio)
+        if decisions.size == 0:
+            return 0.0
+        return float(np.mean(decisions))

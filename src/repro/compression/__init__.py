@@ -1,0 +1,34 @@
+"""Model compression for embedded deployment (paper §III-E and Fig. 12).
+
+Global magnitude pruning at 0/30/50/70/90 % and 8-bit post-training
+quantization, applied to the Pareto-optimal models before deployment on the
+edge device.  The paper finds 70 % pruning essentially free in accuracy while
+reducing latency, and 8-bit quantization fastest but with an unacceptable
+accuracy drop for this safety-critical use.
+"""
+
+from repro.compression.pruning import (
+    PruningReport,
+    apply_global_magnitude_pruning,
+    prune_classifier,
+    sparsity,
+)
+from repro.compression.quantization import (
+    QuantizationReport,
+    QuantizedTensor,
+    dequantize,
+    quantize_classifier,
+    quantize_tensor,
+)
+
+__all__ = [
+    "PruningReport",
+    "apply_global_magnitude_pruning",
+    "prune_classifier",
+    "sparsity",
+    "QuantizationReport",
+    "QuantizedTensor",
+    "quantize_tensor",
+    "dequantize",
+    "quantize_classifier",
+]

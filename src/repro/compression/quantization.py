@@ -1,0 +1,133 @@
+"""Post-training quantization (paper §III-E2).
+
+Weights are converted to low-precision integers (8-bit by default) with
+symmetric per-tensor scaling.  The paper observes that 8-bit quantization of
+its EEG models reduces latency substantially but costs far too much accuracy
+for a safety-critical prosthetic (Fig. 12 point A); the same behaviour is
+reproduced here because the quantized classifier *computes with the
+dequantized (rounded) weights*, so the rounding error propagates through
+inference exactly as it would on an int8 execution engine.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.models.base import NeuralEEGClassifier
+from repro.nn.module import Module
+
+
+@dataclass
+class QuantizedTensor:
+    """An integer tensor plus the scale needed to reconstruct real values."""
+
+    values: np.ndarray
+    scale: float
+    bits: int
+
+    @property
+    def nbytes(self) -> int:
+        """Storage size in bytes at the quantized precision."""
+        return int(np.ceil(self.values.size * self.bits / 8))
+
+
+@dataclass
+class QuantizationReport:
+    """Summary of quantizing one model."""
+
+    bits: int
+    original_bytes: int
+    quantized_bytes: int
+    mean_absolute_error: float
+    per_parameter_error: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.quantized_bytes == 0:
+            return 0.0
+        return self.original_bytes / self.quantized_bytes
+
+
+def quantize_tensor(values: np.ndarray, bits: int = 8) -> QuantizedTensor:
+    """Symmetric per-tensor quantization of a float array."""
+    if bits < 2 or bits > 16:
+        raise ValueError("bits must be between 2 and 16")
+    arr = np.asarray(values, dtype=np.float64)
+    max_abs = np.abs(arr).max()
+    q_max = 2 ** (bits - 1) - 1
+    scale = max_abs / q_max if max_abs > 0 else 1.0
+    quantized = np.clip(np.round(arr / scale), -q_max - 1, q_max).astype(np.int32)
+    return QuantizedTensor(values=quantized, scale=float(scale), bits=bits)
+
+
+def dequantize(tensor: QuantizedTensor) -> np.ndarray:
+    """Reconstruct real-valued weights from a quantized tensor."""
+    return tensor.values.astype(np.float64) * tensor.scale
+
+
+def quantize_module(
+    module: Module, bits: int = 8, scheme: str = "per_tensor"
+) -> QuantizationReport:
+    """Quantize every parameter of a module in place (weights become rounded).
+
+    ``scheme`` selects the scaling granularity:
+
+    * ``"per_tensor"`` — one scale per parameter tensor (the well-tuned PTQ
+      baseline; usually cheap in accuracy).
+    * ``"global"`` — a single scale shared by the whole network, which is the
+      naive post-training quantization whose severe accuracy loss the paper
+      reports for its 8-bit models (Fig. 12 point A): layers whose weights
+      are small relative to the network-wide maximum collapse to zero.
+    """
+    if scheme not in {"per_tensor", "global"}:
+        raise ValueError("scheme must be 'per_tensor' or 'global'")
+    original_bytes = 0
+    quantized_bytes = 0
+    errors = []
+    per_parameter: Dict[str, float] = {}
+    named = list(module.named_parameters())
+    global_scale: Optional[float] = None
+    if scheme == "global" and named:
+        max_abs = max(float(np.abs(p.data).max()) for _, p in named)
+        q_max = 2 ** (bits - 1) - 1
+        global_scale = max_abs / q_max if max_abs > 0 else 1.0
+    for name, param in named:
+        original = param.data.copy()
+        original_bytes += original.size * 8  # float64 storage
+        if scheme == "per_tensor":
+            q = quantize_tensor(original, bits)
+            restored = dequantize(q)
+            quantized_bytes += q.nbytes
+        else:
+            assert global_scale is not None
+            q_max = 2 ** (bits - 1) - 1
+            values = np.clip(np.round(original / global_scale), -q_max - 1, q_max)
+            restored = values * global_scale
+            quantized_bytes += int(np.ceil(original.size * bits / 8))
+        param.data = restored
+        error = float(np.mean(np.abs(restored - original)))
+        errors.append(error)
+        per_parameter[name] = error
+    return QuantizationReport(
+        bits=bits,
+        original_bytes=original_bytes,
+        quantized_bytes=quantized_bytes,
+        mean_absolute_error=float(np.mean(errors)) if errors else 0.0,
+        per_parameter_error=per_parameter,
+    )
+
+
+def quantize_classifier(
+    classifier: NeuralEEGClassifier, bits: int = 8, scheme: str = "per_tensor"
+) -> Tuple[NeuralEEGClassifier, QuantizationReport]:
+    """Return a quantized deep copy of a fitted neural classifier."""
+    if classifier.network is None:
+        raise ValueError("Classifier must be fitted/built before quantization")
+    quantized = copy.deepcopy(classifier)
+    assert quantized.network is not None
+    report = quantize_module(quantized.network, bits, scheme=scheme)
+    return quantized, report

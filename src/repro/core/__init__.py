@@ -1,0 +1,29 @@
+"""CognitiveArm core: the integrated real-time EEG-to-arm control system.
+
+This package is the paper's primary contribution: it wires the substrates
+together — simulated board acquisition, preprocessing, windowing, the trained
+(and optionally compressed) classifier, the VAD-gated voice-command pipeline,
+the mode multiplexer and the prosthetic-arm controller — into a single
+real-time loop producing action labels at 15 Hz and servo commands on every
+label.
+"""
+
+from repro.core.config import CognitiveArmConfig
+from repro.core.events import ActionEvent, EventLog, ModeChangeEvent, SystemEvent
+from repro.core.multiplexer import ModeMultiplexer
+from repro.core.realtime import InferenceTick, RealTimeInferenceLoop
+from repro.core.pipeline import CognitiveArmPipeline, SessionReport, ScriptedIntent
+
+__all__ = [
+    "CognitiveArmConfig",
+    "ActionEvent",
+    "ModeChangeEvent",
+    "SystemEvent",
+    "EventLog",
+    "ModeMultiplexer",
+    "InferenceTick",
+    "RealTimeInferenceLoop",
+    "CognitiveArmPipeline",
+    "SessionReport",
+    "ScriptedIntent",
+]

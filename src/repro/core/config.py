@@ -1,0 +1,53 @@
+"""Top-level configuration of the CognitiveArm system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataset.windows import WindowConfig
+from repro.signals.filters import FilterSettings
+
+
+@dataclass
+class CognitiveArmConfig:
+    """Everything the integrated pipeline needs to know about its environment.
+
+    Defaults follow the paper: 16-channel acquisition at 125 Hz, 150-sample
+    classification windows, action labels generated at 15 Hz, confidence
+    gating so that uncertain predictions do not move the arm, and a short
+    majority-vote smoothing history to suppress single-window glitches.
+    """
+
+    sampling_rate_hz: float = 125.0
+    n_channels: int = 16
+    window_size: int = 150
+    #: Rate at which action labels are produced (paper §IV-A3).
+    label_rate_hz: float = 15.0
+    #: Minimum classifier confidence required to actuate the arm.
+    confidence_threshold: float = 0.5
+    #: Number of recent predictions combined by majority vote (1 = no smoothing).
+    smoothing_window: int = 3
+    filter_settings: FilterSettings = field(default_factory=FilterSettings)
+
+    def __post_init__(self) -> None:
+        if self.sampling_rate_hz <= 0:
+            raise ValueError("sampling_rate_hz must be positive")
+        if self.n_channels <= 0:
+            raise ValueError("n_channels must be positive")
+        if self.window_size <= 0:
+            raise ValueError("window_size must be positive")
+        if self.label_rate_hz <= 0:
+            raise ValueError("label_rate_hz must be positive")
+        if not 0.0 <= self.confidence_threshold < 1.0:
+            raise ValueError("confidence_threshold must be in [0, 1)")
+        if self.smoothing_window < 1:
+            raise ValueError("smoothing_window must be at least 1")
+
+    @property
+    def label_period_s(self) -> float:
+        """Seconds between consecutive action labels."""
+        return 1.0 / self.label_rate_hz
+
+    def window_config(self) -> WindowConfig:
+        """The window configuration implied by this system configuration."""
+        return WindowConfig(window_size=self.window_size, step=25)

@@ -1,0 +1,83 @@
+"""Event records emitted by the real-time system.
+
+The pipeline logs every classified action, every voice-driven mode change and
+system-level events (session start/stop, rejected predictions) so sessions
+can be replayed, validated against intent scripts (the 19/20 real-world
+validation of §IV-A5) and summarised in the experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class ActionEvent:
+    """One classified EEG action and what the arm did with it."""
+
+    time_s: float
+    action: str
+    confidence: float
+    mode: str
+    actuated: bool
+
+
+@dataclass(frozen=True)
+class ModeChangeEvent:
+    """A voice-command mode switch."""
+
+    time_s: float
+    keyword: str
+    mode: str
+
+
+@dataclass(frozen=True)
+class SystemEvent:
+    """Any other notable pipeline occurrence."""
+
+    time_s: float
+    kind: str
+    detail: str = ""
+
+
+class EventLog:
+    """Ordered log of everything that happened during a session."""
+
+    def __init__(self) -> None:
+        self.actions: List[ActionEvent] = []
+        self.mode_changes: List[ModeChangeEvent] = []
+        self.system: List[SystemEvent] = []
+
+    def record_action(self, event: ActionEvent) -> None:
+        self.actions.append(event)
+
+    def record_mode_change(self, event: ModeChangeEvent) -> None:
+        self.mode_changes.append(event)
+
+    def record_system(self, event: SystemEvent) -> None:
+        self.system.append(event)
+
+    def __len__(self) -> int:
+        return len(self.actions) + len(self.mode_changes) + len(self.system)
+
+    def actions_between(self, start_s: float, end_s: float) -> List[ActionEvent]:
+        """Action events with ``start_s <= time < end_s``."""
+        return [a for a in self.actions if start_s <= a.time_s < end_s]
+
+    def actuation_rate(self) -> float:
+        """Fraction of classified actions that actually moved the arm."""
+        if not self.actions:
+            return 0.0
+        return sum(1 for a in self.actions if a.actuated) / len(self.actions)
+
+    def action_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.actions:
+            counts[event.action] = counts.get(event.action, 0) + 1
+        return counts
+
+    def final_mode(self) -> Optional[str]:
+        if not self.mode_changes:
+            return None
+        return self.mode_changes[-1].mode

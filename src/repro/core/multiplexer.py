@@ -1,0 +1,68 @@
+"""Mode multiplexer: voice commands select which DoF the EEG actions drive.
+
+The paper controls three degrees of freedom with only three EEG classes by
+multiplexing: the voice keyword ("arm", "elbow", "fingers") selects the
+active DoF group and the left/right EEG actions then move that group
+(Fig. 6).  The multiplexer owns that state, debounces rapid repeated
+commands and keeps a history for the session report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.asr.commands import CONTROL_MODES, CommandGrammar, DetectedCommand
+
+
+class ModeMultiplexer:
+    """Tracks the active control mode and applies voice-command switches."""
+
+    def __init__(
+        self,
+        grammar: Optional[CommandGrammar] = None,
+        initial_mode: str = "arm",
+        debounce_s: float = 0.5,
+    ) -> None:
+        if initial_mode not in CONTROL_MODES:
+            raise ValueError(f"Unknown control mode {initial_mode!r}")
+        if debounce_s < 0:
+            raise ValueError("debounce_s must be non-negative")
+        self.grammar = grammar or CommandGrammar()
+        self.mode = initial_mode
+        self.debounce_s = debounce_s
+        self.history: List[Tuple[float, str]] = [(0.0, initial_mode)]
+        self._last_switch_s = -float("inf")
+
+    def handle_keyword(self, keyword: str, time_s: float) -> bool:
+        """Apply a recognised keyword; returns True if the mode changed."""
+        mode = self.grammar.mode_for(keyword)
+        if mode is None:
+            return False
+        if time_s - self._last_switch_s < self.debounce_s:
+            return False
+        if mode == self.mode:
+            self._last_switch_s = time_s
+            return False
+        self.mode = mode
+        self._last_switch_s = time_s
+        self.history.append((time_s, mode))
+        return True
+
+    def handle_command(self, command: DetectedCommand) -> bool:
+        """Apply a command detected by the voice pipeline."""
+        return self.handle_keyword(command.keyword, command.time_s)
+
+    def mode_at(self, time_s: float) -> str:
+        """The mode that was active at a given session time."""
+        active = self.history[0][1]
+        for switch_time, mode in self.history:
+            if switch_time <= time_s:
+                active = mode
+            else:
+                break
+        return active
+
+    def switch_count(self) -> int:
+        """Number of mode changes performed (excluding the initial mode)."""
+        return len(self.history) - 1

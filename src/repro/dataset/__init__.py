@@ -1,0 +1,43 @@
+"""EEG dataset generation and annotation pipeline (paper §III-B).
+
+Implements the paper's experimental protocol (cue-driven 10 s task / 10 s rest
+blocks across three sessions per participant), the annotation rules
+(transition-period handling around auditory cues), sliding-window
+segmentation (100-200 sample windows, 25-sample step), class balancing and
+leave-one-subject-out splits.
+"""
+
+from repro.dataset.protocol import (
+    CueEvent,
+    ExperimentalProtocol,
+    ProtocolConfig,
+    Recording,
+    RecordingSession,
+)
+from repro.dataset.annotation import AnnotationConfig, Annotator, LabeledRecording
+from repro.dataset.windows import WindowConfig, WindowDataset, segment_recording
+from repro.dataset.splits import (
+    leave_one_subject_out,
+    stratified_split,
+    train_validation_split,
+)
+from repro.dataset.balance import balance_classes, class_distribution
+
+__all__ = [
+    "CueEvent",
+    "ExperimentalProtocol",
+    "ProtocolConfig",
+    "Recording",
+    "RecordingSession",
+    "AnnotationConfig",
+    "Annotator",
+    "LabeledRecording",
+    "WindowConfig",
+    "WindowDataset",
+    "segment_recording",
+    "leave_one_subject_out",
+    "stratified_split",
+    "train_validation_split",
+    "balance_classes",
+    "class_distribution",
+]

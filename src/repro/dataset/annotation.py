@@ -1,0 +1,124 @@
+"""EEG data annotation (paper §III-B2 and §III-D4).
+
+Labels are assigned per cue block: every sample between a cue and the next
+cue inherits the cue's action label.  Because participants react to the
+auditory beep with some delay, the paper includes *transition periods* in the
+labelled data: a configurable margin after each cue during which samples are
+either marked as transition (and excluded from training) or kept with the new
+label, matching the paper's description of accounting for auditory lag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.dataset.protocol import CueEvent, Recording, RecordingSession
+from repro.signals.filters import PreprocessingPipeline
+
+#: Label assigned to samples inside an excluded transition period.
+TRANSITION_LABEL = "transition"
+
+
+@dataclass
+class AnnotationConfig:
+    """How cue events are converted to per-sample labels."""
+
+    #: Seconds after each cue during which the participant may still be in the
+    #: previous mental state.
+    transition_period_s: float = 0.5
+    #: If True transition samples get :data:`TRANSITION_LABEL` and are dropped
+    #: by the windowing stage; if False they keep the new cue's label.
+    exclude_transition: bool = True
+    #: Whether to run the preprocessing chain before labelling.
+    apply_preprocessing: bool = True
+
+
+@dataclass
+class LabeledRecording:
+    """Preprocessed, per-sample-labelled EEG for one participant."""
+
+    participant_id: str
+    data: np.ndarray
+    labels: np.ndarray
+    sampling_rate_hz: float
+
+    @property
+    def n_samples(self) -> int:
+        return self.data.shape[1]
+
+    def label_fractions(self) -> dict:
+        """Fraction of samples carrying each label."""
+        unique, counts = np.unique(self.labels, return_counts=True)
+        total = max(1, self.labels.shape[0])
+        return {str(u): c / total for u, c in zip(unique, counts)}
+
+
+class Annotator:
+    """Convert cue schedules into per-sample labels and preprocess the data."""
+
+    def __init__(
+        self,
+        config: Optional[AnnotationConfig] = None,
+        preprocessing: Optional[PreprocessingPipeline] = None,
+    ) -> None:
+        self.config = config or AnnotationConfig()
+        self.preprocessing = preprocessing or PreprocessingPipeline()
+
+    def labels_for_session(self, session: RecordingSession) -> np.ndarray:
+        """Per-sample labels for one session from its cue schedule."""
+        return self._labels_from_cues(
+            session.cues, session.data.shape[1], session.sampling_rate_hz
+        )
+
+    def annotate_session(self, session: RecordingSession) -> LabeledRecording:
+        """Label and (optionally) preprocess one session."""
+        labels = self.labels_for_session(session)
+        data = session.data
+        if self.config.apply_preprocessing and data.shape[1] >= self.preprocessing.minimum_samples():
+            data = self.preprocessing.process(data)
+        return LabeledRecording(
+            participant_id=session.participant_id,
+            data=data,
+            labels=labels,
+            sampling_rate_hz=session.sampling_rate_hz,
+        )
+
+    def annotate_recording(self, recording: Recording) -> LabeledRecording:
+        """Label and preprocess all of a participant's sessions, concatenated."""
+        annotated = [self.annotate_session(s) for s in recording.sessions]
+        if not annotated:
+            raise ValueError("Recording contains no sessions")
+        data = np.concatenate([a.data for a in annotated], axis=1)
+        labels = np.concatenate([a.labels for a in annotated])
+        return LabeledRecording(
+            participant_id=recording.participant_id,
+            data=data,
+            labels=labels,
+            sampling_rate_hz=annotated[0].sampling_rate_hz,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _labels_from_cues(
+        self, cues: Sequence[CueEvent], n_samples: int, sampling_rate_hz: float
+    ) -> np.ndarray:
+        labels = np.array([TRANSITION_LABEL] * n_samples, dtype=object)
+        transition_samples = int(self.config.transition_period_s * sampling_rate_hz)
+        ordered = sorted(cues, key=lambda c: c.time_s)
+        for i, cue in enumerate(ordered):
+            start = int(round(cue.time_s * sampling_rate_hz))
+            if i + 1 < len(ordered):
+                end = int(round(ordered[i + 1].time_s * sampling_rate_hz))
+            else:
+                end = n_samples
+            start = max(0, min(start, n_samples))
+            end = max(0, min(end, n_samples))
+            if start >= end:
+                continue
+            labels[start:end] = cue.label
+            if self.config.exclude_transition and transition_samples > 0:
+                trans_end = min(end, start + transition_samples)
+                labels[start:trans_end] = TRANSITION_LABEL
+        return labels

@@ -1,0 +1,55 @@
+"""Class balancing (paper §III-D4: the dataset was balanced across classes).
+
+The protocol yields more *idle* samples than *left*/*right* (each task block
+is followed by a rest block and the transition trimming eats into task
+blocks).  The paper balances the dataset before training to avoid bias toward
+any class; this module provides undersampling and oversampling utilities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.dataset.windows import WindowDataset
+
+
+def class_distribution(dataset: WindowDataset) -> Dict[str, float]:
+    """Fraction of windows per class name."""
+    counts = dataset.class_counts()
+    total = max(1, len(dataset))
+    return {name: count / total for name, count in counts.items()}
+
+
+def balance_classes(
+    dataset: WindowDataset, strategy: str = "undersample", seed: int = 0
+) -> WindowDataset:
+    """Return a class-balanced copy of ``dataset``.
+
+    ``strategy`` is either ``"undersample"`` (downsample every class to the
+    smallest class size — the paper's approach keeps the dataset honest) or
+    ``"oversample"`` (resample minority classes with replacement up to the
+    largest class size).
+    """
+    if strategy not in {"undersample", "oversample"}:
+        raise ValueError("strategy must be 'undersample' or 'oversample'")
+    if len(dataset) == 0:
+        return dataset
+    rng = np.random.default_rng(seed)
+    present_classes = np.unique(dataset.labels)
+    positions = {int(c): np.flatnonzero(dataset.labels == c) for c in present_classes}
+    sizes = {c: pos.size for c, pos in positions.items()}
+    if strategy == "undersample":
+        target = min(sizes.values())
+    else:
+        target = max(sizes.values())
+    selected = []
+    for c, pos in positions.items():
+        if pos.size >= target:
+            chosen = rng.choice(pos, size=target, replace=False)
+        else:
+            chosen = rng.choice(pos, size=target, replace=True)
+        selected.extend(chosen.tolist())
+    selected.sort()
+    return dataset.subset(selected)

@@ -1,0 +1,187 @@
+"""Experimental protocol simulation (paper §III-B1).
+
+The paper's collection protocol: participants perform each mental task for
+10 seconds following an auditory cue (beep), then rest for 10 seconds; this
+is repeated until roughly 5 minutes of EEG are collected per participant per
+session, across three sessions.
+
+This module reproduces that structure against the simulated board: it builds
+the cue schedule, drives the :class:`SimulatedCytonDaisyBoard` through it and
+returns raw recordings annotated with cue events — the input to the
+annotation and windowing stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.acquisition.board import BoardConfig, SimulatedCytonDaisyBoard
+from repro.signals.montage import Montage
+from repro.signals.synthetic import ACTION_IDLE, ACTION_LEFT, ACTION_RIGHT, ParticipantProfile
+
+#: Default task ordering within a collection block.
+DEFAULT_TASK_CYCLE: Tuple[str, ...] = (ACTION_LEFT, ACTION_RIGHT)
+
+
+@dataclass
+class CueEvent:
+    """An auditory cue marking the start of a task or rest block."""
+
+    time_s: float
+    label: str
+    duration_s: float
+
+
+@dataclass
+class ProtocolConfig:
+    """Parameters of the collection protocol."""
+
+    task_duration_s: float = 10.0
+    rest_duration_s: float = 10.0
+    session_duration_s: float = 300.0
+    n_sessions: int = 3
+    sampling_rate_hz: float = 125.0
+    task_cycle: Tuple[str, ...] = DEFAULT_TASK_CYCLE
+    #: Random per-cue delay simulating auditory-cue lag (seconds).
+    cue_lag_jitter_s: float = 0.05
+
+    def blocks_per_session(self) -> int:
+        """Number of task+rest blocks that fit in one session."""
+        block = self.task_duration_s + self.rest_duration_s
+        return max(1, int(self.session_duration_s // block))
+
+
+@dataclass
+class RecordingSession:
+    """Raw EEG from one collection session of one participant."""
+
+    participant_id: str
+    session_index: int
+    data: np.ndarray
+    timestamps: np.ndarray
+    cues: List[CueEvent]
+    sampling_rate_hz: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.data.shape[1] / self.sampling_rate_hz
+
+    @property
+    def n_channels(self) -> int:
+        return self.data.shape[0]
+
+
+@dataclass
+class Recording:
+    """All sessions collected for one participant."""
+
+    participant_id: str
+    sessions: List[RecordingSession] = field(default_factory=list)
+
+    @property
+    def total_duration_s(self) -> float:
+        return sum(s.duration_s for s in self.sessions)
+
+    def concatenated(self) -> Tuple[np.ndarray, List[CueEvent]]:
+        """Concatenate sessions, shifting cue times onto a common timeline."""
+        blocks = []
+        cues: List[CueEvent] = []
+        offset = 0.0
+        for session in self.sessions:
+            blocks.append(session.data)
+            for cue in session.cues:
+                cues.append(CueEvent(cue.time_s + offset, cue.label, cue.duration_s))
+            offset += session.duration_s
+        data = np.concatenate(blocks, axis=1) if blocks else np.zeros((0, 0))
+        return data, cues
+
+
+class ExperimentalProtocol:
+    """Run the paper's collection protocol against simulated participants."""
+
+    def __init__(
+        self,
+        config: Optional[ProtocolConfig] = None,
+        montage: Optional[Montage] = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or ProtocolConfig()
+        self.montage = montage or Montage()
+        self._rng = np.random.default_rng(seed)
+
+    def cue_schedule(self, session_index: int = 0) -> List[CueEvent]:
+        """Build the cue schedule for one session.
+
+        Tasks alternate through ``config.task_cycle``; every task block is
+        followed by an idle (rest) block, mirroring the paper's structure.
+        """
+        cfg = self.config
+        cues: List[CueEvent] = []
+        t = 0.0
+        cycle = cfg.task_cycle
+        for block in range(cfg.blocks_per_session()):
+            task = cycle[(block + session_index) % len(cycle)]
+            cues.append(CueEvent(time_s=t, label=task, duration_s=cfg.task_duration_s))
+            t += cfg.task_duration_s
+            cues.append(CueEvent(time_s=t, label=ACTION_IDLE, duration_s=cfg.rest_duration_s))
+            t += cfg.rest_duration_s
+        return cues
+
+    def record_session(
+        self, profile: ParticipantProfile, session_index: int = 0
+    ) -> RecordingSession:
+        """Record one session for one participant on a fresh simulated board."""
+        cfg = self.config
+        board = SimulatedCytonDaisyBoard(
+            profile=profile,
+            config=BoardConfig(sampling_rate_hz=cfg.sampling_rate_hz,
+                               ring_buffer_seconds=cfg.session_duration_s + 60.0),
+            montage=self.montage,
+        )
+        board.prepare_session()
+        board.start_stream()
+        cues = self.cue_schedule(session_index)
+        for cue in cues:
+            # Auditory-cue lag: the participant switches mental state slightly
+            # after the beep; the board keeps generating the previous state
+            # for that lag, which the annotator later handles via transition
+            # periods.
+            sample_period = 1.0 / cfg.sampling_rate_hz
+            lag = min(abs(self._rng.normal(0.0, cfg.cue_lag_jitter_s)), cue.duration_s / 2)
+            if lag >= sample_period:
+                board.advance(lag)
+            else:
+                lag = 0.0
+            board.set_action(cue.label)
+            board.insert_marker(f"cue:{cue.label}")
+            remaining = cue.duration_s - lag
+            if remaining >= sample_period:
+                board.advance(remaining)
+        data, timestamps = board.get_board_data()
+        board.release_session()
+        return RecordingSession(
+            participant_id=profile.participant_id,
+            session_index=session_index,
+            data=data,
+            timestamps=timestamps,
+            cues=cues,
+            sampling_rate_hz=cfg.sampling_rate_hz,
+        )
+
+    def record_participant(self, profile: ParticipantProfile) -> Recording:
+        """Record all sessions for one participant."""
+        recording = Recording(participant_id=profile.participant_id)
+        for s in range(self.config.n_sessions):
+            recording.sessions.append(self.record_session(profile, s))
+        return recording
+
+    def record_cohort(
+        self, profiles: Optional[Sequence[ParticipantProfile]] = None
+    ) -> Dict[str, Recording]:
+        """Record the full cohort (default: five simulated participants)."""
+        if profiles is None:
+            profiles = ParticipantProfile.cohort(5)
+        return {p.participant_id: self.record_participant(p) for p in profiles}

@@ -1,0 +1,90 @@
+"""Dataset splits: leave-one-subject-out and stratified train/validation.
+
+The paper evaluates generalisation with leave-one-subject-out (LOSO)
+cross-validation: four participants form the training pool (split 80:20 into
+train and validation) and the held-out participant provides the test set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataset.windows import WindowDataset
+
+
+@dataclass
+class LOSOFold:
+    """One leave-one-subject-out fold."""
+
+    test_participant: str
+    train: WindowDataset
+    validation: WindowDataset
+    test: WindowDataset
+
+
+def train_validation_split(
+    dataset: WindowDataset, validation_fraction: float = 0.2, seed: int = 0
+) -> Tuple[WindowDataset, WindowDataset]:
+    """Random 80:20 (by default) split of a window dataset."""
+    if not 0.0 < validation_fraction < 1.0:
+        raise ValueError("validation_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(dataset))
+    n_val = max(1, int(round(validation_fraction * len(dataset))))
+    if len(dataset) <= 1:
+        raise ValueError("Dataset too small to split")
+    n_val = min(n_val, len(dataset) - 1)
+    val_idx = order[:n_val]
+    train_idx = order[n_val:]
+    return dataset.subset(train_idx), dataset.subset(val_idx)
+
+
+def stratified_split(
+    dataset: WindowDataset, validation_fraction: float = 0.2, seed: int = 0
+) -> Tuple[WindowDataset, WindowDataset]:
+    """Class-stratified train/validation split.
+
+    Guarantees every class present in the dataset appears in both halves
+    whenever it has at least two windows.
+    """
+    if not 0.0 < validation_fraction < 1.0:
+        raise ValueError("validation_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    train_indices: List[int] = []
+    val_indices: List[int] = []
+    for class_index in np.unique(dataset.labels):
+        class_positions = np.flatnonzero(dataset.labels == class_index)
+        rng.shuffle(class_positions)
+        n_val = int(round(validation_fraction * class_positions.size))
+        if class_positions.size >= 2:
+            n_val = min(max(1, n_val), class_positions.size - 1)
+        else:
+            n_val = 0
+        val_indices.extend(class_positions[:n_val].tolist())
+        train_indices.extend(class_positions[n_val:].tolist())
+    return dataset.subset(sorted(train_indices)), dataset.subset(sorted(val_indices))
+
+
+def leave_one_subject_out(
+    dataset: WindowDataset,
+    validation_fraction: float = 0.2,
+    seed: int = 0,
+) -> Iterator[LOSOFold]:
+    """Yield one :class:`LOSOFold` per participant in the dataset."""
+    participants = sorted(set(dataset.participant_ids.tolist()))
+    if len(participants) < 2:
+        raise ValueError("LOSO requires at least two participants")
+    for test_participant in participants:
+        others = [p for p in participants if p != test_participant]
+        pool = dataset.for_participants(others)
+        test = dataset.for_participants([test_participant])
+        train, validation = stratified_split(pool, validation_fraction, seed)
+        yield LOSOFold(
+            test_participant=test_participant,
+            train=train,
+            validation=validation,
+            test=test,
+        )

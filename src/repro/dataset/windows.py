@@ -1,0 +1,167 @@
+"""Sliding-window segmentation (paper §III-B3).
+
+The preprocessed, labelled EEG is cut into overlapping windows:
+
+* window sizes between 100 and 200 samples (0.8-1.6 s at 125 Hz) — the window
+  size itself is a hyper-parameter explored by the evolutionary search;
+* a sliding step of 25 samples (0.2 s);
+* a window keeps a label only if *all* its samples share that label
+  (windows straddling transitions or cue boundaries are discarded), which is
+  how the paper guarantees label purity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataset.annotation import TRANSITION_LABEL, LabeledRecording
+from repro.signals.synthetic import ACTIONS
+
+
+@dataclass
+class WindowConfig:
+    """Sliding-window parameters."""
+
+    window_size: int = 150
+    step: int = 25
+    #: Labels that may appear in the output dataset; windows whose label is
+    #: not in this set (e.g. transition) are dropped.
+    allowed_labels: Tuple[str, ...] = ACTIONS
+
+    def __post_init__(self) -> None:
+        if self.window_size <= 0:
+            raise ValueError("window_size must be positive")
+        if self.step <= 0:
+            raise ValueError("step must be positive")
+
+
+@dataclass
+class WindowDataset:
+    """A set of labelled EEG windows ready for model training.
+
+    Attributes
+    ----------
+    windows:
+        Array of shape ``(n_windows, n_channels, window_size)``.
+    labels:
+        Integer class indices of shape ``(n_windows,)``.
+    label_names:
+        Ordered class names; ``labels[i]`` indexes into this tuple.
+    participant_ids:
+        Participant of origin for every window (used for LOSO splits).
+    """
+
+    windows: np.ndarray
+    labels: np.ndarray
+    label_names: Tuple[str, ...]
+    participant_ids: np.ndarray
+    sampling_rate_hz: float = 125.0
+
+    def __len__(self) -> int:
+        return self.windows.shape[0]
+
+    @property
+    def n_channels(self) -> int:
+        return self.windows.shape[1]
+
+    @property
+    def window_size(self) -> int:
+        return self.windows.shape[2]
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.label_names)
+
+    def class_counts(self) -> Dict[str, int]:
+        counts = {name: 0 for name in self.label_names}
+        for idx in self.labels:
+            counts[self.label_names[int(idx)]] += 1
+        return counts
+
+    def subset(self, indices: Sequence[int]) -> "WindowDataset":
+        idx = np.asarray(indices, dtype=int)
+        return WindowDataset(
+            windows=self.windows[idx],
+            labels=self.labels[idx],
+            label_names=self.label_names,
+            participant_ids=self.participant_ids[idx],
+            sampling_rate_hz=self.sampling_rate_hz,
+        )
+
+    def for_participants(self, participants: Sequence[str]) -> "WindowDataset":
+        mask = np.isin(self.participant_ids, list(participants))
+        return self.subset(np.flatnonzero(mask))
+
+    def shuffled(self, seed: int = 0) -> "WindowDataset":
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self))
+        return self.subset(order)
+
+    @staticmethod
+    def merge(datasets: Sequence["WindowDataset"]) -> "WindowDataset":
+        if not datasets:
+            raise ValueError("Cannot merge an empty list of datasets")
+        names = datasets[0].label_names
+        for ds in datasets:
+            if ds.label_names != names:
+                raise ValueError("All datasets must share the same label names")
+        return WindowDataset(
+            windows=np.concatenate([ds.windows for ds in datasets], axis=0),
+            labels=np.concatenate([ds.labels for ds in datasets]),
+            label_names=names,
+            participant_ids=np.concatenate([ds.participant_ids for ds in datasets]),
+            sampling_rate_hz=datasets[0].sampling_rate_hz,
+        )
+
+
+def segment_recording(
+    recording: LabeledRecording,
+    config: Optional[WindowConfig] = None,
+) -> WindowDataset:
+    """Cut one labelled recording into pure-label sliding windows."""
+    cfg = config or WindowConfig()
+    data = recording.data
+    labels = recording.labels
+    n_samples = data.shape[1]
+    windows: List[np.ndarray] = []
+    window_labels: List[int] = []
+    label_names = tuple(cfg.allowed_labels)
+    label_to_index = {name: i for i, name in enumerate(label_names)}
+    start = 0
+    while start + cfg.window_size <= n_samples:
+        stop = start + cfg.window_size
+        segment_labels = labels[start:stop]
+        first = segment_labels[0]
+        if first in label_to_index and (segment_labels == first).all():
+            windows.append(data[:, start:stop])
+            window_labels.append(label_to_index[first])
+        start += cfg.step
+    if windows:
+        window_array = np.stack(windows, axis=0)
+        label_array = np.array(window_labels, dtype=int)
+    else:
+        window_array = np.zeros((0, data.shape[0], cfg.window_size))
+        label_array = np.zeros(0, dtype=int)
+    participant_ids = np.array([recording.participant_id] * len(windows), dtype=object)
+    return WindowDataset(
+        windows=window_array,
+        labels=label_array,
+        label_names=label_names,
+        participant_ids=participant_ids,
+        sampling_rate_hz=recording.sampling_rate_hz,
+    )
+
+
+def segment_cohort(
+    recordings: Dict[str, LabeledRecording],
+    config: Optional[WindowConfig] = None,
+) -> WindowDataset:
+    """Segment every participant's labelled recording and merge the results."""
+    datasets = [segment_recording(rec, config) for rec in recordings.values()]
+    datasets = [ds for ds in datasets if len(ds) > 0]
+    if not datasets:
+        raise ValueError("No windows could be extracted from the cohort")
+    return WindowDataset.merge(datasets)

@@ -1,0 +1,26 @@
+"""Embedded deployment substrate (paper §IV-A2 and Fig. 12).
+
+Models the NVIDIA Jetson Orin Nano class edge device analytically
+(FLOPs/bytes -> latency, memory, power) and measures the NumPy models'
+wall-clock latency, so the compression experiments can report the same
+latency/accuracy trade-offs the paper does without the physical board.
+"""
+
+from repro.deployment.edge_device import (
+    DeviceSpec,
+    EdgeDeviceModel,
+    JETSON_ORIN_NANO,
+    RTX_A6000,
+    DeploymentEstimate,
+)
+from repro.deployment.profiler import LatencyProfile, profile_classifier
+
+__all__ = [
+    "DeviceSpec",
+    "EdgeDeviceModel",
+    "JETSON_ORIN_NANO",
+    "RTX_A6000",
+    "DeploymentEstimate",
+    "LatencyProfile",
+    "profile_classifier",
+]

@@ -1,0 +1,61 @@
+"""Wall-clock and analytical profiling of classifiers for deployment reports."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.deployment.edge_device import DeploymentEstimate, EdgeDeviceModel
+from repro.models.base import EEGClassifier, NeuralEEGClassifier
+
+
+@dataclass
+class LatencyProfile:
+    """Measured and estimated inference characteristics of one model."""
+
+    model_family: str
+    parameters: int
+    effective_parameters: int
+    measured_latency_s: float
+    estimated: DeploymentEstimate
+
+    @property
+    def throughput_hz(self) -> float:
+        if self.measured_latency_s <= 0:
+            return float("inf")
+        return 1.0 / self.measured_latency_s
+
+
+def _effective_parameters(classifier: EEGClassifier) -> int:
+    """Non-zero parameter count when available, else the nominal count."""
+    if isinstance(classifier, NeuralEEGClassifier) and classifier.network is not None:
+        return int(sum(int((p.data != 0).sum()) for p in classifier.network.parameters()))
+    return classifier.parameter_count()
+
+
+def profile_classifier(
+    classifier: EEGClassifier,
+    example_windows: np.ndarray,
+    device: Optional[EdgeDeviceModel] = None,
+    bits_per_weight: int = 32,
+    repeats: int = 5,
+) -> LatencyProfile:
+    """Measure wall-clock latency and estimate edge-device behaviour."""
+    device = device or EdgeDeviceModel()
+    timings = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        classifier.predict_proba(example_windows)
+        timings.append(time.perf_counter() - start)
+    effective = _effective_parameters(classifier)
+    estimate = device.estimate(effective, bits_per_weight=bits_per_weight)
+    return LatencyProfile(
+        model_family=classifier.family,
+        parameters=classifier.parameter_count(),
+        effective_parameters=effective,
+        measured_latency_s=float(np.median(timings)),
+        estimated=estimate,
+    )

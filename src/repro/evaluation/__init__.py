@@ -1,0 +1,25 @@
+"""Evaluation: classification metrics, statistics and LOSO cross-validation."""
+
+from repro.evaluation.metrics import (
+    accuracy_score,
+    confidence_interval,
+    confusion_matrix,
+    mean_and_std,
+    paired_t_test,
+    per_class_accuracy,
+    variance_reduction,
+)
+from repro.evaluation.crossval import CrossValidationReport, FoldResult, run_loso_evaluation
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "mean_and_std",
+    "confidence_interval",
+    "paired_t_test",
+    "variance_reduction",
+    "CrossValidationReport",
+    "FoldResult",
+    "run_loso_evaluation",
+]

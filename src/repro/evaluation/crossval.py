@@ -1,0 +1,89 @@
+"""Leave-one-subject-out cross-validation runner (paper §III-D1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataset.splits import leave_one_subject_out
+from repro.dataset.windows import WindowDataset
+from repro.evaluation.metrics import confidence_interval, confusion_matrix, mean_and_std
+from repro.models.base import EEGClassifier
+
+#: A zero-argument factory producing a fresh, untrained classifier per fold.
+ClassifierFactory = Callable[[], EEGClassifier]
+
+
+@dataclass
+class FoldResult:
+    """Outcome of one LOSO fold."""
+
+    test_participant: str
+    test_accuracy: float
+    validation_accuracy: float
+    confusion: np.ndarray
+    parameters: int
+
+
+@dataclass
+class CrossValidationReport:
+    """Aggregated LOSO results for one model family/configuration."""
+
+    model_name: str
+    folds: List[FoldResult] = field(default_factory=list)
+
+    @property
+    def per_subject_accuracies(self) -> List[float]:
+        return [fold.test_accuracy for fold in self.folds]
+
+    @property
+    def mean_accuracy(self) -> float:
+        return mean_and_std(self.per_subject_accuracies)[0]
+
+    @property
+    def std_accuracy(self) -> float:
+        return mean_and_std(self.per_subject_accuracies)[1]
+
+    def confidence_interval(self, confidence: float = 0.91) -> Tuple[float, float]:
+        return confidence_interval(self.per_subject_accuracies, confidence)
+
+    def total_confusion(self) -> np.ndarray:
+        if not self.folds:
+            return np.zeros((0, 0), dtype=int)
+        return np.sum([fold.confusion for fold in self.folds], axis=0)
+
+
+def run_loso_evaluation(
+    factory: ClassifierFactory,
+    dataset: WindowDataset,
+    model_name: str = "model",
+    validation_fraction: float = 0.2,
+    max_folds: Optional[int] = None,
+    seed: int = 0,
+) -> CrossValidationReport:
+    """Train and test a fresh classifier on every leave-one-subject-out fold.
+
+    ``max_folds`` limits the number of folds evaluated (useful for the
+    reduced-scale benchmarks); the full evaluation uses every participant.
+    """
+    report = CrossValidationReport(model_name=model_name)
+    for index, fold in enumerate(leave_one_subject_out(dataset, validation_fraction, seed)):
+        if max_folds is not None and index >= max_folds:
+            break
+        classifier = factory()
+        history = classifier.fit(fold.train, fold.validation)
+        predictions = classifier.predict(fold.test.windows)
+        test_accuracy = float(np.mean(predictions == fold.test.labels)) if len(fold.test) else 0.0
+        confusion = confusion_matrix(predictions, fold.test.labels, fold.test.n_classes)
+        report.folds.append(
+            FoldResult(
+                test_participant=fold.test_participant,
+                test_accuracy=test_accuracy,
+                validation_accuracy=history.best_val_accuracy,
+                confusion=confusion,
+                parameters=classifier.parameter_count(),
+            )
+        )
+    return report

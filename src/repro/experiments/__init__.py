@@ -1,0 +1,38 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every module exposes a ``run(...)`` function that regenerates the data behind
+its table or figure (at a configurable scale) and a ``format_report(...)``
+helper that prints the same rows/series the paper reports.  The benchmark
+suite under ``benchmarks/`` calls these with reduced-scale parameters; the
+examples call them at larger scale.
+"""
+
+from repro.experiments import (
+    fig04_lsl_vs_udp,
+    fig05_filtering,
+    fig07_asr_pareto,
+    fig08_evolutionary,
+    fig09_pareto_front,
+    fig10_rf_search,
+    fig11_ensemble,
+    fig12_compression,
+    results_summary,
+    table1_conditions,
+    table2_comparison,
+    table3_search_space,
+)
+
+__all__ = [
+    "table1_conditions",
+    "table2_comparison",
+    "table3_search_space",
+    "fig04_lsl_vs_udp",
+    "fig05_filtering",
+    "fig07_asr_pareto",
+    "fig08_evolutionary",
+    "fig09_pareto_front",
+    "fig10_rf_search",
+    "fig11_ensemble",
+    "fig12_compression",
+    "results_summary",
+]

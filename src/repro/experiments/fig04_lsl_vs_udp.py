@@ -1,0 +1,59 @@
+"""Fig. 4: LSL vs UDP comparison for EEG streaming.
+
+Runs the same 16-channel, 125 Hz stream through the LSL-like and UDP-like
+transport models and scores both on the paper's radar axes (synchronisation,
+latency, reliability, jitter handling, bandwidth efficiency).  The expected
+shape: LSL wins every axis except bandwidth efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.acquisition.streaming import StreamMetrics, compare_transports
+
+
+@dataclass
+class Fig04Result:
+    """Raw metrics plus radar scores for both transports."""
+
+    metrics: Dict[str, StreamMetrics]
+    scores: Dict[str, Dict[str, float]]
+
+    def lsl_wins_everything_but_bandwidth(self) -> bool:
+        """The qualitative claim of Fig. 4."""
+        lsl, udp = self.scores["lsl"], self.scores["udp"]
+        non_bandwidth = [k for k in lsl if k != "bandwidth_efficiency"]
+        return (
+            all(lsl[k] >= udp[k] for k in non_bandwidth)
+            and udp["bandwidth_efficiency"] > lsl["bandwidth_efficiency"]
+        )
+
+
+def run(n_samples: int = 4000, seed: int = 0) -> Fig04Result:
+    """Regenerate the Fig. 4 comparison."""
+    metrics = compare_transports(n_samples=n_samples, seed=seed)
+    scores = {name: m.as_scores() for name, m in metrics.items()}
+    return Fig04Result(metrics=metrics, scores=scores)
+
+
+def format_report(result: Fig04Result = None) -> str:
+    """Render the comparison as the table behind the Fig. 4 radar chart."""
+    result = result if result is not None else run()
+    axes = list(next(iter(result.scores.values())))
+    lines = ["Factor | LSL score | UDP score  (0-10, higher is better)", "-" * 60]
+    for axis in axes:
+        lines.append(
+            f"{axis} | {result.scores['lsl'][axis]:.2f} | {result.scores['udp'][axis]:.2f}"
+        )
+    lsl, udp = result.metrics["lsl"], result.metrics["udp"]
+    lines.append("")
+    lines.append(
+        f"raw: sync error {lsl.sync_error_ms:.2f} vs {udp.sync_error_ms:.2f} ms, "
+        f"latency {lsl.mean_latency_ms:.2f} vs {udp.mean_latency_ms:.2f} ms, "
+        f"delivery {100 * lsl.delivery_ratio:.1f}% vs {100 * udp.delivery_ratio:.1f}%, "
+        f"jitter {lsl.jitter_ms:.2f} vs {udp.jitter_ms:.2f} ms, "
+        f"bandwidth efficiency {lsl.bandwidth_efficiency:.2f} vs {udp.bandwidth_efficiency:.2f}"
+    )
+    return "\n".join(lines)

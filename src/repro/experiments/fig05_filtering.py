@@ -1,0 +1,84 @@
+"""Fig. 5: original vs filtered EEG for a single channel.
+
+Generates a noisy synthetic EEG segment (drift, 50 Hz line noise, blinks) and
+runs the paper's Butterworth + notch + artifact-removal chain, reporting the
+quantities the figure illustrates: line-noise power, out-of-band power and
+SNR before and after filtering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.signals.filters import PreprocessingPipeline
+from repro.signals.montage import Montage
+from repro.signals.quality import line_noise_power, signal_to_noise_ratio
+from repro.signals.synthetic import ACTION_IDLE, ParticipantProfile, SyntheticEEGGenerator
+
+
+@dataclass
+class Fig05Result:
+    """Before/after signal-quality metrics for one channel."""
+
+    channel: str
+    duration_s: float
+    raw_line_noise_power: float
+    filtered_line_noise_power: float
+    raw_snr_db: float
+    filtered_snr_db: float
+    raw_segment: np.ndarray
+    filtered_segment: np.ndarray
+
+    @property
+    def line_noise_reduction(self) -> float:
+        """Factor by which 50 Hz power was reduced."""
+        if self.filtered_line_noise_power <= 0:
+            return float("inf")
+        return self.raw_line_noise_power / self.filtered_line_noise_power
+
+    @property
+    def snr_improvement_db(self) -> float:
+        return self.filtered_snr_db - self.raw_snr_db
+
+
+def run(duration_s: float = 8.0, channel: str = "C3", seed: int = 0) -> Fig05Result:
+    """Regenerate the Fig. 5 filtering comparison."""
+    profile = ParticipantProfile(participant_id="FIG5", seed=seed)
+    # Exaggerate line noise slightly so the 'before' trace matches the paper's
+    # visibly contaminated example.
+    profile.artifacts.line_noise_amplitude_uv = 10.0
+    generator = SyntheticEEGGenerator(profile, Montage())
+    raw = generator.generate(duration_s, ACTION_IDLE)
+    pipeline = PreprocessingPipeline()
+    filtered = pipeline.process(raw)
+    idx = generator.montage.index_of(channel)
+    fs = generator.sampling_rate_hz
+    return Fig05Result(
+        channel=channel,
+        duration_s=duration_s,
+        raw_line_noise_power=line_noise_power(raw[idx], 50.0, 1.0, fs),
+        filtered_line_noise_power=line_noise_power(filtered[idx], 50.0, 1.0, fs),
+        raw_snr_db=signal_to_noise_ratio(raw[idx], (0.5, 45.0), fs),
+        filtered_snr_db=signal_to_noise_ratio(filtered[idx], (0.5, 45.0), fs),
+        raw_segment=raw[idx],
+        filtered_segment=filtered[idx],
+    )
+
+
+def format_report(result: Fig05Result = None) -> str:
+    """Render the quantities behind Fig. 5."""
+    result = result if result is not None else run()
+    lines = [
+        f"Channel {result.channel}, {result.duration_s:.1f} s segment",
+        "Metric | Original | Filtered",
+        "-" * 50,
+        f"50 Hz line-noise power (uV^2) | {result.raw_line_noise_power:.2f} | "
+        f"{result.filtered_line_noise_power:.4f}",
+        f"SNR in 0.5-45 Hz band (dB) | {result.raw_snr_db:.2f} | {result.filtered_snr_db:.2f}",
+        f"line-noise reduction factor: {result.line_noise_reduction:.1f}x",
+        f"SNR improvement: {result.snr_improvement_db:+.2f} dB",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Fig. 8: evolutionary search over CNN, LSTM and Transformer configurations.
+
+Runs the evolutionary search separately for each gradient-trained family on
+the simulated cohort and reports every evaluated candidate (validation
+accuracy vs. parameter count) plus the per-family Pareto pick — the data the
+three panels of Fig. 8 plot.  Scale parameters keep the reduced run tractable;
+``model_scale=1.0`` with more generations reproduces the paper-scale study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.common import BENCH_SCALE, DatasetScale, train_validation
+from repro.search.evolution import (
+    EvaluatedCandidate,
+    EvolutionConfig,
+    EvolutionResult,
+    EvolutionarySearch,
+)
+from repro.search.pareto import ParetoPoint, select_best_model
+from repro.search.space import SearchSpace
+
+#: Families shown in the three panels of Fig. 8.
+FIG08_FAMILIES = ("cnn", "lstm", "transformer")
+
+
+@dataclass
+class Fig08Result:
+    """Per-family search history and selected configuration."""
+
+    per_family: Dict[str, EvolutionResult] = field(default_factory=dict)
+
+    def best_candidate(self, family: str) -> Optional[EvaluatedCandidate]:
+        result = self.per_family.get(family)
+        return result.best if result is not None else None
+
+    def scatter(self, family: str) -> List[EvaluatedCandidate]:
+        """All evaluated (accuracy, parameters) points for one panel."""
+        result = self.per_family.get(family)
+        return list(result.evaluated) if result is not None else []
+
+
+def run(
+    scale: DatasetScale = BENCH_SCALE,
+    population_size: int = 4,
+    generations: int = 2,
+    training_epochs: int = 2,
+    model_scale: float = 0.05,
+    seed: int = 0,
+) -> Fig08Result:
+    """Regenerate the Fig. 8 per-family search."""
+    train, validation = train_validation(scale, seed)
+    result = Fig08Result()
+    for family in FIG08_FAMILIES:
+        config = EvolutionConfig(
+            population_size=population_size,
+            generations=generations,
+            training_epochs=training_epochs,
+            model_scale=model_scale,
+            elitism=1,
+            accuracy_threshold=0.8,
+            seed=seed,
+        )
+        search = EvolutionarySearch(space=SearchSpace(families=(family,)), config=config)
+        result.per_family[family] = search.run(train, validation)
+    return result
+
+
+def format_report(result: Optional[Fig08Result] = None) -> str:
+    """Render the per-family selections behind Fig. 8."""
+    result = result if result is not None else run()
+    lines = [
+        "Family | candidates evaluated | best val. accuracy | best-model parameters | best-model genes",
+        "-" * 110,
+    ]
+    for family, search_result in result.per_family.items():
+        best = search_result.best
+        genes = dict(best.spec.genes) if best is not None else {}
+        lines.append(
+            f"{family} | {len(search_result.evaluated)} | "
+            f"{best.accuracy:.3f} | {best.parameters} | {genes}"
+            if best is not None
+            else f"{family} | {len(search_result.evaluated)} | - | - | -"
+        )
+    return "\n".join(lines)

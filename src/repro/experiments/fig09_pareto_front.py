@@ -1,0 +1,103 @@
+"""Fig. 9: combined Pareto front of accuracy vs parameter count.
+
+Pools every candidate evaluated by the Fig. 8 searches, adds Random-Forest
+configurations (whose size objective is the total tree-node count), extracts
+the global Pareto front and applies the paper's best-model rule.  The
+expected shape: CNN configurations dominate the high-accuracy/low-parameter
+corner of the front, as the paper observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments import fig08_evolutionary
+from repro.experiments.common import BENCH_SCALE, DatasetScale, train_validation
+from repro.models.random_forest import RandomForestClassifier, RandomForestConfig
+from repro.search.pareto import ParetoPoint, pareto_front, select_best_model
+
+
+@dataclass
+class Fig09Point:
+    """One model on the combined accuracy/parameter plane."""
+
+    family: str
+    accuracy: float
+    parameters: int
+    description: Dict[str, object] = field(default_factory=dict)
+    on_front: bool = False
+
+
+@dataclass
+class Fig09Result:
+    points: List[Fig09Point]
+    front: List[Fig09Point]
+    best: Optional[Fig09Point]
+
+    def families_on_front(self) -> List[str]:
+        return sorted({p.family for p in self.front})
+
+
+def run(
+    scale: DatasetScale = BENCH_SCALE,
+    fig08_result: Optional[fig08_evolutionary.Fig08Result] = None,
+    rf_estimator_counts: Tuple[int, ...] = (5, 15),
+    accuracy_threshold: float = 0.8,
+    seed: int = 0,
+) -> Fig09Result:
+    """Regenerate the combined Pareto front of Fig. 9."""
+    if fig08_result is None:
+        fig08_result = fig08_evolutionary.run(scale=scale, seed=seed)
+    points: List[Fig09Point] = []
+    for family, search_result in fig08_result.per_family.items():
+        for candidate in search_result.evaluated:
+            points.append(
+                Fig09Point(
+                    family=family,
+                    accuracy=candidate.accuracy,
+                    parameters=candidate.parameters,
+                    description=dict(candidate.spec.genes),
+                )
+            )
+    train, validation = train_validation(scale, seed)
+    for n_estimators in rf_estimator_counts:
+        model = RandomForestClassifier(
+            RandomForestConfig(n_estimators=n_estimators, max_depth=10), seed=seed
+        )
+        model.fit(train, validation)
+        points.append(
+            Fig09Point(
+                family="rf",
+                accuracy=model.evaluate(validation),
+                parameters=model.parameter_count(),
+                description={"n_estimators": n_estimators, "max_depth": 10},
+            )
+        )
+    pareto_points = [ParetoPoint(p.accuracy, p.parameters, payload=p) for p in points]
+    front_payloads = [p.payload for p in pareto_front(pareto_points)]
+    for p in points:
+        p.on_front = p in front_payloads
+    best_point = select_best_model(pareto_points, accuracy_threshold)
+    best = best_point.payload if best_point is not None else None
+    return Fig09Result(points=points, front=front_payloads, best=best)
+
+
+def format_report(result: Optional[Fig09Result] = None) -> str:
+    """Render the Fig. 9 front and selection."""
+    result = result if result is not None else run()
+    lines = [
+        "Family | val. accuracy | parameters | on Pareto front",
+        "-" * 60,
+    ]
+    for p in sorted(result.points, key=lambda q: q.parameters):
+        lines.append(
+            f"{p.family} | {p.accuracy:.3f} | {p.parameters} | {'yes' if p.on_front else 'no'}"
+        )
+    if result.best is not None:
+        lines.append("")
+        lines.append(
+            f"best model rule selects: {result.best.family} "
+            f"({result.best.accuracy:.3f} accuracy, {result.best.parameters} parameters)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Fig. 11: ensemble comparison — inference time vs accuracy.
+
+Trains the four per-family reference models, forms every two-member ensemble
+(as the paper does with its per-family Pareto picks), and measures validation
+accuracy and per-window inference latency for members and ensembles alike.
+The expected shape: the CNN+Transformer pair offers the best balance of quick
+response and high accuracy, which is the configuration the paper deploys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.experiments.common import BENCH_SCALE, DatasetScale, small_reference_models, train_validation
+from repro.models.ensemble import EnsembleClassifier, all_pairs
+
+
+@dataclass
+class EnsemblePoint:
+    """One model or ensemble on the Fig. 11 plane."""
+
+    name: str
+    members: List[str]
+    accuracy: float
+    latency_s: float
+    parameters: int
+
+
+@dataclass
+class Fig11Result:
+    singles: List[EnsemblePoint]
+    ensembles: List[EnsemblePoint]
+    best_ensemble: EnsemblePoint
+
+    def point(self, name: str) -> EnsemblePoint:
+        for p in self.singles + self.ensembles:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+
+def run(
+    scale: DatasetScale = BENCH_SCALE,
+    epochs: int = 3,
+    latency_repeats: int = 3,
+    seed: int = 0,
+) -> Fig11Result:
+    """Regenerate the Fig. 11 comparison at reduced scale."""
+    train, validation = train_validation(scale, seed)
+    models = small_reference_models(epochs=epochs, seed=seed)
+    probe = validation.windows[: min(8, len(validation))]
+    singles: List[EnsemblePoint] = []
+    for name, model in models.items():
+        model.fit(train, validation)
+        singles.append(
+            EnsemblePoint(
+                name=name,
+                members=[name],
+                accuracy=model.evaluate(validation),
+                latency_s=model.inference_latency_s(probe, repeats=latency_repeats),
+                parameters=model.parameter_count(),
+            )
+        )
+    ensembles: List[EnsemblePoint] = []
+    for pair_name, ensemble in all_pairs(models):
+        # Members are already fitted; the ensemble just combines them.
+        ensembles.append(
+            EnsemblePoint(
+                name=pair_name,
+                members=[m.family for m in ensemble.members],
+                accuracy=ensemble.evaluate(validation),
+                latency_s=ensemble.inference_latency_s(probe, repeats=latency_repeats),
+                parameters=ensemble.parameter_count(),
+            )
+        )
+    best = _best_tradeoff(ensembles)
+    return Fig11Result(singles=singles, ensembles=ensembles, best_ensemble=best)
+
+
+def _best_tradeoff(points: List[EnsemblePoint]) -> EnsemblePoint:
+    """The paper's Fig. 11 selection: highest accuracy, ties broken by latency."""
+    best_accuracy = max(p.accuracy for p in points)
+    contenders = [p for p in points if p.accuracy >= best_accuracy - 0.02]
+    return min(contenders, key=lambda p: p.latency_s)
+
+
+def format_report(result: Optional[Fig11Result] = None) -> str:
+    """Render the Fig. 11 points."""
+    result = result if result is not None else run()
+    lines = [
+        "Model / ensemble | val. accuracy | inference time (s) | parameters",
+        "-" * 75,
+    ]
+    for p in result.singles + result.ensembles:
+        marker = "  <= best ensemble" if p.name == result.best_ensemble.name else ""
+        lines.append(
+            f"{p.name} | {p.accuracy:.3f} | {p.latency_s:.4f} | {p.parameters}{marker}"
+        )
+    return "\n".join(lines)

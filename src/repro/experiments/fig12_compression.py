@@ -1,0 +1,135 @@
+"""Fig. 12: test accuracy vs inference time under pruning and quantization.
+
+Starting from a trained CNN (the compressible half of the paper's deployed
+CNN+Transformer ensemble), sweeps the paper's pruning ratios (0/30/50/70/90 %)
+and applies 8-bit post-training quantization, measuring accuracy on held-out
+data together with measured latency and the edge-device latency estimate.
+
+Expected shape (paper §V-A): the 70 % pruned model keeps essentially the
+uncompressed accuracy while running faster, whereas 8-bit (naive, global-scale)
+quantization is the fastest configuration but loses far too much accuracy for
+a safety-critical prosthetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.compression.pruning import PAPER_PRUNING_LEVELS, effective_parameter_count, prune_classifier
+from repro.compression.quantization import quantize_classifier
+from repro.deployment.edge_device import EdgeDeviceModel
+from repro.experiments.common import (
+    BENCH_SCALE,
+    DatasetScale,
+    small_reference_models,
+    train_validation,
+)
+from repro.models.base import NeuralEEGClassifier
+from repro.search.pareto import ParetoPoint, pareto_front
+
+
+@dataclass
+class CompressionPoint:
+    """One compression configuration on the Fig. 12 plane."""
+
+    label: str
+    kind: str  # "baseline", "pruned" or "quantized"
+    accuracy: float
+    measured_latency_s: float
+    estimated_latency_s: float
+    effective_parameters: int
+    on_front: bool = False
+
+
+@dataclass
+class Fig12Result:
+    points: List[CompressionPoint]
+    baseline: CompressionPoint
+    selected: CompressionPoint
+    quantized: CompressionPoint
+
+    def point(self, label: str) -> CompressionPoint:
+        for p in self.points:
+            if p.label == label:
+                return p
+        raise KeyError(label)
+
+
+def run(
+    scale: DatasetScale = BENCH_SCALE,
+    epochs: int = 4,
+    pruning_levels=PAPER_PRUNING_LEVELS,
+    quantization_bits: int = 8,
+    classifier: Optional[NeuralEEGClassifier] = None,
+    seed: int = 0,
+) -> Fig12Result:
+    """Regenerate the Fig. 12 compression sweep."""
+    train, validation = train_validation(scale, seed)
+    if classifier is None:
+        classifier = small_reference_models(epochs=epochs, seed=seed)["cnn"]
+        classifier.fit(train, validation)
+    device = EdgeDeviceModel()
+    probe = validation.windows[: min(8, len(validation))]
+
+    def make_point(label: str, kind: str, model: NeuralEEGClassifier,
+                   bits: int = 32) -> CompressionPoint:
+        effective = effective_parameter_count(model)
+        return CompressionPoint(
+            label=label,
+            kind=kind,
+            accuracy=model.evaluate(validation),
+            measured_latency_s=model.inference_latency_s(probe, repeats=3),
+            estimated_latency_s=device.estimate(effective, bits_per_weight=bits).latency_s,
+            effective_parameters=effective,
+        )
+
+    points: List[CompressionPoint] = []
+    baseline = make_point("pruning 0%", "baseline", classifier)
+    points.append(baseline)
+    selected = baseline
+    for ratio in pruning_levels:
+        if ratio == 0.0:
+            continue
+        pruned, _ = prune_classifier(classifier, ratio)
+        point = make_point(f"pruning {int(ratio * 100)}%", "pruned", pruned)
+        points.append(point)
+        if ratio == 0.7:
+            selected = point
+    quantized_model, _ = quantize_classifier(
+        classifier, bits=quantization_bits, scheme="global"
+    )
+    quantized = make_point(f"{quantization_bits}-bit quantization", "quantized",
+                           quantized_model, bits=quantization_bits)
+    points.append(quantized)
+    front_payloads = [
+        p.payload
+        for p in pareto_front(
+            [ParetoPoint(pt.accuracy, int(pt.estimated_latency_s * 1e6), payload=pt)
+             for pt in points]
+        )
+    ]
+    for pt in points:
+        pt.on_front = pt in front_payloads
+    return Fig12Result(points=points, baseline=baseline, selected=selected,
+                       quantized=quantized)
+
+
+def format_report(result: Optional[Fig12Result] = None) -> str:
+    """Render the Fig. 12 sweep."""
+    result = result if result is not None else run()
+    lines = [
+        "Configuration | test accuracy | measured latency (s) | estimated edge latency (s) | "
+        "effective params | Pareto",
+        "-" * 110,
+    ]
+    for p in result.points:
+        marker = ""
+        if p.label == result.selected.label:
+            marker = "  <= selected (70% pruning)"
+        lines.append(
+            f"{p.label} | {p.accuracy:.3f} | {p.measured_latency_s:.4f} | "
+            f"{p.estimated_latency_s:.4f} | {p.effective_parameters} | "
+            f"{'yes' if p.on_front else 'no'}{marker}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Table I: EMG vs EEG applicability per clinical condition.
+
+Table I of the paper is a qualitative domain table motivating EEG control for
+conditions where surface EMG fails.  The reproduction encodes the same rows
+as structured data (so downstream tooling, e.g. the README generator and the
+benchmark that prints the table, has a single source of truth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class ConditionRow:
+    """One row of Table I."""
+
+    condition: str
+    impact_on_emg: str
+    eeg_as_solution: str
+
+
+TABLE1_ROWS: List[ConditionRow] = [
+    ConditionRow(
+        "ALS",
+        "Muscle atrophy limits residual EMG signals",
+        "EEG-based BCI can interpret brain signals directly",
+    ),
+    ConditionRow(
+        "Spinal Cord Injury",
+        "Loss of voluntary muscle control below the injury",
+        "EEG can bypass muscle control pathways",
+    ),
+    ConditionRow(
+        "Brainstem Stroke",
+        "Severe loss of motor control, leading to locked-in syndrome",
+        "EEG can control assistive devices using brain signals",
+    ),
+    ConditionRow(
+        "Multiple Sclerosis",
+        "Muscle spasticity and weakness reduce EMG effectiveness",
+        "EEG can offer more reliable control options",
+    ),
+    ConditionRow(
+        "Muscular Dystrophies",
+        "Progressive muscle degeneration limits EMG utility",
+        "EEG allows control through brain signals",
+    ),
+]
+
+
+def run() -> List[ConditionRow]:
+    """Return the rows of Table I."""
+    return list(TABLE1_ROWS)
+
+
+def format_report(rows: List[ConditionRow] = None) -> str:
+    """Render Table I in the paper's three-column layout."""
+    rows = rows if rows is not None else run()
+    lines = ["Condition | Impact on EMG Use | EEG as a Solution", "-" * 80]
+    for row in rows:
+        lines.append(f"{row.condition} | {row.impact_on_emg} | {row.eeg_as_solution}")
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Table III: hyper-parameters and model architectures in the search space."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.search.space import search_space_table
+
+
+def run() -> List[Dict[str, Any]]:
+    """Return Table III as structured rows (one per model family)."""
+    return search_space_table()
+
+
+def format_report(rows: List[Dict[str, Any]] = None) -> str:
+    """Render Table III in the paper's layout."""
+    rows = rows if rows is not None else run()
+    lines = [
+        "Model | Architecture | Hyperparameters Tested | Optimizers",
+        "-" * 100,
+    ]
+    for row in rows:
+        hyper = ", ".join(
+            f"{name}={list(values)}" for name, values in sorted(row["hyperparameters"].items())
+        )
+        optimizers = ", ".join(str(o) for o in row["optimizers"])
+        lines.append(f"{row['model']} | {row['architecture']} | {hyper} | {optimizers}")
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Persistence helpers: datasets and trained-model weights on disk.
+
+The paper's workflow trains on a workstation and deploys on the Jetson; this
+package provides the hand-off artefacts for the reproduction — window datasets
+saved as ``.npz`` archives and neural-classifier weights saved as
+``state .npz`` + JSON metadata — so expensive simulation/training runs can be
+reused across the examples and benchmarks.
+"""
+
+from repro.io.storage import (
+    load_model_state,
+    load_window_dataset,
+    save_model_state,
+    save_window_dataset,
+)
+
+__all__ = [
+    "save_window_dataset",
+    "load_window_dataset",
+    "save_model_state",
+    "load_model_state",
+]

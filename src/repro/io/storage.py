@@ -1,0 +1,120 @@
+"""Save/load window datasets and neural-model weights."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.dataset.windows import WindowDataset
+from repro.models.base import NeuralEEGClassifier
+
+PathLike = Union[str, Path]
+
+
+def save_window_dataset(dataset: WindowDataset, path: PathLike) -> Path:
+    """Write a :class:`WindowDataset` to a compressed ``.npz`` archive."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        windows=dataset.windows,
+        labels=dataset.labels,
+        label_names=np.array(dataset.label_names, dtype=object),
+        participant_ids=dataset.participant_ids,
+        sampling_rate_hz=np.array([dataset.sampling_rate_hz]),
+    )
+    return path
+
+
+def load_window_dataset(path: PathLike) -> WindowDataset:
+    """Load a dataset previously written by :func:`save_window_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"No dataset archive at {path}")
+    with np.load(path, allow_pickle=True) as archive:
+        required = {"windows", "labels", "label_names", "participant_ids", "sampling_rate_hz"}
+        missing = required - set(archive.files)
+        if missing:
+            raise ValueError(f"Dataset archive is missing arrays: {sorted(missing)}")
+        return WindowDataset(
+            windows=archive["windows"],
+            labels=archive["labels"].astype(int),
+            label_names=tuple(archive["label_names"].tolist()),
+            participant_ids=archive["participant_ids"],
+            sampling_rate_hz=float(archive["sampling_rate_hz"][0]),
+        )
+
+
+def save_model_state(
+    classifier: NeuralEEGClassifier,
+    path: PathLike,
+    metadata: Optional[Dict[str, object]] = None,
+) -> Tuple[Path, Path]:
+    """Save a fitted neural classifier's weights plus a JSON metadata sidecar.
+
+    Returns ``(weights_path, metadata_path)``.  Only the parameter values are
+    stored; the caller is responsible for reconstructing a classifier with the
+    same architecture before calling :func:`load_model_state` (the metadata
+    records ``describe()`` output to make that reproducible).
+    """
+    if classifier.network is None:
+        raise ValueError("Classifier must be fitted/built before saving")
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = classifier.network.state_dict()
+    np.savez_compressed(path, **state)
+    meta = {
+        "family": classifier.family,
+        "n_classes": classifier.n_classes,
+        "parameter_count": classifier.parameter_count(),
+        "description": _jsonable(classifier.describe()),
+    }
+    if metadata:
+        meta.update(_jsonable(metadata))
+    metadata_path = path.with_suffix(".json")
+    metadata_path.write_text(json.dumps(meta, indent=2, sort_keys=True))
+    return path, metadata_path
+
+
+def load_model_state(classifier: NeuralEEGClassifier, path: PathLike) -> NeuralEEGClassifier:
+    """Load weights saved by :func:`save_model_state` into ``classifier``.
+
+    The classifier must already have its network built with the same
+    architecture (same shapes); a mismatch raises ``KeyError``/``ValueError``
+    from ``load_state_dict``.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    if not path.exists():
+        raise FileNotFoundError(f"No model archive at {path}")
+    if classifier.network is None:
+        raise ValueError(
+            "Build the classifier network (ensure_network or fit) before loading weights"
+        )
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    classifier.network.load_state_dict(state)
+    return classifier
+
+
+def _jsonable(value):
+    """Recursively convert NumPy scalars/arrays and tuples to JSON-safe types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value

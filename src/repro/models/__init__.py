@@ -1,0 +1,46 @@
+"""EEG classifier zoo: CNN, LSTM, Transformer, Random Forest and ensembles.
+
+These are the model families the paper evaluates individually and in
+ensemble configurations (paper §III-C1, Figs. 8-11).  All classifiers share
+the :class:`EEGClassifier` interface so the evolutionary search, compression
+stage and real-time pipeline can treat them interchangeably.
+"""
+
+from repro.models.base import (
+    EEGClassifier,
+    NeuralEEGClassifier,
+    TrainingConfig,
+    TrainingHistory,
+    normalize_windows,
+)
+from repro.models.cnn import CNNConfig, EEGCNN
+from repro.models.lstm_model import EEGLSTM, LSTMConfig
+from repro.models.transformer_model import EEGTransformer, TransformerConfig
+from repro.models.random_forest import (
+    DecisionTreeClassifier,
+    RandomForestClassifier,
+    RandomForestConfig,
+)
+from repro.models.features import STATISTICAL_FEATURES, extract_features
+from repro.models.ensemble import EnsembleClassifier, all_pairs
+
+__all__ = [
+    "EEGClassifier",
+    "NeuralEEGClassifier",
+    "TrainingConfig",
+    "TrainingHistory",
+    "normalize_windows",
+    "CNNConfig",
+    "EEGCNN",
+    "LSTMConfig",
+    "EEGLSTM",
+    "TransformerConfig",
+    "EEGTransformer",
+    "RandomForestConfig",
+    "RandomForestClassifier",
+    "DecisionTreeClassifier",
+    "STATISTICAL_FEATURES",
+    "extract_features",
+    "EnsembleClassifier",
+    "all_pairs",
+]

@@ -1,0 +1,251 @@
+"""Common classifier interface and the shared neural-network training loop.
+
+Every model family in the paper — CNN, LSTM, Transformer, Random Forest and
+their ensembles — is exposed behind the same small interface so that the
+evolutionary search (accuracy vs. parameter count), the compression stage
+(pruning/quantization) and the real-time pipeline can drive any of them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataset.windows import WindowDataset
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.losses import cross_entropy
+from repro.nn.module import Module
+from repro.nn.optimizers import build_optimizer
+
+
+def normalize_windows(windows: np.ndarray) -> np.ndarray:
+    """Standardise each window with a single mean/std over all channels.
+
+    The paper normalises EEG per participant (mean/std of each participant's
+    readings); at inference time the pipeline sees a single window at a time,
+    so per-window standardisation is the streaming-compatible equivalent and
+    removes inter-session amplitude drift.  The statistics are deliberately
+    *shared across channels*: the discriminative information of motor imagery
+    is the relative mu/beta power between C3 and C4 (ERD lateralisation), and
+    normalising each channel independently would erase exactly that
+    between-channel amplitude contrast.
+    """
+    arr = np.asarray(windows, dtype=np.float64)
+    if arr.ndim != 3:
+        raise ValueError("windows must have shape (n_windows, n_channels, n_samples)")
+    mean = arr.mean(axis=(1, 2), keepdims=True)
+    std = arr.std(axis=(1, 2), keepdims=True)
+    std = np.where(std < 1e-12, 1.0, std)
+    return (arr - mean) / std
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of the gradient-based training loop."""
+
+    epochs: int = 15
+    batch_size: int = 32
+    learning_rate: float = 1e-3
+    optimizer: str = "adam"
+    weight_decay: float = 0.0
+    #: Stop early if validation accuracy has not improved for this many epochs.
+    patience: int = 5
+    shuffle_seed: int = 0
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training curves (used for overfitting analysis, §III-D3)."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def best_val_accuracy(self) -> float:
+        return max(self.val_accuracy) if self.val_accuracy else 0.0
+
+    def diverged(self, tolerance: float = 0.2) -> bool:
+        """Heuristic overfitting flag: validation loss rising while train falls."""
+        if len(self.val_loss) < 3:
+            return False
+        recent = self.val_loss[-3:]
+        return recent[-1] > min(self.val_loss) * (1.0 + tolerance)
+
+
+class EEGClassifier:
+    """Abstract interface every EEG action classifier implements."""
+
+    #: Human-readable family name ("cnn", "lstm", "transformer", "rf", ...).
+    family: str = "base"
+
+    def fit(
+        self,
+        train: WindowDataset,
+        validation: Optional[WindowDataset] = None,
+    ) -> TrainingHistory:
+        raise NotImplementedError
+
+    def predict_proba(self, windows: np.ndarray) -> np.ndarray:
+        """Class probabilities for raw windows ``(n, channels, samples)``."""
+        raise NotImplementedError
+
+    def predict(self, windows: np.ndarray) -> np.ndarray:
+        """Predicted class indices."""
+        return np.argmax(self.predict_proba(windows), axis=1)
+
+    def evaluate(self, dataset: WindowDataset) -> float:
+        """Classification accuracy on a window dataset."""
+        if len(dataset) == 0:
+            return 0.0
+        predictions = self.predict(dataset.windows)
+        return float(np.mean(predictions == dataset.labels))
+
+    def parameter_count(self) -> int:
+        """Model size objective used by the evolutionary search."""
+        raise NotImplementedError
+
+    def inference_latency_s(self, windows: np.ndarray, repeats: int = 3) -> float:
+        """Median wall-clock latency of one ``predict_proba`` call."""
+        timings = []
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            self.predict_proba(windows)
+            timings.append(time.perf_counter() - start)
+        return float(np.median(timings))
+
+    def describe(self) -> Dict[str, object]:
+        """Short description used in experiment reports."""
+        return {"family": self.family, "parameters": self.parameter_count()}
+
+
+class NeuralEEGClassifier(EEGClassifier):
+    """Shared training/inference machinery for the gradient-trained models.
+
+    Subclasses provide :meth:`build_network` returning a :class:`Module` whose
+    forward maps a prepared input tensor to logits, plus
+    :meth:`prepare_input` converting raw windows into that tensor layout.
+    """
+
+    def __init__(
+        self,
+        n_classes: int = 3,
+        training: Optional[TrainingConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        if n_classes < 2:
+            raise ValueError("n_classes must be at least 2")
+        self.n_classes = n_classes
+        self.training_config = training or TrainingConfig()
+        self.seed = seed
+        self.network: Optional[Module] = None
+        self.history = TrainingHistory()
+        self._fitted = False
+
+    # -- subclass hooks -------------------------------------------------- #
+    def build_network(self, n_channels: int, window_size: int) -> Module:
+        raise NotImplementedError
+
+    def prepare_input(self, windows: np.ndarray) -> Tensor:
+        raise NotImplementedError
+
+    # -- training -------------------------------------------------------- #
+    def ensure_network(self, n_channels: int, window_size: int) -> Module:
+        """Build the network lazily on first use."""
+        if self.network is None:
+            self.network = self.build_network(n_channels, window_size)
+        return self.network
+
+    def fit(
+        self,
+        train: WindowDataset,
+        validation: Optional[WindowDataset] = None,
+    ) -> TrainingHistory:
+        if len(train) == 0:
+            raise ValueError("Cannot fit on an empty dataset")
+        cfg = self.training_config
+        network = self.ensure_network(train.n_channels, train.window_size)
+        optimizer = build_optimizer(
+            cfg.optimizer,
+            network.parameters(),
+            lr=cfg.learning_rate,
+            weight_decay=cfg.weight_decay,
+        )
+        history = TrainingHistory()
+        rng = np.random.default_rng(cfg.shuffle_seed)
+        best_val = -np.inf
+        best_state = None
+        epochs_without_improvement = 0
+        windows = normalize_windows(train.windows)
+        labels = train.labels
+        for _ in range(cfg.epochs):
+            network.train()
+            order = rng.permutation(len(train))
+            epoch_losses = []
+            epoch_correct = 0
+            for start in range(0, len(order), cfg.batch_size):
+                batch_idx = order[start : start + cfg.batch_size]
+                batch_x = self.prepare_input(windows[batch_idx])
+                batch_y = labels[batch_idx]
+                optimizer.zero_grad()
+                logits = network(batch_x)
+                loss = cross_entropy(logits, batch_y)
+                loss.backward()
+                optimizer.step()
+                epoch_losses.append(loss.item())
+                epoch_correct += int(
+                    (np.argmax(logits.data, axis=1) == batch_y).sum()
+                )
+            history.train_loss.append(float(np.mean(epoch_losses)))
+            history.train_accuracy.append(epoch_correct / len(train))
+            if validation is not None and len(validation) > 0:
+                val_loss, val_acc = self._evaluate_loss(validation)
+                history.val_loss.append(val_loss)
+                history.val_accuracy.append(val_acc)
+                if val_acc > best_val:
+                    best_val = val_acc
+                    best_state = network.state_dict()
+                    epochs_without_improvement = 0
+                else:
+                    epochs_without_improvement += 1
+                    if epochs_without_improvement >= cfg.patience:
+                        break
+        if best_state is not None:
+            network.load_state_dict(best_state)
+        self.history = history
+        self._fitted = True
+        return history
+
+    def _evaluate_loss(self, dataset: WindowDataset) -> Tuple[float, float]:
+        network = self.network
+        assert network is not None
+        network.eval()
+        windows = normalize_windows(dataset.windows)
+        with no_grad():
+            logits = network(self.prepare_input(windows))
+            loss = cross_entropy(logits, dataset.labels)
+        predictions = np.argmax(logits.data, axis=1)
+        return loss.item(), float(np.mean(predictions == dataset.labels))
+
+    # -- inference ------------------------------------------------------- #
+    def predict_proba(self, windows: np.ndarray) -> np.ndarray:
+        if self.network is None:
+            raise RuntimeError("Model has not been fitted or built yet")
+        self.network.eval()
+        arr = np.asarray(windows, dtype=np.float64)
+        if arr.ndim == 2:
+            arr = arr[None, ...]
+        normalized = normalize_windows(arr)
+        with no_grad():
+            logits = self.network(self.prepare_input(normalized))
+            probs = logits.softmax(axis=-1)
+        return probs.data
+
+    def parameter_count(self) -> int:
+        if self.network is None:
+            raise RuntimeError("Model has not been built yet")
+        return self.network.parameter_count()

@@ -1,0 +1,141 @@
+"""Convolutional EEG classifier.
+
+The paper's Pareto-optimal CNN (Figs. 8-9) is a single convolutional layer
+with 32 output filters, a 5x5 kernel and stride 2 over the (electrode x time)
+window, followed by a classification head; the search space also covers 2-4
+convolutional layers, 3x3/5x5 kernels, max/average pooling and strides 1-2
+(Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.models.base import NeuralEEGClassifier, TrainingConfig
+from repro.nn.autograd import Tensor
+from repro.nn.layers import AvgPool2d, Conv2d, Dense, Dropout, Flatten, MaxPool2d, ReLU
+from repro.nn.module import Module, Sequential
+
+
+@dataclass
+class CNNConfig:
+    """Architecture hyper-parameters of :class:`EEGCNN`."""
+
+    n_conv_layers: int = 1
+    filters: Tuple[int, ...] = (32,)
+    kernel_size: int = 5
+    stride: int = 2
+    pooling: str = "none"  # "max", "avg" or "none"
+    dropout: float = 0.2
+    hidden_units: int = 64
+    #: Input representation fed to the convolution.  ``"raw"`` uses the
+    #: sample-level (electrodes x time) window; ``"envelope"`` first collapses
+    #: non-overlapping ``envelope_pool``-sample blocks to their RMS value,
+    #: giving a band-power-envelope image whose C3/C4 asymmetry carries the
+    #: motor-imagery signature — the representation the reduced-scale
+    #: reproduction trains on (see DESIGN.md).
+    input_representation: str = "envelope"
+    envelope_pool: int = 5
+
+    def __post_init__(self) -> None:
+        if self.n_conv_layers < 1:
+            raise ValueError("n_conv_layers must be at least 1")
+        if len(self.filters) < self.n_conv_layers:
+            raise ValueError("filters must provide one entry per conv layer")
+        if self.pooling not in {"max", "avg", "none"}:
+            raise ValueError("pooling must be 'max', 'avg' or 'none'")
+        if self.kernel_size not in {3, 5}:
+            raise ValueError("kernel_size must be 3 or 5 (paper search space)")
+        if self.stride not in {1, 2}:
+            raise ValueError("stride must be 1 or 2 (paper search space)")
+        if self.input_representation not in {"raw", "envelope"}:
+            raise ValueError("input_representation must be 'raw' or 'envelope'")
+        if self.envelope_pool < 1:
+            raise ValueError("envelope_pool must be at least 1")
+
+
+class _CNNNetwork(Module):
+    """The actual conv stack; built for a known input geometry."""
+
+    def __init__(self, config: CNNConfig, n_channels: int, window_size: int,
+                 n_classes: int, seed: int) -> None:
+        super().__init__()
+        layers: List[Module] = []
+        in_ch = 1
+        height, width = n_channels, window_size
+        for layer_idx in range(config.n_conv_layers):
+            out_ch = config.filters[layer_idx]
+            kh = min(config.kernel_size, height)
+            kw = min(config.kernel_size, width)
+            conv = Conv2d(
+                in_ch,
+                out_ch,
+                kernel_size=(kh, kw),
+                stride=config.stride,
+                seed=seed + layer_idx,
+            )
+            height, width = conv.output_shape(height, width)
+            layers.append(conv)
+            layers.append(ReLU())
+            if config.pooling != "none" and height >= 2 and width >= 2:
+                pool_cls = MaxPool2d if config.pooling == "max" else AvgPool2d
+                layers.append(pool_cls(2))
+                height, width = height // 2, width // 2
+            in_ch = out_ch
+        layers.append(Flatten())
+        flat = in_ch * height * width
+        layers.append(Dropout(config.dropout, seed=seed + 100))
+        layers.append(Dense(flat, config.hidden_units, seed=seed + 101, activation="relu"))
+        layers.append(Dense(config.hidden_units, n_classes, seed=seed + 102))
+        self.body = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.body(x)
+
+
+class EEGCNN(NeuralEEGClassifier):
+    """CNN classifier over (electrode x time) EEG windows."""
+
+    family = "cnn"
+
+    def __init__(
+        self,
+        config: Optional[CNNConfig] = None,
+        n_classes: int = 3,
+        training: Optional[TrainingConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(n_classes=n_classes, training=training, seed=seed)
+        self.config = config or CNNConfig()
+
+    def build_network(self, n_channels: int, window_size: int) -> Module:
+        effective_width = window_size
+        if self.config.input_representation == "envelope" and self.config.envelope_pool > 1:
+            effective_width = max(1, window_size // self.config.envelope_pool)
+        return _CNNNetwork(self.config, n_channels, effective_width, self.n_classes, self.seed)
+
+    def prepare_input(self, windows: np.ndarray) -> Tensor:
+        # Treat the EEG window as a single-channel image: (batch, 1, electrodes, time).
+        arr = np.asarray(windows, dtype=np.float64)
+        cfg = self.config
+        if cfg.input_representation == "envelope" and cfg.envelope_pool > 1:
+            n_steps = arr.shape[2] // cfg.envelope_pool
+            arr = arr[:, :, : n_steps * cfg.envelope_pool]
+            blocks = arr.reshape(arr.shape[0], arr.shape[1], n_steps, cfg.envelope_pool)
+            arr = np.sqrt((blocks**2).mean(axis=3))
+        return Tensor(arr[:, None, :, :])
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update(
+            {
+                "n_conv_layers": self.config.n_conv_layers,
+                "filters": self.config.filters[: self.config.n_conv_layers],
+                "kernel_size": self.config.kernel_size,
+                "stride": self.config.stride,
+            }
+        )
+        return info

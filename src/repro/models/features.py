@@ -1,0 +1,72 @@
+"""Statistical feature extraction for the Random Forest classifier.
+
+Table III of the paper lists the Random Forest's feature set as the
+per-channel mean, standard deviation, minimum, maximum and variance of each
+window; we add the band powers of the canonical EEG bands over the motor
+channels as an optional extension (they carry the ERD signal directly).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.signals.quality import EEG_BANDS, band_power
+
+#: The five statistics named in Table III.
+STATISTICAL_FEATURES: Tuple[str, ...] = ("mean", "std", "min", "max", "var")
+
+
+def extract_features(
+    windows: np.ndarray,
+    include_band_power: bool = True,
+    sampling_rate_hz: float = 125.0,
+) -> np.ndarray:
+    """Convert windows ``(n, channels, samples)`` into a feature matrix.
+
+    Returns an array of shape ``(n, n_features)`` where the feature vector
+    per window is the concatenation of the five per-channel statistics and,
+    if requested, the per-channel power of each canonical EEG band.
+    """
+    arr = np.asarray(windows, dtype=np.float64)
+    if arr.ndim == 2:
+        arr = arr[None, ...]
+    if arr.ndim != 3:
+        raise ValueError("windows must have shape (n_windows, n_channels, n_samples)")
+    stats = [
+        arr.mean(axis=2),
+        arr.std(axis=2),
+        arr.min(axis=2),
+        arr.max(axis=2),
+        arr.var(axis=2),
+    ]
+    features = np.concatenate(stats, axis=1)
+    if include_band_power:
+        bands = _band_power_features(arr, sampling_rate_hz)
+        features = np.concatenate([features, bands], axis=1)
+    return features
+
+
+def _band_power_features(arr: np.ndarray, sampling_rate_hz: float) -> np.ndarray:
+    n_windows, n_channels, _ = arr.shape
+    band_list = list(EEG_BANDS.values())
+    out = np.zeros((n_windows, n_channels * len(band_list)))
+    for w in range(n_windows):
+        powers = [band_power(arr[w], band, sampling_rate_hz) for band in band_list]
+        out[w] = np.concatenate(powers)
+    return out
+
+
+def feature_names(
+    n_channels: int, include_band_power: bool = True
+) -> List[str]:
+    """Human-readable names matching :func:`extract_features` columns."""
+    names = [
+        f"{stat}_ch{ch}" for stat in STATISTICAL_FEATURES for ch in range(n_channels)
+    ]
+    if include_band_power:
+        names.extend(
+            f"{band}_ch{ch}" for band in EEG_BANDS for ch in range(n_channels)
+        )
+    return names

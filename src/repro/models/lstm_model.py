@@ -1,0 +1,103 @@
+"""LSTM EEG classifier.
+
+The paper's Pareto-optimal LSTM is a single layer of 512 hidden units with a
+window size of 130 samples (Fig. 8); the search space covers 64-512 units,
+1-3 layers and dropout 0.1-0.5 (Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.models.base import NeuralEEGClassifier, TrainingConfig
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Dense, Dropout
+from repro.nn.lstm import LSTM
+from repro.nn.module import Module
+
+
+@dataclass
+class LSTMConfig:
+    """Architecture hyper-parameters of :class:`EEGLSTM`."""
+
+    hidden_size: int = 128
+    num_layers: int = 1
+    dropout: float = 0.2
+    #: Average-pool the raw window along time by this factor before the
+    #: recurrence; keeps sequence lengths manageable on CPU while preserving
+    #: the band-power envelope that carries the motor-imagery signal.
+    temporal_pool: int = 5
+
+    def __post_init__(self) -> None:
+        if self.hidden_size <= 0:
+            raise ValueError("hidden_size must be positive")
+        if self.num_layers < 1 or self.num_layers > 3:
+            raise ValueError("num_layers must be between 1 and 3 (paper search space)")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+        if self.temporal_pool < 1:
+            raise ValueError("temporal_pool must be at least 1")
+
+
+class _LSTMNetwork(Module):
+    def __init__(self, config: LSTMConfig, n_channels: int, n_classes: int, seed: int) -> None:
+        super().__init__()
+        self.lstm = LSTM(
+            input_size=n_channels,
+            hidden_size=config.hidden_size,
+            num_layers=config.num_layers,
+            seed=seed,
+        )
+        self.dropout = Dropout(config.dropout, seed=seed + 1)
+        self.head = Dense(config.hidden_size, n_classes, seed=seed + 2)
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.lstm(x)
+        return self.head(self.dropout(hidden))
+
+
+class EEGLSTM(NeuralEEGClassifier):
+    """Recurrent classifier treating the EEG window as a channel time series."""
+
+    family = "lstm"
+
+    def __init__(
+        self,
+        config: Optional[LSTMConfig] = None,
+        n_classes: int = 3,
+        training: Optional[TrainingConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(n_classes=n_classes, training=training, seed=seed)
+        self.config = config or LSTMConfig()
+
+    def build_network(self, n_channels: int, window_size: int) -> Module:
+        return _LSTMNetwork(self.config, n_channels, self.n_classes, self.seed)
+
+    def prepare_input(self, windows: np.ndarray) -> Tensor:
+        # RMS pooling over short time blocks extracts the band-power envelope
+        # per channel — the quantity whose C3/C4 asymmetry encodes the
+        # imagined movement — and shortens the sequence for the recurrence.
+        arr = np.asarray(windows, dtype=np.float64)
+        pool = self.config.temporal_pool
+        if pool > 1:
+            n_steps = arr.shape[2] // pool
+            arr = arr[:, :, : n_steps * pool]
+            blocks = arr.reshape(arr.shape[0], arr.shape[1], n_steps, pool)
+            arr = np.sqrt((blocks**2).mean(axis=3))
+        # (batch, channels, time) -> (batch, time, channels)
+        return Tensor(arr.transpose(0, 2, 1))
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update(
+            {
+                "hidden_size": self.config.hidden_size,
+                "num_layers": self.config.num_layers,
+                "temporal_pool": self.config.temporal_pool,
+            }
+        )
+        return info

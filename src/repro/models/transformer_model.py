@@ -1,0 +1,121 @@
+"""Transformer EEG classifier.
+
+The paper's Pareto-optimal Transformer (Figs. 8-9) uses 2 encoder layers,
+2 attention heads, d_model 128 and a 512-unit feed-forward block over a
+190-sample window; the search space covers 2-6 layers, 2-8 heads, 64-256
+model dimensions and dropout 0.1-0.5 with the AdamW optimizer (Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.models.base import NeuralEEGClassifier, TrainingConfig
+from repro.nn.attention import TransformerEncoderLayer, positional_encoding
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Dense, Dropout
+from repro.nn.module import Module
+
+
+@dataclass
+class TransformerConfig:
+    """Architecture hyper-parameters of :class:`EEGTransformer`."""
+
+    num_layers: int = 2
+    n_heads: int = 2
+    d_model: int = 64
+    dim_feedforward: int = 128
+    dropout: float = 0.1
+    #: Average-pool along time by this factor before tokenisation (each token
+    #: is then one pooled time step across all electrodes).
+    temporal_pool: int = 5
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.num_layers <= 6:
+            raise ValueError("num_layers must be between 1 and 6")
+        if self.n_heads < 1:
+            raise ValueError("n_heads must be positive")
+        if self.d_model % self.n_heads != 0:
+            raise ValueError("d_model must be divisible by n_heads")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+        if self.temporal_pool < 1:
+            raise ValueError("temporal_pool must be at least 1")
+
+
+class _TransformerNetwork(Module):
+    def __init__(self, config: TransformerConfig, n_channels: int, n_classes: int, seed: int) -> None:
+        super().__init__()
+        self.config = config
+        self.input_projection = Dense(n_channels, config.d_model, seed=seed)
+        self.encoder_layers = [
+            TransformerEncoderLayer(
+                d_model=config.d_model,
+                n_heads=config.n_heads,
+                dim_feedforward=config.dim_feedforward,
+                dropout=config.dropout,
+                seed=seed + 10 * (i + 1),
+            )
+            for i in range(config.num_layers)
+        ]
+        self.dropout = Dropout(config.dropout, seed=seed + 99)
+        self.head = Dense(config.d_model, n_classes, seed=seed + 100)
+
+    def forward(self, x: Tensor) -> Tensor:
+        # x: (batch, time, channels) already projected outside? No — project here.
+        projected = self.input_projection(x)
+        encoding = positional_encoding(projected.shape[1], self.config.d_model)
+        hidden = projected + Tensor(encoding[None, :, :])
+        for layer in self.encoder_layers:
+            hidden = layer(hidden)
+        pooled = hidden.mean(axis=1)
+        return self.head(self.dropout(pooled))
+
+
+class EEGTransformer(NeuralEEGClassifier):
+    """Self-attention classifier over tokenised EEG time steps."""
+
+    family = "transformer"
+
+    def __init__(
+        self,
+        config: Optional[TransformerConfig] = None,
+        n_classes: int = 3,
+        training: Optional[TrainingConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        if training is None:
+            training = TrainingConfig(optimizer="adamw", weight_decay=1e-4)
+        super().__init__(n_classes=n_classes, training=training, seed=seed)
+        self.config = config or TransformerConfig()
+
+    def build_network(self, n_channels: int, window_size: int) -> Module:
+        return _TransformerNetwork(self.config, n_channels, self.n_classes, self.seed)
+
+    def prepare_input(self, windows: np.ndarray) -> Tensor:
+        # Each token is the RMS band-power envelope of one pooled time block
+        # across all electrodes; the C3/C4 asymmetry of that envelope is the
+        # motor-imagery signature the attention layers pick up.
+        arr = np.asarray(windows, dtype=np.float64)
+        pool = self.config.temporal_pool
+        if pool > 1:
+            n_steps = arr.shape[2] // pool
+            arr = arr[:, :, : n_steps * pool]
+            blocks = arr.reshape(arr.shape[0], arr.shape[1], n_steps, pool)
+            arr = np.sqrt((blocks**2).mean(axis=3))
+        return Tensor(arr.transpose(0, 2, 1))
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update(
+            {
+                "num_layers": self.config.num_layers,
+                "n_heads": self.config.n_heads,
+                "d_model": self.config.d_model,
+                "dim_feedforward": self.config.dim_feedforward,
+            }
+        )
+        return info

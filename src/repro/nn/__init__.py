@@ -1,0 +1,71 @@
+"""A from-scratch deep-learning substrate on NumPy.
+
+The paper trains CNN, LSTM and Transformer classifiers with PyTorch-class
+tooling on an RTX A6000 and deploys them on a Jetson Orin Nano.  Neither
+framework is available offline, so this package provides the substitution:
+a small reverse-mode automatic-differentiation engine (:mod:`repro.nn.autograd`)
+plus the layers, losses and optimizers the paper's models need.
+
+Public surface:
+
+* :class:`Tensor` — autograd tensor wrapping a NumPy array.
+* Layers — ``Dense``, ``Conv2d``, ``MaxPool2d``, ``AvgPool2d``, ``Dropout``,
+  ``LayerNorm``, ``Embedding``, ``LSTM``, ``MultiHeadAttention``,
+  ``TransformerEncoderLayer``, ``Sequential``.
+* Losses — ``cross_entropy``, ``mse_loss``.
+* Optimizers — ``SGD``, ``Adam``, ``RMSProp``, ``AdamW`` (Table III of the
+  paper lists Adam, SGD, RMSProp and AdamW as the optimizer search space).
+"""
+
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dense,
+    Dropout,
+    Embedding,
+    Flatten,
+    LayerNorm,
+    MaxPool2d,
+    ReLU,
+    Tanh,
+)
+from repro.nn.lstm import LSTM, LSTMCell
+from repro.nn.attention import MultiHeadAttention, TransformerEncoderLayer, positional_encoding
+from repro.nn.losses import cross_entropy, mse_loss
+from repro.nn.optimizers import SGD, Adam, AdamW, Optimizer, RMSProp
+from repro.nn.initializers import glorot_uniform, he_uniform, orthogonal
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Dense",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "Dropout",
+    "LayerNorm",
+    "Embedding",
+    "Flatten",
+    "ReLU",
+    "Tanh",
+    "LSTM",
+    "LSTMCell",
+    "MultiHeadAttention",
+    "TransformerEncoderLayer",
+    "positional_encoding",
+    "cross_entropy",
+    "mse_loss",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "RMSProp",
+    "Optimizer",
+    "glorot_uniform",
+    "he_uniform",
+    "orthogonal",
+]

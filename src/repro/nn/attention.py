@@ -1,0 +1,96 @@
+"""Multi-head self-attention and Transformer encoder layers.
+
+The paper's Transformer search space covers 2-6 encoder layers, 2-8 attention
+heads, model dimensions of 64-256 and dropout 0.1-0.5 (Table III); the
+selected configuration is 2 layers, 2 heads, d_model 128 and a feed-forward
+dimension of 512 (Fig. 8).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Dense, Dropout, LayerNorm
+from repro.nn.module import Module
+
+
+def positional_encoding(length: int, d_model: int) -> np.ndarray:
+    """Sinusoidal positional encodings of shape ``(length, d_model)``."""
+    if length <= 0 or d_model <= 0:
+        raise ValueError("length and d_model must be positive")
+    positions = np.arange(length)[:, None].astype(float)
+    dims = np.arange(d_model)[None, :].astype(float)
+    angle_rates = 1.0 / np.power(10000.0, (2 * (dims // 2)) / d_model)
+    angles = positions * angle_rates
+    encoding = np.zeros((length, d_model))
+    encoding[:, 0::2] = np.sin(angles[:, 0::2])
+    encoding[:, 1::2] = np.cos(angles[:, 1::2])
+    return encoding
+
+
+class MultiHeadAttention(Module):
+    """Scaled dot-product attention with ``n_heads`` parallel heads."""
+
+    def __init__(self, d_model: int, n_heads: int, seed: int = 0) -> None:
+        super().__init__()
+        if d_model <= 0 or n_heads <= 0:
+            raise ValueError("d_model and n_heads must be positive")
+        if d_model % n_heads != 0:
+            raise ValueError("d_model must be divisible by n_heads")
+        self.d_model = d_model
+        self.n_heads = n_heads
+        self.d_head = d_model // n_heads
+        self.query = Dense(d_model, d_model, seed=seed)
+        self.key = Dense(d_model, d_model, seed=seed + 1)
+        self.value = Dense(d_model, d_model, seed=seed + 2)
+        self.output = Dense(d_model, d_model, seed=seed + 3)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Self-attention over ``(batch, time, d_model)`` input."""
+        if x.ndim != 3:
+            raise ValueError("MultiHeadAttention expects (batch, time, d_model) input")
+        batch, time_steps, _ = x.shape
+        q = self._split_heads(self.query(x), batch, time_steps)
+        k = self._split_heads(self.key(x), batch, time_steps)
+        v = self._split_heads(self.value(x), batch, time_steps)
+        scores = q.matmul(k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.d_head))
+        weights = scores.softmax(axis=-1)
+        context = weights.matmul(v)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, time_steps, self.d_model)
+        return self.output(merged)
+
+    def _split_heads(self, x: Tensor, batch: int, time_steps: int) -> Tensor:
+        return x.reshape(batch, time_steps, self.n_heads, self.d_head).transpose(
+            0, 2, 1, 3
+        )
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-activation Transformer encoder block (attention + feed-forward)."""
+
+    def __init__(
+        self,
+        d_model: int,
+        n_heads: int,
+        dim_feedforward: int = 512,
+        dropout: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.attention = MultiHeadAttention(d_model, n_heads, seed=seed)
+        self.norm1 = LayerNorm(d_model)
+        self.norm2 = LayerNorm(d_model)
+        self.ff1 = Dense(d_model, dim_feedforward, seed=seed + 10, activation="relu")
+        self.ff2 = Dense(dim_feedforward, d_model, seed=seed + 11)
+        self.dropout1 = Dropout(dropout, seed=seed + 20)
+        self.dropout2 = Dropout(dropout, seed=seed + 21)
+
+    def forward(self, x: Tensor) -> Tensor:
+        attended = self.attention(self.norm1(x))
+        x = x + self.dropout1(attended)
+        transformed = self.ff2(self.ff1(self.norm2(x)))
+        return x + self.dropout2(transformed)

@@ -1,0 +1,523 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+A deliberately small tape-based autograd engine: every operation on
+:class:`Tensor` records its inputs and a closure computing the local
+vector-Jacobian product; :meth:`Tensor.backward` then walks the tape in
+reverse topological order accumulating gradients.
+
+The engine supports full NumPy broadcasting (gradients are summed back to the
+operand's shape), which keeps layer code natural to read.  All data is kept in
+``float64`` so the finite-difference gradient checks in the test suite are
+meaningful.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[float, int, list, tuple, np.ndarray, "Tensor"]
+
+_grad_enabled = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (inference mode)."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record the autograd graph."""
+    return _grad_enabled
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` to undo NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were expanded from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed tensor participating in reverse-mode autodiff."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __array_priority__ = 100  # ensure ndarray + Tensor dispatches to Tensor
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        parents: Tuple["Tensor", ...] = (),
+        backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and _grad_enabled
+        self._backward = backward
+        self._parents = parents if self.requires_grad or any(
+            p.requires_grad for p in parents
+        ) else ()
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def as_tensor(value: ArrayLike) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    @staticmethod
+    def zeros(shape: Tuple[int, ...], requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(shape: Tuple[int, ...], requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (detached view)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}{grad_flag})"
+
+    # ------------------------------------------------------------------ #
+    # Graph machinery
+    # ------------------------------------------------------------------ #
+    def _make(
+        self,
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        if not requires:
+            return Tensor(data)
+        return Tensor(data, requires_grad=True, parents=parents, backward=backward)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("Called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        # Topological sort of the graph reachable from self.
+        topo: List[Tensor] = []
+        visited = set()
+
+        def visit(node: "Tensor") -> None:
+            if id(node) in visited:
+                return
+            visited.add(id(node))
+            for parent in node._parents:
+                visit(parent)
+            topo.append(node)
+
+        visit(self)
+        grads = {id(self): grad}
+        self._accumulate(grad)
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None or node._backward is None:
+                continue
+            contributions = node._backward(node_grad)
+            if contributions is None:
+                continue
+            for parent, contribution in contributions:
+                if contribution is None or not parent.requires_grad:
+                    continue
+                contribution = np.asarray(contribution, dtype=np.float64)
+                parent._accumulate(contribution)
+                if id(parent) in grads:
+                    grads[id(parent)] = grads[id(parent)] + contribution
+                else:
+                    grads[id(parent)] = contribution
+
+    # ------------------------------------------------------------------ #
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = Tensor.as_tensor(other)
+        out_data = self.data + other_t.data
+
+        def backward(grad: np.ndarray):
+            return [
+                (self, _unbroadcast(grad, self.data.shape)),
+                (other_t, _unbroadcast(grad, other_t.data.shape)),
+            ]
+
+        return self._make(out_data, (self, other_t), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray):
+            return [(self, -grad)]
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-Tensor.as_tensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor.as_tensor(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = Tensor.as_tensor(other)
+        out_data = self.data * other_t.data
+
+        def backward(grad: np.ndarray):
+            return [
+                (self, _unbroadcast(grad * other_t.data, self.data.shape)),
+                (other_t, _unbroadcast(grad * self.data, other_t.data.shape)),
+            ]
+
+        return self._make(out_data, (self, other_t), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = Tensor.as_tensor(other)
+        out_data = self.data / other_t.data
+
+        def backward(grad: np.ndarray):
+            return [
+                (self, _unbroadcast(grad / other_t.data, self.data.shape)),
+                (
+                    other_t,
+                    _unbroadcast(-grad * self.data / (other_t.data**2), other_t.data.shape),
+                ),
+            ]
+
+        return self._make(out_data, (self, other_t), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor.as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("Only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray):
+            return [(self, grad * exponent * self.data ** (exponent - 1))]
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise non-linearities
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray):
+            return [(self, grad * out_data)]
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray):
+            return [(self, grad / self.data)]
+
+        return self._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self**0.5
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray):
+            return [(self, grad * (1.0 - out_data**2))]
+
+        return self._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray):
+            return [(self, grad * out_data * (1.0 - out_data))]
+
+        return self._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray):
+            return [(self, grad * mask)]
+
+        return self._make(out_data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad: np.ndarray):
+            return [(self, grad * mask)]
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray):
+            g = np.asarray(grad)
+            if axis is None:
+                expanded = np.broadcast_to(g, self.data.shape)
+            else:
+                if not keepdims:
+                    g = np.expand_dims(g, axis=axis)
+                expanded = np.broadcast_to(g, self.data.shape)
+            return [(self, expanded.copy())]
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        expanded_max = self.data.max(axis=axis, keepdims=True)
+        mask = self.data == expanded_max
+        # Split gradient equally among ties for numerical symmetry.
+        counts = mask.sum(axis=axis, keepdims=True)
+
+        def backward(grad: np.ndarray):
+            g = np.asarray(grad)
+            if not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            return [(self, mask * g / counts)]
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray):
+            return [(self, grad.reshape(self.data.shape))]
+
+        return self._make(out_data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray):
+            return [(self, grad.transpose(inverse))]
+
+        return self._make(out_data, (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            return [(self, full)]
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Linear algebra
+    # ------------------------------------------------------------------ #
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        other_t = Tensor.as_tensor(other)
+        out_data = self.data @ other_t.data
+
+        def backward(grad: np.ndarray):
+            a, b = self.data, other_t.data
+            if a.ndim == 1:
+                a2 = a[None, :]
+            else:
+                a2 = a
+            if b.ndim == 1:
+                b2 = b[:, None]
+            else:
+                b2 = b
+            g = grad
+            if a.ndim == 1 and b.ndim > 1:
+                g = np.expand_dims(grad, axis=-2)
+            if b.ndim == 1 and a.ndim > 1:
+                g = np.expand_dims(grad, axis=-1)
+            if a.ndim == 1 and b.ndim == 1:
+                grad_a = grad * b
+                grad_b = grad * a
+            else:
+                grad_a = g @ np.swapaxes(b2, -1, -2)
+                grad_b = np.swapaxes(a2, -1, -2) @ g
+                if a.ndim == 1:
+                    grad_a = grad_a.reshape(a.shape)
+                if b.ndim == 1:
+                    grad_b = grad_b.reshape(b.shape)
+            return [
+                (self, _unbroadcast(np.asarray(grad_a), self.data.shape)),
+                (other_t, _unbroadcast(np.asarray(grad_b), other_t.data.shape)),
+            ]
+
+        return self._make(out_data, (self, other_t), backward)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------ #
+    # Softmax / normalisation helpers
+    # ------------------------------------------------------------------ #
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+        def backward(grad: np.ndarray):
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            return [(self, out_data * (grad - dot))]
+
+        return self._make(out_data, (self,), backward)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - log_sum
+        softmax = np.exp(out_data)
+
+        def backward(grad: np.ndarray):
+            return [(self, grad - softmax * grad.sum(axis=axis, keepdims=True))]
+
+        return self._make(out_data, (self,), backward)
+
+
+# ---------------------------------------------------------------------- #
+# Free functions over tensors
+# ---------------------------------------------------------------------- #
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [Tensor.as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray):
+        results = []
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(start, stop)
+            results.append((tensor, grad[tuple(index)]))
+        return results
+
+    requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
+    if not requires:
+        return Tensor(out_data)
+    return Tensor(out_data, requires_grad=True, parents=tuple(tensors), backward=backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient routing."""
+    tensors = [Tensor.as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray):
+        results = []
+        for i, tensor in enumerate(tensors):
+            index = [slice(None)] * grad.ndim
+            index[axis] = i
+            results.append((tensor, grad[tuple(index)]))
+        return results
+
+    requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
+    if not requires:
+        return Tensor(out_data)
+    return Tensor(out_data, requires_grad=True, parents=tuple(tensors), backward=backward)
+
+
+def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise select with gradient routing to both branches."""
+    a_t, b_t = Tensor.as_tensor(a), Tensor.as_tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    out_data = np.where(cond, a_t.data, b_t.data)
+
+    def backward(grad: np.ndarray):
+        return [
+            (a_t, _unbroadcast(grad * cond, a_t.data.shape)),
+            (b_t, _unbroadcast(grad * (~cond), b_t.data.shape)),
+        ]
+
+    requires = is_grad_enabled() and (a_t.requires_grad or b_t.requires_grad)
+    if not requires:
+        return Tensor(out_data)
+    return Tensor(out_data, requires_grad=True, parents=(a_t, b_t), backward=backward)

@@ -1,0 +1,43 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for tanh/sigmoid/linear layers."""
+    if len(shape) < 2:
+        fan_in = fan_out = int(np.prod(shape))
+    else:
+        receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform initialisation for ReLU layers."""
+    if len(shape) < 2:
+        fan_in = int(np.prod(shape))
+    else:
+        receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+        fan_in = shape[1] * receptive
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def orthogonal(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialisation (used for recurrent weight matrices)."""
+    if len(shape) != 2:
+        raise ValueError("orthogonal initialisation requires a 2-D shape")
+    rows, cols = shape
+    a = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(a)
+    # Make the decomposition unique (and uniformly distributed).
+    q *= np.sign(np.diag(r))
+    q = q[:rows, :cols] if rows >= cols else q.T[:rows, :cols]
+    return gain * q

@@ -1,0 +1,352 @@
+"""Feed-forward, convolutional and normalisation layers.
+
+The CNN configurations explored by the paper (Table III) use 2-4
+convolutional layers with 3x3 or 5x5 kernels, max/average pooling and strides
+of 1-2 over the (channels x time) EEG window; the selected model is a single
+layer of 32 filters with a 5x5 kernel and stride 2 (Fig. 8).  ``Conv2d`` is
+implemented with im2col so the heavy lifting is a single matrix multiply.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, is_grad_enabled
+from repro.nn.initializers import glorot_uniform, he_uniform
+from repro.nn.module import Module, Parameter
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, int):
+        return value, value
+    return int(value[0]), int(value[1])
+
+
+class Dense(Module):
+    """Fully-connected layer ``y = x W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        seed: int = 0,
+        activation: Optional[str] = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        rng = np.random.default_rng(seed)
+        init = he_uniform if activation == "relu" else glorot_uniform
+        self.weight = Parameter(init((out_features, in_features), rng).T, name="weight")
+        self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
+        self.in_features = in_features
+        self.out_features = out_features
+        self.activation = activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        if self.activation == "relu":
+            out = out.relu()
+        elif self.activation == "tanh":
+            out = out.tanh()
+        elif self.activation is not None:
+            raise ValueError(f"Unsupported activation {self.activation!r}")
+        return out
+
+
+class ReLU(Module):
+    """Rectified linear activation as a standalone layer."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation as a standalone layer."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch = x.shape[0]
+        return x.reshape(batch, int(np.prod(x.shape[1:])))
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, rate: float = 0.5, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("Dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
+        return x * Tensor(mask)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        if normalized_shape <= 0:
+            raise ValueError("normalized_shape must be positive")
+        self.gamma = Parameter(np.ones(normalized_shape), name="gamma")
+        self.beta = Parameter(np.zeros(normalized_shape), name="beta")
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centred = x - mean
+        var = (centred * centred).mean(axis=-1, keepdims=True)
+        normalised = centred / ((var + self.eps) ** 0.5)
+        return normalised * self.gamma + self.beta
+
+
+class Embedding(Module):
+    """Lookup table mapping integer indices to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.weight = Parameter(
+            0.02 * rng.standard_normal((num_embeddings, embedding_dim)), name="weight"
+        )
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        idx = np.asarray(indices, dtype=int)
+        return self.weight[idx]
+
+
+def _im2col(
+    x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int]
+) -> Tuple[np.ndarray, int, int]:
+    """Extract sliding patches: returns (patches, out_h, out_w).
+
+    ``x`` is (batch, in_ch, H, W); patches have shape
+    (batch, out_h, out_w, in_ch * kh * kw).
+    """
+    batch, in_ch, height, width = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    out_h = (height - kh) // sh + 1
+    out_w = (width - kw) // sw + 1
+    shape = (batch, in_ch, out_h, out_w, kh, kw)
+    strides = (
+        x.strides[0],
+        x.strides[1],
+        x.strides[2] * sh,
+        x.strides[3] * sw,
+        x.strides[2],
+        x.strides[3],
+    )
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    patches = patches.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch, out_h, out_w, in_ch * kh * kw
+    )
+    return np.ascontiguousarray(patches), out_h, out_w
+
+
+class Conv2d(Module):
+    """2-D convolution (valid padding unless ``padding`` is given).
+
+    Input layout is ``(batch, in_channels, height, width)``; for EEG windows
+    the height axis is the electrode axis and the width axis is time.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: IntPair,
+        stride: IntPair = 1,
+        padding: IntPair = 0,
+        bias: bool = True,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        if min(self.kernel_size) <= 0 or min(self.stride) <= 0:
+            raise ValueError("kernel_size and stride must be positive")
+        rng = np.random.default_rng(seed)
+        kh, kw = self.kernel_size
+        self.weight = Parameter(
+            he_uniform((out_channels, in_channels, kh, kw), rng), name="weight"
+        )
+        self.bias = Parameter(np.zeros(out_channels), name="bias") if bias else None
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+
+    def output_shape(self, height: int, width: int) -> Tuple[int, int]:
+        """Spatial output size for a given input size."""
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        ph, pw = self.padding
+        out_h = (height + 2 * ph - kh) // sh + 1
+        out_w = (width + 2 * pw - kw) // sw + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError(
+                f"Input ({height}x{width}) too small for kernel {self.kernel_size} "
+                f"with stride {self.stride}"
+            )
+        return out_h, out_w
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError("Conv2d expects (batch, channels, height, width) input")
+        data = x.data
+        ph, pw = self.padding
+        if ph or pw:
+            data = np.pad(data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+        batch, in_ch, height, width = data.shape
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        out_h, out_w = self.output_shape(x.shape[2], x.shape[3])
+        patches, _, _ = _im2col(data, self.kernel_size, self.stride)
+        weight = self.weight
+        bias = self.bias
+        w_mat = weight.data.reshape(self.out_channels, -1)
+        out = patches @ w_mat.T  # (batch, out_h, out_w, out_ch)
+        if bias is not None:
+            out = out + bias.data
+        out = out.transpose(0, 3, 1, 2)
+
+        x_padded_shape = data.shape
+
+        def backward(grad: np.ndarray):
+            # grad: (batch, out_ch, out_h, out_w)
+            grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+            patches_flat = patches.reshape(-1, patches.shape[-1])
+            grad_w = (grad_flat.T @ patches_flat).reshape(self.weight.data.shape)
+            grad_b = grad_flat.sum(axis=0) if bias is not None else None
+            # Gradient wrt input: scatter patch gradients back (col2im).
+            grad_patches = grad_flat @ w_mat  # (batch*out_h*out_w, in_ch*kh*kw)
+            grad_patches = grad_patches.reshape(batch, out_h, out_w, in_ch, kh, kw)
+            grad_input = np.zeros(x_padded_shape)
+            for i in range(out_h):
+                hs = i * sh
+                for j in range(out_w):
+                    ws = j * sw
+                    grad_input[:, :, hs : hs + kh, ws : ws + kw] += grad_patches[
+                        :, i, j
+                    ]
+            if ph or pw:
+                grad_input = grad_input[
+                    :, :, ph : grad_input.shape[2] - ph or None, pw : grad_input.shape[3] - pw or None
+                ]
+            results = [(x, grad_input), (weight, grad_w)]
+            if bias is not None:
+                results.append((bias, grad_b))
+            return results
+
+        parents = (x, weight) + ((bias,) if bias is not None else ())
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        if not requires:
+            return Tensor(out)
+        return Tensor(out, requires_grad=True, parents=parents, backward=backward)
+
+
+class _Pool2d(Module):
+    """Shared machinery for max/average pooling."""
+
+    def __init__(self, kernel_size: IntPair, stride: Optional[IntPair] = None) -> None:
+        super().__init__()
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride) if stride is not None else self.kernel_size
+        if min(self.kernel_size) <= 0 or min(self.stride) <= 0:
+            raise ValueError("kernel_size and stride must be positive")
+
+    def _patches(self, x: Tensor) -> Tuple[np.ndarray, int, int]:
+        if x.ndim != 4:
+            raise ValueError("Pooling expects (batch, channels, height, width) input")
+        batch, ch, height, width = x.shape
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        out_h = (height - kh) // sh + 1
+        out_w = (width - kw) // sw + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError("Input too small for pooling window")
+        shape = (batch, ch, out_h, out_w, kh, kw)
+        strides = (
+            x.data.strides[0],
+            x.data.strides[1],
+            x.data.strides[2] * sh,
+            x.data.strides[3] * sw,
+            x.data.strides[2],
+            x.data.strides[3],
+        )
+        patches = np.lib.stride_tricks.as_strided(x.data, shape=shape, strides=strides)
+        return patches, out_h, out_w
+
+
+class MaxPool2d(_Pool2d):
+    """Max pooling over non-overlapping (or strided) windows."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        patches, out_h, out_w = self._patches(x)
+        batch, ch = x.shape[0], x.shape[1]
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        flat = patches.reshape(batch, ch, out_h, out_w, kh * kw)
+        arg = flat.argmax(axis=-1)
+        out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+
+        def backward(grad: np.ndarray):
+            grad_input = np.zeros_like(x.data)
+            ki, kj = np.unravel_index(arg, (kh, kw))
+            b_idx, c_idx, i_idx, j_idx = np.indices(arg.shape)
+            rows = i_idx * sh + ki
+            cols = j_idx * sw + kj
+            np.add.at(grad_input, (b_idx, c_idx, rows, cols), grad)
+            return [(x, grad_input)]
+
+        if not (is_grad_enabled() and x.requires_grad):
+            return Tensor(out)
+        return Tensor(out, requires_grad=True, parents=(x,), backward=backward)
+
+
+class AvgPool2d(_Pool2d):
+    """Average pooling over non-overlapping (or strided) windows."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        patches, out_h, out_w = self._patches(x)
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        out = patches.mean(axis=(-1, -2))
+
+        def backward(grad: np.ndarray):
+            grad_input = np.zeros_like(x.data)
+            scale = 1.0 / (kh * kw)
+            for i in range(out_h):
+                hs = i * sh
+                for j in range(out_w):
+                    ws = j * sw
+                    grad_input[:, :, hs : hs + kh, ws : ws + kw] += (
+                        grad[:, :, i, j][:, :, None, None] * scale
+                    )
+            return [(x, grad_input)]
+
+        if not (is_grad_enabled() and x.requires_grad):
+            return Tensor(out)
+        return Tensor(out, requires_grad=True, parents=(x,), backward=backward)

@@ -1,0 +1,61 @@
+"""Loss functions for classifier training."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+def cross_entropy(
+    logits: Tensor, targets: np.ndarray, class_weights: Optional[np.ndarray] = None
+) -> Tensor:
+    """Mean cross-entropy between ``logits`` and integer class ``targets``.
+
+    ``logits`` has shape ``(batch, n_classes)`` and is unnormalised; softmax
+    is applied internally via a numerically-stable log-softmax.
+    """
+    if logits.ndim != 2:
+        raise ValueError("logits must have shape (batch, n_classes)")
+    target_idx = np.asarray(targets, dtype=int)
+    if target_idx.ndim != 1 or target_idx.shape[0] != logits.shape[0]:
+        raise ValueError("targets must be a 1-D array of length batch")
+    n_classes = logits.shape[1]
+    if target_idx.min() < 0 or target_idx.max() >= n_classes:
+        raise ValueError("target class index out of range")
+    log_probs = logits.log_softmax(axis=-1)
+    batch = logits.shape[0]
+    one_hot = np.zeros((batch, n_classes))
+    one_hot[np.arange(batch), target_idx] = 1.0
+    if class_weights is not None:
+        weights = np.asarray(class_weights, dtype=float)
+        if weights.shape != (n_classes,):
+            raise ValueError("class_weights must have one entry per class")
+        one_hot = one_hot * weights[None, :]
+        normaliser = one_hot.sum()
+    else:
+        normaliser = float(batch)
+    picked = log_probs * Tensor(one_hot)
+    return -(picked.sum() * (1.0 / normaliser))
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error."""
+    target_t = Tensor(np.asarray(target, dtype=float))
+    if prediction.shape != target_t.shape:
+        raise ValueError("prediction and target must have the same shape")
+    diff = prediction - target_t
+    return (diff * diff).mean()
+
+
+def accuracy(logits: Tensor, targets: np.ndarray) -> float:
+    """Fraction of rows whose argmax matches the target class."""
+    predictions = np.argmax(logits.data, axis=-1)
+    target_idx = np.asarray(targets, dtype=int)
+    if predictions.shape != target_idx.shape:
+        raise ValueError("logits and targets have incompatible shapes")
+    if target_idx.size == 0:
+        return 0.0
+    return float(np.mean(predictions == target_idx))

@@ -1,0 +1,119 @@
+"""Long short-term memory layers.
+
+The paper's LSTM search space covers 64-512 hidden units and 1-3 layers over
+windows of 100-200 EEG samples (Table III); the model selected by the
+evolutionary search is a single layer of 512 hidden units (Fig. 8).  The
+implementation below builds the recurrence out of autograd ops so gradients
+flow through time automatically (truncated only by the window length).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, concatenate, stack
+from repro.nn.initializers import glorot_uniform, orthogonal
+from repro.nn.module import Module, Parameter
+
+
+class LSTMCell(Module):
+    """Single LSTM cell computing one time step.
+
+    Gates follow the standard formulation: input ``i``, forget ``f`` (with a
+    +1 bias initialisation for gradient flow), candidate ``g`` and output
+    ``o``.  The four gates are computed with one fused matrix multiply.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, seed: int = 0) -> None:
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("input_size and hidden_size must be positive")
+        rng = np.random.default_rng(seed)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(
+            glorot_uniform((input_size, 4 * hidden_size), rng), name="weight_ih"
+        )
+        self.weight_hh = Parameter(
+            np.concatenate(
+                [orthogonal((hidden_size, hidden_size), rng) for _ in range(4)], axis=1
+            ),
+            name="weight_hh",
+        )
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget-gate bias
+        self.bias = Parameter(bias, name="bias")
+
+    def forward(
+        self, x: Tensor, state: Tuple[Tensor, Tensor]
+    ) -> Tuple[Tensor, Tensor]:
+        """One step: ``x`` is (batch, input_size); returns (h, c)."""
+        h_prev, c_prev = state
+        gates = x.matmul(self.weight_ih) + h_prev.matmul(self.weight_hh) + self.bias
+        hs = self.hidden_size
+        i_gate = gates[:, 0:hs].sigmoid()
+        f_gate = gates[:, hs : 2 * hs].sigmoid()
+        g_gate = gates[:, 2 * hs : 3 * hs].tanh()
+        o_gate = gates[:, 3 * hs : 4 * hs].sigmoid()
+        c = f_gate * c_prev + i_gate * g_gate
+        h = o_gate * c.tanh()
+        return h, c
+
+    def initial_state(self, batch_size: int) -> Tuple[Tensor, Tensor]:
+        zeros = Tensor(np.zeros((batch_size, self.hidden_size)))
+        return zeros, Tensor(np.zeros((batch_size, self.hidden_size)))
+
+
+class LSTM(Module):
+    """Multi-layer LSTM over ``(batch, time, features)`` sequences."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.cells = [
+            LSTMCell(
+                input_size if layer == 0 else hidden_size,
+                hidden_size,
+                seed=seed + layer,
+            )
+            for layer in range(num_layers)
+        ]
+
+    def forward(
+        self, x: Tensor, return_sequence: bool = False
+    ) -> Tensor:
+        """Run the stack over a full sequence.
+
+        Returns the final hidden state of the top layer, shape
+        ``(batch, hidden_size)``, or the full top-layer output sequence
+        ``(batch, time, hidden_size)`` when ``return_sequence`` is True.
+        """
+        if x.ndim != 3:
+            raise ValueError("LSTM expects (batch, time, features) input")
+        batch, time_steps, _ = x.shape
+        layer_input: List[Tensor] = [x[:, t, :] for t in range(time_steps)]
+        final_h: Optional[Tensor] = None
+        for cell in self.cells:
+            h, c = cell.initial_state(batch)
+            outputs: List[Tensor] = []
+            for step_input in layer_input:
+                h, c = cell(step_input, (h, c))
+                outputs.append(h)
+            layer_input = outputs
+            final_h = h
+        if return_sequence:
+            return stack(layer_input, axis=1)
+        assert final_h is not None
+        return final_h

@@ -1,0 +1,144 @@
+"""Module/parameter containers for the NumPy deep-learning substrate."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as trainable state of a :class:`Module`."""
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Provides parameter discovery (recursively through attributes, lists and
+    dicts), train/eval mode switching and state (de)serialisation — the small
+    subset of a full framework's ``nn.Module`` the paper's models need.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(name, parameter)`` pairs, recursing into submodules."""
+        for attr_name, value in vars(self).items():
+            if attr_name == "training":
+                continue
+            full_name = f"{prefix}{attr_name}" if prefix else attr_name
+            yield from self._named_from_value(full_name, value)
+
+    def _named_from_value(self, name: str, value) -> Iterator[Tuple[str, Parameter]]:
+        if isinstance(value, Parameter):
+            yield name, value
+        elif isinstance(value, Module):
+            yield from value.named_parameters(prefix=f"{name}.")
+        elif isinstance(value, (list, tuple)):
+            for i, item in enumerate(value):
+                yield from self._named_from_value(f"{name}.{i}", item)
+        elif isinstance(value, dict):
+            for key, item in value.items():
+                yield from self._named_from_value(f"{name}.{key}", item)
+
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters of this module (and submodules)."""
+        return [p for _, p in self.named_parameters()]
+
+    def parameter_count(self) -> int:
+        """Total number of scalar trainable parameters.
+
+        This is the ``P(m)`` objective minimised by the paper's evolutionary
+        search and reported on the x-axis of Figs. 8-9.
+        """
+        return int(sum(p.data.size for p in self.parameters()))
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every submodule."""
+        yield self
+        for value in vars(self).values():
+            yield from self._modules_from_value(value)
+
+    def _modules_from_value(self, value) -> Iterator["Module"]:
+        if isinstance(value, Module):
+            yield from value.modules()
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                yield from self._modules_from_value(item)
+        elif isinstance(value, dict):
+            for item in value.values():
+                yield from self._modules_from_value(item)
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode on this module and every submodule."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to inference mode (disables dropout)."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter's value, keyed by its dotted name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values saved by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"State dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"Shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+
+
+class Sequential(Module):
+    """Apply a list of modules in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def append(self, layer: Module) -> "Sequential":
+        self.layers.append(layer)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

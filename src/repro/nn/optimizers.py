@@ -1,0 +1,182 @@
+"""Optimizers listed in the paper's search space (Table III).
+
+SGD (with momentum), Adam, RMSProp and AdamW (decoupled weight decay) — the
+evolutionary search picks the optimizer per model family alongside learning
+rate and architecture hyper-parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base class holding the parameter list and common bookkeeping."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("Optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError("Learning rate must be positive")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _grads(self) -> List[Optional[np.ndarray]]:
+        return [p.grad for p in self.parameters]
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, velocity in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            p.data -= self.lr * update
+
+
+class RMSProp(Optimizer):
+    """RMSProp with exponentially-weighted squared-gradient normalisation."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        self.alpha = alpha
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._square_avg = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, square_avg in zip(self.parameters, self._square_avg):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            square_avg *= self.alpha
+            square_avg += (1.0 - self.alpha) * grad * grad
+            p.data -= self.lr * grad / (np.sqrt(square_avg) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first and second moment estimates."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def _adjusted_gradient(self, p: Parameter) -> np.ndarray:
+        grad = p.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * p.data
+        return grad
+
+    def step(self) -> None:
+        self._t += 1
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = self._adjusted_gradient(p)
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / (1.0 - self.beta1**self._t)
+            v_hat = v / (1.0 - self.beta2**self._t)
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (used by the paper's Transformers)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 1e-4,
+    ) -> None:
+        super().__init__(parameters, lr, betas, eps, weight_decay=0.0)
+        self.decoupled_weight_decay = weight_decay
+
+    def step(self) -> None:
+        # Decoupled decay: shrink weights directly, independent of the
+        # adaptive gradient scaling.
+        for p in self.parameters:
+            if p.grad is not None and self.decoupled_weight_decay:
+                p.data -= self.lr * self.decoupled_weight_decay * p.data
+        super().step()
+
+
+def build_optimizer(
+    name: str, parameters: Iterable[Parameter], lr: float, **kwargs
+) -> Optimizer:
+    """Construct an optimizer by name (used by the evolutionary search)."""
+    registry = {
+        "sgd": SGD,
+        "adam": Adam,
+        "rmsprop": RMSProp,
+        "adamw": AdamW,
+    }
+    key = name.lower()
+    if key not in registry:
+        raise ValueError(f"Unknown optimizer {name!r}; expected one of {sorted(registry)}")
+    return registry[key](parameters, lr=lr, **kwargs)

@@ -1,0 +1,49 @@
+"""Evolutionary design-space exploration (paper §III-C2 and Algorithm 1).
+
+Searches over model architecture, hyper-parameters, optimizer choice and
+window size with two objectives — maximise validation accuracy, minimise
+parameter count — using tournament selection, crossover and mutation, and
+reports the Pareto front and the best-model selection rule.
+"""
+
+from repro.search.space import (
+    SEARCH_SPACE,
+    CandidateSpec,
+    SearchSpace,
+    build_classifier,
+    search_space_table,
+)
+from repro.search.pareto import (
+    FitnessWeights,
+    ParetoPoint,
+    fitness_scores,
+    pareto_front,
+    select_best_model,
+)
+from repro.search.operators import crossover, mutate, tournament_select
+from repro.search.evolution import (
+    EvaluatedCandidate,
+    EvolutionConfig,
+    EvolutionResult,
+    EvolutionarySearch,
+)
+
+__all__ = [
+    "SEARCH_SPACE",
+    "CandidateSpec",
+    "SearchSpace",
+    "build_classifier",
+    "search_space_table",
+    "FitnessWeights",
+    "ParetoPoint",
+    "fitness_scores",
+    "pareto_front",
+    "select_best_model",
+    "crossover",
+    "mutate",
+    "tournament_select",
+    "EvaluatedCandidate",
+    "EvolutionConfig",
+    "EvolutionResult",
+    "EvolutionarySearch",
+]

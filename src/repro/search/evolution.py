@@ -1,0 +1,216 @@
+"""The evolutionary search driver (paper Algorithm 1).
+
+``EvolutionarySearch.run`` evolves a population of :class:`CandidateSpec`
+over ``generations`` generations: every candidate is trained and scored
+(validation accuracy, parameter count), parents are chosen by tournament
+selection, offspring are produced by crossover and mutation, and the final
+population's Pareto front plus the best-model rule give the result.
+
+Training every candidate from scratch is the expensive step; the
+``evaluator`` hook lets callers swap in a cheaper evaluation (fewer epochs,
+data subsampling, or the analytical surrogate used by some benchmarks)
+without touching the search logic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataset.windows import WindowConfig, WindowDataset
+from repro.models.base import EEGClassifier
+from repro.search.operators import crossover, mutate, tournament_select
+from repro.search.pareto import (
+    FitnessWeights,
+    ParetoPoint,
+    fitness_scores,
+    pareto_front,
+    select_best_model,
+)
+from repro.search.space import CandidateSpec, SearchSpace, build_classifier
+
+
+@dataclass
+class EvolutionConfig:
+    """Evolution hyper-parameters (population, generations, rates)."""
+
+    population_size: int = 12
+    generations: int = 4
+    tournament_size: int = 3
+    crossover_rate: float = 0.7
+    mutation_rate: float = 0.2
+    accuracy_threshold: float = 0.85
+    #: Number of top candidates copied unchanged into the next generation.
+    elitism: int = 2
+    training_epochs: int = 6
+    #: Multiplicative shrink factor applied to capacity genes when training
+    #: candidates (1.0 = paper scale).
+    model_scale: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be at least 2")
+        if self.generations < 1:
+            raise ValueError("generations must be at least 1")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise ValueError("crossover_rate must be in [0, 1]")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        if self.elitism < 0 or self.elitism >= self.population_size:
+            raise ValueError("elitism must be in [0, population_size)")
+
+
+@dataclass
+class EvaluatedCandidate:
+    """A candidate plus the objectives measured for it."""
+
+    spec: CandidateSpec
+    accuracy: float
+    parameters: int
+    train_seconds: float = 0.0
+    generation: int = 0
+
+    def as_point(self) -> ParetoPoint:
+        return ParetoPoint(self.accuracy, self.parameters, payload=self)
+
+
+@dataclass
+class EvolutionResult:
+    """Everything a search run produces."""
+
+    evaluated: List[EvaluatedCandidate] = field(default_factory=list)
+    per_generation_best: List[float] = field(default_factory=list)
+    pareto: List[EvaluatedCandidate] = field(default_factory=list)
+    best: Optional[EvaluatedCandidate] = None
+
+    def history_for_family(self, family: str) -> List[EvaluatedCandidate]:
+        return [c for c in self.evaluated if c.spec.family == family]
+
+
+Evaluator = Callable[[CandidateSpec], Tuple[float, int]]
+
+
+class EvolutionarySearch:
+    """Drives Algorithm 1 over a window dataset (or a custom evaluator)."""
+
+    def __init__(
+        self,
+        space: Optional[SearchSpace] = None,
+        config: Optional[EvolutionConfig] = None,
+        weights: Optional[FitnessWeights] = None,
+        evaluator: Optional[Evaluator] = None,
+    ) -> None:
+        self.space = space or SearchSpace()
+        self.config = config or EvolutionConfig()
+        self.weights = weights or FitnessWeights()
+        self._external_evaluator = evaluator
+        self._rng = np.random.default_rng(self.config.seed)
+        self._train: Optional[WindowDataset] = None
+        self._validation: Optional[WindowDataset] = None
+        self._cache: Dict[CandidateSpec, Tuple[float, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        train: Optional[WindowDataset] = None,
+        validation: Optional[WindowDataset] = None,
+    ) -> EvolutionResult:
+        """Run the full search and return the evaluated population history."""
+        if self._external_evaluator is None and (train is None or validation is None):
+            raise ValueError("Either provide train/validation data or an evaluator")
+        self._train, self._validation = train, validation
+        cfg = self.config
+        population = [self.space.sample(self._rng) for _ in range(cfg.population_size)]
+        result = EvolutionResult()
+        evaluated_population: List[EvaluatedCandidate] = []
+        for generation in range(cfg.generations):
+            evaluated_population = [
+                self._evaluate(spec, generation) for spec in population
+            ]
+            result.evaluated.extend(evaluated_population)
+            fitness = fitness_scores(
+                [c.as_point() for c in evaluated_population], self.weights
+            )
+            result.per_generation_best.append(
+                max(c.accuracy for c in evaluated_population)
+            )
+            if generation == cfg.generations - 1:
+                break
+            population = self._next_generation(population, evaluated_population, fitness)
+        points = [c.as_point() for c in result.evaluated]
+        result.pareto = [p.payload for p in pareto_front(points)]
+        best_point = select_best_model(points, cfg.accuracy_threshold)
+        result.best = best_point.payload if best_point is not None else None
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _evaluate(self, spec: CandidateSpec, generation: int) -> EvaluatedCandidate:
+        if spec in self._cache:
+            accuracy, parameters = self._cache[spec]
+            return EvaluatedCandidate(spec, accuracy, parameters, 0.0, generation)
+        start = time.perf_counter()
+        if self._external_evaluator is not None:
+            accuracy, parameters = self._external_evaluator(spec)
+        else:
+            accuracy, parameters = self._train_and_score(spec)
+        elapsed = time.perf_counter() - start
+        self._cache[spec] = (accuracy, parameters)
+        return EvaluatedCandidate(spec, accuracy, parameters, elapsed, generation)
+
+    def _train_and_score(self, spec: CandidateSpec) -> Tuple[float, int]:
+        assert self._train is not None and self._validation is not None
+        cfg = self.config
+        model = build_classifier(
+            spec, epochs=cfg.training_epochs, seed=cfg.seed, scale=cfg.model_scale
+        )
+        train = self._resize_windows(self._train, spec.window_size)
+        validation = self._resize_windows(self._validation, spec.window_size)
+        model.fit(train, validation)
+        accuracy = model.evaluate(validation)
+        return accuracy, model.parameter_count()
+
+    @staticmethod
+    def _resize_windows(dataset: WindowDataset, window_size: int) -> WindowDataset:
+        """Crop windows to the candidate's window-size gene.
+
+        The stored dataset is segmented at the maximum window size; smaller
+        candidate windows use the trailing portion of each stored window
+        (most recent samples), matching how the real-time pipeline would
+        classify the latest ``window_size`` samples.
+        """
+        current = dataset.window_size
+        if window_size >= current:
+            return dataset
+        return WindowDataset(
+            windows=dataset.windows[:, :, current - window_size:],
+            labels=dataset.labels,
+            label_names=dataset.label_names,
+            participant_ids=dataset.participant_ids,
+            sampling_rate_hz=dataset.sampling_rate_hz,
+        )
+
+    def _next_generation(
+        self,
+        population: Sequence[CandidateSpec],
+        evaluated: Sequence[EvaluatedCandidate],
+        fitness: np.ndarray,
+    ) -> List[CandidateSpec]:
+        cfg = self.config
+        order = np.argsort(fitness)[::-1]
+        next_population: List[CandidateSpec] = [
+            population[int(i)] for i in order[: cfg.elitism]
+        ]
+        while len(next_population) < cfg.population_size:
+            parent_a = tournament_select(population, fitness, self._rng, cfg.tournament_size)
+            parent_b = tournament_select(population, fitness, self._rng, cfg.tournament_size)
+            if self._rng.random() < cfg.crossover_rate:
+                child = crossover(parent_a, parent_b, self._rng)
+            else:
+                child = parent_a
+            child = mutate(child, self.space, self._rng, cfg.mutation_rate)
+            next_population.append(child)
+        return next_population

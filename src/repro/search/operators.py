@@ -1,0 +1,67 @@
+"""Evolutionary operators: tournament selection, crossover and mutation."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.search.space import CandidateSpec, SearchSpace
+
+
+def tournament_select(
+    population: Sequence[CandidateSpec],
+    fitness: Sequence[float],
+    rng: np.random.Generator,
+    tournament_size: int = 3,
+) -> CandidateSpec:
+    """Pick the fittest of ``tournament_size`` randomly drawn candidates."""
+    if len(population) != len(fitness):
+        raise ValueError("population and fitness must have the same length")
+    if not population:
+        raise ValueError("population is empty")
+    k = min(max(1, tournament_size), len(population))
+    indices = rng.choice(len(population), size=k, replace=False)
+    best = max(indices, key=lambda i: fitness[i])
+    return population[int(best)]
+
+
+def crossover(
+    parent_a: CandidateSpec,
+    parent_b: CandidateSpec,
+    rng: np.random.Generator,
+) -> CandidateSpec:
+    """Uniform crossover of gene values.
+
+    Crossover only mixes genes when both parents belong to the same model
+    family (genes are family-specific); for mixed-family pairs the offspring
+    is a copy of one parent chosen at random, which is how the search keeps
+    families competing without producing invalid hybrids.
+    """
+    if parent_a.family != parent_b.family:
+        return parent_a if rng.random() < 0.5 else parent_b
+    genes_a = parent_a.gene_dict
+    genes_b = parent_b.gene_dict
+    child = {
+        name: genes_a[name] if rng.random() < 0.5 else genes_b[name]
+        for name in genes_a
+    }
+    return CandidateSpec(parent_a.family, tuple(sorted(child.items())))
+
+
+def mutate(
+    spec: CandidateSpec,
+    space: SearchSpace,
+    rng: np.random.Generator,
+    mutation_rate: float = 0.2,
+) -> CandidateSpec:
+    """Independently resample each gene with probability ``mutation_rate``."""
+    if not 0.0 <= mutation_rate <= 1.0:
+        raise ValueError("mutation_rate must be in [0, 1]")
+    genes = spec.gene_dict
+    mutated = dict(genes)
+    for name in genes:
+        if rng.random() < mutation_rate:
+            options = space.neighbours(spec, name)
+            mutated[name] = options[int(rng.integers(0, len(options)))]
+    return CandidateSpec(spec.family, tuple(sorted(mutated.items())))

@@ -1,0 +1,127 @@
+"""Fitness scoring, Pareto-front extraction and best-model selection.
+
+Implements the scoring function, Pareto-front criterion and best-model rule
+from §III-C2 of the paper:
+
+* fitness ``S(m) = wA * norm(A(m)) - wP * norm(P(m))`` with min-max
+  normalisation over the current population,
+* the Pareto front ``F = {m : no other model has higher accuracy with at most
+  as many parameters}``, and
+* ``m_best`` = the smallest model on the front meeting the accuracy threshold
+  ``alpha``, falling back to the most accurate model when none does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """An evaluated model: its two objectives plus an arbitrary payload."""
+
+    accuracy: float
+    parameters: int
+    payload: object = None
+
+
+@dataclass
+class FitnessWeights:
+    """Weights of the accuracy and parameter-count objectives."""
+
+    accuracy: float = 1.0
+    parameters: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.accuracy < 0 or self.parameters < 0:
+            raise ValueError("Fitness weights must be non-negative")
+        if self.accuracy == 0 and self.parameters == 0:
+            raise ValueError("At least one fitness weight must be positive")
+
+
+def _normalise(values: np.ndarray) -> np.ndarray:
+    low, high = values.min(), values.max()
+    if high - low < 1e-12:
+        return np.zeros_like(values)
+    return (values - low) / (high - low)
+
+
+def fitness_scores(
+    points: Sequence[ParetoPoint], weights: Optional[FitnessWeights] = None
+) -> np.ndarray:
+    """Score every point with the paper's weighted, min-max-normalised rule."""
+    if not points:
+        return np.zeros(0)
+    w = weights or FitnessWeights()
+    accuracy = np.array([p.accuracy for p in points], dtype=float)
+    parameters = np.array([p.parameters for p in points], dtype=float)
+    return w.accuracy * _normalise(accuracy) - w.parameters * _normalise(parameters)
+
+
+def pareto_front(points: Sequence[ParetoPoint]) -> List[ParetoPoint]:
+    """Non-dominated subset: no other point is at least as small and strictly more accurate.
+
+    A point ``i`` is dominated when some ``j`` satisfies
+    ``accuracy(j) > accuracy(i)`` and ``parameters(j) <= parameters(i)`` —
+    exactly the criterion in §III-C2.
+    """
+    front: List[ParetoPoint] = []
+    for i, candidate in enumerate(points):
+        dominated = any(
+            other.accuracy > candidate.accuracy
+            and other.parameters <= candidate.parameters
+            for j, other in enumerate(points)
+            if j != i
+        )
+        if not dominated:
+            front.append(candidate)
+    return sorted(front, key=lambda p: p.parameters)
+
+
+def select_best_model(
+    points: Sequence[ParetoPoint], accuracy_threshold: float = 0.85
+) -> Optional[ParetoPoint]:
+    """Apply the paper's best-model rule to a set of evaluated models.
+
+    Among Pareto-front models whose accuracy meets ``accuracy_threshold``,
+    pick the one with the fewest parameters; if none meets the threshold,
+    pick the most accurate front model.
+    """
+    if not points:
+        return None
+    front = pareto_front(points)
+    eligible = [p for p in front if p.accuracy >= accuracy_threshold]
+    if eligible:
+        return min(eligible, key=lambda p: (p.parameters, -p.accuracy))
+    return max(front, key=lambda p: p.accuracy)
+
+
+def hypervolume_2d(
+    points: Sequence[ParetoPoint],
+    reference_accuracy: float = 0.0,
+    reference_parameters: Optional[int] = None,
+) -> float:
+    """Area dominated by the Pareto front (a scalar quality measure of a search run).
+
+    Parameters are log-scaled before integration because they span orders of
+    magnitude; used by the search benchmarks to compare runs.
+    """
+    front = pareto_front(points)
+    if not front:
+        return 0.0
+    if reference_parameters is None:
+        reference_parameters = max(p.parameters for p in front) * 10
+    ref_log = np.log10(max(reference_parameters, 10))
+    area = 0.0
+    previous_log = ref_log
+    for point in sorted(front, key=lambda p: p.parameters, reverse=True):
+        point_log = np.log10(max(point.parameters, 1))
+        width = previous_log - point_log
+        height = max(0.0, point.accuracy - reference_accuracy)
+        if width > 0:
+            area += width * height
+        previous_log = min(previous_log, point_log)
+    return float(area)

@@ -1,0 +1,236 @@
+"""The hyper-parameter search space (paper Table III).
+
+Each model family exposes a dictionary of named genes with their admissible
+values; a :class:`CandidateSpec` is one assignment of those genes plus the
+shared genes (window size, learning rate, optimizer).  ``build_classifier``
+turns a spec into a ready-to-train :class:`EEGClassifier`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.base import TrainingConfig
+from repro.models.cnn import CNNConfig, EEGCNN
+from repro.models.lstm_model import EEGLSTM, LSTMConfig
+from repro.models.random_forest import RandomForestClassifier, RandomForestConfig
+from repro.models.transformer_model import EEGTransformer, TransformerConfig
+
+#: Gene values per family, straight from Table III of the paper.
+SEARCH_SPACE: Dict[str, Dict[str, Tuple[Any, ...]]] = {
+    "shared": {
+        "window_size": (100, 130, 150, 170, 190, 200),
+        "learning_rate": (1e-3, 5e-4, 1e-4, 5e-5, 1e-5),
+    },
+    "cnn": {
+        "n_conv_layers": (1, 2, 3, 4),
+        "filters": (8, 16, 32, 64),
+        "kernel_size": (3, 5),
+        "stride": (1, 2),
+        "pooling": ("max", "avg", "none"),
+        "batch_size": (32, 64, 128),
+        "optimizer": ("adam", "sgd"),
+    },
+    "lstm": {
+        "hidden_size": (64, 128, 256, 512),
+        "num_layers": (1, 2, 3),
+        "dropout": (0.1, 0.2, 0.3, 0.4, 0.5),
+        "optimizer": ("adam", "rmsprop"),
+    },
+    "transformer": {
+        "num_layers": (2, 3, 4, 5, 6),
+        "n_heads": (2, 4, 8),
+        "d_model": (64, 128, 256),
+        "dim_feedforward": (128, 256, 512),
+        "dropout": (0.1, 0.2, 0.3, 0.4, 0.5),
+        "optimizer": ("adamw",),
+        "weight_decay": (1e-4, 1e-5, 1e-6),
+    },
+    "rf": {
+        "n_estimators": (100, 200, 300, 400, 500),
+        "max_depth": (10, 20, 30, None),
+        "window_size": (90, 100, 130, 150, 190),
+    },
+}
+
+MODEL_FAMILIES: Tuple[str, ...] = ("cnn", "lstm", "transformer", "rf")
+
+
+@dataclass(frozen=True)
+class CandidateSpec:
+    """One point in the design space: a family plus its gene assignment."""
+
+    family: str
+    genes: Tuple[Tuple[str, Any], ...]
+
+    @property
+    def gene_dict(self) -> Dict[str, Any]:
+        return dict(self.genes)
+
+    @property
+    def window_size(self) -> int:
+        return int(self.gene_dict["window_size"])
+
+    def with_gene(self, name: str, value: Any) -> "CandidateSpec":
+        updated = dict(self.genes)
+        if name not in updated:
+            raise KeyError(f"Gene {name!r} is not part of this candidate")
+        updated[name] = value
+        return CandidateSpec(self.family, tuple(sorted(updated.items())))
+
+    def describe(self) -> Dict[str, Any]:
+        info = {"family": self.family}
+        info.update(self.gene_dict)
+        return info
+
+
+class SearchSpace:
+    """Sampling and neighbourhood structure over :data:`SEARCH_SPACE`."""
+
+    def __init__(
+        self,
+        families: Sequence[str] = MODEL_FAMILIES,
+        space: Optional[Dict[str, Dict[str, Tuple[Any, ...]]]] = None,
+    ) -> None:
+        self.space = space or SEARCH_SPACE
+        unknown = set(families) - set(MODEL_FAMILIES)
+        if unknown:
+            raise ValueError(f"Unknown model families: {sorted(unknown)}")
+        if not families:
+            raise ValueError("At least one model family is required")
+        self.families = tuple(families)
+
+    def gene_options(self, family: str) -> Dict[str, Tuple[Any, ...]]:
+        """All gene names and values applicable to ``family``."""
+        options: Dict[str, Tuple[Any, ...]] = {}
+        if family != "rf":
+            options.update(self.space["shared"])
+            options.update(self.space[family])
+        else:
+            options.update(self.space["rf"])
+        return options
+
+    def sample(self, rng: np.random.Generator, family: Optional[str] = None) -> CandidateSpec:
+        """Draw a random candidate, optionally restricted to one family."""
+        chosen_family = family or str(rng.choice(list(self.families)))
+        options = self.gene_options(chosen_family)
+        genes = {
+            name: values[int(rng.integers(0, len(values)))]
+            for name, values in options.items()
+        }
+        return CandidateSpec(chosen_family, tuple(sorted(genes.items())))
+
+    def neighbours(self, spec: CandidateSpec, gene: str) -> Tuple[Any, ...]:
+        """Admissible values for one gene of a candidate."""
+        options = self.gene_options(spec.family)
+        if gene not in options:
+            raise KeyError(f"Gene {gene!r} not valid for family {spec.family!r}")
+        return options[gene]
+
+
+def build_classifier(
+    spec: CandidateSpec,
+    epochs: int = 10,
+    seed: int = 0,
+    scale: float = 1.0,
+):
+    """Instantiate the classifier described by ``spec``.
+
+    ``scale`` shrinks capacity-related genes (filters, hidden units, trees)
+    by a multiplicative factor — used by the test-suite and benchmarks to run
+    the same search logic at laptop scale.  ``scale=1.0`` reproduces the
+    paper's configuration exactly.
+    """
+    genes = spec.gene_dict
+
+    def scaled(value: int, minimum: int = 1) -> int:
+        return max(minimum, int(round(value * scale)))
+
+    if spec.family == "cnn":
+        n_layers = int(genes["n_conv_layers"])
+        base_filters = scaled(int(genes["filters"]), 2)
+        config = CNNConfig(
+            n_conv_layers=n_layers,
+            filters=tuple(base_filters * (2**i) for i in range(n_layers)),
+            kernel_size=int(genes["kernel_size"]),
+            stride=int(genes["stride"]),
+            pooling=str(genes["pooling"]),
+            hidden_units=scaled(64, 4),
+        )
+        training = TrainingConfig(
+            epochs=epochs,
+            batch_size=int(genes["batch_size"]),
+            learning_rate=float(genes["learning_rate"]),
+            optimizer=str(genes["optimizer"]),
+        )
+        return EEGCNN(config, training=training, seed=seed)
+    if spec.family == "lstm":
+        config = LSTMConfig(
+            hidden_size=scaled(int(genes["hidden_size"]), 4),
+            num_layers=int(genes["num_layers"]),
+            dropout=float(genes["dropout"]),
+        )
+        training = TrainingConfig(
+            epochs=epochs,
+            batch_size=32,
+            learning_rate=float(genes["learning_rate"]),
+            optimizer=str(genes["optimizer"]),
+        )
+        return EEGLSTM(config, training=training, seed=seed)
+    if spec.family == "transformer":
+        d_model = scaled(int(genes["d_model"]), 8)
+        n_heads = int(genes["n_heads"])
+        if d_model % n_heads != 0:
+            d_model = n_heads * max(1, d_model // n_heads)
+        config = TransformerConfig(
+            num_layers=int(genes["num_layers"]),
+            n_heads=n_heads,
+            d_model=d_model,
+            dim_feedforward=scaled(int(genes["dim_feedforward"]), 8),
+            dropout=float(genes["dropout"]),
+        )
+        training = TrainingConfig(
+            epochs=epochs,
+            batch_size=32,
+            learning_rate=float(genes["learning_rate"]),
+            optimizer=str(genes["optimizer"]),
+            weight_decay=float(genes.get("weight_decay", 1e-4)),
+        )
+        return EEGTransformer(config, training=training, seed=seed)
+    if spec.family == "rf":
+        max_depth = genes["max_depth"]
+        config = RandomForestConfig(
+            n_estimators=scaled(int(genes["n_estimators"]), 2),
+            max_depth=None if max_depth is None else int(max_depth),
+        )
+        return RandomForestClassifier(config, seed=seed)
+    raise ValueError(f"Unknown model family {spec.family!r}")
+
+
+def search_space_table() -> List[Dict[str, Any]]:
+    """The contents of Table III as a list of row dictionaries."""
+    rows = []
+    descriptions = {
+        "cnn": "2-4 Conv Layers",
+        "lstm": "64-512 Units",
+        "transformer": "2-6 Layers",
+        "rf": "100-500 Trees",
+    }
+    for family in MODEL_FAMILIES:
+        genes = dict(SEARCH_SPACE[family])
+        optimizers = genes.pop("optimizer", ("n/a",))
+        rows.append(
+            {
+                "model": family,
+                "architecture": descriptions[family],
+                "hyperparameters": {
+                    **({} if family == "rf" else dict(SEARCH_SPACE["shared"])),
+                    **genes,
+                },
+                "optimizers": optimizers,
+            }
+        )
+    return rows

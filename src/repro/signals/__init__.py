@@ -1,0 +1,61 @@
+"""EEG signal substrate: synthesis, montage, filtering and quality metrics.
+
+This package stands in for the physical OpenBCI UltraCortex Mark IV headset
+and the DSP portion of BrainFlow used by the paper.  It provides:
+
+* :mod:`repro.signals.montage` — the 10-20 electrode montage used by the
+  16-channel Cyton + Daisy setup.
+* :mod:`repro.signals.synthetic` — a physiologically-motivated synthetic EEG
+  generator with background rhythms, artifacts and lateralised event-related
+  desynchronisation (ERD) for imagined left/right hand movement.
+* :mod:`repro.signals.filters` — the paper's preprocessing chain (9th-order
+  Butterworth band-pass 0.5-45 Hz, 50 Hz notch with Q=30, artifact removal).
+* :mod:`repro.signals.quality` — power spectral density, band power and SNR
+  metrics used to evaluate filtering (Fig. 5).
+"""
+
+from repro.signals.montage import (
+    CHANNEL_NAMES_16,
+    MOTOR_CHANNELS,
+    Montage,
+    standard_1020_positions,
+)
+from repro.signals.synthetic import (
+    ArtifactConfig,
+    ParticipantProfile,
+    RhythmConfig,
+    SyntheticEEGGenerator,
+)
+from repro.signals.filters import (
+    FilterSettings,
+    PreprocessingPipeline,
+    bandpass_butterworth,
+    notch_filter,
+    remove_artifacts,
+)
+from repro.signals.quality import (
+    band_power,
+    power_spectral_density,
+    relative_band_power,
+    signal_to_noise_ratio,
+)
+
+__all__ = [
+    "CHANNEL_NAMES_16",
+    "MOTOR_CHANNELS",
+    "Montage",
+    "standard_1020_positions",
+    "ArtifactConfig",
+    "ParticipantProfile",
+    "RhythmConfig",
+    "SyntheticEEGGenerator",
+    "FilterSettings",
+    "PreprocessingPipeline",
+    "bandpass_butterworth",
+    "notch_filter",
+    "remove_artifacts",
+    "band_power",
+    "power_spectral_density",
+    "relative_band_power",
+    "signal_to_noise_ratio",
+]

@@ -1,0 +1,170 @@
+"""The 10-20 electrode montage used by the CognitiveArm headset.
+
+The paper records 16 channels with an OpenBCI UltraCortex Mark IV headset and
+Cyton + Daisy boards, placed according to the international 10-20 system
+(Fig. 3 of the paper).  The montage module provides channel names, scalp
+coordinates and helpers to locate the motor-cortex channels (C3/C4) whose
+mu/beta-band desynchronisation carries the motor-imagery information.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+#: The 16 electrode sites shown in Fig. 3 of the paper (Cyton + Daisy).
+CHANNEL_NAMES_16: Tuple[str, ...] = (
+    "FP1",
+    "FP2",
+    "F7",
+    "F3",
+    "F4",
+    "F8",
+    "T7",
+    "C3",
+    "C4",
+    "T8",
+    "P7",
+    "P3",
+    "P4",
+    "P8",
+    "O1",
+    "O2",
+)
+
+#: Channels over the sensorimotor cortex; contralateral ERD during motor
+#: imagery is strongest here (C3 for right-hand imagery, C4 for left-hand).
+MOTOR_CHANNELS: Tuple[str, ...] = ("C3", "C4")
+
+# Angular positions (theta, phi) on a unit sphere approximating the standard
+# 10-20 layout.  theta is the polar angle from Cz (vertex), phi the azimuth
+# measured from the nasion (front of the head), both in degrees.
+_ANGULAR_1020: Dict[str, Tuple[float, float]] = {
+    "FP1": (72.0, 108.0),
+    "FP2": (72.0, 72.0),
+    "F7": (72.0, 144.0),
+    "F3": (48.0, 129.0),
+    "FZ": (36.0, 90.0),
+    "F4": (48.0, 51.0),
+    "F8": (72.0, 36.0),
+    "T7": (72.0, 180.0),
+    "C3": (36.0, 180.0),
+    "CZ": (0.0, 0.0),
+    "C4": (36.0, 0.0),
+    "T8": (72.0, 0.0),
+    "P7": (72.0, 216.0),
+    "P3": (48.0, 231.0),
+    "PZ": (36.0, 270.0),
+    "P4": (48.0, 309.0),
+    "P8": (72.0, 324.0),
+    "O1": (72.0, 252.0),
+    "O2": (72.0, 288.0),
+}
+
+
+def standard_1020_positions(
+    channels: Sequence[str] = CHANNEL_NAMES_16, head_radius_cm: float = 9.0
+) -> Dict[str, Tuple[float, float, float]]:
+    """Return 3-D scalp coordinates (cm) for ``channels`` on a spherical head.
+
+    Parameters
+    ----------
+    channels:
+        Electrode labels (10-20 names, case-insensitive).
+    head_radius_cm:
+        Radius of the spherical head model in centimetres.
+
+    Returns
+    -------
+    dict
+        Mapping from channel name to ``(x, y, z)`` with x pointing to the
+        right ear, y to the nasion and z through the vertex.
+    """
+    positions: Dict[str, Tuple[float, float, float]] = {}
+    for name in channels:
+        key = name.upper()
+        if key not in _ANGULAR_1020:
+            raise KeyError(f"Unknown 10-20 electrode label: {name!r}")
+        theta_deg, phi_deg = _ANGULAR_1020[key]
+        theta = math.radians(theta_deg)
+        phi = math.radians(phi_deg)
+        x = head_radius_cm * math.sin(theta) * math.cos(phi)
+        y = head_radius_cm * math.sin(theta) * math.sin(phi)
+        z = head_radius_cm * math.cos(theta)
+        positions[name] = (x, y, z)
+    return positions
+
+
+@dataclass
+class Montage:
+    """An ordered set of electrode channels with scalp coordinates.
+
+    The montage defines the channel ordering used throughout the library:
+    synthetic generation, streaming, filtering and model input all share the
+    index assignment held here.
+    """
+
+    channels: Tuple[str, ...] = CHANNEL_NAMES_16
+    head_radius_cm: float = 9.0
+    positions: Dict[str, Tuple[float, float, float]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if len(set(c.upper() for c in self.channels)) != len(self.channels):
+            raise ValueError("Montage channels must be unique")
+        self.positions = standard_1020_positions(self.channels, self.head_radius_cm)
+
+    @property
+    def n_channels(self) -> int:
+        """Number of electrodes in the montage."""
+        return len(self.channels)
+
+    def index_of(self, channel: str) -> int:
+        """Return the row index of ``channel`` in data arrays."""
+        target = channel.upper()
+        for i, name in enumerate(self.channels):
+            if name.upper() == target:
+                return i
+        raise KeyError(f"Channel {channel!r} is not part of this montage")
+
+    def indices_of(self, channels: Sequence[str]) -> List[int]:
+        """Return row indices for several channels, preserving order."""
+        return [self.index_of(c) for c in channels]
+
+    def distance_cm(self, channel_a: str, channel_b: str) -> float:
+        """Euclidean scalp distance between two electrodes in centimetres."""
+        ax, ay, az = self.positions[self._canonical(channel_a)]
+        bx, by, bz = self.positions[self._canonical(channel_b)]
+        return math.sqrt((ax - bx) ** 2 + (ay - by) ** 2 + (az - bz) ** 2)
+
+    def laterality(self, channel: str) -> float:
+        """Signed left/right position of a channel (negative = left hemisphere)."""
+        x, _, _ = self.positions[self._canonical(channel)]
+        return x
+
+    def motor_indices(self) -> List[int]:
+        """Indices of the motor-cortex channels present in this montage."""
+        present = [c for c in MOTOR_CHANNELS if self._has(c)]
+        return self.indices_of(present)
+
+    def frontal_indices(self) -> List[int]:
+        """Indices of frontal channels (FP*/F*) — dominant for blink artifacts."""
+        return [
+            i
+            for i, name in enumerate(self.channels)
+            if name.upper().startswith(("FP", "F"))
+        ]
+
+    def temporal_indices(self) -> List[int]:
+        """Indices of temporal channels (T*) — dominant for EMG artifacts."""
+        return [i for i, name in enumerate(self.channels) if name.upper().startswith("T")]
+
+    def _canonical(self, channel: str) -> str:
+        return self.channels[self.index_of(channel)]
+
+    def _has(self, channel: str) -> bool:
+        try:
+            self.index_of(channel)
+        except KeyError:
+            return False
+        return True

@@ -1,0 +1,104 @@
+"""Spectral quality metrics for EEG signals.
+
+Used to quantify the effect of the preprocessing chain (paper Fig. 5): power
+spectral density before/after filtering, band power in the canonical EEG
+bands, and a band-limited signal-to-noise ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+from scipy import signal as sps
+
+#: Canonical EEG frequency bands (Hz).
+EEG_BANDS: Dict[str, Tuple[float, float]] = {
+    "delta": (0.5, 4.0),
+    "theta": (4.0, 8.0),
+    "alpha": (8.0, 13.0),
+    "beta": (13.0, 30.0),
+    "gamma": (30.0, 45.0),
+}
+
+
+def power_spectral_density(
+    data: np.ndarray, sampling_rate_hz: float = 125.0, nperseg: int = 256
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Welch PSD of a 1-D signal or of each channel of a 2-D array.
+
+    Returns ``(freqs, psd)`` where ``psd`` has shape ``(n_freqs,)`` for 1-D
+    input and ``(n_channels, n_freqs)`` for 2-D input.
+    """
+    arr = np.asarray(data, dtype=float)
+    nperseg = min(nperseg, arr.shape[-1])
+    freqs, psd = sps.welch(arr, fs=sampling_rate_hz, nperseg=nperseg, axis=-1)
+    return freqs, psd
+
+
+def band_power(
+    data: np.ndarray,
+    band_hz: Tuple[float, float],
+    sampling_rate_hz: float = 125.0,
+) -> np.ndarray:
+    """Integrated PSD power within ``band_hz`` (per channel)."""
+    low, high = band_hz
+    if not 0 <= low < high:
+        raise ValueError("band_hz must satisfy 0 <= low < high")
+    freqs, psd = power_spectral_density(data, sampling_rate_hz)
+    mask = (freqs >= low) & (freqs <= high)
+    if not mask.any():
+        return np.zeros(psd.shape[:-1]) if psd.ndim > 1 else np.float64(0.0)
+    return np.trapezoid(psd[..., mask], freqs[mask], axis=-1)
+
+
+def relative_band_power(
+    data: np.ndarray, sampling_rate_hz: float = 125.0
+) -> Dict[str, np.ndarray]:
+    """Power in each canonical band as a fraction of total 0.5-45 Hz power."""
+    total = band_power(data, (0.5, 45.0), sampling_rate_hz)
+    total = np.where(total <= 0, np.finfo(float).tiny, total)
+    return {
+        name: band_power(data, band, sampling_rate_hz) / total
+        for name, band in EEG_BANDS.items()
+    }
+
+
+def signal_to_noise_ratio(
+    data: np.ndarray,
+    signal_band_hz: Tuple[float, float] = (0.5, 45.0),
+    sampling_rate_hz: float = 125.0,
+) -> float:
+    """SNR in dB: power inside ``signal_band_hz`` vs power outside it.
+
+    The paper's filtering aims to maximise this quantity by removing
+    out-of-band noise (drift, line interference, high-frequency EMG).
+    """
+    freqs, psd = power_spectral_density(data, sampling_rate_hz)
+    psd = np.atleast_2d(psd)
+    low, high = signal_band_hz
+    in_band = (freqs >= low) & (freqs <= high)
+    out_band = ~in_band
+    signal_power = np.trapezoid(psd[:, in_band], freqs[in_band], axis=-1).sum()
+    if out_band.sum() < 2:
+        noise_power = np.finfo(float).tiny
+    else:
+        noise_power = np.trapezoid(psd[:, out_band], freqs[out_band], axis=-1).sum()
+        noise_power = max(noise_power, np.finfo(float).tiny)
+    return float(10.0 * np.log10(signal_power / noise_power))
+
+
+def line_noise_power(
+    data: np.ndarray,
+    line_hz: float = 50.0,
+    width_hz: float = 1.0,
+    sampling_rate_hz: float = 125.0,
+) -> float:
+    """Total power in a narrow band around the power-line frequency."""
+    return float(
+        np.sum(
+            band_power(
+                data, (line_hz - width_hz, line_hz + width_hz), sampling_rate_hz
+            )
+        )
+    )

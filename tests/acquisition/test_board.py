@@ -1,0 +1,119 @@
+"""Tests for the simulated Cyton + Daisy board."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition.board import BoardConfig, BoardError, SimulatedCytonDaisyBoard
+from repro.signals.synthetic import ACTION_LEFT, ACTION_RIGHT
+
+
+@pytest.fixture()
+def board():
+    b = SimulatedCytonDaisyBoard()
+    b.prepare_session()
+    b.start_stream()
+    return b
+
+
+class TestSessionLifecycle:
+    def test_cannot_start_before_prepare(self):
+        board = SimulatedCytonDaisyBoard()
+        with pytest.raises(BoardError):
+            board.start_stream()
+
+    def test_double_prepare_rejected(self):
+        board = SimulatedCytonDaisyBoard()
+        board.prepare_session()
+        with pytest.raises(BoardError):
+            board.prepare_session()
+
+    def test_stop_without_start_rejected(self):
+        board = SimulatedCytonDaisyBoard()
+        board.prepare_session()
+        with pytest.raises(BoardError):
+            board.stop_stream()
+
+    def test_release_stops_stream_and_clears(self, board):
+        board.advance(1.0)
+        board.release_session()
+        assert not board.is_streaming
+        with pytest.raises(BoardError):
+            board.get_current_board_data(10)
+
+    def test_advance_requires_streaming(self):
+        board = SimulatedCytonDaisyBoard()
+        board.prepare_session()
+        with pytest.raises(BoardError):
+            board.advance(1.0)
+
+
+class TestDataFlow:
+    def test_advance_produces_expected_sample_count(self, board):
+        block = board.advance(2.0)
+        assert block.shape == (16, 250)
+        assert board.available_samples() == 250
+
+    def test_get_current_board_data_is_non_destructive(self, board):
+        board.advance(1.0)
+        board.get_current_board_data(50)
+        assert board.available_samples() == 125
+
+    def test_get_board_data_drains_buffer(self, board):
+        board.advance(1.0)
+        data, ts = board.get_board_data()
+        assert data.shape[1] == 125
+        assert ts.shape[0] == 125
+        assert board.available_samples() == 0
+
+    def test_get_board_data_when_empty(self, board):
+        data, ts = board.get_board_data()
+        assert data.shape == (16, 0)
+        assert ts.shape == (0,)
+
+    def test_timestamps_increase_monotonically_on_average(self, board):
+        board.advance(2.0)
+        _, ts = board.get_current_board_data(250)
+        # Jitter may locally reorder but the overall trend must be increasing.
+        assert ts[-1] > ts[0]
+        assert np.median(np.diff(ts)) == pytest.approx(1.0 / 125.0, rel=0.2)
+
+    def test_sim_time_advances(self, board):
+        board.advance(1.5)
+        assert board.sim_time_s == pytest.approx(1.5, abs=0.02)
+
+    def test_invalid_advance_duration(self, board):
+        with pytest.raises(ValueError):
+            board.advance(0.0)
+
+
+class TestActionsAndMarkers:
+    def test_set_action_changes_generated_statistics(self, board):
+        c3 = board.montage.index_of("C3")
+        from repro.signals.quality import band_power
+
+        board.set_action(ACTION_RIGHT)
+        right = np.mean(
+            [band_power(board.advance(2.0)[c3], (8, 30), 125.0) for _ in range(4)]
+        )
+        board.set_action(ACTION_LEFT)
+        left = np.mean(
+            [band_power(board.advance(2.0)[c3], (8, 30), 125.0) for _ in range(4)]
+        )
+        assert right < left
+
+    def test_invalid_action_rejected(self, board):
+        with pytest.raises(ValueError):
+            board.set_action("fly")
+
+    def test_markers_record_time_and_label(self, board):
+        board.advance(1.0)
+        board.insert_marker("cue:right")
+        assert board.markers == [(pytest.approx(1.0, abs=0.02), "cue:right")]
+
+    def test_montage_board_channel_mismatch_rejected(self):
+        from repro.signals.montage import Montage
+
+        with pytest.raises(ValueError):
+            SimulatedCytonDaisyBoard(
+                config=BoardConfig(n_channels=8), montage=Montage()
+            )

@@ -1,0 +1,113 @@
+"""Tests for the ring buffer, including hypothesis invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acquisition.ringbuffer import RingBuffer
+
+
+class TestRingBufferBasics:
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0, 10)
+        with pytest.raises(ValueError):
+            RingBuffer(4, 0)
+
+    def test_append_single_sample(self):
+        buf = RingBuffer(3, 10)
+        buf.append(np.array([1.0, 2.0, 3.0]))
+        data, ts = buf.latest(1)
+        np.testing.assert_allclose(data[:, 0], [1.0, 2.0, 3.0])
+        assert np.isnan(ts[0])
+
+    def test_append_block_with_timestamps(self):
+        buf = RingBuffer(2, 10)
+        block = np.arange(8).reshape(2, 4).astype(float)
+        buf.append(block, timestamps=np.array([0.1, 0.2, 0.3, 0.4]))
+        data, ts = buf.latest(4)
+        np.testing.assert_allclose(data, block)
+        np.testing.assert_allclose(ts, [0.1, 0.2, 0.3, 0.4])
+
+    def test_channel_mismatch_raises(self):
+        buf = RingBuffer(3, 10)
+        with pytest.raises(ValueError):
+            buf.append(np.zeros((2, 5)))
+
+    def test_timestamp_length_mismatch_raises(self):
+        buf = RingBuffer(2, 10)
+        with pytest.raises(ValueError):
+            buf.append(np.zeros((2, 3)), timestamps=np.zeros(2))
+
+    def test_latest_more_than_available_raises(self):
+        buf = RingBuffer(2, 10)
+        buf.append(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            buf.latest(4)
+
+    def test_latest_zero_raises(self):
+        buf = RingBuffer(2, 10)
+        buf.append(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            buf.latest(0)
+
+    def test_overwrite_keeps_most_recent(self):
+        buf = RingBuffer(1, 5)
+        buf.append(np.arange(8, dtype=float)[None, :])
+        data, _ = buf.latest(5)
+        np.testing.assert_allclose(data[0], [3, 4, 5, 6, 7])
+
+    def test_wraparound_ordering(self):
+        buf = RingBuffer(1, 4)
+        buf.append(np.array([[0.0, 1.0, 2.0]]))
+        buf.append(np.array([[3.0, 4.0]]))
+        data, _ = buf.latest(4)
+        np.testing.assert_allclose(data[0], [1, 2, 3, 4])
+
+    def test_clear_resets_count_not_capacity(self):
+        buf = RingBuffer(2, 6)
+        buf.append(np.zeros((2, 4)))
+        buf.clear()
+        assert len(buf) == 0
+        buf.append(np.ones((2, 2)))
+        assert len(buf) == 2
+
+    def test_total_appended_counts_overwritten(self):
+        buf = RingBuffer(1, 3)
+        buf.append(np.zeros((1, 5)))
+        assert buf.total_appended == 5
+        assert len(buf) == 3
+        assert buf.is_full
+
+
+class TestRingBufferProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        chunks=st.lists(st.integers(min_value=1, max_value=12), min_size=1, max_size=12),
+        capacity=st.integers(min_value=1, max_value=20),
+    )
+    def test_property_latest_matches_tail_of_history(self, chunks, capacity):
+        """The buffer always holds exactly the tail of everything appended."""
+        buf = RingBuffer(1, capacity)
+        history = []
+        value = 0.0
+        for size in chunks:
+            block = np.arange(value, value + size, dtype=float)[None, :]
+            value += size
+            history.extend(block[0].tolist())
+            buf.append(block)
+        expected_count = min(capacity, len(history))
+        assert len(buf) == expected_count
+        data, _ = buf.latest(expected_count)
+        np.testing.assert_allclose(data[0], history[-expected_count:])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=30),
+        capacity=st.integers(min_value=1, max_value=30),
+    )
+    def test_property_count_never_exceeds_capacity(self, n, capacity):
+        buf = RingBuffer(2, capacity)
+        buf.append(np.zeros((2, n)))
+        assert len(buf) <= capacity

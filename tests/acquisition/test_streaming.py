@@ -1,0 +1,93 @@
+"""Tests for the LSL-like and UDP-like stream transports (Fig. 4 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition.streaming import (
+    LSLStream,
+    StreamMetrics,
+    UDPStream,
+    compare_transports,
+)
+
+
+class TestLSLStream:
+    def test_delivers_every_sample_in_order(self):
+        stream = LSLStream(n_channels=4, seed=1)
+        for i in range(100):
+            stream.send(np.full(4, float(i)), source_time_s=i * 0.008)
+        delivered = stream.receive_all()
+        assert len(delivered) == 100
+        assert [s.sequence for s in delivered] == list(range(100))
+
+    def test_timestamps_are_corrected_for_clock_offset(self):
+        stream = LSLStream(n_channels=2, seed=2, clock_offset_s=0.5)
+        stream.send(np.zeros(2), source_time_s=1.0)
+        sample = stream.receive_all()[0]
+        assert abs(sample.source_timestamp_s - 1.0) < 0.01
+
+    def test_without_correction_offset_remains(self):
+        stream = LSLStream(
+            n_channels=2, seed=2, clock_offset_s=0.5, apply_time_correction=False
+        )
+        stream.send(np.zeros(2), source_time_s=1.0)
+        sample = stream.receive_all()[0]
+        assert abs(sample.source_timestamp_s - 1.5) < 0.01
+
+    def test_wrong_channel_count_rejected(self):
+        stream = LSLStream(n_channels=4)
+        with pytest.raises(ValueError):
+            stream.send(np.zeros(3), 0.0)
+
+
+class TestUDPStream:
+    def test_some_packets_dropped(self):
+        stream = UDPStream(n_channels=2, seed=3, drop_probability=0.2)
+        for i in range(500):
+            stream.send(np.zeros(2), source_time_s=i * 0.008)
+        assert 0 < len(stream.receive_all()) < 500
+
+    def test_no_source_timestamps(self):
+        stream = UDPStream(n_channels=2, seed=4, drop_probability=0.0)
+        stream.send(np.zeros(2), 0.0)
+        assert stream.receive_all()[0].source_timestamp_s is None
+
+    def test_zero_drop_delivers_all(self):
+        stream = UDPStream(n_channels=2, seed=5, drop_probability=0.0)
+        for i in range(50):
+            stream.send(np.zeros(2), i * 0.008)
+        assert len(stream.receive_all()) == 50
+
+    def test_bandwidth_efficiency_better_than_lsl(self):
+        udp = UDPStream(n_channels=16, seed=6)
+        lsl = LSLStream(n_channels=16, seed=6)
+        for i in range(10):
+            udp.send(np.zeros(16), i * 0.008)
+            lsl.send(np.zeros(16), i * 0.008)
+        assert udp.bandwidth_efficiency > lsl.bandwidth_efficiency
+
+
+class TestCompareTransports:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return compare_transports(n_samples=1000, seed=0)
+
+    def test_returns_both_transports(self, results):
+        assert set(results) == {"lsl", "udp"}
+        assert all(isinstance(m, StreamMetrics) for m in results.values())
+
+    def test_lsl_wins_on_sync_latency_reliability_jitter(self, results):
+        lsl, udp = results["lsl"], results["udp"]
+        assert lsl.sync_error_ms < udp.sync_error_ms
+        assert lsl.jitter_ms < udp.jitter_ms
+        assert lsl.delivery_ratio > udp.delivery_ratio
+        assert lsl.ordered_ratio >= udp.ordered_ratio
+
+    def test_udp_wins_only_on_bandwidth(self, results):
+        lsl, udp = results["lsl"], results["udp"]
+        assert udp.bandwidth_efficiency > lsl.bandwidth_efficiency
+
+    def test_scores_in_valid_range(self, results):
+        for metrics in results.values():
+            for value in metrics.as_scores().values():
+                assert 0.0 <= value <= 10.0

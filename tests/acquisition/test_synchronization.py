@@ -1,0 +1,97 @@
+"""Tests for clock synchronisation and timestamp dejittering."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition.synchronization import (
+    ClockSynchronizer,
+    TimestampCorrector,
+    jitter_statistics,
+)
+
+
+class TestClockSynchronizer:
+    def test_no_observations_gives_zero_offset(self):
+        assert ClockSynchronizer().offset_s() == 0.0
+
+    def test_recovers_constant_offset(self):
+        sync = ClockSynchronizer()
+        true_offset = 0.25
+        for i in range(20):
+            local_send = i * 0.1
+            local_recv = local_send + 0.004
+            remote = 0.5 * (local_send + local_recv) + true_offset
+            sync.add_probe(local_send, remote, local_recv)
+        assert sync.offset_s() == pytest.approx(true_offset, abs=1e-9)
+
+    def test_robust_to_outlier_probes(self):
+        sync = ClockSynchronizer()
+        for i in range(30):
+            local_send = i * 0.1
+            local_recv = local_send + 0.004
+            remote = 0.5 * (local_send + local_recv) + 0.1
+            sync.add_probe(local_send, remote, local_recv)
+        # One wildly delayed probe should barely move the median.
+        sync.add_probe(5.0, 5.1 + 3.0, 5.01)
+        assert sync.offset_s() == pytest.approx(0.1, abs=0.01)
+
+    def test_to_local_inverts_offset(self):
+        sync = ClockSynchronizer()
+        sync.add_probe(0.0, 1.0, 0.0)
+        assert sync.to_local(2.0) == pytest.approx(1.0)
+
+    def test_invalid_probe_rejected(self):
+        with pytest.raises(ValueError):
+            ClockSynchronizer().add_probe(1.0, 1.0, 0.5)
+
+    def test_history_is_bounded(self):
+        sync = ClockSynchronizer(history_size=5)
+        for i in range(20):
+            sync.add_probe(i, i + 0.1, i)
+        assert sync.n_observations == 5
+
+
+class TestTimestampCorrector:
+    def test_reduces_jitter(self):
+        fs = 125.0
+        rng = np.random.default_rng(0)
+        true_times = np.arange(500) / fs
+        noisy = true_times + rng.normal(0, 0.002, size=500)
+        corrector = TimestampCorrector(fs)
+        corrected = corrector.correct_block(noisy)
+        _, raw_std = jitter_statistics(noisy, fs)
+        _, corr_std = jitter_statistics(corrected, fs)
+        assert corr_std < 0.5 * raw_std
+
+    def test_first_timestamp_passthrough(self):
+        corrector = TimestampCorrector(125.0)
+        assert corrector.correct(3.0) == 3.0
+
+    def test_tracks_slow_drift(self):
+        fs = 100.0
+        corrector = TimestampCorrector(fs, learning_rate=0.2)
+        # Clock running 0.1% fast.
+        raw = [i * (1.001 / fs) for i in range(1000)]
+        corrected = corrector.correct_block(raw)
+        assert abs(corrected[-1] - raw[-1]) < 0.05
+
+    def test_reset_clears_state(self):
+        corrector = TimestampCorrector(125.0)
+        corrector.correct(1.0)
+        corrector.reset()
+        assert corrector.correct(10.0) == 10.0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TimestampCorrector(0.0)
+
+
+class TestJitterStatistics:
+    def test_perfect_grid_has_zero_jitter(self):
+        ts = np.arange(100) / 125.0
+        mad, std = jitter_statistics(ts, 125.0)
+        assert mad == pytest.approx(0.0, abs=1e-9)
+        assert std == pytest.approx(0.0, abs=1e-9)
+
+    def test_short_input_returns_zeros(self):
+        assert jitter_statistics([1.0], 125.0) == (0.0, 0.0)

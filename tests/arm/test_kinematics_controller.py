@@ -1,0 +1,203 @@
+"""Tests for kinematics, the pose library and the arm controller."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arm.controller import ActionMapping, ArmController, ProstheticArm
+from repro.arm.kinematics import ArmGeometry, ArmKinematics, JointLimits, JointState
+from repro.arm.poses import POSE_LIBRARY, TaskScript, task_library
+from repro.asr.commands import MODE_ARM, MODE_ELBOW, MODE_FINGERS
+from repro.signals.synthetic import ACTION_IDLE, ACTION_LEFT, ACTION_RIGHT
+
+
+class TestJointLimits:
+    def test_clamp_and_contains(self):
+        limits = JointLimits(10.0, 160.0)
+        assert limits.clamp(200.0) == 160.0
+        assert limits.clamp(-5.0) == 10.0
+        assert limits.contains(90.0)
+        assert not limits.contains(0.0)
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            JointLimits(100.0, 50.0)
+
+    def test_normalised_maps_to_unit_interval(self):
+        limits = JointLimits(0.0, 100.0)
+        assert limits.normalised(50.0) == pytest.approx(0.5)
+        assert limits.normalised(150.0) == 1.0
+
+
+class TestKinematics:
+    @pytest.fixture()
+    def kin(self):
+        return ArmKinematics()
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            ArmGeometry(upper_arm_cm=-1.0)
+
+    def test_missing_limits_rejected(self):
+        with pytest.raises(ValueError):
+            ArmKinematics(limits={"elbow_deg": JointLimits(0, 10)})
+
+    def test_fully_extended_reach_is_maximal(self, kin):
+        extended = JointState(elbow_deg=0.0, wrist_rotation_deg=0.0, grip_percent=0.0)
+        # elbow 0 deg is outside the limits, so use the clamped version.
+        clamped = kin.clamp(extended)
+        reach = kin.reach_cm(clamped)
+        assert reach <= kin.max_reach_cm()
+        assert reach > 0.5 * kin.max_reach_cm()
+
+    def test_elbow_flexion_raises_fingertip(self, kin):
+        low = kin.fingertip_position_cm(JointState(elbow_deg=20.0))
+        high = kin.fingertip_position_cm(JointState(elbow_deg=150.0))
+        assert high[2] > low[2]
+
+    def test_wrist_rotation_moves_fingertip_laterally(self, kin):
+        neutral = kin.fingertip_position_cm(JointState(elbow_deg=90.0, wrist_rotation_deg=0.0))
+        rotated = kin.fingertip_position_cm(JointState(elbow_deg=90.0, wrist_rotation_deg=60.0))
+        assert abs(rotated[1]) > abs(neutral[1])
+
+    def test_grip_shortens_reach(self, kin):
+        open_hand = kin.reach_cm(JointState(elbow_deg=90.0, grip_percent=0.0))
+        closed = kin.reach_cm(JointState(elbow_deg=90.0, grip_percent=100.0))
+        assert closed < open_hand
+
+    def test_servo_targets_within_servo_range(self, kin):
+        targets = kin.servo_targets(JointState(elbow_deg=90.0, wrist_rotation_deg=45.0,
+                                                grip_percent=50.0))
+        assert set(targets) == {"elbow", "wrist", "finger_thumb", "finger_index", "finger_rest"}
+        for angle in targets.values():
+            assert 0.0 <= angle <= 180.0
+
+    def test_finger_servos_share_grip_command(self, kin):
+        targets = kin.servo_targets(JointState(grip_percent=30.0))
+        assert targets["finger_thumb"] == targets["finger_index"] == targets["finger_rest"]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        elbow=st.floats(min_value=-50, max_value=250),
+        wrist=st.floats(min_value=-200, max_value=200),
+        grip=st.floats(min_value=-50, max_value=150),
+    )
+    def test_property_clamp_always_within_limits(self, elbow, wrist, grip):
+        kin = ArmKinematics()
+        clamped = kin.clamp(JointState(elbow_deg=elbow, wrist_rotation_deg=wrist,
+                                       grip_percent=grip))
+        assert kin.within_limits(clamped)
+        assert kin.reach_cm(clamped) <= kin.max_reach_cm() + 1e-9
+
+
+class TestPoses:
+    def test_pose_library_states_within_limits(self):
+        kin = ArmKinematics()
+        for pose in POSE_LIBRARY.values():
+            assert kin.within_limits(kin.clamp(pose.state))
+
+    def test_blend_endpoints(self):
+        rest, raised = POSE_LIBRARY["rest"], POSE_LIBRARY["raised"]
+        assert rest.blend(raised, 0.0).elbow_deg == rest.state.elbow_deg
+        assert rest.blend(raised, 1.0).elbow_deg == raised.state.elbow_deg
+        with pytest.raises(ValueError):
+            rest.blend(raised, 1.5)
+
+    def test_task_library_contains_paper_tasks(self):
+        tasks = task_library()
+        assert {"handshake", "cup_picking", "ball_catch"} <= set(tasks)
+
+    def test_task_script_validation(self):
+        with pytest.raises(ValueError):
+            TaskScript("empty", ())
+        with pytest.raises(ValueError):
+            TaskScript("bad", ((POSE_LIBRARY["rest"], 0.0),))
+
+    def test_pose_at_interpolates_over_time(self):
+        script = task_library()["handshake"]
+        start = script.pose_at(0.0)
+        end = script.pose_at(script.duration_s + 1.0)
+        middle = script.pose_at(script.duration_s / 2)
+        assert start.grip_percent == POSE_LIBRARY["rest"].state.grip_percent
+        assert end.grip_percent == POSE_LIBRARY["rest"].state.grip_percent
+        assert middle.grip_percent != start.grip_percent
+
+
+class TestController:
+    @pytest.fixture()
+    def controller(self):
+        return ArmController()
+
+    def test_invalid_mode_rejected(self, controller):
+        with pytest.raises(ValueError):
+            controller.set_mode("shoulder")
+        with pytest.raises(ValueError):
+            ArmController(initial_mode="leg")
+
+    def test_idle_action_keeps_state(self, controller):
+        before = controller.joint_state().as_dict()
+        controller.apply_action(ACTION_IDLE)
+        assert controller.joint_state().as_dict() == before
+
+    def test_arm_mode_right_raises_elbow(self, controller):
+        controller.set_mode(MODE_ARM)
+        before = controller.joint_state().elbow_deg
+        controller.apply_action(ACTION_RIGHT)
+        assert controller.joint_state().elbow_deg > before
+
+    def test_arm_mode_left_lowers_elbow(self, controller):
+        controller.set_mode(MODE_ARM)
+        before = controller.joint_state().elbow_deg
+        controller.apply_action(ACTION_LEFT)
+        assert controller.joint_state().elbow_deg < before
+
+    def test_elbow_mode_rotates_wrist(self, controller):
+        controller.set_mode(MODE_ELBOW)
+        controller.apply_action(ACTION_RIGHT)
+        assert controller.joint_state().wrist_rotation_deg > 0
+
+    def test_fingers_mode_changes_grip(self, controller):
+        controller.set_mode(MODE_FINGERS)
+        controller.apply_action(ACTION_RIGHT)
+        closed = controller.joint_state().grip_percent
+        controller.apply_action(ACTION_LEFT)
+        assert closed > 0
+        assert controller.joint_state().grip_percent < closed
+
+    def test_confidence_scales_increment(self):
+        confident = ArmController()
+        hesitant = ArmController()
+        confident.apply_action(ACTION_RIGHT, confidence=1.0)
+        hesitant.apply_action(ACTION_RIGHT, confidence=0.25)
+        assert (
+            confident.joint_state().elbow_deg - 90.0
+            > hesitant.joint_state().elbow_deg - 90.0
+        )
+
+    def test_invalid_action_and_confidence_rejected(self, controller):
+        with pytest.raises(ValueError):
+            controller.apply_action("jump")
+        with pytest.raises(ValueError):
+            controller.apply_action(ACTION_RIGHT, confidence=2.0)
+
+    def test_joint_limits_respected_under_repeated_actions(self, controller):
+        controller.set_mode(MODE_ARM)
+        for _ in range(40):
+            controller.apply_action(ACTION_RIGHT)
+        assert controller.joint_state().elbow_deg <= 160.0
+
+    def test_action_log_records_mode_and_action(self, controller):
+        controller.set_mode(MODE_FINGERS)
+        controller.apply_action(ACTION_RIGHT)
+        assert controller.action_log[-1] == (MODE_FINGERS, ACTION_RIGHT)
+
+    def test_invalid_mapping_rejected(self):
+        with pytest.raises(ValueError):
+            ActionMapping(elbow_step_deg=0.0)
+
+    def test_prosthetic_arm_trajectory_recorded(self):
+        arm = ProstheticArm()
+        arm.move_to(JointState(elbow_deg=120.0))
+        assert len(arm.trajectory) == 2
+        assert arm.fingertip_position_cm() is not None

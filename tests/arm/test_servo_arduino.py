@@ -1,0 +1,171 @@
+"""Tests for servo dynamics, calibration and the Arduino serial protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arm.arduino import (
+    ArduinoLink,
+    ProtocolError,
+    ServoCommand,
+    decode_frame,
+    encode_frame,
+)
+from repro.arm.servo import ServoCalibration, ServoMotor, ServoSpec
+
+
+class TestServoSpec:
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            ServoSpec("bad", min_angle_deg=90, max_angle_deg=10)
+        with pytest.raises(ValueError):
+            ServoSpec("bad", slew_rate_dps=0)
+        with pytest.raises(ValueError):
+            ServoSpec("bad", min_pulse_us=2000, max_pulse_us=1000)
+
+
+class TestServoMotor:
+    def test_command_clamped_to_range(self):
+        servo = ServoMotor(ServoSpec("elbow"))
+        assert servo.command(500.0) == 180.0
+        assert servo.command(-50.0) == 0.0
+
+    def test_slew_rate_limits_motion(self):
+        servo = ServoMotor(ServoSpec("elbow", slew_rate_dps=100.0), initial_angle_deg=0.0)
+        servo.command(180.0)
+        servo.step(0.1)  # can move at most 10 degrees
+        assert servo.angle_deg == pytest.approx(10.0)
+
+    def test_settle_reaches_target(self):
+        servo = ServoMotor(ServoSpec("elbow"), initial_angle_deg=0.0)
+        servo.command(90.0)
+        assert servo.settle() == pytest.approx(90.0, abs=1e-3)
+
+    def test_pulse_width_command_maps_linearly(self):
+        servo = ServoMotor(ServoSpec("elbow"))
+        assert servo.command_pulse(1000.0) == pytest.approx(0.0)
+        assert servo.command_pulse(1500.0) == pytest.approx(90.0)
+        assert servo.command_pulse(2000.0) == pytest.approx(180.0)
+
+    def test_invalid_step_rejected(self):
+        servo = ServoMotor(ServoSpec("elbow"))
+        with pytest.raises(ValueError):
+            servo.step(0.0)
+
+    def test_calibration_corrects_distortion(self):
+        distortion = ServoCalibration(offset_deg=-8.0, scale=1.1)
+        servo = ServoMotor(ServoSpec("elbow"), distortion=distortion)
+        servo.calibrate()
+        servo.command_calibrated(90.0)
+        servo.settle()
+        assert servo.angle_deg == pytest.approx(90.0, abs=1.0)
+
+    def test_calibration_identity_when_no_distortion(self):
+        servo = ServoMotor(ServoSpec("elbow"))
+        calibration = servo.calibrate()
+        assert calibration.scale == pytest.approx(1.0, abs=1e-6)
+        assert calibration.offset_deg == pytest.approx(0.0, abs=1e-6)
+
+    def test_zero_scale_calibration_invert_rejected(self):
+        with pytest.raises(ValueError):
+            ServoCalibration(scale=0.0).invert(90.0)
+
+
+class TestSerialProtocol:
+    def test_round_trip(self):
+        commands = [ServoCommand(0, 45.5), ServoCommand(3, 170.25)]
+        decoded = decode_frame(encode_frame(commands))
+        assert len(decoded) == 2
+        assert decoded[0].channel == 0
+        assert decoded[0].angle_deg == pytest.approx(45.5, abs=0.01)
+        assert decoded[1].angle_deg == pytest.approx(170.25, abs=0.01)
+
+    def test_invalid_commands_rejected(self):
+        with pytest.raises(ValueError):
+            ServoCommand(16, 90.0)
+        with pytest.raises(ValueError):
+            ServoCommand(0, 200.0)
+
+    def test_empty_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame([])
+
+    def test_corrupted_checksum_detected(self):
+        frame = bytearray(encode_frame([ServoCommand(0, 90.0)]))
+        frame[-1] ^= 0xFF
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(frame))
+
+    def test_truncated_frame_detected(self):
+        frame = encode_frame([ServoCommand(0, 90.0), ServoCommand(1, 45.0)])
+        with pytest.raises(ProtocolError):
+            decode_frame(frame[:-4])
+
+    def test_bad_header_detected(self):
+        frame = bytearray(encode_frame([ServoCommand(0, 90.0)]))
+        frame[0] = 0x00
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(frame))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        channels=st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=5,
+                          unique=True),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_round_trip_preserves_commands(self, channels, seed):
+        rng = np.random.default_rng(seed)
+        commands = [ServoCommand(c, float(rng.uniform(0, 180))) for c in channels]
+        decoded = decode_frame(encode_frame(commands))
+        assert [d.channel for d in decoded] == channels
+        for original, restored in zip(commands, decoded):
+            assert restored.angle_deg == pytest.approx(original.angle_deg, abs=0.01)
+
+
+class TestArduinoLink:
+    def _link(self, corruption=0.0):
+        servos = {0: ServoMotor(ServoSpec("elbow")), 1: ServoMotor(ServoSpec("wrist"))}
+        return ArduinoLink(servos, corruption_probability=corruption, seed=0), servos
+
+    def test_send_applies_setpoints(self):
+        link, servos = self._link()
+        link.send([ServoCommand(0, 120.0)])
+        assert servos[0].commanded_angle_deg == pytest.approx(120.0)
+
+    def test_latency_scales_with_frame_size(self):
+        link, _ = self._link()
+        short = link.transmission_time_s(encode_frame([ServoCommand(0, 1.0)]))
+        long = link.transmission_time_s(
+            encode_frame([ServoCommand(c, 1.0) for c in range(5)])
+        )
+        assert long > short
+
+    def test_corrupted_frames_rejected_but_counted(self):
+        link, servos = self._link(corruption=1.0)
+        before = servos[0].commanded_angle_deg
+        for _ in range(10):
+            link.send([ServoCommand(0, 175.0)])
+        assert link.rejection_rate == pytest.approx(1.0)
+        assert servos[0].commanded_angle_deg == before
+
+    def test_unknown_channel_ignored(self):
+        link, _ = self._link()
+        link.send([ServoCommand(9, 90.0)])  # no servo attached to channel 9
+        assert link.frames_rejected == 0
+
+    def test_step_advances_all_servos(self):
+        link, servos = self._link()
+        link.send([ServoCommand(0, 180.0), ServoCommand(1, 0.0)])
+        angles = link.step(0.05)
+        assert set(angles) == {0, 1}
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ArduinoLink({})
+        with pytest.raises(ValueError):
+            ArduinoLink({0: ServoMotor(ServoSpec("x"))}, baud_rate=0)
+        with pytest.raises(ValueError):
+            ArduinoLink({0: ServoMotor(ServoSpec("x"))}, corruption_probability=1.5)
+        with pytest.raises(ValueError):
+            ArduinoLink({0: ServoMotor(ServoSpec("x"))}, corruption_probability=-0.1)

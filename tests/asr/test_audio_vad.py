@@ -1,0 +1,99 @@
+"""Tests for synthetic command audio and voice activity detection."""
+
+import numpy as np
+import pytest
+
+from repro.asr.audio import DISTRACTORS, KEYWORDS, CommandAudioGenerator
+from repro.asr.vad import VADConfig, VoiceActivityDetector
+
+
+class TestCommandAudioGenerator:
+    @pytest.fixture()
+    def generator(self):
+        return CommandAudioGenerator(seed=0)
+
+    def test_utterance_length_matches_duration(self, generator):
+        waveform = generator.utterance("arm")
+        assert waveform.shape[0] == int(0.6 * 16000)
+
+    def test_unknown_word_rejected(self, generator):
+        with pytest.raises(ValueError):
+            generator.utterance("banana")
+
+    def test_silence_is_quiet(self, generator):
+        silence = generator.utterance("silence")
+        speech = generator.utterance("fingers")
+        assert np.mean(silence**2) < 0.2 * np.mean(speech**2)
+
+    def test_different_words_differ_spectrally(self, generator):
+        a = np.abs(np.fft.rfft(generator.utterance("arm")))
+        b = np.abs(np.fft.rfft(generator.utterance("fingers")))
+        correlation = np.corrcoef(a, b)[0, 1]
+        assert correlation < 0.95
+
+    def test_labelled_dataset_balanced(self, generator):
+        waveforms, labels = generator.labelled_dataset(n_per_word=5)
+        assert len(waveforms) == len(labels) == 5 * (len(KEYWORDS) + len(DISTRACTORS))
+        for word in KEYWORDS:
+            assert labels.count(word) == 5
+
+    def test_stream_embeds_commands_at_schedule(self, generator):
+        stream = generator.stream_with_commands([(1.0, "arm"), (3.0, "elbow")], 5.0)
+        assert stream.shape[0] == 5 * 16000
+        command_region = stream[int(1.0 * 16000) : int(1.4 * 16000)]
+        quiet_region = stream[:int(0.5 * 16000)]
+        assert np.mean(command_region**2) > 2.0 * np.mean(quiet_region**2)
+
+    def test_stream_command_outside_duration_rejected(self, generator):
+        with pytest.raises(ValueError):
+            generator.stream_with_commands([(10.0, "arm")], 5.0)
+
+
+class TestVADConfig:
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            VADConfig(frame_duration_s=0.0)
+        with pytest.raises(ValueError):
+            VADConfig(energy_threshold=0.5)
+        with pytest.raises(ValueError):
+            VADConfig(hangover_frames=-1)
+        with pytest.raises(ValueError):
+            VADConfig(noise_adaptation=1.5)
+
+
+class TestVoiceActivityDetector:
+    @pytest.fixture()
+    def generator(self):
+        return CommandAudioGenerator(seed=1)
+
+    @pytest.fixture()
+    def vad(self):
+        return VoiceActivityDetector()
+
+    def test_detects_speech_segment(self, generator, vad):
+        stream = generator.stream_with_commands([(1.0, "arm")], 3.0)
+        segments = vad.voiced_segments(stream)
+        assert segments
+        assert any(start <= 1.05 <= end + 0.2 for start, end in segments)
+
+    def test_pure_noise_mostly_unvoiced(self, generator, vad):
+        rng = np.random.default_rng(2)
+        noise = 0.05 * rng.standard_normal(3 * 16000)
+        assert vad.activity_fraction(noise) < 0.3
+
+    def test_activity_fraction_increases_with_speech_density(self, generator, vad):
+        sparse = generator.stream_with_commands([(1.0, "arm")], 6.0)
+        dense = generator.stream_with_commands(
+            [(0.5, "arm"), (1.5, "elbow"), (2.5, "fingers"), (3.5, "arm"), (4.5, "elbow")], 6.0
+        )
+        assert vad.activity_fraction(dense) > vad.activity_fraction(sparse)
+
+    def test_empty_audio_returns_empty_decisions(self, vad):
+        assert vad.detect_frames(np.zeros(10)).size == 0
+        assert vad.activity_fraction(np.zeros(10)) == 0.0
+
+    def test_hangover_extends_activity(self, generator):
+        stream = generator.stream_with_commands([(0.5, "arm")], 2.0)
+        short = VoiceActivityDetector(VADConfig(hangover_frames=0))
+        long = VoiceActivityDetector(VADConfig(hangover_frames=10))
+        assert long.activity_fraction(stream) >= short.activity_fraction(stream)

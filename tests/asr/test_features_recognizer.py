@@ -1,0 +1,137 @@
+"""Tests for MFCC features, the recogniser family and the command pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.asr.audio import KEYWORDS, CommandAudioGenerator
+from repro.asr.commands import CommandGrammar, VoiceCommandPipeline
+from repro.asr.features import log_mel_spectrogram, mel_filterbank, mfcc, utterance_embedding
+from repro.asr.recognizer import (
+    ASR_MODEL_FAMILY,
+    KeywordRecognizer,
+    RecognizerProfile,
+    recognizer_family,
+)
+
+
+class TestFeatures:
+    def test_mel_filterbank_shape_and_coverage(self):
+        bank = mel_filterbank(26, 512, 16000.0)
+        assert bank.shape == (26, 257)
+        assert (bank >= 0).all()
+        assert bank.sum(axis=1).min() > 0  # every filter covers some bins
+
+    def test_log_mel_shape(self):
+        audio = np.random.default_rng(0).standard_normal(16000)
+        features = log_mel_spectrogram(audio)
+        assert features.shape[1] == 26
+        assert features.shape[0] > 0
+
+    def test_mfcc_shape_and_argument_validation(self):
+        audio = np.random.default_rng(0).standard_normal(16000)
+        coefficients = mfcc(audio, n_coefficients=13)
+        assert coefficients.shape[1] == 13
+        with pytest.raises(ValueError):
+            mfcc(audio, n_coefficients=0)
+        with pytest.raises(ValueError):
+            mfcc(audio, n_coefficients=40)
+
+    def test_short_audio_rejected(self):
+        with pytest.raises(ValueError):
+            log_mel_spectrogram(np.zeros(10))
+
+    def test_utterance_embedding_fixed_length(self):
+        gen = CommandAudioGenerator(seed=0)
+        embedding = utterance_embedding(gen.utterance("arm"))
+        assert embedding.shape == (26,)
+
+    def test_same_word_embeddings_closer_than_different_words(self):
+        gen = CommandAudioGenerator(seed=1)
+        arm1 = utterance_embedding(gen.utterance("arm"))
+        arm2 = utterance_embedding(gen.utterance("arm"))
+        fingers = utterance_embedding(gen.utterance("fingers"))
+        assert np.linalg.norm(arm1 - arm2) < np.linalg.norm(arm1 - fingers)
+
+
+class TestRecognizer:
+    @pytest.fixture(scope="class")
+    def trained_small(self):
+        generator = CommandAudioGenerator(seed=2)
+        waveforms, labels = generator.labelled_dataset(n_per_word=12)
+        profile = ASR_MODEL_FAMILY[2]  # kws-small
+        return KeywordRecognizer(profile, seed=0).fit(waveforms, labels), generator
+
+    def test_fit_validation(self):
+        recognizer = KeywordRecognizer(ASR_MODEL_FAMILY[0])
+        with pytest.raises(ValueError):
+            recognizer.fit([], [])
+        with pytest.raises(ValueError):
+            recognizer.fit([np.zeros(16000)], ["arm", "elbow"])
+
+    def test_transcribe_before_fit_raises(self):
+        recognizer = KeywordRecognizer(ASR_MODEL_FAMILY[0])
+        with pytest.raises(RuntimeError):
+            recognizer.transcribe(np.zeros(16000))
+
+    def test_recognises_known_keywords(self, trained_small):
+        recognizer, generator = trained_small
+        test_waveforms, test_labels = generator.labelled_dataset(n_per_word=6)
+        assert recognizer.accuracy(test_waveforms, test_labels) > 0.6
+
+    def test_scores_cover_vocabulary(self, trained_small):
+        recognizer, generator = trained_small
+        scores = recognizer.scores(generator.utterance("arm"))
+        assert set(KEYWORDS) <= set(scores)
+
+    def test_empty_accuracy_is_zero(self, trained_small):
+        recognizer, _ = trained_small
+        assert recognizer.accuracy([], []) == 0.0
+
+    def test_larger_models_are_slower_and_not_less_accurate(self):
+        generator = CommandAudioGenerator(seed=3, snr_db=8.0)
+        family = recognizer_family(generator, n_train_per_word=15, seed=1)
+        eval_waveforms, eval_labels = generator.labelled_dataset(n_per_word=8)
+        tiny = family["kws-tiny"]
+        large = family["kws-large"]
+        assert large.accuracy(eval_waveforms, eval_labels) >= tiny.accuracy(
+            eval_waveforms, eval_labels
+        ) - 0.05
+        probe = generator.utterance("arm")
+        assert large.inference_latency_s(probe, repeats=2) > tiny.inference_latency_s(
+            probe, repeats=2
+        )
+
+    def test_family_profiles_increase_in_size(self):
+        vram = [p.vram_mb for p in ASR_MODEL_FAMILY]
+        assert vram == sorted(vram)
+        assert [p.name for p in ASR_MODEL_FAMILY][2] == "kws-small"
+
+
+class TestCommandPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        generator = CommandAudioGenerator(seed=4)
+        waveforms, labels = generator.labelled_dataset(n_per_word=12)
+        recognizer = KeywordRecognizer(ASR_MODEL_FAMILY[2], seed=0).fit(waveforms, labels)
+        return VoiceCommandPipeline(recognizer), generator
+
+    def test_grammar_maps_keywords_to_modes(self):
+        grammar = CommandGrammar()
+        assert grammar.mode_for("arm") == "arm"
+        assert grammar.mode_for("hello") is None
+
+    def test_invalid_grammar_rejected(self):
+        with pytest.raises(ValueError):
+            CommandGrammar(keyword_to_mode={"arm": "shoulder"})
+
+    def test_detects_scheduled_commands(self, pipeline):
+        pipe, generator = pipeline
+        stream = generator.stream_with_commands([(1.0, "arm"), (3.0, "fingers")], 5.0)
+        commands = pipe.process_stream(stream)
+        assert len(commands) >= 1
+        assert all(c.keyword in generator.vocabulary for c in commands)
+
+    def test_duty_cycle_below_one_for_sparse_commands(self, pipeline):
+        pipe, generator = pipeline
+        stream = generator.stream_with_commands([(2.0, "elbow")], 8.0)
+        assert pipe.duty_cycle(stream) < 0.5

@@ -1,0 +1,126 @@
+"""Tests for global magnitude pruning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.pruning import (
+    PAPER_PRUNING_LEVELS,
+    apply_global_magnitude_pruning,
+    effective_parameter_count,
+    prune_classifier,
+    sparsity,
+)
+from repro.models.base import TrainingConfig
+from repro.models.cnn import CNNConfig, EEGCNN
+from repro.nn.layers import Dense
+from repro.nn.module import Sequential
+from tests.helpers import make_toy_dataset
+
+
+def _mlp(seed=0):
+    return Sequential(Dense(10, 20, seed=seed), Dense(20, 5, seed=seed + 1))
+
+
+class TestGlobalPruning:
+    def test_zero_ratio_changes_nothing(self):
+        model = _mlp()
+        before = [p.data.copy() for p in model.parameters()]
+        report = apply_global_magnitude_pruning(model, 0.0)
+        assert report.pruned_weights == 0
+        for original, param in zip(before, model.parameters()):
+            np.testing.assert_allclose(original, param.data)
+
+    def test_achieved_sparsity_close_to_requested(self):
+        for ratio in (0.3, 0.5, 0.7, 0.9):
+            model = _mlp()
+            report = apply_global_magnitude_pruning(model, ratio)
+            assert report.achieved_sparsity == pytest.approx(ratio, abs=0.05)
+
+    def test_biases_are_not_pruned(self):
+        model = _mlp()
+        # Give the biases non-zero values so "still non-zero" is meaningful.
+        for layer in model.layers:
+            layer.bias.data[:] = 0.001
+        apply_global_magnitude_pruning(model, 0.9)
+        for layer in model.layers:
+            assert (layer.bias.data != 0).all()
+
+    def test_pruning_removes_smallest_weights_first(self):
+        model = Sequential(Dense(4, 4, seed=3))
+        weight = model.layers[0].weight
+        weight.data = np.arange(1, 17, dtype=float).reshape(4, 4)
+        apply_global_magnitude_pruning(model, 0.5)
+        # Magnitudes 1..8 should be gone, 9..16 kept (threshold inclusive behaviour aside).
+        assert (weight.data[weight.data != 0] >= 8).all()
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            apply_global_magnitude_pruning(_mlp(), 1.0)
+        with pytest.raises(ValueError):
+            apply_global_magnitude_pruning(_mlp(), -0.1)
+
+    def test_module_without_matrices_rejected(self):
+        from repro.nn.layers import LayerNorm
+
+        with pytest.raises(ValueError):
+            apply_global_magnitude_pruning(Sequential(LayerNorm(4)), 0.5)
+
+    def test_paper_levels_constant(self):
+        assert PAPER_PRUNING_LEVELS == (0.0, 0.3, 0.5, 0.7, 0.9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(ratio=st.floats(min_value=0.05, max_value=0.95))
+    def test_property_sparsity_monotone_in_ratio(self, ratio):
+        model = _mlp(seed=7)
+        report = apply_global_magnitude_pruning(model, ratio)
+        assert report.achieved_sparsity <= ratio + 0.1
+        assert sparsity(model) == pytest.approx(report.achieved_sparsity, abs=1e-9)
+        assert report.effective_parameters == report.total_weights - report.pruned_weights
+
+
+class TestPruneClassifier:
+    @pytest.fixture(scope="class")
+    def fitted_cnn(self):
+        dataset = make_toy_dataset(n_per_class=12, window_size=40)
+        model = EEGCNN(
+            CNNConfig(filters=(8,), kernel_size=3, stride=2, hidden_units=16),
+            training=TrainingConfig(epochs=8, batch_size=16, learning_rate=1e-2),
+            seed=0,
+        )
+        model.fit(dataset, dataset)
+        return model, dataset
+
+    def test_original_untouched(self, fitted_cnn):
+        model, _ = fitted_cnn
+        before = model.network.state_dict()
+        pruned, _ = prune_classifier(model, 0.7)
+        after = model.network.state_dict()
+        for key in before:
+            np.testing.assert_allclose(before[key], after[key])
+        assert pruned is not model
+
+    def test_moderate_pruning_preserves_accuracy(self, fitted_cnn):
+        model, dataset = fitted_cnn
+        baseline = model.evaluate(dataset)
+        pruned, report = prune_classifier(model, 0.3)
+        assert report.achieved_sparsity == pytest.approx(0.3, abs=0.05)
+        assert pruned.evaluate(dataset) >= baseline - 0.15
+
+    def test_aggressive_pruning_hurts_more_than_moderate(self, fitted_cnn):
+        model, dataset = fitted_cnn
+        moderate, _ = prune_classifier(model, 0.3)
+        extreme, _ = prune_classifier(model, 0.9)
+        assert extreme.evaluate(dataset) <= moderate.evaluate(dataset) + 0.1
+
+    def test_effective_parameter_count_decreases(self, fitted_cnn):
+        model, _ = fitted_cnn
+        pruned, _ = prune_classifier(model, 0.7)
+        assert effective_parameter_count(pruned) < effective_parameter_count(model)
+
+    def test_unfitted_classifier_rejected(self):
+        with pytest.raises(ValueError):
+            prune_classifier(EEGCNN(), 0.5)
+        with pytest.raises(ValueError):
+            effective_parameter_count(EEGCNN())

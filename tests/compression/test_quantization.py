@@ -1,0 +1,120 @@
+"""Tests for post-training quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.quantization import (
+    dequantize,
+    quantize_classifier,
+    quantize_module,
+    quantize_tensor,
+)
+from repro.models.base import TrainingConfig
+from repro.models.cnn import CNNConfig, EEGCNN
+from repro.nn.layers import Dense
+from repro.nn.module import Sequential
+from tests.helpers import make_toy_dataset
+
+
+class TestQuantizeTensor:
+    def test_round_trip_error_bounded_by_half_scale(self):
+        rng = np.random.default_rng(0)
+        values = rng.standard_normal((20, 20))
+        q = quantize_tensor(values, bits=8)
+        restored = dequantize(q)
+        assert np.abs(restored - values).max() <= q.scale / 2 + 1e-12
+
+    def test_lower_bits_larger_error(self):
+        rng = np.random.default_rng(1)
+        values = rng.standard_normal(500)
+        err8 = np.abs(dequantize(quantize_tensor(values, 8)) - values).mean()
+        err4 = np.abs(dequantize(quantize_tensor(values, 4)) - values).mean()
+        assert err4 > err8
+
+    def test_zero_tensor_handled(self):
+        q = quantize_tensor(np.zeros(10), bits=8)
+        np.testing.assert_allclose(dequantize(q), np.zeros(10))
+
+    def test_storage_size_accounts_for_bits(self):
+        q8 = quantize_tensor(np.ones(100), bits=8)
+        q4 = quantize_tensor(np.ones(100), bits=4)
+        assert q8.nbytes == 100
+        assert q4.nbytes == 50
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_tensor(np.ones(4), bits=1)
+        with pytest.raises(ValueError):
+            quantize_tensor(np.ones(4), bits=32)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        bits=st.integers(min_value=4, max_value=12),
+    )
+    def test_property_quantized_values_within_range(self, seed, bits):
+        rng = np.random.default_rng(seed)
+        values = rng.standard_normal(64) * rng.uniform(0.01, 100)
+        q = quantize_tensor(values, bits=bits)
+        q_max = 2 ** (bits - 1) - 1
+        assert q.values.max() <= q_max
+        assert q.values.min() >= -q_max - 1
+
+
+class TestQuantizeModule:
+    def test_per_tensor_report_compression_ratio(self):
+        model = Sequential(Dense(16, 16, seed=0), Dense(16, 4, seed=1))
+        report = quantize_module(model, bits=8)
+        # float64 -> int8 is an 8x storage reduction.
+        assert report.compression_ratio == pytest.approx(8.0, rel=0.01)
+        assert report.mean_absolute_error >= 0.0
+
+    def test_global_scheme_produces_larger_error(self):
+        model_a = Sequential(Dense(16, 16, seed=2), Dense(16, 4, seed=3))
+        model_b = Sequential(Dense(16, 16, seed=2), Dense(16, 4, seed=3))
+        # Give the two layers very different weight scales.
+        for model in (model_a, model_b):
+            model.layers[0].weight.data *= 100.0
+        per_tensor = quantize_module(model_a, bits=8, scheme="per_tensor")
+        global_scale = quantize_module(model_b, bits=8, scheme="global")
+        assert global_scale.mean_absolute_error > per_tensor.mean_absolute_error
+
+    def test_invalid_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_module(Sequential(Dense(4, 4)), scheme="per_channel")
+
+
+class TestQuantizeClassifier:
+    @pytest.fixture(scope="class")
+    def fitted_cnn(self):
+        dataset = make_toy_dataset(n_per_class=12, window_size=40)
+        model = EEGCNN(
+            CNNConfig(filters=(8,), kernel_size=3, stride=2, hidden_units=16),
+            training=TrainingConfig(epochs=8, batch_size=16, learning_rate=1e-2),
+            seed=0,
+        )
+        model.fit(dataset, dataset)
+        return model, dataset
+
+    def test_returns_copy(self, fitted_cnn):
+        model, _ = fitted_cnn
+        quantized, report = quantize_classifier(model, bits=8)
+        assert quantized is not model
+        assert report.bits == 8
+
+    def test_8bit_per_tensor_accuracy_close_to_original(self, fitted_cnn):
+        model, dataset = fitted_cnn
+        quantized, _ = quantize_classifier(model, bits=8, scheme="per_tensor")
+        assert quantized.evaluate(dataset) >= model.evaluate(dataset) - 0.2
+
+    def test_2bit_quantization_degrades_accuracy_more_than_8bit(self, fitted_cnn):
+        model, dataset = fitted_cnn
+        q8, _ = quantize_classifier(model, bits=8)
+        q2, _ = quantize_classifier(model, bits=2)
+        assert q2.evaluate(dataset) <= q8.evaluate(dataset) + 0.05
+
+    def test_unfitted_classifier_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_classifier(EEGCNN(), bits=8)

@@ -1,0 +1,112 @@
+"""Tests for system configuration, event log and mode multiplexer."""
+
+import pytest
+
+from repro.asr.commands import CommandGrammar, DetectedCommand
+from repro.core.config import CognitiveArmConfig
+from repro.core.events import ActionEvent, EventLog, ModeChangeEvent, SystemEvent
+from repro.core.multiplexer import ModeMultiplexer
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = CognitiveArmConfig()
+        assert config.sampling_rate_hz == 125.0
+        assert config.n_channels == 16
+        assert config.label_rate_hz == 15.0
+
+    def test_label_period(self):
+        assert CognitiveArmConfig(label_rate_hz=10.0).label_period_s == pytest.approx(0.1)
+
+    def test_window_config_uses_system_window_size(self):
+        assert CognitiveArmConfig(window_size=130).window_config().window_size == 130
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            CognitiveArmConfig(sampling_rate_hz=0)
+        with pytest.raises(ValueError):
+            CognitiveArmConfig(n_channels=0)
+        with pytest.raises(ValueError):
+            CognitiveArmConfig(window_size=0)
+        with pytest.raises(ValueError):
+            CognitiveArmConfig(label_rate_hz=0)
+        with pytest.raises(ValueError):
+            CognitiveArmConfig(confidence_threshold=1.0)
+        with pytest.raises(ValueError):
+            CognitiveArmConfig(smoothing_window=0)
+
+
+class TestEventLog:
+    def _populated_log(self):
+        log = EventLog()
+        log.record_action(ActionEvent(0.1, "left", 0.9, "arm", True))
+        log.record_action(ActionEvent(0.2, "idle", 0.5, "arm", False))
+        log.record_action(ActionEvent(1.2, "right", 0.8, "fingers", True))
+        log.record_mode_change(ModeChangeEvent(1.0, "fingers", "fingers"))
+        log.record_system(SystemEvent(0.0, "session_start"))
+        return log
+
+    def test_len_counts_all_events(self):
+        assert len(self._populated_log()) == 5
+
+    def test_actions_between_filters_by_time(self):
+        log = self._populated_log()
+        assert len(log.actions_between(0.0, 1.0)) == 2
+
+    def test_actuation_rate(self):
+        assert self._populated_log().actuation_rate() == pytest.approx(2 / 3)
+        assert EventLog().actuation_rate() == 0.0
+
+    def test_action_counts(self):
+        counts = self._populated_log().action_counts()
+        assert counts == {"left": 1, "idle": 1, "right": 1}
+
+    def test_final_mode(self):
+        assert self._populated_log().final_mode() == "fingers"
+        assert EventLog().final_mode() is None
+
+
+class TestModeMultiplexer:
+    def test_initial_mode_and_validation(self):
+        assert ModeMultiplexer().mode == "arm"
+        with pytest.raises(ValueError):
+            ModeMultiplexer(initial_mode="shoulder")
+        with pytest.raises(ValueError):
+            ModeMultiplexer(debounce_s=-1.0)
+
+    def test_keyword_switches_mode(self):
+        mux = ModeMultiplexer()
+        assert mux.handle_keyword("fingers", 1.0)
+        assert mux.mode == "fingers"
+        assert mux.switch_count() == 1
+
+    def test_non_command_keyword_ignored(self):
+        mux = ModeMultiplexer()
+        assert not mux.handle_keyword("hello", 1.0)
+        assert mux.mode == "arm"
+
+    def test_debounce_blocks_rapid_switches(self):
+        mux = ModeMultiplexer(debounce_s=1.0)
+        assert mux.handle_keyword("elbow", 1.0)
+        assert not mux.handle_keyword("fingers", 1.4)
+        assert mux.mode == "elbow"
+        assert mux.handle_keyword("fingers", 2.5)
+
+    def test_same_mode_is_not_a_switch(self):
+        mux = ModeMultiplexer()
+        assert not mux.handle_keyword("arm", 1.0)
+        assert mux.switch_count() == 0
+
+    def test_handle_command_uses_keyword_and_time(self):
+        mux = ModeMultiplexer()
+        command = DetectedCommand(time_s=2.0, keyword="fingers", mode="fingers")
+        assert mux.handle_command(command)
+        assert mux.mode == "fingers"
+
+    def test_mode_at_returns_historical_mode(self):
+        mux = ModeMultiplexer()
+        mux.handle_keyword("elbow", 5.0)
+        mux.handle_keyword("fingers", 10.0)
+        assert mux.mode_at(2.0) == "arm"
+        assert mux.mode_at(7.0) == "elbow"
+        assert mux.mode_at(12.0) == "fingers"

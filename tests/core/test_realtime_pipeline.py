@@ -1,0 +1,173 @@
+"""Tests for the real-time loop and the integrated pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition.board import BoardConfig, SimulatedCytonDaisyBoard
+from repro.core.config import CognitiveArmConfig
+from repro.core.pipeline import CognitiveArmPipeline, ScriptedIntent
+from repro.core.realtime import RealTimeInferenceLoop
+from repro.models.base import EEGClassifier, TrainingHistory
+from repro.signals.synthetic import ACTION_IDLE, ACTION_LEFT, ACTION_RIGHT, ParticipantProfile
+
+
+class _OracleClassifier(EEGClassifier):
+    """Classifier that decodes the lateralised band power directly.
+
+    Uses the same physical signature the real models learn (C3/C4 mu power
+    asymmetry) so pipeline tests exercise realistic behaviour without any
+    training cost.
+    """
+
+    family = "oracle"
+
+    def __init__(self, c3_index=7, c4_index=8, sampling_rate_hz=125.0):
+        self.c3_index = c3_index
+        self.c4_index = c4_index
+        self.sampling_rate_hz = sampling_rate_hz
+
+    def fit(self, train, validation=None):
+        return TrainingHistory()
+
+    def predict_proba(self, windows):
+        from repro.signals.quality import band_power
+
+        windows = np.asarray(windows)
+        if windows.ndim == 2:
+            windows = windows[None, ...]
+        probs = np.zeros((windows.shape[0], 3))
+        for i, window in enumerate(windows):
+            p3 = band_power(window[self.c3_index], (8, 30), self.sampling_rate_hz)
+            p4 = band_power(window[self.c4_index], (8, 30), self.sampling_rate_hz)
+            asymmetry = (p4 - p3) / max(p4 + p3, 1e-12)
+            # Positive asymmetry (C3 suppressed) => right imagery.
+            scores = np.array([
+                max(-asymmetry, 0.0) * 3 + 0.2,   # left
+                max(asymmetry, 0.0) * 3 + 0.2,    # right
+                0.45 - abs(asymmetry),            # idle
+            ])
+            scores = np.clip(scores, 0.01, None)
+            probs[i] = scores / scores.sum()
+        return probs
+
+    def parameter_count(self):
+        return 2
+
+
+@pytest.fixture()
+def strong_profile():
+    profile = ParticipantProfile(participant_id="RT", seed=9)
+    profile.rhythms.erd_depth = 0.85
+    profile.artifacts.white_noise_uv = 1.0
+    return profile
+
+
+@pytest.fixture()
+def config():
+    return CognitiveArmConfig(window_size=100, smoothing_window=3, confidence_threshold=0.3,
+                              label_rate_hz=10.0)
+
+
+class TestRealTimeLoop:
+    def _loop(self, profile, config):
+        board = SimulatedCytonDaisyBoard(profile=profile)
+        board.prepare_session()
+        board.start_stream()
+        loop = RealTimeInferenceLoop(board, _OracleClassifier(), config)
+        loop.warmup()
+        return loop, board
+
+    def test_channel_mismatch_rejected(self, strong_profile, config):
+        board = SimulatedCytonDaisyBoard(profile=strong_profile)
+        bad_config = CognitiveArmConfig(n_channels=8)
+        with pytest.raises(ValueError):
+            RealTimeInferenceLoop(board, _OracleClassifier(), bad_config)
+
+    def test_tick_produces_valid_label(self, strong_profile, config):
+        loop, _ = self._loop(strong_profile, config)
+        tick = loop.tick()
+        assert tick.action in ("left", "right", "idle")
+        assert 0.0 <= tick.confidence <= 1.0
+        assert tick.processing_latency_s > 0
+
+    def test_run_produces_expected_tick_count(self, strong_profile, config):
+        loop, _ = self._loop(strong_profile, config)
+        ticks = loop.run(2.0)
+        assert len(ticks) == 20
+
+    def test_invalid_run_duration(self, strong_profile, config):
+        loop, _ = self._loop(strong_profile, config)
+        with pytest.raises(ValueError):
+            loop.run(0.0)
+
+    def test_right_imagery_dominates_right_labels(self, strong_profile, config):
+        loop, board = self._loop(strong_profile, config)
+        board.set_action(ACTION_RIGHT)
+        ticks = loop.run(4.0)
+        actions = [t.smoothed_action for t in ticks[5:]]
+        assert actions.count("right") > actions.count("left")
+
+    def test_latency_accounting(self, strong_profile, config):
+        loop, _ = self._loop(strong_profile, config)
+        loop.run(1.0)
+        assert loop.mean_processing_latency_s() > 0
+        assert isinstance(loop.label_rate_achievable(), bool)
+
+
+class TestScriptedIntent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScriptedIntent(0.0, ACTION_LEFT)
+        with pytest.raises(ValueError):
+            ScriptedIntent(1.0, "jump")
+
+
+class TestCognitiveArmPipeline:
+    @pytest.fixture()
+    def pipeline(self, strong_profile, config):
+        return CognitiveArmPipeline(_OracleClassifier(), profile=strong_profile, config=config)
+
+    def test_empty_script_rejected(self, pipeline):
+        with pytest.raises(ValueError):
+            pipeline.run_scripted_session([])
+
+    def test_scripted_session_report(self, pipeline):
+        script = [
+            ScriptedIntent(1.0, ACTION_IDLE),
+            ScriptedIntent(2.0, ACTION_RIGHT, voice_keyword="arm"),
+            ScriptedIntent(2.0, ACTION_LEFT, voice_keyword="fingers"),
+        ]
+        report = pipeline.run_scripted_session(script, success_threshold=0.2)
+        assert 0.0 <= report.intent_accuracy <= 1.0
+        assert len(report.per_phase_accuracy) == 3
+        assert report.mode_switches >= 1
+        assert report.events.actions  # actions were logged
+        assert report.label_rate_hz == pipeline.config.label_rate_hz
+        assert set(report.summary()) == {
+            "intent_accuracy", "mean_processing_latency_s", "label_rate_hz",
+            "mode_switches", "success",
+        }
+
+    def test_voice_commands_switch_controller_mode(self, strong_profile, config):
+        pipeline = CognitiveArmPipeline(_OracleClassifier(), profile=strong_profile, config=config)
+        script = [
+            ScriptedIntent(1.0, ACTION_RIGHT, voice_keyword="fingers"),
+        ]
+        pipeline.run_scripted_session(script, success_threshold=0.0)
+        assert pipeline.controller.mode == "fingers"
+
+    def test_arm_moves_during_right_imagery_in_arm_mode(self, strong_profile, config):
+        pipeline = CognitiveArmPipeline(_OracleClassifier(), profile=strong_profile, config=config)
+        initial_elbow = pipeline.controller.joint_state().elbow_deg
+        script = [ScriptedIntent(3.0, ACTION_RIGHT, voice_keyword="arm")]
+        pipeline.run_scripted_session(script, success_threshold=0.0)
+        assert pipeline.controller.joint_state().elbow_deg != initial_elbow
+
+    def test_validation_campaign_counts_successes(self, strong_profile, config):
+        pipeline = CognitiveArmPipeline(_OracleClassifier(), profile=strong_profile, config=config)
+        script = [ScriptedIntent(1.5, ACTION_RIGHT, voice_keyword="arm")]
+        successes, reports = pipeline.run_validation_campaign(
+            script, n_sessions=2, success_threshold=0.1
+        )
+        assert len(reports) == 2
+        assert 0 <= successes <= 2

@@ -1,0 +1,90 @@
+"""Tests for the experimental protocol simulator."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.protocol import ExperimentalProtocol, ProtocolConfig
+from repro.signals.synthetic import ACTION_IDLE, ACTION_LEFT, ACTION_RIGHT, ParticipantProfile
+
+
+@pytest.fixture()
+def short_protocol():
+    config = ProtocolConfig(
+        task_duration_s=2.0,
+        rest_duration_s=2.0,
+        session_duration_s=12.0,
+        n_sessions=2,
+    )
+    return ExperimentalProtocol(config, seed=0)
+
+
+@pytest.fixture()
+def profile():
+    return ParticipantProfile(participant_id="P01", seed=3)
+
+
+class TestCueSchedule:
+    def test_alternates_task_and_idle(self, short_protocol):
+        cues = short_protocol.cue_schedule()
+        labels = [c.label for c in cues]
+        assert labels[1::2] == [ACTION_IDLE] * (len(cues) // 2)
+        assert all(l in (ACTION_LEFT, ACTION_RIGHT) for l in labels[0::2])
+
+    def test_blocks_fill_session(self, short_protocol):
+        cfg = short_protocol.config
+        cues = short_protocol.cue_schedule()
+        total = sum(c.duration_s for c in cues)
+        assert total <= cfg.session_duration_s
+        assert total == cfg.blocks_per_session() * (cfg.task_duration_s + cfg.rest_duration_s)
+
+    def test_task_cycle_rotates_across_sessions(self, short_protocol):
+        first_s0 = short_protocol.cue_schedule(0)[0].label
+        first_s1 = short_protocol.cue_schedule(1)[0].label
+        assert first_s0 != first_s1
+
+    def test_cue_times_strictly_increasing(self, short_protocol):
+        cues = short_protocol.cue_schedule()
+        times = [c.time_s for c in cues]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_blocks_per_session_at_least_one(self):
+        config = ProtocolConfig(task_duration_s=10.0, rest_duration_s=10.0, session_duration_s=5.0)
+        assert config.blocks_per_session() == 1
+
+
+class TestRecording:
+    def test_session_duration_matches_schedule(self, short_protocol, profile):
+        session = short_protocol.record_session(profile)
+        expected = sum(c.duration_s for c in session.cues)
+        assert session.duration_s == pytest.approx(expected, rel=0.05)
+
+    def test_session_has_16_channels(self, short_protocol, profile):
+        session = short_protocol.record_session(profile)
+        assert session.n_channels == 16
+
+    def test_record_participant_collects_all_sessions(self, short_protocol, profile):
+        recording = short_protocol.record_participant(profile)
+        assert len(recording.sessions) == 2
+        assert recording.total_duration_s == pytest.approx(
+            2 * recording.sessions[0].duration_s, rel=0.05
+        )
+
+    def test_concatenated_shifts_cue_times(self, short_protocol, profile):
+        recording = short_protocol.record_participant(profile)
+        data, cues = recording.concatenated()
+        assert data.shape[1] == sum(s.data.shape[1] for s in recording.sessions)
+        session_len = recording.sessions[0].duration_s
+        second_session_cues = [c for c in cues if c.time_s >= session_len]
+        assert second_session_cues
+
+    def test_record_cohort_default_five_participants(self):
+        config = ProtocolConfig(task_duration_s=1.0, rest_duration_s=1.0,
+                                session_duration_s=4.0, n_sessions=1)
+        protocol = ExperimentalProtocol(config)
+        cohort = protocol.record_cohort()
+        assert len(cohort) == 5
+        assert set(cohort) == {f"P{i:02d}" for i in range(1, 6)}
+
+    def test_timestamps_match_sample_count(self, short_protocol, profile):
+        session = short_protocol.record_session(profile)
+        assert session.timestamps.shape[0] == session.data.shape[1]

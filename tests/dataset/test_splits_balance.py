@@ -1,0 +1,117 @@
+"""Tests for dataset splits and class balancing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset.balance import balance_classes, class_distribution
+from repro.dataset.splits import leave_one_subject_out, stratified_split, train_validation_split
+from repro.dataset.windows import WindowDataset
+from repro.signals.synthetic import ACTIONS
+
+
+def _dataset(n_per_class=(30, 30, 30), participants=("P01", "P02", "P03")):
+    rng = np.random.default_rng(0)
+    windows, labels, pids = [], [], []
+    for class_idx, n in enumerate(n_per_class):
+        for i in range(n):
+            windows.append(rng.standard_normal((4, 50)))
+            labels.append(class_idx)
+            pids.append(participants[i % len(participants)])
+    return WindowDataset(
+        windows=np.stack(windows),
+        labels=np.array(labels),
+        label_names=ACTIONS,
+        participant_ids=np.array(pids, dtype=object),
+    )
+
+
+class TestTrainValidationSplit:
+    def test_sizes_sum_to_total(self):
+        ds = _dataset()
+        train, val = train_validation_split(ds, 0.2, seed=1)
+        assert len(train) + len(val) == len(ds)
+
+    def test_validation_fraction_respected(self):
+        ds = _dataset((50, 50, 50))
+        train, val = train_validation_split(ds, 0.2, seed=1)
+        assert len(val) == pytest.approx(0.2 * len(ds), abs=2)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            train_validation_split(_dataset(), 1.5)
+
+    def test_tiny_dataset_rejected(self):
+        ds = _dataset((1, 0, 0))
+        with pytest.raises(ValueError):
+            train_validation_split(ds.subset([0]), 0.2)
+
+
+class TestStratifiedSplit:
+    def test_every_class_in_both_halves(self):
+        ds = _dataset((10, 20, 40))
+        train, val = stratified_split(ds, 0.25, seed=2)
+        assert set(np.unique(train.labels)) == {0, 1, 2}
+        assert set(np.unique(val.labels)) == {0, 1, 2}
+
+    def test_no_window_lost_or_duplicated(self):
+        ds = _dataset((11, 13, 17))
+        train, val = stratified_split(ds, 0.3, seed=3)
+        assert len(train) + len(val) == len(ds)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        fraction=st.floats(min_value=0.1, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_property_split_partitions_dataset(self, fraction, seed):
+        ds = _dataset((12, 9, 15))
+        train, val = stratified_split(ds, fraction, seed)
+        assert len(train) + len(val) == len(ds)
+        assert len(val) >= ds.n_classes  # at least one window per class
+
+
+class TestLOSO:
+    def test_one_fold_per_participant(self):
+        ds = _dataset()
+        folds = list(leave_one_subject_out(ds))
+        assert [f.test_participant for f in folds] == ["P01", "P02", "P03"]
+
+    def test_test_set_contains_only_held_out_participant(self):
+        ds = _dataset()
+        for fold in leave_one_subject_out(ds):
+            assert set(fold.test.participant_ids.tolist()) == {fold.test_participant}
+            assert fold.test_participant not in set(fold.train.participant_ids.tolist())
+            assert fold.test_participant not in set(fold.validation.participant_ids.tolist())
+
+    def test_single_participant_rejected(self):
+        ds = _dataset(participants=("P01",))
+        with pytest.raises(ValueError):
+            list(leave_one_subject_out(ds))
+
+
+class TestBalance:
+    def test_undersample_equalises_counts(self):
+        ds = _dataset((10, 20, 40))
+        balanced = balance_classes(ds, "undersample", seed=0)
+        counts = set(balanced.class_counts().values())
+        assert counts == {10}
+
+    def test_oversample_equalises_counts(self):
+        ds = _dataset((10, 20, 40))
+        balanced = balance_classes(ds, "oversample", seed=0)
+        counts = set(balanced.class_counts().values())
+        assert counts == {40}
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            balance_classes(_dataset(), "magic")
+
+    def test_distribution_sums_to_one(self):
+        dist = class_distribution(_dataset((10, 20, 40)))
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_empty_dataset_passthrough(self):
+        ds = _dataset((5, 5, 5)).subset([])
+        assert len(balance_classes(ds)) == 0

@@ -1,0 +1,85 @@
+"""Tests for the edge-device model and the classifier profiler."""
+
+import numpy as np
+import pytest
+
+from repro.deployment.edge_device import (
+    JETSON_ORIN_NANO,
+    RTX_A6000,
+    DeviceSpec,
+    EdgeDeviceModel,
+)
+from repro.deployment.profiler import profile_classifier
+from repro.models.base import TrainingConfig
+from repro.models.cnn import CNNConfig, EEGCNN
+from tests.helpers import make_toy_dataset
+
+
+class TestEdgeDeviceModel:
+    @pytest.fixture()
+    def device(self):
+        return EdgeDeviceModel(JETSON_ORIN_NANO)
+
+    def test_latency_grows_with_parameters(self, device):
+        small = device.estimate(10_000)
+        large = device.estimate(10_000_000)
+        assert large.latency_s > small.latency_s
+
+    def test_int8_is_faster_than_float32(self, device):
+        comparison = device.compare_precisions(5_000_000)
+        assert comparison["int8"].latency_s < comparison["float32"].latency_s
+
+    def test_pruning_reduces_estimated_latency(self, device):
+        dense = device.estimate(1_000_000)
+        pruned = device.estimate(300_000)  # 70 % pruned
+        assert pruned.latency_s < dense.latency_s
+
+    def test_memory_check_detects_oversized_models(self, device):
+        tiny = device.estimate(10_000)
+        giant = device.estimate(4_000_000_000)
+        assert tiny.fits_in_memory
+        assert not giant.fits_in_memory
+
+    def test_realtime_rate_check(self, device):
+        estimate = device.estimate(100_000)
+        assert estimate.meets_realtime(15.0) == (estimate.meets_rate_hz >= 15.0)
+
+    def test_workstation_is_faster_than_jetson(self):
+        jetson = EdgeDeviceModel(JETSON_ORIN_NANO).estimate(5_000_000)
+        workstation = EdgeDeviceModel(RTX_A6000).estimate(5_000_000)
+        assert workstation.latency_s < jetson.latency_s
+
+    def test_energy_positive_and_scales_with_latency(self, device):
+        small = device.estimate(10_000)
+        large = device.estimate(50_000_000)
+        assert 0 < small.energy_mj < large.energy_mj
+
+    def test_invalid_arguments_rejected(self, device):
+        with pytest.raises(ValueError):
+            device.estimate(-1)
+        with pytest.raises(ValueError):
+            device.estimate(100, bits_per_weight=12)
+        with pytest.raises(ValueError):
+            device.estimate(100, utilisation=0.0)
+
+    def test_paper_scale_ensemble_latency_order_of_magnitude(self, device):
+        """A ~1M-parameter CNN+Transformer ensemble should land near the
+        paper's reported 0.075 s on the Jetson-class device model."""
+        estimate = device.estimate(1_200_000, bits_per_weight=32)
+        assert 0.005 < estimate.latency_s < 0.5
+
+
+class TestProfiler:
+    def test_profile_reports_measured_and_estimated_latency(self):
+        dataset = make_toy_dataset(n_per_class=8, window_size=40)
+        model = EEGCNN(
+            CNNConfig(filters=(4,), kernel_size=3, stride=2, hidden_units=8),
+            training=TrainingConfig(epochs=1, batch_size=16),
+        )
+        model.fit(dataset)
+        profile = profile_classifier(model, dataset.windows[:4], repeats=2)
+        assert profile.model_family == "cnn"
+        assert profile.measured_latency_s > 0
+        assert profile.effective_parameters <= profile.parameters
+        assert profile.throughput_hz > 0
+        assert profile.estimated.latency_s > 0

@@ -1,0 +1,57 @@
+"""Tests for the LOSO cross-validation runner."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.crossval import run_loso_evaluation
+from repro.models.base import TrainingConfig
+from repro.models.random_forest import RandomForestClassifier, RandomForestConfig
+from tests.helpers import make_toy_dataset
+
+
+def _rf_factory():
+    return RandomForestClassifier(RandomForestConfig(n_estimators=8, max_depth=8), seed=0)
+
+
+class TestLOSORunner:
+    @pytest.fixture(scope="class")
+    def report(self):
+        dataset = make_toy_dataset(n_per_class=24, window_size=40, n_participants=3)
+        return run_loso_evaluation(_rf_factory, dataset, model_name="rf")
+
+    def test_one_fold_per_participant(self, report):
+        assert len(report.folds) == 3
+        assert {f.test_participant for f in report.folds} == {"P01", "P02", "P03"}
+
+    def test_accuracies_are_fractions(self, report):
+        for fold in report.folds:
+            assert 0.0 <= fold.test_accuracy <= 1.0
+            assert 0.0 <= fold.validation_accuracy <= 1.0
+
+    def test_aggregates(self, report):
+        assert report.mean_accuracy == pytest.approx(
+            np.mean(report.per_subject_accuracies)
+        )
+        low, high = report.confidence_interval(0.91)
+        assert low <= report.mean_accuracy <= high
+
+    def test_total_confusion_sums_fold_matrices(self, report):
+        total = report.total_confusion()
+        assert total.sum() == sum(f.confusion.sum() for f in report.folds)
+
+    def test_max_folds_limits_work(self):
+        dataset = make_toy_dataset(n_per_class=18, window_size=40, n_participants=3)
+        report = run_loso_evaluation(_rf_factory, dataset, max_folds=1)
+        assert len(report.folds) == 1
+
+    def test_toy_problem_generalises_across_participants(self, report):
+        # The toy classes are participant-independent, so LOSO accuracy should
+        # be clearly above chance (1/3).
+        assert report.mean_accuracy > 0.6
+
+    def test_empty_report_confusion(self):
+        from repro.evaluation.crossval import CrossValidationReport
+
+        report = CrossValidationReport(model_name="empty")
+        assert report.total_confusion().shape == (0, 0)
+        assert report.mean_accuracy == 0.0

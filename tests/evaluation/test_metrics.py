@@ -1,0 +1,127 @@
+"""Tests for evaluation metrics and statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import (
+    accuracy_score,
+    confidence_interval,
+    confusion_matrix,
+    mean_and_std,
+    paired_t_test,
+    per_class_accuracy,
+    variance_reduction,
+)
+
+
+class TestAccuracyAndConfusion:
+    def test_accuracy_basic(self):
+        assert accuracy_score(np.array([0, 1, 2]), np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty_is_zero(self):
+        assert accuracy_score(np.array([]), np.array([])) == 0.0
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.array([0, 1]), np.array([0]))
+
+    def test_confusion_matrix_counts(self):
+        predictions = np.array([0, 1, 1, 2, 2, 2])
+        targets = np.array([0, 1, 2, 2, 2, 0])
+        matrix = confusion_matrix(predictions, targets, 3)
+        assert matrix[0, 0] == 1
+        assert matrix[2, 2] == 2
+        assert matrix[2, 1] == 1
+        assert matrix.sum() == 6
+
+    def test_confusion_matrix_invalid_class(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([5]), np.array([0]), 3)
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0]), np.array([0]), 0)
+
+    def test_per_class_accuracy(self):
+        predictions = np.array([0, 0, 1, 1])
+        targets = np.array([0, 1, 1, 1])
+        per_class = per_class_accuracy(predictions, targets, 3)
+        assert per_class[0] == pytest.approx(1.0)
+        assert per_class[1] == pytest.approx(2 / 3)
+        assert per_class[2] == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000), n=st.integers(min_value=1, max_value=50))
+    def test_property_confusion_row_sums_match_class_counts(self, seed, n):
+        rng = np.random.default_rng(seed)
+        targets = rng.integers(0, 3, n)
+        predictions = rng.integers(0, 3, n)
+        matrix = confusion_matrix(predictions, targets, 3)
+        np.testing.assert_array_equal(matrix.sum(axis=1), np.bincount(targets, minlength=3))
+        assert accuracy_score(predictions, targets) == pytest.approx(
+            np.trace(matrix) / n
+        )
+
+
+class TestStatistics:
+    def test_mean_and_std(self):
+        mean, std = mean_and_std([0.8, 0.9, 1.0])
+        assert mean == pytest.approx(0.9)
+        assert std == pytest.approx(0.1)
+
+    def test_mean_and_std_edge_cases(self):
+        assert mean_and_std([]) == (0.0, 0.0)
+        assert mean_and_std([0.7]) == (0.7, 0.0)
+
+    def test_confidence_interval_contains_mean(self):
+        low, high = confidence_interval([0.8, 0.85, 0.9, 0.95], 0.91)
+        assert low < 0.875 < high
+
+    def test_confidence_interval_narrows_with_lower_confidence(self):
+        values = [0.8, 0.85, 0.9, 0.95]
+        low91, high91 = confidence_interval(values, 0.91)
+        low50, high50 = confidence_interval(values, 0.50)
+        assert (high50 - low50) < (high91 - low91)
+
+    def test_confidence_interval_validation(self):
+        with pytest.raises(ValueError):
+            confidence_interval([], 0.91)
+        with pytest.raises(ValueError):
+            confidence_interval([0.9], 1.5)
+
+    def test_single_value_interval_is_degenerate(self):
+        assert confidence_interval([0.9], 0.91) == (0.9, 0.9)
+
+    def test_paired_t_test_detects_consistent_difference(self):
+        a = [0.9, 0.91, 0.89, 0.92, 0.9]
+        b = [0.8, 0.82, 0.79, 0.81, 0.8]
+        t_stat, p_value = paired_t_test(a, b)
+        assert t_stat > 0
+        assert p_value < 0.05
+
+    def test_paired_t_test_identical_samples(self):
+        t_stat, p_value = paired_t_test([0.8, 0.9], [0.8, 0.9])
+        assert t_stat == 0.0
+        assert p_value == 1.0
+
+    def test_paired_t_test_validation(self):
+        with pytest.raises(ValueError):
+            paired_t_test([0.9], [0.8])
+        with pytest.raises(ValueError):
+            paired_t_test([0.9, 0.8], [0.8])
+
+    def test_variance_reduction_positive_for_steadier_ensemble(self):
+        members = {"cnn": [0.7, 0.9, 0.6, 0.95], "lstm": [0.65, 0.92, 0.7, 0.85]}
+        ensemble = [0.8, 0.85, 0.78, 0.86]
+        assert variance_reduction(members, ensemble) > 0
+
+    def test_variance_reduction_validation(self):
+        with pytest.raises(ValueError):
+            variance_reduction({}, [0.8, 0.9])
+        with pytest.raises(ValueError):
+            variance_reduction({"cnn": [0.9]}, [0.8, 0.9])
+        with pytest.raises(ValueError):
+            variance_reduction({"cnn": [0.9, 0.8]}, [0.8])
+
+    def test_variance_reduction_zero_member_variance(self):
+        assert variance_reduction({"cnn": [0.9, 0.9]}, [0.8, 0.85]) == 0.0

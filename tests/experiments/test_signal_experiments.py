@@ -1,0 +1,74 @@
+"""Tests for the Fig. 4, Fig. 5 and Fig. 7 experiment harnesses."""
+
+import pytest
+
+from repro.experiments import fig04_lsl_vs_udp, fig05_filtering, fig07_asr_pareto
+
+
+class TestFig04:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig04_lsl_vs_udp.run(n_samples=1500, seed=0)
+
+    def test_shape_matches_paper(self, result):
+        """LSL wins every axis except bandwidth efficiency."""
+        assert result.lsl_wins_everything_but_bandwidth()
+
+    def test_scores_cover_all_axes(self, result):
+        for scores in result.scores.values():
+            assert {
+                "synchronisation", "latency", "reliability", "jitter_handling",
+                "bandwidth_efficiency", "ordering",
+            } == set(scores)
+
+    def test_report_mentions_both_transports(self, result):
+        report = fig04_lsl_vs_udp.format_report(result)
+        assert "LSL" in report and "UDP" in report
+
+
+class TestFig05:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig05_filtering.run(duration_s=6.0, seed=1)
+
+    def test_line_noise_strongly_reduced(self, result):
+        assert result.line_noise_reduction > 10.0
+
+    def test_snr_improves(self, result):
+        assert result.snr_improvement_db > 0.0
+
+    def test_segments_have_equal_length(self, result):
+        assert result.raw_segment.shape == result.filtered_segment.shape
+
+    def test_report_contains_metrics(self, result):
+        report = fig05_filtering.format_report(result)
+        assert "line-noise" in report
+        assert "SNR" in report
+
+
+class TestFig07:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig07_asr_pareto.run(n_train_per_word=10, n_eval_per_word=5, seed=0)
+
+    def test_family_fully_evaluated(self, result):
+        assert len(result.points) == 5
+        names = {p.name for p in result.points}
+        assert "kws-small" in names and "kws-large" in names
+
+    def test_pareto_front_nonempty(self, result):
+        assert any(p.on_pareto_front for p in result.points)
+
+    def test_selected_model_is_not_the_largest(self, result):
+        """The knee selection should avoid the largest, slowest member."""
+        selected = result.point(result.selected)
+        largest = max(result.points, key=lambda p: p.vram_mb)
+        assert selected.latency_s <= largest.latency_s
+
+    def test_selected_accuracy_close_to_best(self, result):
+        best = max(p.accuracy for p in result.points)
+        assert result.point(result.selected).accuracy >= best - 0.05
+
+    def test_report_flags_selected_model(self, result):
+        report = fig07_asr_pareto.format_report(result)
+        assert "selected" in report

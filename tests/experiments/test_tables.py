@@ -1,0 +1,58 @@
+"""Tests for the table experiment harnesses (Tables I-III)."""
+
+import pytest
+
+from repro.experiments import table1_conditions, table2_comparison, table3_search_space
+
+
+class TestTable1:
+    def test_has_five_conditions(self):
+        rows = table1_conditions.run()
+        assert len(rows) == 5
+        assert {r.condition for r in rows} == {
+            "ALS", "Spinal Cord Injury", "Brainstem Stroke", "Multiple Sclerosis",
+            "Muscular Dystrophies",
+        }
+
+    def test_report_renders_every_row(self):
+        report = table1_conditions.format_report()
+        for row in table1_conditions.run():
+            assert row.condition in report
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table2_comparison.run(epochs=1)
+
+    def test_includes_literature_and_our_system(self, rows):
+        solutions = [r.solution for r in rows]
+        assert "MindArm [28]" in solutions
+        assert any("CognitiveArm" in s for s in solutions)
+
+    def test_cognitive_arm_row_has_measured_accuracy(self, rows):
+        our_row = [r for r in rows if "CognitiveArm" in r.solution][0]
+        assert our_row.accuracy.endswith("%")
+        assert our_row.cost == "$500"
+        assert our_row.method == "EEG-based"
+
+    def test_report_renders(self, rows):
+        report = table2_comparison.format_report(rows)
+        assert "Solution | Method" in report
+        assert "CognitiveArm" in report
+
+
+class TestTable3:
+    def test_four_model_families(self):
+        rows = table3_search_space.run()
+        assert [r["model"] for r in rows] == ["cnn", "lstm", "transformer", "rf"]
+
+    def test_hyperparameters_match_paper_ranges(self):
+        rows = {r["model"]: r for r in table3_search_space.run()}
+        assert rows["lstm"]["hyperparameters"]["hidden_size"] == (64, 128, 256, 512)
+        assert rows["transformer"]["hyperparameters"]["n_heads"] == (2, 4, 8)
+        assert rows["rf"]["hyperparameters"]["n_estimators"] == (100, 200, 300, 400, 500)
+
+    def test_report_renders(self):
+        report = table3_search_space.format_report()
+        assert "cnn" in report and "Optimizers" in report

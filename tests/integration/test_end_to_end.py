@@ -1,0 +1,109 @@
+"""Integration tests: the full data path and the full control loop.
+
+These exercise the system exactly as the examples and benchmarks do —
+protocol simulation -> annotation -> windows -> training -> compression ->
+real-time control with voice multiplexing — at the smallest scale that still
+says something meaningful.
+"""
+
+import numpy as np
+import pytest
+
+from repro.asr.audio import CommandAudioGenerator
+from repro.asr.recognizer import ASR_MODEL_FAMILY, KeywordRecognizer
+from repro.asr.commands import VoiceCommandPipeline
+from repro.compression.pruning import prune_classifier
+from repro.core.config import CognitiveArmConfig
+from repro.core.pipeline import CognitiveArmPipeline, ScriptedIntent
+from repro.dataset.annotation import AnnotationConfig, Annotator
+from repro.dataset.protocol import ExperimentalProtocol, ProtocolConfig
+from repro.dataset.splits import stratified_split
+from repro.dataset.windows import WindowConfig, segment_cohort
+from repro.experiments.common import BENCH_SCALE, build_cohort_dataset, small_reference_models, train_validation
+from repro.models.ensemble import EnsembleClassifier
+from repro.signals.synthetic import ACTION_IDLE, ACTION_LEFT, ACTION_RIGHT, ParticipantProfile
+
+
+class TestDataPath:
+    def test_protocol_to_windows_pipeline(self):
+        """Raw protocol recordings survive annotation and windowing."""
+        profiles = ParticipantProfile.cohort(2, base_seed=77)
+        protocol = ExperimentalProtocol(
+            ProtocolConfig(task_duration_s=3.0, rest_duration_s=3.0,
+                           session_duration_s=18.0, n_sessions=1),
+            seed=3,
+        )
+        recordings = protocol.record_cohort(profiles)
+        annotator = Annotator(AnnotationConfig(transition_period_s=0.4))
+        labelled = {pid: annotator.annotate_recording(rec) for pid, rec in recordings.items()}
+        dataset = segment_cohort(labelled, WindowConfig(window_size=100, step=50))
+        assert len(dataset) > 0
+        assert dataset.n_channels == 16
+        assert set(np.unique(dataset.labels)) <= {0, 1, 2}
+        assert set(dataset.participant_ids.tolist()) == {"P01", "P02"}
+
+    def test_cohort_dataset_is_balanced_and_cached(self):
+        first = build_cohort_dataset(BENCH_SCALE)
+        second = build_cohort_dataset(BENCH_SCALE)
+        assert first is second  # cache hit
+        counts = set(first.class_counts().values())
+        assert len(counts) == 1  # balanced
+
+
+class TestTrainCompressControl:
+    @pytest.fixture(scope="class")
+    def trained_ensemble(self):
+        train, validation = train_validation()
+        models = small_reference_models(epochs=2)
+        ensemble = EnsembleClassifier([models["cnn"], models["transformer"]])
+        ensemble.fit(train, validation)
+        return ensemble, models, validation
+
+    def test_ensemble_beats_chance_on_simulated_eeg(self, trained_ensemble):
+        ensemble, _, validation = trained_ensemble
+        assert ensemble.evaluate(validation) > 0.45
+
+    def test_pruned_member_still_functional_in_ensemble(self, trained_ensemble):
+        ensemble, models, validation = trained_ensemble
+        pruned_cnn, report = prune_classifier(models["cnn"], 0.7)
+        assert report.achieved_sparsity == pytest.approx(0.7, abs=0.05)
+        pruned_ensemble = EnsembleClassifier([pruned_cnn, models["transformer"]])
+        assert pruned_ensemble.evaluate(validation) > 0.4
+
+    def test_full_control_loop_with_voice_multiplexing(self, trained_ensemble):
+        ensemble, _, _ = trained_ensemble
+        profile = ParticipantProfile(participant_id="E2E", seed=21)
+        profile.rhythms.erd_depth = 0.8
+        config = CognitiveArmConfig(window_size=BENCH_SCALE.window_size,
+                                    confidence_threshold=0.34,
+                                    smoothing_window=3, label_rate_hz=10.0)
+        pipeline = CognitiveArmPipeline(ensemble, profile=profile, config=config, seed=5)
+        script = [
+            ScriptedIntent(1.0, ACTION_IDLE),
+            ScriptedIntent(2.0, ACTION_RIGHT, voice_keyword="arm"),
+            ScriptedIntent(2.0, ACTION_LEFT, voice_keyword="fingers"),
+            ScriptedIntent(1.0, ACTION_IDLE),
+        ]
+        report = pipeline.run_scripted_session(script, success_threshold=0.0)
+        assert report.events.actions
+        assert pipeline.multiplexer.switch_count() >= 1
+        assert report.mean_processing_latency_s > 0
+        # The arm must have physically moved at some point during the session.
+        assert len(pipeline.controller.arm.trajectory) > 1
+
+
+class TestVoiceToControlPath:
+    def test_voice_commands_flow_into_mode_multiplexer(self):
+        generator = CommandAudioGenerator(seed=11)
+        waveforms, labels = generator.labelled_dataset(n_per_word=10)
+        recognizer = KeywordRecognizer(ASR_MODEL_FAMILY[2], seed=0).fit(waveforms, labels)
+        voice = VoiceCommandPipeline(recognizer)
+        from repro.core.multiplexer import ModeMultiplexer
+
+        mux = ModeMultiplexer()
+        stream = generator.stream_with_commands([(1.0, "fingers")], 3.0)
+        for command in voice.process_stream(stream):
+            mux.handle_command(command)
+        # Either the command was decoded to a mode keyword and switched the
+        # multiplexer, or it was rejected as a non-command — never an error.
+        assert mux.mode in ("arm", "elbow", "fingers")

@@ -1,0 +1,106 @@
+"""Tests for dataset/model persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io.storage import (
+    load_model_state,
+    load_window_dataset,
+    save_model_state,
+    save_window_dataset,
+)
+from repro.models.base import TrainingConfig
+from repro.models.cnn import CNNConfig, EEGCNN
+from tests.helpers import make_toy_dataset
+
+
+class TestDatasetStorage:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        dataset = make_toy_dataset(n_per_class=5, window_size=30)
+        path = save_window_dataset(dataset, tmp_path / "cohort")
+        assert path.suffix == ".npz"
+        restored = load_window_dataset(path)
+        np.testing.assert_allclose(restored.windows, dataset.windows)
+        np.testing.assert_array_equal(restored.labels, dataset.labels)
+        assert restored.label_names == dataset.label_names
+        assert restored.participant_ids.tolist() == dataset.participant_ids.tolist()
+        assert restored.sampling_rate_hz == dataset.sampling_rate_hz
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_window_dataset(tmp_path / "missing.npz")
+
+    def test_malformed_archive_rejected(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        np.savez_compressed(bad, windows=np.zeros((1, 2, 3)))
+        with pytest.raises(ValueError):
+            load_window_dataset(bad)
+
+    def test_directories_created(self, tmp_path):
+        dataset = make_toy_dataset(n_per_class=3, window_size=20)
+        path = save_window_dataset(dataset, tmp_path / "nested" / "deep" / "ds")
+        assert path.exists()
+
+
+class TestModelStorage:
+    @pytest.fixture()
+    def fitted_cnn(self):
+        dataset = make_toy_dataset(n_per_class=6, window_size=30)
+        model = EEGCNN(
+            CNNConfig(filters=(4,), kernel_size=3, stride=2, hidden_units=8),
+            training=TrainingConfig(epochs=2, batch_size=16),
+            seed=0,
+        )
+        model.fit(dataset)
+        return model, dataset
+
+    def test_unfitted_model_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_model_state(EEGCNN(), tmp_path / "model")
+
+    def test_round_trip_reproduces_predictions(self, fitted_cnn, tmp_path):
+        model, dataset = fitted_cnn
+        weights_path, metadata_path = save_model_state(model, tmp_path / "cnn")
+        assert weights_path.exists() and metadata_path.exists()
+        clone = EEGCNN(
+            CNNConfig(filters=(4,), kernel_size=3, stride=2, hidden_units=8),
+            training=TrainingConfig(epochs=1),
+            seed=99,
+        )
+        clone.ensure_network(dataset.n_channels, dataset.window_size)
+        load_model_state(clone, weights_path)
+        np.testing.assert_allclose(
+            clone.predict_proba(dataset.windows[:4]),
+            model.predict_proba(dataset.windows[:4]),
+        )
+
+    def test_metadata_records_architecture(self, fitted_cnn, tmp_path):
+        model, _ = fitted_cnn
+        _, metadata_path = save_model_state(model, tmp_path / "cnn", metadata={"note": "unit"})
+        meta = json.loads(metadata_path.read_text())
+        assert meta["family"] == "cnn"
+        assert meta["parameter_count"] == model.parameter_count()
+        assert meta["note"] == "unit"
+
+    def test_load_into_unbuilt_model_rejected(self, fitted_cnn, tmp_path):
+        model, _ = fitted_cnn
+        weights_path, _ = save_model_state(model, tmp_path / "cnn")
+        with pytest.raises(ValueError):
+            load_model_state(EEGCNN(), weights_path)
+
+    def test_load_missing_file_rejected(self, fitted_cnn, tmp_path):
+        model, dataset = fitted_cnn
+        clone = EEGCNN(CNNConfig(filters=(4,), kernel_size=3, stride=2, hidden_units=8))
+        clone.ensure_network(dataset.n_channels, dataset.window_size)
+        with pytest.raises(FileNotFoundError):
+            load_model_state(clone, tmp_path / "absent.npz")
+
+    def test_architecture_mismatch_detected(self, fitted_cnn, tmp_path):
+        model, dataset = fitted_cnn
+        weights_path, _ = save_model_state(model, tmp_path / "cnn")
+        other = EEGCNN(CNNConfig(filters=(8,), kernel_size=3, stride=2, hidden_units=8))
+        other.ensure_network(dataset.n_channels, dataset.window_size)
+        with pytest.raises((KeyError, ValueError)):
+            load_model_state(other, weights_path)

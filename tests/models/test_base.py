@@ -1,0 +1,112 @@
+"""Tests for the shared classifier interface and training loop."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import TrainingConfig, TrainingHistory, normalize_windows
+from repro.models.cnn import CNNConfig, EEGCNN
+from tests.helpers import make_toy_dataset
+
+
+class TestNormalizeWindows:
+    def test_zero_mean_unit_std_per_window(self):
+        rng = np.random.default_rng(0)
+        windows = rng.standard_normal((5, 3, 40)) * 7 + 2
+        normalized = normalize_windows(windows)
+        np.testing.assert_allclose(normalized.mean(axis=(1, 2)), 0.0, atol=1e-9)
+        np.testing.assert_allclose(normalized.std(axis=(1, 2)), 1.0, atol=1e-9)
+
+    def test_between_channel_power_ratio_preserved(self):
+        rng = np.random.default_rng(1)
+        window = np.stack([3.0 * rng.standard_normal(100), rng.standard_normal(100)])
+        normalized = normalize_windows(window[None])[0]
+        ratio_before = window[0].std() / window[1].std()
+        ratio_after = normalized[0].std() / normalized[1].std()
+        assert ratio_after == pytest.approx(ratio_before, rel=1e-9)
+
+    def test_constant_channel_does_not_divide_by_zero(self):
+        windows = np.ones((1, 2, 10))
+        normalized = normalize_windows(windows)
+        assert np.isfinite(normalized).all()
+
+    def test_wrong_rank_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_windows(np.zeros((3, 4)))
+
+
+class TestTrainingHistory:
+    def test_best_val_accuracy_empty_is_zero(self):
+        assert TrainingHistory().best_val_accuracy == 0.0
+
+    def test_diverged_detects_rising_validation_loss(self):
+        history = TrainingHistory(val_loss=[1.0, 0.5, 0.9, 1.2])
+        assert history.diverged()
+
+    def test_not_diverged_when_improving(self):
+        history = TrainingHistory(val_loss=[1.0, 0.8, 0.6, 0.55])
+        assert not history.diverged()
+
+    def test_short_history_not_diverged(self):
+        assert not TrainingHistory(val_loss=[1.0]).diverged()
+
+
+class TestNeuralClassifierContract:
+    @pytest.fixture(scope="class")
+    def trained_cnn(self):
+        dataset = make_toy_dataset(n_per_class=15, window_size=40)
+        model = EEGCNN(
+            CNNConfig(filters=(4,), kernel_size=3, stride=2, hidden_units=8),
+            training=TrainingConfig(epochs=6, batch_size=16, learning_rate=5e-3),
+            seed=0,
+        )
+        model.fit(dataset, dataset)
+        return model, dataset
+
+    def test_fit_populates_history(self, trained_cnn):
+        model, _ = trained_cnn
+        assert len(model.history.train_loss) >= 1
+        assert len(model.history.val_accuracy) >= 1
+
+    def test_predict_proba_rows_sum_to_one(self, trained_cnn):
+        model, dataset = trained_cnn
+        probs = model.predict_proba(dataset.windows[:5])
+        assert probs.shape == (5, 3)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), atol=1e-9)
+
+    def test_predict_single_window_2d_input(self, trained_cnn):
+        model, dataset = trained_cnn
+        probs = model.predict_proba(dataset.windows[0])
+        assert probs.shape == (1, 3)
+
+    def test_evaluate_returns_fraction(self, trained_cnn):
+        model, dataset = trained_cnn
+        acc = model.evaluate(dataset)
+        assert 0.0 <= acc <= 1.0
+
+    def test_inference_latency_positive(self, trained_cnn):
+        model, dataset = trained_cnn
+        assert model.inference_latency_s(dataset.windows[:2], repeats=2) > 0.0
+
+    def test_parameter_count_positive(self, trained_cnn):
+        model, _ = trained_cnn
+        assert model.parameter_count() > 0
+
+    def test_predict_before_fit_raises(self):
+        model = EEGCNN()
+        with pytest.raises(RuntimeError):
+            model.predict_proba(np.zeros((1, 4, 40)))
+
+    def test_fit_empty_dataset_rejected(self):
+        dataset = make_toy_dataset(n_per_class=2).subset([])
+        with pytest.raises(ValueError):
+            EEGCNN().fit(dataset)
+
+    def test_describe_reports_family_and_parameters(self, trained_cnn):
+        model, _ = trained_cnn
+        info = model.describe()
+        assert info["family"] == "cnn"
+        assert info["parameters"] == model.parameter_count()
+
+    def test_invalid_class_count_rejected(self):
+        with pytest.raises(ValueError):
+            EEGCNN(n_classes=1)

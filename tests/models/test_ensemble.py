@@ -1,0 +1,100 @@
+"""Tests for the soft-voting ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.windows import WindowDataset
+from repro.models.base import EEGClassifier, TrainingHistory
+from repro.models.ensemble import EnsembleClassifier, all_pairs
+from tests.helpers import make_toy_dataset
+
+
+class _StubClassifier(EEGClassifier):
+    """Deterministic classifier used to test voting arithmetic."""
+
+    def __init__(self, probabilities, family="stub", parameters=10):
+        self._probs = np.asarray(probabilities, dtype=float)
+        self.family = family
+        self._parameters = parameters
+        self.fit_called = False
+
+    def fit(self, train, validation=None):
+        self.fit_called = True
+        history = TrainingHistory()
+        history.train_accuracy.append(1.0)
+        history.val_accuracy.append(1.0)
+        return history
+
+    def predict_proba(self, windows):
+        n = np.asarray(windows).shape[0] if np.asarray(windows).ndim == 3 else 1
+        return np.tile(self._probs, (n, 1))
+
+    def parameter_count(self):
+        return self._parameters
+
+
+class TestEnsembleVoting:
+    def test_equal_weight_soft_voting(self):
+        a = _StubClassifier([0.8, 0.1, 0.1])
+        b = _StubClassifier([0.2, 0.7, 0.1])
+        ensemble = EnsembleClassifier([a, b])
+        probs = ensemble.predict_proba(np.zeros((2, 4, 10)))
+        np.testing.assert_allclose(probs, np.tile([0.5, 0.4, 0.1], (2, 1)), atol=1e-9)
+
+    def test_weighted_voting_changes_winner(self):
+        a = _StubClassifier([0.8, 0.2, 0.0])
+        b = _StubClassifier([0.1, 0.9, 0.0])
+        balanced = EnsembleClassifier([a, b])
+        biased = EnsembleClassifier([a, b], weights=[0.9, 0.1])
+        assert balanced.predict(np.zeros((1, 4, 10)))[0] == 1
+        assert biased.predict(np.zeros((1, 4, 10)))[0] == 0
+
+    def test_empty_member_list_rejected(self):
+        with pytest.raises(ValueError):
+            EnsembleClassifier([])
+
+    def test_bad_weights_rejected(self):
+        a = _StubClassifier([1.0, 0.0, 0.0])
+        with pytest.raises(ValueError):
+            EnsembleClassifier([a], weights=[0.5, 0.5])
+        with pytest.raises(ValueError):
+            EnsembleClassifier([a], weights=[-1.0])
+
+    def test_parameter_count_sums_members(self):
+        a = _StubClassifier([1, 0, 0], parameters=100)
+        b = _StubClassifier([0, 1, 0], parameters=50)
+        assert EnsembleClassifier([a, b]).parameter_count() == 150
+
+    def test_fit_fits_every_member(self):
+        a = _StubClassifier([1, 0, 0])
+        b = _StubClassifier([0, 1, 0])
+        dataset = make_toy_dataset(n_per_class=3, window_size=20)
+        EnsembleClassifier([a, b]).fit(dataset, dataset)
+        assert a.fit_called and b.fit_called
+
+    def test_default_name_joins_families(self):
+        a = _StubClassifier([1, 0, 0], family="cnn")
+        b = _StubClassifier([0, 1, 0], family="transformer")
+        assert EnsembleClassifier([a, b]).name == "cnn+transformer"
+
+    def test_describe_lists_members(self):
+        a = _StubClassifier([1, 0, 0], family="cnn")
+        info = EnsembleClassifier([a], name="solo").describe()
+        assert info["name"] == "solo"
+        assert info["members"] == ["cnn"]
+
+
+class TestAllPairs:
+    def test_pair_count(self):
+        models = {name: _StubClassifier([1, 0, 0], family=name) for name in
+                  ("cnn", "lstm", "transformer", "rf")}
+        pairs = all_pairs(models)
+        assert len(pairs) == 6
+        names = [name for name, _ in pairs]
+        assert "cnn+lstm" in names
+        assert "rf+transformer" in names or "transformer+rf" in names
+
+    def test_pairs_are_ensembles_of_two(self):
+        models = {name: _StubClassifier([1, 0, 0], family=name) for name in ("a", "b", "c")}
+        for _, ensemble in all_pairs(models):
+            assert len(ensemble.members) == 2

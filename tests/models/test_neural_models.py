@@ -1,0 +1,158 @@
+"""Tests for the CNN, LSTM and Transformer EEG classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import TrainingConfig
+from repro.models.cnn import CNNConfig, EEGCNN
+from repro.models.lstm_model import EEGLSTM, LSTMConfig
+from repro.models.transformer_model import EEGTransformer, TransformerConfig
+from tests.helpers import make_toy_dataset
+
+FAST_TRAINING = TrainingConfig(epochs=6, batch_size=16, learning_rate=5e-3)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_toy_dataset(n_per_class=15, window_size=40)
+
+
+class TestCNNConfig:
+    def test_defaults_match_paper_selection(self):
+        cfg = CNNConfig()
+        assert cfg.n_conv_layers == 1
+        assert cfg.filters[0] == 32
+        assert cfg.kernel_size == 5
+        assert cfg.stride == 2
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            CNNConfig(n_conv_layers=0)
+        with pytest.raises(ValueError):
+            CNNConfig(n_conv_layers=2, filters=(8,))
+        with pytest.raises(ValueError):
+            CNNConfig(pooling="median")
+        with pytest.raises(ValueError):
+            CNNConfig(kernel_size=7)
+        with pytest.raises(ValueError):
+            CNNConfig(stride=3)
+
+
+class TestCNN:
+    def test_learns_toy_problem(self, dataset):
+        model = EEGCNN(
+            CNNConfig(filters=(8,), kernel_size=3, stride=2, hidden_units=16),
+            training=TrainingConfig(epochs=12, batch_size=16, learning_rate=1e-2),
+            seed=1,
+        )
+        model.fit(dataset, dataset)
+        assert model.evaluate(dataset) > 0.7
+
+    def test_multi_layer_with_pooling_builds(self, dataset):
+        model = EEGCNN(
+            CNNConfig(
+                n_conv_layers=2,
+                filters=(4, 8),
+                kernel_size=3,
+                stride=1,
+                pooling="max",
+                hidden_units=8,
+            ),
+            training=TrainingConfig(epochs=1, batch_size=16),
+            seed=2,
+        )
+        model.fit(dataset)
+        assert model.predict(dataset.windows[:3]).shape == (3,)
+
+    def test_avg_pooling_variant(self, dataset):
+        model = EEGCNN(
+            CNNConfig(filters=(4,), kernel_size=3, stride=1, pooling="avg", hidden_units=8),
+            training=TrainingConfig(epochs=1, batch_size=16),
+        )
+        model.fit(dataset)
+        assert model.parameter_count() > 0
+
+    def test_describe_includes_architecture(self):
+        model = EEGCNN(CNNConfig(filters=(16,), kernel_size=3))
+        model.ensure_network(4, 40)
+        info = model.describe()
+        assert info["kernel_size"] == 3
+        assert info["filters"] == (16,)
+
+
+class TestLSTM:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LSTMConfig(hidden_size=0)
+        with pytest.raises(ValueError):
+            LSTMConfig(num_layers=4)
+        with pytest.raises(ValueError):
+            LSTMConfig(dropout=1.0)
+        with pytest.raises(ValueError):
+            LSTMConfig(temporal_pool=0)
+
+    def test_learns_toy_problem(self, dataset):
+        model = EEGLSTM(
+            LSTMConfig(hidden_size=16, num_layers=1, temporal_pool=5),
+            training=TrainingConfig(epochs=8, batch_size=16, learning_rate=1e-2),
+            seed=3,
+        )
+        model.fit(dataset, dataset)
+        assert model.evaluate(dataset) > 0.6
+
+    def test_temporal_pool_shortens_sequence(self):
+        model = EEGLSTM(LSTMConfig(hidden_size=8, temporal_pool=10))
+        prepared = model.prepare_input(np.zeros((2, 4, 45)))
+        assert prepared.shape == (2, 4, 4)
+
+    def test_parameter_count_grows_with_hidden_size(self):
+        small = EEGLSTM(LSTMConfig(hidden_size=8))
+        big = EEGLSTM(LSTMConfig(hidden_size=32))
+        small.ensure_network(4, 40)
+        big.ensure_network(4, 40)
+        assert big.parameter_count() > small.parameter_count()
+
+    def test_describe_includes_hidden_size(self):
+        model = EEGLSTM(LSTMConfig(hidden_size=8))
+        model.ensure_network(4, 40)
+        assert model.describe()["hidden_size"] == 8
+
+
+class TestTransformer:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(num_layers=0)
+        with pytest.raises(ValueError):
+            TransformerConfig(d_model=10, n_heads=3)
+        with pytest.raises(ValueError):
+            TransformerConfig(dropout=1.2)
+        with pytest.raises(ValueError):
+            TransformerConfig(temporal_pool=0)
+
+    def test_default_optimizer_is_adamw(self):
+        model = EEGTransformer()
+        assert model.training_config.optimizer == "adamw"
+
+    def test_learns_toy_problem(self, dataset):
+        model = EEGTransformer(
+            TransformerConfig(num_layers=1, n_heads=2, d_model=16, dim_feedforward=32,
+                              dropout=0.0, temporal_pool=5),
+            training=TrainingConfig(epochs=8, batch_size=16, learning_rate=5e-3,
+                                    optimizer="adamw"),
+            seed=4,
+        )
+        model.fit(dataset, dataset)
+        assert model.evaluate(dataset) > 0.6
+
+    def test_prepared_input_has_token_layout(self):
+        model = EEGTransformer(TransformerConfig(d_model=16, n_heads=2, temporal_pool=5))
+        prepared = model.prepare_input(np.zeros((3, 4, 50)))
+        assert prepared.shape == (3, 10, 4)
+
+    def test_describe_includes_architecture(self):
+        model = EEGTransformer(TransformerConfig(num_layers=2, n_heads=2, d_model=16,
+                                                 dim_feedforward=32))
+        model.ensure_network(4, 40)
+        info = model.describe()
+        assert info["num_layers"] == 2
+        assert info["d_model"] == 16

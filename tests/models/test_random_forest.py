@@ -1,0 +1,159 @@
+"""Tests for the from-scratch decision tree and random forest."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.features import STATISTICAL_FEATURES, extract_features, feature_names
+from repro.models.random_forest import (
+    DecisionTreeClassifier,
+    RandomForestClassifier,
+    RandomForestConfig,
+)
+from tests.helpers import make_toy_dataset
+
+
+class TestFeatures:
+    def test_feature_matrix_shape_without_band_power(self):
+        windows = np.random.default_rng(0).standard_normal((6, 4, 30))
+        features = extract_features(windows, include_band_power=False)
+        assert features.shape == (6, 4 * len(STATISTICAL_FEATURES))
+
+    def test_feature_matrix_shape_with_band_power(self):
+        windows = np.random.default_rng(0).standard_normal((3, 2, 64))
+        features = extract_features(windows, include_band_power=True)
+        assert features.shape == (3, 2 * 5 + 2 * 5)
+
+    def test_single_window_promoted(self):
+        features = extract_features(np.zeros((2, 30)), include_band_power=False)
+        assert features.shape == (1, 10)
+
+    def test_wrong_rank_rejected(self):
+        with pytest.raises(ValueError):
+            extract_features(np.zeros(10))
+
+    def test_feature_names_match_column_count(self):
+        windows = np.random.default_rng(0).standard_normal((2, 3, 32))
+        features = extract_features(windows, include_band_power=True)
+        assert len(feature_names(3, include_band_power=True)) == features.shape[1]
+
+    def test_statistics_computed_correctly(self):
+        window = np.array([[[1.0, 2.0, 3.0, 4.0]]])
+        features = extract_features(window, include_band_power=False)[0]
+        assert features[0] == pytest.approx(2.5)  # mean
+        assert features[2] == pytest.approx(1.0)  # min
+        assert features[3] == pytest.approx(4.0)  # max
+
+
+class TestDecisionTree:
+    def test_fits_separable_data_perfectly(self):
+        rng = np.random.default_rng(0)
+        x = np.vstack([rng.normal(-2, 0.3, (30, 2)), rng.normal(2, 0.3, (30, 2))])
+        y = np.array([0] * 30 + [1] * 30)
+        tree = DecisionTreeClassifier(seed=0)
+        tree.fit(x, y)
+        assert (tree.predict(x) == y).mean() == pytest.approx(1.0)
+
+    def test_max_depth_limits_tree(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((100, 3))
+        y = (x[:, 0] * x[:, 1] > 0).astype(int)
+        shallow = DecisionTreeClassifier(max_depth=2, seed=0).fit(x, y)
+        deep = DecisionTreeClassifier(max_depth=10, seed=0).fit(x, y)
+        assert shallow.depth() <= 2
+        assert deep.node_count() >= shallow.node_count()
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_invalid_inputs_rejected(self):
+        tree = DecisionTreeClassifier()
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((3,)), np.zeros(3))
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((3, 2)), np.zeros(2))
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_pure_node_becomes_leaf(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1, 1, 1])
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.node_count() == 1
+
+    def test_probabilities_sum_to_one(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((50, 4))
+        y = rng.integers(0, 3, 50)
+        tree = DecisionTreeClassifier(max_depth=4, seed=1).fit(x, y)
+        probs = tree.predict_proba(x)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(50))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_property_training_accuracy_not_worse_than_majority(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((40, 3))
+        y = rng.integers(0, 2, 40)
+        tree = DecisionTreeClassifier(max_depth=6, seed=seed).fit(x, y)
+        majority = max(np.bincount(y)) / 40
+        assert (tree.predict(x) == y).mean() >= majority - 1e-9
+
+
+class TestRandomForestConfig:
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            RandomForestConfig(n_estimators=0)
+        with pytest.raises(ValueError):
+            RandomForestConfig(max_depth=0)
+        with pytest.raises(ValueError):
+            RandomForestConfig(min_samples_split=1)
+        with pytest.raises(ValueError):
+            RandomForestConfig(min_samples_leaf=0)
+
+
+class TestRandomForest:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        dataset = make_toy_dataset(n_per_class=20, window_size=40)
+        model = RandomForestClassifier(
+            RandomForestConfig(n_estimators=12, max_depth=8, include_band_power=True),
+            seed=0,
+        )
+        model.fit(dataset, dataset)
+        return model, dataset
+
+    def test_learns_toy_problem(self, trained):
+        model, dataset = trained
+        assert model.evaluate(dataset) > 0.8
+
+    def test_parameter_count_counts_nodes(self, trained):
+        model, _ = trained
+        assert model.parameter_count() == sum(t.node_count() for t in model.trees)
+        assert model.parameter_count() > 0
+
+    def test_predict_proba_shape_and_normalisation(self, trained):
+        model, dataset = trained
+        probs = model.predict_proba(dataset.windows[:4])
+        assert probs.shape == (4, 3)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(4), atol=1e-9)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict_proba(np.zeros((1, 4, 40)))
+
+    def test_describe_reports_forest_shape(self, trained):
+        model, _ = trained
+        info = model.describe()
+        assert info["n_estimators"] == 12
+        assert info["family"] == "rf"
+
+    def test_more_trees_never_decreases_training_accuracy_much(self):
+        dataset = make_toy_dataset(n_per_class=15, window_size=40, seed=3)
+        small = RandomForestClassifier(RandomForestConfig(n_estimators=2, max_depth=6), seed=1)
+        big = RandomForestClassifier(RandomForestConfig(n_estimators=16, max_depth=6), seed=1)
+        small.fit(dataset)
+        big.fit(dataset)
+        assert big.evaluate(dataset) >= small.evaluate(dataset) - 0.1

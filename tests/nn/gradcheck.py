@@ -1,0 +1,42 @@
+"""Finite-difference gradient checking helper shared by the nn tests."""
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+def numeric_gradient(func, value, eps=1e-6):
+    """Central finite-difference gradient of scalar-valued ``func`` at ``value``."""
+    value = np.asarray(value, dtype=np.float64)
+    grad = np.zeros_like(value)
+    it = np.nditer(value, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = value[idx]
+        value[idx] = original + eps
+        plus = func(value)
+        value[idx] = original - eps
+        minus = func(value)
+        value[idx] = original
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradient(build_scalar, value, rtol=1e-4, atol=1e-6):
+    """Compare autograd and finite-difference gradients.
+
+    ``build_scalar(tensor)`` must return a scalar Tensor built from the given
+    input tensor; gradients are compared at ``value``.
+    """
+    value = np.asarray(value, dtype=np.float64)
+    tensor = Tensor(value.copy(), requires_grad=True)
+    out = build_scalar(tensor)
+    out.backward()
+    analytic = tensor.grad
+
+    def as_scalar(v):
+        return float(build_scalar(Tensor(v)).data)
+
+    numeric = numeric_gradient(as_scalar, value.copy())
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)

@@ -1,0 +1,211 @@
+"""Gradient checks and behavioural tests for the autograd engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.autograd import Tensor, concatenate, no_grad, stack, where
+from tests.nn.gradcheck import check_gradient
+
+RNG = np.random.default_rng(0)
+
+
+class TestBasics:
+    def test_tensor_wraps_data(self):
+        t = Tensor([[1.0, 2.0]])
+        assert t.shape == (1, 2)
+        assert t.size == 2
+        assert not t.requires_grad
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_on_non_scalar_requires_grad_argument(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_no_grad_disables_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = t * 3.0
+        assert not out.requires_grad
+
+    def test_detach_breaks_graph(self):
+        t = Tensor([2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+
+    def test_zero_grad_clears_accumulated_gradient(self):
+        t = Tensor([2.0], requires_grad=True)
+        (t * t).sum().backward()
+        assert t.grad is not None
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_gradient_accumulates_across_backward_calls(self):
+        t = Tensor([3.0], requires_grad=True)
+        (t * 2).sum().backward()
+        (t * 2).sum().backward()
+        np.testing.assert_allclose(t.grad, [4.0])
+
+    def test_reused_tensor_accumulates_through_graph(self):
+        t = Tensor([2.0], requires_grad=True)
+        out = (t * t + t).sum()  # d/dt = 2t + 1 = 5
+        out.backward()
+        np.testing.assert_allclose(t.grad, [5.0])
+
+
+class TestElementwiseGradients:
+    def test_add_broadcast(self):
+        x = RNG.standard_normal((3, 4))
+        bias = RNG.standard_normal(4)
+        check_gradient(lambda t: (t + bias).sum(), x)
+        check_gradient(lambda t: (Tensor(x) + t).sum(), bias)
+
+    def test_mul(self):
+        x = RNG.standard_normal((2, 5))
+        other = RNG.standard_normal((2, 5))
+        check_gradient(lambda t: (t * other * 2.0).sum(), x)
+
+    def test_div(self):
+        x = RNG.standard_normal((3, 3)) + 3.0
+        denom = RNG.standard_normal((3, 3)) + 5.0
+        check_gradient(lambda t: (t / denom).sum(), x)
+        check_gradient(lambda t: (Tensor(x) / t).sum(), denom)
+
+    def test_pow(self):
+        x = np.abs(RNG.standard_normal((4,))) + 0.5
+        check_gradient(lambda t: (t**3).sum(), x)
+        check_gradient(lambda t: (t**0.5).sum(), x)
+
+    def test_exp_log(self):
+        x = np.abs(RNG.standard_normal((3, 2))) + 0.5
+        check_gradient(lambda t: t.exp().sum(), x)
+        check_gradient(lambda t: t.log().sum(), x)
+
+    def test_tanh_sigmoid_relu(self):
+        x = RNG.standard_normal((3, 4))
+        check_gradient(lambda t: t.tanh().sum(), x)
+        check_gradient(lambda t: t.sigmoid().sum(), x)
+        # Shift away from zero so the ReLU kink does not corrupt the check.
+        x_shifted = x + np.where(x >= 0, 0.5, -0.5)
+        check_gradient(lambda t: t.relu().sum(), x_shifted)
+
+    def test_clip(self):
+        x = np.array([-2.0, -0.3, 0.4, 2.5])
+        check_gradient(lambda t: t.clip(-1.0, 1.0).sum(), x)
+
+    def test_neg_sub(self):
+        x = RNG.standard_normal((2, 2))
+        y = RNG.standard_normal((2, 2))
+        check_gradient(lambda t: (-t).sum(), x)
+        check_gradient(lambda t: (t - y).sum(), x)
+        check_gradient(lambda t: (Tensor(x) - t).sum(), y)
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self):
+        x = RNG.standard_normal((3, 4, 2))
+        check_gradient(lambda t: (t.sum(axis=1) ** 2).sum(), x)
+        check_gradient(lambda t: (t.sum(axis=2, keepdims=True) ** 2).sum(), x)
+
+    def test_mean(self):
+        x = RNG.standard_normal((4, 3))
+        check_gradient(lambda t: (t.mean(axis=0) ** 2).sum(), x)
+        check_gradient(lambda t: t.mean(), x)
+
+    def test_max(self):
+        x = RNG.standard_normal((3, 5))
+        check_gradient(lambda t: (t.max(axis=1) ** 2).sum(), x)
+
+    def test_reshape_transpose(self):
+        x = RNG.standard_normal((2, 3, 4))
+        check_gradient(lambda t: (t.reshape(6, 4) ** 2).sum(), x)
+        check_gradient(lambda t: (t.transpose(2, 0, 1) ** 2).sum(), x)
+
+    def test_getitem(self):
+        x = RNG.standard_normal((4, 5))
+        check_gradient(lambda t: (t[1:3, ::2] ** 2).sum(), x)
+        idx = np.array([0, 2, 2])
+        check_gradient(lambda t: (t[idx] ** 2).sum(), x)
+
+    def test_matmul_2d(self):
+        a = RNG.standard_normal((3, 4))
+        b = RNG.standard_normal((4, 2))
+        check_gradient(lambda t: (t.matmul(b) ** 2).sum(), a)
+        check_gradient(lambda t: (Tensor(a).matmul(t) ** 2).sum(), b)
+
+    def test_matmul_batched(self):
+        a = RNG.standard_normal((2, 3, 4))
+        b = RNG.standard_normal((2, 4, 5))
+        check_gradient(lambda t: (t.matmul(b) ** 2).sum(), a)
+        check_gradient(lambda t: (Tensor(a).matmul(t) ** 2).sum(), b)
+
+    def test_matmul_broadcast_weight(self):
+        a = RNG.standard_normal((2, 3, 4))
+        w = RNG.standard_normal((4, 5))
+        check_gradient(lambda t: (Tensor(a).matmul(t) ** 2).sum(), w)
+
+    def test_softmax_and_log_softmax(self):
+        x = RNG.standard_normal((3, 6))
+        check_gradient(lambda t: (t.softmax(axis=-1) ** 2).sum(), x)
+        check_gradient(lambda t: (t.log_softmax(axis=-1) ** 2).sum(), x)
+
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(RNG.standard_normal((5, 7)))
+        np.testing.assert_allclose(x.softmax(axis=-1).data.sum(axis=-1), np.ones(5))
+
+
+class TestFreeFunctions:
+    def test_concatenate_gradient(self):
+        a = RNG.standard_normal((2, 3))
+        b = RNG.standard_normal((2, 2))
+        check_gradient(
+            lambda t: (concatenate([t, Tensor(b)], axis=1) ** 2).sum(), a
+        )
+        check_gradient(
+            lambda t: (concatenate([Tensor(a), t], axis=1) ** 2).sum(), b
+        )
+
+    def test_stack_gradient(self):
+        a = RNG.standard_normal((3,))
+        check_gradient(lambda t: (stack([t, Tensor(a)], axis=0) ** 2).sum(), a)
+
+    def test_where_gradient(self):
+        cond = np.array([True, False, True, False])
+        a = RNG.standard_normal(4)
+        b = RNG.standard_normal(4)
+        check_gradient(lambda t: (where(cond, t, Tensor(b)) ** 2).sum(), a)
+        check_gradient(lambda t: (where(cond, Tensor(a), t) ** 2).sum(), b)
+
+    def test_concatenate_without_grads_returns_plain_tensor(self):
+        out = concatenate([Tensor(np.ones(2)), Tensor(np.ones(2))])
+        assert not out.requires_grad
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.integers(min_value=1, max_value=5),
+        cols=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_linear_chain_gradient(self, rows, cols, seed):
+        """d/dx sum(x*w + x) == w + 1 for elementwise operations."""
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.standard_normal((rows, cols)), requires_grad=True)
+        w = rng.standard_normal((rows, cols))
+        (x * w + x).sum().backward()
+        np.testing.assert_allclose(x.grad, w + 1.0, rtol=1e-10, atol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_property_softmax_gradient_sums_to_zero(self, seed):
+        """Softmax outputs sum to 1, so gradients of any row-sum vanish."""
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.standard_normal((2, 4)), requires_grad=True)
+        x.softmax(axis=-1).sum().backward()
+        np.testing.assert_allclose(x.grad, np.zeros_like(x.grad), atol=1e-10)

@@ -1,0 +1,175 @@
+"""Tests for losses and optimizers, including small end-to-end training runs."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Dense
+from repro.nn.losses import accuracy, cross_entropy, mse_loss
+from repro.nn.module import Sequential
+from repro.nn.layers import ReLU
+from repro.nn.optimizers import SGD, Adam, AdamW, RMSProp, build_optimizer
+from tests.nn.gradcheck import check_gradient
+
+RNG = np.random.default_rng(3)
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self):
+        logits = Tensor(np.array([[2.0, 0.0, -1.0], [0.5, 0.5, 0.5]]))
+        targets = np.array([0, 2])
+        loss = cross_entropy(logits, targets)
+        probs = np.exp(logits.data) / np.exp(logits.data).sum(axis=1, keepdims=True)
+        expected = -np.mean(np.log(probs[np.arange(2), targets]))
+        assert loss.item() == pytest.approx(expected, rel=1e-10)
+
+    def test_gradient_check(self):
+        logits = RNG.standard_normal((4, 3))
+        targets = np.array([0, 1, 2, 1])
+        check_gradient(lambda t: cross_entropy(t, targets), logits)
+
+    def test_class_weights_change_loss(self):
+        logits = Tensor(RNG.standard_normal((6, 3)))
+        targets = np.array([0, 0, 0, 1, 2, 2])
+        unweighted = cross_entropy(logits, targets).item()
+        weighted = cross_entropy(logits, targets, class_weights=np.array([10.0, 1.0, 1.0])).item()
+        assert weighted != pytest.approx(unweighted)
+
+    def test_invalid_targets_rejected(self):
+        logits = Tensor(RNG.standard_normal((2, 3)))
+        with pytest.raises(ValueError):
+            cross_entropy(logits, np.array([0, 5]))
+        with pytest.raises(ValueError):
+            cross_entropy(logits, np.array([0]))
+
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        assert cross_entropy(logits, np.array([0, 1])).item() < 1e-4
+
+
+class TestMSEAndAccuracy:
+    def test_mse_zero_for_identical(self):
+        pred = Tensor(np.ones((3, 2)))
+        assert mse_loss(pred, np.ones((3, 2))).item() == pytest.approx(0.0)
+
+    def test_mse_gradient(self):
+        x = RNG.standard_normal((3, 2))
+        target = RNG.standard_normal((3, 2))
+        check_gradient(lambda t: mse_loss(t, target), x)
+
+    def test_mse_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mse_loss(Tensor(np.ones((2, 2))), np.ones((3, 2)))
+
+    def test_accuracy_values(self):
+        logits = Tensor(np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]]))
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty_is_zero(self):
+        assert accuracy(Tensor(np.zeros((0, 3))), np.zeros(0)) == 0.0
+
+
+def _quadratic_parameter():
+    from repro.nn.module import Parameter
+
+    return Parameter(np.array([5.0, -3.0]))
+
+
+class TestOptimizersOnQuadratic:
+    """Every optimizer must drive x towards the minimum of f(x) = ||x||^2."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda p: SGD([p], lr=0.1),
+            lambda p: SGD([p], lr=0.05, momentum=0.9),
+            lambda p: Adam([p], lr=0.2),
+            lambda p: AdamW([p], lr=0.2, weight_decay=1e-3),
+            lambda p: RMSProp([p], lr=0.05),
+        ],
+        ids=["sgd", "sgd-momentum", "adam", "adamw", "rmsprop"],
+    )
+    def test_converges_to_zero(self, factory):
+        param = _quadratic_parameter()
+        optimizer = factory(param)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = (param * param).sum()
+            loss.backward()
+            optimizer.step()
+        assert np.abs(param.data).max() < 0.1
+
+    def test_zero_grad_clears_gradients(self):
+        param = _quadratic_parameter()
+        optimizer = SGD([param], lr=0.1)
+        (param * param).sum().backward()
+        optimizer.zero_grad()
+        assert param.grad is None
+
+    def test_step_skips_parameters_without_grad(self):
+        param = _quadratic_parameter()
+        before = param.data.copy()
+        SGD([param], lr=0.1).step()
+        np.testing.assert_allclose(param.data, before)
+
+    def test_invalid_hyperparameters_rejected(self):
+        param = _quadratic_parameter()
+        with pytest.raises(ValueError):
+            SGD([param], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([param], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            RMSProp([param], lr=0.1, alpha=2.0)
+        with pytest.raises(ValueError):
+            Adam([param], lr=0.1, betas=(1.5, 0.9))
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_build_optimizer_by_name(self):
+        param = _quadratic_parameter()
+        assert isinstance(build_optimizer("adam", [param], 1e-3), Adam)
+        assert isinstance(build_optimizer("AdamW", [param], 1e-3), AdamW)
+        with pytest.raises(ValueError):
+            build_optimizer("lion", [param], 1e-3)
+
+    def test_weight_decay_shrinks_weights(self):
+        param = _quadratic_parameter()
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        optimizer.zero_grad()
+        (param * 0.0).sum().backward()
+        before = np.abs(param.data).sum()
+        optimizer.step()
+        assert np.abs(param.data).sum() < before
+
+
+class TestEndToEndTraining:
+    def test_small_mlp_learns_linearly_separable_data(self):
+        rng = np.random.default_rng(0)
+        n = 120
+        x = rng.standard_normal((n, 2))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        model = Sequential(Dense(2, 16, seed=0), ReLU(), Dense(16, 2, seed=1))
+        optimizer = Adam(model.parameters(), lr=0.05)
+        for _ in range(60):
+            optimizer.zero_grad()
+            logits = model(Tensor(x))
+            loss = cross_entropy(logits, y)
+            loss.backward()
+            optimizer.step()
+        final_acc = accuracy(model(Tensor(x)), y)
+        assert final_acc > 0.95
+
+    def test_loss_decreases_during_training(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((64, 4))
+        y = (x.sum(axis=1) > 0).astype(int)
+        model = Sequential(Dense(4, 8, seed=2), ReLU(), Dense(8, 2, seed=3))
+        optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        losses = []
+        for _ in range(40):
+            optimizer.zero_grad()
+            loss = cross_entropy(model(Tensor(x)), y)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.5

@@ -1,0 +1,168 @@
+"""Tests for LSTM and Transformer building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadAttention, TransformerEncoderLayer, positional_encoding
+from repro.nn.autograd import Tensor
+from repro.nn.lstm import LSTM, LSTMCell
+from tests.nn.gradcheck import numeric_gradient
+
+RNG = np.random.default_rng(2)
+
+
+class TestLSTMCell:
+    def test_state_shapes(self):
+        cell = LSTMCell(input_size=6, hidden_size=8)
+        h, c = cell.initial_state(4)
+        assert h.shape == (4, 8)
+        h2, c2 = cell(Tensor(RNG.standard_normal((4, 6))), (h, c))
+        assert h2.shape == (4, 8)
+        assert c2.shape == (4, 8)
+
+    def test_forget_bias_initialised_to_one(self):
+        cell = LSTMCell(3, 5)
+        np.testing.assert_allclose(cell.bias.data[5:10], np.ones(5))
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            LSTMCell(0, 4)
+
+    def test_gradients_flow_to_all_parameters(self):
+        cell = LSTMCell(3, 4, seed=1)
+        state = cell.initial_state(2)
+        # Two steps so the recurrent weights see a non-zero hidden state.
+        h, c = cell(Tensor(RNG.standard_normal((2, 3))), state)
+        h, _ = cell(Tensor(RNG.standard_normal((2, 3))), (h, c))
+        (h * h).sum().backward()
+        for param in cell.parameters():
+            assert param.grad is not None
+            assert np.abs(param.grad).sum() > 0
+
+    def test_cell_weight_gradient_finite_difference(self):
+        cell = LSTMCell(2, 3, seed=2)
+        x = RNG.standard_normal((2, 2))
+
+        def loss_value(values):
+            cell.weight_ih.data = values.reshape(cell.weight_ih.data.shape).copy()
+            h, c = cell.initial_state(2)
+            out, _ = cell(Tensor(x), (h, c))
+            return float((out.data**2).sum())
+
+        original = cell.weight_ih.data.copy()
+        h, c = cell.initial_state(2)
+        out, _ = cell(Tensor(x), (h, c))
+        cell.zero_grad()
+        (out * out).sum().backward()
+        analytic = cell.weight_ih.grad.copy()
+        numeric = numeric_gradient(loss_value, original.copy().reshape(-1)).reshape(
+            original.shape
+        )
+        cell.weight_ih.data = original
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-3, atol=1e-6)
+
+
+class TestLSTM:
+    def test_final_hidden_shape(self):
+        lstm = LSTM(input_size=16, hidden_size=32, num_layers=2)
+        out = lstm(Tensor(RNG.standard_normal((4, 10, 16))))
+        assert out.shape == (4, 32)
+
+    def test_return_sequence_shape(self):
+        lstm = LSTM(input_size=8, hidden_size=16)
+        out = lstm(Tensor(RNG.standard_normal((2, 7, 8))), return_sequence=True)
+        assert out.shape == (2, 7, 16)
+
+    def test_rejects_non_3d_input(self):
+        lstm = LSTM(4, 4)
+        with pytest.raises(ValueError):
+            lstm(Tensor(RNG.standard_normal((4, 4))))
+
+    def test_invalid_layer_count(self):
+        with pytest.raises(ValueError):
+            LSTM(4, 4, num_layers=0)
+
+    def test_parameter_count_scales_with_layers(self):
+        one = LSTM(8, 16, num_layers=1).parameter_count()
+        two = LSTM(8, 16, num_layers=2).parameter_count()
+        assert two > one
+
+    def test_gradients_reach_first_layer(self):
+        lstm = LSTM(4, 6, num_layers=2, seed=3)
+        x = Tensor(RNG.standard_normal((2, 5, 4)), requires_grad=True)
+        out = lstm(x)
+        (out * out).sum().backward()
+        assert x.grad is not None
+        assert np.abs(lstm.cells[0].weight_ih.grad).sum() > 0
+
+
+class TestPositionalEncoding:
+    def test_shape(self):
+        enc = positional_encoding(50, 32)
+        assert enc.shape == (50, 32)
+
+    def test_values_bounded(self):
+        enc = positional_encoding(100, 16)
+        assert np.abs(enc).max() <= 1.0
+
+    def test_rows_are_distinct(self):
+        enc = positional_encoding(20, 8)
+        assert not np.allclose(enc[0], enc[1])
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            positional_encoding(0, 8)
+
+
+class TestAttention:
+    def test_output_shape_preserved(self):
+        attn = MultiHeadAttention(d_model=16, n_heads=4)
+        x = Tensor(RNG.standard_normal((2, 9, 16)))
+        assert attn(x).shape == (2, 9, 16)
+
+    def test_d_model_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(d_model=10, n_heads=3)
+
+    def test_rejects_2d_input(self):
+        attn = MultiHeadAttention(8, 2)
+        with pytest.raises(ValueError):
+            attn(Tensor(RNG.standard_normal((3, 8))))
+
+    def test_gradients_flow_to_projections(self):
+        attn = MultiHeadAttention(8, 2, seed=1)
+        x = Tensor(RNG.standard_normal((2, 4, 8)), requires_grad=True)
+        out = attn(x)
+        (out * out).sum().backward()
+        assert np.abs(attn.query.weight.grad).sum() > 0
+        assert np.abs(x.grad).sum() > 0
+
+
+class TestTransformerEncoderLayer:
+    def test_output_shape(self):
+        layer = TransformerEncoderLayer(d_model=16, n_heads=2, dim_feedforward=32)
+        x = Tensor(RNG.standard_normal((3, 6, 16)))
+        assert layer(x).shape == (3, 6, 16)
+
+    def test_dropout_disabled_in_eval_gives_deterministic_output(self):
+        layer = TransformerEncoderLayer(d_model=8, n_heads=2, dropout=0.5)
+        layer.eval()
+        x = Tensor(RNG.standard_normal((1, 5, 8)))
+        np.testing.assert_allclose(layer(x).data, layer(x).data)
+
+    def test_residual_path_keeps_information(self):
+        layer = TransformerEncoderLayer(d_model=8, n_heads=2, dropout=0.0)
+        layer.eval()
+        x = Tensor(RNG.standard_normal((1, 5, 8)))
+        out = layer(x)
+        # Residual connections mean the output correlates with the input.
+        corr = np.corrcoef(out.data.reshape(-1), x.data.reshape(-1))[0, 1]
+        assert corr > 0.3
+
+    def test_all_parameters_receive_gradients(self):
+        layer = TransformerEncoderLayer(d_model=8, n_heads=2, dim_feedforward=16, dropout=0.0)
+        x = Tensor(RNG.standard_normal((2, 4, 8)))
+        out = layer(x)
+        (out * out).sum().backward()
+        for name, param in layer.named_parameters():
+            assert param.grad is not None, f"{name} missing gradient"

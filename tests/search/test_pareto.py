@@ -1,0 +1,127 @@
+"""Tests for fitness scoring, Pareto front and best-model selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search.pareto import (
+    FitnessWeights,
+    ParetoPoint,
+    fitness_scores,
+    hypervolume_2d,
+    pareto_front,
+    select_best_model,
+)
+
+
+def _points(pairs):
+    return [ParetoPoint(accuracy=a, parameters=p) for a, p in pairs]
+
+
+class TestFitnessScores:
+    def test_empty_input(self):
+        assert fitness_scores([]).shape == (0,)
+
+    def test_higher_accuracy_lower_params_scores_best(self):
+        points = _points([(0.9, 1000), (0.6, 1000), (0.9, 100000)])
+        scores = fitness_scores(points)
+        assert np.argmax(scores) == 0
+
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            FitnessWeights(accuracy=-1.0)
+        with pytest.raises(ValueError):
+            FitnessWeights(accuracy=0.0, parameters=0.0)
+
+    def test_identical_points_score_equally(self):
+        points = _points([(0.8, 500), (0.8, 500)])
+        scores = fitness_scores(points)
+        assert scores[0] == pytest.approx(scores[1])
+
+
+class TestParetoFront:
+    def test_dominated_points_removed(self):
+        points = _points([(0.9, 1000), (0.8, 2000), (0.95, 500)])
+        front = pareto_front(points)
+        # (0.9,1000) and (0.8,2000) are dominated by (0.95,500).
+        assert [(p.accuracy, p.parameters) for p in front] == [(0.95, 500)]
+
+    def test_front_sorted_by_parameters(self):
+        points = _points([(0.7, 100), (0.9, 10000), (0.8, 1000)])
+        front = pareto_front(points)
+        params = [p.parameters for p in front]
+        assert params == sorted(params)
+        assert len(front) == 3
+
+    def test_equal_accuracy_smaller_model_kept(self):
+        points = _points([(0.9, 1000), (0.9, 500)])
+        front = pareto_front(points)
+        assert (0.9, 500) in [(p.accuracy, p.parameters) for p in front]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1.0),
+                st.integers(min_value=1, max_value=10**6),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_property_front_is_mutually_non_dominating(self, data):
+        front = pareto_front(_points(data))
+        assert front  # never empty for non-empty input
+        for a in front:
+            for b in front:
+                if a is b:
+                    continue
+                assert not (b.accuracy > a.accuracy and b.parameters <= a.parameters)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1.0),
+                st.integers(min_value=1, max_value=10**6),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_property_every_point_dominated_by_or_on_front(self, data):
+        points = _points(data)
+        front = pareto_front(points)
+        for p in points:
+            covered = any(
+                f.accuracy >= p.accuracy and f.parameters <= p.parameters for f in front
+            )
+            assert covered
+
+
+class TestBestModelSelection:
+    def test_smallest_model_meeting_threshold_selected(self):
+        points = _points([(0.95, 100000), (0.90, 5000), (0.86, 800), (0.7, 100)])
+        best = select_best_model(points, accuracy_threshold=0.85)
+        assert (best.accuracy, best.parameters) == (0.86, 800)
+
+    def test_falls_back_to_most_accurate_when_none_meet_threshold(self):
+        points = _points([(0.7, 100), (0.75, 1000)])
+        best = select_best_model(points, accuracy_threshold=0.9)
+        assert best.accuracy == pytest.approx(0.75)
+
+    def test_empty_points_returns_none(self):
+        assert select_best_model([]) is None
+
+
+class TestHypervolume:
+    def test_better_front_has_larger_hypervolume(self):
+        good = _points([(0.95, 100), (0.9, 50)])
+        bad = _points([(0.6, 100000)])
+        assert hypervolume_2d(good, reference_parameters=10**6) > hypervolume_2d(
+            bad, reference_parameters=10**6
+        )
+
+    def test_empty_front_zero(self):
+        assert hypervolume_2d([]) == 0.0

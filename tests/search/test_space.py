@@ -1,0 +1,131 @@
+"""Tests for the search space and candidate construction."""
+
+import numpy as np
+import pytest
+
+from repro.models.cnn import EEGCNN
+from repro.models.lstm_model import EEGLSTM
+from repro.models.random_forest import RandomForestClassifier
+from repro.models.transformer_model import EEGTransformer
+from repro.search.space import (
+    MODEL_FAMILIES,
+    SEARCH_SPACE,
+    CandidateSpec,
+    SearchSpace,
+    build_classifier,
+    search_space_table,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestSearchSpace:
+    def test_sample_produces_valid_family(self):
+        space = SearchSpace()
+        for _ in range(20):
+            spec = space.sample(RNG)
+            assert spec.family in MODEL_FAMILIES
+
+    def test_sample_restricted_to_family(self):
+        space = SearchSpace()
+        spec = space.sample(RNG, family="cnn")
+        assert spec.family == "cnn"
+        assert "n_conv_layers" in spec.gene_dict
+
+    def test_sampled_genes_come_from_table(self):
+        space = SearchSpace()
+        for _ in range(20):
+            spec = space.sample(RNG)
+            options = space.gene_options(spec.family)
+            for name, value in spec.genes:
+                assert value in options[name]
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace(families=("mlp",))
+        with pytest.raises(ValueError):
+            SearchSpace(families=())
+
+    def test_neighbours_returns_gene_options(self):
+        space = SearchSpace()
+        spec = space.sample(RNG, family="lstm")
+        assert set(space.neighbours(spec, "hidden_size")) == {64, 128, 256, 512}
+        with pytest.raises(KeyError):
+            space.neighbours(spec, "kernel_size")
+
+    def test_rf_space_has_no_gradient_optimizer(self):
+        assert "optimizer" not in SEARCH_SPACE["rf"]
+
+    def test_candidate_with_gene_replacement(self):
+        space = SearchSpace()
+        spec = space.sample(RNG, family="cnn")
+        changed = spec.with_gene("kernel_size", 3)
+        assert changed.gene_dict["kernel_size"] == 3
+        with pytest.raises(KeyError):
+            spec.with_gene("nonexistent", 1)
+
+    def test_window_size_property(self):
+        spec = SearchSpace().sample(RNG, family="transformer")
+        assert spec.window_size in SEARCH_SPACE["shared"]["window_size"]
+
+
+class TestBuildClassifier:
+    @pytest.mark.parametrize(
+        "family,expected_type",
+        [
+            ("cnn", EEGCNN),
+            ("lstm", EEGLSTM),
+            ("transformer", EEGTransformer),
+            ("rf", RandomForestClassifier),
+        ],
+    )
+    def test_builds_correct_type(self, family, expected_type):
+        spec = SearchSpace().sample(np.random.default_rng(1), family=family)
+        model = build_classifier(spec, epochs=1, scale=0.1)
+        assert isinstance(model, expected_type)
+
+    def test_scale_reduces_capacity(self):
+        space = SearchSpace()
+        spec = space.sample(np.random.default_rng(2), family="lstm")
+        small = build_classifier(spec, scale=0.05)
+        large = build_classifier(spec, scale=1.0)
+        assert small.config.hidden_size < large.config.hidden_size
+
+    def test_transformer_d_model_stays_divisible_by_heads(self):
+        space = SearchSpace()
+        for seed in range(10):
+            spec = space.sample(np.random.default_rng(seed), family="transformer")
+            model = build_classifier(spec, scale=0.07)
+            assert model.config.d_model % model.config.n_heads == 0
+
+    def test_unknown_family_rejected(self):
+        spec = CandidateSpec("svm", (("window_size", 100),))
+        with pytest.raises(ValueError):
+            build_classifier(spec)
+
+    def test_paper_scale_cnn_matches_selected_architecture(self):
+        spec = CandidateSpec(
+            "cnn",
+            tuple(sorted({
+                "n_conv_layers": 1, "filters": 32, "kernel_size": 5, "stride": 2,
+                "pooling": "none", "batch_size": 32, "optimizer": "adam",
+                "window_size": 190, "learning_rate": 1e-3,
+            }.items())),
+        )
+        model = build_classifier(spec, scale=1.0)
+        assert model.config.filters == (32,)
+        assert model.config.kernel_size == 5
+        assert model.config.stride == 2
+
+
+class TestSearchSpaceTable:
+    def test_one_row_per_family(self):
+        rows = search_space_table()
+        assert [r["model"] for r in rows] == list(MODEL_FAMILIES)
+
+    def test_rows_carry_optimizers_and_hyperparameters(self):
+        rows = {r["model"]: r for r in search_space_table()}
+        assert "adam" in rows["cnn"]["optimizers"]
+        assert "adamw" in rows["transformer"]["optimizers"]
+        assert rows["rf"]["optimizers"] == ("n/a",)
+        assert "hidden_size" in rows["lstm"]["hyperparameters"]

@@ -1,0 +1,140 @@
+"""Tests for the preprocessing filter chain."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signals.filters import (
+    FilterSettings,
+    PreprocessingPipeline,
+    bandpass_butterworth,
+    notch_filter,
+    remove_artifacts,
+)
+from repro.signals.quality import band_power, line_noise_power
+
+FS = 125.0
+
+
+def _tone(freq_hz, duration_s=4.0, fs=FS, amplitude=1.0):
+    t = np.arange(int(duration_s * fs)) / fs
+    return amplitude * np.sin(2 * np.pi * freq_hz * t)
+
+
+class TestBandpass:
+    def test_passband_tone_preserved(self):
+        x = _tone(10.0)
+        y = bandpass_butterworth(x, FS)
+        assert band_power(y, (8, 12), FS) > 0.5 * band_power(x, (8, 12), FS)
+
+    def test_dc_drift_removed(self):
+        x = _tone(10.0) + 50.0
+        y = bandpass_butterworth(x, FS)
+        assert abs(np.mean(y)) < 1.0
+
+    def test_high_frequency_attenuated(self):
+        x = _tone(55.0)
+        y = bandpass_butterworth(x, FS)
+        assert np.std(y) < 0.1 * np.std(x)
+
+    def test_invalid_band_raises(self):
+        with pytest.raises(ValueError):
+            bandpass_butterworth(_tone(10.0), FS, low_hz=40.0, high_hz=10.0)
+
+    def test_high_above_nyquist_raises(self):
+        with pytest.raises(ValueError):
+            bandpass_butterworth(_tone(10.0), FS, high_hz=70.0)
+
+    def test_2d_input_filters_each_channel(self):
+        x = np.vstack([_tone(10.0), _tone(55.0)])
+        y = bandpass_butterworth(x, FS)
+        assert y.shape == x.shape
+        assert np.std(y[0]) > 5 * np.std(y[1])
+
+    def test_3d_input_rejected(self):
+        with pytest.raises(ValueError):
+            bandpass_butterworth(np.zeros((2, 2, 2)), FS)
+
+
+class TestNotch:
+    def test_line_noise_removed(self):
+        clean = _tone(10.0)
+        noisy = clean + _tone(50.0, amplitude=2.0)
+        filtered = notch_filter(noisy, FS)
+        assert line_noise_power(filtered, 50.0, 1.0, FS) < 0.05 * line_noise_power(
+            noisy, 50.0, 1.0, FS
+        )
+
+    def test_neighbouring_frequencies_preserved(self):
+        x = _tone(10.0)
+        y = notch_filter(x, FS)
+        assert band_power(y, (8, 12), FS) > 0.8 * band_power(x, (8, 12), FS)
+
+    def test_notch_at_nyquist_raises(self):
+        with pytest.raises(ValueError):
+            notch_filter(_tone(10.0), FS, notch_hz=70.0)
+
+    def test_negative_notch_raises(self):
+        with pytest.raises(ValueError):
+            notch_filter(_tone(10.0), FS, notch_hz=-1.0)
+
+
+class TestArtifactRemoval:
+    def test_blink_spike_suppressed(self):
+        x = _tone(10.0, amplitude=5.0)
+        x[200:220] += 150.0
+        cleaned = remove_artifacts(x, FS, amplitude_threshold_uv=60.0)
+        assert np.abs(cleaned[200:220]).max() < 80.0
+
+    def test_clean_signal_untouched(self):
+        x = _tone(10.0, amplitude=5.0)
+        cleaned = remove_artifacts(x, FS, amplitude_threshold_uv=60.0)
+        np.testing.assert_allclose(cleaned, x)
+
+    def test_multichannel_independent_cleaning(self):
+        a = _tone(10.0, amplitude=5.0)
+        b = a.copy()
+        b[100] = 500.0
+        cleaned = remove_artifacts(np.vstack([a, b]), FS)
+        np.testing.assert_allclose(cleaned[0], a)
+        assert abs(cleaned[1, 100]) < 60.0
+
+
+class TestPipeline:
+    def test_full_chain_improves_line_noise(self):
+        x = _tone(10.0, amplitude=8.0) + _tone(50.0, amplitude=5.0) + 30.0
+        pipeline = PreprocessingPipeline()
+        y = pipeline(x[None, :])
+        assert line_noise_power(y[0], 50.0, 1.0, FS) < 0.1 * line_noise_power(
+            x, 50.0, 1.0, FS
+        )
+
+    def test_minimum_samples_positive(self):
+        assert PreprocessingPipeline().minimum_samples() > 0
+
+    def test_artifact_stage_can_be_disabled(self):
+        settings_obj = FilterSettings(remove_artifacts=False)
+        pipeline = PreprocessingPipeline(settings_obj)
+        x = _tone(10.0, amplitude=5.0)[None, :]
+        assert pipeline(x).shape == x.shape
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        freq=st.floats(min_value=2.0, max_value=40.0),
+        amplitude=st.floats(min_value=0.5, max_value=50.0),
+    )
+    def test_property_output_finite_and_bounded(self, freq, amplitude):
+        """Filtering any in-band tone yields finite output of comparable scale."""
+        x = _tone(freq, amplitude=amplitude)
+        y = PreprocessingPipeline()(x[None, :])
+        assert np.isfinite(y).all()
+        assert np.abs(y).max() <= 3.0 * amplitude + 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_filtering_is_deterministic(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((4, 500))
+        p = PreprocessingPipeline()
+        np.testing.assert_allclose(p(x), p(x))

@@ -1,0 +1,82 @@
+"""Tests for the 10-20 montage model."""
+
+import math
+
+import pytest
+
+from repro.signals.montage import (
+    CHANNEL_NAMES_16,
+    MOTOR_CHANNELS,
+    Montage,
+    standard_1020_positions,
+)
+
+
+class TestStandardPositions:
+    def test_returns_all_requested_channels(self):
+        positions = standard_1020_positions()
+        assert set(positions) == set(CHANNEL_NAMES_16)
+
+    def test_positions_lie_on_head_sphere(self):
+        radius = 9.0
+        positions = standard_1020_positions(head_radius_cm=radius)
+        for x, y, z in positions.values():
+            assert math.isclose(math.sqrt(x * x + y * y + z * z), radius, rel_tol=1e-9)
+
+    def test_unknown_channel_raises(self):
+        with pytest.raises(KeyError):
+            standard_1020_positions(["XX9"])
+
+    def test_custom_radius_scales_coordinates(self):
+        small = standard_1020_positions(["C3"], head_radius_cm=1.0)["C3"]
+        large = standard_1020_positions(["C3"], head_radius_cm=2.0)["C3"]
+        assert all(math.isclose(2 * s, l, rel_tol=1e-9) for s, l in zip(small, large))
+
+
+class TestMontage:
+    def test_default_montage_has_16_channels(self):
+        assert Montage().n_channels == 16
+
+    def test_index_of_is_case_insensitive(self):
+        montage = Montage()
+        assert montage.index_of("c3") == montage.index_of("C3")
+
+    def test_index_of_unknown_channel_raises(self):
+        with pytest.raises(KeyError):
+            Montage().index_of("CZ")  # CZ is not among the 16 recorded sites
+
+    def test_indices_of_preserves_order(self):
+        montage = Montage()
+        idx = montage.indices_of(["C4", "C3"])
+        assert idx == [montage.index_of("C4"), montage.index_of("C3")]
+
+    def test_duplicate_channels_rejected(self):
+        with pytest.raises(ValueError):
+            Montage(channels=("C3", "c3"))
+
+    def test_motor_channels_are_lateralised(self):
+        montage = Montage()
+        # C3 is on the left (negative x), C4 on the right (positive x).
+        assert montage.laterality("C3") < 0 < montage.laterality("C4")
+
+    def test_distance_is_symmetric_and_zero_on_diagonal(self):
+        montage = Montage()
+        assert montage.distance_cm("C3", "C4") == pytest.approx(
+            montage.distance_cm("C4", "C3")
+        )
+        assert montage.distance_cm("C3", "C3") == pytest.approx(0.0)
+
+    def test_motor_indices_cover_both_hemispheres(self):
+        montage = Montage()
+        names = [montage.channels[i] for i in montage.motor_indices()]
+        assert set(names) == set(MOTOR_CHANNELS)
+
+    def test_frontal_indices_include_fp_channels(self):
+        montage = Montage()
+        frontal_names = {montage.channels[i] for i in montage.frontal_indices()}
+        assert {"FP1", "FP2"} <= frontal_names
+
+    def test_temporal_indices_only_t_channels(self):
+        montage = Montage()
+        names = {montage.channels[i] for i in montage.temporal_indices()}
+        assert names == {"T7", "T8"}

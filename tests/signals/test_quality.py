@@ -1,0 +1,79 @@
+"""Tests for spectral quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.signals.quality import (
+    EEG_BANDS,
+    band_power,
+    line_noise_power,
+    power_spectral_density,
+    relative_band_power,
+    signal_to_noise_ratio,
+)
+
+FS = 125.0
+
+
+def _tone(freq_hz, duration_s=4.0, fs=FS, amplitude=1.0):
+    t = np.arange(int(duration_s * fs)) / fs
+    return amplitude * np.sin(2 * np.pi * freq_hz * t)
+
+
+class TestPSD:
+    def test_peak_at_tone_frequency(self):
+        freqs, psd = power_spectral_density(_tone(10.0), FS)
+        assert abs(freqs[np.argmax(psd)] - 10.0) < 1.0
+
+    def test_2d_input_returns_per_channel_psd(self):
+        data = np.vstack([_tone(10.0), _tone(20.0)])
+        freqs, psd = power_spectral_density(data, FS)
+        assert psd.shape == (2, freqs.shape[0])
+
+    def test_short_signal_does_not_crash(self):
+        freqs, psd = power_spectral_density(np.ones(32), FS)
+        assert freqs.shape == psd.shape
+
+
+class TestBandPower:
+    def test_tone_power_concentrated_in_band(self):
+        x = _tone(10.0)
+        in_band = band_power(x, (8, 12), FS)
+        out_band = band_power(x, (20, 40), FS)
+        assert in_band > 50 * out_band
+
+    def test_invalid_band_raises(self):
+        with pytest.raises(ValueError):
+            band_power(_tone(10.0), (12.0, 8.0), FS)
+
+    def test_band_outside_spectrum_returns_zero(self):
+        x = _tone(10.0, duration_s=1.0)
+        assert band_power(x, (60.0, 62.0), FS) == pytest.approx(0.0)
+
+    def test_relative_band_power_sums_close_to_one(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(1000)
+        rel = relative_band_power(x, FS)
+        assert set(rel) == set(EEG_BANDS)
+        total = sum(float(v) for v in rel.values())
+        assert 0.8 <= total <= 1.1
+
+
+class TestSNR:
+    def test_clean_in_band_signal_has_high_snr(self):
+        clean = _tone(10.0)
+        assert signal_to_noise_ratio(clean, (0.5, 45.0), FS) > 10.0
+
+    def test_out_of_band_noise_lowers_snr(self):
+        clean = _tone(10.0)
+        noisy = clean + _tone(55.0, amplitude=3.0)
+        assert signal_to_noise_ratio(noisy, (0.5, 45.0), FS) < signal_to_noise_ratio(
+            clean, (0.5, 45.0), FS
+        )
+
+    def test_line_noise_power_detects_50hz(self):
+        with_line = _tone(10.0) + _tone(50.0, amplitude=2.0)
+        without_line = _tone(10.0)
+        assert line_noise_power(with_line, 50.0, 1.0, FS) > 10 * line_noise_power(
+            without_line, 50.0, 1.0, FS
+        )
