@@ -1,0 +1,11 @@
+"""Legacy-environment shim.
+
+All metadata lives in ``pyproject.toml``; modern pip installs this package
+editable via PEP 660 (``pip install -e .``).  This file only exists so
+environments with an old setuptools or no ``wheel`` package can still get an
+editable install with ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -52,6 +52,8 @@ class SessionReport:
     intent_accuracy: float
     per_phase_accuracy: List[float]
     mean_processing_latency_s: float
+    #: Tail latency — what a serving SLO budgets against (the mean hides stalls).
+    p95_processing_latency_s: float
     label_rate_hz: float
     mode_switches: int
     success: bool
@@ -60,6 +62,7 @@ class SessionReport:
         return {
             "intent_accuracy": self.intent_accuracy,
             "mean_processing_latency_s": self.mean_processing_latency_s,
+            "p95_processing_latency_s": self.p95_processing_latency_s,
             "label_rate_hz": self.label_rate_hz,
             "mode_switches": float(self.mode_switches),
             "success": float(self.success),
@@ -156,10 +159,7 @@ class CognitiveArmPipeline:
             phase_scored = 0
             for tick_index in range(n_ticks):
                 tick = self.loop.tick()
-                actuated = (
-                    tick.smoothed_action != ACTION_IDLE
-                    and tick.confidence >= self.config.confidence_threshold
-                )
+                actuated = tick.should_actuate(self.config.confidence_threshold)
                 if actuated:
                     self.controller.apply_action(tick.smoothed_action, tick.confidence)
                 self.events.record_action(
@@ -192,6 +192,7 @@ class CognitiveArmPipeline:
             intent_accuracy=correct_total / max(1, tick_total),
             per_phase_accuracy=per_phase_accuracy,
             mean_processing_latency_s=self.loop.mean_processing_latency_s(),
+            p95_processing_latency_s=self.loop.p95_processing_latency_s(),
             label_rate_hz=self.config.label_rate_hz,
             mode_switches=self.multiplexer.switch_count(),
             success=success,

@@ -33,14 +33,40 @@ class InferenceTick:
     smoothed_action: str
     processing_latency_s: float
 
+    def should_actuate(self, confidence_threshold: float) -> bool:
+        """The actuation gate: move the arm only on a confident, non-idle label.
+
+        Shared by the single-session pipeline and fleet serving so the two
+        paths can never drift apart.
+        """
+        return (
+            self.smoothed_action != ACTION_IDLE
+            and self.confidence >= confidence_threshold
+        )
+
 
 class RealTimeInferenceLoop:
-    """Window -> filter -> classify -> smooth, clocked at the label rate."""
+    """Window -> filter -> classify -> smooth, clocked at the label rate.
+
+    The loop is built from two phases so the same primitives can serve either
+    a single session (``tick`` runs both phases with an inline classifier
+    call) or a fleet (``repro.serving`` runs phase one on every session,
+    classifies all prepared windows in one micro-batch, then runs phase two
+    per session):
+
+    1. :meth:`prepare_window` — advance the board one label period and
+       acquire the filtered classification window.
+    2. :meth:`apply_result` — turn class probabilities for that window into
+       a confidence-gated, majority-smoothed :class:`InferenceTick`.
+
+    ``classifier`` may be ``None`` when the loop is only used through the
+    two-phase API and classification happens elsewhere.
+    """
 
     def __init__(
         self,
         board: SimulatedCytonDaisyBoard,
-        classifier: EEGClassifier,
+        classifier: Optional[EEGClassifier],
         config: Optional[CognitiveArmConfig] = None,
         class_names: Tuple[str, ...] = ("left", "right", "idle"),
     ) -> None:
@@ -61,6 +87,7 @@ class RealTimeInferenceLoop:
         self._filter_buffer_samples = max(
             self.config.window_size, int(3.0 * self.config.sampling_rate_hz)
         )
+        self._prepare_latency_s = 0.0
 
     def warmup(self) -> None:
         """Advance the board until a full filter buffer is available."""
@@ -68,8 +95,13 @@ class RealTimeInferenceLoop:
         if needed > 0:
             self.board.advance((needed + 1) / self.config.sampling_rate_hz)
 
-    def tick(self) -> InferenceTick:
-        """Advance one label period and produce one action label."""
+    def prepare_window(self) -> np.ndarray:
+        """Phase one: advance one label period and acquire the filtered window.
+
+        Returns the ``(channels, window_size)`` array ready for
+        ``predict_proba``.  The acquisition/filtering time is remembered and
+        folded into the next :meth:`apply_result`'s processing latency.
+        """
         cfg = self.config
         self.board.advance(cfg.label_period_s)
         if self.board.available_samples() < self._filter_buffer_samples:
@@ -77,8 +109,21 @@ class RealTimeInferenceLoop:
         start = time.perf_counter()
         buffer, _ = self.board.get_current_board_data(self._filter_buffer_samples)
         filtered = self.preprocessing.process(buffer)[:, -cfg.window_size:]
-        probabilities = self.classifier.predict_proba(filtered[None, :, :])[0]
-        processing_latency = time.perf_counter() - start
+        self._prepare_latency_s = time.perf_counter() - start
+        return filtered
+
+    def apply_result(
+        self, probabilities: np.ndarray, classify_latency_s: float = 0.0
+    ) -> InferenceTick:
+        """Phase two: turn class probabilities into one smoothed action tick.
+
+        ``classify_latency_s`` is the classification time attributable to this
+        window (for a micro-batched call, the caller's per-window share); the
+        tick's ``processing_latency_s`` is that plus the acquisition/filtering
+        time measured by the matching :meth:`prepare_window`.
+        """
+        cfg = self.config
+        probabilities = np.asarray(probabilities, dtype=float)
         best = int(np.argmax(probabilities))
         confidence = float(probabilities[best])
         action = self.class_names[best]
@@ -91,10 +136,24 @@ class RealTimeInferenceLoop:
             action=action,
             confidence=confidence,
             smoothed_action=smoothed,
-            processing_latency_s=processing_latency,
+            processing_latency_s=self._prepare_latency_s + classify_latency_s,
         )
+        self._prepare_latency_s = 0.0
         self.ticks.append(tick)
         return tick
+
+    def tick(self) -> InferenceTick:
+        """Advance one label period and produce one action label."""
+        if self.classifier is None:
+            raise RuntimeError(
+                "tick() needs a classifier; loops driven through the two-phase "
+                "API (prepare_window/apply_result) classify externally"
+            )
+        window = self.prepare_window()
+        start = time.perf_counter()
+        probabilities = self.classifier.predict_proba(window[None, :, :])[0]
+        classify_latency = time.perf_counter() - start
+        return self.apply_result(probabilities, classify_latency)
 
     def run(self, duration_s: float) -> List[InferenceTick]:
         """Produce labels for ``duration_s`` of simulated time."""
@@ -104,16 +163,38 @@ class RealTimeInferenceLoop:
         return [self.tick() for _ in range(n_ticks)]
 
     def _majority_vote(self) -> str:
+        """Majority vote over the smoothing history.
+
+        Tie-breaking rule: when several actions share the top vote count, the
+        tie resolves toward the action whose most recent occurrence is latest
+        in the history — the freshest evidence wins.  (Previously ties fell
+        back on dict insertion order, i.e. whichever tied action entered the
+        history first, which favoured stale predictions.)
+        """
         votes: dict = {}
-        for action in self._history:
+        last_seen: dict = {}
+        for index, action in enumerate(self._history):
             votes[action] = votes.get(action, 0) + 1
-        return max(votes, key=votes.get)
+            last_seen[action] = index
+        return max(votes, key=lambda action: (votes[action], last_seen[action]))
 
     def mean_processing_latency_s(self) -> float:
         """Average per-label processing latency over the session so far."""
         if not self.ticks:
             return 0.0
         return float(np.mean([t.processing_latency_s for t in self.ticks]))
+
+    def p95_processing_latency_s(self) -> float:
+        """95th-percentile per-label processing latency.
+
+        ``label_rate_achievable`` based on the mean hides tail stalls; the
+        p95 is what a serving SLO budgets against.
+        """
+        if not self.ticks:
+            return 0.0
+        return float(
+            np.percentile([t.processing_latency_s for t in self.ticks], 95)
+        )
 
     def label_rate_achievable(self) -> bool:
         """Whether processing keeps up with the configured label rate."""

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -10,6 +9,7 @@ import numpy as np
 
 from repro.deployment.edge_device import DeploymentEstimate, EdgeDeviceModel
 from repro.models.base import EEGClassifier, NeuralEEGClassifier
+from repro.utils.timing import median_call_time_s
 
 
 @dataclass
@@ -45,17 +45,15 @@ def profile_classifier(
 ) -> LatencyProfile:
     """Measure wall-clock latency and estimate edge-device behaviour."""
     device = device or EdgeDeviceModel()
-    timings = []
-    for _ in range(max(1, repeats)):
-        start = time.perf_counter()
-        classifier.predict_proba(example_windows)
-        timings.append(time.perf_counter() - start)
+    measured = median_call_time_s(
+        lambda: classifier.predict_proba(example_windows), repeats
+    )
     effective = _effective_parameters(classifier)
     estimate = device.estimate(effective, bits_per_weight=bits_per_weight)
     return LatencyProfile(
         model_family=classifier.family,
         parameters=classifier.parameter_count(),
         effective_parameters=effective,
-        measured_latency_s=float(np.median(timings)),
+        measured_latency_s=measured,
         estimated=estimate,
     )

@@ -8,7 +8,6 @@ evolutionary search (accuracy vs. parameter count), the compression stage
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -19,6 +18,7 @@ from repro.nn.autograd import Tensor, no_grad
 from repro.nn.losses import cross_entropy
 from repro.nn.module import Module
 from repro.nn.optimizers import build_optimizer
+from repro.utils.timing import median_call_time_s
 
 
 def normalize_windows(windows: np.ndarray) -> np.ndarray:
@@ -111,12 +111,7 @@ class EEGClassifier:
 
     def inference_latency_s(self, windows: np.ndarray, repeats: int = 3) -> float:
         """Median wall-clock latency of one ``predict_proba`` call."""
-        timings = []
-        for _ in range(max(1, repeats)):
-            start = time.perf_counter()
-            self.predict_proba(windows)
-            timings.append(time.perf_counter() - start)
-        return float(np.median(timings))
+        return median_call_time_s(lambda: self.predict_proba(windows), repeats)
 
     def describe(self) -> Dict[str, object]:
         """Short description used in experiment reports."""

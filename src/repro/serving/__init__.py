@@ -1,0 +1,34 @@
+"""Multi-session serving: cross-session micro-batched inference.
+
+The single-participant loop (``repro.core.realtime``) classifies one window
+at a time.  This package scales that loop out: a :class:`FleetServer` clocks
+N concurrent :class:`ServingSession` objects at the label rate, a
+:class:`MicroBatcher` stacks their prepared windows into one
+``(n, channels, samples)`` call on a shared classifier, and
+:class:`FleetTelemetry` reports throughput, tail latency, backlog and
+per-session accuracy.
+"""
+
+from repro.serving.batcher import BatchResult, MicroBatcher
+from repro.serving.server import FleetReport, FleetServer
+from repro.serving.session import ServingSession
+from repro.serving.telemetry import (
+    FleetTelemetry,
+    FleetTickRecord,
+    SessionStats,
+    calibrate_batch_latency_s,
+    session_stats,
+)
+
+__all__ = [
+    "BatchResult",
+    "MicroBatcher",
+    "FleetReport",
+    "FleetServer",
+    "ServingSession",
+    "FleetTelemetry",
+    "FleetTickRecord",
+    "SessionStats",
+    "calibrate_batch_latency_s",
+    "session_stats",
+]

@@ -1,0 +1,116 @@
+"""Cross-session micro-batching of classifier calls.
+
+Every classifier in the repo is batch-shaped — ``predict_proba`` takes
+``(n, channels, samples)`` — but the single-session loop only ever calls it
+with ``n=1``.  The :class:`MicroBatcher` closes that gap: sessions submit
+their prepared windows, ``flush`` stacks them into one array and issues a
+single vectorised call (or a few chunked calls when ``max_batch_size``
+caps the batch), then hands each session back its own probability row.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.models.base import EEGClassifier
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one :meth:`MicroBatcher.flush`."""
+
+    #: Per-session class probabilities, keyed by the submitting session id.
+    results: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: Sizes of the ``predict_proba`` calls actually issued (one entry per
+    #: chunk; a single entry equal to ``len(results)`` in the common case).
+    batch_sizes: List[int] = field(default_factory=list)
+    #: Total wall-clock time spent inside ``predict_proba``.
+    latency_s: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def per_window_latency_s(self) -> float:
+        """Classification latency attributed to each window in the batch."""
+        if not self.results:
+            return 0.0
+        return self.latency_s / len(self.results)
+
+
+class MicroBatcher:
+    """Stacks windows from many sessions into one classifier call.
+
+    Parameters
+    ----------
+    classifier:
+        Shared batch-shaped classifier.
+    max_batch_size:
+        Optional cap on the number of windows per ``predict_proba`` call;
+        larger flushes are split into consecutive chunks (memory control on
+        small devices).  ``None`` means one call regardless of fleet size.
+    """
+
+    def __init__(
+        self, classifier: EEGClassifier, max_batch_size: Optional[int] = None
+    ) -> None:
+        if max_batch_size is not None and max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        self.classifier = classifier
+        self.max_batch_size = max_batch_size
+        self._pending: List[Tuple[str, np.ndarray]] = []
+        self._pending_ids: set = set()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def submit(self, session_id: str, window: np.ndarray) -> None:
+        """Queue one session's prepared window for the next flush."""
+        window = np.asarray(window)
+        if window.ndim != 2:
+            raise ValueError(
+                f"window must be (channels, samples); got shape {window.shape}"
+            )
+        if self._pending and window.shape != self._pending[0][1].shape:
+            raise ValueError(
+                f"window shape {window.shape} does not match the pending batch "
+                f"shape {self._pending[0][1].shape}"
+            )
+        if session_id in self._pending_ids:
+            raise ValueError(
+                f"session {session_id!r} already has a window in this batch"
+            )
+        self._pending.append((session_id, window))
+        self._pending_ids.add(session_id)
+
+    def flush(self) -> BatchResult:
+        """Classify everything pending in as few calls as possible."""
+        if not self._pending:
+            return BatchResult()
+        pending, self._pending, self._pending_ids = self._pending, [], set()
+        session_ids = [session_id for session_id, _ in pending]
+        stacked = np.stack([window for _, window in pending], axis=0)
+        chunk = self.max_batch_size or len(pending)
+        probabilities: List[np.ndarray] = []
+        batch_sizes: List[int] = []
+        elapsed = 0.0
+        for start in range(0, len(pending), chunk):
+            block = stacked[start : start + chunk]
+            t0 = time.perf_counter()
+            probabilities.append(self.classifier.predict_proba(block))
+            elapsed += time.perf_counter() - t0
+            batch_sizes.append(block.shape[0])
+        probs = np.concatenate(probabilities, axis=0)
+        if probs.shape[0] != len(pending):
+            raise RuntimeError(
+                f"classifier returned {probs.shape[0]} rows for a batch of "
+                f"{len(pending)} windows"
+            )
+        return BatchResult(
+            results={sid: probs[i] for i, sid in enumerate(session_ids)},
+            batch_sizes=batch_sizes,
+            latency_s=elapsed,
+        )

@@ -1,0 +1,136 @@
+"""Fleet-level serving metrics.
+
+Collects one record per fleet tick (batch size, classification latency,
+stalls, backlog) and aggregates them into the numbers a serving dashboard
+would show: throughput in labels/s, p50/p95/p99 batch latency, backlog depth
+and per-session accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.models.base import EEGClassifier
+
+
+@dataclass
+class FleetTickRecord:
+    """What happened during one fleet tick."""
+
+    tick_index: int
+    #: Sessions attached to the fleet when the tick ran.
+    n_sessions: int
+    #: Windows actually classified (``n_sessions`` minus stalled sessions).
+    batch_size: int
+    #: Sessions that failed to produce a window this tick.
+    stalled_sessions: int
+    #: Wall-clock time of the batched ``predict_proba`` call(s).
+    batch_latency_s: float
+    #: Total label periods of work queued behind stalled sessions.
+    backlog_depth: int
+
+
+@dataclass
+class SessionStats:
+    """Per-session roll-up reported at the end of a fleet run."""
+
+    session_id: str
+    labels_emitted: int
+    accuracy: float
+    dropped_windows: int
+
+
+class FleetTelemetry:
+    """Accumulates :class:`FleetTickRecord` objects and aggregates them."""
+
+    def __init__(self) -> None:
+        self.records: List[FleetTickRecord] = []
+
+    def record(self, record: FleetTickRecord) -> None:
+        self.records.append(record)
+
+    # ------------------------------------------------------------------ #
+    # aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def total_labels(self) -> int:
+        """Action labels emitted across the whole fleet."""
+        return int(sum(r.batch_size for r in self.records))
+
+    @property
+    def total_batch_time_s(self) -> float:
+        return float(sum(r.batch_latency_s for r in self.records))
+
+    def throughput_labels_per_s(self) -> float:
+        """Labels emitted per second of classification time."""
+        if self.total_batch_time_s <= 0:
+            return 0.0
+        return self.total_labels / self.total_batch_time_s
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 of the per-tick batch classification latency."""
+        if not self.records:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        latencies = [r.batch_latency_s for r in self.records]
+        p50, p95, p99 = np.percentile(latencies, [50, 95, 99])
+        return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+
+    def max_backlog_depth(self) -> int:
+        """Deepest backlog observed behind stalled sessions."""
+        if not self.records:
+            return 0
+        return max(r.backlog_depth for r in self.records)
+
+    def stall_rate(self) -> float:
+        """Fraction of session-ticks lost to stalls."""
+        scheduled = sum(r.n_sessions for r in self.records)
+        if scheduled == 0:
+            return 0.0
+        return sum(r.stalled_sessions for r in self.records) / scheduled
+
+    def summary(self) -> Dict[str, float]:
+        percentiles = self.latency_percentiles()
+        return {
+            "ticks": float(len(self.records)),
+            "total_labels": float(self.total_labels),
+            "throughput_labels_per_s": self.throughput_labels_per_s(),
+            "batch_latency_p50_s": percentiles["p50"],
+            "batch_latency_p95_s": percentiles["p95"],
+            "batch_latency_p99_s": percentiles["p99"],
+            "max_backlog_depth": float(self.max_backlog_depth()),
+            "stall_rate": self.stall_rate(),
+        }
+
+
+def calibrate_batch_latency_s(
+    classifier: EEGClassifier, example_batch: np.ndarray, repeats: int = 5
+) -> float:
+    """Median wall-clock latency of one batched ``predict_proba`` call.
+
+    Used to size a fleet before running it: with label period ``T`` and a
+    calibrated batch latency ``L(n)``, a fleet of ``n`` sessions is
+    sustainable when ``L(n) <= T``.  Delegates to
+    ``EEGClassifier.inference_latency_s`` (and through it the shared timing
+    helper) so calibration can never diverge from the model's own reported
+    latency.
+    """
+    example_batch = np.asarray(example_batch)
+    if example_batch.ndim != 3:
+        raise ValueError("example_batch must be (n, channels, samples)")
+    return classifier.inference_latency_s(example_batch, repeats=repeats)
+
+
+def session_stats(sessions: Sequence) -> List[SessionStats]:
+    """Build the per-session roll-up from :class:`ServingSession` objects."""
+    return [
+        SessionStats(
+            session_id=s.session_id,
+            labels_emitted=s.labels_emitted(),
+            accuracy=s.accuracy(),
+            dropped_windows=s.dropped_windows,
+        )
+        for s in sessions
+    ]

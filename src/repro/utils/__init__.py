@@ -1,0 +1,5 @@
+"""Small cross-cutting helpers shared by models, deployment and serving."""
+
+from repro.utils.timing import median_call_time_s, time_calls
+
+__all__ = ["median_call_time_s", "time_calls"]

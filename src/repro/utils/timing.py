@@ -1,0 +1,34 @@
+"""Wall-clock timing helpers.
+
+One definition of the repeated-call timing loop, shared by
+:meth:`repro.models.base.EEGClassifier.inference_latency_s`,
+:func:`repro.deployment.profiler.profile_classifier` and the serving
+telemetry's latency calibration, so all three report latencies measured the
+same way.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List
+
+import numpy as np
+
+
+def time_calls(fn: Callable[[], object], repeats: int = 3) -> List[float]:
+    """Wall-clock duration of ``repeats`` consecutive calls to ``fn``.
+
+    Always performs at least one call.  Returns the raw per-call timings so
+    callers can aggregate however they need (median, percentiles, ...).
+    """
+    timings: List[float] = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - start)
+    return timings
+
+
+def median_call_time_s(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Median wall-clock duration of one call to ``fn`` over ``repeats`` runs."""
+    return float(np.median(time_calls(fn, repeats)))

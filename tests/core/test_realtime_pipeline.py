@@ -111,7 +111,44 @@ class TestRealTimeLoop:
         loop, _ = self._loop(strong_profile, config)
         loop.run(1.0)
         assert loop.mean_processing_latency_s() > 0
+        assert loop.p95_processing_latency_s() > 0
+        latencies = [t.processing_latency_s for t in loop.ticks]
+        assert loop.p95_processing_latency_s() >= min(latencies)
+        assert loop.p95_processing_latency_s() <= max(latencies)
         assert isinstance(loop.label_rate_achievable(), bool)
+
+    def test_majority_vote_ties_resolve_toward_most_recent(
+        self, strong_profile, config
+    ):
+        loop, _ = self._loop(strong_profile, config)
+        loop._history.clear()
+        loop._history.extend(["left", "right"])  # 1-1 tie -> freshest wins
+        assert loop._majority_vote() == "right"
+        loop._history.clear()
+        loop._history.extend(["right", "left"])
+        assert loop._majority_vote() == "left"
+        loop._history.clear()
+        loop._history.extend(["right", "left", "right"])  # clear majority
+        assert loop._majority_vote() == "right"
+
+    def test_two_phase_api_matches_tick(self, strong_profile, config):
+        loop, _ = self._loop(strong_profile, config)
+        window = loop.prepare_window()
+        assert window.shape == (config.n_channels, config.window_size)
+        probabilities = loop.classifier.predict_proba(window[None])[0]
+        tick = loop.apply_result(probabilities, classify_latency_s=0.002)
+        assert tick.processing_latency_s > 0.002
+        assert tick.action in ("left", "right", "idle")
+
+    def test_tick_without_classifier_raises(self, strong_profile, config):
+        board = SimulatedCytonDaisyBoard(profile=strong_profile)
+        board.prepare_session()
+        board.start_stream()
+        loop = RealTimeInferenceLoop(board, None, config)
+        loop.warmup()
+        with pytest.raises(RuntimeError):
+            loop.tick()
+        loop.prepare_window()  # two-phase API still works
 
 
 class TestScriptedIntent:
@@ -144,9 +181,11 @@ class TestCognitiveArmPipeline:
         assert report.events.actions  # actions were logged
         assert report.label_rate_hz == pipeline.config.label_rate_hz
         assert set(report.summary()) == {
-            "intent_accuracy", "mean_processing_latency_s", "label_rate_hz",
+            "intent_accuracy", "mean_processing_latency_s",
+            "p95_processing_latency_s", "label_rate_hz",
             "mode_switches", "success",
         }
+        assert report.p95_processing_latency_s >= 0.0
 
     def test_voice_commands_switch_controller_mode(self, strong_profile, config):
         pipeline = CognitiveArmPipeline(_OracleClassifier(), profile=strong_profile, config=config)

@@ -1,0 +1,59 @@
+"""Shared fixtures for the serving tests: cheap deterministic classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CognitiveArmConfig
+from repro.models.base import EEGClassifier, TrainingHistory
+
+
+class WindowStatClassifier(EEGClassifier):
+    """Deterministic classifier whose output depends on the window content.
+
+    Probabilities are a fixed function of per-window statistics, so tests can
+    verify that a batched result was routed back to the session whose window
+    produced it.  Records the batch size of every ``predict_proba`` call.
+    """
+
+    family = "stub"
+
+    def __init__(self):
+        self.batch_sizes = []
+
+    def fit(self, train, validation=None):
+        return TrainingHistory()
+
+    def predict_proba(self, windows):
+        windows = np.asarray(windows, dtype=np.float64)
+        if windows.ndim == 2:
+            windows = windows[None, ...]
+        self.batch_sizes.append(windows.shape[0])
+        mean = windows.mean(axis=(1, 2))
+        spread = windows.std(axis=(1, 2))
+        scores = np.stack(
+            [
+                1.5 + np.tanh(mean),
+                1.0 + 0.5 * np.tanh(spread - 1.0),
+                np.ones_like(mean),
+            ],
+            axis=1,
+        )
+        return scores / scores.sum(axis=1, keepdims=True)
+
+    def parameter_count(self):
+        return 0
+
+
+@pytest.fixture()
+def stub_classifier():
+    return WindowStatClassifier()
+
+
+@pytest.fixture()
+def serving_config():
+    return CognitiveArmConfig(
+        window_size=100,
+        label_rate_hz=10.0,
+        smoothing_window=3,
+        confidence_threshold=0.3,
+    )

@@ -1,0 +1,93 @@
+"""Unit tests for the cross-session micro-batcher."""
+
+import numpy as np
+import pytest
+
+from repro.serving.batcher import BatchResult, MicroBatcher
+
+
+def _window(seed, channels=4, samples=10):
+    return np.random.default_rng(seed).standard_normal((channels, samples))
+
+
+class TestSubmit:
+    def test_rejects_non_2d_windows(self, stub_classifier):
+        batcher = MicroBatcher(stub_classifier)
+        with pytest.raises(ValueError):
+            batcher.submit("a", np.zeros(5))
+        with pytest.raises(ValueError):
+            batcher.submit("a", np.zeros((1, 4, 10)))
+
+    def test_rejects_shape_mismatch_within_batch(self, stub_classifier):
+        batcher = MicroBatcher(stub_classifier)
+        batcher.submit("a", _window(0))
+        with pytest.raises(ValueError):
+            batcher.submit("b", _window(1, channels=8))
+
+    def test_rejects_duplicate_session(self, stub_classifier):
+        batcher = MicroBatcher(stub_classifier)
+        batcher.submit("a", _window(0))
+        with pytest.raises(ValueError):
+            batcher.submit("a", _window(1))
+
+    def test_invalid_max_batch_size(self, stub_classifier):
+        with pytest.raises(ValueError):
+            MicroBatcher(stub_classifier, max_batch_size=0)
+
+
+class TestFlush:
+    def test_empty_fleet_flush_is_a_no_op(self, stub_classifier):
+        batcher = MicroBatcher(stub_classifier)
+        result = batcher.flush()
+        assert isinstance(result, BatchResult)
+        assert len(result) == 0
+        assert result.batch_sizes == []
+        assert result.per_window_latency_s() == 0.0
+        assert stub_classifier.batch_sizes == []  # no classifier call issued
+
+    def test_stacks_all_windows_into_one_call(self, stub_classifier):
+        batcher = MicroBatcher(stub_classifier)
+        windows = {f"s{i}": _window(i) for i in range(5)}
+        for session_id, window in windows.items():
+            batcher.submit(session_id, window)
+        assert len(batcher) == 5
+        result = batcher.flush()
+        assert stub_classifier.batch_sizes == [5]
+        assert result.batch_sizes == [5]
+        assert set(result.results) == set(windows)
+        assert len(batcher) == 0  # pending queue drained
+
+    def test_results_routed_to_the_right_session(self, stub_classifier):
+        batcher = MicroBatcher(stub_classifier)
+        windows = {f"s{i}": _window(100 + i) for i in range(4)}
+        for session_id, window in windows.items():
+            batcher.submit(session_id, window)
+        result = batcher.flush()
+        for session_id, window in windows.items():
+            expected = stub_classifier.predict_proba(window[None])[0]
+            np.testing.assert_allclose(result.results[session_id], expected)
+
+    def test_partial_batches_respect_max_batch_size(self, stub_classifier):
+        batcher = MicroBatcher(stub_classifier, max_batch_size=2)
+        for i in range(5):
+            batcher.submit(f"s{i}", _window(i))
+        result = batcher.flush()
+        assert result.batch_sizes == [2, 2, 1]
+        assert stub_classifier.batch_sizes == [2, 2, 1]
+        assert len(result) == 5
+
+    def test_per_window_latency_share(self, stub_classifier):
+        batcher = MicroBatcher(stub_classifier)
+        for i in range(4):
+            batcher.submit(f"s{i}", _window(i))
+        result = batcher.flush()
+        assert result.latency_s > 0
+        assert result.per_window_latency_s() == pytest.approx(result.latency_s / 4)
+
+    def test_batcher_is_reusable_across_flushes(self, stub_classifier):
+        batcher = MicroBatcher(stub_classifier)
+        batcher.submit("a", _window(0))
+        batcher.flush()
+        batcher.submit("a", _window(1))  # same id fine in a new batch
+        result = batcher.flush()
+        assert set(result.results) == {"a"}

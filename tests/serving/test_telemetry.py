@@ -1,0 +1,60 @@
+"""Unit tests for fleet telemetry aggregation and latency calibration."""
+
+import numpy as np
+import pytest
+
+from repro.serving.telemetry import (
+    FleetTelemetry,
+    FleetTickRecord,
+    calibrate_batch_latency_s,
+)
+
+
+def _record(tick, batch, latency, stalled=0, backlog=0, n_sessions=None):
+    return FleetTickRecord(
+        tick_index=tick,
+        n_sessions=n_sessions if n_sessions is not None else batch + stalled,
+        batch_size=batch,
+        stalled_sessions=stalled,
+        batch_latency_s=latency,
+        backlog_depth=backlog,
+    )
+
+
+class TestFleetTelemetry:
+    def test_empty_telemetry_reports_zeros(self):
+        telemetry = FleetTelemetry()
+        assert telemetry.total_labels == 0
+        assert telemetry.throughput_labels_per_s() == 0.0
+        assert telemetry.latency_percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        assert telemetry.max_backlog_depth() == 0
+        assert telemetry.stall_rate() == 0.0
+
+    def test_aggregates(self):
+        telemetry = FleetTelemetry()
+        telemetry.record(_record(0, 4, 0.010))
+        telemetry.record(_record(1, 3, 0.020, stalled=1, backlog=1))
+        telemetry.record(_record(2, 4, 0.030, backlog=0))
+        assert telemetry.total_labels == 11
+        assert telemetry.total_batch_time_s == pytest.approx(0.060)
+        assert telemetry.throughput_labels_per_s() == pytest.approx(11 / 0.060)
+        percentiles = telemetry.latency_percentiles()
+        assert percentiles["p50"] == pytest.approx(0.020)
+        assert percentiles["p50"] <= percentiles["p95"] <= percentiles["p99"]
+        assert telemetry.max_backlog_depth() == 1
+        assert telemetry.stall_rate() == pytest.approx(1 / 12)
+        summary = telemetry.summary()
+        assert summary["ticks"] == 3.0
+        assert summary["total_labels"] == 11.0
+
+
+class TestCalibration:
+    def test_calibrate_uses_batched_call(self, stub_classifier):
+        batch = np.random.default_rng(0).standard_normal((6, 4, 10))
+        latency = calibrate_batch_latency_s(stub_classifier, batch, repeats=3)
+        assert latency >= 0.0
+        assert stub_classifier.batch_sizes == [6, 6, 6]
+
+    def test_calibrate_rejects_non_batch_input(self, stub_classifier):
+        with pytest.raises(ValueError):
+            calibrate_batch_latency_s(stub_classifier, np.zeros((4, 10)))

@@ -1,0 +1,40 @@
+"""Tests for the shared wall-clock timing helper."""
+
+from repro.utils.timing import median_call_time_s, time_calls
+
+
+class TestTimeCalls:
+    def test_returns_one_timing_per_repeat(self):
+        calls = []
+        timings = time_calls(lambda: calls.append(1), repeats=4)
+        assert len(timings) == 4
+        assert len(calls) == 4
+        assert all(t >= 0 for t in timings)
+
+    def test_always_calls_at_least_once(self):
+        calls = []
+        timings = time_calls(lambda: calls.append(1), repeats=0)
+        assert len(timings) == 1
+        assert len(calls) == 1
+
+
+class TestMedianCallTime:
+    def test_median_within_observed_range(self):
+        import time
+
+        median = median_call_time_s(lambda: time.sleep(0.001), repeats=3)
+        assert median >= 0.001
+
+    def test_shared_by_classifier_and_profiler(self):
+        """The three former copies of the timing loop all route through here."""
+        import inspect
+
+        from repro.deployment import profiler
+        from repro.models import base
+        from repro.serving import telemetry
+
+        for module in (base, profiler):
+            assert "median_call_time_s" in inspect.getsource(module)
+        # Serving calibration delegates to the classifier's own latency
+        # method, which itself uses the shared helper.
+        assert "inference_latency_s" in inspect.getsource(telemetry)
