@@ -9,6 +9,7 @@ per-call classification overhead, which is the serving-side analogue of the
 short-block batching the paper's DAC line of work optimises for.
 """
 
+import os
 import time
 
 import numpy as np
@@ -24,7 +25,7 @@ from repro.signals.synthetic import ACTION_RIGHT, ParticipantProfile
 
 N_SESSIONS = 8
 DURATION_S = 2.0
-REPEATS = 3
+REPEATS = 1 if os.environ.get("REPRO_BENCH_FAST") else 3
 
 
 def _config():

@@ -16,7 +16,9 @@ from repro.compression.pruning import (
 from repro.compression.quantization import (
     QuantizationReport,
     QuantizedTensor,
+    compile_quantized_plan,
     dequantize,
+    make_plan_quantizer,
     quantize_classifier,
     quantize_tensor,
 )
@@ -28,6 +30,8 @@ __all__ = [
     "sparsity",
     "QuantizationReport",
     "QuantizedTensor",
+    "compile_quantized_plan",
+    "make_plan_quantizer",
     "quantize_tensor",
     "dequantize",
     "quantize_classifier",

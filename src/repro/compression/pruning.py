@@ -100,7 +100,7 @@ def prune_classifier(
     """
     if classifier.network is None:
         raise ValueError("Classifier must be fitted/built before pruning")
-    pruned = copy.deepcopy(classifier)
+    pruned = copy.deepcopy(classifier)  # copies never inherit a compiled plan
     assert pruned.network is not None
     report = apply_global_magnitude_pruning(pruned.network, ratio)
     return pruned, report

@@ -18,6 +18,8 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.models.base import NeuralEEGClassifier
+from repro.models.compiled import CompiledClassifier, compile_classifier
+from repro.nn.inference import WeightQuantizer
 from repro.nn.module import Module
 
 
@@ -52,15 +54,34 @@ class QuantizationReport:
         return self.original_bytes / self.quantized_bytes
 
 
+def _q_max(bits: int) -> int:
+    return 2 ** (bits - 1) - 1
+
+
+def _scale_for(max_abs: float, bits: int) -> float:
+    return max_abs / _q_max(bits) if max_abs > 0 else 1.0
+
+
+def _quantize_with_scale(arr: np.ndarray, scale: float, bits: int) -> np.ndarray:
+    """Symmetric rounding shared by every quantization path in this module."""
+    q_max = _q_max(bits)
+    return np.clip(np.round(arr / scale), -q_max - 1, q_max)
+
+
+def _module_global_scale(module: Module, bits: int) -> float:
+    """One scale for the whole network (the naive PTQ of Fig. 12 point A)."""
+    named = list(module.named_parameters())
+    max_abs = max((float(np.abs(p.data).max()) for _, p in named), default=0.0)
+    return _scale_for(max_abs, bits)
+
+
 def quantize_tensor(values: np.ndarray, bits: int = 8) -> QuantizedTensor:
     """Symmetric per-tensor quantization of a float array."""
     if bits < 2 or bits > 16:
         raise ValueError("bits must be between 2 and 16")
     arr = np.asarray(values, dtype=np.float64)
-    max_abs = np.abs(arr).max()
-    q_max = 2 ** (bits - 1) - 1
-    scale = max_abs / q_max if max_abs > 0 else 1.0
-    quantized = np.clip(np.round(arr / scale), -q_max - 1, q_max).astype(np.int32)
+    scale = _scale_for(float(np.abs(arr).max()), bits)
+    quantized = _quantize_with_scale(arr, scale, bits).astype(np.int32)
     return QuantizedTensor(values=quantized, scale=float(scale), bits=bits)
 
 
@@ -92,9 +113,7 @@ def quantize_module(
     named = list(module.named_parameters())
     global_scale: Optional[float] = None
     if scheme == "global" and named:
-        max_abs = max(float(np.abs(p.data).max()) for _, p in named)
-        q_max = 2 ** (bits - 1) - 1
-        global_scale = max_abs / q_max if max_abs > 0 else 1.0
+        global_scale = _module_global_scale(module, bits)
     for name, param in named:
         original = param.data.copy()
         original_bytes += original.size * 8  # float64 storage
@@ -104,8 +123,7 @@ def quantize_module(
             quantized_bytes += q.nbytes
         else:
             assert global_scale is not None
-            q_max = 2 ** (bits - 1) - 1
-            values = np.clip(np.round(original / global_scale), -q_max - 1, q_max)
+            values = _quantize_with_scale(original, global_scale, bits)
             restored = values * global_scale
             quantized_bytes += int(np.ceil(original.size * bits / 8))
         param.data = restored
@@ -124,10 +142,73 @@ def quantize_module(
 def quantize_classifier(
     classifier: NeuralEEGClassifier, bits: int = 8, scheme: str = "per_tensor"
 ) -> Tuple[NeuralEEGClassifier, QuantizationReport]:
-    """Return a quantized deep copy of a fitted neural classifier."""
+    """Return a quantized deep copy of a fitted neural classifier.
+
+    The copy's weights are the *dequantized* (rounded) values, so its
+    autograd path is the numerical oracle for the integer-scaled plan built
+    by :func:`compile_quantized_plan`.
+    """
     if classifier.network is None:
         raise ValueError("Classifier must be fitted/built before quantization")
-    quantized = copy.deepcopy(classifier)
+    quantized = copy.deepcopy(classifier)  # copies never inherit a compiled plan
     assert quantized.network is not None
     report = quantize_module(quantized.network, bits, scheme=scheme)
     return quantized, report
+
+
+def _storage_int_dtype(bits: int) -> np.dtype:
+    """Smallest integer dtype that holds symmetric ``bits``-bit values."""
+    return np.dtype(np.int8) if bits <= 8 else np.dtype(np.int16)
+
+
+def make_plan_quantizer(
+    module: Module, bits: int = 8, scheme: str = "per_tensor"
+) -> WeightQuantizer:
+    """Build the weight-quantizer hook the plan compiler consumes.
+
+    Scales are computed from the module's *current* float weights with the
+    exact formulas :func:`quantize_module` uses, so an integer-scaled plan
+    and a dequantized module copy round every parameter identically.
+    """
+    if bits < 2 or bits > 16:
+        raise ValueError("bits must be between 2 and 16")
+    if scheme not in {"per_tensor", "global"}:
+        raise ValueError("scheme must be 'per_tensor' or 'global'")
+    int_dtype = _storage_int_dtype(bits)
+    global_scale: Optional[float] = None
+    if scheme == "global":
+        global_scale = _module_global_scale(module, bits)
+
+    def quantize(values: np.ndarray) -> Tuple[np.ndarray, float]:
+        arr = np.asarray(values, dtype=np.float64)
+        if global_scale is not None:
+            scale = global_scale
+            q = _quantize_with_scale(arr, scale, bits)
+        else:
+            tensor = quantize_tensor(arr, bits)
+            q, scale = tensor.values, tensor.scale
+        return q.astype(int_dtype), float(scale)
+
+    return quantize
+
+
+def compile_quantized_plan(
+    classifier: NeuralEEGClassifier,
+    bits: int = 8,
+    scheme: str = "per_tensor",
+    dtype: np.dtype = np.float32,
+) -> CompiledClassifier:
+    """Compile a classifier straight to an integer-scaled inference plan.
+
+    Unlike :func:`quantize_classifier` — which deep-copies the model and
+    overwrites its float weights with dequantized values — this keeps the
+    original classifier untouched and emits a plan whose matmul kernels store
+    int8/int16 weights and apply the quantization scale to the accumulator
+    output (``y = (x @ q) * scale + b``).  Numerically it matches the
+    dequantized-copy oracle to float32 rounding; in memory the weights are
+    ``bits``-bit integers (see ``CompiledClassifier.nbytes``).
+    """
+    if classifier.network is None:
+        raise ValueError("Classifier must be fitted/built before quantization")
+    quantizer = make_plan_quantizer(classifier.network, bits, scheme)
+    return compile_classifier(classifier, dtype=dtype, quantizer=quantizer)

@@ -21,12 +21,27 @@ class LatencyProfile:
     effective_parameters: int
     measured_latency_s: float
     estimated: DeploymentEstimate
+    #: Which execution engine served ``measured_latency_s``: ``"compiled"``
+    #: when the classifier dispatched to its inference plan, else
+    #: ``"autograd"``.
+    engine: str = "autograd"
+    #: Wall-clock latency of the autograd path, measured only when
+    #: ``profile_classifier(..., include_autograd=True)`` and the classifier
+    #: is neural; ``None`` otherwise.
+    autograd_latency_s: Optional[float] = None
 
     @property
     def throughput_hz(self) -> float:
         if self.measured_latency_s <= 0:
             return float("inf")
         return 1.0 / self.measured_latency_s
+
+    @property
+    def compiled_speedup(self) -> Optional[float]:
+        """Autograd-over-compiled latency ratio, when both were measured."""
+        if self.autograd_latency_s is None or self.measured_latency_s <= 0:
+            return None
+        return self.autograd_latency_s / self.measured_latency_s
 
 
 def _effective_parameters(classifier: EEGClassifier) -> int:
@@ -42,12 +57,29 @@ def profile_classifier(
     device: Optional[EdgeDeviceModel] = None,
     bits_per_weight: int = 32,
     repeats: int = 5,
+    include_autograd: bool = False,
 ) -> LatencyProfile:
-    """Measure wall-clock latency and estimate edge-device behaviour."""
+    """Measure wall-clock latency and estimate edge-device behaviour.
+
+    Neural classifiers are profiled on their serving engine: the compiled
+    inference plan is built *before* timing starts, so the one-off compile
+    cost never pollutes the measurement.  Pass ``include_autograd=True`` to
+    additionally time the float64 autograd path and expose the speedup via
+    :attr:`LatencyProfile.compiled_speedup`.
+    """
     device = device or EdgeDeviceModel()
+    engine = "autograd"
+    if isinstance(classifier, NeuralEEGClassifier):
+        if classifier.ensure_compiled() is not None:
+            engine = "compiled"
     measured = median_call_time_s(
         lambda: classifier.predict_proba(example_windows), repeats
     )
+    autograd_latency: Optional[float] = None
+    if include_autograd and isinstance(classifier, NeuralEEGClassifier):
+        autograd_latency = median_call_time_s(
+            lambda: classifier.predict_proba_autograd(example_windows), repeats
+        )
     effective = _effective_parameters(classifier)
     estimate = device.estimate(effective, bits_per_weight=bits_per_weight)
     return LatencyProfile(
@@ -56,4 +88,6 @@ def profile_classifier(
         effective_parameters=effective,
         measured_latency_s=measured,
         estimated=estimate,
+        engine=engine,
+        autograd_latency_s=autograd_latency,
     )

@@ -9,6 +9,7 @@ result so several experiments in one process reuse it.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -41,8 +42,25 @@ class DatasetScale:
     seed: int = 0
 
 
+def _bench_scale() -> DatasetScale:
+    """Benchmark dataset scale, honouring the CI smoke job's fast mode.
+
+    ``REPRO_BENCH_FAST=1`` shrinks the cohort so the whole ``benchmarks/``
+    suite finishes in a few minutes: fewer participants and shorter sessions,
+    with a deeper ERD range so the tiny dataset stays learnable and the
+    accuracy assertions in the figure harnesses keep holding.
+    """
+    if os.environ.get("REPRO_BENCH_FAST"):
+        return DatasetScale(
+            n_participants=3,
+            session_duration_s=32.0,
+            erd_depth_range=(0.7, 0.9),
+        )
+    return DatasetScale()
+
+
 #: Reduced scale used by the pytest-benchmark harnesses.
-BENCH_SCALE = DatasetScale()
+BENCH_SCALE = _bench_scale()
 
 #: Larger scale used by the examples (closer to the paper's 5 minutes x 3
 #: sessions x 5 participants protocol, still tractable on a laptop).

@@ -100,8 +100,14 @@ def load_model_state(classifier: NeuralEEGClassifier, path: PathLike) -> NeuralE
             "Build the classifier network (ensure_network or fit) before loading weights"
         )
     with np.load(path) as archive:
-        state = {name: archive[name] for name in archive.files}
+        # Skip the metadata blob NeuralEEGClassifier.save_weights embeds, so
+        # either writer's archive loads here.
+        state = {
+            name: archive[name] for name in archive.files if name != "__meta__"
+        }
     classifier.network.load_state_dict(state)
+    # The cached inference plan (if any) was compiled from the old weights.
+    classifier.invalidate_compiled()
     return classifier
 
 

@@ -13,6 +13,7 @@ from repro.models.base import (
     TrainingHistory,
     normalize_windows,
 )
+from repro.models.compiled import CompiledClassifier, compile_classifier
 from repro.models.cnn import CNNConfig, EEGCNN
 from repro.models.lstm_model import EEGLSTM, LSTMConfig
 from repro.models.transformer_model import EEGTransformer, TransformerConfig
@@ -30,6 +31,8 @@ __all__ = [
     "TrainingConfig",
     "TrainingHistory",
     "normalize_windows",
+    "CompiledClassifier",
+    "compile_classifier",
     "CNNConfig",
     "EEGCNN",
     "LSTMConfig",

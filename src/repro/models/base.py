@@ -8,6 +8,7 @@ evolutionary search (accuracy vs. parameter count), the compression stage
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -15,13 +16,16 @@ import numpy as np
 
 from repro.dataset.windows import WindowDataset
 from repro.nn.autograd import Tensor, no_grad
+from repro.nn.inference import PlanCompilationError
 from repro.nn.losses import cross_entropy
 from repro.nn.module import Module
 from repro.nn.optimizers import build_optimizer
 from repro.utils.timing import median_call_time_s
 
 
-def normalize_windows(windows: np.ndarray) -> np.ndarray:
+def normalize_windows(
+    windows: np.ndarray, dtype: Optional[np.dtype] = None
+) -> np.ndarray:
     """Standardise each window with a single mean/std over all channels.
 
     The paper normalises EEG per participant (mean/std of each participant's
@@ -32,13 +36,23 @@ def normalize_windows(windows: np.ndarray) -> np.ndarray:
     is the relative mu/beta power between C3 and C4 (ERD lateralisation), and
     normalising each channel independently would erase exactly that
     between-channel amplitude contrast.
+
+    The input's floating dtype is preserved (float32 windows stay float32 on
+    the serving hot path — no silent upcast to a fresh float64 copy); integer
+    input is promoted to float64.  Pass ``dtype`` to force the output dtype.
+    Statistics are always accumulated in float64 for accuracy.
     """
-    arr = np.asarray(windows, dtype=np.float64)
+    arr = np.asarray(windows)
+    if dtype is not None:
+        arr = arr.astype(dtype, copy=False)
     if arr.ndim != 3:
         raise ValueError("windows must have shape (n_windows, n_channels, n_samples)")
-    mean = arr.mean(axis=(1, 2), keepdims=True)
-    std = arr.std(axis=(1, 2), keepdims=True)
+    mean = arr.mean(axis=(1, 2), keepdims=True, dtype=np.float64)
+    std = arr.std(axis=(1, 2), keepdims=True, dtype=np.float64)
     std = np.where(std < 1e-12, 1.0, std)
+    if np.issubdtype(arr.dtype, np.floating) and arr.dtype != np.float64:
+        mean = mean.astype(arr.dtype)
+        std = std.astype(arr.dtype)
     return (arr - mean) / std
 
 
@@ -123,8 +137,21 @@ class NeuralEEGClassifier(EEGClassifier):
 
     Subclasses provide :meth:`build_network` returning a :class:`Module` whose
     forward maps a prepared input tensor to logits, plus
-    :meth:`prepare_input` converting raw windows into that tensor layout.
+    :meth:`prepare_array` converting raw windows into that layout as a plain
+    array (the autograd path wraps it in a :class:`Tensor`, the compiled path
+    feeds it to the :class:`~repro.nn.inference.InferencePlan` directly).
+
+    Serving dispatch: ``predict_proba`` lazily compiles the fitted network
+    into an inference plan (float32 fused kernels, no autograd graph) and
+    uses it for every call; the autograd graph remains the training path and
+    the numerical oracle, reachable via :meth:`predict_proba_autograd`.  Any
+    mutation of the weights (further fitting, loading, quantization, pruning)
+    must call :meth:`invalidate_compiled` — everything inside this repo does.
     """
+
+    #: Class-level switch: set to ``False`` (per instance or globally) to
+    #: force every prediction through the autograd graph.
+    use_compiled_inference = True
 
     def __init__(
         self,
@@ -140,19 +167,47 @@ class NeuralEEGClassifier(EEGClassifier):
         self.network: Optional[Module] = None
         self.history = TrainingHistory()
         self._fitted = False
+        self._build_geometry: Optional[Tuple[int, int]] = None
+        self._compiled = None
+        self._compile_failed = False
+
+    def __getstate__(self):
+        """Copy/pickle without the cached plan.
+
+        The plan is a derived artifact of the weights (plus per-batch scratch
+        buffers) and recompiles lazily on first prediction; excluding it
+        keeps ``deepcopy`` in the compression sweeps and pickled archives
+        from duplicating every extracted kernel weight, and guarantees a
+        copy can never serve a plan compiled from its source's weights.
+        """
+        state = self.__dict__.copy()
+        state["_compiled"] = None
+        state["_compile_failed"] = False
+        return state
 
     # -- subclass hooks -------------------------------------------------- #
     def build_network(self, n_channels: int, window_size: int) -> Module:
         raise NotImplementedError
 
-    def prepare_input(self, windows: np.ndarray) -> Tensor:
+    def prepare_array(self, windows: np.ndarray) -> np.ndarray:
+        """Convert normalized windows into the network's input layout.
+
+        Must be a pure NumPy transformation that preserves floating dtypes:
+        it runs on the float32 serving hot path as well as the float64
+        training path.
+        """
         raise NotImplementedError
+
+    def prepare_input(self, windows: np.ndarray) -> Tensor:
+        """Autograd-path wrapper around :meth:`prepare_array`."""
+        return Tensor(self.prepare_array(windows))
 
     # -- training -------------------------------------------------------- #
     def ensure_network(self, n_channels: int, window_size: int) -> Module:
         """Build the network lazily on first use."""
         if self.network is None:
             self.network = self.build_network(n_channels, window_size)
+            self._build_geometry = (n_channels, window_size)
         return self.network
 
     def fit(
@@ -213,6 +268,7 @@ class NeuralEEGClassifier(EEGClassifier):
             network.load_state_dict(best_state)
         self.history = history
         self._fitted = True
+        self.invalidate_compiled()
         return history
 
     def _evaluate_loss(self, dataset: WindowDataset) -> Tuple[float, float]:
@@ -228,6 +284,26 @@ class NeuralEEGClassifier(EEGClassifier):
 
     # -- inference ------------------------------------------------------- #
     def predict_proba(self, windows: np.ndarray) -> np.ndarray:
+        """Class probabilities, served from the compiled plan when possible.
+
+        The first call after (re)fitting compiles the network once; later
+        calls dispatch straight to the plan.  Falls back to the autograd
+        graph for networks the plan compiler cannot lower.
+        """
+        if self.network is None:
+            raise RuntimeError("Model has not been fitted or built yet")
+        compiled = self.ensure_compiled()
+        if compiled is not None:
+            return compiled.predict_proba(windows)
+        return self.predict_proba_autograd(windows)
+
+    def predict_proba_autograd(self, windows: np.ndarray) -> np.ndarray:
+        """The original float64 autograd inference path.
+
+        Kept as the equivalence oracle for the compiled plan (and as the
+        fallback for uncompilable networks): runs the full ``Module.forward``
+        under ``no_grad()``.
+        """
         if self.network is None:
             raise RuntimeError("Model has not been fitted or built yet")
         self.network.eval()
@@ -240,7 +316,114 @@ class NeuralEEGClassifier(EEGClassifier):
             probs = logits.softmax(axis=-1)
         return probs.data
 
+    def ensure_compiled(self):
+        """Compile (and cache) the serving plan; ``None`` when unavailable.
+
+        Returns the cached :class:`~repro.models.compiled.CompiledClassifier`
+        when the network is built, compilation is enabled and the network is
+        compilable; remembers compilation failures so uncompilable networks
+        pay the attempt only once.
+        """
+        if not self.use_compiled_inference or self.network is None:
+            return None
+        if type(self).prepare_array is NeuralEEGClassifier.prepare_array:
+            # Legacy subclass written to the pre-plan contract: it overrides
+            # prepare_input only, so the compiled path has no array-level
+            # preprocessing to call.  Serve it from the autograd graph.
+            return None
+        if self._compiled is None and not self._compile_failed:
+            from repro.models.compiled import compile_classifier
+
+            try:
+                self._compiled = compile_classifier(self)
+            except PlanCompilationError:
+                self._compile_failed = True
+        return self._compiled
+
+    def invalidate_compiled(self) -> None:
+        """Drop the cached plan; call after any in-place weight mutation."""
+        self._compiled = None
+        self._compile_failed = False
+
     def parameter_count(self) -> int:
         if self.network is None:
             raise RuntimeError("Model has not been built yet")
         return self.network.parameter_count()
+
+    # -- weight serialization -------------------------------------------- #
+    #: Archive key holding the JSON metadata blob alongside the state dict.
+    #: Dotted parameter names can never collide with it.
+    _META_KEY = "__meta__"
+
+    @staticmethod
+    def _weights_path(path):
+        """Normalise to the ``.npz`` suffix ``np.savez`` appends on write."""
+        text = str(path)
+        return text if text.endswith(".npz") else text + ".npz"
+
+    def save_weights(self, path) -> None:
+        """Save the fitted network to an ``.npz`` archive.
+
+        Stores the plain ``state_dict`` (the same key layout
+        :func:`repro.io.storage.save_model_state` uses, so either reader can
+        open either archive) plus a ``__meta__`` entry with the build
+        geometry and identity, so a fresh classifier of the same family and
+        configuration can serve the model without retraining in-process
+        (see :meth:`load_weights`).
+        """
+        if self.network is None:
+            raise RuntimeError("Model has not been fitted or built yet")
+        if self._build_geometry is None:
+            raise RuntimeError(
+                "Network was attached without ensure_network(); build geometry "
+                "is unknown and the archive could not be reloaded"
+            )
+        n_channels, window_size = self._build_geometry
+        meta = {
+            "family": self.family,
+            "n_classes": self.n_classes,
+            "n_channels": n_channels,
+            "window_size": window_size,
+        }
+        arrays = dict(self.network.state_dict())
+        arrays[self._META_KEY] = np.asarray(json.dumps(meta))
+        np.savez(self._weights_path(path), **arrays)
+
+    def load_weights(self, path) -> None:
+        """Load an ``.npz`` archive saved by :meth:`save_weights`.
+
+        Builds the network for the archived geometry if needed, then loads
+        the parameters strictly (missing/unexpected/mis-shaped entries
+        raise).  The classifier is marked fitted and the compiled plan is
+        invalidated so the next prediction serves the loaded weights.
+        """
+        with np.load(self._weights_path(path), allow_pickle=False) as data:
+            if self._META_KEY not in data.files:
+                raise ValueError(
+                    "Archive has no build metadata; it was written by "
+                    "repro.io.storage.save_model_state — build the network "
+                    "yourself and use load_model_state instead"
+                )
+            meta = json.loads(str(data[self._META_KEY]))
+            state = {
+                name: data[name] for name in data.files if name != self._META_KEY
+            }
+        if meta["family"] != self.family:
+            raise ValueError(
+                f"Archive holds a {meta['family']!r} model, not {self.family!r}"
+            )
+        if meta["n_classes"] != self.n_classes:
+            raise ValueError(
+                f"Archive was trained with {meta['n_classes']} classes, "
+                f"this classifier expects {self.n_classes}"
+            )
+        geometry = (int(meta["n_channels"]), int(meta["window_size"]))
+        self.ensure_network(*geometry)
+        assert self.network is not None
+        self.network.load_state_dict(state)
+        # ensure_network is a no-op when a network already exists, so record
+        # the archive's geometry explicitly: it describes the weights now
+        # loaded, and a later save_weights must re-emit it, not a stale one.
+        self._build_geometry = geometry
+        self._fitted = True
+        self.invalidate_compiled()

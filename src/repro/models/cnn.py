@@ -60,6 +60,10 @@ class CNNConfig:
 class _CNNNetwork(Module):
     """The actual conv stack; built for a known input geometry."""
 
+    def inference_spec(self) -> List[Module]:
+        """Per-layer spec consumed by the plan compiler (see repro.nn.inference)."""
+        return [self.body]
+
     def __init__(self, config: CNNConfig, n_channels: int, window_size: int,
                  n_classes: int, seed: int) -> None:
         super().__init__()
@@ -117,16 +121,20 @@ class EEGCNN(NeuralEEGClassifier):
             effective_width = max(1, window_size // self.config.envelope_pool)
         return _CNNNetwork(self.config, n_channels, effective_width, self.n_classes, self.seed)
 
-    def prepare_input(self, windows: np.ndarray) -> Tensor:
+    def prepare_array(self, windows: np.ndarray) -> np.ndarray:
         # Treat the EEG window as a single-channel image: (batch, 1, electrodes, time).
-        arr = np.asarray(windows, dtype=np.float64)
+        # Dtype-preserving: the float32 serving path and the float64 training
+        # path share this code.
+        arr = np.asarray(windows)
+        if not np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(np.float64)
         cfg = self.config
         if cfg.input_representation == "envelope" and cfg.envelope_pool > 1:
             n_steps = arr.shape[2] // cfg.envelope_pool
             arr = arr[:, :, : n_steps * cfg.envelope_pool]
             blocks = arr.reshape(arr.shape[0], arr.shape[1], n_steps, cfg.envelope_pool)
             arr = np.sqrt((blocks**2).mean(axis=3))
-        return Tensor(arr[:, None, :, :])
+        return arr[:, None, :, :]
 
     def describe(self) -> dict:
         info = super().describe()

@@ -1,0 +1,97 @@
+"""Classifier-level compilation: from fitted model to serving plan.
+
+:func:`compile_classifier` turns a fitted :class:`NeuralEEGClassifier` into a
+:class:`CompiledClassifier` — the object the serving hot path actually calls.
+It owns an :class:`~repro.nn.inference.InferencePlan` (the network lowered to
+fused float32 kernels with a float64 softmax tail) and reuses the
+classifier's own ``prepare_array`` so window preprocessing (envelope pooling,
+axis layout) is byte-identical between the compiled and autograd paths.
+
+``NeuralEEGClassifier.predict_proba`` compiles lazily through this module and
+falls back to the autograd graph only when the network contains a layer the
+plan compiler cannot lower.  Quantized (int8) plan variants are built by
+:func:`repro.compression.quantization.compile_quantized_plan`, which routes
+through :func:`compile_classifier` with a weight-quantizer hook.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.models.base import NeuralEEGClassifier, normalize_windows
+from repro.nn.inference import (
+    InferencePlan,
+    SoftmaxKernel,
+    WeightQuantizer,
+    compile_network,
+)
+
+
+class CompiledClassifier:
+    """A serving-ready classifier: normalization + prepared plan + softmax.
+
+    Produces the same probabilities as the source classifier's autograd path
+    (``predict_proba_autograd``) within float32 rounding, several times
+    faster; probability rows are returned in float64 and sum to one at
+    float64 resolution.
+    """
+
+    def __init__(
+        self,
+        classifier: NeuralEEGClassifier,
+        plan: InferencePlan,
+    ) -> None:
+        self.classifier = classifier
+        self.plan = plan
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.plan.dtype
+
+    def predict_proba(self, windows: np.ndarray) -> np.ndarray:
+        """Class probabilities for raw windows ``(n, channels, samples)``."""
+        arr = np.asarray(windows, dtype=self.dtype)
+        if arr.ndim == 2:
+            arr = arr[None, ...]
+        normalized = normalize_windows(arr)
+        prepared = self.classifier.prepare_array(normalized)
+        return self.plan(prepared)
+
+    @property
+    def nbytes(self) -> int:
+        """Weight storage held by the plan (int8 bytes for quantized plans)."""
+        return self.plan.nbytes
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "family": self.classifier.family,
+            "dtype": str(self.dtype),
+            "kernels": self.plan.describe(),
+            "weight_bytes": self.nbytes,
+        }
+
+    def __repr__(self) -> str:
+        return f"CompiledClassifier({self.classifier.family}, {self.plan!r})"
+
+
+def compile_classifier(
+    classifier: NeuralEEGClassifier,
+    dtype: np.dtype = np.float32,
+    quantizer: Optional[WeightQuantizer] = None,
+) -> CompiledClassifier:
+    """Compile a fitted (or at least built) neural classifier for serving.
+
+    Weights are extracted once at compile time; mutating the underlying
+    network afterwards (further training, pruning, quantization, loading
+    weights) requires recompiling — ``NeuralEEGClassifier`` handles that by
+    invalidating its cached plan at every such mutation point.
+    """
+    network = classifier.network
+    if network is None:
+        raise RuntimeError("Classifier must be fitted or built before compiling")
+    network.eval()
+    plan = compile_network(network, dtype=dtype, quantizer=quantizer)
+    plan.append(SoftmaxKernel())
+    return CompiledClassifier(classifier, plan)

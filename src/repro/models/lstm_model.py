@@ -58,6 +58,11 @@ class _LSTMNetwork(Module):
         hidden = self.lstm(x)
         return self.head(self.dropout(hidden))
 
+    def inference_spec(self) -> list:
+        """Per-layer spec consumed by the plan compiler: the recurrence is
+        lowered to one fused LSTM kernel, dropout compiles away."""
+        return [self.lstm, self.dropout, self.head]
+
 
 class EEGLSTM(NeuralEEGClassifier):
     """Recurrent classifier treating the EEG window as a channel time series."""
@@ -77,11 +82,14 @@ class EEGLSTM(NeuralEEGClassifier):
     def build_network(self, n_channels: int, window_size: int) -> Module:
         return _LSTMNetwork(self.config, n_channels, self.n_classes, self.seed)
 
-    def prepare_input(self, windows: np.ndarray) -> Tensor:
+    def prepare_array(self, windows: np.ndarray) -> np.ndarray:
         # RMS pooling over short time blocks extracts the band-power envelope
         # per channel — the quantity whose C3/C4 asymmetry encodes the
         # imagined movement — and shortens the sequence for the recurrence.
-        arr = np.asarray(windows, dtype=np.float64)
+        # Dtype-preserving: float32 on the serving path, float64 in training.
+        arr = np.asarray(windows)
+        if not np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(np.float64)
         pool = self.config.temporal_pool
         if pool > 1:
             n_steps = arr.shape[2] // pool
@@ -89,7 +97,7 @@ class EEGLSTM(NeuralEEGClassifier):
             blocks = arr.reshape(arr.shape[0], arr.shape[1], n_steps, pool)
             arr = np.sqrt((blocks**2).mean(axis=3))
         # (batch, channels, time) -> (batch, time, channels)
-        return Tensor(arr.transpose(0, 2, 1))
+        return arr.transpose(0, 2, 1)
 
     def describe(self) -> dict:
         info = super().describe()

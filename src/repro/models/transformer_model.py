@@ -74,6 +74,21 @@ class _TransformerNetwork(Module):
         pooled = hidden.mean(axis=1)
         return self.head(self.dropout(pooled))
 
+    def inference_spec(self) -> list:
+        """Per-layer spec consumed by the plan compiler: each encoder block
+        becomes one fused kernel, the positional encoding and time pooling
+        become constant kernels, dropout compiles away."""
+        from repro.nn.inference import MeanOverTimeKernel, PositionalEncodingKernel
+
+        return [
+            self.input_projection,
+            PositionalEncodingKernel(self.config.d_model),
+            *self.encoder_layers,
+            MeanOverTimeKernel(),
+            self.dropout,
+            self.head,
+        ]
+
 
 class EEGTransformer(NeuralEEGClassifier):
     """Self-attention classifier over tokenised EEG time steps."""
@@ -95,18 +110,21 @@ class EEGTransformer(NeuralEEGClassifier):
     def build_network(self, n_channels: int, window_size: int) -> Module:
         return _TransformerNetwork(self.config, n_channels, self.n_classes, self.seed)
 
-    def prepare_input(self, windows: np.ndarray) -> Tensor:
+    def prepare_array(self, windows: np.ndarray) -> np.ndarray:
         # Each token is the RMS band-power envelope of one pooled time block
         # across all electrodes; the C3/C4 asymmetry of that envelope is the
         # motor-imagery signature the attention layers pick up.
-        arr = np.asarray(windows, dtype=np.float64)
+        # Dtype-preserving: float32 on the serving path, float64 in training.
+        arr = np.asarray(windows)
+        if not np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(np.float64)
         pool = self.config.temporal_pool
         if pool > 1:
             n_steps = arr.shape[2] // pool
             arr = arr[:, :, : n_steps * pool]
             blocks = arr.reshape(arr.shape[0], arr.shape[1], n_steps, pool)
             arr = np.sqrt((blocks**2).mean(axis=3))
-        return Tensor(arr.transpose(0, 2, 1))
+        return arr.transpose(0, 2, 1)
 
     def describe(self) -> dict:
         info = super().describe()

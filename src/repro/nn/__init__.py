@@ -15,9 +15,19 @@ Public surface:
 * Losses — ``cross_entropy``, ``mse_loss``.
 * Optimizers — ``SGD``, ``Adam``, ``RMSProp``, ``AdamW`` (Table III of the
   paper lists Adam, SGD, RMSProp and AdamW as the optimizer search space).
+* Compiled inference — ``compile_network`` lowers a fitted module tree to an
+  ``InferencePlan`` of fused float32 kernels for the serving hot path
+  (:mod:`repro.nn.inference`); the autograd graph remains the training path.
 """
 
 from repro.nn.autograd import Tensor, no_grad
+from repro.nn.inference import (
+    InferencePlan,
+    Kernel,
+    PlanCompilationError,
+    SoftmaxKernel,
+    compile_network,
+)
 from repro.nn.module import Module, Parameter, Sequential
 from repro.nn.layers import (
     AvgPool2d,
@@ -40,6 +50,11 @@ from repro.nn.initializers import glorot_uniform, he_uniform, orthogonal
 __all__ = [
     "Tensor",
     "no_grad",
+    "InferencePlan",
+    "Kernel",
+    "PlanCompilationError",
+    "SoftmaxKernel",
+    "compile_network",
     "Module",
     "Parameter",
     "Sequential",

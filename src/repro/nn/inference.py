@@ -1,0 +1,781 @@
+"""Compiled inference engine: the serving hot path without the autograd graph.
+
+Training needs the tape — every op on :class:`~repro.nn.autograd.Tensor`
+records parents and a backward closure, in float64, so the finite-difference
+gradient checks stay meaningful.  Serving needs none of that: a fitted model
+is a fixed pipeline of array transformations, and paying one Python op node
+per layer (and per LSTM timestep) on every ``predict_proba`` call is pure
+overhead.
+
+This module is the layer split that removes it.  :func:`compile_network`
+walks a fitted :class:`~repro.nn.module.Module` tree once, extracts the
+weights into the serving dtype (float32 by default) and emits an
+:class:`InferencePlan` — a flat list of pure-NumPy kernels:
+
+* ``Dense``/``Conv2d`` with their trailing ReLU/Tanh fused into one kernel;
+* a single fused LSTM kernel that projects the whole input sequence through
+  the input weights in one matmul and then runs the recurrence with
+  preallocated gate/state buffers reused across timesteps;
+* one fused kernel per Transformer encoder block (norms, attention heads,
+  feed-forward and both residuals);
+* dropout layers compiled away entirely (the plan is inference-only).
+
+Plans are built from *inference specs*: a module either is a known leaf
+layer, or exposes ``inference_spec()`` returning the ordered list of
+modules/kernels equivalent to its eval-mode ``forward``.  Weight-bearing
+kernels accept an optional quantizer hook so
+:mod:`repro.compression.quantization` can emit integer-scaled (int8) plan
+variants without materialising a dequantized module copy.
+
+The autograd path stays authoritative: classifiers keep it for training and
+as the numerical oracle the compiled plan is tested against (atol 1e-5).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.attention import (
+    MultiHeadAttention,
+    TransformerEncoderLayer,
+    positional_encoding,
+)
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    LayerNorm,
+    MaxPool2d,
+    ReLU,
+    Tanh,
+    _im2col,
+)
+from repro.nn.lstm import LSTM
+from repro.nn.module import Module
+
+#: Hook mapping a float parameter array to ``(integer_values, scale)`` such
+#: that ``integer_values * scale`` approximates the original array.  Supplied
+#: by :mod:`repro.compression.quantization` for int8 plan variants.
+WeightQuantizer = Callable[[np.ndarray], Tuple[np.ndarray, float]]
+
+
+class PlanCompilationError(NotImplementedError):
+    """Raised when a module tree contains a layer the compiler cannot lower."""
+
+
+class PlanWeight:
+    """A matmul operand extracted at compile time.
+
+    ``compute`` is the array actually fed to BLAS (serving dtype);
+    ``storage`` is the canonical representation — identical to ``compute``
+    for float plans, the raw int8/int16 values for quantized plans, in which
+    case ``scale`` is applied to the matmul *output* (integer-scaled
+    execution, the standard way int8 inference runs on float hardware).
+    """
+
+    __slots__ = ("compute", "scale", "storage")
+
+    def __init__(
+        self,
+        compute: np.ndarray,
+        scale: Optional[float] = None,
+        storage: Optional[np.ndarray] = None,
+    ) -> None:
+        self.compute = compute
+        self.scale = scale
+        self.storage = compute if storage is None else storage
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.storage.nbytes)
+
+
+def _make_weight(
+    values: np.ndarray, dtype: np.dtype, quantizer: Optional[WeightQuantizer]
+) -> PlanWeight:
+    """Extract a matmul weight, optionally through the quantizer hook."""
+    if quantizer is None:
+        return PlanWeight(np.asarray(values, dtype=dtype))
+    q, scale = quantizer(np.asarray(values, dtype=np.float64))
+    return PlanWeight(q.astype(dtype), float(scale), q)
+
+
+def _make_elementwise(
+    values: np.ndarray, dtype: np.dtype, quantizer: Optional[WeightQuantizer]
+) -> np.ndarray:
+    """Extract a bias/scale-style parameter (stored dequantized: it is tiny,
+    and keeping it in floats matches the rounded values the quantization
+    oracle computes with, bit for bit)."""
+    if quantizer is None:
+        return np.asarray(values, dtype=dtype)
+    q, scale = quantizer(np.asarray(values, dtype=np.float64))
+    return (q.astype(np.float64) * scale).astype(dtype)
+
+
+def _sigmoid_inplace(a: np.ndarray) -> None:
+    np.negative(a, out=a)
+    np.exp(a, out=a)
+    a += 1.0
+    np.reciprocal(a, out=a)
+
+
+def _apply_activation_inplace(a: np.ndarray, activation: Optional[str]) -> None:
+    if activation is None:
+        return
+    if activation == "relu":
+        np.maximum(a, 0.0, out=a)
+    elif activation == "tanh":
+        np.tanh(a, out=a)
+    else:
+        raise PlanCompilationError(f"Unsupported activation {activation!r}")
+
+
+# ---------------------------------------------------------------------- #
+# Kernels
+# ---------------------------------------------------------------------- #
+class Kernel:
+    """One step of an :class:`InferencePlan`: a pure array transformation.
+
+    Kernels never mutate their input array (it may be caller-owned); any
+    state they keep is preallocated scratch space, which makes a plan cheap
+    to call but *not* safe to share across threads.
+    """
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of weight storage held by this kernel."""
+        return 0
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class DenseKernel(Kernel):
+    """Fused ``y = act(x @ W [* scale] + b)``."""
+
+    def __init__(
+        self,
+        weight: PlanWeight,
+        bias: Optional[np.ndarray],
+        activation: Optional[str] = None,
+    ) -> None:
+        self.weight = weight
+        self.bias = bias
+        self.activation = activation
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        out = x @ self.weight.compute
+        if self.weight.scale is not None:
+            out *= self.weight.scale
+        if self.bias is not None:
+            out += self.bias
+        _apply_activation_inplace(out, self.activation)
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        return self.weight.nbytes + (self.bias.nbytes if self.bias is not None else 0)
+
+    def describe(self) -> str:
+        shape = "x".join(map(str, self.weight.compute.shape))
+        act = f"+{self.activation}" if self.activation else ""
+        return f"dense[{shape}]{act}"
+
+
+class ActivationKernel(Kernel):
+    """Standalone ReLU/Tanh when there is no preceding kernel to fuse into."""
+
+    def __init__(self, activation: str) -> None:
+        self.activation = activation
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        out = x.copy()
+        _apply_activation_inplace(out, self.activation)
+        return out
+
+    def describe(self) -> str:
+        return self.activation
+
+
+class Conv2dKernel(Kernel):
+    """im2col convolution with bias and activation fused into the matmul tail."""
+
+    def __init__(
+        self,
+        weight: PlanWeight,
+        bias: Optional[np.ndarray],
+        kernel_size: Tuple[int, int],
+        stride: Tuple[int, int],
+        padding: Tuple[int, int],
+        out_channels: int,
+        activation: Optional[str] = None,
+    ) -> None:
+        # Stored pre-reshaped as (in_ch*kh*kw, out_ch) so run time is a single
+        # patches @ w_mat product.
+        self.weight = PlanWeight(
+            np.ascontiguousarray(
+                weight.compute.reshape(out_channels, -1).T
+            ),
+            weight.scale,
+            weight.storage,
+        )
+        self.bias = bias
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.out_channels = out_channels
+        self.activation = activation
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError("Conv2dKernel expects (batch, channels, height, width)")
+        ph, pw = self.padding
+        if ph or pw:
+            x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+        patches, _, _ = _im2col(x, self.kernel_size, self.stride)
+        out = patches @ self.weight.compute  # (batch, out_h, out_w, out_ch)
+        if self.weight.scale is not None:
+            out *= self.weight.scale
+        if self.bias is not None:
+            out += self.bias
+        _apply_activation_inplace(out, self.activation)
+        return out.transpose(0, 3, 1, 2)
+
+    @property
+    def nbytes(self) -> int:
+        return self.weight.nbytes + (self.bias.nbytes if self.bias is not None else 0)
+
+    def describe(self) -> str:
+        kh, kw = self.kernel_size
+        act = f"+{self.activation}" if self.activation else ""
+        return f"conv2d[{self.out_channels}@{kh}x{kw}]{act}"
+
+
+class _PoolKernel(Kernel):
+    def __init__(self, kernel_size: Tuple[int, int], stride: Tuple[int, int]) -> None:
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def _patches(self, x: np.ndarray) -> np.ndarray:
+        batch, ch, height, width = x.shape
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        out_h = (height - kh) // sh + 1
+        out_w = (width - kw) // sw + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError("Input too small for pooling window")
+        shape = (batch, ch, out_h, out_w, kh, kw)
+        strides = (
+            x.strides[0],
+            x.strides[1],
+            x.strides[2] * sh,
+            x.strides[3] * sw,
+            x.strides[2],
+            x.strides[3],
+        )
+        return np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+
+
+class MaxPool2dKernel(_PoolKernel):
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.ascontiguousarray(x)
+        return self._patches(x).max(axis=(-1, -2))
+
+    def describe(self) -> str:
+        return f"maxpool{self.kernel_size}"
+
+
+class AvgPool2dKernel(_PoolKernel):
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.ascontiguousarray(x)
+        return self._patches(x).mean(axis=(-1, -2))
+
+    def describe(self) -> str:
+        return f"avgpool{self.kernel_size}"
+
+
+class FlattenKernel(Kernel):
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(x).reshape(x.shape[0], -1)
+
+    def describe(self) -> str:
+        return "flatten"
+
+
+class LayerNormKernel(Kernel):
+    def __init__(self, gamma: np.ndarray, beta: np.ndarray, eps: float) -> None:
+        self.gamma = gamma
+        self.beta = beta
+        self.eps = eps
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return _layer_norm(x, self.gamma, self.beta, self.eps)
+
+    @property
+    def nbytes(self) -> int:
+        return self.gamma.nbytes + self.beta.nbytes
+
+    def describe(self) -> str:
+        return f"layernorm[{self.gamma.shape[0]}]"
+
+
+def _layer_norm(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float
+) -> np.ndarray:
+    mean = x.mean(axis=-1, keepdims=True)
+    centred = x - mean
+    var = (centred * centred).mean(axis=-1, keepdims=True)
+    centred /= np.sqrt(var + eps)
+    centred *= gamma
+    centred += beta
+    return centred
+
+
+def _softmax_lastaxis_inplace(a: np.ndarray) -> None:
+    a -= a.max(axis=-1, keepdims=True)
+    np.exp(a, out=a)
+    a /= a.sum(axis=-1, keepdims=True)
+
+
+class LSTMKernel(Kernel):
+    """The whole (possibly multi-layer) recurrence as one fused kernel.
+
+    Per layer, the input-to-hidden projection of *every* timestep is computed
+    with a single ``(batch*time, in) @ (in, 4H)`` matmul up front; the
+    timestep loop then only performs the hidden-to-hidden matvec and the gate
+    nonlinearities, in place, on gate/state buffers preallocated once per
+    batch size and reused across timesteps and calls.
+
+    The compiler permutes the gate columns from the cell's ``[i, f, g, o]``
+    layout to ``[i, f, o, g]`` so the three sigmoid gates form one contiguous
+    slice — one ufunc pass instead of three per timestep.
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[Tuple[PlanWeight, PlanWeight, np.ndarray]],
+        hidden_size: int,
+        dtype: np.dtype,
+    ) -> None:
+        self.layers = list(layers)
+        self.hidden_size = hidden_size
+        self.dtype = dtype
+        self._buffers: Dict[int, Dict[str, np.ndarray]] = {}
+
+    def _buffers_for(self, batch: int) -> Dict[str, np.ndarray]:
+        buf = self._buffers.get(batch)
+        if buf is None:
+            hs = self.hidden_size
+            buf = {
+                "h": np.empty((batch, hs), dtype=self.dtype),
+                "c": np.empty((batch, hs), dtype=self.dtype),
+                "hh": np.empty((batch, 4 * hs), dtype=self.dtype),
+                "tmp": np.empty((batch, hs), dtype=self.dtype),
+            }
+            self._buffers[batch] = buf
+        return buf
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError("LSTMKernel expects (batch, time, features) input")
+        batch, steps, _ = x.shape
+        hs = self.hidden_size
+        buf = self._buffers_for(batch)
+        h, c, hh, tmp = buf["h"], buf["c"], buf["hh"], buf["tmp"]
+        layer_input = x
+        for index, (w_ih, w_hh, bias) in enumerate(self.layers):
+            flat = np.ascontiguousarray(layer_input).reshape(batch * steps, -1)
+            proj = flat @ w_ih.compute
+            if w_ih.scale is not None:
+                proj *= w_ih.scale
+            proj += bias
+            proj = proj.reshape(batch, steps, 4 * hs)
+            h[:] = 0.0
+            c[:] = 0.0
+            last_layer = index == len(self.layers) - 1
+            seq_out = (
+                None if last_layer else np.empty((batch, steps, hs), dtype=self.dtype)
+            )
+            for step in range(steps):
+                gates = proj[:, step]
+                np.matmul(h, w_hh.compute, out=hh)
+                if w_hh.scale is not None:
+                    hh *= w_hh.scale
+                gates += hh
+                # Gate columns were permuted at compile time to [i, f, o, g].
+                i_gate = gates[:, 0:hs]
+                f_gate = gates[:, hs : 2 * hs]
+                o_gate = gates[:, 2 * hs : 3 * hs]
+                g_gate = gates[:, 3 * hs : 4 * hs]
+                _sigmoid_inplace(gates[:, 0 : 3 * hs])
+                np.tanh(g_gate, out=g_gate)
+                c *= f_gate
+                np.multiply(i_gate, g_gate, out=tmp)
+                c += tmp
+                np.tanh(c, out=tmp)
+                np.multiply(o_gate, tmp, out=h)
+                if seq_out is not None:
+                    seq_out[:, step] = h
+            if seq_out is not None:
+                layer_input = seq_out
+        return h.copy()
+
+    @property
+    def nbytes(self) -> int:
+        return sum(
+            w_ih.nbytes + w_hh.nbytes + bias.nbytes for w_ih, w_hh, bias in self.layers
+        )
+
+    def describe(self) -> str:
+        return f"lstm[{len(self.layers)}x{self.hidden_size}]"
+
+
+class EncoderBlockKernel(Kernel):
+    """One fused pre-norm Transformer encoder block.
+
+    Mirrors ``TransformerEncoderLayer.forward`` in eval mode: layer norm,
+    multi-head self-attention, residual, layer norm, two-layer feed-forward,
+    residual — with all eight weight matrices extracted at compile time.
+    """
+
+    def __init__(
+        self,
+        n_heads: int,
+        d_model: int,
+        norm1: Tuple[np.ndarray, np.ndarray, float],
+        qkv: Sequence[Tuple[PlanWeight, Optional[np.ndarray]]],
+        attn_out: Tuple[PlanWeight, Optional[np.ndarray]],
+        norm2: Tuple[np.ndarray, np.ndarray, float],
+        ff1: Tuple[PlanWeight, Optional[np.ndarray]],
+        ff2: Tuple[PlanWeight, Optional[np.ndarray]],
+    ) -> None:
+        self.n_heads = n_heads
+        self.d_model = d_model
+        self.d_head = d_model // n_heads
+        self.norm1 = norm1
+        self.qkv = list(qkv)
+        self.attn_out = attn_out
+        self.norm2 = norm2
+        self.ff1 = ff1
+        self.ff2 = ff2
+
+    @staticmethod
+    def _project(
+        x: np.ndarray, weight_bias: Tuple[PlanWeight, Optional[np.ndarray]]
+    ) -> np.ndarray:
+        weight, bias = weight_bias
+        out = x @ weight.compute
+        if weight.scale is not None:
+            out *= weight.scale
+        if bias is not None:
+            out += bias
+        return out
+
+    def _split_heads(self, x: np.ndarray, batch: int, steps: int) -> np.ndarray:
+        return x.reshape(batch, steps, self.n_heads, self.d_head).transpose(0, 2, 1, 3)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError("EncoderBlockKernel expects (batch, time, d_model)")
+        batch, steps, _ = x.shape
+        gamma1, beta1, eps1 = self.norm1
+        normed = _layer_norm(x, gamma1, beta1, eps1)
+        q = self._split_heads(self._project(normed, self.qkv[0]), batch, steps)
+        k = self._split_heads(self._project(normed, self.qkv[1]), batch, steps)
+        v = self._split_heads(self._project(normed, self.qkv[2]), batch, steps)
+        scores = q @ k.transpose(0, 1, 3, 2)
+        scores *= 1.0 / math.sqrt(self.d_head)
+        _softmax_lastaxis_inplace(scores)
+        context = scores @ v
+        merged = np.ascontiguousarray(context.transpose(0, 2, 1, 3)).reshape(
+            batch, steps, self.d_model
+        )
+        x = x + self._project(merged, self.attn_out)
+        gamma2, beta2, eps2 = self.norm2
+        normed2 = _layer_norm(x, gamma2, beta2, eps2)
+        hidden = self._project(normed2, self.ff1)
+        np.maximum(hidden, 0.0, out=hidden)
+        x = x + self._project(hidden, self.ff2)
+        return x
+
+    @property
+    def nbytes(self) -> int:
+        total = self.norm1[0].nbytes + self.norm1[1].nbytes
+        total += self.norm2[0].nbytes + self.norm2[1].nbytes
+        for weight, bias in [*self.qkv, self.attn_out, self.ff1, self.ff2]:
+            total += weight.nbytes + (bias.nbytes if bias is not None else 0)
+        return total
+
+    def describe(self) -> str:
+        return f"encoder[{self.n_heads}h,d{self.d_model}]"
+
+
+class PositionalEncodingKernel(Kernel):
+    """Add sinusoidal positional encodings (cached per sequence length)."""
+
+    def __init__(self, d_model: int) -> None:
+        self.d_model = d_model
+        self._cache: Dict[int, np.ndarray] = {}
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        length = x.shape[1]
+        encoding = self._cache.get(length)
+        if encoding is None:
+            encoding = positional_encoding(length, self.d_model).astype(x.dtype)
+            self._cache[length] = encoding
+        return x + encoding[None, :, :]
+
+    def describe(self) -> str:
+        return f"posenc[d{self.d_model}]"
+
+
+class MeanOverTimeKernel(Kernel):
+    """Mean-pool ``(batch, time, features)`` over the time axis."""
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return x.mean(axis=1)
+
+    def describe(self) -> str:
+        return "mean-over-time"
+
+
+class SoftmaxKernel(Kernel):
+    """Probability tail: logits to class probabilities, in float64.
+
+    The handful of output values is tiny, and computing the final softmax in
+    double precision keeps each probability row summing to one at float64
+    resolution regardless of the plan's serving dtype.
+    """
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        z = x.astype(np.float64)
+        _softmax_lastaxis_inplace(z)
+        return z
+
+    def describe(self) -> str:
+        return "softmax"
+
+
+# ---------------------------------------------------------------------- #
+# The plan
+# ---------------------------------------------------------------------- #
+class InferencePlan:
+    """A compiled network: a flat list of kernels applied in order."""
+
+    def __init__(self, kernels: Sequence[Kernel], dtype: np.dtype = np.float32) -> None:
+        self.kernels = list(kernels)
+        self.dtype = np.dtype(dtype)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        out = np.asarray(x, dtype=self.dtype)
+        for kernel in self.kernels:
+            out = kernel(out)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.kernels)
+
+    def append(self, kernel: Kernel) -> "InferencePlan":
+        self.kernels.append(kernel)
+        return self
+
+    @property
+    def nbytes(self) -> int:
+        """Total weight storage held by the plan's kernels."""
+        return sum(kernel.nbytes for kernel in self.kernels)
+
+    def describe(self) -> List[str]:
+        return [kernel.describe() for kernel in self.kernels]
+
+    def __repr__(self) -> str:
+        return f"InferencePlan({' -> '.join(self.describe())}, dtype={self.dtype})"
+
+
+# ---------------------------------------------------------------------- #
+# Compiler
+# ---------------------------------------------------------------------- #
+def _compile_dense(
+    layer: Dense, dtype: np.dtype, quantizer: Optional[WeightQuantizer]
+) -> DenseKernel:
+    bias = (
+        _make_elementwise(layer.bias.data, dtype, quantizer)
+        if layer.bias is not None
+        else None
+    )
+    return DenseKernel(
+        _make_weight(layer.weight.data, dtype, quantizer), bias, layer.activation
+    )
+
+
+def _compile_encoder_block(
+    layer: TransformerEncoderLayer, dtype: np.dtype, quantizer: Optional[WeightQuantizer]
+) -> EncoderBlockKernel:
+    attention: MultiHeadAttention = layer.attention
+
+    def dense_pair(dense: Dense) -> Tuple[PlanWeight, Optional[np.ndarray]]:
+        bias = (
+            _make_elementwise(dense.bias.data, dtype, quantizer)
+            if dense.bias is not None
+            else None
+        )
+        return _make_weight(dense.weight.data, dtype, quantizer), bias
+
+    def norm_triple(norm: LayerNorm) -> Tuple[np.ndarray, np.ndarray, float]:
+        return (
+            _make_elementwise(norm.gamma.data, dtype, quantizer),
+            _make_elementwise(norm.beta.data, dtype, quantizer),
+            norm.eps,
+        )
+
+    return EncoderBlockKernel(
+        n_heads=attention.n_heads,
+        d_model=attention.d_model,
+        norm1=norm_triple(layer.norm1),
+        qkv=[
+            dense_pair(attention.query),
+            dense_pair(attention.key),
+            dense_pair(attention.value),
+        ],
+        attn_out=dense_pair(attention.output),
+        norm2=norm_triple(layer.norm2),
+        ff1=dense_pair(layer.ff1),
+        ff2=dense_pair(layer.ff2),
+    )
+
+
+def _compile_lstm(
+    layer: LSTM, dtype: np.dtype, quantizer: Optional[WeightQuantizer]
+) -> LSTMKernel:
+    hs = layer.hidden_size
+    # Reorder the cell's [i, f, g, o] gate columns to [i, f, o, g] so the
+    # kernel can apply one sigmoid over a contiguous [i, f, o] slice.  A pure
+    # permutation: quantization scales and rounded values are unchanged.
+    perm = np.concatenate(
+        [
+            np.arange(0, 2 * hs),  # i, f
+            np.arange(3 * hs, 4 * hs),  # o
+            np.arange(2 * hs, 3 * hs),  # g
+        ]
+    )
+    extracted = [
+        (
+            _make_weight(cell.weight_ih.data[:, perm], dtype, quantizer),
+            _make_weight(cell.weight_hh.data[:, perm], dtype, quantizer),
+            _make_elementwise(cell.bias.data[perm], dtype, quantizer),
+        )
+        for cell in layer.cells
+    ]
+    return LSTMKernel(extracted, hs, dtype)
+
+
+def _compile_leaf(
+    layer: Module, dtype: np.dtype, quantizer: Optional[WeightQuantizer]
+) -> List[Kernel]:
+    if isinstance(layer, Dropout):
+        return []  # inference-only plan: dropout is the identity in eval mode
+    if isinstance(layer, Dense):
+        return [_compile_dense(layer, dtype, quantizer)]
+    if isinstance(layer, ReLU):
+        return [ActivationKernel("relu")]
+    if isinstance(layer, Tanh):
+        return [ActivationKernel("tanh")]
+    if isinstance(layer, Flatten):
+        return [FlattenKernel()]
+    if isinstance(layer, Conv2d):
+        bias = (
+            _make_elementwise(layer.bias.data, dtype, quantizer)
+            if layer.bias is not None
+            else None
+        )
+        return [
+            Conv2dKernel(
+                _make_weight(layer.weight.data, dtype, quantizer),
+                bias,
+                kernel_size=layer.kernel_size,
+                stride=layer.stride,
+                padding=layer.padding,
+                out_channels=layer.out_channels,
+            )
+        ]
+    if isinstance(layer, MaxPool2d):
+        return [MaxPool2dKernel(layer.kernel_size, layer.stride)]
+    if isinstance(layer, AvgPool2d):
+        return [AvgPool2dKernel(layer.kernel_size, layer.stride)]
+    if isinstance(layer, LayerNorm):
+        return [
+            LayerNormKernel(
+                _make_elementwise(layer.gamma.data, dtype, quantizer),
+                _make_elementwise(layer.beta.data, dtype, quantizer),
+                layer.eps,
+            )
+        ]
+    if isinstance(layer, LSTM):
+        return [_compile_lstm(layer, dtype, quantizer)]
+    if isinstance(layer, TransformerEncoderLayer):
+        return [_compile_encoder_block(layer, dtype, quantizer)]
+    raise PlanCompilationError(
+        f"No inference kernel for module type {type(layer).__name__}; "
+        "expose an inference_spec() or extend the compiler"
+    )
+
+
+def _compile_item(
+    item: object, dtype: np.dtype, quantizer: Optional[WeightQuantizer]
+) -> List[Kernel]:
+    if isinstance(item, Kernel):
+        return [item]
+    spec = getattr(item, "inference_spec", None)
+    if spec is not None:
+        kernels: List[Kernel] = []
+        for entry in spec():
+            kernels.extend(_compile_item(entry, dtype, quantizer))
+        return kernels
+    if isinstance(item, Module):
+        return _compile_leaf(item, dtype, quantizer)
+    raise PlanCompilationError(
+        f"Inference specs may only contain Modules or Kernels, got {type(item).__name__}"
+    )
+
+
+def _fuse_activations(kernels: List[Kernel]) -> List[Kernel]:
+    """Peephole pass: fold standalone ReLU/Tanh into the preceding matmul."""
+    fused: List[Kernel] = []
+    for kernel in kernels:
+        if (
+            isinstance(kernel, ActivationKernel)
+            and fused
+            and isinstance(fused[-1], (DenseKernel, Conv2dKernel))
+            and fused[-1].activation is None
+        ):
+            fused[-1].activation = kernel.activation
+            continue
+        fused.append(kernel)
+    return fused
+
+
+def compile_network(
+    module: Module,
+    dtype: np.dtype = np.float32,
+    quantizer: Optional[WeightQuantizer] = None,
+) -> InferencePlan:
+    """Lower a fitted module tree to a flat :class:`InferencePlan`.
+
+    The plan computes exactly what ``module.forward`` computes in eval mode
+    (dropout removed), with weights copied out once in ``dtype``.  Passing a
+    ``quantizer`` yields an integer-scaled plan (see
+    :func:`repro.compression.quantization.compile_quantized_plan`).
+
+    Raises :class:`PlanCompilationError` when the tree contains a module the
+    compiler cannot lower; callers are expected to fall back to the autograd
+    path in that case.
+    """
+    kernels = _fuse_activations(_compile_item(module, np.dtype(dtype), quantizer))
+    return InferencePlan(kernels, dtype=np.dtype(dtype))

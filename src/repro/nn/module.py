@@ -128,6 +128,15 @@ class Sequential(Module):
         super().__init__()
         self.layers = list(layers)
 
+    def inference_spec(self) -> List[Module]:
+        """Plan-compiler hook: a Sequential is exactly its layer list.
+
+        See :mod:`repro.nn.inference` — any module may expose
+        ``inference_spec()`` returning the ordered modules/kernels equivalent
+        to its eval-mode ``forward``.
+        """
+        return list(self.layers)
+
     def forward(self, x: Tensor) -> Tensor:
         for layer in self.layers:
             x = layer(x)

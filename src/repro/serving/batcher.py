@@ -44,6 +44,10 @@ class BatchResult:
 class MicroBatcher:
     """Stacks windows from many sessions into one classifier call.
 
+    Neural classifiers are served from their compiled inference plan (see
+    :mod:`repro.nn.inference`): the batcher warms the plan at construction so
+    the one-off compile cost is paid before the first flush, not inside it.
+
     Parameters
     ----------
     classifier:
@@ -63,6 +67,11 @@ class MicroBatcher:
         self.max_batch_size = max_batch_size
         self._pending: List[Tuple[str, np.ndarray]] = []
         self._pending_ids: set = set()
+        # Precompile the serving plan (no-op for classifiers without one, or
+        # whose network is not built yet — they compile on first prediction).
+        ensure_compiled = getattr(classifier, "ensure_compiled", None)
+        if ensure_compiled is not None:
+            ensure_compiled()
 
     def __len__(self) -> int:
         return len(self._pending)

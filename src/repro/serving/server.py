@@ -12,6 +12,11 @@ case, not an error — and fleets may mix heterogeneous participant profiles.
 When a session stalls (produces no window), the server degrades gracefully:
 that tick's batch simply shrinks, the other sessions are served on time, and
 the stalled session's backlog is tracked in telemetry until it recovers.
+
+Neural classifiers are served from their compiled inference plan — the
+:class:`MicroBatcher` warms it at fleet construction, so every batched
+``predict_proba`` on the hot path runs the fused float32 kernels, never the
+autograd graph (see :mod:`repro.nn.inference`).
 """
 
 from __future__ import annotations

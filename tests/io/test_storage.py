@@ -76,6 +76,22 @@ class TestModelStorage:
             model.predict_proba(dataset.windows[:4]),
         )
 
+    def test_load_invalidates_compiled_plan(self, fitted_cnn, tmp_path):
+        model, dataset = fitted_cnn
+        weights_path, _ = save_model_state(model, tmp_path / "cnn")
+        clone = EEGCNN(
+            CNNConfig(filters=(4,), kernel_size=3, stride=2, hidden_units=8),
+            training=TrainingConfig(epochs=1),
+            seed=99,
+        )
+        clone.ensure_network(dataset.n_channels, dataset.window_size)
+        clone.predict_proba(dataset.windows[:2])  # caches a seed-99 plan
+        load_model_state(clone, weights_path)
+        np.testing.assert_allclose(
+            clone.predict_proba(dataset.windows[:4]),
+            model.predict_proba(dataset.windows[:4]),
+        )
+
     def test_metadata_records_architecture(self, fitted_cnn, tmp_path):
         model, _ = fitted_cnn
         _, metadata_path = save_model_state(model, tmp_path / "cnn", metadata={"note": "unit"})

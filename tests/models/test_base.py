@@ -33,6 +33,32 @@ class TestNormalizeWindows:
         with pytest.raises(ValueError):
             normalize_windows(np.zeros((3, 4)))
 
+    def test_float32_input_stays_float32(self):
+        windows = np.random.default_rng(2).standard_normal((4, 3, 20)).astype(np.float32)
+        normalized = normalize_windows(windows)
+        assert normalized.dtype == np.float32
+        np.testing.assert_allclose(normalized.mean(axis=(1, 2)), 0.0, atol=1e-6)
+
+    def test_float64_input_stays_float64(self):
+        windows = np.random.default_rng(3).standard_normal((2, 3, 20))
+        assert normalize_windows(windows).dtype == np.float64
+
+    def test_integer_input_promoted_to_float64(self):
+        windows = np.arange(60, dtype=np.int64).reshape(1, 3, 20)
+        normalized = normalize_windows(windows)
+        assert normalized.dtype == np.float64
+        np.testing.assert_allclose(normalized.mean(), 0.0, atol=1e-12)
+
+    def test_explicit_dtype_parameter(self):
+        windows = np.random.default_rng(4).standard_normal((2, 3, 20))
+        assert normalize_windows(windows, dtype=np.float32).dtype == np.float32
+
+    def test_float32_statistics_match_float64_closely(self):
+        windows = np.random.default_rng(5).standard_normal((3, 4, 50)) * 5 + 1
+        reference = normalize_windows(windows)
+        low_precision = normalize_windows(windows.astype(np.float32))
+        np.testing.assert_allclose(low_precision, reference, atol=1e-5)
+
 
 class TestTrainingHistory:
     def test_best_val_accuracy_empty_is_zero(self):

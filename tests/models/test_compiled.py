@@ -1,0 +1,309 @@
+"""Compiled-vs-autograd equivalence and plan lifecycle for the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.compression.quantization import (
+    compile_quantized_plan,
+    quantize_classifier,
+)
+from repro.models.base import TrainingConfig
+from repro.models.cnn import CNNConfig, EEGCNN
+from repro.models.compiled import CompiledClassifier, compile_classifier
+from repro.models.lstm_model import EEGLSTM, LSTMConfig
+from repro.models.transformer_model import EEGTransformer, TransformerConfig
+from tests.helpers import make_toy_dataset
+
+N_CHANNELS = 4
+WINDOW = 50
+
+
+def _families():
+    return [
+        (
+            "cnn",
+            EEGCNN(
+                CNNConfig(
+                    n_conv_layers=2,
+                    filters=(6, 8),
+                    kernel_size=3,
+                    stride=1,
+                    pooling="max",
+                    hidden_units=12,
+                ),
+                seed=1,
+            ),
+        ),
+        ("lstm", EEGLSTM(LSTMConfig(hidden_size=24, num_layers=2), seed=2)),
+        (
+            "transformer",
+            EEGTransformer(
+                TransformerConfig(
+                    num_layers=2, n_heads=2, d_model=16, dim_feedforward=32
+                ),
+                seed=3,
+            ),
+        ),
+    ]
+
+
+@pytest.fixture(params=_families(), ids=lambda p: p[0])
+def built_classifier(request):
+    _, classifier = request.param
+    classifier.ensure_network(N_CHANNELS, WINDOW)
+    return classifier
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("batch", [1, 7, 64])
+    def test_compiled_matches_autograd_random_weights(self, built_classifier, batch):
+        windows = np.random.default_rng(batch).standard_normal(
+            (batch, N_CHANNELS, WINDOW)
+        )
+        compiled = built_classifier.predict_proba(windows)
+        assert built_classifier.ensure_compiled() is not None  # plan path taken
+        oracle = built_classifier.predict_proba_autograd(windows)
+        assert compiled.shape == oracle.shape == (batch, built_classifier.n_classes)
+        np.testing.assert_allclose(compiled, oracle, atol=1e-5)
+
+    def test_single_2d_window_accepted(self, built_classifier):
+        window = np.random.default_rng(0).standard_normal((N_CHANNELS, WINDOW))
+        probs = built_classifier.predict_proba(window)
+        assert probs.shape == (1, built_classifier.n_classes)
+
+    def test_rows_sum_to_one_at_float64_resolution(self, built_classifier):
+        windows = np.random.default_rng(1).standard_normal((9, N_CHANNELS, WINDOW))
+        probs = built_classifier.predict_proba(windows)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(9), atol=1e-9)
+
+    def test_float32_windows_accepted(self, built_classifier):
+        windows = (
+            np.random.default_rng(2)
+            .standard_normal((3, N_CHANNELS, WINDOW))
+            .astype(np.float32)
+        )
+        compiled = built_classifier.predict_proba(windows)
+        oracle = built_classifier.predict_proba_autograd(windows)
+        np.testing.assert_allclose(compiled, oracle, atol=1e-5)
+
+
+class TestQuantizedPlan:
+    @pytest.mark.parametrize("scheme", ["per_tensor", "global"])
+    def test_int8_plan_matches_dequantized_module_oracle(
+        self, built_classifier, scheme
+    ):
+        windows = np.random.default_rng(3).standard_normal((5, N_CHANNELS, WINDOW))
+        oracle_clf, _ = quantize_classifier(built_classifier, bits=8, scheme=scheme)
+        plan = compile_quantized_plan(built_classifier, bits=8, scheme=scheme)
+        np.testing.assert_allclose(
+            plan.predict_proba(windows),
+            oracle_clf.predict_proba_autograd(windows),
+            atol=1e-5,
+        )
+
+    def test_int8_plan_stores_integer_weights(self, built_classifier):
+        plan = compile_quantized_plan(built_classifier, bits=8)
+        float_plan = built_classifier.ensure_compiled()
+        assert plan.nbytes < float_plan.nbytes / 3  # int8 vs float32 storage
+
+    def test_quantized_copy_does_not_serve_stale_plan(self, built_classifier):
+        windows = np.random.default_rng(4).standard_normal((2, N_CHANNELS, WINDOW))
+        built_classifier.predict_proba(windows)  # populate the cached plan
+        quantized, _ = quantize_classifier(built_classifier, bits=4)
+        np.testing.assert_allclose(
+            quantized.predict_proba(windows),
+            quantized.predict_proba_autograd(windows),
+            atol=1e-5,
+        )
+
+
+class TestPlanLifecycle:
+    def test_fit_invalidates_cached_plan(self):
+        dataset = make_toy_dataset(n_per_class=10, window_size=40)
+        model = EEGCNN(
+            CNNConfig(filters=(4,), kernel_size=3, stride=2, hidden_units=8),
+            training=TrainingConfig(epochs=2, batch_size=16),
+            seed=0,
+        )
+        model.ensure_network(dataset.n_channels, dataset.window_size)
+        stale = model.ensure_compiled()
+        model.fit(dataset, dataset)
+        fresh = model.ensure_compiled()
+        assert fresh is not stale
+        np.testing.assert_allclose(
+            model.predict_proba(dataset.windows[:4]),
+            model.predict_proba_autograd(dataset.windows[:4]),
+            atol=1e-5,
+        )
+
+    def test_use_compiled_inference_false_forces_autograd(self):
+        model = EEGLSTM(LSTMConfig(hidden_size=8), seed=0)
+        model.ensure_network(N_CHANNELS, WINDOW)
+        model.use_compiled_inference = False
+        assert model.ensure_compiled() is None
+        windows = np.random.default_rng(5).standard_normal((2, N_CHANNELS, WINDOW))
+        probs = model.predict_proba(windows)
+        assert probs.shape == (2, 3)
+
+    def test_compile_requires_built_network(self):
+        model = EEGLSTM(LSTMConfig(hidden_size=8), seed=0)
+        with pytest.raises(RuntimeError):
+            compile_classifier(model)
+
+    def test_compiled_classifier_describe(self):
+        model = EEGLSTM(LSTMConfig(hidden_size=8), seed=0)
+        model.ensure_network(N_CHANNELS, WINDOW)
+        compiled = model.ensure_compiled()
+        assert isinstance(compiled, CompiledClassifier)
+        info = compiled.describe()
+        assert info["family"] == "lstm"
+        assert info["dtype"] == "float32"
+        assert any(k.startswith("lstm") for k in info["kernels"])
+
+
+class TestWeightSerialization:
+    def test_npz_round_trip_serves_identical_probabilities(self, tmp_path):
+        model = EEGLSTM(LSTMConfig(hidden_size=12), seed=4)
+        model.ensure_network(N_CHANNELS, WINDOW)
+        windows = np.random.default_rng(6).standard_normal((3, N_CHANNELS, WINDOW))
+        expected = model.predict_proba(windows)
+        path = tmp_path / "model.npz"
+        model.save_weights(path)
+
+        fresh = EEGLSTM(LSTMConfig(hidden_size=12), seed=99)
+        fresh.load_weights(path)
+        assert fresh._fitted
+        np.testing.assert_allclose(fresh.predict_proba(windows), expected, atol=0)
+
+    def test_load_after_fit_invalidates_plan(self, tmp_path):
+        saver = EEGCNN(
+            CNNConfig(filters=(4,), kernel_size=3, stride=2, hidden_units=8), seed=1
+        )
+        saver.ensure_network(N_CHANNELS, WINDOW)
+        path = tmp_path / "cnn.npz"
+        saver.save_weights(path)
+
+        loader = EEGCNN(
+            CNNConfig(filters=(4,), kernel_size=3, stride=2, hidden_units=8), seed=2
+        )
+        loader.ensure_network(N_CHANNELS, WINDOW)
+        windows = np.random.default_rng(7).standard_normal((2, N_CHANNELS, WINDOW))
+        before = loader.predict_proba(windows)  # caches a plan for seed-2 weights
+        loader.load_weights(path)
+        after = loader.predict_proba(windows)
+        assert not np.allclose(before, after)  # plan was rebuilt, not stale
+        np.testing.assert_allclose(
+            after, saver.predict_proba(windows), atol=0
+        )
+
+    def test_path_without_npz_suffix_round_trips(self, tmp_path):
+        # np.savez appends ".npz" on write; loading must normalise the same
+        # way instead of opening the suffix-less path verbatim.
+        model = EEGLSTM(LSTMConfig(hidden_size=8), seed=4)
+        model.ensure_network(N_CHANNELS, WINDOW)
+        model.save_weights(tmp_path / "weights")
+        fresh = EEGLSTM(LSTMConfig(hidden_size=8), seed=5)
+        fresh.load_weights(tmp_path / "weights")
+        windows = np.random.default_rng(8).standard_normal((2, N_CHANNELS, WINDOW))
+        np.testing.assert_allclose(
+            fresh.predict_proba(windows), model.predict_proba(windows), atol=0
+        )
+
+    def test_archive_readable_by_io_storage_loader(self, tmp_path):
+        from repro.io.storage import load_model_state
+
+        model = EEGLSTM(LSTMConfig(hidden_size=8), seed=4)
+        model.ensure_network(N_CHANNELS, WINDOW)
+        path = tmp_path / "shared.npz"
+        model.save_weights(path)
+        other = EEGLSTM(LSTMConfig(hidden_size=8), seed=6)
+        other.ensure_network(N_CHANNELS, WINDOW)
+        load_model_state(other, path)  # must skip the embedded __meta__ entry
+        windows = np.random.default_rng(9).standard_normal((2, N_CHANNELS, WINDOW))
+        np.testing.assert_allclose(
+            other.predict_proba(windows), model.predict_proba(windows), atol=0
+        )
+
+    def test_io_storage_archive_gives_clear_error(self, tmp_path):
+        from repro.io.storage import save_model_state
+
+        model = EEGLSTM(LSTMConfig(hidden_size=8), seed=4)
+        model.ensure_network(N_CHANNELS, WINDOW)
+        path, _ = save_model_state(model, tmp_path / "plain")
+        fresh = EEGLSTM(LSTMConfig(hidden_size=8), seed=5)
+        with pytest.raises(ValueError, match="load_model_state"):
+            fresh.load_weights(path)
+
+    def test_deepcopy_does_not_carry_compiled_plan(self):
+        import copy
+
+        model = EEGLSTM(LSTMConfig(hidden_size=8), seed=4)
+        model.ensure_network(N_CHANNELS, WINDOW)
+        windows = np.random.default_rng(10).standard_normal((2, N_CHANNELS, WINDOW))
+        model.predict_proba(windows)  # cache a plan
+        clone = copy.deepcopy(model)
+        assert clone._compiled is None
+        np.testing.assert_allclose(
+            clone.predict_proba(windows), model.predict_proba(windows), atol=0
+        )
+
+    def test_family_mismatch_rejected(self, tmp_path):
+        lstm = EEGLSTM(LSTMConfig(hidden_size=8), seed=0)
+        lstm.ensure_network(N_CHANNELS, WINDOW)
+        path = tmp_path / "lstm.npz"
+        lstm.save_weights(path)
+        cnn = EEGCNN(seed=0)
+        with pytest.raises(ValueError):
+            cnn.load_weights(path)
+
+    def test_save_requires_network(self, tmp_path):
+        model = EEGLSTM(LSTMConfig(hidden_size=8), seed=0)
+        with pytest.raises(RuntimeError):
+            model.save_weights(tmp_path / "nope.npz")
+
+    def test_load_refreshes_build_geometry(self, tmp_path):
+        # LSTM shapes are window-size independent, so an archive saved at
+        # window 200 loads into a network built for window 100; re-saving
+        # must emit the archive's geometry, not the stale build-time one.
+        saver = EEGLSTM(LSTMConfig(hidden_size=8), seed=0)
+        saver.ensure_network(N_CHANNELS, 200)
+        path = tmp_path / "w200.npz"
+        saver.save_weights(path)
+
+        loader = EEGLSTM(LSTMConfig(hidden_size=8), seed=1)
+        loader.ensure_network(N_CHANNELS, 100)
+        loader.load_weights(path)
+        assert loader._build_geometry == (N_CHANNELS, 200)
+        resaved = tmp_path / "resaved.npz"
+        loader.save_weights(resaved)
+        third = EEGLSTM(LSTMConfig(hidden_size=8), seed=2)
+        third.load_weights(resaved)
+        assert third._build_geometry == (N_CHANNELS, 200)
+
+
+class TestLegacySubclassFallback:
+    def test_prepare_input_only_subclass_serves_via_autograd(self):
+        from repro.models.base import NeuralEEGClassifier
+        from repro.nn.autograd import Tensor
+        from repro.nn.layers import Dense
+        from repro.nn.module import Sequential
+
+        class LegacyClassifier(NeuralEEGClassifier):
+            """Written to the pre-plan contract: overrides prepare_input only."""
+
+            family = "legacy"
+
+            def build_network(self, n_channels, window_size):
+                return Sequential(Dense(n_channels * window_size, 3, seed=0))
+
+            def prepare_input(self, windows):
+                arr = np.asarray(windows, dtype=np.float64)
+                return Tensor(arr.reshape(arr.shape[0], -1))
+
+        model = LegacyClassifier()
+        model.ensure_network(N_CHANNELS, WINDOW)
+        assert model.ensure_compiled() is None  # no prepare_array: autograd path
+        windows = np.random.default_rng(11).standard_normal((3, N_CHANNELS, WINDOW))
+        probs = model.predict_proba(windows)
+        assert probs.shape == (3, 3)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(3), atol=1e-9)

@@ -1,0 +1,155 @@
+"""Tests for the compiled inference engine (repro.nn.inference)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.inference import (
+    ActivationKernel,
+    DenseKernel,
+    InferencePlan,
+    LSTMKernel,
+    PlanCompilationError,
+    SoftmaxKernel,
+    compile_network,
+)
+from repro.nn.layers import Conv2d, Dense, Dropout, Flatten, LayerNorm, MaxPool2d, ReLU
+from repro.nn.lstm import LSTM
+from repro.nn.module import Module, Sequential
+from repro.nn.attention import TransformerEncoderLayer
+
+
+def _forward_autograd(module, x):
+    module.eval()
+    with no_grad():
+        return module(Tensor(x)).data
+
+
+class TestCompileSequential:
+    def test_dense_stack_matches_autograd(self):
+        net = Sequential(
+            Dense(10, 16, seed=0, activation="relu"),
+            Dense(16, 8, seed=1, activation="tanh"),
+            Dense(8, 3, seed=2),
+        )
+        plan = compile_network(net)
+        x = np.random.default_rng(0).standard_normal((5, 10))
+        np.testing.assert_allclose(plan(x), _forward_autograd(net, x), atol=1e-5)
+
+    def test_standalone_activation_fused_into_dense(self):
+        net = Sequential(Dense(6, 4, seed=0), ReLU(), Dense(4, 2, seed=1))
+        plan = compile_network(net)
+        # ReLU folded into the first dense kernel: 2 kernels, not 3.
+        assert len(plan) == 2
+        assert isinstance(plan.kernels[0], DenseKernel)
+        assert plan.kernels[0].activation == "relu"
+        x = np.random.default_rng(1).standard_normal((3, 6))
+        np.testing.assert_allclose(plan(x), _forward_autograd(net, x), atol=1e-5)
+
+    def test_unfusable_activation_stays_standalone(self):
+        net = Sequential(Flatten(), ReLU(), Dense(6, 2, seed=0))
+        plan = compile_network(net)
+        assert isinstance(plan.kernels[1], ActivationKernel)
+        x = np.random.default_rng(2).standard_normal((4, 2, 3))
+        np.testing.assert_allclose(plan(x), _forward_autograd(net, x), atol=1e-5)
+
+    def test_dropout_compiles_away(self):
+        net = Sequential(Dense(5, 5, seed=0), Dropout(0.5), Dense(5, 2, seed=1))
+        plan = compile_network(net)
+        assert len(plan) == 2
+
+    def test_conv_pool_flatten_matches_autograd(self):
+        net = Sequential(
+            Conv2d(1, 4, kernel_size=3, stride=1, seed=0),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Dense(4 * 3 * 9, 3, seed=1),
+        )
+        plan = compile_network(net)
+        x = np.random.default_rng(3).standard_normal((2, 1, 8, 20))
+        np.testing.assert_allclose(plan(x), _forward_autograd(net, x), atol=1e-5)
+
+    def test_padded_conv_matches_autograd(self):
+        net = Sequential(Conv2d(2, 3, kernel_size=3, stride=2, padding=1, seed=4))
+        plan = compile_network(net)
+        x = np.random.default_rng(4).standard_normal((3, 2, 9, 11))
+        np.testing.assert_allclose(plan(x), _forward_autograd(net, x), atol=1e-5)
+
+    def test_layernorm_matches_autograd(self):
+        net = Sequential(LayerNorm(12))
+        plan = compile_network(net)
+        x = np.random.default_rng(5).standard_normal((4, 7, 12))
+        np.testing.assert_allclose(plan(x), _forward_autograd(net, x), atol=1e-5)
+
+
+class TestRecurrentAndAttention:
+    @pytest.mark.parametrize("num_layers", [1, 2])
+    def test_lstm_kernel_matches_autograd(self, num_layers):
+        lstm = LSTM(input_size=6, hidden_size=13, num_layers=num_layers, seed=0)
+        plan = compile_network(lstm)
+        assert isinstance(plan.kernels[0], LSTMKernel)
+        x = np.random.default_rng(6).standard_normal((4, 9, 6))
+        np.testing.assert_allclose(plan(x), _forward_autograd(lstm, x), atol=1e-5)
+
+    def test_lstm_buffers_reused_across_calls_and_batches(self):
+        lstm = LSTM(input_size=3, hidden_size=5, seed=1)
+        plan = compile_network(lstm)
+        kernel = plan.kernels[0]
+        rng = np.random.default_rng(7)
+        first = plan(rng.standard_normal((2, 4, 3)))
+        assert len(kernel._buffers) == 1
+        plan(rng.standard_normal((6, 4, 3)))
+        assert len(kernel._buffers) == 2
+        # Same-batch calls reuse the same scratch buffers and must not
+        # corrupt previously returned outputs.
+        again = plan(rng.standard_normal((2, 4, 3)))
+        assert len(kernel._buffers) == 2
+        assert not np.shares_memory(first, again)
+
+    def test_encoder_block_matches_autograd(self):
+        layer = TransformerEncoderLayer(
+            d_model=16, n_heads=4, dim_feedforward=24, dropout=0.3, seed=2
+        )
+        plan = compile_network(layer)
+        x = np.random.default_rng(8).standard_normal((3, 6, 16))
+        np.testing.assert_allclose(plan(x), _forward_autograd(layer, x), atol=1e-5)
+
+
+class TestPlanMechanics:
+    def test_unsupported_module_raises(self):
+        class Exotic(Module):
+            def forward(self, x):
+                return x
+
+        with pytest.raises(PlanCompilationError):
+            compile_network(Sequential(Exotic()))
+
+    def test_plan_casts_input_to_serving_dtype(self):
+        net = Sequential(Dense(4, 2, seed=0))
+        plan = compile_network(net)
+        out = plan(np.random.default_rng(9).standard_normal((2, 4)))
+        assert out.dtype == np.float32
+
+    def test_float64_plan_supported(self):
+        net = Sequential(Dense(4, 2, seed=0))
+        plan = compile_network(net, dtype=np.float64)
+        out = plan(np.random.default_rng(10).standard_normal((2, 4)))
+        assert out.dtype == np.float64
+
+    def test_softmax_kernel_rows_sum_to_one_in_float64(self):
+        plan = InferencePlan([SoftmaxKernel()])
+        logits = np.random.default_rng(11).standard_normal((5, 3)).astype(np.float32)
+        out = plan(logits)
+        assert out.dtype == np.float64
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(5), atol=1e-12)
+
+    def test_nbytes_counts_weight_storage(self):
+        net = Sequential(Dense(4, 2, bias=False, seed=0))
+        plan = compile_network(net)
+        assert plan.nbytes == 4 * 2 * 4  # float32
+
+    def test_describe_lists_kernels(self):
+        net = Sequential(Dense(4, 2, seed=0), ReLU())
+        plan = compile_network(net)
+        assert plan.describe() == ["dense[4x2]+relu"]

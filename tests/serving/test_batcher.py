@@ -76,6 +76,29 @@ class TestFlush:
         assert stub_classifier.batch_sizes == [2, 2, 1]
         assert len(result) == 5
 
+    def test_uneven_chunks_route_results_across_boundaries(self, stub_classifier):
+        # 7 sessions with max_batch_size=3 -> chunks [3, 3, 1]; every session
+        # must still get the row its own window produced, including the ones
+        # straddling chunk boundaries and the singleton tail.
+        batcher = MicroBatcher(stub_classifier, max_batch_size=3)
+        windows = {f"s{i}": _window(200 + i) for i in range(7)}
+        for session_id, window in windows.items():
+            batcher.submit(session_id, window)
+        result = batcher.flush()
+        assert result.batch_sizes == [3, 3, 1]
+        assert stub_classifier.batch_sizes == [3, 3, 1]
+        assert len(result) == 7
+        for session_id, window in windows.items():
+            expected = stub_classifier.predict_proba(window[None])[0]
+            np.testing.assert_allclose(result.results[session_id], expected)
+
+    def test_chunk_equal_to_fleet_size_issues_single_call(self, stub_classifier):
+        batcher = MicroBatcher(stub_classifier, max_batch_size=4)
+        for i in range(4):
+            batcher.submit(f"s{i}", _window(i))
+        result = batcher.flush()
+        assert result.batch_sizes == [4]
+
     def test_per_window_latency_share(self, stub_classifier):
         batcher = MicroBatcher(stub_classifier)
         for i in range(4):
