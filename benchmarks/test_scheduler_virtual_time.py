@@ -1,0 +1,60 @@
+"""Benchmark: virtual-clock acceleration of the async scheduler harness.
+
+The whole point of the clock-injected scheduler is that its policies —
+deadline flushes, admission shedding, per-cohort routing — are testable at
+time scales no wall-clock test could afford.  This benchmark measures that
+acceleration directly: how many virtual seconds of 32-session traffic the
+``FakeClock``/``SimulatedLoad`` harness retires per real second, and that
+the deadline guarantee holds throughout.  It is a regression gate for the
+scheduler's per-submission overhead (a heavier hot path shows up here first).
+"""
+
+import os
+import time
+
+from repro.serving.scheduler import AsyncFleetScheduler, SchedulerConfig
+from tests.helpers import ClockedStubClassifier, FakeClock, ScriptedSession, SimulatedLoad
+
+N_SESSIONS = 32
+VIRTUAL_SECONDS = 60.0 if os.environ.get("REPRO_BENCH_FAST") else 600.0
+#: Honest floor, not an aspiration: the harness clears this by a wide margin
+#: on a laptop; dipping below means the submit/flush path got much slower.
+MIN_ACCELERATION = 20.0
+
+
+def test_virtual_clock_harness_acceleration(once):
+    clock = FakeClock()
+    classifier = ClockedStubClassifier(clock, base_latency_s=0.001, per_row_s=0.0001)
+    scheduler = AsyncFleetScheduler(
+        classifier,
+        scheduler_config=SchedulerConfig(deadline_s=0.015, max_batch_size=N_SESSIONS),
+        clock=clock,
+    )
+    for i in range(N_SESSIONS):
+        scheduler.add_session(ScriptedSession(f"s{i}", seed=i))
+    load = SimulatedLoad(scheduler, clock, period_s=1 / 15.0, jitter_s=0.01)
+
+    def run():
+        start = time.perf_counter()
+        load.run(VIRTUAL_SECONDS)
+        return time.perf_counter() - start
+
+    elapsed = once(run)
+    acceleration = clock.now() / elapsed
+    summary = scheduler.telemetry.summary()
+    print("\n" + "=" * 80)
+    print(f"Virtual-clock scheduler harness — {N_SESSIONS} sessions @ 15 Hz, "
+          f"15 ms deadline, {VIRTUAL_SECONDS:.0f} virtual s")
+    print(f"real time:           {elapsed:8.2f} s  "
+          f"({acceleration:8.1f}x faster than wall clock)")
+    print(f"submissions:         {load.submissions:8d}  "
+          f"flushes: {len(scheduler.telemetry.records):6d}")
+    print(f"batch latency p50/p95: {summary['batch_latency_p50_s'] * 1e3:.3f} / "
+          f"{summary['batch_latency_p95_s'] * 1e3:.3f} ms (virtual, exact)")
+    print(f"deadline violations: {int(summary['deadline_violations']):8d}  "
+          f"max queue wait: {summary['max_queue_wait_s'] * 1e3:.3f} ms")
+    assert summary["deadline_violations"] == 0
+    assert acceleration > MIN_ACCELERATION, (
+        f"harness retired only {acceleration:.1f} virtual s per real s "
+        f"(floor {MIN_ACCELERATION}); the scheduler hot path has regressed"
+    )

@@ -9,7 +9,6 @@ the Arduino consumes.
 
 from __future__ import annotations
 
-import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple
@@ -21,6 +20,7 @@ from repro.core.config import CognitiveArmConfig
 from repro.models.base import EEGClassifier
 from repro.signals.filters import PreprocessingPipeline
 from repro.signals.synthetic import ACTION_IDLE
+from repro.utils.timing import SYSTEM_CLOCK, Clock
 
 
 @dataclass
@@ -69,10 +69,12 @@ class RealTimeInferenceLoop:
         classifier: Optional[EEGClassifier],
         config: Optional[CognitiveArmConfig] = None,
         class_names: Tuple[str, ...] = ("left", "right", "idle"),
+        clock: Optional[Clock] = None,
     ) -> None:
         self.board = board
         self.classifier = classifier
         self.config = config or CognitiveArmConfig()
+        self.clock = clock or SYSTEM_CLOCK
         if self.board.config.n_channels != self.config.n_channels:
             raise ValueError("Board channel count does not match system configuration")
         self.class_names = class_names
@@ -106,10 +108,10 @@ class RealTimeInferenceLoop:
         self.board.advance(cfg.label_period_s)
         if self.board.available_samples() < self._filter_buffer_samples:
             self.warmup()
-        start = time.perf_counter()
+        start = self.clock.now()
         buffer, _ = self.board.get_current_board_data(self._filter_buffer_samples)
         filtered = self.preprocessing.process(buffer)[:, -cfg.window_size:]
-        self._prepare_latency_s = time.perf_counter() - start
+        self._prepare_latency_s = self.clock.now() - start
         return filtered
 
     def apply_result(
@@ -150,9 +152,9 @@ class RealTimeInferenceLoop:
                 "API (prepare_window/apply_result) classify externally"
             )
         window = self.prepare_window()
-        start = time.perf_counter()
+        start = self.clock.now()
         probabilities = self.classifier.predict_proba(window[None, :, :])[0]
-        classify_latency = time.perf_counter() - start
+        classify_latency = self.clock.now() - start
         return self.apply_result(probabilities, classify_latency)
 
     def run(self, duration_s: float) -> List[InferenceTick]:

@@ -7,9 +7,22 @@ N concurrent :class:`ServingSession` objects at the label rate, a
 ``(n, channels, samples)`` call on a shared classifier, and
 :class:`FleetTelemetry` reports throughput, tail latency, backlog and
 per-session accuracy.
+
+For wall-clock serving, :class:`AsyncFleetScheduler` replaces the lock-step
+tick with deadline-aware flushes, p95-budget admission control
+(:class:`AdmissionController`) and per-cohort model routing
+(:class:`ModelRouter`) — all clock-injected so tests drive it with a
+deterministic virtual clock.
 """
 
 from repro.serving.batcher import BatchResult, MicroBatcher
+from repro.serving.scheduler import (
+    AdmissionController,
+    AsyncFleetScheduler,
+    FlushEvent,
+    ModelRouter,
+    SchedulerConfig,
+)
 from repro.serving.server import FleetReport, FleetServer
 from repro.serving.session import ServingSession
 from repro.serving.telemetry import (
@@ -21,8 +34,13 @@ from repro.serving.telemetry import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "AsyncFleetScheduler",
     "BatchResult",
+    "FlushEvent",
     "MicroBatcher",
+    "ModelRouter",
+    "SchedulerConfig",
     "FleetReport",
     "FleetServer",
     "ServingSession",

@@ -10,13 +10,13 @@ caps the batch), then hands each session back its own probability row.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.models.base import EEGClassifier
+from repro.utils.timing import SYSTEM_CLOCK, Clock
 
 
 @dataclass
@@ -56,15 +56,22 @@ class MicroBatcher:
         Optional cap on the number of windows per ``predict_proba`` call;
         larger flushes are split into consecutive chunks (memory control on
         small devices).  ``None`` means one call regardless of fleet size.
+    clock:
+        Time source used to measure flush latency.  Defaults to the system
+        monotonic clock; tests inject a fake so latency assertions are exact.
     """
 
     def __init__(
-        self, classifier: EEGClassifier, max_batch_size: Optional[int] = None
+        self,
+        classifier: EEGClassifier,
+        max_batch_size: Optional[int] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         if max_batch_size is not None and max_batch_size < 1:
             raise ValueError("max_batch_size must be at least 1")
         self.classifier = classifier
         self.max_batch_size = max_batch_size
+        self.clock = clock or SYSTEM_CLOCK
         self._pending: List[Tuple[str, np.ndarray]] = []
         self._pending_ids: set = set()
         # Precompile the serving plan (no-op for classifiers without one, or
@@ -108,9 +115,9 @@ class MicroBatcher:
         elapsed = 0.0
         for start in range(0, len(pending), chunk):
             block = stacked[start : start + chunk]
-            t0 = time.perf_counter()
+            t0 = self.clock.now()
             probabilities.append(self.classifier.predict_proba(block))
-            elapsed += time.perf_counter() - t0
+            elapsed += self.clock.now() - t0
             batch_sizes.append(block.shape[0])
         probs = np.concatenate(probabilities, axis=0)
         if probs.shape[0] != len(pending):

@@ -1,0 +1,688 @@
+"""Deadline-aware asynchronous fleet scheduling with admission control.
+
+``FleetServer`` clocks every session in lock-step: one tick, one batch, no
+notion of wall-clock time.  That is the right model for simulation but not
+for serving — real sessions submit windows whenever their acquisition
+hardware produces them, and the batcher has to trade batch size against the
+queueing delay of the oldest waiting window.  This module adds that layer:
+
+- :class:`AsyncFleetScheduler` accepts window submissions at arbitrary
+  wall-clock times and flushes a cohort's micro-batch when either (a) the
+  oldest queued window would otherwise exceed its latency deadline, or
+  (b) the batch is full.
+- :class:`AdmissionController` watches the observed p95 flush latency and,
+  when it blows the configured budget, sheds a fraction of incoming windows
+  (skip-window with telemetry — sessions are degraded, never blocked or
+  crashed) until the tail latency recovers below the hysteresis threshold.
+- :class:`ModelRouter` lets heterogeneous compiled plans (per-cohort
+  classifiers) share one scheduler: each cohort gets its own
+  :class:`~repro.serving.batcher.MicroBatcher` and queue, because windows
+  destined for different models cannot stack into one ``predict_proba``.
+
+Everything is clock-injected (:class:`repro.utils.timing.Clock`): production
+uses the system monotonic clock, tests drive a deterministic fake through
+thousands of virtual seconds in milliseconds.  In lock-step mode
+(:meth:`AsyncFleetScheduler.tick`) a single-cohort scheduler is bit-for-bit
+identical to :meth:`repro.serving.server.FleetServer.tick`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.config import CognitiveArmConfig
+from repro.models.base import EEGClassifier
+from repro.serving.batcher import MicroBatcher
+from repro.serving.server import FleetReport
+from repro.serving.session import ServingSession, next_session_id
+from repro.serving.telemetry import FleetTelemetry, FleetTickRecord, session_stats
+from repro.signals.synthetic import ParticipantProfile
+from repro.utils.timing import SYSTEM_CLOCK, Clock
+
+#: Outcomes of :meth:`AsyncFleetScheduler.submit`.
+SUBMIT_QUEUED = "queued"
+SUBMIT_FLUSHED = "flushed"
+SUBMIT_STALLED = "stalled"
+SUBMIT_SHED = "shed"
+
+#: Tolerance when deciding whether a flush started past a window's deadline,
+#: so flushing *exactly* at the deadline never counts as a violation.
+_DEADLINE_EPS = 1e-9
+
+#: EWMA weight for the per-cohort flush-service-time estimate.
+_SERVICE_EWMA_ALPHA = 0.25
+#: Safety margin on the service estimate when computing serial wake times;
+#: overestimating flushes a touch early (safe), underestimating violates.
+_SERVICE_SAFETY = 1.5
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Policy knobs for :class:`AsyncFleetScheduler`.
+
+    Parameters
+    ----------
+    deadline_s:
+        Maximum time any queued window may wait before its cohort's flush
+        *starts*.  The scheduler reports the next due time via
+        :meth:`AsyncFleetScheduler.next_flush_due_s`; a driver that pumps by
+        then observes zero deadline violations.
+    max_batch_size:
+        Flush a cohort immediately once this many windows are queued, and
+        also the chunk cap handed to each cohort's :class:`MicroBatcher`.
+    latency_budget_s:
+        Admission-control budget on the observed p95 flush latency.  ``None``
+        disables admission control entirely (every window is admitted).
+    admission_window:
+        Number of recent flush latencies in the sliding p95 estimate.
+    recovery_fraction:
+        Hysteresis: once shedding, admission resumes only when the observed
+        p95 falls to ``recovery_fraction * latency_budget_s`` or below.
+    shed_ratio:
+        Fraction of incoming windows refused while shedding, spread evenly
+        across submissions.  Must stay below 1.0 so flushes (and therefore
+        fresh latency samples) keep happening and the controller can observe
+        recovery.
+    """
+
+    deadline_s: float = 0.015
+    max_batch_size: int = 32
+    latency_budget_s: Optional[float] = None
+    admission_window: int = 32
+    recovery_fraction: float = 0.5
+    shed_ratio: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if self.latency_budget_s is not None and self.latency_budget_s <= 0:
+            raise ValueError("latency_budget_s must be positive (or None)")
+        if self.admission_window < 1:
+            raise ValueError("admission_window must be at least 1")
+        if not 0.0 < self.recovery_fraction <= 1.0:
+            raise ValueError("recovery_fraction must be in (0, 1]")
+        if not 0.0 < self.shed_ratio < 1.0:
+            raise ValueError(
+                "shed_ratio must be in (0, 1): shedding everything would "
+                "starve the latency estimate and never recover"
+            )
+
+
+class AdmissionController:
+    """Sheds load when the observed p95 flush latency blows the budget.
+
+    The controller is a two-state machine with hysteresis.  In the admitting
+    state every window passes.  When the sliding-window p95 of flush
+    latencies exceeds ``budget_s`` it flips to shedding and refuses
+    ``shed_ratio`` of submissions (deterministically, via an accumulator, so
+    the shed load is spread evenly rather than bursty).  It flips back once
+    the p95 recovers to ``recovery_fraction * budget_s``.  Shedding degrades
+    sessions — their window for that period is skipped and counted — but
+    never blocks the submitter or raises.
+    """
+
+    def __init__(
+        self,
+        budget_s: Optional[float],
+        window: int = 32,
+        recovery_fraction: float = 0.5,
+        shed_ratio: float = 0.5,
+    ) -> None:
+        self.budget_s = budget_s
+        self.recovery_fraction = recovery_fraction
+        self.shed_ratio = shed_ratio
+        self._latencies: Deque[float] = deque(maxlen=window)
+        self.shedding = False
+        self.shed_count = 0
+        self.activations = 0
+        self._accumulator = 0.0
+
+    @property
+    def enabled(self) -> bool:
+        return self.budget_s is not None
+
+    def observed_p95(self) -> float:
+        """Sliding-window p95 of recorded flush latencies (0.0 when empty)."""
+        if not self._latencies:
+            return 0.0
+        return float(np.percentile(list(self._latencies), 95))
+
+    def observe(self, latency_s: float) -> None:
+        """Record one flush latency and update the shedding state."""
+        self._latencies.append(float(latency_s))
+        if not self.enabled:
+            return
+        p95 = self.observed_p95()
+        if not self.shedding and p95 > self.budget_s:
+            self.shedding = True
+            self.activations += 1
+            self._accumulator = 0.0
+        elif self.shedding and p95 <= self.recovery_fraction * self.budget_s:
+            self.shedding = False
+
+    def admit(self) -> bool:
+        """Decide one submission; ``False`` means shed (and is counted)."""
+        if not self.shedding:
+            return True
+        self._accumulator += self.shed_ratio
+        if self._accumulator >= 1.0 - _DEADLINE_EPS:
+            self._accumulator -= 1.0
+            self.shed_count += 1
+            return False
+        return True
+
+
+class ModelRouter:
+    """Routes sessions to per-cohort classifiers behind one scheduler.
+
+    Windows destined for different models cannot share a ``predict_proba``
+    call, so the scheduler keeps one batcher and queue per cohort; the
+    router owns the cohort → classifier mapping.  Construct it from a dict
+    (insertion order fixes the cohort flush order) or from a bare classifier
+    for the homogeneous single-cohort case.
+    """
+
+    DEFAULT_COHORT = "default"
+
+    def __init__(
+        self,
+        classifiers: Union[EEGClassifier, Mapping[str, EEGClassifier]],
+        default_cohort: Optional[str] = None,
+    ) -> None:
+        if isinstance(classifiers, Mapping):
+            if not classifiers:
+                raise ValueError("ModelRouter needs at least one classifier")
+            self._classifiers = dict(classifiers)
+        else:
+            self._classifiers = {self.DEFAULT_COHORT: classifiers}
+        if default_cohort is None:
+            default_cohort = next(iter(self._classifiers))
+        if default_cohort not in self._classifiers:
+            raise KeyError(f"default cohort {default_cohort!r} has no classifier")
+        self.default_cohort = default_cohort
+
+    @property
+    def cohorts(self) -> Tuple[str, ...]:
+        return tuple(self._classifiers)
+
+    def classifier_for(self, cohort: str) -> EEGClassifier:
+        try:
+            return self._classifiers[cohort]
+        except KeyError:
+            raise KeyError(
+                f"unknown cohort {cohort!r}; routable cohorts: {list(self._classifiers)}"
+            ) from None
+
+    def resolve(self, cohort: Optional[str]) -> str:
+        """Normalise an optional cohort name, validating it exists."""
+        if cohort is None:
+            return self.default_cohort
+        self.classifier_for(cohort)
+        return cohort
+
+
+@dataclass
+class QueuedWindow:
+    """One window waiting in a cohort queue for the next flush."""
+
+    session_id: str
+    window: np.ndarray
+    arrival_s: float
+    due_s: float  # absolute clock time by which the flush must start
+
+
+@dataclass
+class FlushEvent:
+    """Outcome of one cohort flush (async or lock-step)."""
+
+    cohort: str
+    #: "deadline", "full", "drain" or "tick" (lock-step).
+    reason: str
+    flushed_at_s: float
+    #: Each served session's resulting tick, keyed by session id.
+    ticks: Dict[str, Any] = field(default_factory=dict)
+    batch_size: int = 0
+    latency_s: float = 0.0
+    max_queue_wait_s: float = 0.0
+    deadline_violations: int = 0
+
+
+class AsyncFleetScheduler:
+    """Deadline-aware micro-batch scheduler over heterogeneous cohorts.
+
+    Sessions attach with a cohort (defaulting to the router's default) and
+    submit through :meth:`submit`, which runs the session's
+    ``prepare_window`` phase and queues the window with its arrival time.  A
+    cohort flushes when its batch fills (inline, inside ``submit``) or when
+    the driver pumps it at/after the oldest window's deadline
+    (:meth:`pump`, scheduled via :meth:`next_flush_due_s`).  Flushes route
+    each probability row back through the owning session's ``apply_result``
+    and record one :class:`FleetTickRecord` each.
+
+    In lock-step mode (:meth:`tick`) the scheduler reproduces
+    :meth:`FleetServer.tick <repro.serving.server.FleetServer.tick>`
+    bit-for-bit for a single-cohort fleet: same submission order, same
+    batching and chunking, same telemetry record.
+
+    Sessions are duck-typed: anything with ``session_id``,
+    ``prepare_window()`` and ``apply_result(probabilities, latency_s)``
+    serves (``start``/``stop``/``config``/``backlog_depth`` are honoured
+    when present), so deterministic test harnesses can stand in for full
+    :class:`~repro.serving.session.ServingSession` objects.
+    """
+
+    def __init__(
+        self,
+        router: Union[ModelRouter, EEGClassifier, Mapping[str, EEGClassifier]],
+        config: Optional[CognitiveArmConfig] = None,
+        scheduler_config: Optional[SchedulerConfig] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self.router = router if isinstance(router, ModelRouter) else ModelRouter(router)
+        self.config = config or CognitiveArmConfig()
+        self.scheduler_config = scheduler_config or SchedulerConfig()
+        self.clock = clock or SYSTEM_CLOCK
+        self.telemetry = FleetTelemetry()
+        sched = self.scheduler_config
+        self.admission = AdmissionController(
+            sched.latency_budget_s,
+            window=sched.admission_window,
+            recovery_fraction=sched.recovery_fraction,
+            shed_ratio=sched.shed_ratio,
+        )
+        self._batchers: Dict[str, MicroBatcher] = {
+            cohort: MicroBatcher(
+                self.router.classifier_for(cohort),
+                max_batch_size=sched.max_batch_size,
+                clock=self.clock,
+            )
+            for cohort in self.router.cohorts
+        }
+        self._queues: Dict[str, List[QueuedWindow]] = {
+            cohort: [] for cohort in self.router.cohorts
+        }
+        self._service_ewma_s: Dict[str, float] = {
+            cohort: 0.0 for cohort in self.router.cohorts
+        }
+        self._sessions: Dict[str, Any] = {}
+        self._session_cohort: Dict[str, str] = {}
+        self._departed: List[Any] = []
+        self.shed_by_session: Dict[str, int] = {}
+        self.superseded_by_session: Dict[str, int] = {}
+        self._record_index = 0
+        self._stalled_since_flush = 0
+        self._shed_since_flush = 0
+        #: Most recent flush (any trigger) — the only handle on a flush that
+        #: happened inline inside :meth:`submit` when the batch filled.
+        self.last_flush_event: Optional[FlushEvent] = None
+
+    # ------------------------------------------------------------------ #
+    # fleet membership
+    # ------------------------------------------------------------------ #
+    @property
+    def n_sessions(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def sessions(self) -> List[Any]:
+        return list(self._sessions.values())
+
+    def get_session(self, session_id: str) -> Any:
+        return self._sessions[session_id]
+
+    def cohort_of(self, session_id: str) -> str:
+        return self._session_cohort[session_id]
+
+    def add_session(
+        self,
+        session: Optional[Any] = None,
+        *,
+        cohort: Optional[str] = None,
+        session_id: Optional[str] = None,
+        profile: Optional[ParticipantProfile] = None,
+        **session_kwargs,
+    ) -> Any:
+        """Attach a session to a cohort (building a ServingSession if needed)."""
+        cohort = self.router.resolve(cohort)
+        if session is None:
+            if session_id is None:
+                taken = set(self._sessions)
+                taken.update(s.session_id for s in self._departed)
+                session_id = next_session_id(taken)
+            session = ServingSession(
+                session_id,
+                profile=profile,
+                config=self.config,
+                clock=self.clock,
+                **session_kwargs,
+            )
+        if session.session_id in self._sessions:
+            raise ValueError(f"session {session.session_id!r} already attached")
+        session_config = getattr(session, "config", None)
+        if session_config is not None and (
+            session_config.n_channels != self.config.n_channels
+            or session_config.window_size != self.config.window_size
+        ):
+            raise ValueError(
+                "session window/channel shape does not match the fleet; "
+                "windows from one cohort must stack into one batch"
+            )
+        start = getattr(session, "start", None)
+        if start is not None:
+            start()
+        self._sessions[session.session_id] = session
+        self._session_cohort[session.session_id] = cohort
+        self.shed_by_session.setdefault(session.session_id, 0)
+        self.superseded_by_session.setdefault(session.session_id, 0)
+        return session
+
+    def remove_session(self, session_id: str) -> Any:
+        """Detach a session; queued windows for it are flushed normally later."""
+        session = self._sessions.pop(session_id)
+        self._session_cohort.pop(session_id)
+        stop = getattr(session, "stop", None)
+        if stop is not None:
+            stop()
+        self._departed.append(session)
+        return session
+
+    # ------------------------------------------------------------------ #
+    # asynchronous submission path
+    # ------------------------------------------------------------------ #
+    def submit(self, session_id: str) -> str:
+        """Run one session's prepare phase and queue (or shed) its window.
+
+        Returns one of ``"queued"``, ``"flushed"`` (the submission filled the
+        cohort batch and triggered an inline flush, retrievable as
+        :attr:`last_flush_event`), ``"stalled"`` (the session produced no
+        window) or ``"shed"`` (refused by admission control; the window is
+        skipped with telemetry, the session keeps running).
+
+        Every window shares the configured ``deadline_s``; a uniform
+        deadline is what keeps each cohort queue due-ordered (it is FIFO by
+        arrival), which :meth:`next_flush_due_s` relies on.
+
+        If the session already has a window queued (it outran the flush
+        cadence), the fresh window supersedes the stale one — real-time
+        semantics: stale windows are dropped, not replayed — and the drop is
+        counted in :attr:`superseded_by_session`.
+        """
+        session = self._sessions[session_id]
+        window = session.prepare_window()
+        if window is None:
+            self._stalled_since_flush += 1
+            return SUBMIT_STALLED
+        if not self.admission.admit():
+            self.shed_by_session[session_id] += 1
+            self._shed_since_flush += 1
+            return SUBMIT_SHED
+        cohort = self._session_cohort[session_id]
+        queue = self._queues[cohort]
+        for index, item in enumerate(queue):
+            if item.session_id == session_id:
+                del queue[index]  # re-append below so the queue stays FIFO
+                self.superseded_by_session[session_id] += 1
+                break
+        now = self.clock.now()
+        queue.append(
+            QueuedWindow(
+                session_id,
+                window,
+                arrival_s=now,
+                due_s=now + self.scheduler_config.deadline_s,
+            )
+        )
+        if len(queue) >= self.scheduler_config.max_batch_size:
+            self._flush(cohort, reason="full")
+            return SUBMIT_FLUSHED
+        return SUBMIT_QUEUED
+
+    def _serial_schedule(self) -> Tuple[Optional[float], List[str]]:
+        """Wake time and flush order meeting all deadlines under serial service.
+
+        Cohorts flush one after another on a single executor, so a cohort's
+        flush must start early enough that the cohorts due *before* it can be
+        served first: with dues ``d1 <= d2 <= ...`` and (safety-inflated)
+        service estimates ``s1, s2, ...``, the executor must wake at
+        ``min(d1, d2 - s1, d3 - s1 - s2, ...)``.  With one cohort this
+        degenerates to the oldest window's plain due time.
+        """
+        pending = sorted(
+            (queue[0].due_s, cohort)
+            for cohort, queue in self._queues.items()
+            if queue
+        )
+        if not pending:
+            return None, []
+        wake = float("inf")
+        ahead = 0.0
+        for due, cohort in pending:
+            wake = min(wake, due - ahead)
+            ahead += _SERVICE_SAFETY * self._service_ewma_s[cohort]
+        return wake, [cohort for _, cohort in pending]
+
+    def next_flush_due_s(self) -> Optional[float]:
+        """Absolute clock time by which :meth:`pump` must next be called.
+
+        A driver that pumps no later than this guarantees no queued window
+        waits past its deadline: the time is the earliest pending due time,
+        pulled forward by the estimated service time of any other cohorts
+        that must flush first on the serial executor.
+        """
+        wake, _ = self._serial_schedule()
+        return wake
+
+    def pump(self, horizon_s: float = 0.0) -> List[FlushEvent]:
+        """Flush cohorts whose serial wake time has arrived, in due order.
+
+        A cohort can flush slightly *before* its own deadline when an
+        earlier-due cohort's estimated service time would otherwise push it
+        past; flushing early is always deadline-safe, just a smaller batch.
+
+        ``horizon_s`` extends that lookahead for drivers that are about to
+        be busy: ``pump(horizon_s=0.005)`` also flushes anything that would
+        come due within the next 5 ms, so a single-threaded driver can
+        flush *before* starting work it cannot interrupt (e.g. an expensive
+        ``prepare_window``) instead of returning to an already-missed
+        deadline.
+        """
+        if horizon_s < 0:
+            raise ValueError("horizon_s must be non-negative")
+        events = []
+        while True:
+            wake, order = self._serial_schedule()
+            if wake is None or self.clock.now() + horizon_s < wake - _DEADLINE_EPS:
+                return events
+            events.append(self._flush(order[0], reason="deadline"))
+
+    def drain(self) -> List[FlushEvent]:
+        """Flush everything still queued, regardless of deadlines."""
+        events = [
+            self._flush(cohort, reason="drain")
+            for cohort, queue in self._queues.items()
+            if queue
+        ]
+        if self._shed_since_flush or self._stalled_since_flush:
+            # Sheds/stalls after the last flush would otherwise never reach
+            # telemetry; emit an empty record to carry the counters (empty
+            # records are excluded from latency percentiles).
+            self._record(
+                batch_size=0, latency_s=0.0, violations=0, max_wait=0.0, reason="drain"
+            )
+        return events
+
+    def _flush(self, cohort: str, reason: str) -> FlushEvent:
+        queue, self._queues[cohort] = self._queues[cohort], []
+        batcher = self._batchers[cohort]
+        started_at = self.clock.now()
+        waits = [started_at - item.arrival_s for item in queue]
+        violations = sum(
+            1 for item in queue if started_at > item.due_s + _DEADLINE_EPS
+        )
+        for item in queue:
+            batcher.submit(item.session_id, item.window)
+        result = batcher.flush()
+        previous = self._service_ewma_s[cohort]
+        self._service_ewma_s[cohort] = (
+            result.latency_s
+            if previous == 0.0
+            else _SERVICE_EWMA_ALPHA * result.latency_s
+            + (1.0 - _SERVICE_EWMA_ALPHA) * previous
+        )
+        per_window = result.per_window_latency_s()
+        ticks: Dict[str, Any] = {}
+        for session_id, probabilities in result.results.items():
+            session = self._sessions.get(session_id)
+            if session is None:  # departed while queued: drop its row
+                continue
+            ticks[session_id] = session.apply_result(probabilities, per_window)
+        self._record(
+            batch_size=len(result),
+            latency_s=result.latency_s,
+            violations=violations,
+            max_wait=max(waits, default=0.0),
+            reason=reason,
+        )
+        event = FlushEvent(
+            cohort=cohort,
+            reason=reason,
+            flushed_at_s=started_at,
+            ticks=ticks,
+            batch_size=len(result),
+            latency_s=result.latency_s,
+            max_queue_wait_s=max(waits, default=0.0),
+            deadline_violations=violations,
+        )
+        self.last_flush_event = event
+        return event
+
+    def _record(
+        self,
+        batch_size: int,
+        latency_s: float,
+        violations: int,
+        max_wait: float,
+        reason: str,
+    ) -> None:
+        self.telemetry.record(
+            FleetTickRecord(
+                tick_index=self._record_index,
+                n_sessions=len(self._sessions),
+                batch_size=batch_size,
+                stalled_sessions=self._stalled_since_flush,
+                batch_latency_s=latency_s,
+                backlog_depth=sum(
+                    getattr(s, "backlog_depth", 0) for s in self._sessions.values()
+                ),
+                shed_sessions=self._shed_since_flush,
+                deadline_violations=violations,
+                max_queue_wait_s=max_wait,
+                flush_reason=reason,
+            )
+        )
+        self._record_index += 1
+        self._stalled_since_flush = 0
+        self._shed_since_flush = 0
+        if batch_size > 0:
+            self.admission.observe(latency_s)
+
+    # ------------------------------------------------------------------ #
+    # lock-step compatibility mode
+    # ------------------------------------------------------------------ #
+    def tick(self) -> Dict[str, Any]:
+        """Run one lock-step fleet tick, exactly like ``FleetServer.tick``.
+
+        Every attached session is prepared in insertion order and every
+        cohort is flushed immediately — no queueing, no deadlines, and
+        admission control still applies.  With admission disabled (the
+        default) and the fleet fitting in one ``max_batch_size`` chunk (so
+        both sides issue identical ``predict_proba`` calls), a single-cohort
+        scheduler is bit-for-bit identical to
+        :class:`~repro.serving.server.FleetServer`, including the telemetry
+        record.
+
+        The lock-step and asynchronous entry points must not interleave on
+        one instance: windows queued via :meth:`submit` would be applied out
+        of order behind the fresher windows ``tick`` prepares, so ``tick``
+        refuses to run until the queues are drained.
+        """
+        if any(self._queues.values()):
+            raise RuntimeError(
+                "lock-step tick() cannot run with windows queued via "
+                "submit(); call drain() (or pump()) first"
+            )
+        sessions = list(self._sessions.values())
+        # Fold in stalls/sheds from submit() calls that never led to a flush
+        # (their windows were stalled or shed, so nothing was ever queued).
+        stalled = self._stalled_since_flush
+        shed = self._shed_since_flush
+        self._stalled_since_flush = 0
+        self._shed_since_flush = 0
+        for session in sessions:
+            window = session.prepare_window()
+            if window is None:
+                stalled += 1
+                continue
+            if not self.admission.admit():
+                self.shed_by_session[session.session_id] += 1
+                shed += 1
+                continue
+            self._batchers[self._session_cohort[session.session_id]].submit(
+                session.session_id, window
+            )
+        ticks: Dict[str, Any] = {}
+        batch_size = 0
+        latency_s = 0.0
+        for cohort in self.router.cohorts:
+            result = self._batchers[cohort].flush()
+            per_window = result.per_window_latency_s()
+            for session_id, probabilities in result.results.items():
+                ticks[session_id] = self._sessions[session_id].apply_result(
+                    probabilities, per_window
+                )
+            batch_size += len(result)
+            latency_s += result.latency_s
+            if len(result):
+                # Per-flush samples, matching the async path: cohorts are
+                # independent service events, not one combined latency.
+                self.admission.observe(result.latency_s)
+        self.telemetry.record(
+            FleetTickRecord(
+                tick_index=self._record_index,
+                n_sessions=len(sessions),
+                batch_size=batch_size,
+                stalled_sessions=stalled,
+                batch_latency_s=latency_s,
+                backlog_depth=sum(
+                    getattr(s, "backlog_depth", 0) for s in sessions
+                ),
+                shed_sessions=shed,
+                flush_reason="tick",
+            )
+        )
+        self._record_index += 1
+        return ticks
+
+    # ------------------------------------------------------------------ #
+    # reporting / lifecycle
+    # ------------------------------------------------------------------ #
+    def shutdown(self) -> None:
+        """Drain pending windows, then stop every attached session."""
+        self.drain()
+        for session_id in list(self._sessions):
+            self.remove_session(session_id)
+
+    def report(self) -> FleetReport:
+        """Fleet summary over attached and departed sessions."""
+        everyone = list(self._sessions.values()) + self._departed
+        return FleetReport(
+            ticks=self._record_index,
+            fleet=self.telemetry.summary(),
+            sessions=session_stats(everyone),
+        )

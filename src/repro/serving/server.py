@@ -28,7 +28,7 @@ from repro.core.config import CognitiveArmConfig
 from repro.core.realtime import InferenceTick
 from repro.models.base import EEGClassifier
 from repro.serving.batcher import MicroBatcher
-from repro.serving.session import ServingSession
+from repro.serving.session import ServingSession, next_session_id
 from repro.serving.telemetry import (
     FleetTelemetry,
     FleetTickRecord,
@@ -36,6 +36,7 @@ from repro.serving.telemetry import (
     session_stats,
 )
 from repro.signals.synthetic import ParticipantProfile
+from repro.utils.timing import SYSTEM_CLOCK, Clock
 
 
 @dataclass
@@ -61,10 +62,12 @@ class FleetServer:
         classifier: EEGClassifier,
         config: Optional[CognitiveArmConfig] = None,
         max_batch_size: Optional[int] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         self.classifier = classifier
         self.config = config or CognitiveArmConfig()
-        self.batcher = MicroBatcher(classifier, max_batch_size)
+        self.clock = clock or SYSTEM_CLOCK
+        self.batcher = MicroBatcher(classifier, max_batch_size, clock=self.clock)
         self.telemetry = FleetTelemetry()
         self._sessions: Dict[str, ServingSession] = {}
         self._departed: List[ServingSession] = []
@@ -101,14 +104,12 @@ class FleetServer:
             if session_id is None:
                 taken = set(self._sessions)
                 taken.update(s.session_id for s in self._departed)
-                index = len(taken)
-                while f"session-{index}" in taken:
-                    index += 1
-                session_id = f"session-{index}"
+                session_id = next_session_id(taken)
             session = ServingSession(
                 session_id,
                 profile=profile,
                 config=self.config,
+                clock=self.clock,
                 **session_kwargs,
             )
         if session.session_id in self._sessions:

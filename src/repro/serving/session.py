@@ -34,6 +34,22 @@ from repro.core.multiplexer import ModeMultiplexer
 from repro.core.realtime import InferenceTick, RealTimeInferenceLoop
 from repro.signals.montage import Montage
 from repro.signals.synthetic import ACTION_IDLE, ACTIONS, ParticipantProfile
+from repro.utils.timing import Clock
+
+
+def next_session_id(taken: Iterable[str]) -> str:
+    """Smallest free auto-generated ``session-N`` id.
+
+    Shared by :class:`~repro.serving.server.FleetServer` and
+    :class:`~repro.serving.scheduler.AsyncFleetScheduler` so the two serving
+    front-ends can never drift on id allocation.  ``taken`` should include
+    departed sessions' ids — they stay reserved for the life of the fleet.
+    """
+    taken = set(taken)
+    index = len(taken)
+    while f"session-{index}" in taken:
+        index += 1
+    return f"session-{index}"
 
 
 class ServingSession:
@@ -66,6 +82,7 @@ class ServingSession:
         grammar: Optional[CommandGrammar] = None,
         class_names: Tuple[str, ...] = ("left", "right", "idle"),
         stall_ticks: Optional[Iterable[int]] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         self.session_id = str(session_id)
         self.config = config or CognitiveArmConfig()
@@ -78,7 +95,9 @@ class ServingSession:
             ),
             montage=Montage(),
         )
-        self.loop = RealTimeInferenceLoop(self.board, None, self.config, class_names)
+        self.loop = RealTimeInferenceLoop(
+            self.board, None, self.config, class_names, clock=clock
+        )
         self.controller = controller or ArmController()
         self.multiplexer = ModeMultiplexer(
             grammar or CommandGrammar(), initial_mode=self.controller.mode

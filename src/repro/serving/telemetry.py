@@ -31,6 +31,17 @@ class FleetTickRecord:
     batch_latency_s: float
     #: Total label periods of work queued behind stalled sessions.
     backlog_depth: int
+    #: Windows refused by admission control since the previous record
+    #: (scheduler only; lock-step fleets never shed).
+    shed_sessions: int = 0
+    #: Queued windows whose flush started after their deadline had passed.
+    deadline_violations: int = 0
+    #: Longest time any window in this flush spent queued before the flush
+    #: started (0.0 for lock-step ticks, which never queue).
+    max_queue_wait_s: float = 0.0
+    #: What triggered this record: "tick" (lock-step), "deadline", "full" or
+    #: "drain".
+    flush_reason: str = "tick"
 
 
 @dataclass
@@ -71,12 +82,35 @@ class FleetTelemetry:
         return self.total_labels / self.total_batch_time_s
 
     def latency_percentiles(self) -> Dict[str, float]:
-        """p50/p95/p99 of the per-tick batch classification latency."""
-        if not self.records:
+        """p50/p95/p99 of the per-tick batch classification latency.
+
+        Only ticks that actually classified something contribute: an empty
+        flush (every session stalled) spends no time in ``predict_proba``,
+        and counting its ``0.0`` would drag the percentiles toward zero
+        exactly when the fleet is struggling.  Empty records still count for
+        stall and backlog accounting.
+        """
+        latencies = [r.batch_latency_s for r in self.records if r.batch_size > 0]
+        if not latencies:
             return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
-        latencies = [r.batch_latency_s for r in self.records]
         p50, p95, p99 = np.percentile(latencies, [50, 95, 99])
         return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+
+    @property
+    def total_shed(self) -> int:
+        """Windows refused by admission control across the whole run."""
+        return int(sum(r.shed_sessions for r in self.records))
+
+    @property
+    def total_deadline_violations(self) -> int:
+        """Queued windows whose flush started after their deadline."""
+        return int(sum(r.deadline_violations for r in self.records))
+
+    def max_queue_wait_s(self) -> float:
+        """Longest observed queue wait before a flush started."""
+        if not self.records:
+            return 0.0
+        return max(r.max_queue_wait_s for r in self.records)
 
     def max_backlog_depth(self) -> int:
         """Deepest backlog observed behind stalled sessions."""
@@ -85,11 +119,22 @@ class FleetTelemetry:
         return max(r.backlog_depth for r in self.records)
 
     def stall_rate(self) -> float:
-        """Fraction of session-ticks lost to stalls."""
-        scheduled = sum(r.n_sessions for r in self.records)
-        if scheduled == 0:
+        """Fraction of submission opportunities lost to stalls.
+
+        The denominator counts each submission exactly once across the run:
+        classified windows (``batch_size``), stalls and sheds.  For lock-step
+        fleets this equals the old per-tick ``n_sessions`` sum; for the
+        async scheduler — where one flush record accumulates stalls from
+        many ``submit()`` rounds — it keeps the rate a true fraction (the
+        per-record ``n_sessions`` snapshot would undercount and let the
+        rate exceed 1.0).
+        """
+        opportunities = sum(
+            r.batch_size + r.stalled_sessions + r.shed_sessions for r in self.records
+        )
+        if opportunities == 0:
             return 0.0
-        return sum(r.stalled_sessions for r in self.records) / scheduled
+        return sum(r.stalled_sessions for r in self.records) / opportunities
 
     def summary(self) -> Dict[str, float]:
         percentiles = self.latency_percentiles()
@@ -102,6 +147,9 @@ class FleetTelemetry:
             "batch_latency_p99_s": percentiles["p99"],
             "max_backlog_depth": float(self.max_backlog_depth()),
             "stall_rate": self.stall_rate(),
+            "shed_windows": float(self.total_shed),
+            "deadline_violations": float(self.total_deadline_violations),
+            "max_queue_wait_s": self.max_queue_wait_s(),
         }
 
 

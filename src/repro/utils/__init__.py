@@ -1,5 +1,17 @@
 """Small cross-cutting helpers shared by models, deployment and serving."""
 
-from repro.utils.timing import median_call_time_s, time_calls
+from repro.utils.timing import (
+    SYSTEM_CLOCK,
+    Clock,
+    MonotonicClock,
+    median_call_time_s,
+    time_calls,
+)
 
-__all__ = ["median_call_time_s", "time_calls"]
+__all__ = [
+    "SYSTEM_CLOCK",
+    "Clock",
+    "MonotonicClock",
+    "median_call_time_s",
+    "time_calls",
+]

@@ -1,34 +1,76 @@
-"""Wall-clock timing helpers.
+"""Wall-clock timing helpers and the injectable clock abstraction.
 
 One definition of the repeated-call timing loop, shared by
 :meth:`repro.models.base.EEGClassifier.inference_latency_s`,
 :func:`repro.deployment.profiler.profile_classifier` and the serving
 telemetry's latency calibration, so all three report latencies measured the
 same way.
+
+Everything in the serving stack that reads or waits on time does so through
+a :class:`Clock` rather than the :mod:`time` module directly.  Production
+code uses :data:`SYSTEM_CLOCK` (monotonic wall clock); tests inject a
+deterministic fake (see ``tests/helpers.FakeClock``) so latency assertions
+are exact and thousands of virtual seconds of traffic run in milliseconds.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, List
+from typing import Callable, List, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
 
-def time_calls(fn: Callable[[], object], repeats: int = 3) -> List[float]:
+@runtime_checkable
+class Clock(Protocol):
+    """Minimal time source: a monotonic ``now`` and a blocking ``sleep``.
+
+    ``now()`` has no defined epoch — only differences are meaningful, like
+    ``time.perf_counter``.  ``sleep`` blocks (or, for a fake, advances
+    virtual time) for ``duration_s`` seconds.
+    """
+
+    def now(self) -> float: ...
+
+    def sleep(self, duration_s: float) -> None: ...
+
+
+class MonotonicClock:
+    """The real wall clock: ``time.perf_counter`` + ``time.sleep``."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def sleep(self, duration_s: float) -> None:
+        if duration_s > 0:
+            time.sleep(duration_s)
+
+
+#: Default clock used whenever a caller does not inject one.
+SYSTEM_CLOCK = MonotonicClock()
+
+
+def time_calls(
+    fn: Callable[[], object], repeats: int = 3, clock: Optional[Clock] = None
+) -> List[float]:
     """Wall-clock duration of ``repeats`` consecutive calls to ``fn``.
 
     Always performs at least one call.  Returns the raw per-call timings so
     callers can aggregate however they need (median, percentiles, ...).
+    Timing goes through ``clock`` (default: the system clock) so tests can
+    make the measured durations exact.
     """
+    clock = clock or SYSTEM_CLOCK
     timings: List[float] = []
     for _ in range(max(1, repeats)):
-        start = time.perf_counter()
+        start = clock.now()
         fn()
-        timings.append(time.perf_counter() - start)
+        timings.append(clock.now() - start)
     return timings
 
 
-def median_call_time_s(fn: Callable[[], object], repeats: int = 3) -> float:
+def median_call_time_s(
+    fn: Callable[[], object], repeats: int = 3, clock: Optional[Clock] = None
+) -> float:
     """Median wall-clock duration of one call to ``fn`` over ``repeats`` runs."""
-    return float(np.median(time_calls(fn, repeats)))
+    return float(np.median(time_calls(fn, repeats, clock=clock)))

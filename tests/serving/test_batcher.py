@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.serving.batcher import BatchResult, MicroBatcher
+from tests.helpers import ClockedStubClassifier, FakeClock
 
 
 def _window(seed, channels=4, samples=10):
@@ -106,6 +107,28 @@ class TestFlush:
         result = batcher.flush()
         assert result.latency_s > 0
         assert result.per_window_latency_s() == pytest.approx(result.latency_s / 4)
+
+    def test_latency_measured_through_the_injected_clock(self):
+        # Satellite fix: flush no longer reads time.perf_counter() inline, so
+        # a virtual clock makes the measured latency *exact*, not approximate.
+        clock = FakeClock()
+        classifier = ClockedStubClassifier(clock, base_latency_s=0.004, per_row_s=0.001)
+        batcher = MicroBatcher(classifier, clock=clock)
+        for i in range(3):
+            batcher.submit(f"s{i}", _window(i))
+        result = batcher.flush()
+        assert result.latency_s == pytest.approx(0.004 + 0.001 * 3)
+        assert result.per_window_latency_s() == pytest.approx((0.004 + 0.003) / 3)
+
+    def test_chunked_flush_accumulates_clocked_latency(self):
+        clock = FakeClock()
+        classifier = ClockedStubClassifier(clock, base_latency_s=0.002)
+        batcher = MicroBatcher(classifier, max_batch_size=2, clock=clock)
+        for i in range(5):
+            batcher.submit(f"s{i}", _window(i))
+        result = batcher.flush()
+        assert result.batch_sizes == [2, 2, 1]
+        assert result.latency_s == pytest.approx(3 * 0.002)  # one base per chunk
 
     def test_batcher_is_reusable_across_flushes(self, stub_classifier):
         batcher = MicroBatcher(stub_classifier)

@@ -10,6 +10,7 @@ from repro.serving.server import FleetServer
 from repro.serving.session import ServingSession
 from repro.signals.montage import Montage
 from repro.signals.synthetic import ACTION_LEFT, ACTION_RIGHT, ParticipantProfile
+from tests.helpers import ClockedStubClassifier, FakeClock
 
 
 def _profile(seed):
@@ -141,6 +142,33 @@ class TestFleetServer:
         assert flaky.backlog_depth == 0
         assert server.telemetry.max_backlog_depth() == 2
         assert server.telemetry.stall_rate() == pytest.approx(2 / 10)
+
+    def test_injected_clock_makes_tick_latencies_exact(self, serving_config):
+        clock = FakeClock()
+        classifier = ClockedStubClassifier(clock, base_latency_s=0.006, per_row_s=0.001)
+        server = FleetServer(classifier, serving_config, clock=clock)
+        for seed in range(3):
+            server.add_session(profile=_profile(seed))
+        server.tick()
+        record = server.telemetry.records[0]
+        assert record.batch_latency_s == pytest.approx(0.006 + 0.001 * 3)
+        # Sessions inherit the fleet clock, so prepare-phase latency is
+        # virtual too and the whole tick is deterministic.
+        tick = server.sessions[0].ticks[0]
+        assert tick.processing_latency_s == pytest.approx((0.006 + 0.003) / 3)
+
+    def test_all_stalled_tick_does_not_skew_latency_p50(self, serving_config):
+        clock = FakeClock()
+        classifier = ClockedStubClassifier(clock, base_latency_s=0.010)
+        server = FleetServer(classifier, serving_config, clock=clock)
+        server.add_session(
+            session_id="flaky", profile=_profile(1), stall_ticks={1, 3, 5, 7}
+        )
+        for _ in range(8):
+            server.tick()
+        # Half the ticks classified nothing; they must not drag p50 to ~0.
+        assert server.telemetry.latency_percentiles()["p50"] == pytest.approx(0.010)
+        assert server.telemetry.stall_rate() == pytest.approx(0.5)
 
     def test_empty_fleet_tick_is_safe(self, serving_config, stub_classifier):
         server = FleetServer(stub_classifier, serving_config)

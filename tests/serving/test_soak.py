@@ -1,0 +1,118 @@
+"""Long-horizon virtual-clock soak for the async scheduler.
+
+Runs the :class:`tests.helpers.SimulatedLoad` harness for thousands of
+virtual seconds (10k in CI's ``serving-soak`` job, a shorter horizon in the
+default suite) and asserts the scheduler's global invariants held the whole
+way.  A SIGALRM watchdog turns any scheduler hang into a fast, attributable
+failure instead of wedging the run — virtual time must stay cheap: the soak
+finishing at all is the point.
+
+Set ``REPRO_SOAK=1`` for the full horizon (the CI job does).
+"""
+
+import os
+import signal
+from contextlib import contextmanager
+
+import pytest
+
+from repro.serving.scheduler import (
+    SUBMIT_FLUSHED,
+    SUBMIT_QUEUED,
+    AsyncFleetScheduler,
+    SchedulerConfig,
+)
+from tests.helpers import (
+    ClockedStubClassifier,
+    FakeClock,
+    ScriptedSession,
+    SimulatedLoad,
+)
+
+FULL_SOAK = os.environ.get("REPRO_SOAK") == "1"
+VIRTUAL_SECONDS = 10_000.0 if FULL_SOAK else 1_000.0
+HARD_TIMEOUT_S = 120 if FULL_SOAK else 60
+DEADLINE_S = 0.015
+
+
+@contextmanager
+def hard_timeout(seconds):
+    """Kill the test with a clear error if it wall-clock hangs."""
+    if not hasattr(signal, "SIGALRM"):  # non-POSIX: rely on the CI job timeout
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"serving soak exceeded the {seconds}s hard timeout — the "
+            "scheduler is hanging instead of advancing virtual time"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def test_scheduler_soak_invariants_over_virtual_hours():
+    clock = FakeClock()
+    adults = ClockedStubClassifier(clock, base_latency_s=0.001, per_row_s=0.0002)
+    kids = ClockedStubClassifier(clock, base_latency_s=0.0015, per_row_s=0.0002)
+    scheduler = AsyncFleetScheduler(
+        {"adults": adults, "kids": kids},
+        scheduler_config=SchedulerConfig(
+            deadline_s=DEADLINE_S,
+            max_batch_size=16,
+            latency_budget_s=0.050,  # generous: nominal load must not shed
+        ),
+        clock=clock,
+    )
+    for i in range(8):
+        scheduler.add_session(
+            # A couple of flaky sessions keep the stall path hot all run.
+            ScriptedSession(f"s{i}", stall_every=7 if i < 2 else None, seed=i),
+            cohort="adults" if i % 2 == 0 else "kids",
+        )
+    load = SimulatedLoad(scheduler, clock, period_s=0.25, jitter_s=0.05, seed=1)
+
+    with hard_timeout(HARD_TIMEOUT_S):
+        load.run(VIRTUAL_SECONDS)
+
+    # The fleet really ran for the whole virtual horizon (the final arrival
+    # may land up to one jittered period short of it).
+    assert clock.now() >= VIRTUAL_SECONDS - (0.25 + 0.05)
+    expected_min = int(8 * (VIRTUAL_SECONDS / (0.25 + 0.05)) * 0.95)
+    assert load.submissions >= expected_min
+
+    # Invariant 1: no admitted window ever waited past its deadline.
+    assert scheduler.telemetry.total_deadline_violations == 0
+    assert scheduler.telemetry.max_queue_wait_s() <= DEADLINE_S + 1e-9
+
+    # Invariant 2: conservation — every admitted window produced exactly one
+    # applied result; nothing was shed or silently dropped.  (This equality
+    # presumes no supersession: the 0.25 s period dwarfs the 15 ms deadline,
+    # so no session can outrun the flush cadence — assert that precondition
+    # so a parameter tweak fails here, not in the accounting below.)
+    assert sum(scheduler.superseded_by_session.values()) == 0
+    accepted = load.outcomes[SUBMIT_QUEUED] + load.outcomes[SUBMIT_FLUSHED]
+    applied = sum(len(s.applied) for s in scheduler.sessions)
+    assert scheduler.telemetry.total_shed == 0
+    assert applied == accepted
+    assert scheduler.telemetry.total_labels == accepted
+
+    # Invariant 3: telemetry accounting stays self-consistent at scale.
+    records = scheduler.telemetry.records
+    assert sum(r.batch_size for r in records) == accepted
+    assert all(r.batch_latency_s >= 0 for r in records)
+    stalls = sum(r.stalled_sessions for r in records)
+    assert stalls == sum(s.tick_index - s.labels_emitted() for s in scheduler.sessions)
+
+    # Invariant 4: both cohorts were actually served by their own model.
+    assert adults.batch_sizes and kids.batch_sizes
+    assert sum(adults.batch_sizes) + sum(kids.batch_sizes) == accepted
+
+    percentiles = scheduler.telemetry.latency_percentiles()
+    assert 0 < percentiles["p50"] <= percentiles["p95"] <= percentiles["p99"]

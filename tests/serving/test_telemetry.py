@@ -47,6 +47,51 @@ class TestFleetTelemetry:
         assert summary["ticks"] == 3.0
         assert summary["total_labels"] == 11.0
 
+    def test_empty_flushes_do_not_skew_latency_percentiles(self):
+        """Satellite fix: all-stalled ticks used to drag p50 toward zero."""
+        telemetry = FleetTelemetry()
+        for tick in range(10):
+            telemetry.record(_record(tick, 4, 0.020))
+        for tick in range(10, 30):  # every session stalled: no classification
+            telemetry.record(_record(tick, 0, 0.0, stalled=4, backlog=tick))
+        percentiles = telemetry.latency_percentiles()
+        # Before the fix: p50 of [0.020]*10 + [0.0]*20 == 0.0.
+        assert percentiles["p50"] == pytest.approx(0.020)
+        assert percentiles["p95"] == pytest.approx(0.020)
+        # The empty ticks still count for stall/backlog accounting.
+        assert telemetry.stall_rate() == pytest.approx(80 / 120)
+        assert telemetry.max_backlog_depth() == 29
+
+    def test_only_empty_records_reports_zero_percentiles(self):
+        telemetry = FleetTelemetry()
+        telemetry.record(_record(0, 0, 0.0, stalled=2))
+        assert telemetry.latency_percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_shed_and_deadline_aggregates(self):
+        telemetry = FleetTelemetry()
+        telemetry.record(
+            FleetTickRecord(
+                tick_index=0,
+                n_sessions=4,
+                batch_size=3,
+                stalled_sessions=0,
+                batch_latency_s=0.01,
+                backlog_depth=0,
+                shed_sessions=2,
+                deadline_violations=1,
+                max_queue_wait_s=0.017,
+                flush_reason="deadline",
+            )
+        )
+        telemetry.record(_record(1, 4, 0.01))  # defaults: nothing shed
+        assert telemetry.total_shed == 2
+        assert telemetry.total_deadline_violations == 1
+        assert telemetry.max_queue_wait_s() == pytest.approx(0.017)
+        summary = telemetry.summary()
+        assert summary["shed_windows"] == 2.0
+        assert summary["deadline_violations"] == 1.0
+        assert summary["max_queue_wait_s"] == pytest.approx(0.017)
+
 
 class TestCalibration:
     def test_calibrate_uses_batched_call(self, stub_classifier):

@@ -1,6 +1,15 @@
-"""Tests for the shared wall-clock timing helper."""
+"""Tests for the shared wall-clock timing helper and the Clock protocol."""
 
-from repro.utils.timing import median_call_time_s, time_calls
+import pytest
+
+from repro.utils.timing import (
+    SYSTEM_CLOCK,
+    Clock,
+    MonotonicClock,
+    median_call_time_s,
+    time_calls,
+)
+from tests.helpers import FakeClock
 
 
 class TestTimeCalls:
@@ -16,6 +25,33 @@ class TestTimeCalls:
         timings = time_calls(lambda: calls.append(1), repeats=0)
         assert len(timings) == 1
         assert len(calls) == 1
+
+
+class TestClockProtocol:
+    def test_monotonic_clock_satisfies_the_protocol(self):
+        assert isinstance(MonotonicClock(), Clock)
+        assert isinstance(SYSTEM_CLOCK, Clock)
+        before = SYSTEM_CLOCK.now()
+        SYSTEM_CLOCK.sleep(0)  # zero sleep must not block or raise
+        assert SYSTEM_CLOCK.now() >= before
+
+    def test_fake_clock_satisfies_the_protocol(self):
+        clock = FakeClock(start=5.0)
+        assert isinstance(clock, Clock)
+        assert clock.now() == 5.0
+        clock.sleep(2.5)  # advances virtual time instead of blocking
+        assert clock.now() == 7.5
+        clock.advance_to(10.0)
+        assert clock.now() == 10.0
+        with pytest.raises(ValueError):
+            clock.advance_to(1.0)  # never rewinds
+
+    def test_time_calls_through_an_injected_clock_is_exact(self):
+        clock = FakeClock()
+        timings = time_calls(lambda: clock.advance(0.25), repeats=4, clock=clock)
+        assert timings == [0.25] * 4  # 0.25 is exact in binary floating point
+        median = median_call_time_s(lambda: clock.advance(0.1), clock=clock)
+        assert median == pytest.approx(0.1)
 
 
 class TestMedianCallTime:
