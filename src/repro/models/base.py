@@ -202,6 +202,18 @@ class NeuralEEGClassifier(EEGClassifier):
         """Autograd-path wrapper around :meth:`prepare_array`."""
         return Tensor(self.prepare_array(windows))
 
+    def prepare_spec(self) -> Optional[dict]:
+        """JSON-able description of :meth:`prepare_array` for plan transport.
+
+        Families whose preprocessing is expressible as a
+        :func:`repro.models.preprocess.prepare_windows` spec return it here,
+        which is what lets :meth:`repro.models.compiled.CompiledClassifier
+        .to_payload` ship the whole serving path to a worker process.
+        ``None`` (the default) marks the classifier as not transportable —
+        it still serves in-process via its compiled plan.
+        """
+        return None
+
     # -- training -------------------------------------------------------- #
     def ensure_network(self, n_channels: int, window_size: int) -> Module:
         """Build the network lazily on first use."""

@@ -15,6 +15,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.models.base import NeuralEEGClassifier, TrainingConfig
+from repro.models.preprocess import prepare_windows
 from repro.nn.autograd import Tensor
 from repro.nn.layers import AvgPool2d, Conv2d, Dense, Dropout, Flatten, MaxPool2d, ReLU
 from repro.nn.module import Module, Sequential
@@ -121,20 +122,15 @@ class EEGCNN(NeuralEEGClassifier):
             effective_width = max(1, window_size // self.config.envelope_pool)
         return _CNNNetwork(self.config, n_channels, effective_width, self.n_classes, self.seed)
 
-    def prepare_array(self, windows: np.ndarray) -> np.ndarray:
-        # Treat the EEG window as a single-channel image: (batch, 1, electrodes, time).
-        # Dtype-preserving: the float32 serving path and the float64 training
-        # path share this code.
-        arr = np.asarray(windows)
-        if not np.issubdtype(arr.dtype, np.floating):
-            arr = arr.astype(np.float64)
+    def prepare_spec(self) -> dict:
+        # Treat the EEG window as a single-channel image: (batch, 1, electrodes,
+        # time), optionally collapsed to the RMS band-power envelope first.
         cfg = self.config
-        if cfg.input_representation == "envelope" and cfg.envelope_pool > 1:
-            n_steps = arr.shape[2] // cfg.envelope_pool
-            arr = arr[:, :, : n_steps * cfg.envelope_pool]
-            blocks = arr.reshape(arr.shape[0], arr.shape[1], n_steps, cfg.envelope_pool)
-            arr = np.sqrt((blocks**2).mean(axis=3))
-        return arr[:, None, :, :]
+        pool = cfg.envelope_pool if cfg.input_representation == "envelope" else 1
+        return {"pool": pool, "layout": "image"}
+
+    def prepare_array(self, windows: np.ndarray) -> np.ndarray:
+        return prepare_windows(windows, **self.prepare_spec())
 
     def describe(self) -> dict:
         info = super().describe()

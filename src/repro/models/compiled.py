@@ -16,17 +16,42 @@ through :func:`compile_classifier` with a weight-quantizer hook.
 
 from __future__ import annotations
 
+import io
+import json
 from typing import Dict, Optional
 
 import numpy as np
 
 from repro.models.base import NeuralEEGClassifier, normalize_windows
+from repro.models.preprocess import prepare_windows, validate_prepare_spec
 from repro.nn.inference import (
     InferencePlan,
+    PlanTransportError,
     SoftmaxKernel,
     WeightQuantizer,
     compile_network,
 )
+
+
+class TransportedPreprocessor:
+    """Stand-in for the source classifier on the far side of a payload.
+
+    Carries only what :class:`CompiledClassifier` actually uses on the hot
+    path — the family name and the array-level ``prepare_array`` transform,
+    reconstructed from the JSON prepare spec — so a worker process serves
+    the plan without the Module tree, the autograd machinery or the
+    training-side classifier object.
+    """
+
+    def __init__(self, family: str, spec: Dict[str, object]) -> None:
+        self.family = str(family)
+        self._spec = validate_prepare_spec(spec)
+
+    def prepare_spec(self) -> Dict[str, object]:
+        return dict(self._spec)
+
+    def prepare_array(self, windows: np.ndarray) -> np.ndarray:
+        return prepare_windows(windows, **self._spec)
 
 
 class CompiledClassifier:
@@ -74,6 +99,59 @@ class CompiledClassifier:
 
     def __repr__(self) -> str:
         return f"CompiledClassifier({self.classifier.family}, {self.plan!r})"
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> bytes:
+        """Serialize the whole serving path to one self-contained blob.
+
+        The bytes are an ``.npz`` archive in the same geometry as the weight
+        archives ``NeuralEEGClassifier.save_weights`` writes: a flat dict of
+        arrays plus a ``__meta__`` JSON entry.  It embeds the kernel plan
+        (:meth:`repro.nn.inference.InferencePlan.to_payload`) and the
+        classifier's prepare spec, so :meth:`from_payload` — typically in a
+        worker process — rebuilds an object whose ``predict_proba`` is
+        numerically identical to this one, without autograd or the Module
+        tree.  Raises :class:`~repro.nn.inference.PlanTransportError` when
+        the source classifier's preprocessing has no transportable spec.
+        """
+        spec_hook = getattr(self.classifier, "prepare_spec", None)
+        spec = spec_hook() if spec_hook is not None else None
+        if spec is None:
+            raise PlanTransportError(
+                f"classifier family {self.classifier.family!r} exposes no "
+                "prepare_spec(); its preprocessing cannot be shipped to a "
+                "worker process"
+            )
+        arrays = self.plan.to_payload()
+        meta = json.loads(str(arrays[InferencePlan.META_KEY]))
+        meta["classifier"] = {
+            "family": self.classifier.family,
+            "prepare": validate_prepare_spec(spec),
+        }
+        arrays[InferencePlan.META_KEY] = np.asarray(json.dumps(meta))
+        buffer = io.BytesIO()
+        np.savez(buffer, **arrays)
+        return buffer.getvalue()
+
+    @classmethod
+    def from_payload(cls, data: bytes) -> "CompiledClassifier":
+        """Rebuild a serving-ready classifier from :meth:`to_payload` bytes."""
+        with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        meta = json.loads(str(payload[InferencePlan.META_KEY]))
+        classifier_meta = meta.get("classifier")
+        if classifier_meta is None:
+            raise PlanTransportError(
+                "payload has no classifier metadata; was it written by "
+                "InferencePlan.to_payload instead of CompiledClassifier?"
+            )
+        plan = InferencePlan.from_payload(payload)
+        shim = TransportedPreprocessor(
+            classifier_meta["family"], classifier_meta["prepare"]
+        )
+        return cls(shim, plan)
 
 
 def compile_classifier(

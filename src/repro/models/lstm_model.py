@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from repro.models.base import NeuralEEGClassifier, TrainingConfig
+from repro.models.preprocess import prepare_windows
 from repro.nn.autograd import Tensor
 from repro.nn.layers import Dense, Dropout
 from repro.nn.lstm import LSTM
@@ -82,22 +83,15 @@ class EEGLSTM(NeuralEEGClassifier):
     def build_network(self, n_channels: int, window_size: int) -> Module:
         return _LSTMNetwork(self.config, n_channels, self.n_classes, self.seed)
 
-    def prepare_array(self, windows: np.ndarray) -> np.ndarray:
+    def prepare_spec(self) -> dict:
         # RMS pooling over short time blocks extracts the band-power envelope
         # per channel — the quantity whose C3/C4 asymmetry encodes the
-        # imagined movement — and shortens the sequence for the recurrence.
-        # Dtype-preserving: float32 on the serving path, float64 in training.
-        arr = np.asarray(windows)
-        if not np.issubdtype(arr.dtype, np.floating):
-            arr = arr.astype(np.float64)
-        pool = self.config.temporal_pool
-        if pool > 1:
-            n_steps = arr.shape[2] // pool
-            arr = arr[:, :, : n_steps * pool]
-            blocks = arr.reshape(arr.shape[0], arr.shape[1], n_steps, pool)
-            arr = np.sqrt((blocks**2).mean(axis=3))
-        # (batch, channels, time) -> (batch, time, channels)
-        return arr.transpose(0, 2, 1)
+        # imagined movement — and shortens the sequence for the recurrence;
+        # (batch, channels, time) then becomes (batch, time, channels).
+        return {"pool": self.config.temporal_pool, "layout": "time-major"}
+
+    def prepare_array(self, windows: np.ndarray) -> np.ndarray:
+        return prepare_windows(windows, **self.prepare_spec())
 
     def describe(self) -> dict:
         info = super().describe()

@@ -1,0 +1,78 @@
+"""Shared, transportable window preprocessing for the neural families.
+
+Every neural classifier in the zoo prepares raw EEG windows the same way —
+an optional RMS band-power pooling over non-overlapping time blocks, then a
+layout change into the network's input geometry.  This module is the single
+implementation of that transformation, used from two places:
+
+* each classifier's ``prepare_array`` delegates here (training and the
+  in-process serving path), and
+* the plan-transport layer (:meth:`repro.models.compiled.CompiledClassifier
+  .to_payload`) ships the same transformation to worker processes as a tiny
+  JSON *prepare spec* — ``{"pool": int, "layout": str}`` — so a shard worker
+  reconstructs byte-identical preprocessing without the classifier object,
+  the Module tree or the autograd machinery.
+
+Keeping one implementation guarantees the in-process and cross-process
+serving paths can never drift numerically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+#: Layouts a prepare spec may name.
+#:
+#: * ``"image"`` — ``(batch, 1, channels, time)``: the single-channel image
+#:   the CNN convolves.
+#: * ``"time-major"`` — ``(batch, time, channels)``: the token sequence the
+#:   LSTM recurrence and the Transformer attend over.
+LAYOUTS = ("image", "time-major")
+
+
+def prepare_windows(
+    windows: np.ndarray, pool: int = 1, layout: str = "time-major"
+) -> np.ndarray:
+    """Pool raw windows into band-power envelopes and apply a layout.
+
+    ``pool > 1`` collapses non-overlapping ``pool``-sample time blocks to
+    their RMS value (the band-power envelope whose C3/C4 asymmetry carries
+    the motor-imagery signature); trailing samples that do not fill a block
+    are dropped.  Dtype-preserving: float32 stays float32 on the serving hot
+    path, integer input is promoted to float64 (matching training).
+    """
+    if pool < 1:
+        raise ValueError("pool must be at least 1")
+    arr = np.asarray(windows)
+    if arr.ndim != 3:
+        raise ValueError("windows must have shape (batch, channels, samples)")
+    if not np.issubdtype(arr.dtype, np.floating):
+        arr = arr.astype(np.float64)
+    if pool > 1:
+        n_steps = arr.shape[2] // pool
+        arr = arr[:, :, : n_steps * pool]
+        blocks = arr.reshape(arr.shape[0], arr.shape[1], n_steps, pool)
+        arr = np.sqrt((blocks**2).mean(axis=3))
+    if layout == "image":
+        return arr[:, None, :, :]
+    if layout == "time-major":
+        return arr.transpose(0, 2, 1)
+    raise ValueError(f"unknown layout {layout!r}; expected one of {LAYOUTS}")
+
+
+def validate_prepare_spec(spec: Dict[str, object]) -> Dict[str, object]:
+    """Check a prepare spec coming off the wire before building a replica."""
+    if not isinstance(spec, dict):
+        raise ValueError(f"prepare spec must be a dict, got {type(spec).__name__}")
+    unknown = set(spec) - {"pool", "layout"}
+    if unknown:
+        raise ValueError(f"prepare spec has unknown keys {sorted(unknown)}")
+    pool = int(spec.get("pool", 1))
+    layout = str(spec.get("layout", "time-major"))
+    if pool < 1:
+        raise ValueError("prepare spec pool must be at least 1")
+    if layout not in LAYOUTS:
+        raise ValueError(f"prepare spec layout {layout!r} not in {LAYOUTS}")
+    return {"pool": pool, "layout": layout}

@@ -14,6 +14,7 @@ from typing import Optional
 import numpy as np
 
 from repro.models.base import NeuralEEGClassifier, TrainingConfig
+from repro.models.preprocess import prepare_windows
 from repro.nn.attention import TransformerEncoderLayer, positional_encoding
 from repro.nn.autograd import Tensor
 from repro.nn.layers import Dense, Dropout
@@ -110,21 +111,14 @@ class EEGTransformer(NeuralEEGClassifier):
     def build_network(self, n_channels: int, window_size: int) -> Module:
         return _TransformerNetwork(self.config, n_channels, self.n_classes, self.seed)
 
-    def prepare_array(self, windows: np.ndarray) -> np.ndarray:
+    def prepare_spec(self) -> dict:
         # Each token is the RMS band-power envelope of one pooled time block
         # across all electrodes; the C3/C4 asymmetry of that envelope is the
         # motor-imagery signature the attention layers pick up.
-        # Dtype-preserving: float32 on the serving path, float64 in training.
-        arr = np.asarray(windows)
-        if not np.issubdtype(arr.dtype, np.floating):
-            arr = arr.astype(np.float64)
-        pool = self.config.temporal_pool
-        if pool > 1:
-            n_steps = arr.shape[2] // pool
-            arr = arr[:, :, : n_steps * pool]
-            blocks = arr.reshape(arr.shape[0], arr.shape[1], n_steps, pool)
-            arr = np.sqrt((blocks**2).mean(axis=3))
-        return arr.transpose(0, 2, 1)
+        return {"pool": self.config.temporal_pool, "layout": "time-major"}
+
+    def prepare_array(self, windows: np.ndarray) -> np.ndarray:
+        return prepare_windows(windows, **self.prepare_spec())
 
     def describe(self) -> dict:
         info = super().describe()

@@ -33,8 +33,9 @@ as the numerical oracle the compiled plan is tested against (atol 1e-5).
 
 from __future__ import annotations
 
+import json
 import math
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -66,6 +67,10 @@ WeightQuantizer = Callable[[np.ndarray], Tuple[np.ndarray, float]]
 
 class PlanCompilationError(NotImplementedError):
     """Raised when a module tree contains a layer the compiler cannot lower."""
+
+
+class PlanTransportError(ValueError):
+    """Raised when a plan cannot be (de)serialized for cross-process shipping."""
 
 
 class PlanWeight:
@@ -598,6 +603,83 @@ class InferencePlan:
     def __repr__(self) -> str:
         return f"InferencePlan({' -> '.join(self.describe())}, dtype={self.dtype})"
 
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    #: Archive key of the JSON metadata blob; mirrors the ``.npz`` weight
+    #: archive geometry of ``NeuralEEGClassifier.save_weights`` (a flat dict
+    #: of arrays plus one metadata entry dotted names cannot collide with).
+    META_KEY = "__meta__"
+    PAYLOAD_FORMAT = "repro-inference-plan-v1"
+
+    def to_payload(self) -> Dict[str, np.ndarray]:
+        """Flatten the plan into an ``np.savez``-ready mapping of arrays.
+
+        The result holds one entry per kernel weight (``k{i}.{name}``) plus a
+        :attr:`META_KEY` JSON blob describing the kernel sequence and every
+        non-array attribute (activations, strides, quantization scales, ...).
+        :meth:`from_payload` reconstructs the exact kernels from it — no
+        Module tree, no autograd — which is what lets a shard worker process
+        serve a plan it never compiled.  Quantized plans ship their integer
+        ``storage`` weights; the float ``compute`` operands are re-derived on
+        load exactly as the compiler derives them.
+
+        Raises :class:`PlanTransportError` for kernels without a registered
+        serializer (custom kernels injected through ``inference_spec``).
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        kernel_meta: List[Dict[str, object]] = []
+        for index, kernel in enumerate(self.kernels):
+            serializer = _KERNEL_SERIALIZERS.get(type(kernel))
+            if serializer is None:
+                raise PlanTransportError(
+                    f"kernel type {type(kernel).__name__} has no transport "
+                    "serializer; register one or keep the plan in-process"
+                )
+            meta, kernel_arrays = serializer(kernel)
+            prefix = f"k{index}"
+            for name, value in kernel_arrays.items():
+                arrays[f"{prefix}.{name}"] = value
+            kernel_meta.append(meta)
+        arrays[self.META_KEY] = np.asarray(
+            json.dumps(
+                {
+                    "format": self.PAYLOAD_FORMAT,
+                    "dtype": str(self.dtype),
+                    "kernels": kernel_meta,
+                }
+            )
+        )
+        return arrays
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, np.ndarray]) -> "InferencePlan":
+        """Rebuild a plan from a :meth:`to_payload` mapping (or open npz)."""
+        if cls.META_KEY not in payload:
+            raise PlanTransportError("payload has no plan metadata entry")
+        meta = json.loads(str(payload[cls.META_KEY]))
+        if meta.get("format") != cls.PAYLOAD_FORMAT:
+            raise PlanTransportError(
+                f"unsupported plan payload format {meta.get('format')!r}"
+            )
+        dtype = np.dtype(meta["dtype"])
+        names = list(payload.files) if hasattr(payload, "files") else list(payload)
+        kernels: List[Kernel] = []
+        for index, kernel_meta in enumerate(meta["kernels"]):
+            loader = _KERNEL_LOADERS.get(kernel_meta.get("type"))
+            if loader is None:
+                raise PlanTransportError(
+                    f"unknown kernel type {kernel_meta.get('type')!r} in payload"
+                )
+            prefix = f"k{index}."
+            arrays = {
+                name[len(prefix) :]: np.asarray(payload[name])
+                for name in names
+                if name.startswith(prefix)
+            }
+            kernels.append(loader(kernel_meta, arrays, dtype))
+        return cls(kernels, dtype=dtype)
+
 
 # ---------------------------------------------------------------------- #
 # Compiler
@@ -779,3 +861,228 @@ def compile_network(
     """
     kernels = _fuse_activations(_compile_item(module, np.dtype(dtype), quantizer))
     return InferencePlan(kernels, dtype=np.dtype(dtype))
+
+
+# ---------------------------------------------------------------------- #
+# Kernel transport registry
+# ---------------------------------------------------------------------- #
+# Serializers emit (meta, arrays): meta is the JSON-able attribute record,
+# arrays the weight payload.  Loaders invert them through the very same
+# constructors the compiler uses, so a reconstructed kernel is numerically
+# indistinguishable from the original: quantized weights ship as integer
+# ``storage`` and the float ``compute`` operand is re-cast on load exactly
+# like ``_make_weight`` cast it at compile time.
+
+
+def _weight_state(weight: PlanWeight) -> Tuple[Optional[float], np.ndarray]:
+    return weight.scale, weight.storage
+
+
+def _weight_load(
+    storage: np.ndarray, scale: Optional[float], dtype: np.dtype
+) -> PlanWeight:
+    if scale is None:
+        return PlanWeight(np.asarray(storage, dtype=dtype))
+    return PlanWeight(storage.astype(dtype), float(scale), storage)
+
+
+def _pair_state(
+    name: str,
+    pair: Tuple[PlanWeight, Optional[np.ndarray]],
+    arrays: Dict[str, np.ndarray],
+) -> Dict[str, object]:
+    weight, bias = pair
+    scale, storage = _weight_state(weight)
+    arrays[f"{name}.weight"] = storage
+    if bias is not None:
+        arrays[f"{name}.bias"] = bias
+    return {"scale": scale, "has_bias": bias is not None}
+
+
+def _pair_load(
+    name: str,
+    meta: Mapping[str, object],
+    arrays: Mapping[str, np.ndarray],
+    dtype: np.dtype,
+) -> Tuple[PlanWeight, Optional[np.ndarray]]:
+    weight = _weight_load(arrays[f"{name}.weight"], meta["scale"], dtype)
+    bias = arrays[f"{name}.bias"] if meta["has_bias"] else None
+    return weight, bias
+
+
+def _dense_state(kernel: DenseKernel):
+    arrays: Dict[str, np.ndarray] = {}
+    meta = _pair_state("w", (kernel.weight, kernel.bias), arrays)
+    meta.update({"type": "dense", "activation": kernel.activation})
+    return meta, arrays
+
+
+def _dense_load(meta, arrays, dtype):
+    weight, bias = _pair_load("w", meta, arrays, dtype)
+    return DenseKernel(weight, bias, meta["activation"])
+
+
+def _activation_state(kernel: ActivationKernel):
+    return {"type": "activation", "activation": kernel.activation}, {}
+
+
+def _conv_state(kernel: Conv2dKernel):
+    arrays: Dict[str, np.ndarray] = {}
+    meta = _pair_state("w", (kernel.weight, kernel.bias), arrays)
+    meta.update(
+        {
+            "type": "conv2d",
+            "activation": kernel.activation,
+            "kernel_size": list(kernel.kernel_size),
+            "stride": list(kernel.stride),
+            "padding": list(kernel.padding),
+            "out_channels": kernel.out_channels,
+        }
+    )
+    return meta, arrays
+
+
+def _conv_load(meta, arrays, dtype):
+    # The stored weight is the original (out, in, kh, kw) layout; the kernel
+    # constructor re-applies the same reshape/transpose the compiler did.
+    weight, bias = _pair_load("w", meta, arrays, dtype)
+    return Conv2dKernel(
+        weight,
+        bias,
+        kernel_size=tuple(meta["kernel_size"]),
+        stride=tuple(meta["stride"]),
+        padding=tuple(meta["padding"]),
+        out_channels=int(meta["out_channels"]),
+        activation=meta["activation"],
+    )
+
+
+def _pool_state(kind: str):
+    def state(kernel: _PoolKernel):
+        return {
+            "type": kind,
+            "kernel_size": list(kernel.kernel_size),
+            "stride": list(kernel.stride),
+        }, {}
+
+    return state
+
+
+def _pool_load(cls):
+    def load(meta, arrays, dtype):
+        return cls(tuple(meta["kernel_size"]), tuple(meta["stride"]))
+
+    return load
+
+
+def _layernorm_state(kernel: LayerNormKernel):
+    return {"type": "layernorm", "eps": float(kernel.eps)}, {
+        "gamma": kernel.gamma,
+        "beta": kernel.beta,
+    }
+
+
+def _lstm_state(kernel: LSTMKernel):
+    arrays: Dict[str, np.ndarray] = {}
+    scales: List[List[Optional[float]]] = []
+    for index, (w_ih, w_hh, bias) in enumerate(kernel.layers):
+        s_ih, arrays[f"l{index}.w_ih"] = _weight_state(w_ih)
+        s_hh, arrays[f"l{index}.w_hh"] = _weight_state(w_hh)
+        arrays[f"l{index}.bias"] = bias
+        scales.append([s_ih, s_hh])
+    return {
+        "type": "lstm",
+        "hidden_size": kernel.hidden_size,
+        "scales": scales,
+    }, arrays
+
+
+def _lstm_load(meta, arrays, dtype):
+    layers = [
+        (
+            _weight_load(arrays[f"l{index}.w_ih"], s_ih, dtype),
+            _weight_load(arrays[f"l{index}.w_hh"], s_hh, dtype),
+            arrays[f"l{index}.bias"],
+        )
+        for index, (s_ih, s_hh) in enumerate(meta["scales"])
+    ]
+    return LSTMKernel(layers, int(meta["hidden_size"]), dtype)
+
+
+def _encoder_state(kernel: EncoderBlockKernel):
+    arrays: Dict[str, np.ndarray] = {
+        "norm1.gamma": kernel.norm1[0],
+        "norm1.beta": kernel.norm1[1],
+        "norm2.gamma": kernel.norm2[0],
+        "norm2.beta": kernel.norm2[1],
+    }
+    pairs: Dict[str, object] = {}
+    for name, pair in (
+        ("q", kernel.qkv[0]),
+        ("k", kernel.qkv[1]),
+        ("v", kernel.qkv[2]),
+        ("attn_out", kernel.attn_out),
+        ("ff1", kernel.ff1),
+        ("ff2", kernel.ff2),
+    ):
+        pairs[name] = _pair_state(name, pair, arrays)
+    return {
+        "type": "encoder",
+        "n_heads": kernel.n_heads,
+        "d_model": kernel.d_model,
+        "eps1": float(kernel.norm1[2]),
+        "eps2": float(kernel.norm2[2]),
+        "pairs": pairs,
+    }, arrays
+
+
+def _encoder_load(meta, arrays, dtype):
+    pairs = {
+        name: _pair_load(name, pair_meta, arrays, dtype)
+        for name, pair_meta in meta["pairs"].items()
+    }
+    return EncoderBlockKernel(
+        n_heads=int(meta["n_heads"]),
+        d_model=int(meta["d_model"]),
+        norm1=(arrays["norm1.gamma"], arrays["norm1.beta"], float(meta["eps1"])),
+        qkv=[pairs["q"], pairs["k"], pairs["v"]],
+        attn_out=pairs["attn_out"],
+        norm2=(arrays["norm2.gamma"], arrays["norm2.beta"], float(meta["eps2"])),
+        ff1=pairs["ff1"],
+        ff2=pairs["ff2"],
+    )
+
+
+_KERNEL_SERIALIZERS: Dict[type, Callable] = {
+    DenseKernel: _dense_state,
+    ActivationKernel: _activation_state,
+    Conv2dKernel: _conv_state,
+    MaxPool2dKernel: _pool_state("maxpool"),
+    AvgPool2dKernel: _pool_state("avgpool"),
+    FlattenKernel: lambda k: ({"type": "flatten"}, {}),
+    LayerNormKernel: _layernorm_state,
+    LSTMKernel: _lstm_state,
+    EncoderBlockKernel: _encoder_state,
+    PositionalEncodingKernel: lambda k: ({"type": "posenc", "d_model": k.d_model}, {}),
+    MeanOverTimeKernel: lambda k: ({"type": "mean-over-time"}, {}),
+    SoftmaxKernel: lambda k: ({"type": "softmax"}, {}),
+}
+
+_KERNEL_LOADERS: Dict[str, Callable] = {
+    "dense": _dense_load,
+    "activation": lambda meta, arrays, dtype: ActivationKernel(meta["activation"]),
+    "conv2d": _conv_load,
+    "maxpool": _pool_load(MaxPool2dKernel),
+    "avgpool": _pool_load(AvgPool2dKernel),
+    "flatten": lambda meta, arrays, dtype: FlattenKernel(),
+    "layernorm": lambda meta, arrays, dtype: LayerNormKernel(
+        arrays["gamma"], arrays["beta"], float(meta["eps"])
+    ),
+    "lstm": _lstm_load,
+    "encoder": _encoder_load,
+    "posenc": lambda meta, arrays, dtype: PositionalEncodingKernel(
+        int(meta["d_model"])
+    ),
+    "mean-over-time": lambda meta, arrays, dtype: MeanOverTimeKernel(),
+    "softmax": lambda meta, arrays, dtype: SoftmaxKernel(),
+}

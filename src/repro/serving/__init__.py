@@ -13,9 +13,31 @@ tick with deadline-aware flushes, p95-budget admission control
 (:class:`AdmissionController`) and per-cohort model routing
 (:class:`ModelRouter`) — all clock-injected so tests drive it with a
 deterministic virtual clock.
+
+Flush *execution* is pluggable behind the
+:class:`~repro.serving.executors.FlushExecutor` protocol:
+:class:`SerialExecutor` (inline, the default), :class:`ThreadPoolFlushExecutor`
+(cohort flushes overlap on a thread pool) and :class:`ProcessShardExecutor`
+(one worker process per cohort, each pinning a reconstructed compiled plan
+shipped as an ``.npz``-geometry payload — see
+:meth:`repro.models.compiled.CompiledClassifier.to_payload`).
 """
 
-from repro.serving.batcher import BatchResult, MicroBatcher
+from repro.serving.batcher import (
+    BatchResult,
+    ExecutionResult,
+    MicroBatcher,
+    PreparedBatch,
+    execute_windows,
+)
+from repro.serving.executors import (
+    FlushExecutionError,
+    FlushExecutor,
+    FlushTicket,
+    ProcessShardExecutor,
+    SerialExecutor,
+    ThreadPoolFlushExecutor,
+)
 from repro.serving.scheduler import (
     AdmissionController,
     AsyncFleetScheduler,
@@ -37,10 +59,19 @@ __all__ = [
     "AdmissionController",
     "AsyncFleetScheduler",
     "BatchResult",
+    "ExecutionResult",
     "FlushEvent",
+    "FlushExecutionError",
+    "FlushExecutor",
+    "FlushTicket",
     "MicroBatcher",
     "ModelRouter",
+    "PreparedBatch",
+    "ProcessShardExecutor",
     "SchedulerConfig",
+    "SerialExecutor",
+    "ThreadPoolFlushExecutor",
+    "execute_windows",
     "FleetReport",
     "FleetServer",
     "ServingSession",

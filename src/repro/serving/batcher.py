@@ -3,9 +3,23 @@
 Every classifier in the repo is batch-shaped — ``predict_proba`` takes
 ``(n, channels, samples)`` — but the single-session loop only ever calls it
 with ``n=1``.  The :class:`MicroBatcher` closes that gap: sessions submit
-their prepared windows, ``flush`` stacks them into one array and issues a
-single vectorised call (or a few chunked calls when ``max_batch_size``
-caps the batch), then hands each session back its own probability row.
+their prepared windows, and a flush runs in three phases so *execution* can
+be handed to any :mod:`repro.serving.executors` backend (inline, worker
+thread, or worker process):
+
+``prepare()``
+    stacks the pending windows into one array and captures the session
+    order — pure bookkeeping, no shared state left behind;
+``execute`` (:func:`execute_windows`)
+    issues the chunked ``predict_proba`` calls — a pure function of the
+    stacked windows and a classifier, safe to run anywhere the classifier
+    lives;
+``finalize()``
+    validates the returned rows and routes each session its own
+    probability row.
+
+``flush()`` composes the three phases inline and is bit-for-bit the
+single-call behaviour the rest of the serving stack was built on.
 """
 
 from __future__ import annotations
@@ -39,6 +53,85 @@ class BatchResult:
         if not self.results:
             return 0.0
         return self.latency_s / len(self.results)
+
+
+@dataclass
+class PreparedBatch:
+    """Phase-one output: a flush captured as plain data.
+
+    Everything an executor needs to classify the batch — no references to
+    the batcher, the sessions or any other shared state — so it pickles
+    cleanly to a worker process.
+    """
+
+    #: Submission order; row ``i`` of the execution output belongs to
+    #: ``session_ids[i]``.
+    session_ids: List[str]
+    #: Stacked windows, shape ``(n, channels, samples)``.
+    windows: np.ndarray
+    #: Cap on the rows per ``predict_proba`` call.
+    chunk_size: int
+
+    def __len__(self) -> int:
+        return len(self.session_ids)
+
+
+@dataclass
+class ExecutionResult:
+    """Phase-two output: raw probabilities plus the service-time measurement."""
+
+    #: Concatenated probability rows, shape ``(n, n_classes)``.
+    probabilities: np.ndarray
+    #: Rows per ``predict_proba`` call actually issued.
+    batch_sizes: List[int]
+    #: Time spent inside ``predict_proba`` only (service time — excludes any
+    #: queueing in front of the executor).
+    service_s: float
+    #: Label of the worker that executed the batch ("serial", a thread name,
+    #: or a shard-worker id); purely informational, flows into telemetry.
+    worker: str = ""
+
+
+def execute_windows(
+    classifier: EEGClassifier,
+    windows: np.ndarray,
+    chunk_size: int,
+    clock: Optional[Clock] = None,
+    worker: str = "",
+) -> ExecutionResult:
+    """Classify stacked windows in ``chunk_size`` blocks, timing service only.
+
+    This is the whole execution phase as a pure function: no batcher state,
+    no session state, just a classifier and an array.  Worker threads call
+    it with the shared classifier; shard worker processes call it with their
+    reconstructed plan replica and their own clock.
+
+    When the batch fits a single chunk (the common case), the classifier's
+    output is returned as-is — no ``np.concatenate`` copy on the hot path.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    clock = clock or SYSTEM_CLOCK
+    n = windows.shape[0]
+    probabilities: List[np.ndarray] = []
+    batch_sizes: List[int] = []
+    elapsed = 0.0
+    for start in range(0, n, chunk_size):
+        block = windows[start : start + chunk_size]
+        t0 = clock.now()
+        probabilities.append(classifier.predict_proba(block))
+        elapsed += clock.now() - t0
+        batch_sizes.append(block.shape[0])
+    if len(probabilities) == 1:
+        probs = probabilities[0]
+    else:
+        probs = np.concatenate(probabilities, axis=0)
+    return ExecutionResult(
+        probabilities=probs,
+        batch_sizes=batch_sizes,
+        service_s=elapsed,
+        worker=worker,
+    )
 
 
 class MicroBatcher:
@@ -102,31 +195,44 @@ class MicroBatcher:
         self._pending.append((session_id, window))
         self._pending_ids.add(session_id)
 
-    def flush(self) -> BatchResult:
-        """Classify everything pending in as few calls as possible."""
+    # ------------------------------------------------------------------ #
+    # three-phase flush
+    # ------------------------------------------------------------------ #
+    def prepare(self) -> Optional[PreparedBatch]:
+        """Capture and clear the pending batch; ``None`` when empty."""
         if not self._pending:
-            return BatchResult()
+            return None
         pending, self._pending, self._pending_ids = self._pending, [], set()
-        session_ids = [session_id for session_id, _ in pending]
-        stacked = np.stack([window for _, window in pending], axis=0)
-        chunk = self.max_batch_size or len(pending)
-        probabilities: List[np.ndarray] = []
-        batch_sizes: List[int] = []
-        elapsed = 0.0
-        for start in range(0, len(pending), chunk):
-            block = stacked[start : start + chunk]
-            t0 = self.clock.now()
-            probabilities.append(self.classifier.predict_proba(block))
-            elapsed += self.clock.now() - t0
-            batch_sizes.append(block.shape[0])
-        probs = np.concatenate(probabilities, axis=0)
-        if probs.shape[0] != len(pending):
+        return PreparedBatch(
+            session_ids=[session_id for session_id, _ in pending],
+            windows=np.stack([window for _, window in pending], axis=0),
+            chunk_size=self.max_batch_size or len(pending),
+        )
+
+    def execute(self, prepared: PreparedBatch) -> ExecutionResult:
+        """Run the classification phase inline with the batcher's own state."""
+        return execute_windows(
+            self.classifier, prepared.windows, prepared.chunk_size, self.clock
+        )
+
+    @staticmethod
+    def finalize(prepared: PreparedBatch, execution: ExecutionResult) -> BatchResult:
+        """Route execution output back to the sessions that submitted it."""
+        probs = execution.probabilities
+        if probs.shape[0] != len(prepared):
             raise RuntimeError(
                 f"classifier returned {probs.shape[0]} rows for a batch of "
-                f"{len(pending)} windows"
+                f"{len(prepared)} windows"
             )
         return BatchResult(
-            results={sid: probs[i] for i, sid in enumerate(session_ids)},
-            batch_sizes=batch_sizes,
-            latency_s=elapsed,
+            results={sid: probs[i] for i, sid in enumerate(prepared.session_ids)},
+            batch_sizes=execution.batch_sizes,
+            latency_s=execution.service_s,
         )
+
+    def flush(self) -> BatchResult:
+        """Classify everything pending in as few calls as possible."""
+        prepared = self.prepare()
+        if prepared is None:
+            return BatchResult()
+        return self.finalize(prepared, self.execute(prepared))

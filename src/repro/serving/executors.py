@@ -1,0 +1,436 @@
+"""Pluggable execution backends for cohort flushes.
+
+The :class:`~repro.serving.scheduler.AsyncFleetScheduler` decides *when* a
+cohort's micro-batch flushes; the :class:`FlushExecutor` it is configured
+with decides *where* the classification runs.  Three backends ship:
+
+- :class:`SerialExecutor` — runs every flush inline on the caller's thread.
+  The default, and bit-for-bit the pre-executor behaviour (same classifier
+  objects, same injected clock, same sequence of ``clock.now()`` calls).
+- :class:`ThreadPoolFlushExecutor` — runs flushes on a shared thread pool,
+  so different cohorts' flushes overlap.  The shared classifier objects are
+  used from worker threads; that is safe *across cohorts* (each cohort owns
+  its own classifier/plan — plan scratch buffers are per-object) but the
+  scheduler must never run two flushes of the same cohort concurrently,
+  which it enforces by refusing double-flushes.
+- :class:`ProcessShardExecutor` — one dedicated worker process per cohort.
+  At bind time each worker receives the cohort classifier's transport
+  payload (:meth:`repro.models.compiled.CompiledClassifier.to_payload`) and
+  reconstructs the plan replica once; every flush then ships only the
+  stacked windows and gets probabilities back.  Workers time their own
+  service with their local monotonic clock (an injected virtual clock
+  cannot cross a process boundary — see the README's clock caveats).
+
+Executors hand back :class:`FlushTicket` futures; the scheduler tracks one
+in-flight ticket per cohort and folds the completed
+:class:`~repro.serving.batcher.ExecutionResult` back into session state on
+its own thread, so sessions and telemetry are never touched concurrently.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor as _ThreadPool
+from concurrent.futures import TimeoutError as _FutureTimeoutError
+from typing import Dict, Mapping, Optional, Protocol, runtime_checkable
+
+from repro.models.base import EEGClassifier
+from repro.serving.batcher import ExecutionResult, PreparedBatch, execute_windows
+from repro.utils.timing import SYSTEM_CLOCK, Clock
+
+
+class FlushExecutionError(RuntimeError):
+    """A flush failed inside an execution backend (worker error or loss)."""
+
+
+@runtime_checkable
+class FlushTicket(Protocol):
+    """Future-shaped handle on one in-flight cohort flush."""
+
+    def done(self) -> bool:
+        """True once :meth:`result` will return without blocking."""
+        ...
+
+    def result(self, timeout: Optional[float] = None) -> ExecutionResult:
+        """Block until the flush completes; raises on executor failure."""
+        ...
+
+
+class FlushExecutor(Protocol):
+    """Where cohort flushes run.  Implementations must be bound exactly once.
+
+    ``serializes_flushes`` tells the scheduler whether flushes share one
+    executor lane (wake times must then budget for earlier cohorts' service
+    time) or run concurrently (each cohort's deadline stands alone).
+    """
+
+    serializes_flushes: bool
+
+    def bind(
+        self, classifiers: Mapping[str, EEGClassifier], clock: Clock
+    ) -> None: ...
+
+    def submit_flush(self, cohort: str, prepared: PreparedBatch) -> FlushTicket: ...
+
+    def shutdown(self) -> None: ...
+
+
+class CompletedTicket:
+    """A ticket for work that already ran (inline executors)."""
+
+    def __init__(self, execution: ExecutionResult) -> None:
+        self._execution = execution
+
+    def done(self) -> bool:
+        return True
+
+    def result(self, timeout: Optional[float] = None) -> ExecutionResult:
+        return self._execution
+
+
+class _BoundMixin:
+    """Shared bind-once bookkeeping for the concrete executors."""
+
+    def __init__(self) -> None:
+        self._classifiers: Optional[Dict[str, EEGClassifier]] = None
+        self._clock: Clock = SYSTEM_CLOCK
+
+    @property
+    def bound(self) -> bool:
+        return self._classifiers is not None
+
+    def _check_bind(self, classifiers: Mapping[str, EEGClassifier]) -> None:
+        if self.bound:
+            raise RuntimeError(
+                "executor is already bound to a scheduler; build one executor "
+                "per scheduler"
+            )
+        if not classifiers:
+            raise ValueError("bind() needs at least one cohort classifier")
+
+    def _classifier_for(self, cohort: str) -> EEGClassifier:
+        if self._classifiers is None:
+            raise RuntimeError("executor is not bound; call bind() first")
+        try:
+            return self._classifiers[cohort]
+        except KeyError:
+            raise KeyError(f"executor has no cohort {cohort!r}") from None
+
+
+class SerialExecutor(_BoundMixin):
+    """Inline execution on the caller's thread — today's behaviour, exactly.
+
+    Uses the scheduler's injected clock for service timing, so virtual-clock
+    tests stay exact, and returns already-completed tickets, so the
+    scheduler's flush path is synchronous end to end.
+    """
+
+    serializes_flushes = True
+
+    def bind(self, classifiers: Mapping[str, EEGClassifier], clock: Clock) -> None:
+        self._check_bind(classifiers)
+        self._classifiers = dict(classifiers)
+        self._clock = clock
+
+    def submit_flush(self, cohort: str, prepared: PreparedBatch) -> CompletedTicket:
+        classifier = self._classifier_for(cohort)
+        return CompletedTicket(
+            execute_windows(
+                classifier,
+                prepared.windows,
+                prepared.chunk_size,
+                self._clock,
+                worker="serial",
+            )
+        )
+
+    def shutdown(self) -> None:
+        self._classifiers = None
+
+
+class _FutureTicket:
+    """Adapter from ``concurrent.futures.Future`` to :class:`FlushTicket`."""
+
+    def __init__(self, future) -> None:
+        self._future = future
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self, timeout: Optional[float] = None) -> ExecutionResult:
+        try:
+            return self._future.result(timeout=timeout)
+        except (TimeoutError, _FutureTimeoutError):
+            # distinct classes on Python 3.10; aliases from 3.11 on
+            raise TimeoutError(f"flush did not complete within {timeout}s")
+        except Exception as exc:  # normalise backend failures
+            raise FlushExecutionError(f"flush failed in worker thread: {exc}") from exc
+
+
+class ThreadPoolFlushExecutor(_BoundMixin):
+    """Overlap cohort flushes on a shared thread pool.
+
+    The pool defaults to one worker per cohort, the natural shard width:
+    the scheduler never runs two flushes of one cohort concurrently, so
+    extra threads would idle.  NumPy kernels release the GIL inside BLAS,
+    which is where the overlap pays off.
+    """
+
+    serializes_flushes = False
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__()
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self._max_workers = max_workers
+        self._pool: Optional[_ThreadPool] = None
+
+    def bind(self, classifiers: Mapping[str, EEGClassifier], clock: Clock) -> None:
+        self._check_bind(classifiers)
+        self._classifiers = dict(classifiers)
+        self._clock = clock
+        self._pool = _ThreadPool(
+            max_workers=self._max_workers or len(classifiers),
+            thread_name_prefix="flush-worker",
+        )
+
+    def submit_flush(self, cohort: str, prepared: PreparedBatch) -> _FutureTicket:
+        classifier = self._classifier_for(cohort)
+        assert self._pool is not None
+
+        def run() -> ExecutionResult:
+            return execute_windows(
+                classifier,
+                prepared.windows,
+                prepared.chunk_size,
+                self._clock,
+                worker=threading.current_thread().name,
+            )
+
+        return _FutureTicket(self._pool.submit(run))
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._classifiers = None
+
+
+# ---------------------------------------------------------------------- #
+# Process sharding
+# ---------------------------------------------------------------------- #
+def _shard_worker_main(conn, cohort: str, payload: bytes) -> None:
+    """Entry point of one shard worker: pin a plan replica, serve flushes.
+
+    Runs in a child process.  Reconstructs the cohort's compiled classifier
+    from its transport payload once, acknowledges readiness, then answers
+    ``(windows, chunk_size)`` requests until the ``None`` sentinel arrives.
+    Service time is measured with the worker's own monotonic clock.
+    """
+    try:
+        from repro.models.compiled import CompiledClassifier
+
+        replica = CompiledClassifier.from_payload(payload)
+    except Exception as exc:  # noqa: BLE001 — report, do not crash silently
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        conn.close()
+        return
+    worker_id = f"shard:{cohort}"
+    conn.send(("ready", worker_id))
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:  # parent went away
+            break
+        if message is None:
+            break
+        windows, chunk_size = message
+        try:
+            execution = execute_windows(
+                replica, windows, chunk_size, worker=worker_id
+            )
+            conn.send(
+                (
+                    "ok",
+                    execution.probabilities,
+                    execution.batch_sizes,
+                    execution.service_s,
+                    execution.worker,
+                )
+            )
+        except Exception as exc:  # noqa: BLE001
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    conn.close()
+
+
+class _ShardTicket:
+    """Pending response from one shard worker's pipe."""
+
+    def __init__(self, shard: "_Shard", timeout_s: Optional[float]) -> None:
+        self._shard = shard
+        self._timeout_s = timeout_s
+        self._execution: Optional[ExecutionResult] = None
+
+    def done(self) -> bool:
+        return self._execution is not None or self._shard.conn.poll(0)
+
+    def result(self, timeout: Optional[float] = None) -> ExecutionResult:
+        if self._execution is not None:
+            return self._execution
+        timeout = self._timeout_s if timeout is None else timeout
+        if not self._shard.conn.poll(timeout):
+            raise TimeoutError(
+                f"shard worker {self._shard.cohort!r} did not answer within "
+                f"{timeout}s"
+            )
+        message = self._shard.conn.recv()
+        self._shard.busy = False
+        if message[0] == "error":
+            raise FlushExecutionError(
+                f"shard worker {self._shard.cohort!r} failed: {message[1]}"
+            )
+        _, probabilities, batch_sizes, service_s, worker = message
+        self._execution = ExecutionResult(
+            probabilities=probabilities,
+            batch_sizes=list(batch_sizes),
+            service_s=float(service_s),
+            worker=str(worker),
+        )
+        return self._execution
+
+
+class _Shard:
+    """Parent-side handle on one cohort's worker process."""
+
+    def __init__(self, cohort: str, process, conn) -> None:
+        self.cohort = cohort
+        self.process = process
+        self.conn = conn
+        self.busy = False
+
+
+class ProcessShardExecutor(_BoundMixin):
+    """One worker process per cohort, each pinning a reconstructed plan.
+
+    Requires every cohort classifier to be transportable: a
+    :class:`~repro.models.compiled.CompiledClassifier`, or a neural
+    classifier whose ``ensure_compiled()`` yields one with a prepare spec.
+    Workers never see the Module tree or autograd — they rebuild the fused
+    kernels from the payload and serve those.
+
+    Parameters
+    ----------
+    mp_context:
+        ``multiprocessing`` start method.  Defaults to ``"spawn"``: slower
+        to start but immune to fork-after-threads hazards (the thread
+        executor may have run in the same process) and identical across
+        platforms.
+    request_timeout_s:
+        Default timeout a ticket waits for its worker before raising; the
+        per-call ``result(timeout=...)`` overrides it.  ``None`` waits
+        forever.
+    start_timeout_s:
+        How long :meth:`bind` waits for each worker to reconstruct its plan
+        and report ready.
+    """
+
+    serializes_flushes = False
+
+    def __init__(
+        self,
+        mp_context: str = "spawn",
+        request_timeout_s: Optional[float] = 60.0,
+        start_timeout_s: float = 120.0,
+    ) -> None:
+        super().__init__()
+        self._ctx = multiprocessing.get_context(mp_context)
+        self.request_timeout_s = request_timeout_s
+        self.start_timeout_s = start_timeout_s
+        self._shards: Dict[str, _Shard] = {}
+
+    @staticmethod
+    def _payload_for(cohort: str, classifier: EEGClassifier) -> bytes:
+        from repro.models.compiled import CompiledClassifier
+
+        compiled: Optional[CompiledClassifier]
+        if isinstance(classifier, CompiledClassifier):
+            compiled = classifier
+        else:
+            ensure = getattr(classifier, "ensure_compiled", None)
+            compiled = ensure() if ensure is not None else None
+        if compiled is None:
+            raise ValueError(
+                f"cohort {cohort!r}: process sharding needs a compiled "
+                "inference plan (a CompiledClassifier or a neural classifier "
+                f"with a compilable network); got {type(classifier).__name__}"
+            )
+        return compiled.to_payload()
+
+    def bind(self, classifiers: Mapping[str, EEGClassifier], clock: Clock) -> None:
+        self._check_bind(classifiers)
+        payloads = {
+            cohort: self._payload_for(cohort, classifier)
+            for cohort, classifier in classifiers.items()
+        }
+        self._classifiers = dict(classifiers)
+        self._clock = clock  # unused for timing; kept for interface symmetry
+        try:
+            for cohort, payload in payloads.items():
+                parent_conn, child_conn = self._ctx.Pipe()
+                process = self._ctx.Process(
+                    target=_shard_worker_main,
+                    args=(child_conn, cohort, payload),
+                    name=f"shard-{cohort}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._shards[cohort] = _Shard(cohort, process, parent_conn)
+            deadline = time.monotonic() + self.start_timeout_s
+            for shard in self._shards.values():
+                remaining = max(0.0, deadline - time.monotonic())
+                if not shard.conn.poll(remaining):
+                    raise FlushExecutionError(
+                        f"shard worker {shard.cohort!r} did not start within "
+                        f"{self.start_timeout_s}s"
+                    )
+                message = shard.conn.recv()
+                if message[0] != "ready":
+                    raise FlushExecutionError(
+                        f"shard worker {shard.cohort!r} failed to build its "
+                        f"plan replica: {message[1]}"
+                    )
+        except Exception:
+            self.shutdown()
+            raise
+
+    def submit_flush(self, cohort: str, prepared: PreparedBatch) -> _ShardTicket:
+        self._classifier_for(cohort)  # raises on unknown cohort / unbound
+        shard = self._shards[cohort]
+        if shard.busy:
+            raise FlushExecutionError(
+                f"shard worker {cohort!r} already has a flush in flight; the "
+                "scheduler must not double-flush a cohort"
+            )
+        if not shard.process.is_alive():
+            raise FlushExecutionError(f"shard worker {cohort!r} has died")
+        shard.conn.send((prepared.windows, prepared.chunk_size))
+        shard.busy = True
+        return _ShardTicket(shard, self.request_timeout_s)
+
+    def shutdown(self) -> None:
+        for shard in self._shards.values():
+            try:
+                shard.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            shard.conn.close()
+        for shard in self._shards.values():
+            shard.process.join(timeout=10.0)
+            if shard.process.is_alive():
+                shard.process.terminate()
+                shard.process.join(timeout=5.0)
+        self._shards = {}
+        self._classifiers = None

@@ -19,6 +19,16 @@ queueing delay of the oldest waiting window.  This module adds that layer:
   :class:`~repro.serving.batcher.MicroBatcher` and queue, because windows
   destined for different models cannot stack into one ``predict_proba``.
 
+Flush *execution* is pluggable (:mod:`repro.serving.executors`): the
+scheduler decides when a cohort flushes and hands the prepared batch to a
+:class:`~repro.serving.executors.FlushExecutor` — inline on the caller's
+thread (:class:`~repro.serving.executors.SerialExecutor`, the default and
+bit-for-bit the pre-executor behaviour), on a thread pool, or sharded
+across one worker process per cohort.  The scheduler tracks at most one
+in-flight flush per cohort (double-flushes are refused; windows keep
+queueing behind an in-flight flush) and folds completed futures back into
+session state on its own thread.
+
 Everything is clock-injected (:class:`repro.utils.timing.Clock`): production
 uses the system monotonic clock, tests drive a deterministic fake through
 thousands of virtual seconds in milliseconds.  In lock-step mode
@@ -36,7 +46,8 @@ import numpy as np
 
 from repro.core.config import CognitiveArmConfig
 from repro.models.base import EEGClassifier
-from repro.serving.batcher import MicroBatcher
+from repro.serving.batcher import MicroBatcher, PreparedBatch
+from repro.serving.executors import FlushExecutor, FlushTicket, SerialExecutor
 from repro.serving.server import FleetReport
 from repro.serving.session import ServingSession, next_session_id
 from repro.serving.telemetry import FleetTelemetry, FleetTickRecord, session_stats
@@ -248,9 +259,30 @@ class FlushEvent:
     #: Each served session's resulting tick, keyed by session id.
     ticks: Dict[str, Any] = field(default_factory=dict)
     batch_size: int = 0
+    #: Service time: wall clock spent inside ``predict_proba`` only.
     latency_s: float = 0.0
     max_queue_wait_s: float = 0.0
     deadline_violations: int = 0
+    #: Execution backend lane that served the flush ("serial", a worker
+    #: thread name, or a shard-worker id).
+    worker: str = ""
+    #: Time between handing the batch to the executor and the result being
+    #: folded back in, minus the service time: executor queueing/transport
+    #: overhead (0.0 for the inline serial path).
+    executor_wait_s: float = 0.0
+
+
+@dataclass
+class _InFlightFlush:
+    """Book-keeping for one flush handed to the executor, until harvest."""
+
+    cohort: str
+    reason: str
+    started_at_s: float
+    max_wait_s: float
+    violations: int
+    prepared: PreparedBatch
+    ticket: FlushTicket
 
 
 class AsyncFleetScheduler:
@@ -283,6 +315,7 @@ class AsyncFleetScheduler:
         config: Optional[CognitiveArmConfig] = None,
         scheduler_config: Optional[SchedulerConfig] = None,
         clock: Optional[Clock] = None,
+        executor: Optional[FlushExecutor] = None,
     ) -> None:
         self.router = router if isinstance(router, ModelRouter) else ModelRouter(router)
         self.config = config or CognitiveArmConfig()
@@ -304,11 +337,23 @@ class AsyncFleetScheduler:
             )
             for cohort in self.router.cohorts
         }
+        self.executor: FlushExecutor = executor or SerialExecutor()
+        self.executor.bind(
+            {
+                cohort: self.router.classifier_for(cohort)
+                for cohort in self.router.cohorts
+            },
+            clock=self.clock,
+        )
+        self._inflight: Dict[str, _InFlightFlush] = {}
         self._queues: Dict[str, List[QueuedWindow]] = {
             cohort: [] for cohort in self.router.cohorts
         }
-        self._service_ewma_s: Dict[str, float] = {
-            cohort: 0.0 for cohort in self.router.cohorts
+        # Per-cohort EWMA of flush *service* time (execute only).  ``None``
+        # means "no sample yet": a genuine zero-latency sample (exact under a
+        # virtual clock) must seed the estimate, not reset it.
+        self._service_ewma_s: Dict[str, Optional[float]] = {
+            cohort: None for cohort in self.router.cohorts
         }
         self._sessions: Dict[str, Any] = {}
         self._session_cohort: Dict[str, str] = {}
@@ -412,6 +457,11 @@ class AsyncFleetScheduler:
         cadence), the fresh window supersedes the stale one — real-time
         semantics: stale windows are dropped, not replayed — and the drop is
         counted in :attr:`superseded_by_session`.
+
+        A full batch normally triggers an inline flush; while the cohort
+        already has a flush in flight on an asynchronous executor the
+        submission queues instead (double-flushes are refused) and the
+        backlog flushes as soon as the in-flight one is harvested.
         """
         session = self._sessions[session_id]
         window = session.prepare_window()
@@ -438,20 +488,31 @@ class AsyncFleetScheduler:
                 due_s=now + self.scheduler_config.deadline_s,
             )
         )
-        if len(queue) >= self.scheduler_config.max_batch_size:
+        if (
+            len(queue) >= self.scheduler_config.max_batch_size
+            and cohort not in self._inflight
+        ):
             self._flush(cohort, reason="full")
             return SUBMIT_FLUSHED
         return SUBMIT_QUEUED
 
-    def _serial_schedule(self) -> Tuple[Optional[float], List[str]]:
-        """Wake time and flush order meeting all deadlines under serial service.
+    def service_estimate_s(self, cohort: str) -> Optional[float]:
+        """Current EWMA of the cohort's flush service time (None = no sample)."""
+        return self._service_ewma_s[cohort]
 
-        Cohorts flush one after another on a single executor, so a cohort's
-        flush must start early enough that the cohorts due *before* it can be
-        served first: with dues ``d1 <= d2 <= ...`` and (safety-inflated)
-        service estimates ``s1, s2, ...``, the executor must wake at
-        ``min(d1, d2 - s1, d3 - s1 - s2, ...)``.  With one cohort this
-        degenerates to the oldest window's plain due time.
+    def _schedule(self) -> Tuple[Optional[float], List[str]]:
+        """Wake time and flush order meeting all deadlines on this executor.
+
+        On a serializing executor cohorts flush one after another, so a
+        cohort's flush must start early enough that the cohorts due *before*
+        it can be served first: with dues ``d1 <= d2 <= ...`` and
+        (safety-inflated) service estimates ``s1, s2, ...``, the executor
+        must wake at ``min(d1, d2 - s1, d3 - s1 - s2, ...)``.  With one
+        cohort this degenerates to the oldest window's plain due time.
+
+        On a concurrent executor (thread pool, process shards) cohort
+        flushes overlap, so every cohort's deadline stands alone and the
+        wake time is simply the earliest due time.
         """
         pending = sorted(
             (queue[0].due_s, cohort)
@@ -460,54 +521,102 @@ class AsyncFleetScheduler:
         )
         if not pending:
             return None, []
+        order = [cohort for _, cohort in pending]
+        if not self.executor.serializes_flushes:
+            return pending[0][0], order
         wake = float("inf")
         ahead = 0.0
         for due, cohort in pending:
             wake = min(wake, due - ahead)
-            ahead += _SERVICE_SAFETY * self._service_ewma_s[cohort]
-        return wake, [cohort for _, cohort in pending]
+            estimate = self._service_ewma_s[cohort]
+            ahead += _SERVICE_SAFETY * (estimate if estimate is not None else 0.0)
+        return wake, order
 
     def next_flush_due_s(self) -> Optional[float]:
         """Absolute clock time by which :meth:`pump` must next be called.
 
         A driver that pumps no later than this guarantees no queued window
         waits past its deadline: the time is the earliest pending due time,
-        pulled forward by the estimated service time of any other cohorts
-        that must flush first on the serial executor.
+        pulled forward — on a serializing executor — by the estimated
+        service time of any other cohorts that must flush first.
         """
-        wake, _ = self._serial_schedule()
+        wake, _ = self._schedule()
         return wake
 
-    def pump(self, horizon_s: float = 0.0) -> List[FlushEvent]:
-        """Flush cohorts whose serial wake time has arrived, in due order.
+    @property
+    def inflight_cohorts(self) -> Tuple[str, ...]:
+        """Cohorts whose flush is currently running on the executor."""
+        return tuple(self._inflight)
 
-        A cohort can flush slightly *before* its own deadline when an
-        earlier-due cohort's estimated service time would otherwise push it
-        past; flushing early is always deadline-safe, just a smaller batch.
+    def pump(self, horizon_s: float = 0.0, wait: bool = True) -> List[FlushEvent]:
+        """Flush cohorts whose wake time has arrived, in due order.
 
-        ``horizon_s`` extends that lookahead for drivers that are about to
+        A cohort can flush slightly *before* its own deadline when (on a
+        serializing executor) an earlier-due cohort's estimated service time
+        would otherwise push it past; flushing early is always
+        deadline-safe, just a smaller batch.  On a concurrent executor every
+        due cohort is handed to the executor immediately, so their flushes
+        overlap.
+
+        ``horizon_s`` extends the lookahead for drivers that are about to
         be busy: ``pump(horizon_s=0.005)`` also flushes anything that would
         come due within the next 5 ms, so a single-threaded driver can
         flush *before* starting work it cannot interrupt (e.g. an expensive
         ``prepare_window``) instead of returning to an already-missed
         deadline.
+
+        With ``wait=True`` (the default) the call blocks until every flush
+        it started has been harvested, so the returned events are complete
+        and no executor work remains when it returns.  ``wait=False``
+        returns as soon as the due flushes are *started*; their events
+        surface from a later ``pump``/``drain`` once the futures complete
+        (see :attr:`inflight_cohorts`).  Either way, a cohort whose previous
+        flush is still in flight is never double-flushed: the call waits
+        that flush out first.
         """
         if horizon_s < 0:
             raise ValueError("horizon_s must be non-negative")
-        events = []
+        events = self._harvest(block=False)
         while True:
-            wake, order = self._serial_schedule()
-            if wake is None or self.clock.now() + horizon_s < wake - _DEADLINE_EPS:
-                return events
-            events.append(self._flush(order[0], reason="deadline"))
+            # A backlog that filled to a whole batch behind an in-flight
+            # flush is due the moment the cohort frees up, deadline or not —
+            # the inline full-batch flush in submit() was refused for it.
+            cohort = self._next_full_cohort()
+            reason = "full"
+            if cohort is None:
+                wake, order = self._schedule()
+                if wake is None or self.clock.now() + horizon_s < wake - _DEADLINE_EPS:
+                    break
+                cohort = next((c for c in order if c not in self._inflight), None)
+                reason = "deadline"
+                if cohort is None:
+                    # Every due cohort already has a flush in flight: wait
+                    # the most urgent one out, then reconsider (its queue
+                    # may have refilled while it executed).
+                    events.append(self._complete(order[0]))
+                    continue
+            self._begin_flush(cohort, reason=reason)
+            if self._inflight[cohort].ticket.done():
+                events.append(self._complete(cohort))
+        if wait:
+            # Wait out *everything* in flight — flushes started here and any
+            # left over from an earlier pump(wait=False) — so the documented
+            # contract holds: no executor work remains when pump() returns.
+            events.extend(self._harvest(block=True))
+            while (cohort := self._next_full_cohort()) is not None:
+                events.append(self._flush(cohort, reason="full"))
+        return events
 
     def drain(self) -> List[FlushEvent]:
-        """Flush everything still queued, regardless of deadlines."""
-        events = [
-            self._flush(cohort, reason="drain")
-            for cohort, queue in self._queues.items()
-            if queue
-        ]
+        """Flush everything still queued, regardless of deadlines.
+
+        Also waits out and returns any flushes still in flight on the
+        executor, so after ``drain()`` no window and no future is pending.
+        """
+        events = self._harvest(block=True)
+        for cohort, queue in self._queues.items():
+            if queue:
+                events.append(self._flush(cohort, reason="drain"))
         if self._shed_since_flush or self._stalled_since_flush:
             # Sheds/stalls after the last flush would otherwise never reach
             # telemetry; emit an empty record to carry the counters (empty
@@ -517,8 +626,34 @@ class AsyncFleetScheduler:
             )
         return events
 
-    def _flush(self, cohort: str, reason: str) -> FlushEvent:
+    def _harvest(self, block: bool) -> List[FlushEvent]:
+        """Fold completed in-flight flushes back in; optionally wait for all."""
+        events = []
+        for cohort in list(self._inflight):
+            if block or self._inflight[cohort].ticket.done():
+                events.append(self._complete(cohort))
+        return events
+
+    def _next_full_cohort(self) -> Optional[str]:
+        """A cohort whose backlog fills a whole batch and is free to flush."""
+        for cohort, queue in self._queues.items():
+            if (
+                len(queue) >= self.scheduler_config.max_batch_size
+                and cohort not in self._inflight
+            ):
+                return cohort
+        return None
+
+    def _begin_flush(self, cohort: str, reason: str) -> _InFlightFlush:
+        """Hand a cohort's queued windows to the executor (phase one)."""
+        if cohort in self._inflight:
+            raise RuntimeError(
+                f"cohort {cohort!r} already has a flush in flight; "
+                "double-flushes are refused"
+            )
         queue, self._queues[cohort] = self._queues[cohort], []
+        if not queue:
+            raise RuntimeError(f"internal: flush of empty cohort queue {cohort!r}")
         batcher = self._batchers[cohort]
         started_at = self.clock.now()
         waits = [started_at - item.arrival_s for item in queue]
@@ -527,40 +662,89 @@ class AsyncFleetScheduler:
         )
         for item in queue:
             batcher.submit(item.session_id, item.window)
-        result = batcher.flush()
+        prepared = batcher.prepare()
+        assert prepared is not None
+        try:
+            ticket = self.executor.submit_flush(cohort, prepared)
+        except Exception:
+            # The executor refused the batch (worker died, pool shut down).
+            # Put the windows back so no admitted window is silently lost:
+            # a recovered executor (or drain) can still serve them, and the
+            # one-result-per-admitted-window conservation invariant holds.
+            self._queues[cohort] = queue + self._queues[cohort]
+            raise
+        flight = _InFlightFlush(
+            cohort=cohort,
+            reason=reason,
+            started_at_s=started_at,
+            max_wait_s=max(waits, default=0.0),
+            violations=violations,
+            prepared=prepared,
+            ticket=ticket,
+        )
+        self._inflight[cohort] = flight
+        return flight
+
+    def _complete(self, cohort: str) -> FlushEvent:
+        """Harvest one in-flight flush: route results, record telemetry."""
+        flight = self._inflight[cohort]
+        # Resolve the ticket *before* dropping the in-flight entry: if
+        # result() raises (worker timeout), the flush stays tracked and a
+        # later pump/drain retries the harvest instead of wedging the cohort.
+        execution = flight.ticket.result()
+        del self._inflight[cohort]
+        result = self._batchers[cohort].finalize(flight.prepared, execution)
+        completed_at = self.clock.now()
+        # Service EWMA: execute-only time, so wake-time estimates are not
+        # polluted by executor queueing.  None means "no sample yet" — a
+        # genuine 0.0 sample must seed the estimate, not reset it.
         previous = self._service_ewma_s[cohort]
         self._service_ewma_s[cohort] = (
-            result.latency_s
-            if previous == 0.0
-            else _SERVICE_EWMA_ALPHA * result.latency_s
+            execution.service_s
+            if previous is None
+            else _SERVICE_EWMA_ALPHA * execution.service_s
             + (1.0 - _SERVICE_EWMA_ALPHA) * previous
         )
         per_window = result.per_window_latency_s()
         ticks: Dict[str, Any] = {}
         for session_id, probabilities in result.results.items():
             session = self._sessions.get(session_id)
-            if session is None:  # departed while queued: drop its row
+            if session is None:  # departed while queued/in flight: drop its row
                 continue
             ticks[session_id] = session.apply_result(probabilities, per_window)
+        executor_wait = max(
+            0.0, (completed_at - flight.started_at_s) - execution.service_s
+        )
         self._record(
             batch_size=len(result),
             latency_s=result.latency_s,
-            violations=violations,
-            max_wait=max(waits, default=0.0),
-            reason=reason,
+            violations=flight.violations,
+            max_wait=flight.max_wait_s,
+            reason=flight.reason,
+            cohort=cohort,
+            worker=execution.worker,
+            executor_wait_s=executor_wait,
+            completed_at_s=completed_at,
         )
         event = FlushEvent(
             cohort=cohort,
-            reason=reason,
-            flushed_at_s=started_at,
+            reason=flight.reason,
+            flushed_at_s=flight.started_at_s,
             ticks=ticks,
             batch_size=len(result),
             latency_s=result.latency_s,
-            max_queue_wait_s=max(waits, default=0.0),
-            deadline_violations=violations,
+            max_queue_wait_s=flight.max_wait_s,
+            deadline_violations=flight.violations,
+            worker=execution.worker,
+            executor_wait_s=executor_wait,
         )
         self.last_flush_event = event
         return event
+
+    def _flush(self, cohort: str, reason: str) -> FlushEvent:
+        """Begin and immediately harvest one flush (synchronous paths)."""
+        self._begin_flush(cohort, reason)
+        return self._complete(cohort)
 
     def _record(
         self,
@@ -569,6 +753,10 @@ class AsyncFleetScheduler:
         violations: int,
         max_wait: float,
         reason: str,
+        cohort: str = "",
+        worker: str = "",
+        executor_wait_s: float = 0.0,
+        completed_at_s: float = 0.0,
     ) -> None:
         self.telemetry.record(
             FleetTickRecord(
@@ -584,6 +772,10 @@ class AsyncFleetScheduler:
                 deadline_violations=violations,
                 max_queue_wait_s=max_wait,
                 flush_reason=reason,
+                cohort=cohort,
+                worker=worker,
+                executor_wait_s=executor_wait_s,
+                completed_at_s=completed_at_s,
             )
         )
         self._record_index += 1
@@ -612,10 +804,10 @@ class AsyncFleetScheduler:
         of order behind the fresher windows ``tick`` prepares, so ``tick``
         refuses to run until the queues are drained.
         """
-        if any(self._queues.values()):
+        if any(self._queues.values()) or self._inflight:
             raise RuntimeError(
                 "lock-step tick() cannot run with windows queued via "
-                "submit(); call drain() (or pump()) first"
+                "submit() or flushes in flight; call drain() (or pump()) first"
             )
         sessions = list(self._sessions.values())
         # Fold in stalls/sheds from submit() calls that never led to a flush
@@ -673,8 +865,9 @@ class AsyncFleetScheduler:
     # reporting / lifecycle
     # ------------------------------------------------------------------ #
     def shutdown(self) -> None:
-        """Drain pending windows, then stop every attached session."""
+        """Drain pending work, stop the executor, then every session."""
         self.drain()
+        self.executor.shutdown()
         for session_id in list(self._sessions):
             self.remove_session(session_id)
 
@@ -685,4 +878,6 @@ class AsyncFleetScheduler:
             ticks=self._record_index,
             fleet=self.telemetry.summary(),
             sessions=session_stats(everyone),
+            cohorts=self.telemetry.cohort_breakdown(),
+            workers=self.telemetry.worker_breakdown(),
         )

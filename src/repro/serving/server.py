@@ -41,11 +41,19 @@ from repro.utils.timing import SYSTEM_CLOCK, Clock
 
 @dataclass
 class FleetReport:
-    """End-of-run summary: fleet aggregates plus per-session roll-ups."""
+    """End-of-run summary: fleet aggregates plus per-session roll-ups.
+
+    ``cohorts`` and ``workers`` break the aggregate down by model cohort
+    (queue wait vs service time) and execution lane (utilisation); they are
+    only populated by flush records that carry those labels — i.e. by the
+    asynchronous scheduler — and stay empty for pure lock-step runs.
+    """
 
     ticks: int
     fleet: Dict[str, float]
     sessions: List[SessionStats] = field(default_factory=list)
+    cohorts: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    workers: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def session(self, session_id: str) -> SessionStats:
         for stats in self.sessions:
@@ -195,4 +203,6 @@ class FleetServer:
             ticks=self._tick_index,
             fleet=self.telemetry.summary(),
             sessions=session_stats(everyone),
+            cohorts=self.telemetry.cohort_breakdown(),
+            workers=self.telemetry.worker_breakdown(),
         )

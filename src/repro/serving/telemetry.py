@@ -42,6 +42,18 @@ class FleetTickRecord:
     #: What triggered this record: "tick" (lock-step), "deadline", "full" or
     #: "drain".
     flush_reason: str = "tick"
+    #: Cohort the flush served ("" for lock-step ticks, which flush every
+    #: cohort into one record).
+    cohort: str = ""
+    #: Execution lane that served the flush ("serial", a worker thread name
+    #: or a shard-worker id; "" for lock-step ticks).
+    worker: str = ""
+    #: Executor queueing/transport overhead: harvest wall time minus service
+    #: time (0.0 on the inline serial path).
+    executor_wait_s: float = 0.0
+    #: Clock time at which the flush result was folded back in (0.0 for
+    #: lock-step ticks); lets per-worker utilisation be computed offline.
+    completed_at_s: float = 0.0
 
 
 @dataclass
@@ -136,6 +148,70 @@ class FleetTelemetry:
             return 0.0
         return sum(r.stalled_sessions for r in self.records) / opportunities
 
+    def max_executor_wait_s(self) -> float:
+        """Longest observed executor queueing/transport overhead."""
+        if not self.records:
+            return 0.0
+        return max(r.executor_wait_s for r in self.records)
+
+    def cohort_breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Per-cohort roll-up: queue wait vs service time, violations, labels.
+
+        Only asynchronous flush records carry a cohort label; lock-step
+        ``tick`` records (which flush every cohort into one record) are
+        excluded, so a pure lock-step run yields an empty breakdown.
+        """
+        grouped: Dict[str, List[FleetTickRecord]] = {}
+        for record in self.records:
+            if record.cohort:
+                grouped.setdefault(record.cohort, []).append(record)
+        breakdown: Dict[str, Dict[str, float]] = {}
+        for cohort, records in grouped.items():
+            service = [r.batch_latency_s for r in records if r.batch_size > 0]
+            p50, p95 = (
+                np.percentile(service, [50, 95]) if service else (0.0, 0.0)
+            )
+            breakdown[cohort] = {
+                "flushes": float(len(records)),
+                "labels": float(sum(r.batch_size for r in records)),
+                "service_total_s": float(sum(service)),
+                "service_p50_s": float(p50),
+                "service_p95_s": float(p95),
+                "max_queue_wait_s": max(r.max_queue_wait_s for r in records),
+                "mean_executor_wait_s": float(
+                    np.mean([r.executor_wait_s for r in records])
+                ),
+                "deadline_violations": float(
+                    sum(r.deadline_violations for r in records)
+                ),
+                "shed_windows": float(sum(r.shed_sessions for r in records)),
+            }
+        return breakdown
+
+    def worker_breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Per-worker roll-up: flushes served, busy time, utilisation.
+
+        Utilisation is busy time over the worker's observed span (first
+        flush start to last flush completion); a worker with a single flush
+        has no span and reports utilisation 1.0.
+        """
+        grouped: Dict[str, List[FleetTickRecord]] = {}
+        for record in self.records:
+            if record.worker:
+                grouped.setdefault(record.worker, []).append(record)
+        breakdown: Dict[str, Dict[str, float]] = {}
+        for worker, records in grouped.items():
+            busy = float(sum(r.batch_latency_s for r in records))
+            starts = [r.completed_at_s - r.batch_latency_s for r in records]
+            span = max(r.completed_at_s for r in records) - min(starts)
+            breakdown[worker] = {
+                "flushes": float(len(records)),
+                "labels": float(sum(r.batch_size for r in records)),
+                "busy_s": busy,
+                "utilization": busy / span if span > 0 else 1.0,
+            }
+        return breakdown
+
     def summary(self) -> Dict[str, float]:
         percentiles = self.latency_percentiles()
         return {
@@ -150,6 +226,8 @@ class FleetTelemetry:
             "shed_windows": float(self.total_shed),
             "deadline_violations": float(self.total_deadline_violations),
             "max_queue_wait_s": self.max_queue_wait_s(),
+            "max_executor_wait_s": self.max_executor_wait_s(),
+            "workers": float(len({r.worker for r in self.records if r.worker})),
         }
 
 

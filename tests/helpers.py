@@ -11,7 +11,10 @@ of virtual seconds of arrivals in milliseconds of real time).
 
 import heapq
 import itertools
+import signal
+import threading
 from collections import Counter
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -20,38 +23,76 @@ from repro.models.base import EEGClassifier, TrainingHistory
 from repro.signals.synthetic import ACTIONS
 
 
+@contextmanager
+def hard_timeout(seconds, what="test"):
+    """Kill the calling test with a clear error if it wall-clock hangs.
+
+    SIGALRM-based, so it fires even when the hang is inside a blocking
+    native call; on non-POSIX platforms it degrades to a no-op and the CI
+    job timeout is the backstop.
+    """
+    if not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"{what} exceeded the {seconds}s hard timeout — it is hanging "
+            "instead of making progress"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 class FakeClock:
     """Deterministic virtual clock implementing the ``Clock`` protocol.
 
     ``sleep`` advances virtual time instead of blocking, so code written
     against the injected clock runs thousands of virtual seconds per real
     millisecond and every measured duration is exact.
+
+    Thread-safe: the thread-pool flush executor reads and advances the
+    clock from worker threads concurrently with the driving thread, and a
+    torn ``_now`` update would silently corrupt virtual time.
     """
 
     def __init__(self, start=0.0):
         self._now = float(start)
+        self._lock = threading.Lock()
         self.sleep_calls = []
 
     def now(self):
-        return self._now
+        with self._lock:
+            return self._now
 
     def sleep(self, duration_s):
         if duration_s < 0:
             raise ValueError("cannot sleep a negative duration")
-        self.sleep_calls.append(float(duration_s))
-        self._now += float(duration_s)
+        with self._lock:
+            self.sleep_calls.append(float(duration_s))
+            self._now += float(duration_s)
 
     def advance(self, duration_s):
         """Move virtual time forward without recording a sleep."""
         if duration_s < 0:
             raise ValueError("cannot advance backwards")
-        self._now += float(duration_s)
+        with self._lock:
+            self._now += float(duration_s)
 
     def advance_to(self, time_s):
         """Jump to an absolute virtual time (never backwards)."""
-        if time_s < self._now - 1e-12:
-            raise ValueError(f"cannot rewind the clock from {self._now} to {time_s}")
-        self._now = max(self._now, float(time_s))
+        with self._lock:
+            if time_s < self._now - 1e-12:
+                raise ValueError(
+                    f"cannot rewind the clock from {self._now} to {time_s}"
+                )
+            self._now = max(self._now, float(time_s))
 
 
 class ClockedStubClassifier(EEGClassifier):

@@ -1,0 +1,184 @@
+"""Plan transport: payload round-trips, replicas, and a real shard worker.
+
+The payload is the contract that lets ``ProcessShardExecutor`` workers serve
+a cohort without the Module tree or autograd: these tests pin that a
+``to_payload`` → ``from_payload`` round trip reproduces the in-process plan
+to (well under) 1e-12 across every family and the int8 quantized variant,
+and that a real worker process serves the same probabilities.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.compression.quantization import compile_quantized_plan
+from repro.models.cnn import CNNConfig, EEGCNN
+from repro.models.compiled import CompiledClassifier, TransportedPreprocessor
+from repro.models.lstm_model import EEGLSTM, LSTMConfig
+from repro.models.transformer_model import EEGTransformer, TransformerConfig
+from repro.nn.inference import InferencePlan, Kernel, PlanTransportError
+from repro.serving.batcher import PreparedBatch
+from repro.serving.executors import ProcessShardExecutor, SerialExecutor
+from repro.utils.timing import SYSTEM_CLOCK
+from tests.helpers import hard_timeout
+
+N_CHANNELS = 4
+WINDOW = 50
+
+
+def _families():
+    return [
+        (
+            "cnn",
+            EEGCNN(
+                CNNConfig(
+                    n_conv_layers=2,
+                    filters=(6, 8),
+                    kernel_size=3,
+                    stride=1,
+                    pooling="max",
+                    hidden_units=12,
+                ),
+                seed=1,
+            ),
+        ),
+        ("lstm", EEGLSTM(LSTMConfig(hidden_size=24, num_layers=2), seed=2)),
+        (
+            "transformer",
+            EEGTransformer(
+                TransformerConfig(
+                    num_layers=2, n_heads=2, d_model=16, dim_feedforward=32
+                ),
+                seed=3,
+            ),
+        ),
+    ]
+
+
+@pytest.fixture(params=_families(), ids=lambda p: p[0])
+def built_classifier(request):
+    _, classifier = request.param
+    classifier.ensure_network(N_CHANNELS, WINDOW)
+    return classifier
+
+
+def _windows(seed=0, n=7):
+    return np.random.default_rng(seed).standard_normal((n, N_CHANNELS, WINDOW))
+
+
+class TestPayloadRoundTrip:
+    def test_replica_matches_in_process_plan(self, built_classifier):
+        compiled = built_classifier.ensure_compiled()
+        replica = CompiledClassifier.from_payload(compiled.to_payload())
+        windows = _windows()
+        np.testing.assert_allclose(
+            replica.predict_proba(windows),
+            compiled.predict_proba(windows),
+            atol=1e-12,
+            rtol=0,
+        )
+
+    def test_int8_quantized_replica_matches(self, built_classifier):
+        quantized = compile_quantized_plan(built_classifier, bits=8)
+        replica = CompiledClassifier.from_payload(quantized.to_payload())
+        windows = _windows(seed=1)
+        np.testing.assert_allclose(
+            replica.predict_proba(windows),
+            quantized.predict_proba(windows),
+            atol=1e-12,
+            rtol=0,
+        )
+        # Quantized weights ship as integers, not dequantized floats.
+        assert replica.nbytes == quantized.nbytes
+
+    def test_replica_is_module_free(self, built_classifier):
+        replica = CompiledClassifier.from_payload(
+            built_classifier.ensure_compiled().to_payload()
+        )
+        assert isinstance(replica.classifier, TransportedPreprocessor)
+        assert not hasattr(replica.classifier, "network")
+        assert replica.classifier.family == built_classifier.family
+        assert replica.describe()["kernels"] == (
+            built_classifier.ensure_compiled().describe()["kernels"]
+        )
+
+    def test_second_round_trip_is_stable(self, built_classifier):
+        first = CompiledClassifier.from_payload(
+            built_classifier.ensure_compiled().to_payload()
+        )
+        second = CompiledClassifier.from_payload(first.to_payload())
+        windows = _windows(seed=2, n=3)
+        np.testing.assert_array_equal(
+            first.predict_proba(windows), second.predict_proba(windows)
+        )
+
+    def test_payload_is_a_plain_npz_archive(self, built_classifier):
+        data = built_classifier.ensure_compiled().to_payload()
+        # Same geometry as the weight archives: flat arrays + __meta__, no
+        # pickled objects anywhere (allow_pickle stays False).
+        with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+            assert InferencePlan.META_KEY in archive.files
+
+
+class TestTransportErrors:
+    def test_plan_payload_without_classifier_meta_rejected(self):
+        model = EEGLSTM(LSTMConfig(hidden_size=8), seed=0)
+        model.ensure_network(N_CHANNELS, WINDOW)
+        plan_only = model.ensure_compiled().plan.to_payload()
+        buffer = io.BytesIO()
+        np.savez(buffer, **plan_only)
+        with pytest.raises(PlanTransportError, match="classifier metadata"):
+            CompiledClassifier.from_payload(buffer.getvalue())
+
+    def test_classifier_without_prepare_spec_rejected(self):
+        model = EEGLSTM(LSTMConfig(hidden_size=8), seed=0)
+        model.ensure_network(N_CHANNELS, WINDOW)
+        compiled = model.ensure_compiled()
+        compiled.classifier.prepare_spec = lambda: None
+        with pytest.raises(PlanTransportError, match="prepare_spec"):
+            compiled.to_payload()
+
+    def test_unregistered_kernel_type_rejected(self):
+        class CustomKernel(Kernel):
+            def __call__(self, x):
+                return x
+
+        plan = InferencePlan([CustomKernel()])
+        with pytest.raises(PlanTransportError, match="CustomKernel"):
+            plan.to_payload()
+
+    def test_unknown_payload_format_rejected(self):
+        with pytest.raises(PlanTransportError, match="format"):
+            InferencePlan.from_payload(
+                {InferencePlan.META_KEY: np.asarray('{"format": "bogus"}')}
+            )
+
+
+class TestShardWorkerServesTheReplica:
+    def test_worker_process_matches_serial_probabilities(self):
+        classifier = EEGLSTM(LSTMConfig(hidden_size=16), seed=5)
+        classifier.ensure_network(N_CHANNELS, WINDOW)
+        quantized = compile_quantized_plan(classifier, bits=8)
+        prepared = PreparedBatch(
+            session_ids=["a", "b"],
+            windows=_windows(seed=3, n=2),
+            chunk_size=2,
+        )
+        serial = SerialExecutor()
+        serial.bind({"float": classifier, "int8": quantized}, SYSTEM_CLOCK)
+        executor = ProcessShardExecutor()
+        with hard_timeout(240, what="shard-worker transport smoke"):
+            executor.bind({"float": classifier, "int8": quantized}, SYSTEM_CLOCK)
+            try:
+                for cohort in ("float", "int8"):
+                    reference = serial.submit_flush(cohort, prepared).result()
+                    execution = executor.submit_flush(cohort, prepared).result()
+                    np.testing.assert_allclose(
+                        execution.probabilities,
+                        reference.probabilities,
+                        atol=1e-7,
+                        rtol=0,
+                    )
+            finally:
+                executor.shutdown()

@@ -1,0 +1,521 @@
+"""Pluggable flush execution: batcher phase split, executors, in-flight flushes.
+
+Deterministic tests run on the FakeClock with clock-driven stub classifiers
+(exact latencies); the process-shard tests use real compiled plans and the
+real clock, wrapped in a hard wall-clock timeout so a wedged worker fails
+fast and attributably.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.lstm_model import EEGLSTM, LSTMConfig
+from repro.serving.batcher import MicroBatcher, PreparedBatch, execute_windows
+from repro.serving.executors import (
+    FlushExecutionError,
+    ProcessShardExecutor,
+    SerialExecutor,
+    ThreadPoolFlushExecutor,
+)
+from repro.serving.scheduler import (
+    SUBMIT_FLUSHED,
+    SUBMIT_QUEUED,
+    AsyncFleetScheduler,
+    SchedulerConfig,
+)
+from repro.utils.timing import SYSTEM_CLOCK
+from tests.helpers import (
+    ClockedStubClassifier,
+    FakeClock,
+    ScriptedSession,
+    SimulatedLoad,
+    hard_timeout,
+)
+
+DEADLINE_S = 0.015
+
+
+def make_scheduler(clock, n_sessions=4, executor=None, classifier=None, **sched_kwargs):
+    classifier = classifier or ClockedStubClassifier(clock)
+    scheduler = AsyncFleetScheduler(
+        classifier,
+        scheduler_config=SchedulerConfig(deadline_s=DEADLINE_S, **sched_kwargs),
+        clock=clock,
+        executor=executor,
+    )
+    for i in range(n_sessions):
+        scheduler.add_session(ScriptedSession(f"s{i}", seed=i))
+    return scheduler
+
+
+# ---------------------------------------------------------------------- #
+# MicroBatcher three-phase split
+# ---------------------------------------------------------------------- #
+class TestBatcherPhases:
+    def test_prepare_returns_none_when_empty(self):
+        batcher = MicroBatcher(ClockedStubClassifier())
+        assert batcher.prepare() is None
+
+    def test_flush_equals_manual_three_phase_composition(self):
+        clock = FakeClock()
+        rng = np.random.default_rng(0)
+        windows = {f"s{i}": rng.standard_normal((2, 4)) for i in range(5)}
+        one = MicroBatcher(ClockedStubClassifier(clock, base_latency_s=0.002),
+                           max_batch_size=2, clock=clock)
+        two = MicroBatcher(ClockedStubClassifier(clock, base_latency_s=0.002),
+                           max_batch_size=2, clock=clock)
+        for sid, window in windows.items():
+            one.submit(sid, window)
+            two.submit(sid, window)
+        direct = one.flush()
+        prepared = two.prepare()
+        manual = two.finalize(prepared, two.execute(prepared))
+        assert direct.batch_sizes == manual.batch_sizes == [2, 2, 1]
+        assert direct.latency_s == manual.latency_s
+        assert set(direct.results) == set(manual.results)
+        for sid in windows:
+            np.testing.assert_array_equal(direct.results[sid], manual.results[sid])
+
+    def test_single_chunk_skips_the_concatenate_copy(self):
+        returned = []
+
+        class Recording(ClockedStubClassifier):
+            def predict_proba(self, windows):
+                probs = super().predict_proba(windows)
+                returned.append(probs)
+                return probs
+
+        batcher = MicroBatcher(Recording())
+        for i in range(3):
+            batcher.submit(f"s{i}", np.full((2, 4), float(i)))
+        execution = batcher.execute(batcher.prepare())
+        assert execution.batch_sizes == [3]
+        # The classifier's own output array is handed through untouched.
+        assert execution.probabilities is returned[0]
+
+    def test_multi_chunk_still_concatenates(self):
+        batcher = MicroBatcher(ClockedStubClassifier(), max_batch_size=2)
+        for i in range(3):
+            batcher.submit(f"s{i}", np.full((2, 4), float(i)))
+        execution = batcher.execute(batcher.prepare())
+        assert execution.batch_sizes == [2, 1]
+        assert execution.probabilities.shape == (3, 3)
+
+    def test_finalize_rejects_row_count_mismatch(self):
+        batcher = MicroBatcher(ClockedStubClassifier())
+        batcher.submit("s0", np.zeros((2, 4)))
+        prepared = batcher.prepare()
+        execution = execute_windows(ClockedStubClassifier(), np.zeros((2, 2, 4)), 2)
+        with pytest.raises(RuntimeError, match="rows"):
+            batcher.finalize(prepared, execution)
+
+    def test_execute_windows_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            execute_windows(ClockedStubClassifier(), np.zeros((1, 2, 4)), 0)
+
+
+# ---------------------------------------------------------------------- #
+# Executor equivalence on the scheduler
+# ---------------------------------------------------------------------- #
+def _run_load(executor_factory, seconds=10.0, base_latency_s=0.0):
+    clock = FakeClock()
+    scheduler = AsyncFleetScheduler(
+        {
+            "adults": ClockedStubClassifier(
+                clock, peak_class=0, base_latency_s=base_latency_s
+            ),
+            "kids": ClockedStubClassifier(
+                clock, peak_class=2, base_latency_s=base_latency_s
+            ),
+        },
+        scheduler_config=SchedulerConfig(deadline_s=DEADLINE_S, max_batch_size=8),
+        clock=clock,
+        executor=executor_factory(),
+    )
+    for i in range(6):
+        scheduler.add_session(
+            ScriptedSession(f"s{i}", seed=i),
+            cohort="adults" if i % 2 == 0 else "kids",
+        )
+    load = SimulatedLoad(scheduler, clock, period_s=0.1, seed=3)
+    load.run(seconds)
+    scheduler.executor.shutdown()
+    return scheduler, load
+
+
+class TestExecutorEquivalence:
+    def test_default_executor_is_serial(self):
+        clock = FakeClock()
+        scheduler = make_scheduler(clock)
+        assert isinstance(scheduler.executor, SerialExecutor)
+        assert scheduler.executor.serializes_flushes
+
+    def test_thread_executor_matches_serial_results(self):
+        # Zero-latency stubs: the virtual clock never moves inside a flush,
+        # so the thread run is deterministic and comparable row for row.
+        serial_sched, serial_load = _run_load(lambda: None)
+        thread_sched, thread_load = _run_load(ThreadPoolFlushExecutor)
+        assert serial_load.outcomes == thread_load.outcomes
+        assert (
+            thread_sched.telemetry.total_labels
+            == serial_sched.telemetry.total_labels
+        )
+        for sid in (f"s{i}" for i in range(6)):
+            a = serial_sched.get_session(sid).applied
+            b = thread_sched.get_session(sid).applied
+            assert len(a) == len(b)
+            for (pa, _), (pb, _) in zip(a, b):
+                np.testing.assert_array_equal(pa, pb)
+
+    def test_serial_executor_cannot_be_rebound(self):
+        clock = FakeClock()
+        scheduler = make_scheduler(clock)
+        with pytest.raises(RuntimeError, match="already bound"):
+            AsyncFleetScheduler(
+                ClockedStubClassifier(clock),
+                clock=clock,
+                executor=scheduler.executor,
+            )
+
+    def test_telemetry_breakdowns_populated(self):
+        scheduler, _ = _run_load(lambda: None, base_latency_s=0.002)
+        report = scheduler.report()
+        assert set(report.cohorts) == {"adults", "kids"}
+        for stats in report.cohorts.values():
+            assert stats["labels"] > 0
+            assert stats["deadline_violations"] == 0
+            assert stats["max_queue_wait_s"] <= DEADLINE_S + 1e-9
+        assert set(report.workers) == {"serial"}
+        assert report.workers["serial"]["flushes"] == sum(
+            c["flushes"] for c in report.cohorts.values()
+        )
+        assert 0 < report.workers["serial"]["utilization"] <= 1.0
+        assert report.fleet["workers"] == 1.0
+
+    def test_lockstep_records_carry_no_cohort_or_worker(self):
+        clock = FakeClock()
+        scheduler = make_scheduler(clock, n_sessions=2)
+        scheduler.tick()
+        (record,) = scheduler.telemetry.records
+        assert record.cohort == "" and record.worker == ""
+        assert scheduler.report().cohorts == {}
+        assert scheduler.report().workers == {}
+
+
+# ---------------------------------------------------------------------- #
+# In-flight flush tracking (manually completed executor)
+# ---------------------------------------------------------------------- #
+class ManualTicket:
+    def __init__(self, run):
+        self._run = run
+        self._execution = None
+        self.released = False
+
+    def release(self):
+        self.released = True
+
+    def done(self):
+        return self.released
+
+    def result(self, timeout=None):
+        if self._execution is None:
+            self._execution = self._run()
+        return self._execution
+
+
+class ManualExecutor:
+    """Test double: flushes stay in flight until the test releases them."""
+
+    serializes_flushes = False
+
+    def __init__(self):
+        self.tickets = {}
+
+    def bind(self, classifiers, clock):
+        self.classifiers = dict(classifiers)
+        self.clock = clock
+
+    def submit_flush(self, cohort, prepared):
+        classifier = self.classifiers[cohort]
+        ticket = ManualTicket(
+            lambda: execute_windows(
+                classifier, prepared.windows, prepared.chunk_size,
+                self.clock, worker=f"manual:{cohort}",
+            )
+        )
+        self.tickets[cohort] = ticket
+        return ticket
+
+    def shutdown(self):
+        self.tickets = {}
+
+
+class TestInFlightFlushes:
+    def _scheduler(self, n_sessions=3, **sched_kwargs):
+        clock = FakeClock()
+        executor = ManualExecutor()
+        scheduler = make_scheduler(
+            clock, n_sessions=n_sessions, executor=executor, **sched_kwargs
+        )
+        return clock, executor, scheduler
+
+    def test_pump_wait_false_leaves_future_in_flight(self):
+        clock, executor, scheduler = self._scheduler()
+        scheduler.submit("s0")
+        clock.advance(DEADLINE_S)
+        assert scheduler.pump(wait=False) == []
+        assert scheduler.inflight_cohorts == ("default",)
+        executor.tickets["default"].release()
+        (event,) = scheduler.pump(wait=False)
+        assert event.reason == "deadline"
+        assert event.worker == "manual:default"
+        assert scheduler.inflight_cohorts == ()
+
+    def test_session_departing_while_flush_in_flight(self):
+        clock, executor, scheduler = self._scheduler()
+        scheduler.submit("s0")
+        scheduler.submit("s1")
+        clock.advance(DEADLINE_S)
+        scheduler.pump(wait=False)
+        removed = scheduler.remove_session("s1")  # departs mid-flight
+        executor.tickets["default"].release()
+        (event,) = scheduler.pump(wait=False)
+        # The departed session's row is computed but dropped, not applied.
+        assert set(event.ticks) == {"s0"}
+        assert event.batch_size == 2
+        assert removed.labels_emitted() == 0
+        assert scheduler.get_session("s0").labels_emitted() == 1
+
+    def test_full_batch_submit_refuses_double_flush(self):
+        clock, executor, scheduler = self._scheduler(
+            n_sessions=3, max_batch_size=2
+        )
+        assert scheduler.submit("s0") == SUBMIT_QUEUED
+        assert scheduler.submit("s1") == SUBMIT_FLUSHED  # blocks & completes
+        assert scheduler.inflight_cohorts == ()  # inline flush is synchronous
+        # Now hold a flush in flight and fill the batch again: no double
+        # flush — the submission queues behind the in-flight one.
+        scheduler.submit("s0")
+        clock.advance(DEADLINE_S)
+        scheduler.pump(wait=False)
+        assert scheduler.inflight_cohorts == ("default",)
+        assert scheduler.submit("s1") == SUBMIT_QUEUED
+        assert scheduler.submit("s2") == SUBMIT_QUEUED  # batch full, still queued
+        executor.tickets["default"].release()
+        (harvested,) = scheduler.pump(wait=False)
+        assert harvested.batch_size == 1
+        # The freed cohort's full backlog flushes immediately (reason
+        # "full"), without waiting for its deadline ...
+        assert scheduler.inflight_cohorts == ("default",)
+        executor.tickets["default"].release()
+        (backlog,) = scheduler.pump(wait=False)
+        assert backlog.reason == "full"
+        assert backlog.batch_size == 2
+
+    def test_tick_refuses_while_flush_in_flight(self):
+        clock, executor, scheduler = self._scheduler()
+        scheduler.submit("s0")
+        clock.advance(DEADLINE_S)
+        scheduler.pump(wait=False)
+        with pytest.raises(RuntimeError, match="in flight"):
+            scheduler.tick()
+        executor.tickets["default"].release()
+        scheduler.pump()
+        assert scheduler.tick()
+
+    def test_drain_harvests_in_flight_futures(self):
+        clock, executor, scheduler = self._scheduler()
+        scheduler.submit("s0")
+        clock.advance(DEADLINE_S)
+        scheduler.pump(wait=False)
+        scheduler.submit("s1")  # queued behind the in-flight flush
+        executor.tickets["default"].release()
+        events = scheduler.drain()
+        assert [e.reason for e in events] == ["deadline", "drain"]
+        assert sum(e.batch_size for e in events) == 2
+
+    def test_pump_wait_true_blocks_on_started_flush(self):
+        clock, executor, scheduler = self._scheduler()
+        scheduler.submit("s0")
+        clock.advance(DEADLINE_S)
+        # wait=True completes the future it started via ticket.result().
+        (event,) = scheduler.pump()
+        assert event.batch_size == 1
+        assert scheduler.inflight_cohorts == ()
+
+    def test_pump_wait_true_harvests_leftover_in_flight_flushes(self):
+        # A flush left in flight by pump(wait=False) must also be waited
+        # out by a later default pump() — its contract is "no executor work
+        # remains when it returns".
+        clock, executor, scheduler = self._scheduler()
+        scheduler.submit("s0")
+        clock.advance(DEADLINE_S)
+        scheduler.pump(wait=False)
+        assert scheduler.inflight_cohorts == ("default",)
+        (event,) = scheduler.pump()  # nothing newly due, still harvests
+        assert event.batch_size == 1
+        assert scheduler.inflight_cohorts == ()
+        assert scheduler.tick() is not None  # lock-step usable again
+
+    def test_failed_submit_restores_the_queued_windows(self):
+        clock, executor, scheduler = self._scheduler()
+
+        fail_next = {"armed": True}
+        original = executor.submit_flush
+
+        def flaky(cohort, prepared):
+            if fail_next["armed"]:
+                fail_next["armed"] = False
+                raise FlushExecutionError("worker died")
+            return original(cohort, prepared)
+
+        executor.submit_flush = flaky
+        scheduler.submit("s0")
+        scheduler.submit("s1")
+        clock.advance(DEADLINE_S)
+        with pytest.raises(FlushExecutionError):
+            scheduler.pump()
+        # The popped windows were put back: the executor recovered, and the
+        # retry serves every admitted window (conservation holds).
+        assert scheduler.pump(wait=False) == []  # retry begins, in flight
+        executor.tickets["default"].release()
+        (event,) = scheduler.pump(wait=False)
+        assert event.batch_size == 2
+        assert set(event.ticks) == {"s0", "s1"}
+
+    def test_timed_out_harvest_keeps_the_flush_in_flight(self):
+        clock, executor, scheduler = self._scheduler()
+        scheduler.submit("s0")
+        clock.advance(DEADLINE_S)
+        scheduler.pump(wait=False)
+        ticket = executor.tickets["default"]
+        original_result = ticket.result
+        ticket.result = lambda timeout=None: (_ for _ in ()).throw(
+            TimeoutError("worker slow")
+        )
+        with pytest.raises(TimeoutError):
+            scheduler.drain()
+        # The flush stays tracked; once the (late) result arrives the next
+        # harvest completes it instead of wedging the cohort forever.
+        assert scheduler.inflight_cohorts == ("default",)
+        ticket.result = original_result
+        ticket.release()
+        (event,) = scheduler.pump(wait=False)
+        assert event.batch_size == 1
+
+
+# ---------------------------------------------------------------------- #
+# Service-EWMA cold start (satellite regression)
+# ---------------------------------------------------------------------- #
+class TestServiceEwmaColdStart:
+    def test_zero_latency_flush_seeds_the_estimate(self):
+        clock = FakeClock()
+        classifier = ClockedStubClassifier(clock)  # exactly zero latency
+        scheduler = make_scheduler(clock, n_sessions=1, classifier=classifier)
+        assert scheduler.service_estimate_s("default") is None
+        scheduler.submit("s0")
+        scheduler.drain()
+        # A genuine 0.0 sample is a sample, not "no data".
+        assert scheduler.service_estimate_s("default") == 0.0
+        # The next (slower) flush must be folded in by the EWMA, not treated
+        # as the first sample: estimate = 0.25 * 0.008 + 0.75 * 0.0.
+        classifier.base_latency_s = 0.008
+        scheduler.submit("s0")
+        scheduler.drain()
+        assert scheduler.service_estimate_s("default") == pytest.approx(
+            0.25 * 0.008
+        )
+
+    def test_estimate_measures_service_only(self):
+        # Executor overhead (time between begin and harvest beyond the
+        # execute itself) must not leak into the service estimate.
+        clock = FakeClock()
+        executor = ManualExecutor()
+        classifier = ClockedStubClassifier(clock, base_latency_s=0.004)
+        scheduler = make_scheduler(
+            clock, n_sessions=1, executor=executor, classifier=classifier
+        )
+        scheduler.submit("s0")
+        clock.advance(DEADLINE_S)
+        scheduler.pump(wait=False)
+        clock.advance(0.5)  # half a second of executor queueing
+        executor.tickets["default"].release()
+        (event,) = scheduler.pump(wait=False)
+        assert scheduler.service_estimate_s("default") == pytest.approx(0.004)
+        assert event.latency_s == pytest.approx(0.004)
+        assert event.executor_wait_s == pytest.approx(0.5)
+        record = scheduler.telemetry.records[-1]
+        assert record.executor_wait_s == pytest.approx(0.5)
+        assert scheduler.report().fleet["max_executor_wait_s"] == pytest.approx(0.5)
+
+
+# ---------------------------------------------------------------------- #
+# Process sharding (real clock, real plans, hard timeout)
+# ---------------------------------------------------------------------- #
+def _lstm(seed=4, hidden=12):
+    classifier = EEGLSTM(LSTMConfig(hidden_size=hidden), seed=seed)
+    classifier.ensure_network(4, 50)
+    return classifier
+
+
+class TestProcessShardExecutor:
+    def test_worker_matches_in_process_serial_execution(self):
+        classifier = _lstm()
+        rng = np.random.default_rng(0)
+        prepared = PreparedBatch(
+            session_ids=["a", "b", "c"],
+            windows=rng.standard_normal((3, 4, 50)),
+            chunk_size=2,
+        )
+        serial = SerialExecutor()
+        serial.bind({"default": classifier}, SYSTEM_CLOCK)
+        reference = serial.submit_flush("default", prepared).result()
+        executor = ProcessShardExecutor()
+        with hard_timeout(240, what="process-shard smoke"):
+            executor.bind({"default": classifier}, SYSTEM_CLOCK)
+            try:
+                execution = executor.submit_flush("default", prepared).result()
+            finally:
+                executor.shutdown()
+        assert execution.worker == "shard:default"
+        assert execution.batch_sizes == [2, 1]
+        assert execution.service_s > 0.0
+        np.testing.assert_allclose(
+            execution.probabilities, reference.probabilities, atol=1e-7, rtol=0
+        )
+
+    def test_scheduler_end_to_end_over_process_shards(self):
+        classifier = _lstm()
+        oracle = AsyncFleetScheduler(
+            _lstm(), scheduler_config=SchedulerConfig(deadline_s=DEADLINE_S)
+        )
+        sharded = AsyncFleetScheduler(
+            classifier,
+            scheduler_config=SchedulerConfig(deadline_s=DEADLINE_S),
+            executor=ProcessShardExecutor(),
+        )
+        with hard_timeout(240, what="process-shard scheduler smoke"):
+            try:
+                for scheduler in (oracle, sharded):
+                    for i in range(3):
+                        scheduler.add_session(
+                            ScriptedSession(f"s{i}", n_channels=4, window_size=50, seed=i)
+                        )
+                    for i in range(3):
+                        scheduler.submit(f"s{i}")
+                    scheduler.drain()
+            finally:
+                sharded.executor.shutdown()
+        for i in range(3):
+            (a, _), (b, _) = (
+                oracle.get_session(f"s{i}").applied[0],
+                sharded.get_session(f"s{i}").applied[0],
+            )
+            np.testing.assert_allclose(a, b, atol=1e-7, rtol=0)
+        record = sharded.telemetry.records[-1]
+        assert record.worker == "shard:default"
+
+    def test_untransportable_classifier_rejected_at_bind(self):
+        executor = ProcessShardExecutor()
+        with pytest.raises(ValueError, match="compiled inference plan"):
+            executor.bind({"default": ClockedStubClassifier()}, SYSTEM_CLOCK)
