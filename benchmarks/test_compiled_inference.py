@@ -155,3 +155,60 @@ def test_batched_serving_amortises_even_further():
         f"single {one * 1e3:8.2f} ms   batching gain {one / per_window:5.2f}x"
     )
     assert per_window < one  # batching must amortise the recurrence
+
+
+def test_specialized_arena_row():
+    """Shape-specialised (pre-bound arena) execution vs the generic plan.
+
+    Specialisation removes the allocator/memset traffic and numpy's buffered
+    strided iteration from every flush; the arithmetic is bit-for-bit the
+    generic plan's.  The win is a few percent on matmul-dominated shapes
+    (LSTM batch 16) and >5% where per-kernel overhead matters (single
+    window, CNN), so the gate is an honest no-regression floor — the
+    headline claims (zero steady-state allocations, bit-for-bit equality)
+    are asserted in tier-1 tests, not here.
+    """
+    from repro.models.base import normalize_windows
+
+    rows = [
+        ("lstm-256 (1 window)", EEGLSTM(LSTMConfig(hidden_size=256), seed=0), 1),
+        ("lstm-256 (batch 16)", EEGLSTM(LSTMConfig(hidden_size=256), seed=0), 16),
+        ("cnn-32f (batch 16)", EEGCNN(CNNConfig(), seed=0), 16),
+    ]
+    for label, classifier, batch in rows:
+        classifier.ensure_network(N_CHANNELS, WINDOW)
+        compiled = classifier.ensure_compiled()
+        assert compiled is not None
+        windows = np.random.default_rng(batch).standard_normal(
+            (batch, N_CHANNELS, WINDOW)
+        ).astype(np.float32)
+        prepared = classifier.prepare_array(normalize_windows(windows))
+        plan = compiled.plan
+        plan(prepared)
+        generic_out = plan(prepared).copy()
+        generic = median_call_time_s(lambda: plan(prepared), REPEATS)
+        assert plan.specialize(batch)
+        plan(prepared)  # bind the arena
+        specialized = median_call_time_s(lambda: plan(prepared), REPEATS)
+        if specialized > generic * 1.15:
+            # Sub-100us rows are noise-prone on shared runners: re-measure
+            # both sides harder before declaring a regression (the same
+            # confirmation discipline as _measure_with_confirmation).
+            plan.despecialize(batch)
+            plan(prepared)
+            generic = median_call_time_s(lambda: plan(prepared), CONFIRM_REPEATS)
+            plan.specialize(batch)
+            plan(prepared)
+            specialized = median_call_time_s(
+                lambda: plan(prepared), CONFIRM_REPEATS
+            )
+        print(
+            f"{label:<24} generic {generic * 1e3:8.3f} ms   "
+            f"specialised {specialized * 1e3:8.3f} ms   "
+            f"gain {generic / specialized:5.2f}x"
+        )
+        assert np.array_equal(generic_out, plan(prepared))
+        assert specialized <= generic * 1.15, (
+            f"{label}: specialised execution {specialized * 1e3:.3f} ms "
+            f"regressed past the generic plan {generic * 1e3:.3f} ms"
+        )

@@ -11,6 +11,7 @@ from repro.compression.pruning import (
     PruningReport,
     apply_global_magnitude_pruning,
     prune_classifier,
+    prune_classifier_inplace,
     sparsity,
 )
 from repro.compression.quantization import (
@@ -27,6 +28,7 @@ __all__ = [
     "PruningReport",
     "apply_global_magnitude_pruning",
     "prune_classifier",
+    "prune_classifier_inplace",
     "sparsity",
     "QuantizationReport",
     "QuantizedTensor",

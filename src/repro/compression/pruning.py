@@ -97,6 +97,9 @@ def prune_classifier(
 
     The original classifier is left untouched so compression sweeps
     (Fig. 12) can compare multiple ratios starting from the same weights.
+    The copy's next prediction compiles a fresh serving plan from the
+    pruned weights (copies never inherit a plan), so sparsity-aware kernel
+    lowering sees the zeroed connections.
     """
     if classifier.network is None:
         raise ValueError("Classifier must be fitted/built before pruning")
@@ -104,6 +107,25 @@ def prune_classifier(
     assert pruned.network is not None
     report = apply_global_magnitude_pruning(pruned.network, ratio)
     return pruned, report
+
+
+def prune_classifier_inplace(
+    classifier: NeuralEEGClassifier, ratio: float
+) -> PruningReport:
+    """Prune a fitted classifier's live network, without the deep copy.
+
+    The serving-side variant of :func:`prune_classifier` for deployments
+    that compress the model they are already holding (a deep copy of an
+    LSTM-512 is ~8 MiB of transient weights).  The cached inference plan is
+    invalidated, so the next prediction recompiles against the pruned
+    weights and picks up sparse kernels where the sparsity threshold is
+    crossed.
+    """
+    if classifier.network is None:
+        raise ValueError("Classifier must be fitted/built before pruning")
+    report = apply_global_magnitude_pruning(classifier.network, ratio)
+    classifier.invalidate_compiled()
+    return report
 
 
 def effective_parameter_count(classifier: NeuralEEGClassifier) -> int:

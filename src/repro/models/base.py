@@ -153,6 +153,12 @@ class NeuralEEGClassifier(EEGClassifier):
     #: force every prediction through the autograd graph.
     use_compiled_inference = True
 
+    #: Sparsity lowering policy handed to ``compile_classifier`` (``None``
+    #: means the compiler default: host-calibrated lowering of ≥70 %-pruned
+    #: weights).  Set per instance to pin ``SPARSE_ALWAYS``/``DENSE_ONLY``
+    #: where the plan structure must be reproducible.
+    plan_sparsity = None
+
     def __init__(
         self,
         n_classes: int = 3,
@@ -170,6 +176,7 @@ class NeuralEEGClassifier(EEGClassifier):
         self._build_geometry: Optional[Tuple[int, int]] = None
         self._compiled = None
         self._compile_failed = False
+        self._auto_specialize_streak: Optional[int] = None
 
     def __getstate__(self):
         """Copy/pickle without the cached plan.
@@ -347,15 +354,57 @@ class NeuralEEGClassifier(EEGClassifier):
             from repro.models.compiled import compile_classifier
 
             try:
-                self._compiled = compile_classifier(self)
+                self._compiled = compile_classifier(self, sparsity=self.plan_sparsity)
             except PlanCompilationError:
                 self._compile_failed = True
+            if self._compiled is not None and self._auto_specialize_streak:
+                # Re-apply the serving stack's standing request: a plan
+                # recompiled after a weight mutation keeps auto-binding
+                # arenas for its dominant batch sizes.
+                self._compiled.enable_auto_specialization(
+                    self._auto_specialize_streak
+                )
         return self._compiled
 
     def invalidate_compiled(self) -> None:
         """Drop the cached plan; call after any in-place weight mutation."""
         self._compiled = None
         self._compile_failed = False
+
+    def specialize(self, batch_size: int) -> bool:
+        """Pin a serving batch size for zero-allocation plan execution.
+
+        Compiles the plan if needed and pre-binds its scratch arena for
+        ``batch_size`` (see :meth:`repro.nn.inference.InferencePlan
+        .specialize`).  Returns ``False`` when the network is uncompilable
+        or the plan contains a kernel that cannot be bound — predictions
+        keep working through the generic path either way.
+        """
+        compiled = self.ensure_compiled()
+        if compiled is None:
+            return False
+        return compiled.specialize(batch_size)
+
+    def despecialize(self, batch_size: Optional[int] = None) -> None:
+        """Release pre-bound arenas (all of them when no batch size given)."""
+        if self._compiled is not None:
+            self._compiled.despecialize(batch_size)
+
+    def enable_auto_specialization(self, streak: int = 2) -> None:
+        """Auto-bind arenas for dominant batch sizes (serving-stack hook).
+
+        The preference survives plan invalidation: recompiles re-enable it.
+        """
+        self._auto_specialize_streak = streak
+        compiled = self.ensure_compiled()
+        if compiled is not None:
+            compiled.enable_auto_specialization(streak)
+
+    def specialization_stats(self) -> Optional[Dict[str, float]]:
+        """Arena hit/miss counters of the cached plan; ``None`` without one."""
+        if self._compiled is None:
+            return None
+        return self._compiled.specialization_stats()
 
     def parameter_count(self) -> int:
         if self.network is None:

@@ -28,6 +28,7 @@ from repro.nn.inference import (
     InferencePlan,
     PlanTransportError,
     SoftmaxKernel,
+    SparsityConfig,
     WeightQuantizer,
     compile_network,
 )
@@ -89,12 +90,36 @@ class CompiledClassifier:
         """Weight storage held by the plan (int8 bytes for quantized plans)."""
         return self.plan.nbytes
 
+    # ------------------------------------------------------------------ #
+    # shape specialisation (delegates to the plan)
+    # ------------------------------------------------------------------ #
+    def specialize(self, batch_size: int) -> bool:
+        """Pin a batch size for zero-allocation arena execution.
+
+        Steady-state ``predict_proba`` calls at that batch size then return
+        an **arena-owned row buffer** valid until the next call — callers
+        that retain probabilities across calls must copy them (the serving
+        stack's ``MicroBatcher.finalize`` does).
+        """
+        return self.plan.specialize(batch_size)
+
+    def despecialize(self, batch_size: Optional[int] = None) -> None:
+        self.plan.despecialize(batch_size)
+
+    def enable_auto_specialization(self, streak: int = 2) -> None:
+        """Auto-bind arenas for dominant batch sizes (the serving default)."""
+        self.plan.enable_auto_specialization(streak)
+
+    def specialization_stats(self) -> Dict[str, float]:
+        return self.plan.specialization_stats()
+
     def describe(self) -> Dict[str, object]:
         return {
             "family": self.classifier.family,
             "dtype": str(self.dtype),
             "kernels": self.plan.describe(),
             "weight_bytes": self.nbytes,
+            "specialization": self.plan.specialization_stats(),
         }
 
     def __repr__(self) -> str:
@@ -158,18 +183,22 @@ def compile_classifier(
     classifier: NeuralEEGClassifier,
     dtype: np.dtype = np.float32,
     quantizer: Optional[WeightQuantizer] = None,
+    sparsity: Optional[SparsityConfig] = None,
 ) -> CompiledClassifier:
     """Compile a fitted (or at least built) neural classifier for serving.
 
     Weights are extracted once at compile time; mutating the underlying
     network afterwards (further training, pruning, quantization, loading
     weights) requires recompiling — ``NeuralEEGClassifier`` handles that by
-    invalidating its cached plan at every such mutation point.
+    invalidating its cached plan at every such mutation point.  Pruned
+    networks past the sparsity threshold lower to sparse kernels per
+    ``sparsity`` (default: host-calibrated; see
+    :class:`repro.nn.inference.SparsityConfig`).
     """
     network = classifier.network
     if network is None:
         raise RuntimeError("Classifier must be fitted or built before compiling")
     network.eval()
-    plan = compile_network(network, dtype=dtype, quantizer=quantizer)
+    plan = compile_network(network, dtype=dtype, quantizer=quantizer, sparsity=sparsity)
     plan.append(SoftmaxKernel())
     return CompiledClassifier(classifier, plan)

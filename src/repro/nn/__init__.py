@@ -22,12 +22,17 @@ Public surface:
 
 from repro.nn.autograd import Tensor, no_grad
 from repro.nn.inference import (
+    DENSE_ONLY,
+    SPARSE_ALWAYS,
     InferencePlan,
     Kernel,
+    PlanArena,
     PlanCompilationError,
     SoftmaxKernel,
+    SparsityConfig,
     compile_network,
 )
+from repro.nn.sparse import ColumnSparseWeight
 from repro.nn.module import Module, Parameter, Sequential
 from repro.nn.layers import (
     AvgPool2d,
@@ -52,8 +57,13 @@ __all__ = [
     "no_grad",
     "InferencePlan",
     "Kernel",
+    "PlanArena",
     "PlanCompilationError",
     "SoftmaxKernel",
+    "SparsityConfig",
+    "DENSE_ONLY",
+    "SPARSE_ALWAYS",
+    "ColumnSparseWeight",
     "compile_network",
     "Module",
     "Parameter",

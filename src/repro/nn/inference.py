@@ -27,6 +27,20 @@ kernels accept an optional quantizer hook so
 :mod:`repro.compression.quantization` can emit integer-scaled (int8) plan
 variants without materialising a dequantized module copy.
 
+Two execution refinements sit on top of the float plans:
+
+* **Sparsity-aware lowering** — when a pruned weight matrix crosses the
+  :class:`SparsityConfig` threshold (70 % zeros by default), ``Dense``
+  layers and the LSTM input/recurrent projections compile to
+  :class:`~repro.nn.sparse.ColumnSparseWeight`-backed kernels that only
+  touch the surviving entries, so the paper's effective-parameter counts
+  finally translate into measured latency (§III-E1).
+* **Shape specialisation** — :meth:`InferencePlan.specialize` pre-binds
+  every intermediate and scratch buffer for one batch geometry into a
+  :class:`PlanArena`; steady-state calls then run with zero new array
+  allocations and are bit-for-bit equal to the generic path.  Calls with
+  any other geometry fall back to the generic kernels unchanged.
+
 The autograd path stays authoritative: classifiers keep it for training and
 as the numerical oracle the compiled plan is tested against (atol 1e-5).
 """
@@ -35,9 +49,13 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.nn.sparse import ColumnSparseWeight
 
 from repro.nn.attention import (
     MultiHeadAttention,
@@ -140,9 +158,41 @@ def _apply_activation_inplace(a: np.ndarray, activation: Optional[str]) -> None:
         raise PlanCompilationError(f"Unsupported activation {activation!r}")
 
 
+def _mean_into(
+    x: np.ndarray, axis, out: np.ndarray, count: int, keepdims: bool = True
+) -> None:
+    """``x.mean(axis)`` written into ``out`` without the internal temporary.
+
+    ``np.add.reduce`` is the very pairwise summation ``ndarray.mean`` runs,
+    so dividing by the element count afterwards is bit-for-bit the generic
+    result — but, unlike ``np.mean(out=...)``, it allocates nothing.
+    """
+    np.add.reduce(x, axis=axis, keepdims=keepdims, out=out)
+    out /= count
+
+
 # ---------------------------------------------------------------------- #
 # Kernels
 # ---------------------------------------------------------------------- #
+class BoundKernel:
+    """One kernel pre-bound to fixed input/output buffers (see :class:`PlanArena`).
+
+    ``run`` executes the kernel against the arena's buffers — it takes no
+    arguments because every operand (including the input array *object*)
+    was captured at bind time; ``out`` is the buffer the result lands in,
+    which the next kernel in the arena binds against.
+    """
+
+    __slots__ = ("run", "out", "scratch_nbytes")
+
+    def __init__(
+        self, run: Callable[[], None], out: np.ndarray, scratch_nbytes: int = 0
+    ) -> None:
+        self.run = run
+        self.out = out
+        self.scratch_nbytes = int(scratch_nbytes)
+
+
 class Kernel:
     """One step of an :class:`InferencePlan`: a pure array transformation.
 
@@ -153,6 +203,18 @@ class Kernel:
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    def bind(self, x: np.ndarray) -> Optional[BoundKernel]:
+        """Pre-bind this kernel to the fixed input array ``x``.
+
+        Returns a :class:`BoundKernel` whose ``run()`` recomputes the
+        kernel's output from the *current contents* of ``x`` into a
+        preallocated buffer — performing the exact same arithmetic as
+        :meth:`__call__`, in the same order, so the results are bit-for-bit
+        identical — or ``None`` when the kernel does not support
+        specialisation (custom kernels injected through ``inference_spec``).
+        """
+        return None
 
     @property
     def nbytes(self) -> int:
@@ -185,6 +247,20 @@ class DenseKernel(Kernel):
         _apply_activation_inplace(out, self.activation)
         return out
 
+    def bind(self, x: np.ndarray) -> BoundKernel:
+        weight, bias, activation = self.weight, self.bias, self.activation
+        out = np.empty(x.shape[:-1] + (weight.compute.shape[1],), dtype=x.dtype)
+
+        def run() -> None:
+            np.matmul(x, weight.compute, out=out)
+            if weight.scale is not None:
+                np.multiply(out, weight.scale, out=out)
+            if bias is not None:
+                np.add(out, bias, out=out)
+            _apply_activation_inplace(out, activation)
+
+        return BoundKernel(run, out)
+
     @property
     def nbytes(self) -> int:
         return self.weight.nbytes + (self.bias.nbytes if self.bias is not None else 0)
@@ -193,6 +269,64 @@ class DenseKernel(Kernel):
         shape = "x".join(map(str, self.weight.compute.shape))
         act = f"+{self.activation}" if self.activation else ""
         return f"dense[{shape}]{act}"
+
+
+class SparseDenseKernel(Kernel):
+    """Fused ``y = act(x @ W + b)`` over a column-compressed pruned weight.
+
+    Emitted by the compiler instead of :class:`DenseKernel` when the layer's
+    weight crosed the :class:`SparsityConfig` threshold: only the surviving
+    entries are gathered, scaled and reduced (see
+    :class:`~repro.nn.sparse.ColumnSparseWeight`), so a 90 %-pruned layer
+    touches ~10 % of the dense working set.
+    """
+
+    def __init__(
+        self,
+        weight: ColumnSparseWeight,
+        bias: Optional[np.ndarray],
+        activation: Optional[str] = None,
+    ) -> None:
+        self.weight = weight
+        self.bias = bias
+        self.activation = activation
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        lead = x.shape[:-1]
+        flat = x.reshape(-1, x.shape[-1]) if x.ndim != 2 else x
+        out = self.weight.matmul(flat)
+        if self.bias is not None:
+            out += self.bias
+        _apply_activation_inplace(out, self.activation)
+        return out.reshape(lead + (self.weight.shape[1],)) if x.ndim != 2 else out
+
+    def bind(self, x: np.ndarray) -> Optional[BoundKernel]:
+        weight, bias, activation = self.weight, self.bias, self.activation
+        lead = x.shape[:-1]
+        if x.ndim != 2 and not x.flags.c_contiguous:
+            return None  # reshape would detach from the bound input buffer
+        flat = x.reshape(-1, x.shape[-1]) if x.ndim != 2 else x
+        n = flat.shape[0]
+        gather = weight.gather_scratch(n, x.dtype)
+        out2d = np.empty((n, weight.shape[1]), dtype=x.dtype)
+        out = out2d.reshape(lead + (weight.shape[1],)) if x.ndim != 2 else out2d
+
+        def run() -> None:
+            weight.matmul(flat, out=out2d, gather=gather)
+            if bias is not None:
+                np.add(out2d, bias, out=out2d)
+            _apply_activation_inplace(out2d, activation)
+
+        return BoundKernel(run, out, scratch_nbytes=gather.nbytes)
+
+    @property
+    def nbytes(self) -> int:
+        return self.weight.nbytes + (self.bias.nbytes if self.bias is not None else 0)
+
+    def describe(self) -> str:
+        shape = "x".join(map(str, self.weight.shape))
+        act = f"+{self.activation}" if self.activation else ""
+        return f"sparse-dense[{shape},{self.weight.density:.0%}]{act}"
 
 
 class ActivationKernel(Kernel):
@@ -205,6 +339,16 @@ class ActivationKernel(Kernel):
         out = x.copy()
         _apply_activation_inplace(out, self.activation)
         return out
+
+    def bind(self, x: np.ndarray) -> BoundKernel:
+        out = np.empty(x.shape, dtype=x.dtype)
+        activation = self.activation
+
+        def run() -> None:
+            np.copyto(out, x)
+            _apply_activation_inplace(out, activation)
+
+        return BoundKernel(run, out)
 
     def describe(self) -> str:
         return self.activation
@@ -238,13 +382,39 @@ class Conv2dKernel(Kernel):
         self.padding = padding
         self.out_channels = out_channels
         self.activation = activation
+        # Per-geometry padded-input buffers, reused across calls: the padding
+        # border is written once (zeros) and only the interior is refreshed,
+        # so the serving hot path skips np.pad's allocate-and-memset entirely.
+        # LRU-capped like the plan arenas: a fleet whose batch size churns
+        # must not pin one dead buffer per size it ever saw.
+        self._pad_buffers: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+
+    #: Concurrently cached padded-input geometries on the generic path.
+    MAX_PAD_BUFFERS = 4
+
+    def _padded(self, x: np.ndarray) -> np.ndarray:
+        ph, pw = self.padding
+        if not (ph or pw):
+            return x
+        key = (x.shape, x.dtype.str)
+        buf = self._pad_buffers.get(key)
+        if buf is None:
+            batch, ch, height, width = x.shape
+            buf = np.zeros(
+                (batch, ch, height + 2 * ph, width + 2 * pw), dtype=x.dtype
+            )
+            self._pad_buffers[key] = buf
+            while len(self._pad_buffers) > self.MAX_PAD_BUFFERS:
+                self._pad_buffers.popitem(last=False)
+        else:
+            self._pad_buffers.move_to_end(key)
+        buf[:, :, ph : buf.shape[2] - ph, pw : buf.shape[3] - pw] = x
+        return buf
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 4:
             raise ValueError("Conv2dKernel expects (batch, channels, height, width)")
-        ph, pw = self.padding
-        if ph or pw:
-            x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+        x = self._padded(x)
         patches, _, _ = _im2col(x, self.kernel_size, self.stride)
         out = patches @ self.weight.compute  # (batch, out_h, out_w, out_ch)
         if self.weight.scale is not None:
@@ -253,6 +423,61 @@ class Conv2dKernel(Kernel):
             out += self.bias
         _apply_activation_inplace(out, self.activation)
         return out.transpose(0, 3, 1, 2)
+
+    def bind(self, x: np.ndarray) -> Optional[BoundKernel]:
+        if x.ndim != 4:
+            return None
+        weight, bias, activation = self.weight, self.bias, self.activation
+        ph, pw = self.padding
+        batch, in_ch, height, width = x.shape
+        scratch = 0
+        if ph or pw:
+            padded = np.zeros(
+                (batch, in_ch, height + 2 * ph, width + 2 * pw), dtype=x.dtype
+            )
+            interior = padded[:, :, ph : ph + height, pw : pw + width]
+            scratch += padded.nbytes
+        else:
+            padded, interior = x, None
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        out_h = (padded.shape[2] - kh) // sh + 1
+        out_w = (padded.shape[3] - kw) // sw + 1
+        # The same strided window view _im2col builds, precomputed once (the
+        # padded source is a fixed array object), already transposed to the
+        # (batch, out_h, out_w, in_ch, kh, kw) copy order.
+        windows = np.lib.stride_tricks.as_strided(
+            padded,
+            shape=(batch, in_ch, out_h, out_w, kh, kw),
+            strides=(
+                padded.strides[0],
+                padded.strides[1],
+                padded.strides[2] * sh,
+                padded.strides[3] * sw,
+                padded.strides[2],
+                padded.strides[3],
+            ),
+        ).transpose(0, 2, 3, 1, 4, 5)
+        patches = np.empty(
+            (batch, out_h, out_w, in_ch * kh * kw), dtype=x.dtype
+        )
+        patches6 = patches.reshape(batch, out_h, out_w, in_ch, kh, kw)
+        mm_out = np.empty((batch, out_h, out_w, self.out_channels), dtype=x.dtype)
+        out = mm_out.transpose(0, 3, 1, 2)
+        scratch += patches.nbytes
+
+        def run() -> None:
+            if interior is not None:
+                np.copyto(interior, x)
+            np.copyto(patches6, windows)
+            np.matmul(patches, weight.compute, out=mm_out)
+            if weight.scale is not None:
+                np.multiply(mm_out, weight.scale, out=mm_out)
+            if bias is not None:
+                np.add(mm_out, bias, out=mm_out)
+            _apply_activation_inplace(mm_out, activation)
+
+        return BoundKernel(run, out, scratch_nbytes=scratch)
 
     @property
     def nbytes(self) -> int:
@@ -290,9 +515,22 @@ class _PoolKernel(Kernel):
 
 
 class MaxPool2dKernel(_PoolKernel):
+    # The window view is built from x's own strides, so a non-contiguous
+    # input (e.g. the channel-last transpose a Conv2dKernel returns) pools
+    # directly — no defensive np.ascontiguousarray copy on the hot path.
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        x = np.ascontiguousarray(x)
         return self._patches(x).max(axis=(-1, -2))
+
+    def bind(self, x: np.ndarray) -> Optional[BoundKernel]:
+        if x.ndim != 4:
+            return None
+        windows = self._patches(x)
+        out = np.empty(windows.shape[:4], dtype=x.dtype)
+
+        def run() -> None:
+            np.max(windows, axis=(-1, -2), out=out)
+
+        return BoundKernel(run, out)
 
     def describe(self) -> str:
         return f"maxpool{self.kernel_size}"
@@ -300,8 +538,19 @@ class MaxPool2dKernel(_PoolKernel):
 
 class AvgPool2dKernel(_PoolKernel):
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        x = np.ascontiguousarray(x)
         return self._patches(x).mean(axis=(-1, -2))
+
+    def bind(self, x: np.ndarray) -> Optional[BoundKernel]:
+        if x.ndim != 4:
+            return None
+        windows = self._patches(x)
+        out = np.empty(windows.shape[:4], dtype=x.dtype)
+        count = self.kernel_size[0] * self.kernel_size[1]
+
+        def run() -> None:
+            _mean_into(windows, (-1, -2), out, count, keepdims=False)
+
+        return BoundKernel(run, out)
 
     def describe(self) -> str:
         return f"avgpool{self.kernel_size}"
@@ -309,7 +558,27 @@ class AvgPool2dKernel(_PoolKernel):
 
 class FlattenKernel(Kernel):
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        return np.ascontiguousarray(x).reshape(x.shape[0], -1)
+        # reshape copies only when the layout actually demands it (the old
+        # unconditional ascontiguousarray forced that copy even for
+        # contiguous inputs).
+        return x.reshape(x.shape[0], -1)
+
+    def bind(self, x: np.ndarray) -> BoundKernel:
+        flat_shape = (x.shape[0], int(np.prod(x.shape[1:], dtype=np.intp)))
+        if x.flags.c_contiguous:
+            out = x.reshape(flat_shape)  # a view: flattening is free
+
+            def run() -> None:
+                pass
+
+            return BoundKernel(run, out)
+        buf = np.empty(flat_shape, dtype=x.dtype)
+        shaped = buf.reshape(x.shape)
+
+        def run() -> None:
+            np.copyto(shaped, x)
+
+        return BoundKernel(run, buf)
 
     def describe(self) -> str:
         return "flatten"
@@ -323,6 +592,9 @@ class LayerNormKernel(Kernel):
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return _layer_norm(x, self.gamma, self.beta, self.eps)
+
+    def bind(self, x: np.ndarray) -> BoundKernel:
+        return _bind_layer_norm(x, self.gamma, self.beta, self.eps)
 
     @property
     def nbytes(self) -> int:
@@ -344,10 +616,42 @@ def _layer_norm(
     return centred
 
 
+def _bind_layer_norm(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float
+) -> BoundKernel:
+    """Buffer-bound :func:`_layer_norm`: same ops in the same order."""
+    features = x.shape[-1]
+    stat_shape = x.shape[:-1] + (1,)
+    mean = np.empty(stat_shape, dtype=x.dtype)
+    var = np.empty(stat_shape, dtype=x.dtype)
+    sq = np.empty(x.shape, dtype=x.dtype)
+    centred = np.empty(x.shape, dtype=x.dtype)
+
+    def run() -> None:
+        _mean_into(x, -1, mean, features)
+        np.subtract(x, mean, out=centred)
+        np.multiply(centred, centred, out=sq)
+        _mean_into(sq, -1, var, features)
+        np.add(var, eps, out=var)
+        np.sqrt(var, out=var)
+        np.divide(centred, var, out=centred)
+        np.multiply(centred, gamma, out=centred)
+        np.add(centred, beta, out=centred)
+
+    return BoundKernel(
+        run, centred, scratch_nbytes=mean.nbytes + var.nbytes + sq.nbytes
+    )
+
+
 def _softmax_lastaxis_inplace(a: np.ndarray) -> None:
     a -= a.max(axis=-1, keepdims=True)
     np.exp(a, out=a)
     a /= a.sum(axis=-1, keepdims=True)
+
+
+#: A projection operand inside the LSTM kernel: dense (extracted at compile
+#: time, possibly integer-scaled) or column-compressed for pruned models.
+LSTMWeight = Union[PlanWeight, ColumnSparseWeight]
 
 
 class LSTMKernel(Kernel):
@@ -362,11 +666,16 @@ class LSTMKernel(Kernel):
     The compiler permutes the gate columns from the cell's ``[i, f, g, o]``
     layout to ``[i, f, o, g]`` so the three sigmoid gates form one contiguous
     slice — one ufunc pass instead of three per timestep.
+
+    Either projection may be a :class:`~repro.nn.sparse.ColumnSparseWeight`
+    when the source model was pruned past the sparsity threshold; the
+    per-timestep recurrent matvec then gathers only the surviving weights
+    instead of streaming the full ``(H, 4H)`` matrix through BLAS.
     """
 
     def __init__(
         self,
-        layers: Sequence[Tuple[PlanWeight, PlanWeight, np.ndarray]],
+        layers: Sequence[Tuple[LSTMWeight, LSTMWeight, np.ndarray]],
         hidden_size: int,
         dtype: np.dtype,
     ) -> None:
@@ -385,6 +694,11 @@ class LSTMKernel(Kernel):
                 "hh": np.empty((batch, 4 * hs), dtype=self.dtype),
                 "tmp": np.empty((batch, hs), dtype=self.dtype),
             }
+            for index, (_, w_hh, _) in enumerate(self.layers):
+                if isinstance(w_hh, ColumnSparseWeight):
+                    buf[f"hh_gather{index}"] = w_hh.gather_scratch(
+                        batch, self.dtype
+                    )
             self._buffers[batch] = buf
         return buf
 
@@ -395,25 +709,43 @@ class LSTMKernel(Kernel):
         hs = self.hidden_size
         buf = self._buffers_for(batch)
         h, c, hh, tmp = buf["h"], buf["c"], buf["hh"], buf["tmp"]
-        layer_input = x
+        # The projection is kept *time-major* — (steps, batch, 4H) — so every
+        # per-timestep gate slab the recurrence touches is one contiguous
+        # block: the gate ufuncs run their fast contiguous loops instead of
+        # numpy's buffered strided iteration.  Each element's arithmetic is
+        # unchanged (a pure row reordering of the projection matmul).
+        layer_input: Optional[np.ndarray] = None  # time-major from layer 1 on
         for index, (w_ih, w_hh, bias) in enumerate(self.layers):
-            flat = np.ascontiguousarray(layer_input).reshape(batch * steps, -1)
-            proj = flat @ w_ih.compute
-            if w_ih.scale is not None:
-                proj *= w_ih.scale
+            if layer_input is None:
+                flat = np.ascontiguousarray(x.transpose(1, 0, 2)).reshape(
+                    batch * steps, -1
+                )
+            else:
+                flat = layer_input.reshape(batch * steps, -1)
+            if isinstance(w_ih, ColumnSparseWeight):
+                proj = w_ih.matmul(flat)
+            else:
+                proj = flat @ w_ih.compute
+                if w_ih.scale is not None:
+                    proj *= w_ih.scale
             proj += bias
-            proj = proj.reshape(batch, steps, 4 * hs)
+            proj = proj.reshape(steps, batch, 4 * hs)
             h[:] = 0.0
             c[:] = 0.0
             last_layer = index == len(self.layers) - 1
             seq_out = (
-                None if last_layer else np.empty((batch, steps, hs), dtype=self.dtype)
+                None if last_layer else np.empty((steps, batch, hs), dtype=self.dtype)
             )
+            sparse_hh = isinstance(w_hh, ColumnSparseWeight)
+            hh_gather = buf.get(f"hh_gather{index}")
             for step in range(steps):
-                gates = proj[:, step]
-                np.matmul(h, w_hh.compute, out=hh)
-                if w_hh.scale is not None:
-                    hh *= w_hh.scale
+                gates = proj[step]
+                if sparse_hh:
+                    w_hh.matmul(h, out=hh, gather=hh_gather)
+                else:
+                    np.matmul(h, w_hh.compute, out=hh)
+                    if w_hh.scale is not None:
+                        hh *= w_hh.scale
                 gates += hh
                 # Gate columns were permuted at compile time to [i, f, o, g].
                 i_gate = gates[:, 0:hs]
@@ -428,10 +760,112 @@ class LSTMKernel(Kernel):
                 np.tanh(c, out=tmp)
                 np.multiply(o_gate, tmp, out=h)
                 if seq_out is not None:
-                    seq_out[:, step] = h
+                    seq_out[step] = h
             if seq_out is not None:
                 layer_input = seq_out
         return h.copy()
+
+    def bind(self, x: np.ndarray) -> Optional[BoundKernel]:
+        if x.ndim != 3:
+            return None
+        batch, steps, _ = x.shape
+        hs = self.hidden_size
+        dtype = self.dtype
+        h = np.empty((batch, hs), dtype=dtype)
+        c = np.empty((batch, hs), dtype=dtype)
+        hh = np.empty((batch, 4 * hs), dtype=dtype)
+        tmp = np.empty((batch, hs), dtype=dtype)
+        out = np.empty((batch, hs), dtype=dtype)
+        scratch = h.nbytes + c.nbytes + hh.nbytes + tmp.nbytes
+        bound_layers = []
+        cur: Optional[np.ndarray] = None  # time-major input from layer 1 on
+        for index, (w_ih, w_hh, bias) in enumerate(self.layers):
+            if cur is None:
+                # Layer 0 reads the caller-shaped (batch, time, features)
+                # input; the time-major copy target is bound once.
+                x_tm = x.transpose(1, 0, 2)
+                if x_tm.flags.c_contiguous:  # batch == 1: transpose is free
+                    src, copy_src = x_tm, None
+                else:
+                    src = np.empty((steps, batch, x.shape[2]), dtype=dtype)
+                    copy_src = x_tm
+                    scratch += src.nbytes
+            else:
+                src, copy_src = cur, None
+            flat = src.reshape(batch * steps, -1)
+            proj2 = np.empty((batch * steps, 4 * hs), dtype=dtype)
+            proj3 = proj2.reshape(steps, batch, 4 * hs)
+            scratch += proj2.nbytes
+            ih_gather = None
+            if isinstance(w_ih, ColumnSparseWeight):
+                ih_gather = w_ih.gather_scratch(batch * steps, dtype)
+                scratch += ih_gather.nbytes
+            hh_gather = None
+            if isinstance(w_hh, ColumnSparseWeight):
+                hh_gather = w_hh.gather_scratch(batch, dtype)
+                scratch += hh_gather.nbytes
+            last_layer = index == len(self.layers) - 1
+            seq_out = (
+                None if last_layer else np.empty((steps, batch, hs), dtype=dtype)
+            )
+            if seq_out is not None:
+                scratch += seq_out.nbytes
+            # Every per-step view the timestep loop touches, created once.
+            step_views = []
+            for step in range(steps):
+                gates = proj3[step]
+                step_views.append(
+                    (
+                        gates,
+                        gates[:, 0:hs],
+                        gates[:, hs : 2 * hs],
+                        gates[:, 2 * hs : 3 * hs],
+                        gates[:, 3 * hs : 4 * hs],
+                        gates[:, 0 : 3 * hs],
+                        None if seq_out is None else seq_out[step],
+                    )
+                )
+            bound_layers.append(
+                (w_ih, w_hh, bias, copy_src, src, flat, proj2,
+                 ih_gather, hh_gather, step_views)
+            )
+            cur = seq_out
+
+        def run() -> None:
+            for (w_ih, w_hh, bias, copy_src, src, flat, proj2,
+                 ih_gather, hh_gather, step_views) in bound_layers:
+                if copy_src is not None:
+                    np.copyto(src, copy_src)
+                if ih_gather is not None:
+                    w_ih.matmul(flat, out=proj2, gather=ih_gather)
+                else:
+                    np.matmul(flat, w_ih.compute, out=proj2)
+                    if w_ih.scale is not None:
+                        np.multiply(proj2, w_ih.scale, out=proj2)
+                np.add(proj2, bias, out=proj2)
+                h[:] = 0.0
+                c[:] = 0.0
+                for (gates, i_gate, f_gate, o_gate, g_gate,
+                     sig_slice, seq_view) in step_views:
+                    if hh_gather is not None:
+                        w_hh.matmul(h, out=hh, gather=hh_gather)
+                    else:
+                        np.matmul(h, w_hh.compute, out=hh)
+                        if w_hh.scale is not None:
+                            np.multiply(hh, w_hh.scale, out=hh)
+                    np.add(gates, hh, out=gates)
+                    _sigmoid_inplace(sig_slice)
+                    np.tanh(g_gate, out=g_gate)
+                    np.multiply(c, f_gate, out=c)
+                    np.multiply(i_gate, g_gate, out=tmp)
+                    np.add(c, tmp, out=c)
+                    np.tanh(c, out=tmp)
+                    np.multiply(o_gate, tmp, out=h)
+                    if seq_view is not None:
+                        np.copyto(seq_view, h)
+            np.copyto(out, h)
+
+        return BoundKernel(run, out, scratch_nbytes=scratch)
 
     @property
     def nbytes(self) -> int:
@@ -440,7 +874,13 @@ class LSTMKernel(Kernel):
         )
 
     def describe(self) -> str:
-        return f"lstm[{len(self.layers)}x{self.hidden_size}]"
+        sparse = any(
+            isinstance(w, ColumnSparseWeight)
+            for w_ih, w_hh, _ in self.layers
+            for w in (w_ih, w_hh)
+        )
+        tag = ",sparse" if sparse else ""
+        return f"lstm[{len(self.layers)}x{self.hidden_size}{tag}]"
 
 
 class EncoderBlockKernel(Kernel):
@@ -511,6 +951,94 @@ class EncoderBlockKernel(Kernel):
         x = x + self._project(hidden, self.ff2)
         return x
 
+    @staticmethod
+    def _bind_project(
+        x: np.ndarray,
+        weight_bias: Tuple[PlanWeight, Optional[np.ndarray]],
+        out: np.ndarray,
+    ) -> Callable[[], None]:
+        weight, bias = weight_bias
+
+        def run() -> None:
+            np.matmul(x, weight.compute, out=out)
+            if weight.scale is not None:
+                np.multiply(out, weight.scale, out=out)
+            if bias is not None:
+                np.add(out, bias, out=out)
+
+        return run
+
+    def bind(self, x: np.ndarray) -> Optional[BoundKernel]:
+        if x.ndim != 3:
+            return None
+        batch, steps, _ = x.shape
+        d_model, d_head, n_heads = self.d_model, self.d_head, self.n_heads
+        dtype = x.dtype
+
+        def buf(*shape: int) -> np.ndarray:
+            return np.empty(shape, dtype=dtype)
+
+        gamma1, beta1, eps1 = self.norm1
+        norm1 = _bind_layer_norm(x, gamma1, beta1, eps1)
+        normed = norm1.out
+        projs = [buf(batch, steps, d_model) for _ in range(3)]
+        proj_runs = [
+            self._bind_project(normed, pair, out)
+            for pair, out in zip(self.qkv, projs)
+        ]
+        # Head-split views of the fixed projection buffers.
+        q, k, v = (
+            p.reshape(batch, steps, n_heads, d_head).transpose(0, 2, 1, 3)
+            for p in projs
+        )
+        k_t = k.transpose(0, 1, 3, 2)
+        scores = buf(batch, n_heads, steps, steps)
+        stat = buf(batch, n_heads, steps, 1)
+        context = buf(batch, n_heads, steps, d_head)
+        merged = buf(batch, steps, d_model)
+        merged_heads = merged.reshape(batch, steps, n_heads, d_head)
+        context_t = context.transpose(0, 2, 1, 3)
+        attn_proj = buf(batch, steps, d_model)
+        attn_run = self._bind_project(merged, self.attn_out, attn_proj)
+        resid1 = buf(batch, steps, d_model)
+        gamma2, beta2, eps2 = self.norm2
+        norm2 = _bind_layer_norm(resid1, gamma2, beta2, eps2)
+        ff_dim = self.ff1[0].compute.shape[1]
+        hidden = buf(batch, steps, ff_dim)
+        ff1_run = self._bind_project(norm2.out, self.ff1, hidden)
+        ff_proj = buf(batch, steps, d_model)
+        ff2_run = self._bind_project(hidden, self.ff2, ff_proj)
+        out = buf(batch, steps, d_model)
+        inv_scale = 1.0 / math.sqrt(d_head)
+
+        def run() -> None:
+            norm1.run()
+            for proj_run in proj_runs:
+                proj_run()
+            np.matmul(q, k_t, out=scores)
+            np.multiply(scores, inv_scale, out=scores)
+            np.max(scores, axis=-1, keepdims=True, out=stat)
+            np.subtract(scores, stat, out=scores)
+            np.exp(scores, out=scores)
+            np.add.reduce(scores, axis=-1, keepdims=True, out=stat)
+            np.divide(scores, stat, out=scores)
+            np.matmul(scores, v, out=context)
+            np.copyto(merged_heads, context_t)
+            attn_run()
+            np.add(x, attn_proj, out=resid1)
+            norm2.run()
+            ff1_run()
+            np.maximum(hidden, 0.0, out=hidden)
+            ff2_run()
+            np.add(resid1, ff_proj, out=out)
+
+        scratch = sum(
+            b.nbytes
+            for b in (*projs, scores, stat, context, merged, attn_proj,
+                      resid1, hidden, ff_proj)
+        ) + norm1.scratch_nbytes + norm2.scratch_nbytes
+        return BoundKernel(run, out, scratch_nbytes=scratch)
+
     @property
     def nbytes(self) -> int:
         total = self.norm1[0].nbytes + self.norm1[1].nbytes
@@ -538,6 +1066,21 @@ class PositionalEncodingKernel(Kernel):
             self._cache[length] = encoding
         return x + encoding[None, :, :]
 
+    def bind(self, x: np.ndarray) -> Optional[BoundKernel]:
+        if x.ndim != 3:
+            return None
+        encoding = self._cache.get(x.shape[1])
+        if encoding is None or encoding.dtype != x.dtype:
+            encoding = positional_encoding(x.shape[1], self.d_model).astype(x.dtype)
+            self._cache[x.shape[1]] = encoding
+        broadcast = encoding[None, :, :]
+        out = np.empty(x.shape, dtype=x.dtype)
+
+        def run() -> None:
+            np.add(x, broadcast, out=out)
+
+        return BoundKernel(run, out)
+
     def describe(self) -> str:
         return f"posenc[d{self.d_model}]"
 
@@ -547,6 +1090,16 @@ class MeanOverTimeKernel(Kernel):
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return x.mean(axis=1)
+
+    def bind(self, x: np.ndarray) -> Optional[BoundKernel]:
+        if x.ndim < 2:
+            return None
+        out = np.empty(x.shape[:1] + x.shape[2:], dtype=x.dtype)
+
+        def run() -> None:
+            _mean_into(x, 1, out, x.shape[1], keepdims=False)
+
+        return BoundKernel(run, out)
 
     def describe(self) -> str:
         return "mean-over-time"
@@ -565,6 +1118,20 @@ class SoftmaxKernel(Kernel):
         _softmax_lastaxis_inplace(z)
         return z
 
+    def bind(self, x: np.ndarray) -> BoundKernel:
+        z = np.empty(x.shape, dtype=np.float64)
+        stat = np.empty(x.shape[:-1] + (1,), dtype=np.float64)
+
+        def run() -> None:
+            np.copyto(z, x)  # the float64 upcast x.astype performs
+            np.max(z, axis=-1, keepdims=True, out=stat)
+            np.subtract(z, stat, out=z)
+            np.exp(z, out=z)
+            np.add.reduce(z, axis=-1, keepdims=True, out=stat)
+            np.divide(z, stat, out=z)
+
+        return BoundKernel(run, z, scratch_nbytes=stat.nbytes)
+
     def describe(self) -> str:
         return "softmax"
 
@@ -572,24 +1139,199 @@ class SoftmaxKernel(Kernel):
 # ---------------------------------------------------------------------- #
 # The plan
 # ---------------------------------------------------------------------- #
+class PlanArena:
+    """A plan pre-bound to one input geometry: zero-allocation execution.
+
+    Built by :meth:`InferencePlan.specialize` (directly or through the
+    auto-specialisation policy).  Every kernel's intermediates, scratch
+    space and per-step views are created once at bind time; ``run`` then
+    only copies the caller's input into the arena and replays the bound
+    kernels, allocating no new arrays.
+
+    The returned output is an **arena-owned buffer**: it is valid until the
+    next call into the same plan with the same geometry.  Callers that
+    retain probabilities across calls must copy them (the serving stack's
+    ``MicroBatcher.finalize`` does).
+    """
+
+    def __init__(self, kernels: Sequence[Kernel], example: np.ndarray) -> None:
+        self.input = np.empty(example.shape, dtype=example.dtype)
+        self.bound: List[BoundKernel] = []
+        cur: np.ndarray = self.input
+        for kernel in kernels:
+            bound = kernel.bind(cur)
+            if bound is None:
+                raise PlanCompilationError(
+                    f"kernel {type(kernel).__name__} does not support shape "
+                    "specialisation"
+                )
+            self.bound.append(bound)
+            cur = bound.out
+        self.output = cur
+        self.calls = 0
+
+    @property
+    def scratch_nbytes(self) -> int:
+        """Arena-held bytes: the input buffer, every kernel's output buffer
+        and all private scratch (what steady-state calls no longer allocate)."""
+        return self.input.nbytes + sum(
+            b.out.nbytes + b.scratch_nbytes for b in self.bound
+        )
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        np.copyto(self.input, x)
+        for bound in self.bound:
+            bound.run()
+        self.calls += 1
+        return self.output
+
+
 class InferencePlan:
-    """A compiled network: a flat list of kernels applied in order."""
+    """A compiled network: a flat list of kernels applied in order.
+
+    Calls run the generic kernels by default.  :meth:`specialize` (or the
+    :meth:`enable_auto_specialization` policy) pre-binds arenas for chosen
+    batch sizes; calls whose input matches a bound geometry execute with
+    zero array allocations and bit-for-bit the generic result, every other
+    geometry falls through to the generic path unchanged.
+    """
+
+    #: Default cap on concurrently held arenas (LRU-evicted, pinned batch
+    #: sizes exempt): a cohort that resizes re-specialises without hoarding
+    #: scratch for every fleet size it ever saw.
+    MAX_ARENAS = 2
 
     def __init__(self, kernels: Sequence[Kernel], dtype: np.dtype = np.float32) -> None:
         self.kernels = list(kernels)
         self.dtype = np.dtype(dtype)
+        self._arenas: "OrderedDict[Tuple[int, ...], PlanArena]" = OrderedDict()
+        self._pinned_batches: set = set()
+        self._max_arenas = self.MAX_ARENAS
+        self._auto_streak: Optional[int] = None
+        self._last_batch: Optional[int] = None
+        self._batch_streak = 0
+        self._unbindable = False
+        self.specialized_calls = 0
+        self.generic_calls = 0
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         out = np.asarray(x, dtype=self.dtype)
+        arena = self._arena_for(out)
+        if arena is not None:
+            self.specialized_calls += 1
+            return arena.run(out)
+        self.generic_calls += 1
         for kernel in self.kernels:
             out = kernel(out)
         return out
+
+    # ------------------------------------------------------------------ #
+    # shape specialisation
+    # ------------------------------------------------------------------ #
+    @property
+    def can_specialize(self) -> bool:
+        """Whether every kernel supports arena binding (checked lazily on
+        the first bind attempt; custom kernels without ``bind`` do not)."""
+        return not self._unbindable
+
+    def specialize(self, batch_size: int) -> bool:
+        """Pin ``batch_size`` for arena execution.
+
+        The arena itself is built on the first call with that batch size
+        (the full input geometry — channels, samples, layout — is only
+        known then).  Returns ``False`` when the plan contains a kernel
+        that cannot be bound; the plan keeps serving generically.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if self._unbindable:
+            return False
+        self._pinned_batches.add(int(batch_size))
+        return True
+
+    def despecialize(self, batch_size: Optional[int] = None) -> None:
+        """Release arenas (and the pin) for one batch size, or all of them."""
+        if batch_size is None:
+            self._pinned_batches.clear()
+            self._arenas.clear()
+            return
+        self._pinned_batches.discard(int(batch_size))
+        for shape in [s for s in self._arenas if s[0] == batch_size]:
+            del self._arenas[shape]
+
+    def enable_auto_specialization(
+        self, streak: int = 2, max_arenas: Optional[int] = None
+    ) -> None:
+        """Specialise automatically for dominant batch sizes.
+
+        After ``streak`` consecutive calls with the same batch size the plan
+        binds an arena for it; the LRU ``max_arenas`` cap (default
+        :attr:`MAX_ARENAS`) bounds held scratch when a fleet resizes.  This
+        is what :class:`~repro.serving.batcher.MicroBatcher` and the shard
+        workers turn on.
+        """
+        if streak < 1:
+            raise ValueError("streak must be at least 1")
+        self._auto_streak = int(streak)
+        if max_arenas is not None:
+            if max_arenas < 1:
+                raise ValueError("max_arenas must be at least 1")
+            self._max_arenas = int(max_arenas)
+
+    def specialization_stats(self) -> Dict[str, float]:
+        """Telemetry snapshot: hit rate, arenas held, scratch bytes."""
+        total = self.specialized_calls + self.generic_calls
+        return {
+            "specialized_calls": float(self.specialized_calls),
+            "generic_calls": float(self.generic_calls),
+            "hit_rate": self.specialized_calls / total if total else 0.0,
+            "arenas": float(len(self._arenas)),
+            "scratch_bytes": float(
+                sum(a.scratch_nbytes for a in self._arenas.values())
+            ),
+        }
+
+    def _arena_for(self, x: np.ndarray) -> Optional[PlanArena]:
+        if self._unbindable or x.ndim == 0:
+            return None
+        shape = x.shape
+        arena = self._arenas.get(shape)
+        if arena is not None:
+            self._arenas.move_to_end(shape)
+            return arena
+        batch = shape[0]
+        wanted = batch in self._pinned_batches
+        if not wanted and self._auto_streak is not None:
+            if batch == self._last_batch:
+                self._batch_streak += 1
+            else:
+                self._last_batch, self._batch_streak = batch, 1
+            wanted = self._batch_streak >= self._auto_streak
+        if not wanted:
+            return None
+        try:
+            arena = PlanArena(self.kernels, x)
+        except PlanCompilationError:
+            self._unbindable = True
+            return None
+        self._arenas[shape] = arena
+        self._evict_arenas()
+        return arena
+
+    def _evict_arenas(self) -> None:
+        evictable = [
+            s for s in self._arenas if s[0] not in self._pinned_batches
+        ]
+        while len(self._arenas) > self._max_arenas and evictable:
+            del self._arenas[evictable.pop(0)]
 
     def __len__(self) -> int:
         return len(self.kernels)
 
     def append(self, kernel: Kernel) -> "InferencePlan":
         self.kernels.append(kernel)
+        self._arenas.clear()  # bound buffers no longer cover the full plan
+        self._unbindable = False
         return self
 
     @property
@@ -684,17 +1426,130 @@ class InferencePlan:
 # ---------------------------------------------------------------------- #
 # Compiler
 # ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SparsityConfig:
+    """When the compiler lowers a pruned weight to a sparse kernel.
+
+    A matrix *qualifies* when it holds at least ``min_size`` elements (tiny
+    matrices finish faster through BLAS than any gather) and its exact-zero
+    fraction reaches ``threshold`` — the ~70 % point of the paper's pruning
+    sweep (§III-E1).  What happens to a qualifying matrix depends on
+    ``mode``:
+
+    ``"auto"`` (default)
+        The compiler times the dense GEMM against the gather-based sparse
+        product *on the actual matrix* (a few matvecs, one-off at compile
+        time) and keeps whichever wins by a clear margin.  Whether 90 %
+        unstructured sparsity beats BLAS is a host property — it depends on
+        the gather throughput vs the GEMM's cache/bandwidth budget — so the
+        decision is measured, not assumed.  Note the resulting kernel
+        *selection* can therefore differ across hosts (and, for borderline
+        matrices, across processes); pin ``"always"``/``"never"`` where the
+        plan structure itself must be reproducible.
+    ``"always"``
+        Qualifying matrices always lower sparse (what the equivalence and
+        transport tests pin).
+    ``"never"``
+        Everything stays dense (what quantized plans use, and what
+        benchmarks pass to time the dense counterpart of a pruned plan).
+    """
+
+    threshold: float = 0.7
+    min_size: int = 16384
+    mode: str = "auto"
+    #: Timing repeats per candidate in ``"auto"`` mode.
+    calibration_repeats: int = 5
+    #: ``"auto"`` keeps the sparse kernel only when it beats dense by this
+    #: factor (sparse_time < margin * dense_time): borderline matrices stay
+    #: on the battle-tested BLAS path.
+    calibration_margin: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("auto", "always", "never"):
+            raise ValueError(f"Unknown sparsity mode {self.mode!r}")
+
+    def qualifies(self, values: np.ndarray) -> bool:
+        if self.mode == "never" or values.ndim != 2 or values.size < self.min_size:
+            return False
+        zeros = values.size - np.count_nonzero(values)
+        return zeros / values.size >= self.threshold
+
+
+#: Compiler default: calibrated sparsity-aware lowering at the paper's 70 %
+#: pruning point.
+DEFAULT_SPARSITY = SparsityConfig()
+
+#: Lowering disabled — what quantized plans fall back to (integer-scaled
+#: execution keeps dense int8 storage), and what benchmarks pass to time a
+#: *dense* plan over pruned weights.
+DENSE_ONLY = SparsityConfig(mode="never")
+
+#: Unconditional lowering for qualifying matrices — pinned by equivalence /
+#: transport tests and by the sparse benchmark's kernel-level comparison.
+SPARSE_ALWAYS = SparsityConfig(mode="always")
+
+
+def _sparse_beats_dense(
+    sparse: ColumnSparseWeight,
+    dense: np.ndarray,
+    rows: int,
+    config: SparsityConfig,
+) -> bool:
+    """One-off compile-time calibration: time both products on this host."""
+    from repro.utils.timing import median_call_time_s
+
+    x = np.full((rows, dense.shape[0]), 0.5, dtype=dense.dtype)
+    out = np.empty((rows, dense.shape[1]), dtype=dense.dtype)
+    gather = sparse.gather_scratch(rows, dense.dtype)
+
+    def dense_product() -> None:
+        np.matmul(x, dense, out=out)
+
+    def sparse_product() -> None:
+        sparse.matmul(x, out=out, gather=gather)
+
+    dense_product()  # warm both before timing
+    sparse_product()
+    dense_s = median_call_time_s(dense_product, config.calibration_repeats)
+    sparse_s = median_call_time_s(sparse_product, config.calibration_repeats)
+    return sparse_s < config.calibration_margin * dense_s
+
+
+def _lower_matmul_weight(
+    values: np.ndarray,
+    dtype: np.dtype,
+    quantizer: Optional[WeightQuantizer],
+    sparsity: SparsityConfig,
+    calibration_rows: int,
+) -> Union[PlanWeight, ColumnSparseWeight]:
+    """Extract one matmul operand, sparse when pruning (and the host) allow."""
+    if quantizer is None and sparsity.qualifies(values):
+        cast = np.asarray(values, dtype=dtype)
+        sparse = ColumnSparseWeight.from_dense(cast)
+        if sparsity.mode == "always" or _sparse_beats_dense(
+            sparse, cast, calibration_rows, sparsity
+        ):
+            return sparse
+    return _make_weight(values, dtype, quantizer)
+
+
 def _compile_dense(
-    layer: Dense, dtype: np.dtype, quantizer: Optional[WeightQuantizer]
-) -> DenseKernel:
+    layer: Dense,
+    dtype: np.dtype,
+    quantizer: Optional[WeightQuantizer],
+    sparsity: SparsityConfig,
+) -> Kernel:
     bias = (
         _make_elementwise(layer.bias.data, dtype, quantizer)
         if layer.bias is not None
         else None
     )
-    return DenseKernel(
-        _make_weight(layer.weight.data, dtype, quantizer), bias, layer.activation
+    weight = _lower_matmul_weight(
+        layer.weight.data, dtype, quantizer, sparsity, calibration_rows=8
     )
+    if isinstance(weight, ColumnSparseWeight):
+        return SparseDenseKernel(weight, bias, layer.activation)
+    return DenseKernel(weight, bias, layer.activation)
 
 
 def _compile_encoder_block(
@@ -734,12 +1589,17 @@ def _compile_encoder_block(
 
 
 def _compile_lstm(
-    layer: LSTM, dtype: np.dtype, quantizer: Optional[WeightQuantizer]
+    layer: LSTM,
+    dtype: np.dtype,
+    quantizer: Optional[WeightQuantizer],
+    sparsity: SparsityConfig,
 ) -> LSTMKernel:
     hs = layer.hidden_size
     # Reorder the cell's [i, f, g, o] gate columns to [i, f, o, g] so the
     # kernel can apply one sigmoid over a contiguous [i, f, o] slice.  A pure
-    # permutation: quantization scales and rounded values are unchanged.
+    # permutation: quantization scales and rounded values are unchanged
+    # (and the zero pattern moves with the columns, so sparsity lowering
+    # sees exactly the pruned structure).
     perm = np.concatenate(
         [
             np.arange(0, 2 * hs),  # i, f
@@ -747,10 +1607,20 @@ def _compile_lstm(
             np.arange(2 * hs, 3 * hs),  # g
         ]
     )
+
+    # Calibration row counts mirror how each projection is used: the input
+    # projection runs once per call over every timestep's rows, the
+    # recurrent projection is a small per-step matvec.
     extracted = [
         (
-            _make_weight(cell.weight_ih.data[:, perm], dtype, quantizer),
-            _make_weight(cell.weight_hh.data[:, perm], dtype, quantizer),
+            _lower_matmul_weight(
+                cell.weight_ih.data[:, perm], dtype, quantizer, sparsity,
+                calibration_rows=128,
+            ),
+            _lower_matmul_weight(
+                cell.weight_hh.data[:, perm], dtype, quantizer, sparsity,
+                calibration_rows=8,
+            ),
             _make_elementwise(cell.bias.data[perm], dtype, quantizer),
         )
         for cell in layer.cells
@@ -759,12 +1629,15 @@ def _compile_lstm(
 
 
 def _compile_leaf(
-    layer: Module, dtype: np.dtype, quantizer: Optional[WeightQuantizer]
+    layer: Module,
+    dtype: np.dtype,
+    quantizer: Optional[WeightQuantizer],
+    sparsity: SparsityConfig,
 ) -> List[Kernel]:
     if isinstance(layer, Dropout):
         return []  # inference-only plan: dropout is the identity in eval mode
     if isinstance(layer, Dense):
-        return [_compile_dense(layer, dtype, quantizer)]
+        return [_compile_dense(layer, dtype, quantizer, sparsity)]
     if isinstance(layer, ReLU):
         return [ActivationKernel("relu")]
     if isinstance(layer, Tanh):
@@ -800,7 +1673,7 @@ def _compile_leaf(
             )
         ]
     if isinstance(layer, LSTM):
-        return [_compile_lstm(layer, dtype, quantizer)]
+        return [_compile_lstm(layer, dtype, quantizer, sparsity)]
     if isinstance(layer, TransformerEncoderLayer):
         return [_compile_encoder_block(layer, dtype, quantizer)]
     raise PlanCompilationError(
@@ -810,7 +1683,10 @@ def _compile_leaf(
 
 
 def _compile_item(
-    item: object, dtype: np.dtype, quantizer: Optional[WeightQuantizer]
+    item: object,
+    dtype: np.dtype,
+    quantizer: Optional[WeightQuantizer],
+    sparsity: SparsityConfig,
 ) -> List[Kernel]:
     if isinstance(item, Kernel):
         return [item]
@@ -818,10 +1694,10 @@ def _compile_item(
     if spec is not None:
         kernels: List[Kernel] = []
         for entry in spec():
-            kernels.extend(_compile_item(entry, dtype, quantizer))
+            kernels.extend(_compile_item(entry, dtype, quantizer, sparsity))
         return kernels
     if isinstance(item, Module):
-        return _compile_leaf(item, dtype, quantizer)
+        return _compile_leaf(item, dtype, quantizer, sparsity)
     raise PlanCompilationError(
         f"Inference specs may only contain Modules or Kernels, got {type(item).__name__}"
     )
@@ -834,7 +1710,7 @@ def _fuse_activations(kernels: List[Kernel]) -> List[Kernel]:
         if (
             isinstance(kernel, ActivationKernel)
             and fused
-            and isinstance(fused[-1], (DenseKernel, Conv2dKernel))
+            and isinstance(fused[-1], (DenseKernel, SparseDenseKernel, Conv2dKernel))
             and fused[-1].activation is None
         ):
             fused[-1].activation = kernel.activation
@@ -847,6 +1723,7 @@ def compile_network(
     module: Module,
     dtype: np.dtype = np.float32,
     quantizer: Optional[WeightQuantizer] = None,
+    sparsity: Optional[SparsityConfig] = None,
 ) -> InferencePlan:
     """Lower a fitted module tree to a flat :class:`InferencePlan`.
 
@@ -855,11 +1732,23 @@ def compile_network(
     ``quantizer`` yields an integer-scaled plan (see
     :func:`repro.compression.quantization.compile_quantized_plan`).
 
+    ``sparsity`` governs whether heavily pruned weight matrices lower to
+    column-compressed kernels (see :class:`SparsityConfig`): by default a
+    ≥70 %-pruned Dense/LSTM projection is *calibrated* — the compiler times
+    dense vs sparse on the actual matrix and keeps the winner — while
+    :data:`SPARSE_ALWAYS` forces the lowering and :data:`DENSE_ONLY`
+    suppresses it.  Quantized plans always compile dense.  Sparse kernels
+    match the autograd oracle to the same 1e-5 tolerance as dense float32
+    plans (the accumulation order differs from BLAS).
+
     Raises :class:`PlanCompilationError` when the tree contains a module the
     compiler cannot lower; callers are expected to fall back to the autograd
     path in that case.
     """
-    kernels = _fuse_activations(_compile_item(module, np.dtype(dtype), quantizer))
+    cfg = DEFAULT_SPARSITY if sparsity is None else sparsity
+    kernels = _fuse_activations(
+        _compile_item(module, np.dtype(dtype), quantizer, cfg)
+    )
     return InferencePlan(kernels, dtype=np.dtype(dtype))
 
 
@@ -922,6 +1811,50 @@ def _dense_load(meta, arrays, dtype):
     return DenseKernel(weight, bias, meta["activation"])
 
 
+def _sparse_state(
+    name: str, weight: ColumnSparseWeight, arrays: Dict[str, np.ndarray]
+) -> Dict[str, object]:
+    for key, value in weight.state_arrays().items():
+        arrays[f"{name}.{key}"] = value
+    return {"kind": "sparse", "shape": list(weight.shape)}
+
+
+def _sparse_load(
+    name: str, meta: Mapping[str, object], arrays: Mapping[str, np.ndarray], dtype
+) -> ColumnSparseWeight:
+    return ColumnSparseWeight.from_state(
+        tuple(meta["shape"]),
+        {
+            "indices": arrays[f"{name}.indices"],
+            "values": arrays[f"{name}.values"],
+        },
+        dtype,
+    )
+
+
+def _sparse_dense_state(kernel: SparseDenseKernel):
+    arrays: Dict[str, np.ndarray] = {}
+    meta = _sparse_state("w", kernel.weight, arrays)
+    if kernel.bias is not None:
+        arrays["bias"] = kernel.bias
+    meta.update(
+        {
+            "type": "sparse-dense",
+            "activation": kernel.activation,
+            "has_bias": kernel.bias is not None,
+        }
+    )
+    return meta, arrays
+
+
+def _sparse_dense_load(meta, arrays, dtype):
+    return SparseDenseKernel(
+        _sparse_load("w", meta, arrays, dtype),
+        arrays["bias"] if meta["has_bias"] else None,
+        meta["activation"],
+    )
+
+
 def _activation_state(kernel: ActivationKernel):
     return {"type": "activation", "activation": kernel.activation}, {}
 
@@ -982,29 +1915,56 @@ def _layernorm_state(kernel: LayerNormKernel):
     }
 
 
+def _lstm_weight_state(
+    name: str, weight: LSTMWeight, arrays: Dict[str, np.ndarray]
+) -> Dict[str, object]:
+    if isinstance(weight, ColumnSparseWeight):
+        return _sparse_state(name, weight, arrays)
+    scale, arrays[name] = _weight_state(weight)
+    return {"kind": "dense", "scale": scale}
+
+
+def _lstm_weight_load(
+    name: str, spec: Mapping[str, object], arrays: Mapping[str, np.ndarray], dtype
+) -> LSTMWeight:
+    if spec["kind"] == "sparse":
+        return _sparse_load(name, spec, arrays, dtype)
+    return _weight_load(arrays[name], spec["scale"], dtype)
+
+
 def _lstm_state(kernel: LSTMKernel):
     arrays: Dict[str, np.ndarray] = {}
-    scales: List[List[Optional[float]]] = []
+    layer_meta: List[Dict[str, object]] = []
     for index, (w_ih, w_hh, bias) in enumerate(kernel.layers):
-        s_ih, arrays[f"l{index}.w_ih"] = _weight_state(w_ih)
-        s_hh, arrays[f"l{index}.w_hh"] = _weight_state(w_hh)
+        entry = {
+            "ih": _lstm_weight_state(f"l{index}.w_ih", w_ih, arrays),
+            "hh": _lstm_weight_state(f"l{index}.w_hh", w_hh, arrays),
+        }
         arrays[f"l{index}.bias"] = bias
-        scales.append([s_ih, s_hh])
+        layer_meta.append(entry)
     return {
         "type": "lstm",
         "hidden_size": kernel.hidden_size,
-        "scales": scales,
+        "layers": layer_meta,
     }, arrays
 
 
 def _lstm_load(meta, arrays, dtype):
+    if "layers" in meta:
+        specs = meta["layers"]
+    else:  # legacy dense-only payloads carried a flat scale list
+        specs = [
+            {"ih": {"kind": "dense", "scale": s_ih},
+             "hh": {"kind": "dense", "scale": s_hh}}
+            for s_ih, s_hh in meta["scales"]
+        ]
     layers = [
         (
-            _weight_load(arrays[f"l{index}.w_ih"], s_ih, dtype),
-            _weight_load(arrays[f"l{index}.w_hh"], s_hh, dtype),
+            _lstm_weight_load(f"l{index}.w_ih", spec["ih"], arrays, dtype),
+            _lstm_weight_load(f"l{index}.w_hh", spec["hh"], arrays, dtype),
             arrays[f"l{index}.bias"],
         )
-        for index, (s_ih, s_hh) in enumerate(meta["scales"])
+        for index, spec in enumerate(specs)
     ]
     return LSTMKernel(layers, int(meta["hidden_size"]), dtype)
 
@@ -1055,6 +2015,7 @@ def _encoder_load(meta, arrays, dtype):
 
 _KERNEL_SERIALIZERS: Dict[type, Callable] = {
     DenseKernel: _dense_state,
+    SparseDenseKernel: _sparse_dense_state,
     ActivationKernel: _activation_state,
     Conv2dKernel: _conv_state,
     MaxPool2dKernel: _pool_state("maxpool"),
@@ -1070,6 +2031,7 @@ _KERNEL_SERIALIZERS: Dict[type, Callable] = {
 
 _KERNEL_LOADERS: Dict[str, Callable] = {
     "dense": _dense_load,
+    "sparse-dense": _sparse_dense_load,
     "activation": lambda meta, arrays, dtype: ActivationKernel(meta["activation"]),
     "conv2d": _conv_load,
     "maxpool": _pool_load(MaxPool2dKernel),

@@ -1,0 +1,158 @@
+"""Sparsity-aware matmul operands for pruned inference plans.
+
+Global magnitude pruning (:mod:`repro.compression.pruning`) zeroes weights
+in place, but a dense GEMM spends exactly the same time on a zero as on any
+other value — a 90 %-pruned plan was byte-identical in cost to the unpruned
+one.  This module is the representation that finally skips the zeroed
+multiply-accumulates.
+
+:class:`ColumnSparseWeight` stores a ``(in_features, out_features)`` matrix
+column-compressed with padding (the ELL layout): every output column keeps
+only its non-zero input rows, padded to the widest column so the whole
+product stays three dense ufunc passes —
+
+``gather``
+    ``x.take(indices)`` pulls each column's surviving input features
+    (``(n, out*kmax)``; the source row is small enough to sit in cache);
+``scale``
+    one multiply against the padded value matrix;
+``reduce``
+    one sum over the padding axis.
+
+Fully-zero *rows* of the weight never appear in ``indices`` — their input
+features are simply never read — and fully-zero *columns* degenerate to a
+single padded zero entry, so structured sparsity automatically shrinks the
+working set the same way dropping them from a dense GEMM would.  Padding
+entries point at row 0 with value ``0.0``; they contribute exactly ``+0.0``
+to the accumulation.
+
+Numerically the padded-column sum accumulates in a different order than a
+BLAS GEMM, so sparse kernels match the dense/autograd oracle to the same
+``1e-5`` tolerance the float32 plans are held to — not bit-for-bit.  The
+specialised (arena-bound) execution of a sparse kernel *is* bit-for-bit
+equal to its own generic path, because both run the same gather/scale/
+reduce in the same order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+class ColumnSparseWeight:
+    """A pruned matmul operand stored as padded compressed columns."""
+
+    __slots__ = ("shape", "nnz", "kmax", "indices", "values", "_flat_indices")
+
+    def __init__(self, shape: Tuple[int, int], indices: np.ndarray, values: np.ndarray) -> None:
+        in_features, out_features = shape
+        if indices.shape != values.shape or indices.ndim != 2:
+            raise ValueError("indices and values must share one (out, kmax) shape")
+        if indices.shape[0] != out_features:
+            raise ValueError(
+                f"indices describe {indices.shape[0]} columns, shape says {out_features}"
+            )
+        self.shape = (int(in_features), int(out_features))
+        # intp indices feed ndarray.take without a per-call cast copy.
+        self.indices = np.ascontiguousarray(indices, dtype=np.intp)
+        self.values = np.ascontiguousarray(values)
+        self.kmax = int(indices.shape[1])
+        self.nnz = int(np.count_nonzero(self.values))
+        self._flat_indices = self.indices.reshape(-1)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "ColumnSparseWeight":
+        """Compress a ``(in, out)`` matrix, keeping only non-zero entries.
+
+        Entries within a column are kept in ascending input-row order; the
+        layout is fully determined by the zero pattern, so two calls on the
+        same matrix (or one call on a transported copy) build identical
+        operands.
+        """
+        if dense.ndim != 2:
+            raise ValueError("ColumnSparseWeight needs a 2-D matrix")
+        in_features, out_features = dense.shape
+        rows, cols = np.nonzero(dense)
+        counts = np.bincount(cols, minlength=out_features)
+        kmax = max(1, int(counts.max()) if counts.size else 1)
+        indices = np.zeros((out_features, kmax), dtype=np.intp)
+        values = np.zeros((out_features, kmax), dtype=dense.dtype)
+        # np.nonzero is row-major ordered; a stable sort by column yields
+        # ascending rows within each column.
+        order = np.argsort(cols, kind="stable")
+        rows, cols = rows[order], cols[order]
+        col_starts = np.concatenate(([0], np.cumsum(counts)))
+        within = np.arange(rows.size) - col_starts[cols]
+        indices[cols, within] = rows
+        values[cols, within] = dense[rows, cols]
+        return cls((in_features, out_features), indices, values)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def matmul(
+        self,
+        x: np.ndarray,
+        out: Optional[np.ndarray] = None,
+        gather: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``x @ W`` over the compressed columns.
+
+        ``x`` is ``(n, in_features)``; the result is ``(n, out_features)``.
+        ``out`` and ``gather`` (shape ``(n, out_features * kmax)``) let a
+        plan arena run the product with zero allocations; when omitted the
+        scratch is allocated per call, exactly as a dense kernel would.
+        """
+        n = x.shape[0]
+        if gather is None:
+            gather = np.empty((n, self.shape[1] * self.kmax), dtype=x.dtype)
+        x.take(self._flat_indices, axis=1, out=gather)
+        gathered = gather.reshape(n, self.shape[1], self.kmax)
+        np.multiply(gathered, self.values, out=gathered)
+        if out is None:
+            return gathered.sum(axis=-1)
+        np.add.reduce(gathered, axis=-1, out=out)
+        return out
+
+    def gather_scratch(self, n: int, dtype: np.dtype) -> np.ndarray:
+        """Allocate the gather buffer :meth:`matmul` needs for ``n`` rows."""
+        return np.empty((n, self.shape[1] * self.kmax), dtype=dtype)
+
+    # ------------------------------------------------------------------ #
+    # reporting / transport
+    # ------------------------------------------------------------------ #
+    @property
+    def density(self) -> float:
+        """Fraction of the dense matrix that survived pruning."""
+        total = self.shape[0] * self.shape[1]
+        return self.nnz / total if total else 0.0
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes actually held (padded values + indices), not dense bytes."""
+        return int(self.values.nbytes + self.indices.nbytes)
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Transport payload; int64 indices round-trip across platforms."""
+        return {
+            "indices": self.indices.astype(np.int64),
+            "values": self.values,
+        }
+
+    @classmethod
+    def from_state(
+        cls, shape: Tuple[int, int], arrays: Dict[str, np.ndarray], dtype: np.dtype
+    ) -> "ColumnSparseWeight":
+        return cls(
+            shape,
+            np.asarray(arrays["indices"]),
+            np.asarray(arrays["values"], dtype=dtype),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnSparseWeight({self.shape[0]}x{self.shape[1]}, "
+            f"nnz={self.nnz}, density={self.density:.1%}, kmax={self.kmax})"
+        )

@@ -38,12 +38,18 @@ class BatchResult:
     """Outcome of one :meth:`MicroBatcher.flush`."""
 
     #: Per-session class probabilities, keyed by the submitting session id.
+    #: Each row is session-owned (copied out of the classifier's output, so
+    #: a later flush reusing a specialised plan's arena buffer can never
+    #: mutate it retroactively).
     results: Dict[str, np.ndarray] = field(default_factory=dict)
     #: Sizes of the ``predict_proba`` calls actually issued (one entry per
     #: chunk; a single entry equal to ``len(results)`` in the common case).
     batch_sizes: List[int] = field(default_factory=list)
     #: Total wall-clock time spent inside ``predict_proba``.
     latency_s: float = 0.0
+    #: Whether every classifier call in this flush hit a shape-specialised
+    #: (pre-bound arena) plan execution.
+    specialized: bool = False
 
     def __len__(self) -> int:
         return len(self.results)
@@ -90,6 +96,20 @@ class ExecutionResult:
     #: Label of the worker that executed the batch ("serial", a thread name,
     #: or a shard-worker id); purely informational, flows into telemetry.
     worker: str = ""
+    #: Whether every ``predict_proba`` call of this execution ran on a
+    #: shape-specialised plan arena (False when the classifier has no plan).
+    specialized: bool = False
+
+
+def _specialized_calls(classifier: EEGClassifier) -> Optional[int]:
+    """Cumulative arena-hit counter of the classifier's plan, if it has one."""
+    stats_hook = getattr(classifier, "specialization_stats", None)
+    if stats_hook is None:
+        return None
+    stats = stats_hook()
+    if stats is None:
+        return None
+    return int(stats["specialized_calls"])
 
 
 def execute_windows(
@@ -113,6 +133,7 @@ def execute_windows(
         raise ValueError("chunk_size must be at least 1")
     clock = clock or SYSTEM_CLOCK
     n = windows.shape[0]
+    calls_before = _specialized_calls(classifier)
     probabilities: List[np.ndarray] = []
     batch_sizes: List[int] = []
     elapsed = 0.0
@@ -126,11 +147,19 @@ def execute_windows(
         probs = probabilities[0]
     else:
         probs = np.concatenate(probabilities, axis=0)
+    specialized = False
+    if calls_before is not None and batch_sizes:
+        calls_after = _specialized_calls(classifier)
+        specialized = (
+            calls_after is not None
+            and calls_after - calls_before >= len(batch_sizes)
+        )
     return ExecutionResult(
         probabilities=probs,
         batch_sizes=batch_sizes,
         service_s=elapsed,
         worker=worker,
+        specialized=specialized,
     )
 
 
@@ -152,6 +181,15 @@ class MicroBatcher:
     clock:
         Time source used to measure flush latency.  Defaults to the system
         monotonic clock; tests inject a fake so latency assertions are exact.
+    specialize:
+        When ``True`` (the default) and the classifier serves from a
+        compiled plan, the plan auto-specialises for the fleet's dominant
+        batch sizes: after two consecutive flushes of the same size, the
+        plan pre-binds a zero-allocation scratch arena for that geometry
+        (bit-for-bit the generic result) and re-specialises when the cohort
+        resizes.  The scheduler passes ``False`` for remote executors —
+        workers specialise their own replicas, so binding arenas on the
+        local plan would only hold memory that never serves.
     """
 
     def __init__(
@@ -159,12 +197,14 @@ class MicroBatcher:
         classifier: EEGClassifier,
         max_batch_size: Optional[int] = None,
         clock: Optional[Clock] = None,
+        specialize: bool = True,
     ) -> None:
         if max_batch_size is not None and max_batch_size < 1:
             raise ValueError("max_batch_size must be at least 1")
         self.classifier = classifier
         self.max_batch_size = max_batch_size
         self.clock = clock or SYSTEM_CLOCK
+        self.specialize = specialize
         self._pending: List[Tuple[str, np.ndarray]] = []
         self._pending_ids: set = set()
         # Precompile the serving plan (no-op for classifiers without one, or
@@ -172,6 +212,19 @@ class MicroBatcher:
         ensure_compiled = getattr(classifier, "ensure_compiled", None)
         if ensure_compiled is not None:
             ensure_compiled()
+        if specialize:
+            # Request auto-specialisation on the *classifier* (the standing
+            # preference survives plan invalidation/recompiles and applies
+            # even when the network is not built yet); CompiledClassifier
+            # replicas expose the same hook directly.
+            auto = getattr(classifier, "enable_auto_specialization", None)
+            if auto is not None:
+                auto()
+
+    def specialization_stats(self) -> Optional[Dict[str, float]]:
+        """The serving plan's arena hit/miss counters; ``None`` without one."""
+        stats_hook = getattr(self.classifier, "specialization_stats", None)
+        return stats_hook() if stats_hook is not None else None
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -217,7 +270,14 @@ class MicroBatcher:
 
     @staticmethod
     def finalize(prepared: PreparedBatch, execution: ExecutionResult) -> BatchResult:
-        """Route execution output back to the sessions that submitted it."""
+        """Route execution output back to the sessions that submitted it.
+
+        Rows are copied out of the execution output: a specialised plan
+        returns an arena-owned buffer that the next flush overwrites, and a
+        session (or test) holding its probability row must not see it
+        change underneath.  The copies are a handful of float64s per
+        session — noise next to the classifier call.
+        """
         probs = execution.probabilities
         if probs.shape[0] != len(prepared):
             raise RuntimeError(
@@ -225,9 +285,12 @@ class MicroBatcher:
                 f"{len(prepared)} windows"
             )
         return BatchResult(
-            results={sid: probs[i] for i, sid in enumerate(prepared.session_ids)},
+            results={
+                sid: probs[i].copy() for i, sid in enumerate(prepared.session_ids)
+            },
             batch_sizes=execution.batch_sizes,
             latency_s=execution.service_s,
+            specialized=execution.specialized,
         )
 
     def flush(self) -> BatchResult:

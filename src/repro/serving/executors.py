@@ -64,9 +64,14 @@ class FlushExecutor(Protocol):
     ``serializes_flushes`` tells the scheduler whether flushes share one
     executor lane (wake times must then budget for earlier cohorts' service
     time) or run concurrently (each cohort's deadline stands alone).
+    ``remote_execution`` marks executors whose classification happens outside
+    this process — the scheduler then skips local plan specialisation (the
+    workers specialise their own replicas), so no arena memory is pinned on
+    plans that never execute.
     """
 
     serializes_flushes: bool
+    remote_execution: bool
 
     def bind(
         self, classifiers: Mapping[str, EEGClassifier], clock: Clock
@@ -128,6 +133,7 @@ class SerialExecutor(_BoundMixin):
     """
 
     serializes_flushes = True
+    remote_execution = False
 
     def bind(self, classifiers: Mapping[str, EEGClassifier], clock: Clock) -> None:
         self._check_bind(classifiers)
@@ -179,6 +185,7 @@ class ThreadPoolFlushExecutor(_BoundMixin):
     """
 
     serializes_flushes = False
+    remote_execution = False
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
         super().__init__()
@@ -233,6 +240,9 @@ def _shard_worker_main(conn, cohort: str, payload: bytes) -> None:
         from repro.models.compiled import CompiledClassifier
 
         replica = CompiledClassifier.from_payload(payload)
+        # The worker owns this replica outright: let its plan pre-bind
+        # zero-allocation arenas for the cohort's dominant flush sizes.
+        replica.enable_auto_specialization()
     except Exception as exc:  # noqa: BLE001 — report, do not crash silently
         conn.send(("error", f"{type(exc).__name__}: {exc}"))
         conn.close()
@@ -258,6 +268,7 @@ def _shard_worker_main(conn, cohort: str, payload: bytes) -> None:
                     execution.batch_sizes,
                     execution.service_s,
                     execution.worker,
+                    execution.specialized,
                 )
             )
         except Exception as exc:  # noqa: BLE001
@@ -291,12 +302,13 @@ class _ShardTicket:
             raise FlushExecutionError(
                 f"shard worker {self._shard.cohort!r} failed: {message[1]}"
             )
-        _, probabilities, batch_sizes, service_s, worker = message
+        _, probabilities, batch_sizes, service_s, worker, specialized = message
         self._execution = ExecutionResult(
             probabilities=probabilities,
             batch_sizes=list(batch_sizes),
             service_s=float(service_s),
             worker=str(worker),
+            specialized=bool(specialized),
         )
         return self._execution
 
@@ -337,6 +349,7 @@ class ProcessShardExecutor(_BoundMixin):
     """
 
     serializes_flushes = False
+    remote_execution = True
 
     def __init__(
         self,

@@ -329,15 +329,20 @@ class AsyncFleetScheduler:
             recovery_fraction=sched.recovery_fraction,
             shed_ratio=sched.shed_ratio,
         )
+        self.executor: FlushExecutor = executor or SerialExecutor()
+        # Remote executors classify on worker-owned plan replicas, which
+        # auto-specialise over there; binding arenas on the local plans
+        # would only pin scratch that never executes.
+        local_execution = not getattr(self.executor, "remote_execution", False)
         self._batchers: Dict[str, MicroBatcher] = {
             cohort: MicroBatcher(
                 self.router.classifier_for(cohort),
                 max_batch_size=sched.max_batch_size,
                 clock=self.clock,
+                specialize=local_execution,
             )
             for cohort in self.router.cohorts
         }
-        self.executor: FlushExecutor = executor or SerialExecutor()
         self.executor.bind(
             {
                 cohort: self.router.classifier_for(cohort)
@@ -725,6 +730,7 @@ class AsyncFleetScheduler:
             worker=execution.worker,
             executor_wait_s=executor_wait,
             completed_at_s=completed_at,
+            specialized=execution.specialized,
         )
         event = FlushEvent(
             cohort=cohort,
@@ -757,6 +763,7 @@ class AsyncFleetScheduler:
         worker: str = "",
         executor_wait_s: float = 0.0,
         completed_at_s: float = 0.0,
+        specialized: bool = False,
     ) -> None:
         self.telemetry.record(
             FleetTickRecord(
@@ -776,6 +783,7 @@ class AsyncFleetScheduler:
                 worker=worker,
                 executor_wait_s=executor_wait_s,
                 completed_at_s=completed_at_s,
+                specialized=specialized,
             )
         )
         self._record_index += 1
@@ -831,6 +839,7 @@ class AsyncFleetScheduler:
         ticks: Dict[str, Any] = {}
         batch_size = 0
         latency_s = 0.0
+        specialized_flags: List[bool] = []
         for cohort in self.router.cohorts:
             result = self._batchers[cohort].flush()
             per_window = result.per_window_latency_s()
@@ -844,6 +853,7 @@ class AsyncFleetScheduler:
                 # Per-flush samples, matching the async path: cohorts are
                 # independent service events, not one combined latency.
                 self.admission.observe(result.latency_s)
+                specialized_flags.append(result.specialized)
         self.telemetry.record(
             FleetTickRecord(
                 tick_index=self._record_index,
@@ -856,6 +866,9 @@ class AsyncFleetScheduler:
                 ),
                 shed_sessions=shed,
                 flush_reason="tick",
+                # The record's contract is "every classifier call hit an
+                # arena": all non-empty cohort flushes must agree.
+                specialized=bool(specialized_flags) and all(specialized_flags),
             )
         )
         self._record_index += 1
@@ -880,4 +893,9 @@ class AsyncFleetScheduler:
             sessions=session_stats(everyone),
             cohorts=self.telemetry.cohort_breakdown(),
             workers=self.telemetry.worker_breakdown(),
+            specialization={
+                cohort: stats
+                for cohort, batcher in self._batchers.items()
+                if (stats := batcher.specialization_stats()) is not None
+            },
         )

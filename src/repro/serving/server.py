@@ -54,6 +54,9 @@ class FleetReport:
     sessions: List[SessionStats] = field(default_factory=list)
     cohorts: Dict[str, Dict[str, float]] = field(default_factory=dict)
     workers: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Per-cohort plan-specialisation counters (arena hit rate, held scratch
+    #: bytes); keyed ``"default"`` for the single-cohort lock-step server.
+    specialization: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def session(self, session_id: str) -> SessionStats:
         for stats in self.sessions:
@@ -177,6 +180,7 @@ class FleetServer:
                 stalled_sessions=stalled,
                 batch_latency_s=result.latency_s,
                 backlog_depth=sum(s.backlog_depth for s in sessions),
+                specialized=result.specialized,
             )
         )
         self._tick_index += 1
@@ -199,10 +203,12 @@ class FleetServer:
     def report(self) -> FleetReport:
         """Current fleet summary, covering attached and departed sessions."""
         everyone = list(self._sessions.values()) + self._departed
+        stats = self.batcher.specialization_stats()
         return FleetReport(
             ticks=self._tick_index,
             fleet=self.telemetry.summary(),
             sessions=session_stats(everyone),
             cohorts=self.telemetry.cohort_breakdown(),
             workers=self.telemetry.worker_breakdown(),
+            specialization={} if stats is None else {"default": stats},
         )

@@ -54,6 +54,9 @@ class FleetTickRecord:
     #: Clock time at which the flush result was folded back in (0.0 for
     #: lock-step ticks); lets per-worker utilisation be computed offline.
     completed_at_s: float = 0.0
+    #: Whether every classifier call of this flush ran on a shape-specialised
+    #: plan arena (pre-bound scratch, zero steady-state allocations).
+    specialized: bool = False
 
 
 @dataclass
@@ -148,6 +151,18 @@ class FleetTelemetry:
             return 0.0
         return sum(r.stalled_sessions for r in self.records) / opportunities
 
+    def specialized_hit_rate(self) -> float:
+        """Fraction of non-empty flushes served from a specialised plan.
+
+        The denominator only counts flushes that actually classified
+        something: an empty flush runs no plan at all, so counting it would
+        understate how often the hot path hit its pre-bound arena.
+        """
+        served = [r for r in self.records if r.batch_size > 0]
+        if not served:
+            return 0.0
+        return sum(1 for r in served if r.specialized) / len(served)
+
     def max_executor_wait_s(self) -> float:
         """Longest observed executor queueing/transport overhead."""
         if not self.records:
@@ -228,6 +243,7 @@ class FleetTelemetry:
             "max_queue_wait_s": self.max_queue_wait_s(),
             "max_executor_wait_s": self.max_executor_wait_s(),
             "workers": float(len({r.worker for r in self.records if r.worker})),
+            "specialized_hit_rate": self.specialized_hit_rate(),
         }
 
 

@@ -124,3 +124,54 @@ class TestPruneClassifier:
             prune_classifier(EEGCNN(), 0.5)
         with pytest.raises(ValueError):
             effective_parameter_count(EEGCNN())
+
+
+class TestInplacePruning:
+    def _classifier(self):
+        from repro.models.lstm_model import EEGLSTM, LSTMConfig
+
+        classifier = EEGLSTM(LSTMConfig(hidden_size=16), seed=0)
+        classifier.ensure_network(4, 50)
+        return classifier
+
+    def test_inplace_prune_matches_copy_semantics(self):
+        import numpy as np
+
+        from repro.compression.pruning import (
+            prune_classifier,
+            prune_classifier_inplace,
+        )
+
+        copied_source = self._classifier()
+        pruned_copy, copy_report = prune_classifier(copied_source, 0.7)
+        inplace = self._classifier()
+        inplace_report = prune_classifier_inplace(inplace, 0.7)
+        assert inplace_report.achieved_sparsity == copy_report.achieved_sparsity
+        for (_, a), (_, b) in zip(
+            pruned_copy.network.named_parameters(),
+            inplace.network.named_parameters(),
+        ):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_inplace_prune_invalidates_the_cached_plan(self):
+        import numpy as np
+
+        from repro.compression.pruning import prune_classifier_inplace
+
+        classifier = self._classifier()
+        windows = np.random.default_rng(0).standard_normal((2, 4, 50))
+        classifier.predict_proba(windows)
+        stale = classifier.ensure_compiled()
+        prune_classifier_inplace(classifier, 0.5)
+        assert classifier._compiled is None
+        classifier.predict_proba(windows)
+        assert classifier.ensure_compiled() is not stale
+
+    def test_inplace_prune_requires_built_network(self):
+        import pytest
+
+        from repro.compression.pruning import prune_classifier_inplace
+        from repro.models.lstm_model import EEGLSTM, LSTMConfig
+
+        with pytest.raises(ValueError):
+            prune_classifier_inplace(EEGLSTM(LSTMConfig(hidden_size=8)), 0.5)

@@ -1,0 +1,66 @@
+"""Allocation-aware profiling of the serving engine (deployment.profiler)."""
+
+import numpy as np
+
+from repro.deployment.profiler import profile_classifier
+from repro.models.lstm_model import EEGLSTM, LSTMConfig
+from repro.models.random_forest import RandomForestClassifier, RandomForestConfig
+from tests.helpers import make_toy_dataset
+
+
+def _built_lstm(hidden=48):
+    classifier = EEGLSTM(LSTMConfig(hidden_size=hidden), seed=0)
+    classifier.ensure_network(4, 50)
+    return classifier
+
+
+def _windows(n=8):
+    return np.random.default_rng(0).standard_normal((n, 4, 50)).astype(np.float32)
+
+
+class TestAllocationProfile:
+    def test_generic_plan_reports_allocations(self):
+        profile = profile_classifier(_built_lstm(), _windows(), repeats=3)
+        assert profile.engine == "compiled"
+        assert profile.alloc_peak_bytes is not None
+        assert profile.alloc_peak_bytes > 0
+        assert profile.plan_scratch_bytes == 0
+        assert profile.specialized_hit_rate == 0.0
+
+    def test_specialized_profile_collapses_plan_allocations(self):
+        windows = _windows()
+        generic = profile_classifier(_built_lstm(), windows, repeats=3)
+        specialized = profile_classifier(
+            _built_lstm(), windows, repeats=3, specialize=True
+        )
+        # The plan's intermediates no longer allocate: the transient peak
+        # drops and the arena accounts for the scratch instead.
+        assert specialized.alloc_peak_bytes < generic.alloc_peak_bytes
+        assert specialized.plan_scratch_bytes > 0
+        assert specialized.specialized_hit_rate > 0.0
+
+    def test_allocations_can_be_skipped(self):
+        profile = profile_classifier(
+            _built_lstm(), _windows(), repeats=3, include_allocations=False
+        )
+        assert profile.alloc_peak_bytes is None
+        assert profile.alloc_net_blocks is None
+
+    def test_non_neural_classifier_profiles_without_plan_fields(self):
+        train = make_toy_dataset(n_per_class=8, n_channels=4, window_size=50)
+        classifier = RandomForestClassifier(
+            RandomForestConfig(n_estimators=3), seed=0
+        )
+        classifier.fit(train)
+        profile = profile_classifier(classifier, _windows(4), repeats=2)
+        assert profile.engine == "autograd"
+        assert profile.plan_scratch_bytes is None
+        assert profile.specialized_hit_rate is None
+        assert profile.alloc_peak_bytes is not None
+
+    def test_compiled_speedup_still_reported(self):
+        profile = profile_classifier(
+            _built_lstm(), _windows(2), repeats=2, include_autograd=True
+        )
+        assert profile.compiled_speedup is not None
+        assert profile.compiled_speedup > 0

@@ -307,3 +307,104 @@ class TestLegacySubclassFallback:
         probs = model.predict_proba(windows)
         assert probs.shape == (3, 3)
         np.testing.assert_allclose(probs.sum(axis=1), np.ones(3), atol=1e-9)
+
+
+class TestPrunedPlans:
+    """Sparsity-aware compilation at the classifier level (§III-E1)."""
+
+    def test_pruned_equivalence_at_all_paper_levels(self):
+        from repro.compression.pruning import PAPER_PRUNING_LEVELS, prune_classifier
+        from repro.nn.inference import SPARSE_ALWAYS
+
+        classifier = EEGLSTM(LSTMConfig(hidden_size=24, num_layers=2), seed=2)
+        classifier.ensure_network(N_CHANNELS, WINDOW)
+        windows = np.random.default_rng(0).standard_normal((7, N_CHANNELS, WINDOW))
+        for ratio in PAPER_PRUNING_LEVELS:
+            pruned, _ = prune_classifier(classifier, ratio)
+            pruned.plan_sparsity = SPARSE_ALWAYS
+            np.testing.assert_allclose(
+                pruned.predict_proba(windows),
+                pruned.predict_proba_autograd(windows),
+                atol=1e-5,
+                err_msg=f"pruning ratio {ratio}",
+            )
+
+    def test_inplace_prune_invalidates_plan_and_picks_sparse_kernels(self):
+        from repro.compression.pruning import prune_classifier_inplace
+        from repro.nn.inference import SparsityConfig
+
+        classifier = EEGLSTM(LSTMConfig(hidden_size=24), seed=2)
+        classifier.plan_sparsity = SparsityConfig(mode="always", min_size=0)
+        classifier.ensure_network(N_CHANNELS, WINDOW)
+        windows = np.random.default_rng(1).standard_normal((3, N_CHANNELS, WINDOW))
+        classifier.predict_proba(windows)
+        dense_plan = classifier.ensure_compiled().plan
+        assert not any("sparse" in k for k in dense_plan.describe())
+        prune_classifier_inplace(classifier, 0.9)
+        assert classifier.ensure_compiled().plan is not dense_plan
+        sparse_plan = classifier.ensure_compiled().plan
+        assert any("sparse" in k for k in sparse_plan.describe())
+        np.testing.assert_allclose(
+            classifier.predict_proba(windows),
+            classifier.predict_proba_autograd(windows),
+            atol=1e-5,
+        )
+
+    def test_pruned_copy_compiles_fresh_sparse_plan(self):
+        from repro.compression.pruning import prune_classifier
+        from repro.nn.inference import SparsityConfig
+
+        classifier = EEGLSTM(LSTMConfig(hidden_size=24), seed=2)
+        classifier.plan_sparsity = SparsityConfig(mode="always", min_size=0)
+        classifier.ensure_network(N_CHANNELS, WINDOW)
+        classifier.predict_proba(
+            np.random.default_rng(2).standard_normal((2, N_CHANNELS, WINDOW))
+        )
+        pruned, _ = prune_classifier(classifier, 0.9)
+        assert pruned._compiled is None  # the copy never inherits a plan
+        assert any("sparse" in k for k in pruned.ensure_compiled().plan.describe())
+
+
+class TestClassifierSpecialization:
+    @pytest.mark.parametrize("batch", [1, 7, 64])
+    def test_specialized_is_bit_for_bit_generic(self, built_classifier, batch):
+        windows = np.random.default_rng(batch).standard_normal(
+            (batch, N_CHANNELS, WINDOW)
+        )
+        generic = built_classifier.predict_proba(windows).copy()
+        before = built_classifier.specialization_stats()["specialized_calls"]
+        assert built_classifier.specialize(batch)
+        built_classifier.predict_proba(windows)  # binds the arena
+        specialized = built_classifier.predict_proba(windows)
+        assert np.array_equal(generic, specialized)
+        stats = built_classifier.specialization_stats()
+        assert stats["specialized_calls"] == before + 2
+        assert stats["scratch_bytes"] > 0
+
+    def test_despecialize_releases_scratch(self, built_classifier):
+        windows = np.random.default_rng(5).standard_normal((4, N_CHANNELS, WINDOW))
+        built_classifier.despecialize()  # fixture classifiers are shared
+        built_classifier.specialize(4)
+        built_classifier.predict_proba(windows)
+        assert built_classifier.specialization_stats()["arenas"] == 1
+        built_classifier.despecialize()
+        assert built_classifier.specialization_stats()["arenas"] == 0
+
+    def test_auto_specialization_survives_plan_invalidation(self):
+        classifier = EEGLSTM(LSTMConfig(hidden_size=24), seed=2)
+        classifier.ensure_network(N_CHANNELS, WINDOW)
+        classifier.enable_auto_specialization(streak=1)
+        windows = np.random.default_rng(6).standard_normal((3, N_CHANNELS, WINDOW))
+        classifier.predict_proba(windows)
+        classifier.predict_proba(windows)
+        assert classifier.specialization_stats()["specialized_calls"] >= 1
+        classifier.invalidate_compiled()
+        classifier.predict_proba(windows)
+        classifier.predict_proba(windows)
+        assert classifier.specialization_stats()["specialized_calls"] >= 1
+
+    def test_specialize_returns_false_for_autograd_only_classifier(self):
+        classifier = EEGLSTM(LSTMConfig(hidden_size=24), seed=2)
+        classifier.use_compiled_inference = False
+        classifier.ensure_network(N_CHANNELS, WINDOW)
+        assert not classifier.specialize(4)

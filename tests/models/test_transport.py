@@ -182,3 +182,55 @@ class TestShardWorkerServesTheReplica:
                     )
             finally:
                 executor.shutdown()
+
+
+class TestSparsePayloads:
+    def test_pruned_sparse_classifier_round_trips_exactly(self):
+        from repro.compression.pruning import prune_classifier
+        from repro.nn.inference import SparsityConfig
+
+        classifier = EEGLSTM(LSTMConfig(hidden_size=24), seed=6)
+        classifier.ensure_network(N_CHANNELS, WINDOW)
+        pruned, _ = prune_classifier(classifier, 0.9)
+        pruned.plan_sparsity = SparsityConfig(mode="always", min_size=0)
+        compiled = pruned.ensure_compiled()
+        assert any("sparse" in k for k in compiled.plan.describe())
+        replica = CompiledClassifier.from_payload(compiled.to_payload())
+        assert replica.plan.describe() == compiled.plan.describe()
+        windows = _windows(seed=11, n=5)
+        np.testing.assert_array_equal(
+            replica.predict_proba(windows), compiled.predict_proba(windows)
+        )
+
+    def test_shard_worker_serves_a_sparse_plan(self):
+        from repro.compression.pruning import prune_classifier
+        from repro.nn.inference import SparsityConfig
+
+        classifier = EEGLSTM(LSTMConfig(hidden_size=24), seed=7)
+        classifier.ensure_network(N_CHANNELS, WINDOW)
+        pruned, _ = prune_classifier(classifier, 0.9)
+        pruned.plan_sparsity = SparsityConfig(mode="always", min_size=0)
+        assert any(
+            "sparse" in k for k in pruned.ensure_compiled().plan.describe()
+        )
+        prepared = PreparedBatch(
+            session_ids=["a", "b", "c"],
+            windows=_windows(seed=12, n=3),
+            chunk_size=3,
+        )
+        serial = SerialExecutor()
+        serial.bind({"sparse": pruned}, SYSTEM_CLOCK)
+        reference = serial.submit_flush("sparse", prepared).result()
+        executor = ProcessShardExecutor()
+        with hard_timeout(240, what="sparse shard-worker smoke"):
+            executor.bind({"sparse": pruned}, SYSTEM_CLOCK)
+            try:
+                execution = executor.submit_flush("sparse", prepared).result()
+                np.testing.assert_allclose(
+                    execution.probabilities,
+                    reference.probabilities,
+                    atol=1e-7,
+                    rtol=0,
+                )
+            finally:
+                executor.shutdown()

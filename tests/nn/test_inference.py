@@ -153,3 +153,216 @@ class TestPlanMechanics:
         net = Sequential(Dense(4, 2, seed=0), ReLU())
         plan = compile_network(net)
         assert plan.describe() == ["dense[4x2]+relu"]
+
+
+# ---------------------------------------------------------------------- #
+# Shape specialisation: pre-bound arenas
+# ---------------------------------------------------------------------- #
+def _alloc_profile(call, warm=3):
+    """(net_bytes, peak_bytes) of one steady-state ``call`` under tracemalloc."""
+    import gc
+    import tracemalloc
+
+    for _ in range(warm):
+        call()
+    gc.collect()
+    tracemalloc.start()
+    try:
+        call()
+        call()
+        tracemalloc.reset_peak()
+        before = tracemalloc.get_traced_memory()[0]
+        call()
+        current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return current - before, peak - before
+
+
+def _small_lstm_net():
+    return Sequential(LSTM(input_size=6, hidden_size=24, num_layers=2, seed=3))
+
+
+def _small_cnn_net():
+    return Sequential(
+        Conv2d(1, 4, kernel_size=3, padding=1, seed=0),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Dense(4 * 4 * 5, 8, seed=1, activation="relu"),
+        LayerNorm(8),
+        Dense(8, 3, seed=3),
+    )
+
+
+def _small_encoder_net():
+    return Sequential(
+        TransformerEncoderLayer(
+            d_model=16, n_heads=4, dim_feedforward=24, dropout=0.1, seed=2
+        ),
+        Dense(16, 3, seed=4),
+    )
+
+
+class TestShapeSpecialization:
+    @pytest.mark.parametrize("batch", [1, 7, 64])
+    @pytest.mark.parametrize(
+        "net_fn,shape",
+        [
+            (_small_lstm_net, (9, 6)),
+            (_small_cnn_net, (1, 8, 10)),
+            (_small_encoder_net, (6, 16)),
+        ],
+        ids=["lstm", "cnn", "encoder"],
+    )
+    def test_specialized_is_bit_for_bit_generic(self, net_fn, shape, batch):
+        plan = compile_network(net_fn())
+        plan.append(SoftmaxKernel())
+        x = np.random.default_rng(batch).standard_normal((batch,) + shape)
+        generic = plan(x).copy()
+        assert plan.specialize(batch)
+        first = plan(x)  # binds the arena
+        steady = plan(x)  # pure arena replay
+        assert np.array_equal(generic, first)
+        assert np.array_equal(generic, steady)
+        assert plan.specialized_calls == 2
+        assert plan.generic_calls == 1
+
+    def test_steady_state_flush_allocates_no_arrays(self):
+        """The zero-allocation claim, asserted.
+
+        A specialised plan call must not allocate any data arrays: its
+        tracemalloc peak stays within numpy's constant-size internal
+        iteration buffers (independent of model and batch geometry), while
+        the generic path's peak scales with the intermediates it allocates.
+        The bound covers every kernel family at once.
+        """
+        bound = 128 * 1024
+        for net_fn, shape in [
+            (_small_lstm_net, (9, 6)),
+            (_small_cnn_net, (1, 8, 10)),
+            (_small_encoder_net, (6, 16)),
+        ]:
+            plan = compile_network(net_fn())
+            plan.append(SoftmaxKernel())
+            x = np.random.default_rng(0).standard_normal((32,) + shape).astype(
+                np.float32
+            )
+            plan.specialize(32)
+            net_bytes, peak = _alloc_profile(lambda: plan(x))
+            assert peak < bound, f"specialised peak {peak}B blows {bound}B"
+            assert net_bytes < 4096, f"specialised call retains {net_bytes}B"
+
+    def test_generic_path_allocates_beyond_the_specialized_bound(self):
+        """Contrast for the assertion above: generic allocations scale."""
+        plan = compile_network(_small_lstm_net())
+        plan.append(SoftmaxKernel())
+        x = np.random.default_rng(1).standard_normal((32, 9, 6)).astype(np.float32)
+        _, generic_peak = _alloc_profile(lambda: plan(x))
+        assert generic_peak > 128 * 1024
+
+    def test_mismatched_batch_falls_back_to_generic(self):
+        plan = compile_network(_small_lstm_net())
+        plan.specialize(4)
+        x4 = np.random.default_rng(2).standard_normal((4, 9, 6))
+        x5 = np.random.default_rng(3).standard_normal((5, 9, 6))
+        plan(x4)
+        before = plan.generic_calls
+        plan(x5)
+        assert plan.generic_calls == before + 1
+        assert plan.specialized_calls == 1
+
+    def test_despecialize_releases_arenas(self):
+        plan = compile_network(_small_lstm_net())
+        x = np.random.default_rng(4).standard_normal((3, 9, 6))
+        plan.specialize(3)
+        plan(x)
+        assert plan.specialization_stats()["arenas"] == 1
+        plan.despecialize(3)
+        assert plan.specialization_stats()["arenas"] == 0
+        plan(x)  # generic again
+        assert plan.generic_calls == 1
+
+    def test_auto_specialization_binds_after_streak_and_evicts_lru(self):
+        plan = compile_network(_small_lstm_net())
+        plan.enable_auto_specialization(streak=2, max_arenas=2)
+        rng = np.random.default_rng(5)
+        x2 = rng.standard_normal((2, 9, 6))
+        x3 = rng.standard_normal((3, 9, 6))
+        x4 = rng.standard_normal((4, 9, 6))
+        plan(x2)  # streak 1: generic
+        assert plan.specialization_stats()["arenas"] == 0
+        plan(x2)  # streak 2: binds and serves from the arena
+        assert plan.specialization_stats()["arenas"] == 1
+        assert plan.specialized_calls == 1
+        # A fleet resize re-specialises; the LRU cap bounds held scratch.
+        for x in (x3, x3, x4, x4):
+            plan(x)
+        stats = plan.specialization_stats()
+        assert stats["arenas"] == 2  # batch-2 arena evicted
+        assert plan((np.asarray(x2))) is not None
+        assert plan.specialization_stats()["arenas"] == 2
+
+    def test_custom_kernel_refuses_specialization_but_keeps_serving(self):
+        from repro.nn.inference import Kernel
+
+        class Doubler(Kernel):
+            def __call__(self, x):
+                return x * 2.0
+
+        plan = InferencePlan([Doubler()])
+        assert plan.specialize(2)  # optimistic until the first bind attempt
+        x = np.random.default_rng(6).standard_normal((2, 4)).astype(np.float32)
+        out = plan(x)
+        np.testing.assert_array_equal(out, x * 2.0)
+        assert plan.generic_calls == 1
+        assert not plan.can_specialize
+        assert not plan.specialize(3)
+
+    def test_specialized_output_buffer_is_reused_across_calls(self):
+        """The documented ownership contract: rows are valid until the next
+        call, so retaining callers must copy (MicroBatcher.finalize does)."""
+        plan = compile_network(Sequential(Dense(4, 3, seed=0)))
+        plan.append(SoftmaxKernel())
+        plan.specialize(2)
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((2, 4)).astype(np.float32)
+        b = rng.standard_normal((2, 4)).astype(np.float32)
+        plan(a)
+        out_a = plan(a)
+        expected_b = plan(b).copy()
+        assert np.array_equal(out_a, expected_b)  # same buffer, overwritten
+
+    def test_append_invalidates_existing_arenas(self):
+        plan = compile_network(Sequential(Dense(4, 3, seed=0)))
+        plan.specialize(2)
+        x = np.random.default_rng(8).standard_normal((2, 4)).astype(np.float32)
+        plan(x)
+        assert plan.specialization_stats()["arenas"] == 1
+        plan.append(SoftmaxKernel())
+        assert plan.specialization_stats()["arenas"] == 0
+        out = plan(x)  # rebinds through the full kernel list
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(2), atol=1e-12)
+
+    def test_conv_pad_buffer_is_reused_across_calls(self):
+        conv = Conv2d(1, 2, kernel_size=3, padding=2, seed=0)
+        plan = compile_network(Sequential(conv))
+        kernel = plan.kernels[0]
+        x = np.random.default_rng(9).standard_normal((2, 1, 6, 7)).astype(np.float32)
+        first = plan(x).copy()
+        assert len(kernel._pad_buffers) == 1
+        buf = next(iter(kernel._pad_buffers.values()))
+        plan(x)
+        assert next(iter(kernel._pad_buffers.values())) is buf
+        np.testing.assert_array_equal(plan(x), first)
+
+    def test_conv_pad_buffer_cache_is_lru_capped(self):
+        from repro.nn.inference import Conv2dKernel
+
+        conv = Conv2d(1, 2, kernel_size=3, padding=1, seed=0)
+        plan = compile_network(Sequential(conv))
+        kernel = plan.kernels[0]
+        rng = np.random.default_rng(10)
+        for batch in range(1, Conv2dKernel.MAX_PAD_BUFFERS + 4):
+            plan(rng.standard_normal((batch, 1, 6, 7)).astype(np.float32))
+        assert len(kernel._pad_buffers) == Conv2dKernel.MAX_PAD_BUFFERS

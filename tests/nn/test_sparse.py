@@ -1,0 +1,225 @@
+"""Tests for sparsity-aware kernel lowering (repro.nn.sparse + compiler)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.inference import (
+    DENSE_ONLY,
+    SPARSE_ALWAYS,
+    DenseKernel,
+    InferencePlan,
+    LSTMKernel,
+    SoftmaxKernel,
+    SparseDenseKernel,
+    SparsityConfig,
+    compile_network,
+)
+from repro.nn.layers import Dense
+from repro.nn.lstm import LSTM
+from repro.nn.module import Sequential
+from repro.nn.sparse import ColumnSparseWeight
+
+
+def _forward_autograd(module, x):
+    module.eval()
+    with no_grad():
+        return module(Tensor(x)).data
+
+
+def _prune_to(param, sparsity, seed=0):
+    """Zero the smallest-magnitude fraction of one parameter in place."""
+    flat = np.abs(param.data).reshape(-1)
+    k = int(sparsity * flat.size)
+    if k:
+        threshold = np.partition(flat, k - 1)[k - 1]
+        param.data[np.abs(param.data) <= threshold] = 0.0
+
+
+#: Lowering config with no size floor, so tiny test matrices qualify.
+TINY_ALWAYS = SparsityConfig(mode="always", min_size=0)
+TINY_DENSE = SparsityConfig(mode="never")
+
+
+class TestColumnSparseWeight:
+    @pytest.mark.parametrize("sparsity", [0.5, 0.9, 0.99])
+    def test_matmul_matches_dense(self, sparsity):
+        rng = np.random.default_rng(0)
+        dense = rng.standard_normal((40, 25)).astype(np.float32)
+        dense[rng.random(dense.shape) < sparsity] = 0.0
+        weight = ColumnSparseWeight.from_dense(dense)
+        x = rng.standard_normal((7, 40)).astype(np.float32)
+        np.testing.assert_allclose(weight.matmul(x), x @ dense, atol=1e-5)
+        assert weight.nnz == int(np.count_nonzero(dense))
+
+    def test_bound_buffers_match_allocating_path_bitwise(self):
+        rng = np.random.default_rng(1)
+        dense = rng.standard_normal((30, 12)).astype(np.float32)
+        dense[rng.random(dense.shape) < 0.8] = 0.0
+        weight = ColumnSparseWeight.from_dense(dense)
+        x = rng.standard_normal((5, 30)).astype(np.float32)
+        out = np.empty((5, 12), dtype=np.float32)
+        gather = weight.gather_scratch(5, np.float32)
+        weight.matmul(x, out=out, gather=gather)
+        assert np.array_equal(out, weight.matmul(x))
+
+    def test_fully_zero_rows_are_never_gathered(self):
+        dense = np.zeros((10, 4), dtype=np.float32)
+        dense[3, :] = 1.0  # single surviving input row
+        weight = ColumnSparseWeight.from_dense(dense)
+        assert set(np.unique(weight.indices[weight.values != 0])) == {3}
+        assert weight.kmax == 1
+
+    def test_fully_zero_columns_yield_zero_output(self):
+        rng = np.random.default_rng(2)
+        dense = rng.standard_normal((8, 5)).astype(np.float32)
+        dense[:, 2] = 0.0
+        weight = ColumnSparseWeight.from_dense(dense)
+        out = weight.matmul(rng.standard_normal((3, 8)).astype(np.float32))
+        np.testing.assert_array_equal(out[:, 2], np.zeros(3, dtype=np.float32))
+
+    def test_all_zero_matrix_supported(self):
+        weight = ColumnSparseWeight.from_dense(np.zeros((6, 4), dtype=np.float32))
+        out = weight.matmul(np.ones((2, 6), dtype=np.float32))
+        np.testing.assert_array_equal(out, np.zeros((2, 4), dtype=np.float32))
+
+    def test_construction_is_deterministic(self):
+        rng = np.random.default_rng(3)
+        dense = rng.standard_normal((20, 9)).astype(np.float32)
+        dense[rng.random(dense.shape) < 0.7] = 0.0
+        a = ColumnSparseWeight.from_dense(dense)
+        b = ColumnSparseWeight.from_dense(dense.copy())
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.values, b.values)
+
+
+class TestSparseLowering:
+    def test_pruned_dense_lowers_to_sparse_kernel(self):
+        layer = Dense(30, 12, seed=0)
+        _prune_to(layer.weight, 0.8)
+        plan = compile_network(Sequential(layer), sparsity=TINY_ALWAYS)
+        assert isinstance(plan.kernels[0], SparseDenseKernel)
+        assert "sparse-dense" in plan.describe()[0]
+
+    def test_below_threshold_stays_dense(self):
+        layer = Dense(30, 12, seed=0)
+        _prune_to(layer.weight, 0.5)  # under the 0.7 threshold
+        plan = compile_network(
+            Sequential(layer), sparsity=SparsityConfig(mode="always", min_size=0)
+        )
+        assert isinstance(plan.kernels[0], DenseKernel)
+
+    def test_min_size_keeps_tiny_matrices_dense(self):
+        layer = Dense(30, 12, seed=0)
+        _prune_to(layer.weight, 0.9)
+        plan = compile_network(Sequential(layer), sparsity=SPARSE_ALWAYS)
+        assert isinstance(plan.kernels[0], DenseKernel)  # 360 < min_size
+
+    def test_dense_only_suppresses_lowering(self):
+        layer = Dense(30, 12, seed=0)
+        _prune_to(layer.weight, 0.95)
+        plan = compile_network(Sequential(layer), sparsity=TINY_DENSE)
+        assert isinstance(plan.kernels[0], DenseKernel)
+
+    def test_sparse_dense_matches_autograd_with_fused_activation(self):
+        net = Sequential(Dense(30, 12, seed=0, activation="relu"), Dense(12, 3, seed=1))
+        _prune_to(net.layers[0].weight, 0.85)
+        plan = compile_network(net, sparsity=TINY_ALWAYS)
+        assert isinstance(plan.kernels[0], SparseDenseKernel)
+        assert plan.kernels[0].activation == "relu"
+        x = np.random.default_rng(4).standard_normal((6, 30))
+        np.testing.assert_allclose(plan(x), _forward_autograd(net, x), atol=1e-5)
+
+    def test_pruned_lstm_lowers_recurrent_projection(self):
+        lstm = LSTM(input_size=6, hidden_size=16, seed=0)
+        _prune_to(lstm.cells[0].weight_hh, 0.85)
+        plan = compile_network(Sequential(lstm), sparsity=TINY_ALWAYS)
+        kernel = plan.kernels[0]
+        assert isinstance(kernel, LSTMKernel)
+        _, w_hh, _ = kernel.layers[0]
+        assert isinstance(w_hh, ColumnSparseWeight)
+        assert "sparse" in kernel.describe()
+        x = np.random.default_rng(5).standard_normal((4, 9, 6))
+        np.testing.assert_allclose(plan(x), _forward_autograd(lstm, x), atol=1e-5)
+
+    def test_sparse_lstm_specialized_is_bit_for_bit_generic(self):
+        lstm = LSTM(input_size=6, hidden_size=16, num_layers=2, seed=1)
+        for cell in lstm.cells:
+            _prune_to(cell.weight_hh, 0.9)
+            _prune_to(cell.weight_ih, 0.9)
+        plan = compile_network(Sequential(lstm), sparsity=TINY_ALWAYS)
+        plan.append(SoftmaxKernel())
+        x = np.random.default_rng(6).standard_normal((5, 9, 6))
+        generic = plan(x).copy()
+        assert plan.specialize(5)
+        plan(x)
+        assert np.array_equal(generic, plan(x))
+
+    def test_quantized_plans_never_lower_sparse(self):
+        layer = Dense(30, 12, seed=0)
+        _prune_to(layer.weight, 0.9)
+
+        def quantizer(values):
+            scale = float(np.max(np.abs(values)) / 127 or 1.0)
+            return np.round(values / scale), scale
+
+        plan = compile_network(
+            Sequential(layer), quantizer=quantizer, sparsity=TINY_ALWAYS
+        )
+        assert isinstance(plan.kernels[0], DenseKernel)
+
+    def test_auto_mode_is_a_valid_config(self):
+        layer = Dense(30, 12, seed=0)
+        _prune_to(layer.weight, 0.9)
+        # auto calibrates on the actual matrix; either outcome is legal,
+        # but the plan must match the network regardless.
+        plan = compile_network(
+            Sequential(layer), sparsity=SparsityConfig(mode="auto", min_size=0)
+        )
+        x = np.random.default_rng(7).standard_normal((3, 30))
+        np.testing.assert_allclose(plan(x), _forward_autograd(layer, x), atol=1e-5)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SparsityConfig(mode="sometimes")
+
+
+class TestSparseTransport:
+    def test_sparse_dense_round_trips_exactly(self):
+        layer = Dense(30, 12, seed=0)
+        _prune_to(layer.weight, 0.85)
+        plan = compile_network(Sequential(layer), sparsity=TINY_ALWAYS)
+        rebuilt = InferencePlan.from_payload(plan.to_payload())
+        kernel, copy = plan.kernels[0], rebuilt.kernels[0]
+        assert isinstance(copy, SparseDenseKernel)
+        assert np.array_equal(kernel.weight.indices, copy.weight.indices)
+        assert np.array_equal(kernel.weight.values, copy.weight.values)
+        x = np.random.default_rng(8).standard_normal((4, 30))
+        assert np.array_equal(plan(x), rebuilt(x))
+
+    def test_sparse_lstm_round_trips_exactly(self):
+        lstm = LSTM(input_size=6, hidden_size=16, seed=2)
+        _prune_to(lstm.cells[0].weight_hh, 0.9)
+        _prune_to(lstm.cells[0].weight_ih, 0.9)
+        plan = compile_network(Sequential(lstm), sparsity=TINY_ALWAYS)
+        rebuilt = InferencePlan.from_payload(plan.to_payload())
+        x = np.random.default_rng(9).standard_normal((3, 7, 6))
+        assert np.array_equal(plan(x), rebuilt(x))
+
+    def test_legacy_dense_lstm_payload_still_loads(self):
+        """Pre-sparse payloads carried a flat per-layer scale list."""
+        lstm = LSTM(input_size=4, hidden_size=8, seed=3)
+        plan = compile_network(Sequential(lstm), sparsity=TINY_DENSE)
+        payload = plan.to_payload()
+        import json
+
+        meta = json.loads(str(payload[InferencePlan.META_KEY]))
+        kernel_meta = meta["kernels"][0]
+        kernel_meta["scales"] = [
+            [entry["ih"]["scale"], entry["hh"]["scale"]]
+            for entry in kernel_meta.pop("layers")
+        ]
+        payload[InferencePlan.META_KEY] = np.asarray(json.dumps(meta))
+        rebuilt = InferencePlan.from_payload(payload)
+        x = np.random.default_rng(10).standard_normal((2, 6, 4))
+        assert np.array_equal(plan(x), rebuilt(x))

@@ -137,3 +137,87 @@ class TestFlush:
         batcher.submit("a", _window(1))  # same id fine in a new batch
         result = batcher.flush()
         assert set(result.results) == {"a"}
+
+
+class TestAutoSpecialization:
+    """The batcher turns on plan auto-specialisation for stable fleet sizes."""
+
+    @staticmethod
+    def _neural_classifier():
+        from repro.models.lstm_model import EEGLSTM, LSTMConfig
+
+        classifier = EEGLSTM(LSTMConfig(hidden_size=16), seed=0)
+        classifier.ensure_network(4, 10)
+        return classifier
+
+    def _flush(self, batcher, n, seed=0):
+        for i in range(n):
+            batcher.submit(f"s{i}", _window(seed + i))
+        return batcher.flush()
+
+    def test_stable_fleet_size_specializes_after_streak(self):
+        classifier = self._neural_classifier()
+        batcher = MicroBatcher(classifier)
+        assert self._flush(batcher, 3, seed=0).specialized is False
+        # The second same-size flush completes the streak: the arena is
+        # bound and serves that very flush.
+        assert self._flush(batcher, 3, seed=10).specialized is True
+        result = self._flush(batcher, 3, seed=20)
+        assert result.specialized is True
+        stats = batcher.specialization_stats()
+        assert stats["specialized_calls"] >= 2
+        assert stats["arenas"] == 1
+
+    def test_cohort_resize_respecializes_with_bounded_arenas(self):
+        classifier = self._neural_classifier()
+        batcher = MicroBatcher(classifier)
+        for seed in (0, 10, 20):
+            self._flush(batcher, 3, seed=seed)
+        for seed in (0, 10, 20):
+            self._flush(batcher, 5, seed=seed)
+        for seed in (0, 10, 20):
+            self._flush(batcher, 7, seed=seed)
+        stats = batcher.specialization_stats()
+        assert stats["arenas"] <= 2  # LRU cap: dead fleet sizes released
+        assert stats["specialized_calls"] >= 4
+
+    def test_specialize_false_leaves_plan_generic(self):
+        classifier = self._neural_classifier()
+        batcher = MicroBatcher(classifier, specialize=False)
+        for seed in (0, 10, 20, 30):
+            result = self._flush(batcher, 3, seed=seed)
+            assert result.specialized is False
+        assert batcher.specialization_stats()["specialized_calls"] == 0
+
+    def test_specialized_rows_survive_the_next_flush(self):
+        """finalize copies rows out of the arena-owned output buffer."""
+        classifier = self._neural_classifier()
+        batcher = MicroBatcher(classifier)
+        self._flush(batcher, 2, seed=0)
+        self._flush(batcher, 2, seed=10)
+        third = self._flush(batcher, 2, seed=20)
+        assert third.specialized
+        held = {sid: row.copy() for sid, row in third.results.items()}
+        self._flush(batcher, 2, seed=30)  # overwrites the arena buffer
+        for sid, row in held.items():
+            np.testing.assert_array_equal(third.results[sid], row)
+
+    def test_stub_classifier_reports_no_specialization(self, stub_classifier):
+        batcher = MicroBatcher(stub_classifier)
+        assert batcher.specialization_stats() is None
+        batcher.submit("a", _window(1))
+        assert batcher.flush().specialized is False
+
+    def test_specialization_preference_survives_plan_invalidation(self):
+        """Regression: the batcher sets the preference on the classifier, so
+        an in-place prune (plan invalidation + recompile) keeps the fleet on
+        the zero-allocation path."""
+        from repro.compression.pruning import prune_classifier_inplace
+
+        classifier = self._neural_classifier()
+        batcher = MicroBatcher(classifier)
+        self._flush(batcher, 3, seed=0)
+        assert self._flush(batcher, 3, seed=10).specialized is True
+        prune_classifier_inplace(classifier, 0.5)
+        self._flush(batcher, 3, seed=20)  # recompiled plan, streak restarts
+        assert self._flush(batcher, 3, seed=30).specialized is True

@@ -519,3 +519,64 @@ class TestProcessShardExecutor:
         executor = ProcessShardExecutor()
         with pytest.raises(ValueError, match="compiled inference plan"):
             executor.bind({"default": ClockedStubClassifier()}, SYSTEM_CLOCK)
+
+
+class TestRemoteExecutionFlag:
+    def test_backends_declare_where_classification_runs(self):
+        assert SerialExecutor.remote_execution is False
+        assert ThreadPoolFlushExecutor.remote_execution is False
+        assert ProcessShardExecutor.remote_execution is True
+
+    def test_scheduler_skips_local_specialization_for_remote_executors(self):
+        from repro.models.lstm_model import EEGLSTM, LSTMConfig
+        from repro.serving.scheduler import AsyncFleetScheduler
+
+        class RemoteStub(SerialExecutor):
+            remote_execution = True
+
+        classifier = EEGLSTM(LSTMConfig(hidden_size=16), seed=0)
+        classifier.ensure_network(8, 100)
+        local = AsyncFleetScheduler(classifier)
+        try:
+            assert all(b.specialize for b in local._batchers.values())
+        finally:
+            local.shutdown()
+        classifier2 = EEGLSTM(LSTMConfig(hidden_size=16), seed=0)
+        classifier2.ensure_network(8, 100)
+        remote = AsyncFleetScheduler(classifier2, executor=RemoteStub())
+        try:
+            assert all(not b.specialize for b in remote._batchers.values())
+        finally:
+            remote.shutdown()
+
+
+class TestLockstepSpecializedFlag:
+    def test_mixed_cohorts_do_not_overreport_specialization(self):
+        """tick()'s record means "every classifier call hit an arena": one
+        generic cohort must keep the combined flag False."""
+        import numpy as np
+
+        from repro.models.lstm_model import EEGLSTM, LSTMConfig
+        from repro.serving.scheduler import AsyncFleetScheduler
+
+        def built(seed):
+            classifier = EEGLSTM(LSTMConfig(hidden_size=16), seed=seed)
+            classifier.ensure_network(16, 150)
+            return classifier
+
+        fast, slow = built(0), built(1)
+        slow.use_compiled_inference = False  # never specialises
+        scheduler = AsyncFleetScheduler({"fast": fast, "slow": slow})
+        try:
+            scheduler.add_session(cohort="fast")
+            scheduler.add_session(cohort="slow")
+            for session in scheduler.sessions:
+                session.set_action("left")
+            for _ in range(4):
+                scheduler.tick()
+            assert all(
+                not record.specialized for record in scheduler.telemetry.records
+            )
+            assert scheduler.telemetry.specialized_hit_rate() == 0.0
+        finally:
+            scheduler.shutdown()
