@@ -1,0 +1,132 @@
+"""Benchmark: streaming data plane — raw log ops and plane overhead.
+
+Two regression gates for the ``repro.streams`` subsystem:
+
+- Raw :class:`WindowStream` throughput — appends, consumer-group reads and
+  acks per real second.  The log sits on every submission's hot path, so a
+  slowdown here (e.g. a scan sneaking back into ``read_group``/``depth``,
+  which are bisect-indexed on the id-sorted entry list) taxes the whole
+  plane.
+
+- Plane overhead — the same ``SimulatedLoad`` traffic driven through the
+  direct :class:`AsyncFleetScheduler` and through the in-process
+  :class:`StreamDuplex` (producer → cohort log → consumer group → flush →
+  result log → producer apply) on one ``FakeClock``.  The duplex pays for
+  durability and replayability with extra bookkeeping per window; this
+  prints the factor and gates it against an honest ceiling, and re-asserts
+  that the streamed plane still meets every deadline while doing so.
+"""
+
+import os
+import time
+
+from repro.serving.scheduler import AsyncFleetScheduler, SchedulerConfig
+from repro.streams import SCHEDULER_GROUP, StreamDuplex, WindowStream
+from tests.helpers import ClockedStubClassifier, FakeClock, ScriptedSession, SimulatedLoad
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+N_ENTRIES = 5_000 if FAST else 50_000
+N_SESSIONS = 16
+VIRTUAL_SECONDS = 60.0 if FAST else 300.0
+#: Honest floors/ceilings, cleared by a wide margin on a laptop: the log
+#: runs hundreds of thousands of ops per second and the duplex costs a few
+#: times the direct scheduler per window, not tens.
+MIN_LOG_OPS_PER_S = 20_000.0
+MAX_DUPLEX_OVERHEAD = 20.0
+
+
+def test_window_stream_log_throughput(once):
+    clock = FakeClock()
+
+    def run():
+        stream = WindowStream("bench", clock=clock)
+        stream.create_group("g")
+        timings = {}
+        start = time.perf_counter()
+        for i in range(N_ENTRIES):
+            stream.append(i)
+        timings["append"] = time.perf_counter() - start
+        start = time.perf_counter()
+        delivered = []
+        while batch := stream.read_group("g", "c0", count=64):
+            delivered.extend(batch)
+        timings["read"] = time.perf_counter() - start
+        assert len(delivered) == N_ENTRIES
+        start = time.perf_counter()
+        acked = stream.ack("g", *(e.entry_id for e in delivered))
+        timings["ack"] = time.perf_counter() - start
+        assert acked == N_ENTRIES
+        assert stream.depth("g") == 0
+        return timings
+
+    timings = once(run)
+    print("\n" + "=" * 80)
+    print(f"WindowStream log throughput — {N_ENTRIES} entries, "
+          "group read in batches of 64")
+    rates = {op: N_ENTRIES / elapsed for op, elapsed in timings.items()}
+    for op, rate in rates.items():
+        print(f"{op:>8s}: {rate:12.0f} entries/s")
+    floor = min(rates.values())
+    assert floor > MIN_LOG_OPS_PER_S, (
+        f"slowest log op runs {floor:.0f} entries/s "
+        f"(floor {MIN_LOG_OPS_PER_S:.0f}); the log hot path has regressed"
+    )
+
+
+def _drive(plane_factory):
+    clock = FakeClock()
+    classifiers = {
+        "adults": ClockedStubClassifier(clock, base_latency_s=0.001, per_row_s=0.0001),
+        "kids": ClockedStubClassifier(clock, base_latency_s=0.0015, per_row_s=0.0001),
+    }
+    plane = plane_factory(classifiers, clock)
+    for i in range(N_SESSIONS):
+        plane.add_session(
+            ScriptedSession(f"s{i}", seed=i),
+            cohort="adults" if i % 2 == 0 else "kids",
+        )
+    load = SimulatedLoad(plane, clock, period_s=1 / 15.0, jitter_s=0.01)
+    start = time.perf_counter()
+    load.run(VIRTUAL_SECONDS)
+    return time.perf_counter() - start, load.submissions, plane
+
+
+def test_stream_duplex_overhead_vs_direct_scheduler(once):
+    config = SchedulerConfig(deadline_s=0.015, max_batch_size=N_SESSIONS)
+
+    def compare():
+        direct_s, direct_n, direct = _drive(
+            lambda classifiers, clock: AsyncFleetScheduler(
+                classifiers, scheduler_config=config, clock=clock
+            )
+        )
+        duplex_s, duplex_n, duplex = _drive(
+            lambda classifiers, clock: StreamDuplex(
+                classifiers, scheduler_config=config, clock=clock
+            )
+        )
+        return direct_s, direct_n, duplex_s, duplex_n, duplex
+
+    direct_s, direct_n, duplex_s, duplex_n, duplex = once(compare)
+    overhead = (duplex_s / duplex_n) / (direct_s / direct_n)
+    summary = duplex.consumer.telemetry.summary()
+    print("\n" + "=" * 80)
+    print(f"Stream-plane overhead — {N_SESSIONS} sessions @ 15 Hz, "
+          f"{VIRTUAL_SECONDS:.0f} virtual s, 15 ms deadline")
+    print(f"direct scheduler:  {direct_n:6d} windows in {direct_s:6.2f} s real "
+          f"({direct_s / direct_n * 1e6:8.1f} us/window)")
+    print(f"stream duplex:     {duplex_n:6d} windows in {duplex_s:6.2f} s real "
+          f"({duplex_s / duplex_n * 1e6:8.1f} us/window)")
+    print(f"overhead factor:   {overhead:6.2f}x for append + group read + "
+          "result log + ack + apply")
+    print(f"duplex deadline violations: {int(summary['deadline_violations'])}  "
+          f"max stream lag: {summary['stream_lag_s'] * 1e3:.3f} ms")
+    # The plane must stay deadline-exact while paying its overhead, and the
+    # logs must have drained completely.
+    assert summary["deadline_violations"] == 0
+    for cohort in ("adults", "kids"):
+        assert duplex.topology.cohort_stream(cohort).depth(SCHEDULER_GROUP) == 0
+    assert overhead < MAX_DUPLEX_OVERHEAD, (
+        f"stream duplex costs {overhead:.2f}x the direct scheduler per window "
+        f"(ceiling {MAX_DUPLEX_OVERHEAD}x); the stream hot path has regressed"
+    )

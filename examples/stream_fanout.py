@@ -1,0 +1,214 @@
+#!/usr/bin/env python
+"""Stream fan-out walkthrough: many producers, two scheduler processes.
+
+Builds the same two-cohort fleet as ``examples/fleet_serving.py`` but runs
+it on the streaming data plane (``repro.streams``): producer threads append
+EEG windows to per-cohort append-only logs hosted by a
+:class:`StreamServer`, and two *separate scheduler processes* — one per
+cohort — drain the logs through consumer groups, flush micro-batches on
+their own compiled classifier replica, and publish
+:class:`~repro.streams.messages.FlushResult` records to the shared result
+stream.  The producer side watches per-group lag and depth live, then
+reads the result stream back for the throughput roll-up.
+
+The classifiers are compiled but untrained — the demo exercises the data
+plane (logs, groups, acks, socket transport, multi-process fan-out), not
+accuracy.
+
+Run with:  python examples/stream_fanout.py
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+
+from repro.models.cnn import CNNConfig, EEGCNN
+from repro.serving.scheduler import SchedulerConfig
+from repro.signals.synthetic import (
+    ACTION_LEFT,
+    ACTION_RIGHT,
+    ParticipantProfile,
+    SyntheticEEGGenerator,
+)
+from repro.streams import (
+    DEFAULT_AUTHKEY,
+    SCHEDULER_GROUP,
+    STOP_COMMAND,
+    StreamRegistry,
+    StreamServer,
+    WindowSubmission,
+    stream_consumer_worker,
+)
+
+COHORTS = ("adults", "kids")
+SESSIONS_PER_COHORT = 4
+ROUNDS = 15
+WINDOW_S = 0.4  # 50 samples at 125 Hz
+
+
+def compiled_payload(seed: int, n_channels: int, n_samples: int) -> bytes:
+    """One cohort's classifier as a transport payload the worker rebuilds."""
+    classifier = EEGCNN(
+        CNNConfig(
+            n_conv_layers=2,
+            filters=(6, 8),
+            kernel_size=3,
+            stride=1,
+            pooling="max",
+            hidden_units=12,
+        ),
+        seed=seed,
+    )
+    classifier.ensure_network(n_channels, n_samples)
+    return classifier.ensure_compiled().to_payload()
+
+
+def make_generators(cohort_index: int) -> list:
+    """A cohort's participants, with heterogeneous ERD like fleet_serving."""
+    generators = []
+    for index in range(SESSIONS_PER_COHORT):
+        profile = ParticipantProfile(
+            participant_id=f"{COHORTS[cohort_index]}-s{index}",
+            seed=200 + 10 * cohort_index + index,
+        )
+        profile.rhythms.erd_depth = 0.6 + 0.04 * (index % 6)
+        generators.append(SyntheticEEGGenerator(profile))
+    return generators
+
+
+def produce(cohort: str, stream, generators, clock) -> None:
+    """One producer thread: every round, a fresh window for every session."""
+    for sequence in range(ROUNDS):
+        for generator in generators:
+            action = ACTION_RIGHT if sequence % 2 == 0 else ACTION_LEFT
+            window = generator.generate(WINDOW_S, action=action)
+            stream.append(
+                WindowSubmission(
+                    session_id=generator.profile.participant_id,
+                    cohort=cohort,
+                    window=window,
+                    submitted_at_s=clock.now(),
+                    sequence=sequence,
+                )
+            )
+        time.sleep(0.05)  # stream at a realistic cadence
+
+
+def main() -> None:
+    probe = make_generators(0)[0]
+    n_channels = probe.montage.n_channels
+    n_samples = int(round(WINDOW_S * probe.sampling_rate_hz))
+
+    print("=== Compiling one classifier replica payload per cohort ===")
+    payloads = {
+        cohort: compiled_payload(seed, n_channels, n_samples)
+        for seed, cohort in enumerate(COHORTS)
+    }
+    for cohort in COHORTS:
+        print(f"  {cohort}: {len(payloads[cohort]) / 1024:.1f} KiB payload")
+
+    print("\n=== Hosting the stream topology behind a StreamServer ===")
+    registry = StreamRegistry()
+    server = StreamServer(registry).start()
+    streams = {cohort: registry.create(f"fleet/{cohort}")[0] for cohort in COHORTS}
+    result_stream, _ = registry.create("fleet/#results")
+    control_stream, _ = registry.create("fleet/#control")
+    print(f"  listening on {server.address}, streams: "
+          + ", ".join(f"fleet/{c}" for c in COHORTS))
+
+    print("\n=== Spawning one scheduler process per cohort ===")
+    config = SchedulerConfig(deadline_s=0.05, max_batch_size=8)
+    ctx = multiprocessing.get_context("spawn")
+    workers = [
+        ctx.Process(
+            target=stream_consumer_worker,
+            args=(
+                server.address,
+                DEFAULT_AUTHKEY,
+                {cohort: f"fleet/{cohort}"},
+                "fleet/#results",
+                "fleet/#control",
+                {cohort: payloads[cohort]},
+                config,
+                SCHEDULER_GROUP,
+                f"worker-{index}",
+            ),
+            daemon=True,
+        )
+        for index, cohort in enumerate(COHORTS)
+    ]
+    for worker in workers:
+        worker.start()
+    # Spawned workers take a moment to rebuild their classifier and join
+    # the group; produce only once both groups exist, so windows meet a
+    # live scheduler instead of piling up and being superseded.
+    while not all(s.has_group(SCHEDULER_GROUP) for s in streams.values()):
+        time.sleep(0.02)
+    print("  both consumer groups registered: schedulers are live")
+
+    print("\n=== Producing: "
+          f"{len(COHORTS)} threads x {SESSIONS_PER_COHORT} sessions x "
+          f"{ROUNDS} rounds ===")
+    started = time.monotonic()
+    producers = [
+        threading.Thread(
+            target=produce,
+            args=(cohort, streams[cohort], make_generators(index), registry.clock),
+        )
+        for index, cohort in enumerate(COHORTS)
+    ]
+    for producer in producers:
+        producer.start()
+    while any(producer.is_alive() for producer in producers):
+        time.sleep(0.1)
+        lags = {
+            cohort: (stream.lag_s(SCHEDULER_GROUP), stream.depth(SCHEDULER_GROUP))
+            if stream.has_group(SCHEDULER_GROUP)
+            else (0.0, len(stream))
+            for cohort, stream in streams.items()
+        }
+        print("  " + "   ".join(
+            f"{cohort}: lag {lag * 1e3:6.1f} ms, depth {depth:2d}"
+            for cohort, (lag, depth) in lags.items()
+        ))
+    for producer in producers:
+        producer.join()
+
+    # Wait for both consumer groups to drain, then stop the workers.
+    while not all(
+        s.has_group(SCHEDULER_GROUP) and s.depth(SCHEDULER_GROUP) == 0
+        for s in streams.values()
+    ):
+        time.sleep(0.02)
+    elapsed = time.monotonic() - started
+    control_stream.append(STOP_COMMAND)
+    for worker in workers:
+        worker.join(timeout=30)
+    server.stop()
+
+    print("\n=== Result-stream roll-up ===")
+    results = [entry.payload for entry in result_stream.range()]
+    submitted = len(COHORTS) * SESSIONS_PER_COHORT * ROUNDS
+    for index, cohort in enumerate(COHORTS):
+        mine = [r for r in results if r.cohort == cohort]
+        rows = sum(len(r.session_ids) for r in mine)
+        superseded = sum(len(r.superseded) for r in mine)
+        batches = [len(r.session_ids) for r in mine if r.session_ids]
+        lag_peak = max((r.stream_lag_s for r in mine), default=0.0)
+        print(f"  {cohort:>7s} (worker-{index}): {rows:3d} rows + "
+              f"{superseded} superseded in {len(batches)} flushes, "
+              f"mean batch {sum(batches) / max(len(batches), 1):.1f}, "
+              f"peak group lag {lag_peak * 1e3:.1f} ms")
+    served = sum(len(r.session_ids) for r in results)
+    superseded = sum(len(r.superseded) for r in results)
+    print(f"  conservation: {served} served + {superseded} superseded "
+          f"== {submitted} submitted "
+          f"[{'ok' if served + superseded == submitted else 'LOST WINDOWS'}]")
+    print(f"  end-to-end throughput: {served / elapsed:.0f} rows/s "
+          f"across {len(workers)} scheduler processes")
+
+
+if __name__ == "__main__":
+    main()

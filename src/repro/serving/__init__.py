@@ -37,6 +37,7 @@ from repro.serving.executors import (
     ProcessShardExecutor,
     SerialExecutor,
     ThreadPoolFlushExecutor,
+    WorkerDiedError,
 )
 from repro.serving.scheduler import (
     AdmissionController,
@@ -71,6 +72,7 @@ __all__ = [
     "SchedulerConfig",
     "SerialExecutor",
     "ThreadPoolFlushExecutor",
+    "WorkerDiedError",
     "execute_windows",
     "FleetReport",
     "FleetServer",

@@ -34,7 +34,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor as _ThreadPool
 from concurrent.futures import TimeoutError as _FutureTimeoutError
-from typing import Dict, Mapping, Optional, Protocol, runtime_checkable
+from typing import Dict, Mapping, Optional, Protocol, Tuple, runtime_checkable
 
 from repro.models.base import EEGClassifier
 from repro.serving.batcher import ExecutionResult, PreparedBatch, execute_windows
@@ -43,6 +43,37 @@ from repro.utils.timing import SYSTEM_CLOCK, Clock
 
 class FlushExecutionError(RuntimeError):
     """A flush failed inside an execution backend (worker error or loss)."""
+
+
+class WorkerDiedError(FlushExecutionError):
+    """A shard worker process died, with work possibly still assigned to it.
+
+    Carries the cohort and any tickets that were in flight on the dead
+    worker so callers can *requeue* instead of crashing the fleet: the
+    scheduler puts the ticket's windows back on the cohort queue, and the
+    stream consumer leaves the corresponding entries un-acked so another
+    scheduler process claims them.  Before this error existed a dead worker
+    raised a bare :class:`FlushExecutionError` and poisoned its cohort
+    forever — nothing downstream could tell "the batch was bad" from "the
+    lane is gone".
+    """
+
+    def __init__(
+        self,
+        cohort: str,
+        pending: Tuple["FlushTicket", ...] = (),
+        detail: str = "",
+    ) -> None:
+        message = f"shard worker {cohort!r} has died"
+        if pending:
+            message += f" with {len(pending)} flush(es) in flight"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        #: Cohort whose dedicated worker is gone.
+        self.cohort = cohort
+        #: Tickets for flushes handed to the worker and never answered.
+        self.pending = tuple(pending)
 
 
 @runtime_checkable
@@ -291,12 +322,34 @@ class _ShardTicket:
         if self._execution is not None:
             return self._execution
         timeout = self._timeout_s if timeout is None else timeout
-        if not self._shard.conn.poll(timeout):
+        try:
+            answered = self._shard.conn.poll(timeout)
+        except (EOFError, BrokenPipeError, OSError):
+            self._shard.busy = False
+            raise WorkerDiedError(
+                self._shard.cohort, pending=(self,), detail="pipe closed"
+            ) from None
+        if not answered:
+            if not self._shard.process.is_alive():
+                # The worker died mid-flush: the request will never be
+                # answered, so waiting longer only wedges the cohort.
+                self._shard.busy = False
+                raise WorkerDiedError(
+                    self._shard.cohort,
+                    pending=(self,),
+                    detail=f"exitcode {self._shard.process.exitcode}",
+                )
             raise TimeoutError(
                 f"shard worker {self._shard.cohort!r} did not answer within "
                 f"{timeout}s"
             )
-        message = self._shard.conn.recv()
+        try:
+            message = self._shard.conn.recv()
+        except (EOFError, BrokenPipeError, OSError):
+            self._shard.busy = False
+            raise WorkerDiedError(
+                self._shard.cohort, pending=(self,), detail="pipe closed"
+            ) from None
         self._shard.busy = False
         if message[0] == "error":
             raise FlushExecutionError(
@@ -321,6 +374,9 @@ class _Shard:
         self.process = process
         self.conn = conn
         self.busy = False
+        #: Most recent ticket handed out; carried by :class:`WorkerDiedError`
+        #: so a caller can recover the in-flight flush it maps to.
+        self.ticket: Optional[_ShardTicket] = None
 
 
 class ProcessShardExecutor(_BoundMixin):
@@ -428,10 +484,19 @@ class ProcessShardExecutor(_BoundMixin):
                 "scheduler must not double-flush a cohort"
             )
         if not shard.process.is_alive():
-            raise FlushExecutionError(f"shard worker {cohort!r} has died")
-        shard.conn.send((prepared.windows, prepared.chunk_size))
+            unanswered = shard.ticket is not None and shard.ticket._execution is None
+            raise WorkerDiedError(
+                cohort,
+                pending=(shard.ticket,) if shard.busy and unanswered else (),
+                detail=f"exitcode {shard.process.exitcode}",
+            )
+        try:
+            shard.conn.send((prepared.windows, prepared.chunk_size))
+        except (BrokenPipeError, OSError):
+            raise WorkerDiedError(cohort, detail="pipe closed") from None
         shard.busy = True
-        return _ShardTicket(shard, self.request_timeout_s)
+        shard.ticket = _ShardTicket(shard, self.request_timeout_s)
+        return shard.ticket
 
     def shutdown(self) -> None:
         for shard in self._shards.values():

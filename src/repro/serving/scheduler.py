@@ -47,7 +47,12 @@ import numpy as np
 from repro.core.config import CognitiveArmConfig
 from repro.models.base import EEGClassifier
 from repro.serving.batcher import MicroBatcher, PreparedBatch
-from repro.serving.executors import FlushExecutor, FlushTicket, SerialExecutor
+from repro.serving.executors import (
+    FlushExecutor,
+    FlushTicket,
+    SerialExecutor,
+    WorkerDiedError,
+)
 from repro.serving.server import FleetReport
 from repro.serving.session import ServingSession, next_session_id
 from repro.serving.telemetry import FleetTelemetry, FleetTickRecord, session_stats
@@ -98,6 +103,14 @@ class SchedulerConfig:
         across submissions.  Must stay below 1.0 so flushes (and therefore
         fresh latency samples) keep happening and the controller can observe
         recovery.
+    stream_lag_budget_s:
+        Admission-control budget on the *upstream* stream lag (oldest
+        un-acked window age on the streaming data plane).  Flush-latency
+        percentiles cannot see windows queueing in the log before a
+        scheduler reads them, so on the stream plane shedding must also
+        trigger on lag, before the log grows unbounded.  ``None`` (the
+        default, and the only meaningful setting off the stream plane)
+        disables the lag trigger.
     """
 
     deadline_s: float = 0.015
@@ -106,6 +119,7 @@ class SchedulerConfig:
     admission_window: int = 32
     recovery_fraction: float = 0.5
     shed_ratio: float = 0.5
+    stream_lag_budget_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.deadline_s <= 0:
@@ -123,19 +137,28 @@ class SchedulerConfig:
                 "shed_ratio must be in (0, 1): shedding everything would "
                 "starve the latency estimate and never recover"
             )
+        if self.stream_lag_budget_s is not None and self.stream_lag_budget_s <= 0:
+            raise ValueError("stream_lag_budget_s must be positive (or None)")
 
 
 class AdmissionController:
-    """Sheds load when the observed p95 flush latency blows the budget.
+    """Sheds load when flush p95 — or upstream stream lag — blows its budget.
 
     The controller is a two-state machine with hysteresis.  In the admitting
     state every window passes.  When the sliding-window p95 of flush
-    latencies exceeds ``budget_s`` it flips to shedding and refuses
+    latencies exceeds ``budget_s``, *or* the most recently observed stream
+    lag exceeds ``lag_budget_s``, it flips to shedding and refuses
     ``shed_ratio`` of submissions (deterministically, via an accumulator, so
     the shed load is spread evenly rather than bursty).  It flips back once
-    the p95 recovers to ``recovery_fraction * budget_s``.  Shedding degrades
-    sessions — their window for that period is skipped and counted — but
-    never blocks the submitter or raises.
+    every enabled signal recovers to ``recovery_fraction`` of its budget.
+    Shedding degrades sessions — their window for that period is skipped and
+    counted — but never blocks the submitter or raises.
+
+    The lag signal exists for the streaming data plane: windows queueing in
+    an append-only log *upstream* of the scheduler never show up in flush
+    latency, so a slow consumer would let the log grow unbounded while the
+    p95 looked healthy.  Off the stream plane no lag is ever observed and
+    the controller behaves exactly as before.
     """
 
     def __init__(
@@ -144,8 +167,10 @@ class AdmissionController:
         window: int = 32,
         recovery_fraction: float = 0.5,
         shed_ratio: float = 0.5,
+        lag_budget_s: Optional[float] = None,
     ) -> None:
         self.budget_s = budget_s
+        self.lag_budget_s = lag_budget_s
         self.recovery_fraction = recovery_fraction
         self.shed_ratio = shed_ratio
         self._latencies: Deque[float] = deque(maxlen=window)
@@ -153,10 +178,12 @@ class AdmissionController:
         self.shed_count = 0
         self.activations = 0
         self._accumulator = 0.0
+        #: Most recently observed upstream stream lag (oldest-unacked age).
+        self.last_stream_lag_s = 0.0
 
     @property
     def enabled(self) -> bool:
-        return self.budget_s is not None
+        return self.budget_s is not None or self.lag_budget_s is not None
 
     def observed_p95(self) -> float:
         """Sliding-window p95 of recorded flush latencies (0.0 when empty)."""
@@ -164,17 +191,49 @@ class AdmissionController:
             return 0.0
         return float(np.percentile(list(self._latencies), 95))
 
-    def observe(self, latency_s: float) -> None:
-        """Record one flush latency and update the shedding state."""
+    def observe(
+        self, latency_s: float, stream_lag_s: Optional[float] = None
+    ) -> None:
+        """Record one flush latency (and optionally the current stream lag)."""
         self._latencies.append(float(latency_s))
+        if stream_lag_s is not None:
+            self.last_stream_lag_s = float(stream_lag_s)
+        self._update_state()
+
+    def observe_lag(self, stream_lag_s: float) -> None:
+        """Record the current upstream stream lag without a latency sample.
+
+        Producers on the stream plane call this per submission round — lag
+        moves with every append and every consumer ack, not only at flush
+        boundaries, and shedding must be able to trigger between flushes.
+        """
+        self.last_stream_lag_s = float(stream_lag_s)
+        self._update_state()
+
+    def _update_state(self) -> None:
         if not self.enabled:
             return
         p95 = self.observed_p95()
-        if not self.shedding and p95 > self.budget_s:
+        latency_over = self.budget_s is not None and p95 > self.budget_s
+        lag_over = (
+            self.lag_budget_s is not None
+            and self.last_stream_lag_s > self.lag_budget_s
+        )
+        if not self.shedding and (latency_over or lag_over):
             self.shedding = True
             self.activations += 1
             self._accumulator = 0.0
-        elif self.shedding and p95 <= self.recovery_fraction * self.budget_s:
+            return
+        latency_recovered = (
+            self.budget_s is None
+            or p95 <= self.recovery_fraction * self.budget_s
+        )
+        lag_recovered = (
+            self.lag_budget_s is None
+            or self.last_stream_lag_s
+            <= self.recovery_fraction * self.lag_budget_s
+        )
+        if self.shedding and latency_recovered and lag_recovered:
             self.shedding = False
 
     def admit(self) -> bool:
@@ -328,6 +387,7 @@ class AsyncFleetScheduler:
             window=sched.admission_window,
             recovery_fraction=sched.recovery_fraction,
             shed_ratio=sched.shed_ratio,
+            lag_budget_s=sched.stream_lag_budget_s,
         )
         self.executor: FlushExecutor = executor or SerialExecutor()
         # Remote executors classify on worker-owned plan replicas, which
@@ -696,7 +756,16 @@ class AsyncFleetScheduler:
         # Resolve the ticket *before* dropping the in-flight entry: if
         # result() raises (worker timeout), the flush stays tracked and a
         # later pump/drain retries the harvest instead of wedging the cohort.
-        execution = flight.ticket.result()
+        try:
+            execution = flight.ticket.result()
+        except WorkerDiedError:
+            # The worker is gone and this flush will never be answered:
+            # requeue the windows (a recovered executor or drain serves
+            # them) instead of wedging the cohort behind a dead lane, then
+            # let the caller decide how to replace the worker.
+            del self._inflight[cohort]
+            self._requeue(flight)
+            raise
         del self._inflight[cohort]
         result = self._batchers[cohort].finalize(flight.prepared, execution)
         completed_at = self.clock.now()
@@ -746,6 +815,37 @@ class AsyncFleetScheduler:
         )
         self.last_flush_event = event
         return event
+
+    def _requeue(self, flight: _InFlightFlush) -> None:
+        """Put an unserved flush's windows back at the head of its queue.
+
+        The original per-window arrival times were consumed by
+        ``_begin_flush``; the flush start stands in (it is never earlier, so
+        the re-derived deadlines are conservative).  Windows from sessions
+        that departed while the flush was in flight are dropped, matching
+        the harvest path, and a session that already queued a *fresher*
+        window behind the in-flight flush keeps that one — the stale window
+        is superseded, exactly as if the flush had never started.
+        """
+        deadline = self.scheduler_config.deadline_s
+        queue = self._queues[flight.cohort]
+        fresher = {item.session_id for item in queue}
+        requeued = []
+        for index, session_id in enumerate(flight.prepared.session_ids):
+            if session_id not in self._sessions:
+                continue
+            if session_id in fresher:
+                self.superseded_by_session[session_id] += 1
+                continue
+            requeued.append(
+                QueuedWindow(
+                    session_id,
+                    flight.prepared.windows[index],
+                    arrival_s=flight.started_at_s,
+                    due_s=flight.started_at_s + deadline,
+                )
+            )
+        self._queues[flight.cohort] = requeued + queue
 
     def _flush(self, cohort: str, reason: str) -> FlushEvent:
         """Begin and immediately harvest one flush (synchronous paths)."""

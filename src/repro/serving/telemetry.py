@@ -57,6 +57,13 @@ class FleetTickRecord:
     #: Whether every classifier call of this flush ran on a shape-specialised
     #: plan arena (pre-bound scratch, zero steady-state allocations).
     specialized: bool = False
+    #: Oldest-unacked age of the cohort's window stream when the flush
+    #: started (0.0 off the streaming data plane): queueing *upstream* of
+    #: the scheduler, invisible to flush-latency percentiles.
+    stream_lag_s: float = 0.0
+    #: Un-acked depth of the cohort's window stream when the flush started
+    #: (0 off the streaming data plane).
+    stream_depth: int = 0
 
 
 @dataclass
@@ -163,6 +170,18 @@ class FleetTelemetry:
             return 0.0
         return sum(1 for r in served if r.specialized) / len(served)
 
+    def max_stream_lag_s(self) -> float:
+        """Deepest observed upstream stream lag (oldest-unacked age)."""
+        if not self.records:
+            return 0.0
+        return max(r.stream_lag_s for r in self.records)
+
+    def max_stream_depth(self) -> int:
+        """Deepest observed un-acked window-stream depth."""
+        if not self.records:
+            return 0
+        return max(r.stream_depth for r in self.records)
+
     def max_executor_wait_s(self) -> float:
         """Longest observed executor queueing/transport overhead."""
         if not self.records:
@@ -196,6 +215,7 @@ class FleetTelemetry:
                 "mean_executor_wait_s": float(
                     np.mean([r.executor_wait_s for r in records])
                 ),
+                "max_stream_lag_s": max(r.stream_lag_s for r in records),
                 "deadline_violations": float(
                     sum(r.deadline_violations for r in records)
                 ),
@@ -242,6 +262,8 @@ class FleetTelemetry:
             "deadline_violations": float(self.total_deadline_violations),
             "max_queue_wait_s": self.max_queue_wait_s(),
             "max_executor_wait_s": self.max_executor_wait_s(),
+            "stream_lag_s": self.max_stream_lag_s(),
+            "max_stream_depth": float(self.max_stream_depth()),
             "workers": float(len({r.worker for r in self.records if r.worker})),
             "specialized_hit_rate": self.specialized_hit_rate(),
         }

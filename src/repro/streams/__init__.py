@@ -1,0 +1,81 @@
+"""Streaming data plane: append-only window logs between producers and schedulers.
+
+The direct serving stack couples sessions to their scheduler by function
+call.  This package decouples them with a log: producers append
+:class:`WindowSubmission` entries to per-cohort :class:`WindowStream` logs
+(monotonic ids, capped length, consumer groups with pending/ack and claim —
+the Redis-stream model), one or more :class:`StreamConsumerScheduler`
+processes drain disjoint cohort groups and publish :class:`FlushResult`
+records on a result stream, and :class:`StreamFleetProducer` folds those
+back into its sessions.  :class:`StreamTopology` names the tree
+(``fleet/<cohort>/<session>`` plus reserved ``#results``/``#control``);
+:mod:`repro.streams.remote` carries the same calls across process
+boundaries; :class:`StreamRecorder`/:class:`StreamReplayer` turn any run
+into a replayable, bit-for-bit reproducible fixture.
+
+Single-process use wraps both halves in :class:`StreamDuplex`, which
+drives exactly like ``AsyncFleetScheduler``.
+"""
+
+from repro.streams.consumer import SCHEDULER_GROUP, StreamConsumerScheduler
+from repro.streams.messages import FlushResult, WindowSubmission
+from repro.streams.producer import (
+    PRODUCER_GROUP,
+    StreamDuplex,
+    StreamFleetProducer,
+)
+from repro.streams.recording import (
+    RecordedEntry,
+    ReplayError,
+    StreamRecorder,
+    StreamRecording,
+    StreamReplayer,
+)
+from repro.streams.remote import (
+    DEFAULT_AUTHKEY,
+    STOP_COMMAND,
+    RemoteStream,
+    RemoteStreamError,
+    StreamClient,
+    StreamServer,
+    stream_consumer_worker,
+)
+from repro.streams.stream import (
+    PendingEntry,
+    Sequencer,
+    StreamEntry,
+    StreamError,
+    StreamRegistry,
+    WindowStream,
+)
+from repro.streams.topology import StreamNode, StreamTopology
+
+__all__ = [
+    "DEFAULT_AUTHKEY",
+    "SCHEDULER_GROUP",
+    "PRODUCER_GROUP",
+    "STOP_COMMAND",
+    "FlushResult",
+    "PendingEntry",
+    "RecordedEntry",
+    "RemoteStream",
+    "RemoteStreamError",
+    "Sequencer",
+    "ReplayError",
+    "StreamClient",
+    "StreamConsumerScheduler",
+    "StreamDuplex",
+    "StreamEntry",
+    "StreamError",
+    "StreamFleetProducer",
+    "StreamNode",
+    "StreamRecorder",
+    "StreamRecording",
+    "StreamRegistry",
+    "StreamReplayer",
+    "StreamServer",
+    "StreamTopology",
+    "WindowStream",
+    "WindowSubmission",
+    "stream_consumer_worker",
+]

@@ -1,0 +1,72 @@
+"""Payload records carried on the streaming data plane.
+
+Both records are plain picklable dataclasses — they cross process
+boundaries on the socket-backed transport (:mod:`repro.streams.remote`)
+and land in recordings (:mod:`repro.streams.recording`) verbatim, so they
+must stay free of live references (clocks, sessions, classifiers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WindowSubmission:
+    """One prepared window travelling producer → scheduler on a cohort stream."""
+
+    session_id: str
+    cohort: str
+    #: Prepared window, shape ``(channels, samples)``.
+    window: np.ndarray
+    #: Producer clock time at submission (stream-entry timestamps duplicate
+    #: this for in-process runs; across processes the entry timestamp is the
+    #: broker's clock and this stays the producer's).
+    submitted_at_s: float
+    #: Per-session monotonically increasing submission index — the stable
+    #: key that lets results from differently-batched runs be compared
+    #: row-for-row.
+    sequence: int
+
+
+@dataclass(frozen=True)
+class FlushResult:
+    """One cohort flush travelling scheduler → producer on the result stream."""
+
+    cohort: str
+    #: Cohort-stream entry ids served by this flush, in batch row order.
+    entry_ids: Tuple[int, ...]
+    #: Row ``i`` of :attr:`probabilities` belongs to ``session_ids[i]``.
+    session_ids: Tuple[str, ...]
+    #: Submission sequence numbers, aligned with :attr:`session_ids`.
+    sequences: Tuple[int, ...]
+    #: Class probabilities, shape ``(len(session_ids), n_classes)``.
+    probabilities: np.ndarray
+    #: Scheduler clock time when the flush started.
+    flushed_at_s: float
+    #: Time spent inside ``predict_proba`` (service time only).
+    service_s: float
+    #: Execution lane that served the flush (executor worker label).
+    worker: str
+    #: What triggered the flush: "full", "deadline" or "drain".
+    reason: str
+    #: Consumer-group member that drained the batch (scheduler identity).
+    consumer: str
+    #: Oldest-unacked age of the cohort stream when the flush started.
+    stream_lag_s: float = 0.0
+    #: Un-acked depth of the cohort stream when the flush started.
+    stream_depth: int = 0
+    #: Queued windows whose flush started past their deadline.
+    deadline_violations: int = 0
+    #: Longest time any served window waited between submission and flush.
+    max_queue_wait_s: float = 0.0
+    #: ``(session_id, sequence)`` of submissions superseded by a fresher
+    #: window from the same session since the cohort's previous flush
+    #: (real-time semantics: stale windows are dropped, never replayed).
+    superseded: Tuple[Tuple[str, int], ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.session_ids)

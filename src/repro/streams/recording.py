@@ -1,0 +1,239 @@
+"""Record a streamed run; replay it bit-for-bit through a fresh scheduler.
+
+The append-only log makes the whole serving run a value: every window that
+ever reached a scheduler is a :class:`~repro.streams.stream.StreamEntry`
+with a monotonic id and a clock timestamp.  :class:`StreamRecorder`
+captures those entries per cohort into a :class:`StreamRecording` (a plain
+picklable object with ``save``/``load``); :class:`StreamReplayer` re-drives
+a *fresh* :class:`~repro.streams.consumer.StreamConsumerScheduler` from
+one, reproducing the original run exactly.
+
+The replay contract
+-------------------
+
+Replay is deterministic because the consumer is: its behaviour is a pure
+function of (entry sequence, entry timestamps, scheduler config, clock).
+The replayer reproduces all four:
+
+- entries are appended with their **recorded ids and timestamps** (an id
+  mismatch aborts the replay — the target stream was not fresh);
+- between appends the clock only moves to recorded timestamps and to the
+  consumer's own ``next_flush_due_s()`` wake times, mirroring the canonical
+  live drive loop (pump everything due before time passes it, poll after
+  every append, settle and drain at the end — exactly the
+  ``SimulatedLoad`` discipline);
+- the clock must be virtual (:class:`repro.utils.timing.VirtualClock` or a
+  test ``FakeClock`` — anything with ``advance_to``) and shared with the
+  consumer and its classifiers;
+- at equal instants the append wins: an entry stamped exactly at the
+  current clock was admitted live *without* pumping an overdue deadline
+  (the clock had run ahead through a flush's service time), so the replay
+  appends it before servicing that deadline.  This disambiguation assumes
+  flushes take nonzero virtual time, which clock-driven classifiers
+  guarantee.
+
+Under those conditions the replayed consumer emits **tick-for-tick
+identical** :class:`~repro.serving.telemetry.FleetTickRecord` telemetry and
+appends bit-identical :class:`~repro.streams.messages.FlushResult` payloads
+(service times included, when the classifiers are clock-driven stubs or
+pure functions of their input).  Across *real* clocks or process
+boundaries the guarantee weakens to row-identical probabilities — timing
+fields then measure the actual host.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.streams.stream import StreamError, WindowStream
+from repro.streams.topology import StreamTopology
+
+
+class ReplayError(StreamError):
+    """The replay target diverged from the recording (stale stream, id skew)."""
+
+
+@dataclass(frozen=True)
+class RecordedEntry:
+    """One log entry as captured: id, virtual timestamp, payload, arrival seq."""
+
+    entry_id: int
+    timestamp_s: float
+    payload: Any
+    #: Registry-global arrival order (see :attr:`StreamEntry.seq`) — the
+    #: cross-cohort tie-break when one virtual instant holds many appends.
+    seq: int = 0
+
+
+@dataclass
+class StreamRecording:
+    """A captured run: every cohort stream's full entry sequence.
+
+    Plain data — pickles to disk via :meth:`save`/:meth:`load`, so a run
+    recorded in CI becomes a regression fixture.
+    """
+
+    #: Topology root the streams were captured under (e.g. ``"fleet"``).
+    root: str
+    #: Clock time at capture (metadata only; replay derives nothing from it).
+    recorded_at_s: float
+    #: Entry sequences keyed by cohort name, each in append (id) order.
+    cohorts: Dict[str, List[RecordedEntry]] = field(default_factory=dict)
+
+    @property
+    def n_entries(self) -> int:
+        return sum(len(entries) for entries in self.cohorts.values())
+
+    def merged(self) -> List[Tuple[str, RecordedEntry]]:
+        """All entries in replay order: by timestamp, then global arrival seq.
+
+        Virtual clocks are coarse — a flush's service time can run the clock
+        ahead of several scheduled arrivals, which then all get stamped at
+        the same instant.  Their true append order across cohorts matters
+        (an inline full-batch flush between two same-stamp appends observes
+        different cross-cohort backlogs), so ties fall back to the
+        registry-global :attr:`RecordedEntry.seq`.
+        """
+        return sorted(
+            (
+                (cohort, entry)
+                for cohort, entries in self.cohorts.items()
+                for entry in entries
+            ),
+            key=lambda pair: (pair[1].timestamp_s, pair[1].seq, pair[0]),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "wb") as handle:
+            pickle.dump(self, handle)
+
+    @classmethod
+    def load(cls, path: str) -> "StreamRecording":
+        with open(path, "rb") as handle:
+            recording = pickle.load(handle)
+        if not isinstance(recording, cls):
+            raise ReplayError(
+                f"{path!r} does not hold a StreamRecording "
+                f"(got {type(recording).__name__})"
+            )
+        return recording
+
+
+class StreamRecorder:
+    """Captures a topology's cohort streams into a :class:`StreamRecording`.
+
+    Recording is a read-only snapshot of the logs — it costs nothing during
+    the run; call :meth:`capture` once the traffic of interest has been
+    appended (before or after the consumers drain: acks do not remove
+    entries, only ``maxlen`` trimming does, and a trimmed or pre-trimmed
+    stream is refused because its replay would diverge).
+    """
+
+    def __init__(self, topology: StreamTopology) -> None:
+        self.topology = topology
+
+    def capture(self) -> StreamRecording:
+        recording = StreamRecording(
+            root=self.topology.root.path,
+            recorded_at_s=self.topology.clock.now(),
+        )
+        for cohort in self.topology.cohorts:
+            stream = self.topology.cohort_stream(cohort)
+            self._check_complete(stream)
+            recording.cohorts[cohort] = [
+                RecordedEntry(
+                    entry_id=entry.entry_id,
+                    timestamp_s=entry.timestamp_s,
+                    payload=entry.payload,
+                    seq=entry.seq,
+                )
+                for entry in stream.range()
+            ]
+        return recording
+
+    @staticmethod
+    def _check_complete(stream: WindowStream) -> None:
+        if stream.trimmed or (len(stream) and stream.first_id != 1):
+            raise ReplayError(
+                f"stream {stream.name!r} lost entries to its maxlen cap; "
+                "record on uncapped streams (maxlen=None)"
+            )
+
+
+class StreamReplayer:
+    """Re-drives a fresh consumer from a recording, asserting id fidelity.
+
+    The target consumer must be built over *fresh* (empty) cohort streams
+    covering every recorded cohort, with a virtual clock (``advance_to``)
+    shared by the consumer and its classifiers.
+    """
+
+    def __init__(self, recording: StreamRecording) -> None:
+        self.recording = recording
+
+    def replay(
+        self, consumer: "StreamConsumerScheduler", count: Optional[int] = None
+    ) -> int:
+        """Drive the full recording through ``consumer``; returns entries fed.
+
+        ``count`` truncates the replay after that many entries (partial
+        replays still pump, settle and drain, so telemetry is comparable to
+        a live run truncated at the same point).
+        """
+        clock = consumer.clock
+        advance_to = getattr(clock, "advance_to", None)
+        if advance_to is None:
+            raise ReplayError(
+                "replay needs a virtual clock with advance_to(); got "
+                f"{type(clock).__name__}"
+            )
+        missing = [
+            cohort
+            for cohort in self.recording.cohorts
+            if cohort not in consumer.cohorts
+        ]
+        if missing:
+            raise ReplayError(
+                f"consumer does not own recorded cohort(s) {missing}; "
+                f"it owns {list(consumer.cohorts)}"
+            )
+        fed = 0
+        for cohort, entry in self.recording.merged():
+            if count is not None and fed >= count:
+                break
+            self._pump_until(consumer, entry.timestamp_s)
+            advance_to(max(entry.timestamp_s, clock.now()))
+            stream = consumer.stream_for(cohort)
+            replayed_id = stream.append(entry.payload, timestamp_s=entry.timestamp_s)
+            if replayed_id != entry.entry_id:
+                raise ReplayError(
+                    f"stream {stream.name!r} assigned id {replayed_id} where the "
+                    f"recording holds {entry.entry_id}; replay needs fresh streams"
+                )
+            consumer.poll()
+            fed += 1
+        self._pump_until(consumer, float("inf"))
+        consumer.drain()
+        return fed
+
+    @staticmethod
+    def _pump_until(consumer: "StreamConsumerScheduler", time_s: float) -> None:
+        """Service flush deadlines due before ``time_s`` — stopping early if
+        the clock has already reached it.
+
+        The early stop mirrors live admission: a live producer stamps each
+        entry at ``clock.now()``, so an entry recorded at exactly the current
+        clock was appended while a flush deadline sat overdue (the clock ran
+        ahead through a flush's service time) — the overdue flush fired only
+        at the *next* drive boundary, after the entry joined the batch.
+        Pumping here first would flush without it and skew every batch after.
+        """
+        clock = consumer.clock
+        while clock.now() < time_s:
+            due = consumer.next_flush_due_s()
+            if due is None or due > time_s:
+                return
+            clock.advance_to(max(due, clock.now()))
+            consumer.pump()

@@ -1,0 +1,351 @@
+"""Socket transport for the streaming data plane.
+
+The in-process plane shares :class:`~repro.streams.stream.WindowStream`
+objects directly.  To fan scheduler processes out, the producer process
+hosts its :class:`~repro.streams.stream.StreamRegistry` behind a
+:class:`StreamServer` (a ``multiprocessing.connection`` listener), and each
+worker reaches the same logs through :class:`RemoteStream` proxies that
+forward the stream's group/ack surface call-for-call.  The streams — and
+therefore all ordering, group cursors, pending lists and the lag metric —
+live in exactly one place, so the cross-process semantics are the
+in-process semantics plus transport latency.
+
+:func:`stream_consumer_worker` is the scheduler-process entry point: it
+rebuilds each cohort's compiled classifier from its transport payload
+(the same ``.npz`` blob :class:`~repro.serving.executors.ProcessShardExecutor`
+ships), drains its cohort streams through a
+:class:`~repro.streams.consumer.StreamConsumerScheduler` with
+``deadline_origin="read"`` (the producer's clock never crosses the socket),
+and exits when the control stream says stop.
+"""
+
+from __future__ import annotations
+
+import threading
+from multiprocessing.connection import Client, Connection, Listener
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.streams.stream import StreamError, StreamRegistry
+
+#: Default authentication key for the stream socket (override per server).
+DEFAULT_AUTHKEY = b"repro-stream-plane"
+
+#: Stream methods a client may invoke remotely.  Everything else (locks,
+#: internals) stays server-side.
+_REMOTE_METHODS = frozenset(
+    {
+        "append",
+        "range",
+        "create_group",
+        "read_group",
+        "ack",
+        "claim",
+        "pending",
+        "depth",
+        "lag_s",
+        "has_group",
+        "info",
+    }
+)
+
+#: Control-stream payload that tells a worker to drain and exit.
+STOP_COMMAND = "stop"
+
+
+class RemoteStreamError(StreamError):
+    """Transport failure or server-side refusal of a remote stream call."""
+
+
+class StreamServer:
+    """Serves a :class:`StreamRegistry` to other processes over a socket.
+
+    Runs in the process that owns the streams (normally the producer).  One
+    daemon thread accepts connections; each connection gets its own handler
+    thread, and the streams' internal locks make concurrent handlers safe.
+    The request protocol is a picklable 4-tuple
+    ``("call", stream_name, method, (args, kwargs))`` answered by
+    ``("ok", result)`` or ``("error", type_name, message)``; ``("create",
+    name, maxlen)`` maps to the registry's atomic create-or-get.
+    """
+
+    def __init__(
+        self,
+        registry: StreamRegistry,
+        address: Tuple[str, int] = ("127.0.0.1", 0),
+        authkey: bytes = DEFAULT_AUTHKEY,
+    ) -> None:
+        self.registry = registry
+        self.authkey = authkey
+        self._listener = Listener(address, authkey=authkey)
+        self._threads: List[threading.Thread] = []
+        self._running = False
+        self._accept_thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound address workers connect to (port is OS-assigned)."""
+        return self._listener.address
+
+    def start(self) -> "StreamServer":
+        if self._running:
+            raise RuntimeError("stream server already started")
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="stream-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn = self._listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            except Exception:  # noqa: BLE001 — failed handshake/auth: next client
+                continue
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="stream-server-conn",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_connection(self, conn: Connection) -> None:
+        with conn:
+            while True:
+                try:
+                    request = conn.recv()
+                except (EOFError, OSError):
+                    return
+                try:
+                    conn.send(("ok", self._dispatch(request)))
+                except Exception as exc:  # noqa: BLE001 — forwarded, not raised
+                    try:
+                        conn.send(("error", type(exc).__name__, str(exc)))
+                    except (OSError, ValueError):
+                        return  # peer gone or reply unpicklable: drop conn
+
+    def _dispatch(self, request: Any) -> Any:
+        op = request[0]
+        if op == "ping":
+            return "pong"
+        if op == "create":
+            _, name, maxlen = request
+            _, created = self.registry.create(name, maxlen=maxlen)
+            return created
+        if op == "call":
+            _, name, method, (args, kwargs) = request
+            if method not in _REMOTE_METHODS:
+                raise RemoteStreamError(f"method {method!r} is not remotable")
+            return getattr(self.registry.get(name), method)(*args, **kwargs)
+        raise RemoteStreamError(f"unknown request op {op!r}")
+
+    def stop(self) -> None:
+        """Stop accepting; existing connections die with their clients."""
+        self._running = False
+        try:
+            # Closing a listening socket does not wake a blocked accept();
+            # connect once so the loop observes the stop immediately.
+            poke = Client(self._listener.address, authkey=self.authkey)
+            poke.close()
+        except OSError:
+            pass  # already closed or unreachable: accept() will error out
+        self._listener.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+
+
+class StreamClient:
+    """One process's connection to a :class:`StreamServer`.
+
+    All proxies from one client share one socket; a lock keeps each
+    request/response pair atomic, so a client may be used from multiple
+    threads (each call round-trips serially).
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        authkey: bytes = DEFAULT_AUTHKEY,
+    ) -> None:
+        self._conn = Client(address, authkey=authkey)
+        self._lock = threading.Lock()
+
+    def _request(self, request: Any) -> Any:
+        with self._lock:
+            try:
+                self._conn.send(request)
+                reply = self._conn.recv()
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                raise RemoteStreamError(
+                    f"stream server connection lost ({exc})"
+                ) from exc
+        if reply[0] == "ok":
+            return reply[1]
+        _, type_name, message = reply
+        raise RemoteStreamError(f"server {type_name}: {message}")
+
+    def ping(self) -> bool:
+        return self._request(("ping",)) == "pong"
+
+    def stream(self, name: str, maxlen: Optional[int] = None) -> "RemoteStream":
+        """Create-or-get the named stream server-side, return its proxy."""
+        self._request(("create", name, maxlen))
+        return RemoteStream(self, name)
+
+    def call(self, name: str, method: str, *args: Any, **kwargs: Any) -> Any:
+        return self._request(("call", name, method, (args, kwargs)))
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+class RemoteStream:
+    """Client-side proxy of one server-hosted :class:`WindowStream`.
+
+    Implements the subset of the stream surface the producer/consumer
+    machinery uses; every call is one request round-trip, and all state —
+    ids, cursors, pending lists, the lag clock — stays server-side.
+    """
+
+    def __init__(self, client: StreamClient, name: str) -> None:
+        self._client = client
+        self.name = name
+
+    def _call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        return self._client.call(self.name, method, *args, **kwargs)
+
+    def append(self, payload: Any, timestamp_s: Optional[float] = None) -> int:
+        return self._call("append", payload, timestamp_s=timestamp_s)
+
+    def range(
+        self,
+        start_id: int = 1,
+        end_id: Optional[int] = None,
+        count: Optional[int] = None,
+    ) -> List[Any]:
+        return self._call("range", start_id, end_id, count)
+
+    def create_group(
+        self, group: str, start_id: int = 0, exists_ok: bool = False
+    ) -> bool:
+        return self._call("create_group", group, start_id, exists_ok)
+
+    def read_group(
+        self, group: str, consumer: str, count: Optional[int] = None
+    ) -> List[Any]:
+        return self._call("read_group", group, consumer, count)
+
+    def ack(self, group: str, *entry_ids: int) -> int:
+        return self._call("ack", group, *entry_ids)
+
+    def claim(
+        self,
+        group: str,
+        consumer: str,
+        min_idle_s: float = 0.0,
+        count: Optional[int] = None,
+    ) -> List[Any]:
+        return self._call("claim", group, consumer, min_idle_s, count)
+
+    def pending(self, group: str, consumer: Optional[str] = None) -> List[Any]:
+        return self._call("pending", group, consumer)
+
+    def depth(self, group: str) -> int:
+        return self._call("depth", group)
+
+    def lag_s(self, group: str) -> float:
+        return self._call("lag_s", group)
+
+    def has_group(self, group: str) -> bool:
+        return self._call("has_group", group)
+
+    def info(self) -> Dict[str, float]:
+        return self._call("info")
+
+
+# ---------------------------------------------------------------------- #
+# scheduler worker process
+# ---------------------------------------------------------------------- #
+def stream_consumer_worker(
+    address: Tuple[str, int],
+    authkey: bytes,
+    stream_names: Dict[str, str],
+    result_name: str,
+    control_name: str,
+    payloads: Dict[str, bytes],
+    scheduler_config: Any,
+    group: str,
+    consumer: str,
+    poll_interval_s: float = 0.002,
+) -> None:
+    """Entry point of one scheduler process on the stream plane.
+
+    Connects back to the producer-hosted :class:`StreamServer`, rebuilds
+    each owned cohort's classifier from its compiled-plan payload, and
+    drains the cohort streams until the control stream carries
+    :data:`STOP_COMMAND`.  Deadlines are measured from read time
+    (``deadline_origin="read"``) — producer timestamps are another
+    process's clock.  On stop it drains outstanding windows, so every
+    delivered entry is answered before exit.
+
+    Designed as a ``multiprocessing.Process`` target: every argument is
+    picklable (``stream_names`` maps cohort → topology path; ``payloads``
+    maps cohort → :meth:`CompiledClassifier.to_payload` bytes).
+    """
+    import time
+
+    from repro.models.compiled import CompiledClassifier
+    from repro.streams.consumer import StreamConsumerScheduler
+
+    client = StreamClient(address, authkey=authkey)
+    classifiers = {}
+    for cohort, payload in payloads.items():
+        replica = CompiledClassifier.from_payload(payload)
+        replica.enable_auto_specialization()
+        classifiers[cohort] = replica
+    streams = {
+        cohort: client.stream(name) for cohort, name in stream_names.items()
+    }
+    result_stream = client.stream(result_name)
+    control_stream = client.stream(control_name)
+    # Per-worker control group: every worker sees every control command
+    # (fan-out by group, not by competition).
+    control_group = f"ctl-{consumer}"
+    control_stream.create_group(control_group, exists_ok=True)
+    scheduler = StreamConsumerScheduler(
+        classifiers,
+        streams,
+        result_stream,
+        group=group,
+        consumer=consumer,
+        scheduler_config=scheduler_config,
+        deadline_origin="read",
+    )
+    try:
+        while True:
+            stop = False
+            for entry in control_stream.read_group(control_group, consumer):
+                control_stream.ack(control_group, entry.entry_id)
+                if entry.payload == STOP_COMMAND:
+                    stop = True
+            if stop:
+                break
+            scheduler.poll()
+            due = scheduler.next_flush_due_s()
+            now = scheduler.clock.now()
+            if due is not None and due <= now:
+                scheduler.pump()
+            else:
+                wait = poll_interval_s
+                if due is not None:
+                    wait = min(wait, max(0.0, due - now))
+                time.sleep(wait)
+        scheduler.poll()
+        scheduler.drain()
+        scheduler.shutdown()
+    finally:
+        client.close()

@@ -1,0 +1,421 @@
+"""The append-only window log: monotonic ids, consumer groups, replay.
+
+A :class:`WindowStream` is the unit of the streaming data plane — an
+append-only log of :class:`StreamEntry` records with strictly monotonic
+integer ids, modelled on a Redis stream:
+
+- ``append`` stamps each entry with the injected clock and returns its id;
+  a ``maxlen`` cap trims the oldest entries (backpressure of last resort —
+  admission control should shed long before the cap bites, see
+  :class:`repro.serving.scheduler.AdmissionController`).
+- Consumer groups (``create_group`` / ``read_group`` / ``ack``) give
+  at-least-once delivery with explicit acknowledgement: a read moves the
+  group cursor and parks the entries in the group's pending list until the
+  consumer acks them, so a consumer that dies mid-batch never loses work —
+  another consumer ``claim``\\ s the orphaned entries and serves them.
+- ``range`` reads the raw log from any id upward, independent of any group
+  — this is the replay primitive :mod:`repro.streams.recording` builds on.
+
+Everything is clock-injected (:class:`repro.utils.timing.Clock`): entry
+timestamps, pending ages and the per-group lag metric all come from the
+same time source as the scheduler that drains the stream, so virtual-clock
+tests are exact.  All operations take the stream's lock, so producers and
+consumer threads may share one stream; cross-process sharing goes through
+:mod:`repro.streams.remote`.
+
+:class:`StreamRegistry` provides the atomic create-or-get that lets many
+producers race to name the same stream and all end up appending to one log.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.utils.timing import SYSTEM_CLOCK, Clock
+
+
+class StreamError(RuntimeError):
+    """Misuse of the stream API (unknown group, duplicate create, ...)."""
+
+
+@dataclass(frozen=True)
+class StreamEntry:
+    """One immutable record of the log."""
+
+    #: Strictly monotonic, 1-based; ids are never reused, even after trims.
+    entry_id: int
+    #: Clock time at append (the producer's injected clock).
+    timestamp_s: float
+    #: Arbitrary payload; the serving plane appends
+    #: :class:`repro.streams.messages.WindowSubmission` /
+    #: :class:`repro.streams.messages.FlushResult` records.
+    payload: Any
+    #: Arrival order across every stream sharing a :class:`StreamRegistry`
+    #: (per-stream otherwise).  Virtual clocks are coarse — many appends can
+    #: share one timestamp — so replay orders cross-stream ties by ``seq``.
+    seq: int = 0
+
+
+class Sequencer:
+    """A thread-safe monotonic counter; one per registry orders all appends."""
+
+    def __init__(self) -> None:
+        self._next = 1
+        self._lock = threading.Lock()
+
+    def __call__(self) -> int:
+        with self._lock:
+            value = self._next
+            self._next += 1
+            return value
+
+
+@dataclass
+class PendingEntry:
+    """A delivered-but-unacknowledged entry in a consumer group."""
+
+    entry: StreamEntry
+    #: Consumer-group member the entry is currently assigned to.
+    consumer: str
+    #: Clock time of the most recent delivery (read or claim).
+    delivered_at_s: float
+    #: Total deliveries, including the first read (>1 means redelivered).
+    deliveries: int = 1
+
+
+@dataclass
+class _Group:
+    """Server-side state of one consumer group."""
+
+    name: str
+    #: Highest entry id ever delivered to the group.
+    cursor: int
+    pending: "OrderedDict[int, PendingEntry]" = field(default_factory=OrderedDict)
+    acked: int = 0
+
+
+class WindowStream:
+    """Append-only log with capped length and consumer groups.
+
+    Parameters
+    ----------
+    name:
+        Stream name, usually a topology path (``fleet/adults``).
+    maxlen:
+        Cap on retained entries; ``None`` retains everything (required for
+        whole-run recording).  Trimming only drops *unpinned* entries:
+        entries sitting in a group's pending list survive the trim inside
+        that list, but an undelivered trimmed entry is gone (counted in
+        :attr:`trimmed`).
+    clock:
+        Time source for entry timestamps, pending ages and lag.
+    sequencer:
+        Arrival-order counter for :attr:`StreamEntry.seq`.  A registry
+        passes one shared :class:`Sequencer` to every stream it creates so
+        cross-stream append order is recorded; standalone streams default
+        to a private counter.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        maxlen: Optional[int] = None,
+        clock: Optional[Clock] = None,
+        sequencer: Optional[Sequencer] = None,
+    ) -> None:
+        if maxlen is not None and maxlen < 1:
+            raise ValueError("maxlen must be at least 1 (or None for unbounded)")
+        self.name = str(name)
+        self.maxlen = maxlen
+        self.clock = clock or SYSTEM_CLOCK
+        self._sequencer = sequencer or Sequencer()
+        self._entries: List[StreamEntry] = []
+        self._next_id = 1
+        self._groups: Dict[str, _Group] = {}
+        self._lock = threading.RLock()
+        #: Entries dropped by the ``maxlen`` cap before any group read them.
+        self.trimmed = 0
+
+    # ------------------------------------------------------------------ #
+    # log
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def last_id(self) -> int:
+        """Id of the newest entry (0 when nothing was ever appended)."""
+        with self._lock:
+            return self._next_id - 1
+
+    @property
+    def first_id(self) -> int:
+        """Id of the oldest retained entry (0 when the log is empty)."""
+        with self._lock:
+            return self._entries[0].entry_id if self._entries else 0
+
+    def append(self, payload: Any, timestamp_s: Optional[float] = None) -> int:
+        """Append one entry; returns its monotonic id.
+
+        ``timestamp_s`` overrides the clock stamp — the replay path uses it
+        to reproduce recorded timestamps exactly; live producers leave it
+        unset.
+        """
+        with self._lock:
+            entry = StreamEntry(
+                entry_id=self._next_id,
+                timestamp_s=(
+                    self.clock.now() if timestamp_s is None else float(timestamp_s)
+                ),
+                payload=payload,
+                seq=self._sequencer(),
+            )
+            self._next_id += 1
+            self._entries.append(entry)
+            if self.maxlen is not None and len(self._entries) > self.maxlen:
+                overflow = len(self._entries) - self.maxlen
+                dropped = self._entries[:overflow]
+                del self._entries[:overflow]
+                for gone in dropped:
+                    # Pending copies live on in their group's pending map;
+                    # only never-delivered entries are truly lost.
+                    if not any(
+                        gone.entry_id in group.pending
+                        or gone.entry_id <= group.cursor
+                        for group in self._groups.values()
+                    ):
+                        self.trimmed += 1
+            return entry.entry_id
+
+    def _index_after(self, entry_id: int) -> int:
+        """Index of the first retained entry with id > ``entry_id``.
+
+        Entries are append-ordered, so ids are sorted and a bisect keeps
+        every cursor-relative operation (group reads, depth, lag)
+        logarithmic — a linear scan here made long-retention streams
+        quadratic over a run's lifetime.
+        """
+        return bisect.bisect_right(
+            self._entries, entry_id, key=lambda entry: entry.entry_id
+        )
+
+    def range(
+        self,
+        start_id: int = 1,
+        end_id: Optional[int] = None,
+        count: Optional[int] = None,
+    ) -> List[StreamEntry]:
+        """Replay-from-id: retained entries with ``start_id <= id <= end_id``."""
+        with self._lock:
+            lo = self._index_after(start_id - 1)
+            hi = len(self._entries) if end_id is None else self._index_after(end_id)
+            selected = self._entries[lo:hi]
+            return selected if count is None else selected[:count]
+
+    # ------------------------------------------------------------------ #
+    # consumer groups
+    # ------------------------------------------------------------------ #
+    def create_group(
+        self, group: str, start_id: int = 0, exists_ok: bool = False
+    ) -> bool:
+        """Register a consumer group; delivery starts after ``start_id``.
+
+        Returns ``True`` when the group was created by this call.  With
+        ``exists_ok`` a second create is a no-op (the racing-consumers
+        idiom: every scheduler process creates, exactly one wins).
+        """
+        with self._lock:
+            if group in self._groups:
+                if exists_ok:
+                    return False
+                raise StreamError(
+                    f"stream {self.name!r} already has consumer group {group!r}"
+                )
+            self._groups[group] = _Group(name=str(group), cursor=int(start_id))
+            return True
+
+    @property
+    def groups(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._groups)
+
+    def has_group(self, group: str) -> bool:
+        """Whether the consumer group exists (producers probe lag with this
+        before any scheduler has attached)."""
+        with self._lock:
+            return group in self._groups
+
+    def _group(self, group: str) -> _Group:
+        try:
+            return self._groups[group]
+        except KeyError:
+            raise StreamError(
+                f"stream {self.name!r} has no consumer group {group!r}; "
+                f"known groups: {list(self._groups)}"
+            ) from None
+
+    def read_group(
+        self, group: str, consumer: str, count: Optional[int] = None
+    ) -> List[StreamEntry]:
+        """Deliver up to ``count`` new entries to ``consumer``.
+
+        Delivered entries move to the group's pending list until acked;
+        the group cursor advances so no other consumer of the group sees
+        them (disjoint delivery within a group).
+        """
+        with self._lock:
+            state = self._group(group)
+            fresh = self._entries[self._index_after(state.cursor) :]
+            if count is not None:
+                fresh = fresh[:count]
+            now = self.clock.now()
+            for entry in fresh:
+                state.pending[entry.entry_id] = PendingEntry(
+                    entry=entry, consumer=str(consumer), delivered_at_s=now
+                )
+                state.cursor = entry.entry_id
+            return fresh
+
+    def pending(
+        self, group: str, consumer: Optional[str] = None
+    ) -> List[PendingEntry]:
+        """Delivered-but-unacked entries, oldest first (optionally one consumer's)."""
+        with self._lock:
+            state = self._group(group)
+            return [
+                pending
+                for pending in state.pending.values()
+                if consumer is None or pending.consumer == consumer
+            ]
+
+    def ack(self, group: str, *entry_ids: int) -> int:
+        """Acknowledge delivered entries; returns how many were pending."""
+        with self._lock:
+            state = self._group(group)
+            acked = 0
+            for entry_id in entry_ids:
+                if state.pending.pop(entry_id, None) is not None:
+                    acked += 1
+            state.acked += acked
+            return acked
+
+    def claim(
+        self,
+        group: str,
+        consumer: str,
+        min_idle_s: float = 0.0,
+        count: Optional[int] = None,
+    ) -> List[StreamEntry]:
+        """Re-deliver pending entries idle for at least ``min_idle_s``.
+
+        The crash-recovery primitive: when a scheduler process dies with
+        un-acked windows, a surviving consumer claims them and serves them.
+        Claimed entries are reassigned to ``consumer`` and their delivery
+        count increments, so redelivery is observable.
+        """
+        with self._lock:
+            state = self._group(group)
+            now = self.clock.now()
+            claimed: List[StreamEntry] = []
+            for pending in state.pending.values():
+                if count is not None and len(claimed) >= count:
+                    break
+                if now - pending.delivered_at_s + 1e-12 >= min_idle_s:
+                    pending.consumer = str(consumer)
+                    pending.delivered_at_s = now
+                    pending.deliveries += 1
+                    claimed.append(pending.entry)
+            return claimed
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def depth(self, group: str) -> int:
+        """Entries the group has not acked yet (undelivered + pending)."""
+        with self._lock:
+            state = self._group(group)
+            undelivered = len(self._entries) - self._index_after(state.cursor)
+            return undelivered + len(state.pending)
+
+    def lag_s(self, group: str) -> float:
+        """Age of the group's oldest un-acked entry (0.0 when fully drained).
+
+        This is the upstream-queueing signal the admission controller feeds
+        on: it grows while windows sit in the log waiting for a scheduler,
+        which flush-latency percentiles can never see.
+        """
+        with self._lock:
+            state = self._group(group)
+            oldest: Optional[float] = None
+            for pending in state.pending.values():
+                oldest = pending.entry.timestamp_s
+                break  # insertion-ordered: the first pending is the oldest
+            undelivered_at = self._index_after(state.cursor)
+            if undelivered_at < len(self._entries):
+                stamp = self._entries[undelivered_at].timestamp_s
+                if oldest is None or stamp < oldest:
+                    oldest = stamp
+            if oldest is None:
+                return 0.0
+            return max(0.0, self.clock.now() - oldest)
+
+    def info(self) -> Dict[str, float]:
+        """Counters for dashboards and tests."""
+        with self._lock:
+            return {
+                "length": float(len(self._entries)),
+                "last_id": float(self._next_id - 1),
+                "trimmed": float(self.trimmed),
+                "groups": float(len(self._groups)),
+            }
+
+
+class StreamRegistry:
+    """Atomic create-or-get of named streams shared by many producers."""
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock = clock or SYSTEM_CLOCK
+        self._streams: Dict[str, WindowStream] = {}
+        self._lock = threading.Lock()
+        self._sequencer = Sequencer()
+
+    def create(
+        self, name: str, maxlen: Optional[int] = None
+    ) -> Tuple[WindowStream, bool]:
+        """Get the named stream, creating it atomically on first call.
+
+        Returns ``(stream, created)``.  A later create with a different
+        ``maxlen`` is refused — silently joining a log with different
+        retention would make replay coverage depend on who created first.
+        """
+        with self._lock:
+            existing = self._streams.get(name)
+            if existing is not None:
+                if maxlen is not None and existing.maxlen != maxlen:
+                    raise StreamError(
+                        f"stream {name!r} exists with maxlen={existing.maxlen}; "
+                        f"refusing to re-create with maxlen={maxlen}"
+                    )
+                return existing, False
+            stream = WindowStream(
+                name, maxlen=maxlen, clock=self.clock, sequencer=self._sequencer
+            )
+            self._streams[name] = stream
+            return stream, True
+
+    def get(self, name: str) -> WindowStream:
+        with self._lock:
+            try:
+                return self._streams[name]
+            except KeyError:
+                raise StreamError(f"no stream named {name!r}") from None
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._streams)

@@ -1,0 +1,181 @@
+"""Hierarchical naming of the fleet's streams.
+
+The data plane is a small tree: one fleet root, one stream per cohort
+(where window submissions land and scheduler consumer groups drain), an
+optional stream per session (trace mirror of that session's submissions),
+plus two reserved channels — the result stream carrying
+:class:`~repro.streams.messages.FlushResult` records back to producers and
+a control stream for out-of-band commands (stop, rebalance).
+
+::
+
+    fleet                      (root node)
+    ├── fleet/adults           (cohort stream: WindowSubmission entries)
+    │   ├── fleet/adults/s0    (optional per-session trace stream)
+    │   └── fleet/adults/s2
+    ├── fleet/kids
+    │   └── ...
+    ├── fleet/#results         (FlushResult entries, reserved)
+    └── fleet/#control         (control commands, reserved)
+
+Node paths double as stream names in the shared :class:`StreamRegistry`,
+so every process that can name a node can reach its log — in-process
+directly, across processes through :mod:`repro.streams.remote` proxies
+carrying the same names.  Reserved names start with ``#`` so no cohort or
+session can collide with them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.streams.stream import StreamRegistry, WindowStream
+from repro.utils.timing import SYSTEM_CLOCK, Clock
+
+#: Path separator of the node tree.
+SEPARATOR = "/"
+#: Reserved leaf names under the root (never valid cohort names).
+RESULTS_LEAF = "#results"
+CONTROL_LEAF = "#control"
+
+
+def _check_name(name: str, what: str) -> str:
+    if not name:
+        raise ValueError(f"{what} name must be non-empty")
+    if SEPARATOR in name:
+        raise ValueError(f"{what} name {name!r} must not contain {SEPARATOR!r}")
+    if name.startswith("#"):
+        raise ValueError(f"{what} name {name!r} collides with reserved names")
+    return name
+
+
+@dataclass
+class StreamNode:
+    """One node of the topology: a named stream plus its children."""
+
+    path: str
+    #: "fleet", "cohort", "session", "results" or "control".
+    kind: str
+    stream: WindowStream
+    children: Dict[str, "StreamNode"] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.path.rsplit(SEPARATOR, 1)[-1]
+
+
+class StreamTopology:
+    """Names and lazily creates the fleet's streams as a node tree.
+
+    Many producers may build topologies over one shared registry: stream
+    creation is atomic create-or-get, so they all converge on the same
+    logs.  Cohort streams take the configured ``maxlen`` cap; the result
+    and control streams are never capped (losing a result breaks the
+    one-result-per-admitted-window conservation invariant).
+    """
+
+    def __init__(
+        self,
+        root: str = "fleet",
+        clock: Optional[Clock] = None,
+        registry: Optional[StreamRegistry] = None,
+        maxlen: Optional[int] = None,
+    ) -> None:
+        self.clock = clock or SYSTEM_CLOCK
+        self.registry = registry or StreamRegistry(clock=self.clock)
+        self.maxlen = maxlen
+        root = _check_name(root, "root")
+        self._root = StreamNode(
+            path=root, kind="fleet", stream=self.registry.create(root)[0]
+        )
+        self._results: Optional[StreamNode] = None
+        self._control: Optional[StreamNode] = None
+
+    # ------------------------------------------------------------------ #
+    # nodes
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> StreamNode:
+        return self._root
+
+    @property
+    def cohorts(self) -> Tuple[str, ...]:
+        return tuple(
+            name for name, node in self._root.children.items() if node.kind == "cohort"
+        )
+
+    def cohort_node(self, cohort: str) -> StreamNode:
+        """The cohort's node (created atomically on first use)."""
+        cohort = _check_name(cohort, "cohort")
+        node = self._root.children.get(cohort)
+        if node is None:
+            path = f"{self._root.path}{SEPARATOR}{cohort}"
+            stream, _ = self.registry.create(path, maxlen=self.maxlen)
+            node = StreamNode(path=path, kind="cohort", stream=stream)
+            self._root.children[cohort] = node
+        return node
+
+    def session_node(self, cohort: str, session_id: str) -> StreamNode:
+        """Per-session trace node under its cohort (optional mirror)."""
+        parent = self.cohort_node(cohort)
+        session_id = _check_name(session_id, "session")
+        node = parent.children.get(session_id)
+        if node is None:
+            path = f"{parent.path}{SEPARATOR}{session_id}"
+            stream, _ = self.registry.create(path, maxlen=self.maxlen)
+            node = StreamNode(path=path, kind="session", stream=stream)
+            parent.children[session_id] = node
+        return node
+
+    def _reserved(self, leaf: str, kind: str) -> StreamNode:
+        path = f"{self._root.path}{SEPARATOR}{leaf}"
+        stream, _ = self.registry.create(path)  # reserved streams: uncapped
+        return StreamNode(path=path, kind=kind, stream=stream)
+
+    @property
+    def result_node(self) -> StreamNode:
+        if self._results is None:
+            self._results = self._reserved(RESULTS_LEAF, "results")
+        return self._results
+
+    @property
+    def control_node(self) -> StreamNode:
+        if self._control is None:
+            self._control = self._reserved(CONTROL_LEAF, "control")
+        return self._control
+
+    # ------------------------------------------------------------------ #
+    # stream shorthands
+    # ------------------------------------------------------------------ #
+    def cohort_stream(self, cohort: str) -> WindowStream:
+        return self.cohort_node(cohort).stream
+
+    def session_stream(self, cohort: str, session_id: str) -> WindowStream:
+        return self.session_node(cohort, session_id).stream
+
+    @property
+    def result_stream(self) -> WindowStream:
+        return self.result_node.stream
+
+    @property
+    def control_stream(self) -> WindowStream:
+        return self.control_node.stream
+
+    def walk(self) -> Iterator[StreamNode]:
+        """Depth-first iteration over every materialised node."""
+
+        def _walk(node: StreamNode) -> Iterator[StreamNode]:
+            yield node
+            for child in node.children.values():
+                yield from _walk(child)
+
+        yield from _walk(self._root)
+        if self._results is not None:
+            yield self._results
+        if self._control is not None:
+            yield self._control
+
+    def describe(self) -> Dict[str, Dict[str, float]]:
+        """Per-node stream counters, keyed by path (diagram-friendly)."""
+        return {node.path: node.stream.info() for node in self.walk()}

@@ -15,6 +15,7 @@ are exact and thousands of virtual seconds of traffic run in milliseconds.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable, List, Optional, Protocol, runtime_checkable
 
@@ -48,6 +49,53 @@ class MonotonicClock:
 
 #: Default clock used whenever a caller does not inject one.
 SYSTEM_CLOCK = MonotonicClock()
+
+
+class VirtualClock:
+    """Deterministic, steerable :class:`Clock` for replay and simulation.
+
+    ``sleep`` advances virtual time instead of blocking, and ``advance`` /
+    ``advance_to`` steer time explicitly, so code written against the
+    injected clock runs thousands of virtual seconds per real millisecond
+    and every measured duration is exact.  This is the production-side twin
+    of the test suite's ``FakeClock``: the stream replayer
+    (:class:`repro.streams.recording.StreamReplayer`) drives recorded runs
+    through it, and stream timestamps reproduce bit-for-bit.
+
+    Thread-safe: broker handler threads and executor worker threads read
+    and advance the clock concurrently with the driving thread, and a torn
+    update would silently corrupt virtual time.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, duration_s: float) -> None:
+        if duration_s < 0:
+            raise ValueError("cannot sleep a negative duration")
+        with self._lock:
+            self._now += float(duration_s)
+
+    def advance(self, duration_s: float) -> None:
+        """Move virtual time forward without modelling a sleep."""
+        if duration_s < 0:
+            raise ValueError("cannot advance backwards")
+        with self._lock:
+            self._now += float(duration_s)
+
+    def advance_to(self, time_s: float) -> None:
+        """Jump to an absolute virtual time (never backwards)."""
+        with self._lock:
+            if time_s < self._now - 1e-12:
+                raise ValueError(
+                    f"cannot rewind the clock from {self._now} to {time_s}"
+                )
+            self._now = max(self._now, float(time_s))
 
 
 def time_calls(

@@ -457,3 +457,158 @@ class TestEmptyFlushLatencySkew:
         assert percentiles["p50"] == pytest.approx(0.010)
         # Stall accounting still sees the empty ticks.
         assert scheduler.telemetry.stall_rate() == pytest.approx(0.5)
+
+
+class TestStreamLagAdmission:
+    """Satellite: upstream stream lag feeds the admission controller."""
+
+    def test_lag_budget_alone_enables_the_controller(self):
+        controller = AdmissionController(budget_s=None, lag_budget_s=0.2)
+        assert controller.enabled
+
+    def test_lag_budget_activates_and_recovers_with_hysteresis(self):
+        controller = AdmissionController(
+            budget_s=None, lag_budget_s=0.2, recovery_fraction=0.5
+        )
+        controller.observe_lag(0.15)
+        assert not controller.shedding
+        controller.observe_lag(0.25)
+        assert controller.shedding
+        assert controller.activations == 1
+        controller.observe_lag(0.15)  # below budget but above 0.5 * budget
+        assert controller.shedding
+        controller.observe_lag(0.05)
+        assert not controller.shedding
+
+    def test_observe_carries_lag_alongside_latency(self):
+        controller = AdmissionController(budget_s=1.0, lag_budget_s=0.2)
+        controller.observe(0.001, stream_lag_s=0.5)
+        assert controller.shedding  # healthy latency, lag tripped it
+        assert controller.last_stream_lag_s == 0.5
+
+    def test_both_budgets_must_recover_before_admission_resumes(self):
+        controller = AdmissionController(
+            budget_s=0.010, window=4, lag_budget_s=0.2, recovery_fraction=0.5
+        )
+        controller.observe(0.020, stream_lag_s=0.5)
+        assert controller.shedding
+        for _ in range(4):  # latency recovers, lag still over budget
+            controller.observe(0.001)
+        assert controller.shedding
+        controller.observe_lag(0.05)
+        assert not controller.shedding
+
+
+class TestWorkerDeathRequeue:
+    """Satellite: a dead shard worker requeues its flush instead of
+    poisoning the cohort."""
+
+    @staticmethod
+    def _dying_executor():
+        from repro.serving.batcher import execute_windows
+        from repro.serving.executors import CompletedTicket, WorkerDiedError
+
+        class DyingTicket:
+            def done(self):
+                return True
+
+            def result(self, timeout=None):
+                raise WorkerDiedError(
+                    "default", pending=(self,), detail="test kill"
+                )
+
+        class DyingExecutor:
+            serializes_flushes = False
+            remote_execution = False
+
+            def __init__(self):
+                self.fail_next = True
+
+            def bind(self, classifiers, clock):
+                self._classifiers = dict(classifiers)
+                self._clock = clock
+
+            def submit_flush(self, cohort, prepared):
+                if self.fail_next:
+                    return DyingTicket()
+                return CompletedTicket(
+                    execute_windows(
+                        self._classifiers[cohort],
+                        prepared.windows,
+                        prepared.chunk_size,
+                        clock=self._clock,
+                    )
+                )
+
+            def shutdown(self):
+                pass
+
+        return DyingExecutor()
+
+    def test_error_carries_cohort_and_pending_tickets(self):
+        from repro.serving.executors import WorkerDiedError
+
+        ticket = object()
+        error = WorkerDiedError("adults", pending=(ticket,), detail="exitcode -9")
+        assert error.cohort == "adults"
+        assert error.pending == (ticket,)
+        assert "adults" in str(error) and "1 flush(es)" in str(error)
+        assert "exitcode -9" in str(error)
+
+    def test_dead_worker_flush_requeues_and_recovers(self):
+        clock = FakeClock()
+        executor = self._dying_executor()
+        classifier = ClockedStubClassifier(clock)
+        scheduler = AsyncFleetScheduler(
+            classifier,
+            scheduler_config=SchedulerConfig(deadline_s=DEADLINE_S),
+            clock=clock,
+            executor=executor,
+        )
+        for i in range(2):
+            scheduler.add_session(ScriptedSession(f"s{i}", seed=i))
+        for session in scheduler.sessions:
+            assert scheduler.submit(session.session_id) == SUBMIT_QUEUED
+        clock.advance(DEADLINE_S)
+        from repro.serving.executors import WorkerDiedError
+
+        with pytest.raises(WorkerDiedError):
+            scheduler.pump()
+        # Nothing was lost: the windows are queued again with deadlines
+        # re-derived from the failed flush's start.
+        due = scheduler.next_flush_due_s()
+        assert due == pytest.approx(2 * DEADLINE_S)
+        executor.fail_next = False
+        clock.advance_to(due)
+        (event,) = scheduler.pump()
+        assert event.batch_size == 2
+        applied = sum(len(s.applied) for s in scheduler.sessions)
+        assert applied == 2
+
+    def test_requeue_respects_fresher_windows_and_departures(self):
+        clock = FakeClock()
+        executor = self._dying_executor()
+        scheduler = AsyncFleetScheduler(
+            ClockedStubClassifier(clock),
+            scheduler_config=SchedulerConfig(deadline_s=DEADLINE_S),
+            clock=clock,
+            executor=executor,
+        )
+        for i in range(3):
+            scheduler.add_session(ScriptedSession(f"s{i}", seed=i))
+        for session in scheduler.sessions:
+            scheduler.submit(session.session_id)
+        clock.advance(DEADLINE_S)
+        from repro.serving.executors import WorkerDiedError
+
+        with pytest.raises(WorkerDiedError):
+            scheduler.pump()
+        # s0 departs while its window waits to be requeued-and-served,
+        # s1 queues a fresher window: the stale copy is superseded.
+        scheduler.remove_session("s0")
+        assert scheduler.submit("s1") == SUBMIT_QUEUED
+        executor.fail_next = False
+        scheduler.drain()
+        assert scheduler.superseded_by_session["s1"] == 1
+        assert len(scheduler.get_session("s1").applied) == 1
+        assert len(scheduler.get_session("s2").applied) == 1

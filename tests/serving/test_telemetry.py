@@ -103,3 +103,50 @@ class TestCalibration:
     def test_calibrate_rejects_non_batch_input(self, stub_classifier):
         with pytest.raises(ValueError):
             calibrate_batch_latency_s(stub_classifier, np.zeros((4, 10)))
+
+
+class TestStreamFields:
+    """Satellite: stream lag/depth ride the tick records into summaries."""
+
+    def test_stream_lag_and_depth_aggregate(self):
+        telemetry = FleetTelemetry()
+        telemetry.record(
+            FleetTickRecord(
+                tick_index=0,
+                n_sessions=2,
+                batch_size=2,
+                stalled_sessions=0,
+                batch_latency_s=0.01,
+                backlog_depth=0,
+                cohort="a",
+                stream_lag_s=0.04,
+                stream_depth=3,
+            )
+        )
+        telemetry.record(
+            FleetTickRecord(
+                tick_index=1,
+                n_sessions=2,
+                batch_size=1,
+                stalled_sessions=0,
+                batch_latency_s=0.01,
+                backlog_depth=0,
+                cohort="a",
+                stream_lag_s=0.09,
+                stream_depth=1,
+            )
+        )
+        assert telemetry.max_stream_lag_s() == pytest.approx(0.09)
+        assert telemetry.max_stream_depth() == 3
+        summary = telemetry.summary()
+        assert summary["stream_lag_s"] == pytest.approx(0.09)
+        assert summary["max_stream_depth"] == 3.0
+        assert telemetry.cohort_breakdown()["a"]["max_stream_lag_s"] == (
+            pytest.approx(0.09)
+        )
+
+    def test_off_stream_records_report_zero_lag(self):
+        telemetry = FleetTelemetry()
+        telemetry.record(_record(0, 4, 0.010))
+        assert telemetry.max_stream_lag_s() == 0.0
+        assert telemetry.summary()["max_stream_depth"] == 0.0

@@ -1,0 +1,322 @@
+"""StreamConsumerScheduler tests: group draining, deadlines, supersession,
+crash recovery via pending/claim, and worker-death requeue."""
+
+import numpy as np
+import pytest
+
+from tests.helpers import ClockedStubClassifier, FakeClock
+
+from repro.serving.executors import CompletedTicket, WorkerDiedError
+from repro.serving.scheduler import SchedulerConfig
+from repro.streams import (
+    SCHEDULER_GROUP,
+    FlushResult,
+    StreamConsumerScheduler,
+    StreamTopology,
+    WindowSubmission,
+)
+
+
+def submission(session_id, cohort, clock, sequence=0):
+    return WindowSubmission(
+        session_id=session_id,
+        cohort=cohort,
+        window=np.full((2, 4), 0.1),
+        submitted_at_s=clock.now(),
+        sequence=sequence,
+    )
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def topology(clock):
+    return StreamTopology(clock=clock)
+
+
+def make_consumer(topology, clock, cohorts=("a",), executor=None, **cfg):
+    config = SchedulerConfig(**{"deadline_s": 0.05, "max_batch_size": 4, **cfg})
+    classifiers = {
+        cohort: ClockedStubClassifier(clock, base_latency_s=0.001)
+        for cohort in cohorts
+    }
+    return StreamConsumerScheduler(
+        classifiers,
+        {cohort: topology.cohort_stream(cohort) for cohort in cohorts},
+        topology.result_stream,
+        scheduler_config=config,
+        clock=clock,
+        executor=executor,
+    )
+
+
+def harvest_results(topology):
+    return [e.payload for e in topology.result_stream.range()]
+
+
+class TestDraining:
+    def test_poll_reads_entries_into_backlog(self, topology, clock):
+        consumer = make_consumer(topology, clock)
+        stream = topology.cohort_stream("a")
+        stream.append(submission("s0", "a", clock))
+        assert consumer.backlog_depth() == 0
+        consumer.poll()
+        assert consumer.backlog_depth() == 1
+        # entry is pending (delivered, unacked) until its flush completes
+        assert len(stream.pending(SCHEDULER_GROUP)) == 1
+
+    def test_full_batch_flushes_inline_on_poll(self, topology, clock):
+        consumer = make_consumer(topology, clock, max_batch_size=2)
+        stream = topology.cohort_stream("a")
+        stream.append(submission("s0", "a", clock, 0))
+        stream.append(submission("s1", "a", clock, 0))
+        events = consumer.poll()
+        assert len(events) == 1
+        assert events[0].reason == "full"
+        assert events[0].batch_size == 2
+        (result,) = harvest_results(topology)
+        assert isinstance(result, FlushResult)
+        assert result.session_ids == ("s0", "s1")
+        assert result.entry_ids == (1, 2)
+        assert result.probabilities.shape == (2, 3)
+        # flush acked the served entries
+        assert stream.pending(SCHEDULER_GROUP) == []
+
+    def test_pump_flushes_at_the_deadline(self, topology, clock):
+        consumer = make_consumer(topology, clock)
+        topology.cohort_stream("a").append(submission("s0", "a", clock))
+        consumer.poll()
+        due = consumer.next_flush_due_s()
+        assert due == pytest.approx(0.05)
+        assert consumer.pump() == []  # not due yet
+        clock.advance_to(due)
+        (event,) = consumer.pump()
+        assert event.reason == "deadline"
+        assert event.deadline_violations == 0
+
+    def test_late_pump_counts_violations(self, topology, clock):
+        consumer = make_consumer(topology, clock)
+        topology.cohort_stream("a").append(submission("s0", "a", clock))
+        consumer.poll()
+        clock.advance(1.0)  # way past the 0.05s deadline
+        (event,) = consumer.pump()
+        assert event.deadline_violations == 1
+        assert event.max_queue_wait_s == pytest.approx(1.0)
+
+    def test_results_carry_stream_lag_and_depth(self, topology, clock):
+        consumer = make_consumer(topology, clock)
+        stream = topology.cohort_stream("a")
+        stream.append(submission("s0", "a", clock))
+        clock.advance(0.02)
+        consumer.poll()
+        clock.advance(0.04)
+        consumer.pump()
+        (result,) = harvest_results(topology)
+        assert result.stream_lag_s == pytest.approx(0.06)
+        assert result.stream_depth == 1
+        (record,) = consumer.telemetry.records
+        assert record.stream_lag_s == pytest.approx(0.06)
+        assert record.stream_depth == 1
+
+    def test_drain_flushes_everything_before_deadlines(self, topology, clock):
+        consumer = make_consumer(topology, clock, cohorts=("a", "b"))
+        topology.cohort_stream("a").append(submission("s0", "a", clock))
+        topology.cohort_stream("b").append(submission("s1", "b", clock))
+        consumer.poll()
+        events = consumer.drain()
+        assert sorted(e.cohort for e in events) == ["a", "b"]
+        assert all(e.reason == "drain" for e in events)
+
+    def test_wrong_payload_type_is_rejected(self, topology, clock):
+        consumer = make_consumer(topology, clock)
+        topology.cohort_stream("a").append("not-a-submission")
+        with pytest.raises(TypeError, match="expected WindowSubmission"):
+            consumer.poll()
+
+    def test_deadline_origin_read_measures_from_delivery(self, topology, clock):
+        config = dict(deadline_s=0.05, max_batch_size=4)
+        stream = topology.cohort_stream("a")
+        stream.append(submission("s0", "a", clock))
+        clock.advance(10.0)  # entry is ancient by the time the consumer reads
+        consumer = StreamConsumerScheduler(
+            {"a": ClockedStubClassifier(clock)},
+            {"a": stream},
+            topology.result_stream,
+            scheduler_config=SchedulerConfig(**config),
+            clock=clock,
+            deadline_origin="read",
+        )
+        consumer.poll()
+        # deadline counts from the read, not the 10s-old timestamp
+        assert consumer.next_flush_due_s() == pytest.approx(10.05)
+
+    def test_invalid_deadline_origin_rejected(self, topology, clock):
+        with pytest.raises(ValueError, match="deadline_origin"):
+            make_consumer(topology, clock).__class__(
+                {"a": ClockedStubClassifier(clock)},
+                {"a": topology.cohort_stream("a")},
+                topology.result_stream,
+                clock=clock,
+                deadline_origin="sometimes",
+            )
+
+
+class TestSupersession:
+    def test_fresher_window_supersedes_stale_backlog(self, topology, clock):
+        consumer = make_consumer(topology, clock)
+        stream = topology.cohort_stream("a")
+        stream.append(submission("s0", "a", clock, sequence=0))
+        consumer.poll()
+        clock.advance(0.01)
+        stream.append(submission("s0", "a", clock, sequence=1))
+        consumer.poll()
+        assert consumer.backlog_depth() == 1  # stale window dropped
+        assert consumer.superseded_count == 1
+        clock.advance(0.05)
+        consumer.pump()
+        (result,) = harvest_results(topology)
+        assert result.sequences == (1,)  # the fresh window was served
+        assert result.superseded == (("s0", 0),)
+        assert stream.pending(SCHEDULER_GROUP) == []  # stale entry acked too
+
+    def test_drain_reports_orphaned_supersessions(self, topology, clock):
+        consumer = make_consumer(topology, clock)
+        stream = topology.cohort_stream("a")
+        stream.append(submission("s0", "a", clock, sequence=0))
+        consumer.poll()
+        stream.append(submission("s0", "a", clock, sequence=1))
+        consumer.poll()
+        # serve the fresh window, then supersede again with nothing queued
+        clock.advance(0.05)
+        consumer.pump()
+        stream.append(submission("s0", "a", clock, sequence=2))
+        consumer.poll()
+        stream.append(submission("s0", "a", clock, sequence=3))
+        consumer.poll()
+        consumer.drain()
+        results = harvest_results(topology)
+        reported = [pair for r in results for pair in r.superseded]
+        assert ("s0", 0) in reported and ("s0", 2) in reported
+        assert stream.pending(SCHEDULER_GROUP) == []  # nothing left unacked
+
+
+class TestCrashRecovery:
+    def test_abandoned_pending_is_claimed_by_restarted_consumer(
+        self, topology, clock
+    ):
+        # Consumer reads two entries, then "dies" before flushing.
+        dead = make_consumer(topology, clock)
+        stream = topology.cohort_stream("a")
+        stream.append(submission("s0", "a", clock, 0))
+        stream.append(submission("s1", "a", clock, 0))
+        dead.poll()
+        assert len(stream.pending(SCHEDULER_GROUP)) == 2
+        del dead
+        # A replacement under the same identity claims the orphans at start.
+        revived = StreamConsumerScheduler(
+            {"a": ClockedStubClassifier(clock)},
+            {"a": stream},
+            topology.result_stream,
+            scheduler_config=SchedulerConfig(deadline_s=0.05, max_batch_size=4),
+            clock=clock,
+        )
+        assert revived.backlog_depth() == 2
+        revived.drain()
+        (result,) = harvest_results(topology)
+        assert result.session_ids == ("s0", "s1")
+        assert stream.pending(SCHEDULER_GROUP) == []
+
+    def test_worker_death_restores_backlog_and_keeps_entries_pending(
+        self, topology, clock
+    ):
+        class DyingTicket:
+            def done(self):
+                return True
+
+            def result(self, timeout=None):
+                raise WorkerDiedError("a", detail="test kill")
+
+        class DyingExecutor:
+            serializes_flushes = False
+            remote_execution = False
+
+            def __init__(self):
+                self.fail_next = True
+
+            def bind(self, classifiers, clock):
+                from repro.serving.batcher import execute_windows
+
+                self._classifiers = dict(classifiers)
+                self._clock = clock
+                self._execute = execute_windows
+
+            def submit_flush(self, cohort, prepared):
+                if self.fail_next:
+                    return DyingTicket()
+                return CompletedTicket(
+                    self._execute(
+                        self._classifiers[cohort],
+                        prepared.windows,
+                        prepared.chunk_size,
+                        clock=self._clock,
+                    )
+                )
+
+            def shutdown(self):
+                pass
+
+        executor = DyingExecutor()
+        consumer = make_consumer(topology, clock, executor=executor)
+        stream = topology.cohort_stream("a")
+        stream.append(submission("s0", "a", clock, 0))
+        stream.append(submission("s1", "a", clock, 0))
+        consumer.poll()
+        clock.advance(0.05)
+        with pytest.raises(WorkerDiedError):
+            consumer.pump()
+        assert consumer.worker_deaths == 1
+        # Work is not lost: windows back in the local backlog, entries still
+        # pending in the group (so even a full process death is recoverable).
+        assert consumer.backlog_depth() == 2
+        assert len(stream.pending(SCHEDULER_GROUP)) == 2
+        assert consumer.inflight_cohorts == ()
+        # Requeued windows get a fresh deadline from the failed flush start;
+        # a recovered executor serves them on the next due pump.
+        executor.fail_next = False
+        assert consumer.next_flush_due_s() == pytest.approx(0.10)
+        clock.advance_to(consumer.next_flush_due_s())
+        (event,) = consumer.pump()
+        assert event.batch_size == 2
+        assert stream.pending(SCHEDULER_GROUP) == []
+
+
+class TestCompetingConsumers:
+    def test_same_group_consumers_split_one_stream_disjointly(self, topology, clock):
+        stream = topology.cohort_stream("a")
+        config = SchedulerConfig(deadline_s=0.05, max_batch_size=8)
+
+        def build(name):
+            return StreamConsumerScheduler(
+                {"a": ClockedStubClassifier(clock)},
+                {"a": stream},
+                topology.result_stream,
+                consumer=name,
+                scheduler_config=config,
+                clock=clock,
+            )
+
+        left, right = build("left"), build("right")
+        for i in range(6):
+            stream.append(submission(f"s{i}", "a", clock, 0))
+        left.poll(count=3)
+        right.poll(count=3)
+        left.drain()
+        right.drain()
+        results = harvest_results(topology)
+        served = [sid for r in results for sid in r.session_ids]
+        assert sorted(served) == [f"s{i}" for i in range(6)]
+        consumers = {r.consumer for r in results}
+        assert consumers == {"left", "right"}

@@ -1,0 +1,218 @@
+"""Record/replay determinism: a recorded run re-drives bit-for-bit.
+
+The headline satellite: a 32-session SimulatedLoad run over the stream
+plane is captured with StreamRecorder, then re-driven through a *fresh*
+consumer under a fresh virtual clock — and produces tick-for-tick
+identical FleetTickRecords, an equal FleetReport and bit-identical
+FlushResult payloads.
+"""
+
+import numpy as np
+import pytest
+
+from tests.helpers import (
+    ClockedStubClassifier,
+    FakeClock,
+    ScriptedSession,
+    SimulatedLoad,
+)
+
+from repro.serving.scheduler import SchedulerConfig
+from repro.streams import (
+    ReplayError,
+    StreamConsumerScheduler,
+    StreamDuplex,
+    StreamRecorder,
+    StreamRecording,
+    StreamReplayer,
+    StreamTopology,
+    WindowStream,
+)
+from repro.utils.timing import SYSTEM_CLOCK
+
+COHORTS = ("alpha", "beta")
+CONFIG = SchedulerConfig(deadline_s=0.05, max_batch_size=8)
+
+
+def make_classifiers(clock):
+    return {
+        "alpha": ClockedStubClassifier(clock, base_latency_s=0.002, per_row_s=0.0005),
+        "beta": ClockedStubClassifier(
+            clock, base_latency_s=0.001, per_row_s=0.0005, peak_class=1
+        ),
+    }
+
+
+def run_live(n_sessions=32, duration_s=5.0, stall_every=None):
+    clock = FakeClock()
+    duplex = StreamDuplex(make_classifiers(clock), scheduler_config=CONFIG, clock=clock)
+    for i in range(n_sessions):
+        duplex.add_session(
+            ScriptedSession(f"s{i:02d}", seed=i, stall_every=stall_every),
+            cohort=COHORTS[i % 2],
+        )
+    SimulatedLoad(duplex, clock, period_s=0.1, jitter_s=0.03, seed=7).run(duration_s)
+    return duplex
+
+
+def fresh_consumer():
+    clock = FakeClock()
+    topology = StreamTopology(clock=clock)
+    consumer = StreamConsumerScheduler(
+        make_classifiers(clock),
+        {c: topology.cohort_stream(c) for c in COHORTS},
+        topology.result_stream,
+        scheduler_config=CONFIG,
+        clock=clock,
+    )
+    return topology, consumer
+
+
+class TestDeterminism:
+    def test_32_session_run_replays_bit_for_bit(self):
+        duplex = run_live(n_sessions=32, duration_s=5.0, stall_every=7)
+        recording = StreamRecorder(duplex.topology).capture()
+        assert recording.n_entries == duplex.producer.submitted
+        assert set(recording.cohorts) == set(COHORTS)
+
+        topology, consumer = fresh_consumer()
+        fed = StreamReplayer(recording).replay(consumer)
+        assert fed == recording.n_entries
+
+        live_records = duplex.consumer.telemetry.records
+        replay_records = consumer.telemetry.records
+        assert len(live_records) == len(replay_records)
+        for live, replayed in zip(live_records, replay_records):
+            assert live == replayed  # tick-for-tick, every field
+
+        # the final reports agree field for field
+        assert duplex.consumer.report() == consumer.report()
+
+        # and the published FlushResult payloads are bit-identical
+        live_results = [e.payload for e in duplex.topology.result_stream.range()]
+        replay_results = [e.payload for e in topology.result_stream.range()]
+        assert len(live_results) == len(replay_results)
+        for live, replayed in zip(live_results, replay_results):
+            assert live.session_ids == replayed.session_ids
+            assert live.sequences == replayed.sequences
+            assert live.entry_ids == replayed.entry_ids
+            assert live.flushed_at_s == replayed.flushed_at_s
+            assert live.service_s == replayed.service_s
+            assert live.superseded == replayed.superseded
+            np.testing.assert_array_equal(live.probabilities, replayed.probabilities)
+
+    def test_partial_replay_stays_consistent(self):
+        duplex = run_live(n_sessions=8, duration_s=2.0)
+        recording = StreamRecorder(duplex.topology).capture()
+        _, consumer = fresh_consumer()
+        fed = StreamReplayer(recording).replay(consumer, count=10)
+        assert fed == 10
+        # the partial run still drained: nothing left in the backlog
+        assert consumer.backlog_depth() == 0
+        assert consumer.telemetry.total_labels <= 10
+
+    def test_save_load_roundtrip(self, tmp_path):
+        duplex = run_live(n_sessions=4, duration_s=1.0)
+        recording = StreamRecorder(duplex.topology).capture()
+        path = str(tmp_path / "run.streamrec")
+        recording.save(path)
+        loaded = StreamRecording.load(path)
+        assert loaded.n_entries == recording.n_entries
+        _, consumer = fresh_consumer()
+        StreamReplayer(loaded).replay(consumer)
+        assert consumer.telemetry.records == duplex.consumer.telemetry.records
+
+    def test_load_rejects_foreign_pickles(self, tmp_path):
+        import pickle
+
+        path = str(tmp_path / "bogus.streamrec")
+        with open(path, "wb") as handle:
+            pickle.dump({"not": "a recording"}, handle)
+        with pytest.raises(ReplayError, match="does not hold a StreamRecording"):
+            StreamRecording.load(path)
+
+
+class TestReplayGuards:
+    def test_trimmed_streams_are_refused_at_capture(self):
+        clock = FakeClock()
+        topology = StreamTopology(clock=clock, maxlen=2)
+        stream = topology.cohort_stream("alpha")
+        for i in range(5):
+            stream.append(i)
+        with pytest.raises(ReplayError, match="lost entries"):
+            StreamRecorder(topology).capture()
+
+    def test_stale_target_stream_aborts_replay(self):
+        duplex = run_live(n_sessions=2, duration_s=1.0)
+        recording = StreamRecorder(duplex.topology).capture()
+        topology, consumer = fresh_consumer()
+        # A leftover entry skews every subsequent id: replay must notice.
+        first = recording.cohorts["alpha"][0]
+        topology.cohort_stream("alpha").append(first.payload)  # not fresh anymore
+        with pytest.raises(ReplayError, match="needs fresh streams"):
+            StreamReplayer(recording).replay(consumer)
+
+    def test_real_clock_is_refused(self):
+        duplex = run_live(n_sessions=2, duration_s=0.5)
+        recording = StreamRecorder(duplex.topology).capture()
+        topology = StreamTopology()
+        consumer = StreamConsumerScheduler(
+            make_classifiers(None),
+            {c: topology.cohort_stream(c) for c in COHORTS},
+            topology.result_stream,
+            scheduler_config=CONFIG,
+            clock=SYSTEM_CLOCK,
+        )
+        with pytest.raises(ReplayError, match="virtual clock"):
+            StreamReplayer(recording).replay(consumer)
+
+    def test_missing_cohort_is_refused(self):
+        duplex = run_live(n_sessions=2, duration_s=0.5)
+        recording = StreamRecorder(duplex.topology).capture()
+        clock = FakeClock()
+        topology = StreamTopology(clock=clock)
+        consumer = StreamConsumerScheduler(
+            {"alpha": ClockedStubClassifier(clock)},
+            {"alpha": topology.cohort_stream("alpha")},
+            topology.result_stream,
+            scheduler_config=CONFIG,
+            clock=clock,
+        )
+        with pytest.raises(ReplayError, match="does not own recorded cohort"):
+            StreamReplayer(recording).replay(consumer)
+
+
+class TestVirtualClock:
+    """repro.utils.timing.VirtualClock is the src-side twin of FakeClock."""
+
+    def test_replay_runs_on_the_src_virtual_clock(self):
+        from repro.utils.timing import VirtualClock
+
+        duplex = run_live(n_sessions=4, duration_s=1.0)
+        recording = StreamRecorder(duplex.topology).capture()
+        clock = VirtualClock()
+        topology = StreamTopology(clock=clock)
+        consumer = StreamConsumerScheduler(
+            make_classifiers(clock),
+            {c: topology.cohort_stream(c) for c in COHORTS},
+            topology.result_stream,
+            scheduler_config=CONFIG,
+            clock=clock,
+        )
+        StreamReplayer(recording).replay(consumer)
+        assert consumer.telemetry.records == duplex.consumer.telemetry.records
+
+    def test_virtual_clock_semantics(self):
+        from repro.utils.timing import VirtualClock
+
+        clock = VirtualClock(start=5.0)
+        assert clock.now() == 5.0
+        clock.sleep(1.5)
+        assert clock.now() == 6.5
+        clock.advance_to(10.0)
+        assert clock.now() == 10.0
+        clock.advance_to(10.0)  # same instant is fine
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+        with pytest.raises(ValueError):
+            clock.sleep(-1.0)

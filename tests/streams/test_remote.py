@@ -1,0 +1,260 @@
+"""Socket transport tests: server/client/proxy semantics in-process, then
+the two-process acceptance run — two scheduler processes draining disjoint
+cohort streams must produce row-identical probabilities to a single-process
+SerialExecutor consumer fed the same recorded entries.
+"""
+
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+
+from tests.helpers import FakeClock, hard_timeout
+
+from repro.models.cnn import CNNConfig, EEGCNN
+from repro.models.compiled import CompiledClassifier
+from repro.serving.scheduler import SchedulerConfig
+from repro.streams import (
+    DEFAULT_AUTHKEY,
+    SCHEDULER_GROUP,
+    STOP_COMMAND,
+    RemoteStreamError,
+    StreamClient,
+    StreamConsumerScheduler,
+    StreamRegistry,
+    StreamServer,
+    StreamTopology,
+    WindowSubmission,
+    stream_consumer_worker,
+)
+
+
+@pytest.fixture
+def served_registry():
+    registry = StreamRegistry(clock=FakeClock())
+    server = StreamServer(registry).start()
+    try:
+        yield registry, server
+    finally:
+        server.stop()
+
+
+class TestServerClient:
+    def test_ping_and_create_or_get(self, served_registry):
+        registry, server = served_registry
+        client = StreamClient(server.address)
+        assert client.ping()
+        proxy = client.stream("logs/a")
+        assert proxy.append("x") == 1
+        # create-or-get: a second client converges on the same server log
+        other = StreamClient(server.address)
+        twin = other.stream("logs/a")
+        assert [e.payload for e in twin.range()] == ["x"]
+        client.close()
+        other.close()
+
+    def test_group_surface_round_trips(self, served_registry):
+        registry, server = served_registry
+        client = StreamClient(server.address)
+        proxy = client.stream("logs/a")
+        assert proxy.create_group("g") is True
+        assert proxy.create_group("g", exists_ok=True) is False
+        proxy.append("a")
+        proxy.append("b")
+        delivered = proxy.read_group("g", "c0")
+        assert [e.payload for e in delivered] == ["a", "b"]
+        assert proxy.has_group("g")
+        assert proxy.depth("g") == 2
+        assert len(proxy.pending("g", "c0")) == 2
+        assert proxy.ack("g", 1, 2) == 2
+        assert proxy.depth("g") == 0
+        assert proxy.lag_s("g") == 0.0
+        assert proxy.info()["length"] == 2.0
+        client.close()
+
+    def test_claim_recovers_remote_orphans(self, served_registry):
+        registry, server = served_registry
+        clock = registry.clock
+        client = StreamClient(server.address)
+        proxy = client.stream("logs/a")
+        proxy.create_group("g")
+        proxy.append("w")
+        proxy.read_group("g", "dead")
+        clock.advance(5.0)
+        claimed = proxy.claim("g", "alive", min_idle_s=1.0)
+        assert [e.payload for e in claimed] == ["w"]
+        client.close()
+
+    def test_non_whitelisted_method_is_refused(self, served_registry):
+        registry, server = served_registry
+        client = StreamClient(server.address)
+        client.stream("logs/a")
+        with pytest.raises(RemoteStreamError, match="not remotable"):
+            client.call("logs/a", "groups")
+        # a refused call does not poison the connection
+        assert client.ping()
+        client.close()
+
+    def test_server_side_errors_are_forwarded_by_name(self, served_registry):
+        registry, server = served_registry
+        client = StreamClient(server.address)
+        proxy = client.stream("logs/a")
+        with pytest.raises(RemoteStreamError, match="StreamError.*no consumer group"):
+            proxy.read_group("missing", "c")
+        client.close()
+
+    def test_maxlen_mismatch_is_refused_remotely(self, served_registry):
+        registry, server = served_registry
+        client = StreamClient(server.address)
+        client.stream("logs/capped", maxlen=4)
+        with pytest.raises(RemoteStreamError, match="maxlen"):
+            client.stream("logs/capped", maxlen=8)
+        client.close()
+
+    def test_lost_connection_raises_remote_stream_error(self, served_registry):
+        registry, server = served_registry
+        client = StreamClient(server.address)
+        proxy = client.stream("logs/a")
+        client.close()
+        with pytest.raises(RemoteStreamError, match="connection lost"):
+            proxy.append("x")
+
+
+# ---------------------------------------------------------------------- #
+# Two scheduler processes vs one serial consumer (real clock, hard timeout)
+# ---------------------------------------------------------------------- #
+COHORTS = ("alpha", "beta")
+N_PER_COHORT = 12
+CONFIG = SchedulerConfig(deadline_s=0.05, max_batch_size=8)
+
+
+def _compiled(seed):
+    classifier = EEGCNN(
+        CNNConfig(
+            n_conv_layers=2,
+            filters=(6, 8),
+            kernel_size=3,
+            stride=1,
+            pooling="max",
+            hidden_units=12,
+        ),
+        seed=seed,
+    )
+    classifier.ensure_network(4, 50)
+    return classifier.ensure_compiled()
+
+
+def _collect_rows(result_entries):
+    rows = {}
+    for entry in result_entries:
+        result = entry.payload
+        for index, (session_id, sequence) in enumerate(
+            zip(result.session_ids, result.sequences)
+        ):
+            rows[(session_id, sequence)] = result.probabilities[index]
+    return rows
+
+
+class TestTwoProcessFanout:
+    def test_two_schedulers_match_single_process_rows(self):
+        with hard_timeout(90, "two-process stream fan-out"):
+            registry = StreamRegistry()  # real clock: workers measure real lag
+            server = StreamServer(registry).start()
+            payloads = {
+                cohort: _compiled(seed).to_payload()
+                for seed, cohort in enumerate(COHORTS)
+            }
+            streams = {
+                cohort: registry.create(f"fleet/{cohort}")[0] for cohort in COHORTS
+            }
+            result_stream, _ = registry.create("fleet/#results")
+            control_stream, _ = registry.create("fleet/#control")
+            rng = np.random.default_rng(7)
+            for cohort in COHORTS:
+                for i in range(N_PER_COHORT):
+                    streams[cohort].append(
+                        WindowSubmission(
+                            session_id=f"{cohort}-s{i:02d}",
+                            cohort=cohort,
+                            window=rng.standard_normal((4, 50)),
+                            submitted_at_s=registry.clock.now(),
+                            sequence=0,
+                        )
+                    )
+            ctx = multiprocessing.get_context("spawn")
+            workers = []
+            for index, cohort in enumerate(COHORTS):
+                worker = ctx.Process(
+                    target=stream_consumer_worker,
+                    args=(
+                        server.address,
+                        DEFAULT_AUTHKEY,
+                        {cohort: f"fleet/{cohort}"},
+                        "fleet/#results",
+                        "fleet/#control",
+                        {cohort: payloads[cohort]},
+                        CONFIG,
+                        SCHEDULER_GROUP,
+                        f"worker-{index}",
+                    ),
+                    daemon=True,
+                )
+                worker.start()
+                workers.append(worker)
+            try:
+                settle_by = time.monotonic() + 60
+                while time.monotonic() < settle_by:
+                    drained = all(
+                        stream.has_group(SCHEDULER_GROUP)
+                        and stream.depth(SCHEDULER_GROUP) == 0
+                        for stream in streams.values()
+                    )
+                    if drained:
+                        break
+                    time.sleep(0.01)
+                else:
+                    pytest.fail("workers never drained their cohort streams")
+                control_stream.append(STOP_COMMAND)
+                for worker in workers:
+                    worker.join(timeout=30)
+                assert all(worker.exitcode == 0 for worker in workers)
+            finally:
+                for worker in workers:
+                    if worker.is_alive():
+                        worker.terminate()
+                server.stop()
+
+            remote_rows = _collect_rows(result_stream.range())
+            # distinct sessions => no supersession: every window has a row
+            assert len(remote_rows) == len(COHORTS) * N_PER_COHORT
+            consumers = {e.payload.consumer for e in result_stream.range()}
+            assert consumers == {"worker-0", "worker-1"}
+            # each worker only ever served its own cohort
+            for entry in result_stream.range():
+                owner = COHORTS[int(entry.payload.consumer.rsplit("-", 1)[1])]
+                assert entry.payload.cohort == owner
+
+            # Single-process baseline: a SerialExecutor consumer fed the
+            # exact entries the workers drained (the log retains them).
+            clock = FakeClock()
+            topology = StreamTopology(clock=clock)
+            baseline = StreamConsumerScheduler(
+                {
+                    cohort: CompiledClassifier.from_payload(payloads[cohort])
+                    for cohort in COHORTS
+                },
+                {cohort: topology.cohort_stream(cohort) for cohort in COHORTS},
+                topology.result_stream,
+                scheduler_config=CONFIG,
+                clock=clock,
+            )
+            for cohort in COHORTS:
+                for entry in streams[cohort].range():
+                    topology.cohort_stream(cohort).append(entry.payload)
+            baseline.poll()
+            baseline.drain()
+            baseline_rows = _collect_rows(topology.result_stream.range())
+            assert baseline_rows.keys() == remote_rows.keys()
+            for key, row in baseline_rows.items():
+                np.testing.assert_allclose(remote_rows[key], row, atol=1e-7)

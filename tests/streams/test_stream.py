@@ -1,0 +1,262 @@
+"""WindowStream unit tests: log semantics, consumer groups, lag, registry."""
+
+import threading
+
+import pytest
+
+from tests.helpers import FakeClock
+
+from repro.streams import StreamError, StreamRegistry, WindowStream
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def stream(clock):
+    return WindowStream("t", clock=clock)
+
+
+class TestLog:
+    def test_ids_are_monotonic_from_one(self, stream):
+        assert [stream.append(i) for i in range(5)] == [1, 2, 3, 4, 5]
+        assert stream.last_id == 5
+        assert stream.first_id == 1
+        assert len(stream) == 5
+
+    def test_entries_carry_clock_timestamps(self, stream, clock):
+        stream.append("a")
+        clock.advance(1.5)
+        stream.append("b")
+        (first, second) = stream.range()
+        assert first.timestamp_s == 0.0
+        assert second.timestamp_s == 1.5
+
+    def test_explicit_timestamp_overrides_clock(self, stream, clock):
+        clock.advance(10.0)
+        stream.append("a", timestamp_s=3.25)
+        assert stream.range()[0].timestamp_s == 3.25
+
+    def test_range_filters_by_id_and_count(self, stream):
+        for i in range(10):
+            stream.append(i)
+        assert [e.entry_id for e in stream.range(start_id=4)] == list(range(4, 11))
+        assert [e.entry_id for e in stream.range(start_id=4, end_id=6)] == [4, 5, 6]
+        assert [e.entry_id for e in stream.range(count=3)] == [1, 2, 3]
+
+    def test_maxlen_trims_oldest_but_never_reuses_ids(self, clock):
+        stream = WindowStream("t", maxlen=3, clock=clock)
+        for i in range(5):
+            stream.append(i)
+        assert len(stream) == 3
+        assert [e.entry_id for e in stream.range()] == [3, 4, 5]
+        assert stream.append("x") == 6  # ids keep counting past trims
+        assert stream.trimmed == 3  # 1, 2, 3 were never delivered
+
+    def test_trim_spares_entries_a_group_already_saw(self, clock):
+        stream = WindowStream("t", maxlen=2, clock=clock)
+        stream.create_group("g")
+        stream.append("a")
+        stream.read_group("g", "c0")  # entry 1 delivered (pending)
+        stream.append("b")
+        stream.append("c")  # trims entry 1 from the log...
+        assert stream.trimmed == 0  # ...but it was delivered, not lost
+        # and the pending copy still acks fine
+        assert stream.ack("g", 1) == 1
+
+    def test_maxlen_must_be_positive(self):
+        with pytest.raises(ValueError, match="maxlen"):
+            WindowStream("t", maxlen=0)
+
+
+class TestConsumerGroups:
+    def test_read_group_delivers_each_entry_once(self, stream):
+        stream.create_group("g")
+        stream.append("a")
+        stream.append("b")
+        first = stream.read_group("g", "c0")
+        assert [e.payload for e in first] == ["a", "b"]
+        assert stream.read_group("g", "c0") == []  # cursor advanced
+        assert stream.read_group("g", "c1") == []  # same group: disjoint
+
+    def test_two_groups_each_see_every_entry(self, stream):
+        stream.create_group("g1")
+        stream.create_group("g2")
+        stream.append("a")
+        assert [e.payload for e in stream.read_group("g1", "x")] == ["a"]
+        assert [e.payload for e in stream.read_group("g2", "y")] == ["a"]
+
+    def test_group_starts_after_start_id(self, stream):
+        stream.append("a")
+        stream.append("b")
+        stream.create_group("late", start_id=1)
+        assert [e.payload for e in stream.read_group("late", "c")] == ["b"]
+
+    def test_duplicate_create_raises_unless_exists_ok(self, stream):
+        assert stream.create_group("g") is True
+        with pytest.raises(StreamError, match="already has consumer group"):
+            stream.create_group("g")
+        assert stream.create_group("g", exists_ok=True) is False
+
+    def test_unknown_group_raises(self, stream):
+        with pytest.raises(StreamError, match="no consumer group"):
+            stream.read_group("missing", "c")
+
+    def test_read_count_limits_delivery(self, stream):
+        stream.create_group("g")
+        for i in range(5):
+            stream.append(i)
+        assert len(stream.read_group("g", "c", count=2)) == 2
+        assert len(stream.read_group("g", "c")) == 3
+
+    def test_pending_until_acked(self, stream):
+        stream.create_group("g")
+        i1 = stream.append("a")
+        i2 = stream.append("b")
+        stream.read_group("g", "c0")
+        assert [p.entry.entry_id for p in stream.pending("g")] == [i1, i2]
+        assert stream.ack("g", i1) == 1
+        assert [p.entry.entry_id for p in stream.pending("g")] == [i2]
+        assert stream.ack("g", i1) == 0  # double-ack is a counted no-op
+
+    def test_pending_filters_by_consumer(self, stream):
+        stream.create_group("g")
+        stream.append("a")
+        stream.read_group("g", "c0")
+        stream.append("b")
+        stream.read_group("g", "c1")
+        assert len(stream.pending("g", "c0")) == 1
+        assert len(stream.pending("g", "c1")) == 1
+        assert len(stream.pending("g")) == 2
+
+    def test_claim_redelivers_idle_pending(self, stream, clock):
+        stream.create_group("g")
+        stream.append("a")
+        stream.read_group("g", "dead")
+        clock.advance(5.0)
+        claimed = stream.claim("g", "alive", min_idle_s=1.0)
+        assert [e.payload for e in claimed] == ["a"]
+        (pending,) = stream.pending("g")
+        assert pending.consumer == "alive"
+        assert pending.deliveries == 2  # redelivery is observable
+
+    def test_claim_respects_min_idle(self, stream, clock):
+        stream.create_group("g")
+        stream.append("a")
+        stream.read_group("g", "busy")
+        clock.advance(0.5)
+        assert stream.claim("g", "thief", min_idle_s=1.0) == []
+
+
+class TestObservability:
+    def test_depth_counts_undelivered_plus_pending(self, stream):
+        stream.create_group("g")
+        for i in range(4):
+            stream.append(i)
+        stream.read_group("g", "c", count=3)
+        stream.ack("g", 1)
+        assert stream.depth("g") == 3  # 2 pending + 1 undelivered
+
+    def test_lag_is_oldest_unacked_age(self, stream, clock):
+        stream.create_group("g")
+        stream.append("a")
+        clock.advance(2.0)
+        stream.append("b")
+        clock.advance(1.0)
+        assert stream.lag_s("g") == pytest.approx(3.0)  # entry 1 aged 3s
+        stream.read_group("g", "c")
+        assert stream.lag_s("g") == pytest.approx(3.0)  # delivery is not ack
+        stream.ack("g", 1)
+        assert stream.lag_s("g") == pytest.approx(1.0)  # now entry 2 is oldest
+        stream.ack("g", 2)
+        assert stream.lag_s("g") == 0.0
+
+    def test_has_group_and_info(self, stream):
+        assert not stream.has_group("g")
+        stream.create_group("g")
+        assert stream.has_group("g")
+        stream.append("a")
+        info = stream.info()
+        assert info["length"] == 1.0
+        assert info["last_id"] == 1.0
+        assert info["groups"] == 1.0
+
+
+class TestConcurrency:
+    def test_concurrent_appends_never_lose_or_duplicate_ids(self, stream):
+        ids = []
+        lock = threading.Lock()
+
+        def worker():
+            mine = [stream.append(i) for i in range(200)]
+            with lock:
+                ids.extend(mine)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(ids) == list(range(1, 801))
+
+    def test_competing_consumers_split_the_stream_disjointly(self, stream):
+        stream.create_group("g")
+        for i in range(100):
+            stream.append(i)
+        got = {"c0": [], "c1": []}
+
+        def drain(name):
+            while True:
+                batch = stream.read_group("g", name, count=5)
+                if not batch:
+                    return
+                got[name].extend(e.entry_id for e in batch)
+
+        threads = [threading.Thread(target=drain, args=(n,)) for n in got]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(got["c0"] + got["c1"]) == list(range(1, 101))
+        assert not set(got["c0"]) & set(got["c1"])
+
+
+class TestRegistry:
+    def test_create_is_atomic_get_or_create(self):
+        registry = StreamRegistry()
+        first, created1 = registry.create("s")
+        second, created2 = registry.create("s")
+        assert first is second
+        assert created1 and not created2
+        assert registry.names == ("s",)
+
+    def test_maxlen_mismatch_refused(self):
+        registry = StreamRegistry()
+        registry.create("s", maxlen=10)
+        with pytest.raises(StreamError, match="maxlen"):
+            registry.create("s", maxlen=20)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(StreamError, match="no stream named"):
+            StreamRegistry().get("nope")
+
+    def test_registry_streams_share_one_arrival_sequence(self):
+        registry = StreamRegistry()
+        left, _ = registry.create("left")
+        right, _ = registry.create("right")
+        left.append("a")
+        right.append("b")
+        left.append("c")
+        seqs = {
+            (s.name, e.entry_id): e.seq
+            for s in (left, right)
+            for e in s.range()
+        }
+        # interleaved appends get globally ordered seqs, per-stream ids
+        assert seqs[("left", 1)] < seqs[("right", 1)] < seqs[("left", 2)]
+        # a standalone stream counts privately from 1
+        lone = WindowStream("lone")
+        lone.append("x")
+        assert lone.range()[0].seq == 1

@@ -1,0 +1,80 @@
+"""StreamTopology tests: naming, lazy creation, reserved leaves, sharing."""
+
+import pytest
+
+from tests.helpers import FakeClock
+
+from repro.streams import StreamTopology
+from repro.streams.stream import StreamRegistry
+from repro.streams.topology import CONTROL_LEAF, RESULTS_LEAF
+
+
+@pytest.fixture
+def topology():
+    return StreamTopology(clock=FakeClock())
+
+
+class TestNodeTree:
+    def test_cohort_nodes_are_created_lazily_and_cached(self, topology):
+        assert topology.cohorts == ()
+        node = topology.cohort_node("adults")
+        assert node.path == "fleet/adults"
+        assert node.kind == "cohort"
+        assert node.name == "adults"
+        assert topology.cohort_node("adults") is node
+        assert topology.cohorts == ("adults",)
+
+    def test_session_nodes_nest_under_their_cohort(self, topology):
+        node = topology.session_node("adults", "s0")
+        assert node.path == "fleet/adults/s0"
+        assert node.kind == "session"
+        assert topology.cohort_node("adults").children["s0"] is node
+
+    def test_reserved_streams_have_hash_paths(self, topology):
+        assert topology.result_node.path == f"fleet/{RESULTS_LEAF}"
+        assert topology.control_node.path == f"fleet/{CONTROL_LEAF}"
+
+    def test_cohort_names_cannot_collide_with_reserved(self, topology):
+        with pytest.raises(ValueError, match="reserved"):
+            topology.cohort_node("#results")
+        with pytest.raises(ValueError, match="must not contain"):
+            topology.cohort_node("a/b")
+        with pytest.raises(ValueError, match="non-empty"):
+            topology.cohort_node("")
+
+    def test_walk_visits_every_materialised_node(self, topology):
+        topology.cohort_node("a")
+        topology.session_node("a", "s0")
+        topology.cohort_node("b")
+        _ = topology.result_node
+        paths = {node.path for node in topology.walk()}
+        assert paths == {
+            "fleet",
+            "fleet/a",
+            "fleet/a/s0",
+            "fleet/b",
+            f"fleet/{RESULTS_LEAF}",
+        }
+
+    def test_describe_reports_per_stream_counters(self, topology):
+        topology.cohort_stream("a").append("x")
+        described = topology.describe()
+        assert described["fleet/a"]["length"] == 1.0
+
+
+class TestSharing:
+    def test_two_topologies_over_one_registry_share_streams(self):
+        clock = FakeClock()
+        registry = StreamRegistry(clock=clock)
+        one = StreamTopology(registry=registry, clock=clock)
+        two = StreamTopology(registry=registry, clock=clock)
+        one.cohort_stream("a").append("from-one")
+        entries = two.cohort_stream("a").range()
+        assert [e.payload for e in entries] == ["from-one"]
+        assert one.result_stream is two.result_stream
+
+    def test_cohort_streams_take_the_maxlen_cap_reserved_do_not(self):
+        topology = StreamTopology(clock=FakeClock(), maxlen=2)
+        assert topology.cohort_stream("a").maxlen == 2
+        assert topology.result_stream.maxlen is None
+        assert topology.control_stream.maxlen is None
