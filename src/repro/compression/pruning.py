@@ -1,4 +1,4 @@
-"""Global magnitude pruning (paper §III-E1).
+"""Global magnitude pruning (paper §III-E1), element-wise and block-structured.
 
 The paper prunes network connections at 0/30/50/70/90 % using *global*
 pruning: a single magnitude threshold is computed over all prunable weights
@@ -7,6 +7,15 @@ where the small weights live.  Pruned weights are set to zero; the paper's
 latency benefit comes from skipping those multiply-accumulates, which the
 edge-device latency model accounts for through effective (non-zero)
 parameter counts.
+
+:func:`apply_block_magnitude_pruning` is the structured variant that makes
+the latency benefit real on CPU hosts: instead of ranking individual
+weights it ranks whole ``(th, tw)`` *tiles* by mean magnitude and zeroes
+the weakest tiles globally, so the surviving zeros line up with the tile
+grid the block-sparse kernels (:class:`repro.nn.sparse.BlockSparseWeight`)
+can actually skip.  LSTM input/recurrent projections default to ``(16, 1)``
+row tiles — each output gate column keeps contiguous 16-feature input runs,
+which is the shape the per-timestep matvec gathers fastest.
 """
 
 from __future__ import annotations
@@ -25,6 +34,23 @@ PAPER_PRUNING_LEVELS: Tuple[float, ...] = (0.0, 0.3, 0.5, 0.7, 0.9)
 
 
 @dataclass
+class BlockOccupancy:
+    """Tile-level survival stats for one parameter after block pruning."""
+
+    #: Tile shape the grid was cut with (clamped to the parameter dims).
+    tile: Tuple[int, int]
+    tiles_total: int
+    tiles_kept: int
+
+    @property
+    def block_sparsity(self) -> float:
+        """Fraction of tiles that are entirely zero (what kernels can skip)."""
+        if self.tiles_total == 0:
+            return 0.0
+        return 1.0 - self.tiles_kept / self.tiles_total
+
+
+@dataclass
 class PruningReport:
     """Summary of one pruning operation."""
 
@@ -33,6 +59,9 @@ class PruningReport:
     total_weights: int
     pruned_weights: int
     per_parameter_sparsity: Dict[str, float] = field(default_factory=dict)
+    #: Per-parameter tile survival, populated by block-structured pruning
+    #: (empty for element-wise pruning, where zeros ignore any tile grid).
+    block_occupancy: Dict[str, BlockOccupancy] = field(default_factory=dict)
 
     @property
     def effective_parameters(self) -> int:
@@ -49,14 +78,78 @@ def _prunable_parameters(module: Module) -> List[Tuple[str, object]]:
     ]
 
 
-def sparsity(module: Module) -> float:
-    """Fraction of zero-valued weights among prunable parameters."""
+def _as_matrix(data: np.ndarray) -> np.ndarray:
+    """A 2-D view for tiling: >2-D parameters flatten their trailing dims."""
+    if data.ndim == 2:
+        return data
+    return data.reshape(data.shape[0], -1)
+
+
+def _clamped_tile(shape: Tuple[int, int], tile: Tuple[int, int]) -> Tuple[int, int]:
+    """Shrink a tile that exceeds the matrix so every parameter is tileable."""
+    return (max(1, min(int(tile[0]), shape[0])), max(1, min(int(tile[1]), shape[1])))
+
+
+def _tile_stats(
+    matrix: np.ndarray, tile: Tuple[int, int]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Tuple[int, int]]:
+    """Per-tile ``(score, size, nonzeros)`` over a clamped-edge tile grid.
+
+    The grid covers the whole matrix: edge tiles are clipped to whatever
+    rows/columns remain, so any shape can be block-pruned (the *kernel*
+    layout additionally requires exact divisibility — see
+    :class:`repro.nn.sparse.BlockSparseWeight` — which the compiler checks
+    separately).  The score is the mean ``|w|`` over the tile's real
+    elements, making differently-sized edge tiles comparable.
+    """
+    rows, cols = matrix.shape
+    th, tw = _clamped_tile(matrix.shape, tile)
+    n_row = -(-rows // th)
+    n_col = -(-cols // tw)
+    padded = np.zeros((n_row * th, n_col * tw), dtype=np.float64)
+    padded[:rows, :cols] = np.abs(matrix)
+    tiles = padded.reshape(n_row, th, n_col, tw)
+    mag_sum = tiles.sum(axis=(1, 3))
+    nonzeros = np.count_nonzero(tiles, axis=(1, 3))
+    counts = np.zeros((n_row * th, n_col * tw), dtype=np.int64)
+    counts[:rows, :cols] = 1
+    sizes = counts.reshape(n_row, th, n_col, tw).sum(axis=(1, 3))
+    scores = mag_sum / sizes
+    return scores, sizes, nonzeros, (th, tw)
+
+
+def _zero_tiles(param_data: np.ndarray, drop: np.ndarray, tile: Tuple[int, int]) -> None:
+    """Zero the elements of every tile flagged in the ``(R, C)`` drop mask."""
+    matrix = _as_matrix(param_data)
+    th, tw = tile
+    rows, cols = matrix.shape
+    drop_rows, drop_cols = np.nonzero(drop)
+    for r, c in zip(drop_rows, drop_cols):
+        matrix[r * th : min((r + 1) * th, rows), c * tw : min((c + 1) * tw, cols)] = 0.0
+
+
+def sparsity(module: Module, tile: Optional[Tuple[int, int]] = None) -> float:
+    """Fraction of zero-valued weights among prunable parameters.
+
+    With ``tile=(th, tw)`` the measure becomes *structured*: only zeros
+    living in entirely-zero tiles count, i.e. the fraction of weights a
+    block-sparse kernel with that tile could actually skip.  Element-wise
+    pruning therefore reports near-zero structured sparsity while block
+    pruning reports ``sparsity(m, tile=t) == sparsity(m)`` — the honest way
+    to compare the two in experiment tables.
+    """
     params = _prunable_parameters(module)
     total = sum(p.data.size for _, p in params)
     if total == 0:
         return 0.0
-    zeros = sum(int((p.data == 0).sum()) for _, p in params)
-    return zeros / total
+    if tile is None:
+        zeros = sum(int((p.data == 0).sum()) for _, p in params)
+        return zeros / total
+    structured_zeros = 0
+    for _, param in params:
+        _, sizes, nonzeros, _ = _tile_stats(_as_matrix(param.data), tile)
+        structured_zeros += int(sizes[nonzeros == 0].sum())
+    return structured_zeros / total
 
 
 def apply_global_magnitude_pruning(module: Module, ratio: float) -> PruningReport:
@@ -90,8 +183,108 @@ def apply_global_magnitude_pruning(module: Module, ratio: float) -> PruningRepor
     )
 
 
+#: Default tile for block pruning: square ``8x8`` tiles keep the batched
+#: micro-GEMM wide enough to amortise the gather.
+DEFAULT_TILE: Tuple[int, int] = (8, 8)
+
+#: Row-tile default for LSTM input/recurrent projections (``weight_ih`` /
+#: ``weight_hh``): each surviving tile is a contiguous 16-feature input run
+#: feeding one gate column — the shape the per-timestep matvec gathers as a
+#: straight memcpy.
+LSTM_TILE: Tuple[int, int] = (16, 1)
+
+
+def _tile_for(name: str, lstm_tile: Tuple[int, int], tile: Tuple[int, int]) -> Tuple[int, int]:
+    if name.endswith("weight_ih") or name.endswith("weight_hh"):
+        return lstm_tile
+    return tile
+
+
+def apply_block_magnitude_pruning(
+    module: Module,
+    ratio: float,
+    tile: Tuple[int, int] = DEFAULT_TILE,
+    lstm_tile: Tuple[int, int] = LSTM_TILE,
+) -> PruningReport:
+    """Zero the weakest-magnitude tiles globally until ``ratio`` is pruned.
+
+    The structured analogue of :func:`apply_global_magnitude_pruning`: one
+    global ranking over every parameter's tiles (scored by mean ``|w|``, so
+    clipped edge tiles compete fairly), dropping tiles from the weakest up
+    until the element budget ``ratio * total`` is met as closely as the
+    tile granularity allows.  Already-zero tiles score ``0`` and are dropped
+    first, mirroring how the element-wise threshold swallows existing
+    zeros.  LSTM ``weight_ih``/``weight_hh`` projections are tiled with
+    ``lstm_tile`` row tiles; everything else uses ``tile``; >2-D parameters
+    (conv filters) are tiled over ``(out_channels, flattened-rest)``.
+    """
+    if not 0.0 <= ratio < 1.0:
+        raise ValueError("Pruning ratio must be in [0, 1)")
+    params = _prunable_parameters(module)
+    if not params:
+        raise ValueError("Module has no prunable (>=2-D) parameters")
+    total = int(sum(p.data.size for _, p in params))
+
+    per_param = []
+    all_scores: List[np.ndarray] = []
+    all_sizes: List[np.ndarray] = []
+    for name, param in params:
+        scores, sizes, nonzeros, clamped = _tile_stats(
+            _as_matrix(param.data), _tile_for(name, lstm_tile, tile)
+        )
+        per_param.append((name, param, scores, sizes, nonzeros, clamped))
+        all_scores.append(scores.reshape(-1))
+        all_sizes.append(sizes.reshape(-1))
+
+    threshold = None
+    if ratio > 0.0:
+        flat_scores = np.concatenate(all_scores)
+        flat_sizes = np.concatenate(all_sizes)
+        order = np.argsort(flat_scores, kind="stable")
+        cumulative = np.cumsum(flat_sizes[order])
+        budget = int(np.floor(ratio * total))
+        n_drop = int(np.searchsorted(cumulative, budget, side="left"))
+        # Round to the nearest tile boundary rather than always under-pruning.
+        if n_drop < order.size:
+            under = budget - (cumulative[n_drop - 1] if n_drop else 0)
+            over = cumulative[n_drop] - budget
+            if over <= under and n_drop < order.size - 1:
+                n_drop += 1
+        n_drop = min(n_drop, order.size - 1)  # never drop every tile
+        if n_drop > 0:
+            threshold = float(flat_scores[order[n_drop - 1]])
+
+    pruned = 0
+    per_parameter: Dict[str, float] = {}
+    occupancy: Dict[str, BlockOccupancy] = {}
+    for name, param, scores, sizes, nonzeros, clamped in per_param:
+        if threshold is not None:
+            drop = scores <= threshold
+            _zero_tiles(param.data, drop, clamped)
+            pruned += int(sizes[drop].sum())
+        # Recompute survival from the post-prune zero pattern.
+        _, sizes_after, nonzeros_after, _ = _tile_stats(_as_matrix(param.data), clamped)
+        occupancy[name] = BlockOccupancy(
+            tile=clamped,
+            tiles_total=int(sizes_after.size),
+            tiles_kept=int(np.count_nonzero(nonzeros_after)),
+        )
+        per_parameter[name] = float((param.data == 0).mean())
+    return PruningReport(
+        requested_ratio=ratio,
+        achieved_sparsity=pruned / total,
+        total_weights=total,
+        pruned_weights=pruned,
+        per_parameter_sparsity=per_parameter,
+        block_occupancy=occupancy,
+    )
+
+
 def prune_classifier(
-    classifier: NeuralEEGClassifier, ratio: float
+    classifier: NeuralEEGClassifier,
+    ratio: float,
+    tile: Optional[Tuple[int, int]] = None,
+    lstm_tile: Tuple[int, int] = LSTM_TILE,
 ) -> Tuple[NeuralEEGClassifier, PruningReport]:
     """Return a pruned deep copy of a fitted neural classifier.
 
@@ -99,18 +292,27 @@ def prune_classifier(
     (Fig. 12) can compare multiple ratios starting from the same weights.
     The copy's next prediction compiles a fresh serving plan from the
     pruned weights (copies never inherit a plan), so sparsity-aware kernel
-    lowering sees the zeroed connections.
+    lowering sees the zeroed connections.  Passing ``tile`` switches to
+    block-structured pruning (:func:`apply_block_magnitude_pruning`).
     """
     if classifier.network is None:
         raise ValueError("Classifier must be fitted/built before pruning")
     pruned = copy.deepcopy(classifier)  # copies never inherit a compiled plan
     assert pruned.network is not None
-    report = apply_global_magnitude_pruning(pruned.network, ratio)
+    if tile is None:
+        report = apply_global_magnitude_pruning(pruned.network, ratio)
+    else:
+        report = apply_block_magnitude_pruning(
+            pruned.network, ratio, tile=tile, lstm_tile=lstm_tile
+        )
     return pruned, report
 
 
 def prune_classifier_inplace(
-    classifier: NeuralEEGClassifier, ratio: float
+    classifier: NeuralEEGClassifier,
+    ratio: float,
+    tile: Optional[Tuple[int, int]] = None,
+    lstm_tile: Tuple[int, int] = LSTM_TILE,
 ) -> PruningReport:
     """Prune a fitted classifier's live network, without the deep copy.
 
@@ -119,11 +321,16 @@ def prune_classifier_inplace(
     LSTM-512 is ~8 MiB of transient weights).  The cached inference plan is
     invalidated, so the next prediction recompiles against the pruned
     weights and picks up sparse kernels where the sparsity threshold is
-    crossed.
+    crossed.  Passing ``tile`` switches to block-structured pruning.
     """
     if classifier.network is None:
         raise ValueError("Classifier must be fitted/built before pruning")
-    report = apply_global_magnitude_pruning(classifier.network, ratio)
+    if tile is None:
+        report = apply_global_magnitude_pruning(classifier.network, ratio)
+    else:
+        report = apply_block_magnitude_pruning(
+            classifier.network, ratio, tile=tile, lstm_tile=lstm_tile
+        )
     classifier.invalidate_compiled()
     return report
 

@@ -4,8 +4,8 @@ from __future__ import annotations
 
 import gc
 import tracemalloc
-from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -44,6 +44,16 @@ class LatencyProfile:
     plan_scratch_bytes: Optional[int] = None
     #: Fraction of plan calls served from a pre-bound arena so far.
     specialized_hit_rate: Optional[float] = None
+    #: One entry per matmul operand in the serving plan —
+    #: ``"<op>[<in>x<out>]=<variant>"`` (variant ``dense``/``ell``/
+    #: ``block<th>x<tw>``), from the compiler's lowering report.  Empty for
+    #: autograd-served classifiers.
+    kernel_variants: List[str] = field(default_factory=list)
+    #: Autotune-cache hits among this plan's calibrated lowering decisions
+    #: (``None`` when the plan was never calibrated in this process).
+    autotune_hits: Optional[int] = None
+    #: Calibration timings the compile actually had to run (cache misses).
+    autotune_misses: Optional[int] = None
 
     @property
     def throughput_hz(self) -> float:
@@ -146,10 +156,27 @@ def profile_classifier(
         )
     scratch: Optional[int] = None
     hit_rate: Optional[float] = None
+    kernel_variants: List[str] = []
+    autotune_hits: Optional[int] = None
+    autotune_misses: Optional[int] = None
     if compiled is not None:
         stats = compiled.specialization_stats()
         scratch = int(stats["scratch_bytes"])
         hit_rate = float(stats["hit_rate"])
+        calibrated = False
+        for record in compiled.plan.lowering_report():
+            shape = record["shape"]
+            kernel_variants.append(
+                f"{record['op']}[{shape[0]}x{shape[1]}]={record['variant']}"
+            )
+            if record.get("cached") is not None:
+                if not calibrated:
+                    calibrated = True
+                    autotune_hits = autotune_misses = 0
+                if record["cached"]:
+                    autotune_hits += 1
+                else:
+                    autotune_misses += 1
     effective = _effective_parameters(classifier)
     estimate = device.estimate(effective, bits_per_weight=bits_per_weight)
     return LatencyProfile(
@@ -164,4 +191,7 @@ def profile_classifier(
         alloc_net_blocks=alloc_blocks,
         plan_scratch_bytes=scratch,
         specialized_hit_rate=hit_rate,
+        kernel_variants=kernel_variants,
+        autotune_hits=autotune_hits,
+        autotune_misses=autotune_misses,
     )

@@ -24,7 +24,10 @@ from repro.utils.timing import median_call_time_s
 
 
 def normalize_windows(
-    windows: np.ndarray, dtype: Optional[np.dtype] = None
+    windows: np.ndarray,
+    dtype: Optional[np.dtype] = None,
+    out: Optional[np.ndarray] = None,
+    scratch: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Standardise each window with a single mean/std over all channels.
 
@@ -41,19 +44,71 @@ def normalize_windows(
     the serving hot path — no silent upcast to a fresh float64 copy); integer
     input is promoted to float64.  Pass ``dtype`` to force the output dtype.
     Statistics are always accumulated in float64 for accuracy.
+
+    ``out``, when given, receives the standardised windows in place of a
+    fresh array.  On this path the statistics are computed by running the
+    exact ufunc sequence ``ndarray.mean``/``ndarray.std`` are built from
+    (``add.reduce`` + ``true_divide``, an in-place square, ``sqrt``) with
+    explicit destinations, so the result is bit-for-bit the ``out=None``
+    value while the only window-sized buffer — the float64 centred-square
+    temporary the two-pass ``std`` needs — can be supplied via ``scratch``
+    (shape of the input, float64).  With both provided, nothing larger than
+    the per-window statistics rows is allocated; this is what lets the
+    serving preprocessing arena
+    (:class:`repro.models.preprocess.PreprocessArena`) standardise into
+    plan-owned scratch without allocating.
     """
     arr = np.asarray(windows)
     if dtype is not None:
         arr = arr.astype(dtype, copy=False)
     if arr.ndim != 3:
         raise ValueError("windows must have shape (n_windows, n_channels, n_samples)")
-    mean = arr.mean(axis=(1, 2), keepdims=True, dtype=np.float64)
-    std = arr.std(axis=(1, 2), keepdims=True, dtype=np.float64)
+    if out is None:
+        mean = arr.mean(axis=(1, 2), keepdims=True, dtype=np.float64)
+        std = arr.std(axis=(1, 2), keepdims=True, dtype=np.float64)
+        std = np.where(std < 1e-12, 1.0, std)
+        if np.issubdtype(arr.dtype, np.floating) and arr.dtype != np.float64:
+            mean = mean.astype(arr.dtype)
+            std = std.astype(arr.dtype)
+        return (arr - mean) / std
+    result_dtype = (
+        arr.dtype if np.issubdtype(arr.dtype, np.floating) else np.dtype(np.float64)
+    )
+    if out.shape != arr.shape:
+        raise ValueError(f"out has shape {out.shape}, expected {arr.shape}")
+    if out.dtype != result_dtype:
+        raise ValueError(f"out has dtype {out.dtype}, expected {result_dtype}")
+    if scratch is None:
+        scratch = np.empty(arr.shape, dtype=np.float64)
+    elif scratch.shape != arr.shape or scratch.dtype != np.float64:
+        raise ValueError(
+            f"scratch must be {arr.shape} float64, got "
+            f"{scratch.shape} {scratch.dtype}"
+        )
+    # Broadcasting a (n, 1, 1) statistic against the full windows makes the
+    # ufunc machinery stage a window-sized internal buffer; applying the
+    # statistics one window at a time as scalars runs the identical
+    # elementwise arithmetic (same operand dtypes, value by value) without
+    # it.  Reductions stay whole-array — their grouping is what fixes the
+    # pairwise summation order.
+    count = np.intp(arr.shape[1] * arr.shape[2])
+    np.copyto(scratch, arr)
+    mean = np.add.reduce(scratch, axis=(1, 2), keepdims=True)
+    np.true_divide(mean, count, out=mean, casting="unsafe")
+    for i in range(arr.shape[0]):
+        np.subtract(scratch[i], mean[i, 0, 0], out=scratch[i])
+    np.multiply(scratch, scratch, out=scratch)
+    std = np.add.reduce(scratch, axis=(1, 2), keepdims=True)
+    np.true_divide(std, count, out=std, casting="unsafe")
+    np.sqrt(std, out=std)
     std = np.where(std < 1e-12, 1.0, std)
     if np.issubdtype(arr.dtype, np.floating) and arr.dtype != np.float64:
         mean = mean.astype(arr.dtype)
         std = std.astype(arr.dtype)
-    return (arr - mean) / std
+    for i in range(arr.shape[0]):
+        np.subtract(arr[i], mean[i, 0, 0], out=out[i])
+        np.true_divide(out[i], std[i, 0, 0], out=out[i])
+    return out
 
 
 @dataclass
@@ -196,12 +251,17 @@ class NeuralEEGClassifier(EEGClassifier):
     def build_network(self, n_channels: int, window_size: int) -> Module:
         raise NotImplementedError
 
-    def prepare_array(self, windows: np.ndarray) -> np.ndarray:
+    def prepare_array(
+        self, windows: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Convert normalized windows into the network's input layout.
 
         Must be a pure NumPy transformation that preserves floating dtypes:
         it runs on the float32 serving hot path as well as the float64
-        training path.
+        training path.  ``out``, when given, receives the prepared layout in
+        place of a fresh array (see
+        :func:`repro.models.preprocess.prepare_windows`); subclasses that
+        delegate there inherit the zero-allocation path for free.
         """
         raise NotImplementedError
 

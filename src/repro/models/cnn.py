@@ -129,8 +129,10 @@ class EEGCNN(NeuralEEGClassifier):
         pool = cfg.envelope_pool if cfg.input_representation == "envelope" else 1
         return {"pool": pool, "layout": "image"}
 
-    def prepare_array(self, windows: np.ndarray) -> np.ndarray:
-        return prepare_windows(windows, **self.prepare_spec())
+    def prepare_array(
+        self, windows: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        return prepare_windows(windows, out=out, **self.prepare_spec())
 
     def describe(self) -> dict:
         info = super().describe()

@@ -18,12 +18,19 @@ from __future__ import annotations
 
 import io
 import json
-from typing import Dict, Optional
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.models.base import NeuralEEGClassifier, normalize_windows
-from repro.models.preprocess import prepare_windows, validate_prepare_spec
+from repro.models.preprocess import (
+    PreprocessArena,
+    prepare_windows,
+    prepared_window_shape,
+    validate_prepare_spec,
+)
+from repro.nn import autotune
 from repro.nn.inference import (
     InferencePlan,
     PlanTransportError,
@@ -51,8 +58,10 @@ class TransportedPreprocessor:
     def prepare_spec(self) -> Dict[str, object]:
         return dict(self._spec)
 
-    def prepare_array(self, windows: np.ndarray) -> np.ndarray:
-        return prepare_windows(windows, **self._spec)
+    def prepare_array(
+        self, windows: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        return prepare_windows(windows, out=out, **self._spec)
 
 
 class CompiledClassifier:
@@ -64,6 +73,11 @@ class CompiledClassifier:
     float64 resolution.
     """
 
+    #: Cap on concurrently held preprocessing arenas — mirrors
+    #: :attr:`repro.nn.inference.InferencePlan.MAX_ARENAS` so the
+    #: preprocessing scratch tracks the plan's own LRU policy.
+    MAX_PREPROCESS_ARENAS = InferencePlan.MAX_ARENAS
+
     def __init__(
         self,
         classifier: NeuralEEGClassifier,
@@ -71,6 +85,18 @@ class CompiledClassifier:
     ) -> None:
         self.classifier = classifier
         self.plan = plan
+        spec_hook = getattr(classifier, "prepare_spec", None)
+        spec = spec_hook() if spec_hook is not None else None
+        #: The transportable prepare spec, when the classifier has one.
+        #: Doubles as the gate for the preprocessing arena: without a spec
+        #: the raw→prepared geometry cannot be predicted, so preprocessing
+        #: stays on the allocating path.
+        self._prepare_spec = (
+            validate_prepare_spec(spec) if spec is not None else None
+        )
+        self._preprocess_arenas: "OrderedDict[Tuple[int, ...], PreprocessArena]" = (
+            OrderedDict()
+        )
 
     @property
     def dtype(self) -> np.dtype:
@@ -81,9 +107,38 @@ class CompiledClassifier:
         arr = np.asarray(windows, dtype=self.dtype)
         if arr.ndim == 2:
             arr = arr[None, ...]
+        arena = self._preprocess_arena_for(arr.shape)
+        if arena is not None:
+            return self.plan(arena.prepare(arr))
         normalized = normalize_windows(arr)
         prepared = self.classifier.prepare_array(normalized)
         return self.plan(prepared)
+
+    def _preprocess_arena_for(
+        self, raw_shape: Tuple[int, ...]
+    ) -> Optional[PreprocessArena]:
+        """Preprocessing arena for a raw geometry, mirroring the plan.
+
+        Built lazily the first time the plan already holds an execution
+        arena for the matching *prepared* shape — i.e. preprocessing goes
+        zero-allocation exactly when plan execution has (pin or streak
+        policy, decided by the plan itself).
+        """
+        spec = self._prepare_spec
+        if spec is None:
+            return None
+        arena = self._preprocess_arenas.get(raw_shape)
+        if arena is not None:
+            self._preprocess_arenas.move_to_end(raw_shape)
+            return arena
+        prepared_shape = prepared_window_shape(raw_shape, **spec)
+        if not self.plan.has_arena(prepared_shape):
+            return None
+        arena = PreprocessArena(raw_shape, dtype=self.dtype, **spec)
+        self._preprocess_arenas[raw_shape] = arena
+        while len(self._preprocess_arenas) > self.MAX_PREPROCESS_ARENAS:
+            self._preprocess_arenas.popitem(last=False)
+        return arena
 
     @property
     def nbytes(self) -> int:
@@ -105,13 +160,25 @@ class CompiledClassifier:
 
     def despecialize(self, batch_size: Optional[int] = None) -> None:
         self.plan.despecialize(batch_size)
+        if batch_size is None:
+            self._preprocess_arenas.clear()
+        else:
+            for shape in [
+                s for s in self._preprocess_arenas if s[0] == batch_size
+            ]:
+                del self._preprocess_arenas[shape]
 
     def enable_auto_specialization(self, streak: int = 2) -> None:
         """Auto-bind arenas for dominant batch sizes (the serving default)."""
         self.plan.enable_auto_specialization(streak)
 
     def specialization_stats(self) -> Dict[str, float]:
-        return self.plan.specialization_stats()
+        stats = self.plan.specialization_stats()
+        stats["preprocess_arenas"] = float(len(self._preprocess_arenas))
+        stats["preprocess_scratch_bytes"] = float(
+            sum(a.scratch_nbytes for a in self._preprocess_arenas.values())
+        )
+        return stats
 
     def describe(self) -> Dict[str, object]:
         return {
@@ -155,10 +222,37 @@ class CompiledClassifier:
             "family": self.classifier.family,
             "prepare": validate_prepare_spec(spec),
         }
+        autotune_meta = self._autotune_payload()
+        if autotune_meta is not None:
+            meta["autotune"] = autotune_meta
         arrays[InferencePlan.META_KEY] = np.asarray(json.dumps(meta))
         buffer = io.BytesIO()
         np.savez(buffer, **arrays)
         return buffer.getvalue()
+
+    def _autotune_payload(self) -> Optional[Dict[str, object]]:
+        """Calibration entries this plan's compile produced or consumed.
+
+        Embedded in the payload so a worker process on the same host seeds
+        its in-process autotune cache from the parent instead of re-running
+        (or worse, racing) the calibration timings.  Entries are keyed by
+        host fingerprint, so a payload replayed on different hardware simply
+        never matches and the worker calibrates honestly.
+        """
+        keys = [
+            str(record["key"])
+            for record in self.plan.lowering_records
+            if record.get("key")
+        ]
+        if not keys:
+            return None
+        entries = autotune.default_cache().export_entries(keys)
+        if not entries:
+            return None
+        return {
+            "fingerprint": autotune.host_fingerprint(),
+            "entries": entries,
+        }
 
     @classmethod
     def from_payload(cls, data: bytes) -> "CompiledClassifier":
@@ -172,6 +266,13 @@ class CompiledClassifier:
                 "payload has no classifier metadata; was it written by "
                 "InferencePlan.to_payload instead of CompiledClassifier?"
             )
+        autotune_meta = meta.get("autotune")
+        if autotune_meta:
+            # Adopt the parent's calibration results: entries are keyed by
+            # host fingerprint, so cross-host payloads merge harmlessly
+            # (their keys never match a lookup here) and same-host workers
+            # skip every calibration timing.  Local entries win on conflict.
+            autotune.default_cache().seed(dict(autotune_meta.get("entries", {})))
         plan = InferencePlan.from_payload(payload)
         shim = TransportedPreprocessor(
             classifier_meta["family"], classifier_meta["prepare"]

@@ -90,8 +90,10 @@ class EEGLSTM(NeuralEEGClassifier):
         # (batch, channels, time) then becomes (batch, time, channels).
         return {"pool": self.config.temporal_pool, "layout": "time-major"}
 
-    def prepare_array(self, windows: np.ndarray) -> np.ndarray:
-        return prepare_windows(windows, **self.prepare_spec())
+    def prepare_array(
+        self, windows: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        return prepare_windows(windows, out=out, **self.prepare_spec())
 
     def describe(self) -> dict:
         info = super().describe()

@@ -15,11 +15,18 @@ implementation of that transformation, used from two places:
 
 Keeping one implementation guarantees the in-process and cross-process
 serving paths can never drift numerically.
+
+For the steady-state serving hot path the transformation also runs with
+**zero window-sized allocations**: :func:`prepare_windows` accepts an
+``out=`` target (the same ufuncs with explicit destinations — bit-for-bit
+the allocating result), and :class:`PreprocessArena` owns every buffer the
+raw-window→plan-input chain needs so a specialised flush standardises,
+pools and re-lays-out windows entirely inside plan-owned scratch.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -32,8 +39,40 @@ import numpy as np
 LAYOUTS = ("image", "time-major")
 
 
+def prepared_window_shape(
+    raw_shape: Tuple[int, ...], pool: int = 1, layout: str = "time-major"
+) -> Tuple[int, ...]:
+    """Output shape of :func:`prepare_windows` for a raw ``(n, c, s)`` shape.
+
+    Pure geometry — what lets the compiled classifier ask its plan whether
+    an arena is bound for the *prepared* shape before any window arrives.
+    """
+    if pool < 1:
+        raise ValueError("pool must be at least 1")
+    if len(raw_shape) != 3:
+        raise ValueError("windows must have shape (batch, channels, samples)")
+    n, channels, samples = (int(d) for d in raw_shape)
+    steps = samples // pool if pool > 1 else samples
+    if layout == "image":
+        return (n, 1, channels, steps)
+    if layout == "time-major":
+        return (n, steps, channels)
+    raise ValueError(f"unknown layout {layout!r}; expected one of {LAYOUTS}")
+
+
+def _pool_view(out: np.ndarray, layout: str) -> np.ndarray:
+    """The ``(n, channels, steps)`` view of a layout-shaped output buffer."""
+    if layout == "image":
+        return out[:, 0, :, :]
+    return out.transpose(0, 2, 1)
+
+
 def prepare_windows(
-    windows: np.ndarray, pool: int = 1, layout: str = "time-major"
+    windows: np.ndarray,
+    pool: int = 1,
+    layout: str = "time-major",
+    out: Optional[np.ndarray] = None,
+    scratch: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Pool raw windows into band-power envelopes and apply a layout.
 
@@ -42,12 +81,59 @@ def prepare_windows(
     the motor-imagery signature); trailing samples that do not fill a block
     are dropped.  Dtype-preserving: float32 stays float32 on the serving hot
     path, integer input is promoted to float64 (matching training).
+
+    ``out``, when given, receives the layout-shaped result in place of a
+    fresh array; it must have :func:`prepared_window_shape` geometry and the
+    input's floating dtype (integer input is rejected on this path — the
+    promotion it needs is itself an allocation).  ``scratch`` optionally
+    provides the ``(n, channels, steps, pool)`` square buffer the RMS
+    pooling needs; without it one is allocated per call.  The ``out=`` path
+    runs the same ufuncs in the same order as the allocating path, so the
+    values are bit-for-bit identical.
     """
     if pool < 1:
         raise ValueError("pool must be at least 1")
     arr = np.asarray(windows)
     if arr.ndim != 3:
         raise ValueError("windows must have shape (batch, channels, samples)")
+    if out is not None:
+        if not np.issubdtype(arr.dtype, np.floating):
+            raise ValueError("prepare_windows(out=...) requires floating input")
+        expected = prepared_window_shape(arr.shape, pool=pool, layout=layout)
+        if out.shape != expected:
+            raise ValueError(f"out has shape {out.shape}, expected {expected}")
+        if out.dtype != arr.dtype:
+            raise ValueError(f"out has dtype {out.dtype}, expected {arr.dtype}")
+        pooled = _pool_view(out, layout)
+        if pool > 1:
+            n_steps = arr.shape[2] // pool
+            blocks = arr[:, :, : n_steps * pool].reshape(
+                arr.shape[0], arr.shape[1], n_steps, pool
+            )
+            if scratch is None:
+                scratch = np.empty(blocks.shape, dtype=arr.dtype)
+            elif scratch.shape != blocks.shape or scratch.dtype != arr.dtype:
+                raise ValueError(
+                    f"scratch must be {blocks.shape} {arr.dtype}, got "
+                    f"{scratch.shape} {scratch.dtype}"
+                )
+            # sqrt(mean(blocks**2, axis=3)): np.mean is add.reduce followed
+            # by a true divide with an intp count, so running those ufuncs
+            # with explicit destinations reproduces it bit-for-bit.  The
+            # divide runs per window: the intp divisor promotes through
+            # float64 and a whole-array call would stage a window-sized
+            # cast buffer (elementwise, so chunking cannot change values).
+            np.multiply(blocks, blocks, out=scratch)
+            np.add.reduce(scratch, axis=3, out=pooled)
+            divisor = np.intp(pool)
+            for i in range(pooled.shape[0]):
+                np.true_divide(
+                    pooled[i], divisor, out=pooled[i], casting="unsafe"
+                )
+            np.sqrt(pooled, out=pooled)
+        else:
+            np.copyto(pooled, arr)
+        return out
     if not np.issubdtype(arr.dtype, np.floating):
         arr = arr.astype(np.float64)
     if pool > 1:
@@ -60,6 +146,113 @@ def prepare_windows(
     if layout == "time-major":
         return arr.transpose(0, 2, 1)
     raise ValueError(f"unknown layout {layout!r}; expected one of {LAYOUTS}")
+
+
+class PreprocessArena:
+    """Plan-owned scratch for the raw-window→plan-input transform.
+
+    The compiled classifier builds one per raw input geometry once its plan
+    has bound an execution arena for the matching *prepared* shape (see
+    :meth:`repro.nn.inference.InferencePlan.has_arena`), mirroring the
+    plan's own specialisation policy without duplicating it.  ``prepare``
+    then standardises (:func:`repro.models.base.normalize_windows`), pools
+    and re-lays-out a raw batch entirely inside arena-owned buffers —
+    bit-for-bit the generic result, zero window-sized allocations — and
+    returns a view the plan arena copies from.
+
+    The returned array is **arena-owned** and overwritten by the next
+    ``prepare`` call, exactly like a plan arena's output buffer.
+    """
+
+    def __init__(
+        self,
+        raw_shape: Tuple[int, ...],
+        dtype: np.dtype = np.float32,
+        pool: int = 1,
+        layout: str = "time-major",
+    ) -> None:
+        self.raw_shape = tuple(int(d) for d in raw_shape)
+        self.dtype = np.dtype(dtype)
+        if not np.issubdtype(self.dtype, np.floating):
+            raise ValueError("PreprocessArena requires a floating dtype")
+        self.pool = int(pool)
+        self.layout = str(layout)
+        self.prepared_shape = prepared_window_shape(
+            self.raw_shape, pool=self.pool, layout=self.layout
+        )
+        # Float64 centred-square temporary for the two-pass standardisation
+        # statistics (see ``normalize_windows(scratch=...)``).
+        self._stats64 = np.empty(self.raw_shape, dtype=np.float64)
+        n, channels, samples = self.raw_shape
+        steps = samples // self.pool if self.pool > 1 else samples
+        # Every ufunc writes into this C-contiguous (n, channels, steps)
+        # base; ``prepared`` is a constant-time *view* of it in the
+        # network's layout (un-doing that view inside prepare_windows
+        # recovers the contiguous base, so nothing on the chain ever
+        # targets a strided destination).
+        base = np.empty((n, channels, steps), dtype=self.dtype)
+        if self.layout == "image":
+            self.prepared = base[:, None, :, :]
+        else:
+            self.prepared = base.transpose(0, 2, 1)
+        if self.pool > 1:
+            # Standardise into a full-resolution buffer, square it in place
+            # (its block view doubles as the RMS square scratch — the
+            # values are consumed by the reduction into ``base``), reduce
+            # into the base.
+            self._normalized = np.empty(self.raw_shape, dtype=self.dtype)
+            self._scratch = self._normalized[
+                :, :, : steps * self.pool
+            ].reshape(n, channels, steps, self.pool)
+        else:
+            # No pooling: standardise straight into the base buffer.
+            self._normalized = base
+            self._scratch = None
+        self.calls = 0
+
+    @property
+    def scratch_nbytes(self) -> int:
+        """Arena-held bytes (what steady-state calls no longer allocate).
+
+        ``_scratch`` is an aliased view of ``_normalized`` and contributes
+        no storage of its own.
+        """
+        total = self.prepared.nbytes + self._stats64.nbytes
+        if self._scratch is not None:
+            total += self._normalized.nbytes
+        return total
+
+    def prepare(self, raw: np.ndarray) -> np.ndarray:
+        """Raw ``(n, channels, samples)`` batch → plan-ready prepared view."""
+        from repro.models.base import normalize_windows
+
+        if raw.shape != self.raw_shape:
+            raise ValueError(
+                f"raw batch has shape {raw.shape}, arena is bound to "
+                f"{self.raw_shape}"
+            )
+        if raw.dtype != self.dtype:
+            raise ValueError(
+                f"raw batch has dtype {raw.dtype}, arena is bound to "
+                f"{self.dtype}"
+            )
+        normalize_windows(raw, out=self._normalized, scratch=self._stats64)
+        if self.pool > 1:
+            prepare_windows(
+                self._normalized,
+                pool=self.pool,
+                layout=self.layout,
+                out=self.prepared,
+                scratch=self._scratch,
+            )
+        self.calls += 1
+        return self.prepared
+
+    def __repr__(self) -> str:
+        return (
+            f"PreprocessArena(raw={self.raw_shape}, pool={self.pool}, "
+            f"layout={self.layout!r}, dtype={self.dtype})"
+        )
 
 
 def validate_prepare_spec(spec: Dict[str, object]) -> Dict[str, object]:

@@ -32,7 +32,7 @@ from repro.nn.inference import (
     SparsityConfig,
     compile_network,
 )
-from repro.nn.sparse import ColumnSparseWeight
+from repro.nn.sparse import BlockSparseWeight, ColumnSparseWeight
 from repro.nn.module import Module, Parameter, Sequential
 from repro.nn.layers import (
     AvgPool2d,
@@ -63,6 +63,7 @@ __all__ = [
     "SparsityConfig",
     "DENSE_ONLY",
     "SPARSE_ALWAYS",
+    "BlockSparseWeight",
     "ColumnSparseWeight",
     "compile_network",
     "Module",

@@ -1,0 +1,410 @@
+"""Persistent per-host autotuning of matmul lowering decisions.
+
+PR 5's compile-time calibrator answered "is the ELL kernel faster than BLAS
+for *this* matrix on *this* host?" by timing both products — and then threw
+the answer away: every compile re-measured, and every spawned shard/stream
+worker paid the same timings again on the same machine.  This module turns
+that one-off measurement into a subsystem:
+
+``choose_matmul_variant``
+    times the dense product against every candidate sparse operand (ELL
+    column compression, block tiles) and picks the fastest, honouring the
+    caller's safety margin;
+:class:`AutotuneCache`
+    remembers the winner keyed by
+    ``(op, shape, dtype, sparsity-bucket, tile, host-fingerprint)`` — an
+    in-process memo backed by a versioned JSON file (default
+    ``~/.cache/repro/autotune.json``, override or disable with the
+    ``REPRO_AUTOTUNE_CACHE`` env var) written atomically so concurrent
+    writers can never tear it;
+``host_fingerprint``
+    ties entries to the machine that measured them (CPU model, core count,
+    numpy build), so a cache file that travels to different hardware is
+    ignored rather than trusted.
+
+The sparsity *bucket* (zero fraction rounded to 5 %) keeps the key stable
+across weights that share a shape and pruning level without memoising per
+exact zero pattern.  Compiled-classifier payloads embed the records behind
+a plan's lowering decisions, so worker processes seed their in-process
+cache from the parent and never re-benchmark (see
+``repro.models.compiled``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.nn.sparse import BlockSparseWeight, ColumnSparseWeight
+from repro.utils.timing import median_call_time_s
+
+#: Cache-file schema version; files written by a different version are
+#: ignored on load (and rewritten at the current version on the next save).
+CACHE_VERSION = 1
+
+#: Environment variable overriding the cache file location.  Set to a path
+#: to relocate it, or to ``""``/``"off"``/``"0"``/``"none"`` to disable
+#: persistence entirely (the in-process memo still works).
+CACHE_ENV_VAR = "REPRO_AUTOTUNE_CACHE"
+
+_DEFAULT_CACHE_PATH = os.path.join("~", ".cache", "repro", "autotune.json")
+
+#: Candidate operand types a decision can choose between.
+SparseOperand = Union[ColumnSparseWeight, BlockSparseWeight]
+
+
+def _cpu_model() -> str:
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or ""
+
+
+_fingerprint_lock = threading.Lock()
+_fingerprint: Optional[str] = None
+
+
+def host_fingerprint() -> str:
+    """A short stable id for "timings measured here are valid here".
+
+    Hashes the CPU model, logical core count, machine/system, and the numpy
+    version (a different BLAS build changes every dense baseline).  Kernel
+    upgrades and hostname changes deliberately do *not* invalidate it.
+    """
+    global _fingerprint
+    with _fingerprint_lock:
+        if _fingerprint is None:
+            raw = json.dumps(
+                {
+                    "machine": platform.machine(),
+                    "system": platform.system(),
+                    "cpu": _cpu_model(),
+                    "cpus": os.cpu_count() or 1,
+                    "numpy": np.__version__,
+                },
+                sort_keys=True,
+            )
+            _fingerprint = hashlib.sha256(raw.encode("utf-8")).hexdigest()[:12]
+        return _fingerprint
+
+
+def sparsity_bucket(zero_fraction: float, width: float = 0.05) -> str:
+    """Round a zero fraction to the nearest ``width`` for cache keying."""
+    bucket = round(float(zero_fraction) / width) * width
+    return f"{min(1.0, max(0.0, bucket)):.2f}"
+
+
+def matmul_cache_key(
+    op: str,
+    shape: Tuple[int, int],
+    dtype: np.dtype,
+    zero_fraction: float,
+    tile: Optional[Tuple[int, int]] = None,
+    fingerprint: Optional[str] = None,
+) -> str:
+    """The full cache key for one matmul lowering decision."""
+    tile_tag = f"{tile[0]}x{tile[1]}" if tile is not None else "-"
+    return "|".join(
+        [
+            op,
+            f"{shape[0]}x{shape[1]}",
+            np.dtype(dtype).name,
+            f"s{sparsity_bucket(zero_fraction)}",
+            f"t{tile_tag}",
+            fingerprint or host_fingerprint(),
+        ]
+    )
+
+
+def resolve_cache_path() -> Optional[str]:
+    """The cache-file path from the environment; ``None`` disables the file."""
+    raw = os.environ.get(CACHE_ENV_VAR)
+    if raw is None:
+        return os.path.expanduser(_DEFAULT_CACHE_PATH)
+    raw = raw.strip()
+    if raw.lower() in ("", "off", "0", "none"):
+        return None
+    return os.path.expanduser(raw)
+
+
+class AutotuneCache:
+    """In-process memo over a versioned, atomically-written JSON file.
+
+    Reads are lazy (the file is parsed once per process, then served from
+    memory); writes merge with whatever is currently on disk before an
+    atomic ``os.replace``, so concurrent writers interleave instead of
+    clobbering and a reader can never observe a torn file.  A corrupt or
+    wrong-version file degrades to an empty cache — the next save rewrites
+    it whole.  An unwritable location (read-only home, sandbox) degrades to
+    memory-only operation and counts ``persist_errors`` instead of raising:
+    a cache must never turn a compile into a crash.
+    """
+
+    def __init__(
+        self, path: Optional[str] = None, fingerprint: Optional[str] = None
+    ) -> None:
+        self.path = path
+        self.fingerprint = fingerprint or host_fingerprint()
+        self._entries: Dict[str, dict] = {}
+        self._loaded = False
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.persist_errors = 0
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _read_file(path: str) -> Dict[str, dict]:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return {}
+        if not isinstance(payload, dict) or payload.get("version") != CACHE_VERSION:
+            return {}
+        entries = payload.get("entries")
+        if not isinstance(entries, dict):
+            return {}
+        return {
+            key: value for key, value in entries.items() if isinstance(value, dict)
+        }
+
+    def _ensure_loaded_locked(self) -> None:
+        if self._loaded:
+            return
+        if self.path is not None:
+            disk = self._read_file(self.path)
+            disk.update(self._entries)  # seeded/in-memory entries win
+            self._entries = disk
+        self._loaded = True
+
+    def _save_locked(self) -> None:
+        if self.path is None:
+            return
+        try:
+            directory = os.path.dirname(self.path) or "."
+            os.makedirs(directory, exist_ok=True)
+            # Merge-on-write: another process may have added entries since
+            # we loaded; union them so independent compiles accumulate.
+            merged = self._read_file(self.path)
+            merged.update(self._entries)
+            self._entries = merged
+            payload = {"version": CACHE_VERSION, "entries": merged}
+            fd, tmp_path = tempfile.mkstemp(
+                prefix=".autotune-", suffix=".tmp", dir=directory
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh, sort_keys=True)
+                os.replace(tmp_path, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            self.persist_errors += 1
+
+    # ------------------------------------------------------------------ #
+    # lookup / update
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[dict]:
+        """The stored decision for ``key``, or ``None``.  Does not count."""
+        with self._lock:
+            self._ensure_loaded_locked()
+            return self._entries.get(key)
+
+    def put(self, key: str, value: dict) -> None:
+        """Store a decision and persist the whole cache atomically."""
+        with self._lock:
+            self._ensure_loaded_locked()
+            self._entries[key] = dict(value)
+            self._save_locked()
+
+    def seed(self, entries: Dict[str, dict]) -> int:
+        """Merge transported entries into memory (no file write).
+
+        Worker processes call this with the records embedded in a plan
+        payload, so their first compile of the same network is a pure cache
+        hit.  Existing local entries win over seeded ones (local timings
+        were measured in *this* process).  Returns the number of entries
+        actually added.
+        """
+        added = 0
+        with self._lock:
+            self._ensure_loaded_locked()
+            for key, value in entries.items():
+                if isinstance(value, dict) and key not in self._entries:
+                    self._entries[key] = dict(value)
+                    added += 1
+        return added
+
+    def export_entries(self, keys) -> Dict[str, dict]:
+        """The subset of entries under ``keys`` (for payload embedding)."""
+        with self._lock:
+            self._ensure_loaded_locked()
+            return {
+                key: dict(self._entries[key]) for key in keys if key in self._entries
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            self._ensure_loaded_locked()
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "path": self.path,
+                "entries": len(self._entries) if self._loaded else None,
+                "hits": self.hits,
+                "misses": self.misses,
+                "persist_errors": self.persist_errors,
+            }
+
+
+_default_lock = threading.Lock()
+_default_cache: Optional[AutotuneCache] = None
+
+
+def default_cache() -> AutotuneCache:
+    """The process-wide cache (location resolved from the environment once)."""
+    global _default_cache
+    with _default_lock:
+        if _default_cache is None:
+            _default_cache = AutotuneCache(path=resolve_cache_path())
+        return _default_cache
+
+
+def set_default_cache(cache: Optional[AutotuneCache]) -> Optional[AutotuneCache]:
+    """Swap the process-wide cache (tests; returns the previous one)."""
+    global _default_cache
+    with _default_lock:
+        previous, _default_cache = _default_cache, cache
+        return previous
+
+
+# ---------------------------------------------------------------------- #
+# measurement
+# ---------------------------------------------------------------------- #
+@dataclass
+class VariantDecision:
+    """Outcome of one lowering decision, cached or freshly measured."""
+
+    #: Winning variant name: ``"dense"``, ``"ell"``, or ``"block<th>x<tw>"``.
+    variant: str
+    #: Whether the decision came from the cache (no timings this compile).
+    cached: bool
+    #: Median seconds per call for each measured variant (empty on a hit
+    #: whose entry predates timing capture).
+    timings: Dict[str, float] = field(default_factory=dict)
+    #: The cache key the decision lives under (``None`` when uncacheable).
+    key: Optional[str] = None
+    #: Rows the calibration input used.
+    rows: int = 0
+
+
+def variant_name(operand: SparseOperand) -> str:
+    if isinstance(operand, BlockSparseWeight):
+        return f"block{operand.tile[0]}x{operand.tile[1]}"
+    return "ell"
+
+
+def _timed_product(
+    dense: np.ndarray, operand: Optional[SparseOperand], rows: int, repeats: int
+) -> float:
+    """Median seconds for one ``(rows, in) @ (in, out)`` product."""
+    x = np.full((rows, dense.shape[0]), 0.5, dtype=dense.dtype)
+    out = np.empty((rows, dense.shape[1]), dtype=dense.dtype)
+    if operand is None:
+
+        def product() -> None:
+            np.matmul(x, dense, out=out)
+
+    elif isinstance(operand, BlockSparseWeight):
+        panels, prod = operand.matmul_scratch(rows, dense.dtype)
+
+        def product() -> None:
+            operand.matmul(x, out=out, panels=panels, prod=prod)
+
+    else:
+        gather = operand.gather_scratch(rows, dense.dtype)
+
+        def product() -> None:
+            operand.matmul(x, out=out, gather=gather)
+
+    product()  # warm before timing
+    return median_call_time_s(product, repeats)
+
+
+def choose_matmul_variant(
+    op: str,
+    dense: np.ndarray,
+    candidates: Dict[str, SparseOperand],
+    rows: int,
+    repeats: int = 5,
+    margin: float = 0.9,
+    cache: Optional[AutotuneCache] = None,
+) -> VariantDecision:
+    """Pick the fastest lowering for one matmul, consulting the cache first.
+
+    ``dense`` is the already-cast weight matrix; ``candidates`` maps variant
+    names (:func:`variant_name`) to constructed sparse operands.  A sparse
+    variant only wins when it beats dense by the ``margin`` factor
+    (``sparse < margin * dense``) — borderline matrices stay on the
+    battle-tested BLAS path.  Fresh measurements are stored back so the next
+    compile of the same ``(op, shape, dtype, sparsity-bucket, tile)`` on
+    this host performs zero timings.
+    """
+    cache = cache if cache is not None else default_cache()
+    if not candidates:
+        return VariantDecision(variant="dense", cached=False, rows=rows)
+    zero_fraction = 1.0 - np.count_nonzero(dense) / max(1, dense.size)
+    tile = next(
+        (
+            operand.tile
+            for operand in candidates.values()
+            if isinstance(operand, BlockSparseWeight)
+        ),
+        None,
+    )
+    key = matmul_cache_key(
+        op, dense.shape, dense.dtype, zero_fraction, tile, cache.fingerprint
+    )
+    entry = cache.get(key)
+    if entry is not None:
+        variant = entry.get("variant")
+        if variant == "dense" or variant in candidates:
+            cache.hits += 1
+            return VariantDecision(
+                variant=str(variant),
+                cached=True,
+                timings=dict(entry.get("timings", {})),
+                key=key,
+                rows=int(entry.get("rows", rows)),
+            )
+    cache.misses += 1
+    timings = {"dense": _timed_product(dense, None, rows, repeats)}
+    for name, operand in candidates.items():
+        timings[name] = _timed_product(dense, operand, rows, repeats)
+    best = min(candidates, key=lambda name: timings[name])
+    variant = best if timings[best] < margin * timings["dense"] else "dense"
+    cache.put(key, {"variant": variant, "timings": timings, "rows": rows})
+    return VariantDecision(
+        variant=variant, cached=False, timings=timings, key=key, rows=rows
+    )

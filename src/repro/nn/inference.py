@@ -55,7 +55,9 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 
 import numpy as np
 
-from repro.nn.sparse import ColumnSparseWeight
+from repro.nn import autotune
+from repro.nn.autotune import AutotuneCache
+from repro.nn.sparse import BlockSparseWeight, ColumnSparseWeight
 
 from repro.nn.attention import (
     MultiHeadAttention,
@@ -271,19 +273,64 @@ class DenseKernel(Kernel):
         return f"dense[{shape}]{act}"
 
 
+#: Sparse matmul operand types the kernels below execute interchangeably.
+SparseOperand = Union[ColumnSparseWeight, BlockSparseWeight]
+_SPARSE_OPERANDS = (ColumnSparseWeight, BlockSparseWeight)
+
+
+def _sparse_scratch(
+    weight: SparseOperand, n: int, dtype: np.dtype
+) -> Tuple[np.ndarray, ...]:
+    """The per-call scratch buffers a sparse operand's matmul needs."""
+    if isinstance(weight, BlockSparseWeight):
+        panels, prod = weight.matmul_scratch(n, dtype)
+        return (panels,) if prod is None else (panels, prod)
+    return (weight.gather_scratch(n, dtype),)
+
+
+def _sparse_scratch_nbytes(scratch: Optional[Tuple[np.ndarray, ...]]) -> int:
+    return sum(buffer.nbytes for buffer in scratch) if scratch else 0
+
+
+def _matmul_into(
+    weight: LSTMWeight,
+    x: np.ndarray,
+    out: np.ndarray,
+    scratch: Optional[Tuple[np.ndarray, ...]],
+) -> None:
+    """``out[:] = x @ weight`` with pre-bound scratch, any operand type.
+
+    The dense branch runs the exact matmul/scale ops the kernels ran before
+    sparse operands existed, so dense plans stay bit-for-bit unchanged.
+    """
+    if isinstance(weight, ColumnSparseWeight):
+        weight.matmul(x, out=out, gather=scratch[0])
+    elif isinstance(weight, BlockSparseWeight):
+        weight.matmul(
+            x, out=out, panels=scratch[0], prod=scratch[1] if len(scratch) > 1 else None
+        )
+    else:
+        np.matmul(x, weight.compute, out=out)
+        if weight.scale is not None:
+            np.multiply(out, weight.scale, out=out)
+
+
 class SparseDenseKernel(Kernel):
-    """Fused ``y = act(x @ W + b)`` over a column-compressed pruned weight.
+    """Fused ``y = act(x @ W + b)`` over a compressed pruned weight.
 
     Emitted by the compiler instead of :class:`DenseKernel` when the layer's
-    weight crosed the :class:`SparsityConfig` threshold: only the surviving
-    entries are gathered, scaled and reduced (see
-    :class:`~repro.nn.sparse.ColumnSparseWeight`), so a 90 %-pruned layer
-    touches ~10 % of the dense working set.
+    weight crossed the :class:`SparsityConfig` threshold (and, in ``auto``
+    mode, won its calibration).  The operand is either a
+    :class:`~repro.nn.sparse.ColumnSparseWeight` (element-level ELL: gather,
+    scale, reduce over surviving entries) or a
+    :class:`~repro.nn.sparse.BlockSparseWeight` (tile-level: panel gather
+    plus batched micro-GEMMs over surviving tiles), so a 90 %-pruned layer
+    touches ~10 % of the dense working set either way.
     """
 
     def __init__(
         self,
-        weight: ColumnSparseWeight,
+        weight: SparseOperand,
         bias: Optional[np.ndarray],
         activation: Optional[str] = None,
     ) -> None:
@@ -294,6 +341,8 @@ class SparseDenseKernel(Kernel):
     def __call__(self, x: np.ndarray) -> np.ndarray:
         lead = x.shape[:-1]
         flat = x.reshape(-1, x.shape[-1]) if x.ndim != 2 else x
+        if isinstance(self.weight, BlockSparseWeight):
+            flat = np.ascontiguousarray(flat)  # panel gather reads th-runs
         out = self.weight.matmul(flat)
         if self.bias is not None:
             out += self.bias
@@ -305,19 +354,21 @@ class SparseDenseKernel(Kernel):
         lead = x.shape[:-1]
         if x.ndim != 2 and not x.flags.c_contiguous:
             return None  # reshape would detach from the bound input buffer
+        if isinstance(weight, BlockSparseWeight) and not x.flags.c_contiguous:
+            return None  # the panel gather needs contiguous th-runs
         flat = x.reshape(-1, x.shape[-1]) if x.ndim != 2 else x
         n = flat.shape[0]
-        gather = weight.gather_scratch(n, x.dtype)
+        scratch = _sparse_scratch(weight, n, x.dtype)
         out2d = np.empty((n, weight.shape[1]), dtype=x.dtype)
         out = out2d.reshape(lead + (weight.shape[1],)) if x.ndim != 2 else out2d
 
         def run() -> None:
-            weight.matmul(flat, out=out2d, gather=gather)
+            _matmul_into(weight, flat, out2d, scratch)
             if bias is not None:
                 np.add(out2d, bias, out=out2d)
             _apply_activation_inplace(out2d, activation)
 
-        return BoundKernel(run, out, scratch_nbytes=gather.nbytes)
+        return BoundKernel(run, out, scratch_nbytes=_sparse_scratch_nbytes(scratch))
 
     @property
     def nbytes(self) -> int:
@@ -326,6 +377,12 @@ class SparseDenseKernel(Kernel):
     def describe(self) -> str:
         shape = "x".join(map(str, self.weight.shape))
         act = f"+{self.activation}" if self.activation else ""
+        if isinstance(self.weight, BlockSparseWeight):
+            th, tw = self.weight.tile
+            return (
+                f"sparse-dense[{shape},block{th}x{tw},"
+                f"{self.weight.density:.0%}]{act}"
+            )
         return f"sparse-dense[{shape},{self.weight.density:.0%}]{act}"
 
 
@@ -651,7 +708,7 @@ def _softmax_lastaxis_inplace(a: np.ndarray) -> None:
 
 #: A projection operand inside the LSTM kernel: dense (extracted at compile
 #: time, possibly integer-scaled) or column-compressed for pruned models.
-LSTMWeight = Union[PlanWeight, ColumnSparseWeight]
+LSTMWeight = Union[PlanWeight, ColumnSparseWeight, BlockSparseWeight]
 
 
 class LSTMKernel(Kernel):
@@ -668,9 +725,10 @@ class LSTMKernel(Kernel):
     slice — one ufunc pass instead of three per timestep.
 
     Either projection may be a :class:`~repro.nn.sparse.ColumnSparseWeight`
-    when the source model was pruned past the sparsity threshold; the
-    per-timestep recurrent matvec then gathers only the surviving weights
-    instead of streaming the full ``(H, 4H)`` matrix through BLAS.
+    or :class:`~repro.nn.sparse.BlockSparseWeight` when the source model was
+    pruned past the sparsity threshold; the per-timestep recurrent matvec
+    then gathers only the surviving weights (or weight tiles) instead of
+    streaming the full ``(H, 4H)`` matrix through BLAS.
     """
 
     def __init__(
@@ -684,7 +742,7 @@ class LSTMKernel(Kernel):
         self.dtype = dtype
         self._buffers: Dict[int, Dict[str, np.ndarray]] = {}
 
-    def _buffers_for(self, batch: int) -> Dict[str, np.ndarray]:
+    def _buffers_for(self, batch: int) -> Dict[str, object]:
         buf = self._buffers.get(batch)
         if buf is None:
             hs = self.hidden_size
@@ -695,9 +753,9 @@ class LSTMKernel(Kernel):
                 "tmp": np.empty((batch, hs), dtype=self.dtype),
             }
             for index, (_, w_hh, _) in enumerate(self.layers):
-                if isinstance(w_hh, ColumnSparseWeight):
-                    buf[f"hh_gather{index}"] = w_hh.gather_scratch(
-                        batch, self.dtype
+                if isinstance(w_hh, _SPARSE_OPERANDS):
+                    buf[f"hh_scratch{index}"] = _sparse_scratch(
+                        w_hh, batch, self.dtype
                     )
             self._buffers[batch] = buf
         return buf
@@ -722,7 +780,7 @@ class LSTMKernel(Kernel):
                 )
             else:
                 flat = layer_input.reshape(batch * steps, -1)
-            if isinstance(w_ih, ColumnSparseWeight):
+            if isinstance(w_ih, _SPARSE_OPERANDS):
                 proj = w_ih.matmul(flat)
             else:
                 proj = flat @ w_ih.compute
@@ -736,16 +794,10 @@ class LSTMKernel(Kernel):
             seq_out = (
                 None if last_layer else np.empty((steps, batch, hs), dtype=self.dtype)
             )
-            sparse_hh = isinstance(w_hh, ColumnSparseWeight)
-            hh_gather = buf.get(f"hh_gather{index}")
+            hh_scratch = buf.get(f"hh_scratch{index}")
             for step in range(steps):
                 gates = proj[step]
-                if sparse_hh:
-                    w_hh.matmul(h, out=hh, gather=hh_gather)
-                else:
-                    np.matmul(h, w_hh.compute, out=hh)
-                    if w_hh.scale is not None:
-                        hh *= w_hh.scale
+                _matmul_into(w_hh, h, hh, hh_scratch)
                 gates += hh
                 # Gate columns were permuted at compile time to [i, f, o, g].
                 i_gate = gates[:, 0:hs]
@@ -796,14 +848,14 @@ class LSTMKernel(Kernel):
             proj2 = np.empty((batch * steps, 4 * hs), dtype=dtype)
             proj3 = proj2.reshape(steps, batch, 4 * hs)
             scratch += proj2.nbytes
-            ih_gather = None
-            if isinstance(w_ih, ColumnSparseWeight):
-                ih_gather = w_ih.gather_scratch(batch * steps, dtype)
-                scratch += ih_gather.nbytes
-            hh_gather = None
-            if isinstance(w_hh, ColumnSparseWeight):
-                hh_gather = w_hh.gather_scratch(batch, dtype)
-                scratch += hh_gather.nbytes
+            ih_scratch = None
+            if isinstance(w_ih, _SPARSE_OPERANDS):
+                ih_scratch = _sparse_scratch(w_ih, batch * steps, dtype)
+                scratch += _sparse_scratch_nbytes(ih_scratch)
+            hh_scratch = None
+            if isinstance(w_hh, _SPARSE_OPERANDS):
+                hh_scratch = _sparse_scratch(w_hh, batch, dtype)
+                scratch += _sparse_scratch_nbytes(hh_scratch)
             last_layer = index == len(self.layers) - 1
             seq_out = (
                 None if last_layer else np.empty((steps, batch, hs), dtype=dtype)
@@ -827,32 +879,22 @@ class LSTMKernel(Kernel):
                 )
             bound_layers.append(
                 (w_ih, w_hh, bias, copy_src, src, flat, proj2,
-                 ih_gather, hh_gather, step_views)
+                 ih_scratch, hh_scratch, step_views)
             )
             cur = seq_out
 
         def run() -> None:
             for (w_ih, w_hh, bias, copy_src, src, flat, proj2,
-                 ih_gather, hh_gather, step_views) in bound_layers:
+                 ih_scratch, hh_scratch, step_views) in bound_layers:
                 if copy_src is not None:
                     np.copyto(src, copy_src)
-                if ih_gather is not None:
-                    w_ih.matmul(flat, out=proj2, gather=ih_gather)
-                else:
-                    np.matmul(flat, w_ih.compute, out=proj2)
-                    if w_ih.scale is not None:
-                        np.multiply(proj2, w_ih.scale, out=proj2)
+                _matmul_into(w_ih, flat, proj2, ih_scratch)
                 np.add(proj2, bias, out=proj2)
                 h[:] = 0.0
                 c[:] = 0.0
                 for (gates, i_gate, f_gate, o_gate, g_gate,
                      sig_slice, seq_view) in step_views:
-                    if hh_gather is not None:
-                        w_hh.matmul(h, out=hh, gather=hh_gather)
-                    else:
-                        np.matmul(h, w_hh.compute, out=hh)
-                        if w_hh.scale is not None:
-                            np.multiply(hh, w_hh.scale, out=hh)
+                    _matmul_into(w_hh, h, hh, hh_scratch)
                     np.add(gates, hh, out=gates)
                     _sigmoid_inplace(sig_slice)
                     np.tanh(g_gate, out=g_gate)
@@ -874,12 +916,12 @@ class LSTMKernel(Kernel):
         )
 
     def describe(self) -> str:
-        sparse = any(
-            isinstance(w, ColumnSparseWeight)
-            for w_ih, w_hh, _ in self.layers
-            for w in (w_ih, w_hh)
-        )
-        tag = ",sparse" if sparse else ""
+        weights = [w for w_ih, w_hh, _ in self.layers for w in (w_ih, w_hh)]
+        tag = ""
+        if any(isinstance(w, BlockSparseWeight) for w in weights):
+            tag = ",sparse,block"
+        elif any(isinstance(w, ColumnSparseWeight) for w in weights):
+            tag = ",sparse"
         return f"lstm[{len(self.layers)}x{self.hidden_size}{tag}]"
 
 
@@ -1186,6 +1228,46 @@ class PlanArena:
         return self.output
 
 
+def _operand_variant(weight: LSTMWeight) -> str:
+    """Variant label of a matmul operand: ``dense``/``ell``/``block<th>x<tw>``."""
+    if isinstance(weight, BlockSparseWeight):
+        return f"block{weight.tile[0]}x{weight.tile[1]}"
+    if isinstance(weight, ColumnSparseWeight):
+        return "ell"
+    return "dense"
+
+
+def _derive_lowering(kernels: Sequence[Kernel]) -> List[Dict[str, object]]:
+    """Reconstruct lowering variants from kernels (payload-rebuilt plans)."""
+    report: List[Dict[str, object]] = []
+
+    def entry(op: str, weight: LSTMWeight) -> None:
+        shape = (
+            list(weight.shape)
+            if isinstance(weight, _SPARSE_OPERANDS)
+            else list(weight.compute.shape)
+        )
+        report.append(
+            {
+                "op": op,
+                "shape": shape,
+                "variant": _operand_variant(weight),
+                "cached": None,
+                "timings": {},
+                "reason": "from-kernels",
+            }
+        )
+
+    for kernel in kernels:
+        if isinstance(kernel, (DenseKernel, SparseDenseKernel)):
+            entry("dense", kernel.weight)
+        elif isinstance(kernel, LSTMKernel):
+            for w_ih, w_hh, _ in kernel.layers:
+                entry("lstm-ih", w_ih)
+                entry("lstm-hh", w_hh)
+    return report
+
+
 class InferencePlan:
     """A compiled network: a flat list of kernels applied in order.
 
@@ -1213,6 +1295,11 @@ class InferencePlan:
         self._unbindable = False
         self.specialized_calls = 0
         self.generic_calls = 0
+        #: Per-matmul lowering decisions captured at compile time (variant
+        #: chosen, whether it came from the autotune cache, timings).  Empty
+        #: for plans rebuilt from a payload — :meth:`lowering_report` then
+        #: derives the variants from the kernels themselves.
+        self.lowering_records: List[Dict[str, object]] = []
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         out = np.asarray(x, dtype=self.dtype)
@@ -1324,6 +1411,30 @@ class InferencePlan:
         ]
         while len(self._arenas) > self._max_arenas and evictable:
             del self._arenas[evictable.pop(0)]
+
+    def has_arena(self, shape: Tuple[int, ...]) -> bool:
+        """Whether an arena is currently bound for this exact input shape.
+
+        Lets upstream stages (the compiled classifier's preprocessing arena)
+        mirror the plan's specialisation decisions without duplicating the
+        pin/streak policy: they go zero-allocation for a geometry exactly
+        when the plan itself already has.
+        """
+        return tuple(shape) in self._arenas
+
+    def lowering_report(self) -> List[Dict[str, object]]:
+        """How each matmul in the plan was lowered.
+
+        One entry per matmul operand: ``op`` (``dense``/``lstm-ih``/...),
+        ``shape``, the winning ``variant`` (``dense``, ``ell``,
+        ``block<th>x<tw>``), and — when the plan was compiled in this
+        process — whether the decision was a ``cached`` autotune hit and the
+        calibration ``timings``.  Plans rebuilt from a payload derive the
+        variants from their kernels (``cached``/``timings`` unknown).
+        """
+        if self.lowering_records:
+            return [dict(record) for record in self.lowering_records]
+        return _derive_lowering(self.kernels)
 
     def __len__(self) -> int:
         return len(self.kernels)
@@ -1463,10 +1574,26 @@ class SparsityConfig:
     #: factor (sparse_time < margin * dense_time): borderline matrices stay
     #: on the battle-tested BLAS path.
     calibration_margin: float = 0.9
+    #: Rows of the calibration input — set it to the batch size the plan
+    #: will actually serve.  Every per-row matmul (Dense layers, the LSTM
+    #: recurrent matvec) calibrates at exactly this row count; there is no
+    #: longer a per-call-site constant.
+    calibration_rows: int = 8
+    #: Timestep multiplier for whole-sequence projections: the LSTM input
+    #: projection sees ``batch * steps`` rows per call, so it calibrates at
+    #: ``calibration_rows * calibration_sequence``.  Default 26 = the
+    #: paper's 130-sample window after temporal pooling of 5.
+    calibration_sequence: int = 26
+    #: Candidate block-tile shapes for structured lowering, tried in order;
+    #: a tile qualifies when it divides the matrix exactly and the fraction
+    #: of all-zero tiles reaches ``threshold``.
+    block_tiles: Tuple[Tuple[int, int], ...] = ((8, 8), (16, 1))
 
     def __post_init__(self) -> None:
         if self.mode not in ("auto", "always", "never"):
             raise ValueError(f"Unknown sparsity mode {self.mode!r}")
+        if self.calibration_rows < 1 or self.calibration_sequence < 1:
+            raise ValueError("calibration rows/sequence must be at least 1")
 
     def qualifies(self, values: np.ndarray) -> bool:
         if self.mode == "never" or values.ndim != 2 or values.size < self.min_size:
@@ -1489,30 +1616,31 @@ DENSE_ONLY = SparsityConfig(mode="never")
 SPARSE_ALWAYS = SparsityConfig(mode="always")
 
 
-def _sparse_beats_dense(
-    sparse: ColumnSparseWeight,
-    dense: np.ndarray,
-    rows: int,
-    config: SparsityConfig,
-) -> bool:
-    """One-off compile-time calibration: time both products on this host."""
-    from repro.utils.timing import median_call_time_s
+def _block_candidate(
+    cast: np.ndarray, config: SparsityConfig
+) -> Optional[BlockSparseWeight]:
+    """The best-qualifying block layout for this zero pattern, if any.
 
-    x = np.full((rows, dense.shape[0]), 0.5, dtype=dense.dtype)
-    out = np.empty((rows, dense.shape[1]), dtype=dense.dtype)
-    gather = sparse.gather_scratch(rows, dense.dtype)
-
-    def dense_product() -> None:
-        np.matmul(x, dense, out=out)
-
-    def sparse_product() -> None:
-        sparse.matmul(x, out=out, gather=gather)
-
-    dense_product()  # warm both before timing
-    sparse_product()
-    dense_s = median_call_time_s(dense_product, config.calibration_repeats)
-    sparse_s = median_call_time_s(sparse_product, config.calibration_repeats)
-    return sparse_s < config.calibration_margin * dense_s
+    A candidate tile must divide the matrix exactly and leave at least
+    ``config.threshold`` of the elements inside entirely-zero tiles (i.e.
+    the pruning was *structured* at that tile — element-wise pruning almost
+    never qualifies).  Among qualifying tiles the one storing the smallest
+    padded slab wins: the slab size is the work the kernel actually does.
+    """
+    rows, cols = cast.shape
+    best: Optional[BlockSparseWeight] = None
+    for tile in config.block_tiles:
+        th, tw = int(tile[0]), int(tile[1])
+        if th < 1 or tw < 1 or rows % th or cols % tw:
+            continue
+        tiles = cast.reshape(rows // th, th, cols // tw, tw)
+        keep = np.any(tiles != 0, axis=(1, 3))
+        if 1.0 - np.count_nonzero(keep) / keep.size < config.threshold:
+            continue
+        candidate = BlockSparseWeight.from_dense(cast, (th, tw))
+        if best is None or candidate.blocks.size < best.blocks.size:
+            best = candidate
+    return best
 
 
 def _lower_matmul_weight(
@@ -1520,17 +1648,79 @@ def _lower_matmul_weight(
     dtype: np.dtype,
     quantizer: Optional[WeightQuantizer],
     sparsity: SparsityConfig,
-    calibration_rows: int,
-) -> Union[PlanWeight, ColumnSparseWeight]:
-    """Extract one matmul operand, sparse when pruning (and the host) allow."""
-    if quantizer is None and sparsity.qualifies(values):
-        cast = np.asarray(values, dtype=dtype)
-        sparse = ColumnSparseWeight.from_dense(cast)
-        if sparsity.mode == "always" or _sparse_beats_dense(
-            sparse, cast, calibration_rows, sparsity
-        ):
-            return sparse
-    return _make_weight(values, dtype, quantizer)
+    rows: int,
+    op: str,
+    tuner: Optional["AutotuneCache"] = None,
+    log: Optional[List[Dict[str, object]]] = None,
+) -> Union[PlanWeight, SparseOperand]:
+    """Extract one matmul operand, sparse when pruning (and the host) allow.
+
+    ``rows`` is the calibration row count (derived from the config's
+    serving-batch hint by the caller), ``op`` names the product for the
+    autotune cache key, ``tuner`` is the :class:`AutotuneCache` consulted
+    before any timing, and ``log`` collects the decision for
+    :meth:`InferencePlan.lowering_report`.
+    """
+    shape = list(values.shape)
+
+    def record(
+        variant: str,
+        reason: str,
+        cached: Optional[bool] = None,
+        timings: Optional[Dict[str, float]] = None,
+        key: Optional[str] = None,
+    ) -> None:
+        if log is not None:
+            log.append(
+                {
+                    "op": op,
+                    "shape": shape,
+                    "variant": variant,
+                    "cached": cached,
+                    "timings": dict(timings) if timings else {},
+                    "reason": reason,
+                    "rows": rows,
+                    "key": key,
+                }
+            )
+
+    if quantizer is not None:
+        record("dense", reason="quantized")
+        return _make_weight(values, dtype, quantizer)
+    if not sparsity.qualifies(values):
+        record("dense", reason="below-threshold")
+        return _make_weight(values, dtype, quantizer)
+    cast = np.asarray(values, dtype=dtype)
+    candidates: Dict[str, SparseOperand] = {"ell": ColumnSparseWeight.from_dense(cast)}
+    block = _block_candidate(cast, sparsity)
+    if block is not None:
+        candidates[autotune.variant_name(block)] = block
+    if sparsity.mode == "always":
+        # Pinned lowering skips calibration; the structured layout wins when
+        # the zero pattern supports it (tile panels gather strictly cheaper
+        # than ELL's scattered elements at the same sparsity).
+        chosen: SparseOperand = block if block is not None else candidates["ell"]
+        record(autotune.variant_name(chosen), reason="pinned-always")
+        return chosen
+    decision = autotune.choose_matmul_variant(
+        op=op,
+        dense=cast,
+        candidates=candidates,
+        rows=rows,
+        repeats=sparsity.calibration_repeats,
+        margin=sparsity.calibration_margin,
+        cache=tuner,
+    )
+    record(
+        decision.variant,
+        reason="calibrated",
+        cached=decision.cached,
+        timings=decision.timings,
+        key=decision.key,
+    )
+    if decision.variant == "dense":
+        return _make_weight(values, dtype, quantizer)
+    return candidates[decision.variant]
 
 
 def _compile_dense(
@@ -1538,6 +1728,8 @@ def _compile_dense(
     dtype: np.dtype,
     quantizer: Optional[WeightQuantizer],
     sparsity: SparsityConfig,
+    tuner: Optional[AutotuneCache],
+    log: Optional[List[Dict[str, object]]],
 ) -> Kernel:
     bias = (
         _make_elementwise(layer.bias.data, dtype, quantizer)
@@ -1545,9 +1737,10 @@ def _compile_dense(
         else None
     )
     weight = _lower_matmul_weight(
-        layer.weight.data, dtype, quantizer, sparsity, calibration_rows=8
+        layer.weight.data, dtype, quantizer, sparsity,
+        rows=sparsity.calibration_rows, op="dense", tuner=tuner, log=log,
     )
-    if isinstance(weight, ColumnSparseWeight):
+    if isinstance(weight, _SPARSE_OPERANDS):
         return SparseDenseKernel(weight, bias, layer.activation)
     return DenseKernel(weight, bias, layer.activation)
 
@@ -1593,6 +1786,8 @@ def _compile_lstm(
     dtype: np.dtype,
     quantizer: Optional[WeightQuantizer],
     sparsity: SparsityConfig,
+    tuner: Optional[AutotuneCache],
+    log: Optional[List[Dict[str, object]]],
 ) -> LSTMKernel:
     hs = layer.hidden_size
     # Reorder the cell's [i, f, g, o] gate columns to [i, f, o, g] so the
@@ -1608,18 +1803,22 @@ def _compile_lstm(
         ]
     )
 
-    # Calibration row counts mirror how each projection is used: the input
-    # projection runs once per call over every timestep's rows, the
-    # recurrent projection is a small per-step matvec.
+    # Calibration row counts mirror how each projection is used, both
+    # derived from the config's serving-batch hint: the input projection
+    # runs once per call over every timestep's rows
+    # (``calibration_rows * calibration_sequence``), the recurrent
+    # projection is a per-step matvec over ``calibration_rows``.
     extracted = [
         (
             _lower_matmul_weight(
                 cell.weight_ih.data[:, perm], dtype, quantizer, sparsity,
-                calibration_rows=128,
+                rows=sparsity.calibration_rows * sparsity.calibration_sequence,
+                op="lstm-ih", tuner=tuner, log=log,
             ),
             _lower_matmul_weight(
                 cell.weight_hh.data[:, perm], dtype, quantizer, sparsity,
-                calibration_rows=8,
+                rows=sparsity.calibration_rows,
+                op="lstm-hh", tuner=tuner, log=log,
             ),
             _make_elementwise(cell.bias.data[perm], dtype, quantizer),
         )
@@ -1633,11 +1832,13 @@ def _compile_leaf(
     dtype: np.dtype,
     quantizer: Optional[WeightQuantizer],
     sparsity: SparsityConfig,
+    tuner: Optional[AutotuneCache],
+    log: Optional[List[Dict[str, object]]],
 ) -> List[Kernel]:
     if isinstance(layer, Dropout):
         return []  # inference-only plan: dropout is the identity in eval mode
     if isinstance(layer, Dense):
-        return [_compile_dense(layer, dtype, quantizer, sparsity)]
+        return [_compile_dense(layer, dtype, quantizer, sparsity, tuner, log)]
     if isinstance(layer, ReLU):
         return [ActivationKernel("relu")]
     if isinstance(layer, Tanh):
@@ -1673,7 +1874,7 @@ def _compile_leaf(
             )
         ]
     if isinstance(layer, LSTM):
-        return [_compile_lstm(layer, dtype, quantizer, sparsity)]
+        return [_compile_lstm(layer, dtype, quantizer, sparsity, tuner, log)]
     if isinstance(layer, TransformerEncoderLayer):
         return [_compile_encoder_block(layer, dtype, quantizer)]
     raise PlanCompilationError(
@@ -1687,6 +1888,8 @@ def _compile_item(
     dtype: np.dtype,
     quantizer: Optional[WeightQuantizer],
     sparsity: SparsityConfig,
+    tuner: Optional[AutotuneCache],
+    log: Optional[List[Dict[str, object]]],
 ) -> List[Kernel]:
     if isinstance(item, Kernel):
         return [item]
@@ -1694,10 +1897,12 @@ def _compile_item(
     if spec is not None:
         kernels: List[Kernel] = []
         for entry in spec():
-            kernels.extend(_compile_item(entry, dtype, quantizer, sparsity))
+            kernels.extend(
+                _compile_item(entry, dtype, quantizer, sparsity, tuner, log)
+            )
         return kernels
     if isinstance(item, Module):
-        return _compile_leaf(item, dtype, quantizer, sparsity)
+        return _compile_leaf(item, dtype, quantizer, sparsity, tuner, log)
     raise PlanCompilationError(
         f"Inference specs may only contain Modules or Kernels, got {type(item).__name__}"
     )
@@ -1724,6 +1929,7 @@ def compile_network(
     dtype: np.dtype = np.float32,
     quantizer: Optional[WeightQuantizer] = None,
     sparsity: Optional[SparsityConfig] = None,
+    tuner: Optional[AutotuneCache] = None,
 ) -> InferencePlan:
     """Lower a fitted module tree to a flat :class:`InferencePlan`.
 
@@ -1733,23 +1939,30 @@ def compile_network(
     :func:`repro.compression.quantization.compile_quantized_plan`).
 
     ``sparsity`` governs whether heavily pruned weight matrices lower to
-    column-compressed kernels (see :class:`SparsityConfig`): by default a
-    ≥70 %-pruned Dense/LSTM projection is *calibrated* — the compiler times
-    dense vs sparse on the actual matrix and keeps the winner — while
+    sparse kernels (see :class:`SparsityConfig`): by default a ≥70 %-pruned
+    Dense/LSTM projection is *calibrated* — the compiler times dense vs ELL
+    vs block-tile layouts on the actual matrix and keeps the winner — while
     :data:`SPARSE_ALWAYS` forces the lowering and :data:`DENSE_ONLY`
-    suppresses it.  Quantized plans always compile dense.  Sparse kernels
-    match the autograd oracle to the same 1e-5 tolerance as dense float32
-    plans (the accumulation order differs from BLAS).
+    suppresses it.  Calibration results persist in ``tuner`` (default: the
+    process-wide :func:`repro.nn.autotune.default_cache`, backed by the
+    per-host JSON file), so recompiling the same shapes performs zero
+    timings; :meth:`InferencePlan.lowering_report` says what was chosen and
+    whether it was a cache hit.  Quantized plans always compile dense.
+    Sparse kernels match the autograd oracle to the same 1e-5 tolerance as
+    dense float32 plans (the accumulation order differs from BLAS).
 
     Raises :class:`PlanCompilationError` when the tree contains a module the
     compiler cannot lower; callers are expected to fall back to the autograd
     path in that case.
     """
     cfg = DEFAULT_SPARSITY if sparsity is None else sparsity
+    log: List[Dict[str, object]] = []
     kernels = _fuse_activations(
-        _compile_item(module, np.dtype(dtype), quantizer, cfg)
+        _compile_item(module, np.dtype(dtype), quantizer, cfg, tuner, log)
     )
-    return InferencePlan(kernels, dtype=np.dtype(dtype))
+    plan = InferencePlan(kernels, dtype=np.dtype(dtype))
+    plan.lowering_records = log
+    return plan
 
 
 # ---------------------------------------------------------------------- #
@@ -1812,16 +2025,32 @@ def _dense_load(meta, arrays, dtype):
 
 
 def _sparse_state(
-    name: str, weight: ColumnSparseWeight, arrays: Dict[str, np.ndarray]
+    name: str, weight: SparseOperand, arrays: Dict[str, np.ndarray]
 ) -> Dict[str, object]:
     for key, value in weight.state_arrays().items():
         arrays[f"{name}.{key}"] = value
+    if isinstance(weight, BlockSparseWeight):
+        return {
+            "kind": "block",
+            "shape": list(weight.shape),
+            "tile": list(weight.tile),
+        }
     return {"kind": "sparse", "shape": list(weight.shape)}
 
 
 def _sparse_load(
     name: str, meta: Mapping[str, object], arrays: Mapping[str, np.ndarray], dtype
-) -> ColumnSparseWeight:
+) -> SparseOperand:
+    if meta.get("kind") == "block":
+        return BlockSparseWeight.from_state(
+            tuple(meta["shape"]),
+            tuple(meta["tile"]),
+            {
+                "block_indices": arrays[f"{name}.block_indices"],
+                "blocks": arrays[f"{name}.blocks"],
+            },
+            dtype,
+        )
     return ColumnSparseWeight.from_state(
         tuple(meta["shape"]),
         {
@@ -1918,7 +2147,7 @@ def _layernorm_state(kernel: LayerNormKernel):
 def _lstm_weight_state(
     name: str, weight: LSTMWeight, arrays: Dict[str, np.ndarray]
 ) -> Dict[str, object]:
-    if isinstance(weight, ColumnSparseWeight):
+    if isinstance(weight, _SPARSE_OPERANDS):
         return _sparse_state(name, weight, arrays)
     scale, arrays[name] = _weight_state(weight)
     return {"kind": "dense", "scale": scale}
@@ -1927,7 +2156,7 @@ def _lstm_weight_state(
 def _lstm_weight_load(
     name: str, spec: Mapping[str, object], arrays: Mapping[str, np.ndarray], dtype
 ) -> LSTMWeight:
-    if spec["kind"] == "sparse":
+    if spec["kind"] in ("sparse", "block"):
         return _sparse_load(name, spec, arrays, dtype)
     return _weight_load(arrays[name], spec["scale"], dtype)
 

@@ -108,7 +108,10 @@ class ColumnSparseWeight:
         n = x.shape[0]
         if gather is None:
             gather = np.empty((n, self.shape[1] * self.kmax), dtype=x.dtype)
-        x.take(self._flat_indices, axis=1, out=gather)
+        # mode="clip" writes straight into ``gather``: the default "raise"
+        # stages a full temporary even with ``out=``.  Indices are in-range
+        # by construction, so clipping never fires.
+        x.take(self._flat_indices, axis=1, out=gather, mode="clip")
         gathered = gather.reshape(n, self.shape[1], self.kmax)
         np.multiply(gathered, self.values, out=gathered)
         if out is None:
@@ -155,4 +158,232 @@ class ColumnSparseWeight:
         return (
             f"ColumnSparseWeight({self.shape[0]}x{self.shape[1]}, "
             f"nnz={self.nnz}, density={self.density:.1%}, kmax={self.kmax})"
+        )
+
+
+class BlockSparseWeight:
+    """A block-pruned matmul operand stored as a padded slab of dense tiles.
+
+    Where :class:`ColumnSparseWeight` compresses individual non-zeros (and
+    pays a scattered one-element-at-a-time gather for it), this layout
+    compresses ``(th, tw)`` *tiles*: the ``(in, out)`` matrix is cut into a
+    ``(R, C)`` grid of tiles (``R = in/th`` row blocks, ``C = out/tw``
+    column blocks) and only tiles containing at least one non-zero survive.
+    Surviving tiles are stored as a dense slab — ELL-of-blocks:
+
+    ``block_indices``
+        ``(C, kmax)`` — for each column block, the row-block ids of its
+        surviving tiles (ascending, padded with row block 0);
+    ``blocks``
+        ``(C, kmax, th, tw)`` — the tile values (padding tiles are zero and
+        contribute exactly ``+0.0``, like ELL padding).
+
+    Execution gathers whole ``th``-row input panels (contiguous runs, so the
+    gather is a strided memcpy rather than ELL's per-element pick) and then
+    contracts them against the slab:
+
+    * ``tw == 1`` (row-tile layout, the LSTM projection shape): one
+      broadcast multiply plus one ``add.reduce`` over ``(kmax, th)`` — the
+      ELL pattern with a contiguous inner axis.
+    * ``tw > 1``: one batched micro-GEMM per column block,
+      ``(n, kmax*th) @ (kmax*th, tw)``, via a single ``np.matmul`` over the
+      ``C`` axis, accumulating each output tile in BLAS.
+
+    Both paths run with caller-owned scratch (``matmul_scratch``) so a plan
+    arena executes them with zero allocations, and the scratch path is
+    bit-for-bit the allocating path.  ``from_dense`` is fully determined by
+    the zero pattern, so transported replicas rebuild identical operands.
+    """
+
+    __slots__ = (
+        "shape",
+        "tile",
+        "kmax",
+        "n_row_blocks",
+        "n_col_blocks",
+        "block_indices",
+        "blocks",
+        "nnz",
+        "tiles_kept",
+        "_flat_indices",
+        "_mat",
+        "_vals3",
+    )
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        tile: Tuple[int, int],
+        block_indices: np.ndarray,
+        blocks: np.ndarray,
+    ) -> None:
+        in_features, out_features = int(shape[0]), int(shape[1])
+        th, tw = int(tile[0]), int(tile[1])
+        if th < 1 or tw < 1:
+            raise ValueError(f"tile dims must be positive, got {(th, tw)}")
+        if in_features % th or out_features % tw:
+            raise ValueError(
+                f"tile {(th, tw)} does not divide matrix {(in_features, out_features)}"
+            )
+        n_row_blocks = in_features // th
+        n_col_blocks = out_features // tw
+        if block_indices.ndim != 2 or block_indices.shape[0] != n_col_blocks:
+            raise ValueError(
+                f"block_indices must be (n_col_blocks, kmax); got {block_indices.shape}"
+            )
+        kmax = int(block_indices.shape[1])
+        if blocks.shape != (n_col_blocks, kmax, th, tw):
+            raise ValueError(
+                f"blocks must be {(n_col_blocks, kmax, th, tw)}; got {blocks.shape}"
+            )
+        self.shape = (in_features, out_features)
+        self.tile = (th, tw)
+        self.kmax = kmax
+        self.n_row_blocks = n_row_blocks
+        self.n_col_blocks = n_col_blocks
+        self.block_indices = np.ascontiguousarray(block_indices, dtype=np.intp)
+        self.blocks = np.ascontiguousarray(blocks)
+        self.nnz = int(np.count_nonzero(self.blocks))
+        self.tiles_kept = int(np.count_nonzero(np.any(self.blocks != 0, axis=(2, 3))))
+        self._flat_indices = self.block_indices.reshape(-1)
+        # Contiguous views used by the two execution paths.
+        self._mat = self.blocks.reshape(n_col_blocks, kmax * th, tw)
+        self._vals3 = self.blocks.reshape(n_col_blocks, kmax, th * tw)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, tile: Tuple[int, int]) -> "BlockSparseWeight":
+        """Compress a ``(in, out)`` matrix into surviving ``tile`` blocks.
+
+        Requires the tile to divide the matrix exactly (the pruning side
+        clamps edge tiles, the kernel side does not).  Tiles within a column
+        block are kept in ascending row-block order, so the layout is fully
+        determined by the zero pattern.
+        """
+        if dense.ndim != 2:
+            raise ValueError("BlockSparseWeight needs a 2-D matrix")
+        in_features, out_features = dense.shape
+        th, tw = int(tile[0]), int(tile[1])
+        if th < 1 or tw < 1 or in_features % th or out_features % tw:
+            raise ValueError(
+                f"tile {(th, tw)} does not divide matrix {dense.shape}"
+            )
+        n_row_blocks = in_features // th
+        n_col_blocks = out_features // tw
+        # (C, R, th, tw) tile view of the dense matrix.
+        tiles = dense.reshape(n_row_blocks, th, n_col_blocks, tw).transpose(2, 0, 1, 3)
+        keep = np.any(tiles != 0, axis=(2, 3))  # (C, R)
+        counts = keep.sum(axis=1)
+        kmax = max(1, int(counts.max()) if counts.size else 1)
+        block_indices = np.zeros((n_col_blocks, kmax), dtype=np.intp)
+        blocks = np.zeros((n_col_blocks, kmax, th, tw), dtype=dense.dtype)
+        # np.nonzero on (C, R) is row-major: ascending row blocks per column.
+        cols, rows = np.nonzero(keep)
+        starts = np.concatenate(([0], np.cumsum(counts)))
+        within = np.arange(rows.size) - starts[cols]
+        block_indices[cols, within] = rows
+        blocks[cols, within] = tiles[cols, rows]
+        return cls((in_features, out_features), (th, tw), block_indices, blocks)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def matmul(
+        self,
+        x: np.ndarray,
+        out: Optional[np.ndarray] = None,
+        panels: Optional[np.ndarray] = None,
+        prod: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``x @ W`` over the surviving tiles.
+
+        ``x`` is ``(n, in_features)`` (C-contiguous on the zero-allocation
+        path; a non-contiguous input merely costs a reshape copy).  ``out``,
+        ``panels`` and ``prod`` are the buffers from :meth:`matmul_scratch`;
+        when omitted the scratch is allocated per call.
+        """
+        n = x.shape[0]
+        th, tw = self.tile
+        x3 = x.reshape(n, self.n_row_blocks, th)
+        if panels is None:
+            panels = np.empty((n, self.n_col_blocks * self.kmax, th), dtype=x.dtype)
+        # Gather whole th-row panels; each take element copies a contiguous
+        # th-run of the input row.  mode="clip" writes straight into
+        # ``panels`` (the default "raise" stages a full temporary even with
+        # ``out=``); indices are in-range by construction.
+        x3.take(self._flat_indices, axis=1, out=panels, mode="clip")
+        if out is None:
+            out = np.empty((n, self.shape[1]), dtype=x.dtype)
+        if tw == 1:
+            gathered = panels.reshape(n, self.n_col_blocks, self.kmax * th)
+            np.multiply(gathered, self._vals3.reshape(self.n_col_blocks, -1), out=gathered)
+            np.add.reduce(gathered, axis=-1, out=out)
+            return out
+        # (C, n, kmax*th) strided view — last axis contiguous, so each 2-D
+        # slice feeds BLAS without an internal copy.
+        lhs = panels.reshape(n, self.n_col_blocks, self.kmax * th).transpose(1, 0, 2)
+        if prod is None:
+            prod = np.empty((self.n_col_blocks, n, tw), dtype=x.dtype)
+        np.matmul(lhs, self._mat, out=prod)
+        np.copyto(out.reshape(n, self.n_col_blocks, tw), prod.transpose(1, 0, 2))
+        return out
+
+    def matmul_scratch(
+        self, n: int, dtype: np.dtype
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """The ``(panels, prod)`` buffers :meth:`matmul` needs for ``n`` rows."""
+        th, tw = self.tile
+        panels = np.empty((n, self.n_col_blocks * self.kmax, th), dtype=dtype)
+        prod = None if tw == 1 else np.empty((self.n_col_blocks, n, tw), dtype=dtype)
+        return panels, prod
+
+    # ------------------------------------------------------------------ #
+    # reporting / transport
+    # ------------------------------------------------------------------ #
+    @property
+    def density(self) -> float:
+        """Fraction of the dense matrix that survived pruning."""
+        total = self.shape[0] * self.shape[1]
+        return self.nnz / total if total else 0.0
+
+    @property
+    def tiles_total(self) -> int:
+        return self.n_row_blocks * self.n_col_blocks
+
+    @property
+    def block_occupancy(self) -> float:
+        """Fraction of the tile grid holding at least one non-zero."""
+        return self.tiles_kept / self.tiles_total if self.tiles_total else 0.0
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes actually held (padded tile slab + indices), not dense bytes."""
+        return int(self.blocks.nbytes + self.block_indices.nbytes)
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Transport payload; int64 indices round-trip across platforms."""
+        return {
+            "block_indices": self.block_indices.astype(np.int64),
+            "blocks": self.blocks,
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        shape: Tuple[int, int],
+        tile: Tuple[int, int],
+        arrays: Dict[str, np.ndarray],
+        dtype: np.dtype,
+    ) -> "BlockSparseWeight":
+        return cls(
+            shape,
+            tile,
+            np.asarray(arrays["block_indices"]),
+            np.asarray(arrays["blocks"], dtype=dtype),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockSparseWeight({self.shape[0]}x{self.shape[1]}, "
+            f"tile={self.tile[0]}x{self.tile[1]}, "
+            f"tiles={self.tiles_kept}/{self.tiles_total}, kmax={self.kmax})"
         )

@@ -24,6 +24,7 @@ single-call behaviour the rest of the serving stack was built on.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -207,6 +208,13 @@ class MicroBatcher:
         self.specialize = specialize
         self._pending: List[Tuple[str, np.ndarray]] = []
         self._pending_ids: set = set()
+        # Reused stacking buffers, keyed by (batch, window shape, dtype) —
+        # the one windows-sized allocation prepare() would otherwise make
+        # per flush.  Only maintained on the inline serving path
+        # (specialize=True): remote executors pickle the stacked array
+        # anyway, and the buffer must not be recycled while a worker still
+        # reads it.
+        self._stack_buffers: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
         # Precompile the serving plan (no-op for classifiers without one, or
         # whose network is not built yet — they compile on first prediction).
         ensure_compiled = getattr(classifier, "ensure_compiled", None)
@@ -251,16 +259,47 @@ class MicroBatcher:
     # ------------------------------------------------------------------ #
     # three-phase flush
     # ------------------------------------------------------------------ #
+    #: Cap on concurrently held stacking buffers (LRU), mirroring the plan
+    #: arena policy: a resizing fleet re-buffers without hoarding scratch.
+    MAX_STACK_BUFFERS = 2
+
     def prepare(self) -> Optional[PreparedBatch]:
-        """Capture and clear the pending batch; ``None`` when empty."""
+        """Capture and clear the pending batch; ``None`` when empty.
+
+        On the inline serving path (``specialize=True``) the stacked array
+        is a **batcher-owned buffer** reused across flushes of the same
+        geometry — valid until the next ``prepare()`` with that geometry.
+        ``finalize`` copies each session its own row, so nothing downstream
+        retains it.
+        """
         if not self._pending:
             return None
         pending, self._pending, self._pending_ids = self._pending, [], set()
+        windows = [window for _, window in pending]
         return PreparedBatch(
             session_ids=[session_id for session_id, _ in pending],
-            windows=np.stack([window for _, window in pending], axis=0),
+            windows=self._stack(windows),
             chunk_size=self.max_batch_size or len(pending),
         )
+
+    def _stack(self, windows: List[np.ndarray]) -> np.ndarray:
+        if not self.specialize:
+            return np.stack(windows, axis=0)
+        first = windows[0]
+        if any(w.dtype != first.dtype for w in windows[1:]):
+            return np.stack(windows, axis=0)
+        key = (len(windows), first.shape, first.dtype)
+        buffer = self._stack_buffers.get(key)
+        if buffer is None:
+            buffer = np.empty((len(windows),) + first.shape, dtype=first.dtype)
+            self._stack_buffers[key] = buffer
+            while len(self._stack_buffers) > self.MAX_STACK_BUFFERS:
+                self._stack_buffers.popitem(last=False)
+        else:
+            self._stack_buffers.move_to_end(key)
+        for i, window in enumerate(windows):
+            np.copyto(buffer[i], window)
+        return buffer
 
     def execute(self, prepared: PreparedBatch) -> ExecutionResult:
         """Run the classification phase inline with the batcher's own state."""

@@ -64,3 +64,76 @@ class TestAllocationProfile:
         )
         assert profile.compiled_speedup is not None
         assert profile.compiled_speedup > 0
+
+
+class TestKernelVariantReporting:
+    def _block_pruned_lstm(self, mode="always"):
+        from repro.compression.pruning import prune_classifier_inplace
+        from repro.nn.inference import SparsityConfig
+
+        classifier = EEGLSTM(LSTMConfig(hidden_size=32), seed=1)
+        classifier.ensure_network(8, 50)
+        prune_classifier_inplace(classifier, 0.9, tile=(8, 8))
+        classifier.plan_sparsity = SparsityConfig(mode=mode, min_size=0)
+        return classifier
+
+    @staticmethod
+    def _windows8(n=4):
+        return (
+            np.random.default_rng(3).standard_normal((n, 8, 50)).astype(np.float32)
+        )
+
+    def test_dense_plan_reports_dense_variants(self):
+        profile = profile_classifier(_built_lstm(), _windows(4), repeats=2)
+        assert profile.kernel_variants
+        assert all(v.endswith("=dense") for v in profile.kernel_variants)
+
+    def test_block_pruned_plan_reports_block_variants(self):
+        profile = profile_classifier(
+            self._block_pruned_lstm(), self._windows8(), repeats=2
+        )
+        # hidden 32 → the (32, 128) recurrent projection carries (16, 1) tiles
+        assert any("block" in v for v in profile.kernel_variants)
+        every_op = {v.split("[")[0] for v in profile.kernel_variants}
+        assert {"lstm-ih", "lstm-hh", "dense"} <= every_op
+
+    def test_pinned_mode_reports_no_autotune_counts(self):
+        profile = profile_classifier(
+            self._block_pruned_lstm(), self._windows8(), repeats=2
+        )
+        # mode="always" pins the lowering: nothing was calibrated, so
+        # hit/miss counters stay None rather than lying with zeros.
+        assert profile.autotune_hits is None
+        assert profile.autotune_misses is None
+
+    def test_auto_mode_counts_misses_then_hits(self, tmp_path, monkeypatch):
+        from repro.nn import autotune
+        from repro.nn.autotune import AutotuneCache, set_default_cache
+
+        monkeypatch.setattr(
+            autotune, "median_call_time_s", lambda call, repeats=5: (call(), 1e-4)[1]
+        )
+        cache = AutotuneCache(path=str(tmp_path / "autotune.json"))
+        previous = set_default_cache(cache)
+        try:
+            cold = profile_classifier(
+                self._block_pruned_lstm(mode="auto"), self._windows8(), repeats=2
+            )
+            assert cold.autotune_misses and cold.autotune_hits == 0
+            warm = profile_classifier(
+                self._block_pruned_lstm(mode="auto"), self._windows8(), repeats=2
+            )
+            assert warm.autotune_misses == 0
+            assert warm.autotune_hits == cold.autotune_misses
+        finally:
+            set_default_cache(previous)
+
+    def test_autograd_served_classifier_reports_no_variants(self):
+        train = make_toy_dataset(n_per_class=8, n_channels=4, window_size=50)
+        classifier = RandomForestClassifier(
+            RandomForestConfig(n_estimators=3), seed=0
+        )
+        classifier.fit(train)
+        profile = profile_classifier(classifier, _windows(4), repeats=2)
+        assert profile.kernel_variants == []
+        assert profile.autotune_hits is None

@@ -408,3 +408,79 @@ class TestClassifierSpecialization:
         classifier.use_compiled_inference = False
         classifier.ensure_network(N_CHANNELS, WINDOW)
         assert not classifier.specialize(4)
+
+
+class TestPreprocessArenaIntegration:
+    """The compiled classifier's raw-window arena mirrors the plan policy."""
+
+    def _classifier(self, seed=3):
+        classifier = EEGLSTM(LSTMConfig(hidden_size=24), seed=seed)
+        classifier.ensure_network(N_CHANNELS, WINDOW)
+        return classifier
+
+    def _windows(self, n, seed=0):
+        return (
+            np.random.default_rng(seed)
+            .standard_normal((n, N_CHANNELS, WINDOW))
+            .astype(np.float32)
+        )
+
+    def test_arena_follows_the_plan_arena(self):
+        classifier = self._classifier()
+        compiled = classifier.ensure_compiled()
+        windows = self._windows(5)
+        classifier.predict_proba(windows)
+        assert compiled.specialization_stats()["preprocess_arenas"] == 0
+        classifier.specialize(5)
+        classifier.predict_proba(windows)  # binds the plan arena
+        classifier.predict_proba(windows)  # now the preprocess arena engages
+        stats = compiled.specialization_stats()
+        assert stats["preprocess_arenas"] == 1
+        assert stats["preprocess_scratch_bytes"] > 0
+
+    def test_arena_path_is_bit_for_bit_the_generic_path(self):
+        windows = self._windows(6, seed=1)
+        generic = self._classifier().predict_proba(windows)
+        classifier = self._classifier()
+        classifier.specialize(6)
+        classifier.predict_proba(windows)
+        classifier.predict_proba(windows)
+        arena_served = classifier.predict_proba(windows)
+        assert np.array_equal(np.asarray(arena_served), np.asarray(generic))
+
+    def test_despecialize_clears_preprocess_arenas(self):
+        classifier = self._classifier()
+        compiled = classifier.ensure_compiled()
+        windows = self._windows(4, seed=2)
+        classifier.specialize(4)
+        classifier.predict_proba(windows)
+        classifier.predict_proba(windows)
+        assert compiled.specialization_stats()["preprocess_arenas"] == 1
+        classifier.despecialize()
+        stats = compiled.specialization_stats()
+        assert stats["preprocess_arenas"] == 0
+        assert stats["preprocess_scratch_bytes"] == 0
+
+    def test_arena_pool_is_lru_capped(self):
+        classifier = self._classifier()
+        compiled = classifier.ensure_compiled()
+        compiled.plan.enable_auto_specialization(streak=1)
+        for n in (2, 3, 4, 5):
+            windows = self._windows(n, seed=n)
+            for _ in range(4):
+                classifier.predict_proba(windows)
+        stats = compiled.specialization_stats()
+        assert stats["preprocess_arenas"] <= CompiledClassifier.MAX_PREPROCESS_ARENAS
+
+    def test_integer_windows_match_their_float_promotion(self):
+        # Integer input is promoted to the plan dtype before the arena check
+        # (the cast copy is unavoidable either way), so the arena path must
+        # serve it identically to the promoted-float generic path.
+        classifier = self._classifier()
+        windows = (self._windows(3, seed=4) * 100).astype(np.int64)
+        generic = self._classifier().predict_proba(windows.astype(np.float32))
+        classifier.specialize(3)
+        classifier.predict_proba(windows)
+        classifier.predict_proba(windows)
+        arena_served = classifier.predict_proba(windows)
+        assert np.array_equal(np.asarray(arena_served), np.asarray(generic))

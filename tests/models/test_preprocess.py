@@ -1,0 +1,195 @@
+"""Tests for the zero-allocation preprocessing chain (models.preprocess).
+
+The contract under test: the ``out=`` paths of ``normalize_windows`` and
+``prepare_windows`` and the :class:`PreprocessArena` that composes them are
+**bit-for-bit** the allocating implementations — not merely close — while
+performing zero window-sized allocations in steady state.
+"""
+
+import gc
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.models.base import normalize_windows
+from repro.models.preprocess import (
+    LAYOUTS,
+    PreprocessArena,
+    prepare_windows,
+    prepared_window_shape,
+    validate_prepare_spec,
+)
+
+
+def _raw(n=7, channels=8, samples=130, seed=0, dtype=np.float32):
+    return (
+        np.random.default_rng(seed)
+        .standard_normal((n, channels, samples))
+        .astype(dtype)
+    )
+
+
+def _steady_peak(call, warm=3):
+    """Tracemalloc peak of one steady-state ``call``."""
+    for _ in range(warm):
+        call()
+    gc.collect()
+    tracemalloc.start()
+    try:
+        call()
+        call()
+        tracemalloc.reset_peak()
+        before = tracemalloc.get_traced_memory()[0]
+        call()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak - before
+
+
+class TestPreparedWindowShape:
+    def test_matches_prepare_windows_for_every_geometry(self):
+        for pool in (1, 5):
+            for layout in LAYOUTS:
+                raw = _raw(n=3, samples=23)
+                expected = prepare_windows(raw, pool=pool, layout=layout).shape
+                assert prepared_window_shape(raw.shape, pool, layout) == expected
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            prepared_window_shape((3, 4), 1, "time-major")
+        with pytest.raises(ValueError):
+            prepared_window_shape((3, 4, 10), 0, "time-major")
+        with pytest.raises(ValueError):
+            prepared_window_shape((3, 4, 10), 1, "row-major")
+
+
+class TestNormalizeWindowsOutPath:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    @pytest.mark.parametrize("batch", [1, 7, 64])
+    def test_out_path_is_bit_for_bit_the_allocating_path(self, dtype, batch):
+        raw = _raw(n=batch, dtype=dtype, seed=batch)
+        out = np.empty(raw.shape, dtype=dtype)
+        result = normalize_windows(raw, out=out)
+        assert result is out
+        assert np.array_equal(out, normalize_windows(raw))
+
+    def test_constant_channel_guard_matches(self):
+        raw = _raw(n=2, seed=5)
+        raw[0] = 3.25  # zero variance: the 1e-12 floor engages
+        out = np.empty(raw.shape, dtype=raw.dtype)
+        normalize_windows(raw, out=out)
+        assert np.array_equal(out, normalize_windows(raw))
+
+    def test_out_shape_and_dtype_validated(self):
+        raw = _raw(n=2)
+        with pytest.raises(ValueError):
+            normalize_windows(raw, out=np.empty((3,) + raw.shape[1:], np.float32))
+        with pytest.raises(ValueError):
+            normalize_windows(raw, out=np.empty(raw.shape, np.float64))
+
+    def test_scratch_shape_validated(self):
+        raw = _raw(n=2)
+        out = np.empty(raw.shape, dtype=raw.dtype)
+        with pytest.raises(ValueError):
+            normalize_windows(
+                raw, out=out, scratch=np.empty(raw.shape, np.float32)
+            )
+
+
+class TestPrepareWindowsOutPath:
+    @pytest.mark.parametrize("pool", [1, 5])
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    @pytest.mark.parametrize("batch", [1, 7, 64])
+    def test_out_path_is_bit_for_bit_the_allocating_path(self, pool, layout, batch):
+        raw = _raw(n=batch, seed=batch + pool)
+        out = np.empty(
+            prepared_window_shape(raw.shape, pool, layout), dtype=raw.dtype
+        )
+        result = prepare_windows(raw, pool=pool, layout=layout, out=out)
+        assert result is out
+        assert np.array_equal(out, prepare_windows(raw, pool=pool, layout=layout))
+
+    def test_integer_input_rejected_on_the_out_path(self):
+        raw = np.ones((2, 4, 10), dtype=np.int64)
+        out = np.empty((2, 10, 4), dtype=np.float64)
+        with pytest.raises(ValueError, match="floating"):
+            prepare_windows(raw, out=out)
+
+    def test_wrong_out_geometry_rejected(self):
+        raw = _raw(n=2)
+        with pytest.raises(ValueError):
+            prepare_windows(raw, out=np.empty((2, 4, 4), dtype=raw.dtype))
+
+
+class TestPreprocessArena:
+    @pytest.mark.parametrize("pool", [1, 5])
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    @pytest.mark.parametrize("batch", [1, 7, 64])
+    def test_prepare_is_bit_for_bit_the_generic_chain(self, pool, layout, batch):
+        raw = _raw(n=batch, seed=batch * 3 + pool)
+        arena = PreprocessArena(raw.shape, pool=pool, layout=layout)
+        prepared = arena.prepare(raw)
+        generic = prepare_windows(normalize_windows(raw), pool=pool, layout=layout)
+        assert np.array_equal(np.asarray(prepared), generic)
+        assert arena.calls == 1
+
+    @pytest.mark.parametrize("pool", [1, 5])
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    def test_steady_state_prepares_with_no_window_sized_allocations(
+        self, pool, layout
+    ):
+        raw = _raw(n=32, seed=9)  # the raw batch alone is >1 MB
+        arena = PreprocessArena(raw.shape, pool=pool, layout=layout)
+        peak = _steady_peak(lambda: arena.prepare(raw))
+        assert peak < 16 * 1024, f"arena prepare peaked at {peak}B"
+
+    def test_shape_and_dtype_are_enforced(self):
+        arena = PreprocessArena((4, 8, 130))
+        with pytest.raises(ValueError):
+            arena.prepare(_raw(n=5))
+        with pytest.raises(ValueError):
+            arena.prepare(_raw(n=4, dtype=np.float64))
+
+    def test_non_floating_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            PreprocessArena((4, 8, 130), dtype=np.int32)
+
+    def test_scratch_bytes_counts_held_buffers_once(self):
+        pooled = PreprocessArena((4, 8, 130), pool=5)
+        plain = PreprocessArena((4, 8, 130), pool=1)
+        # pool=1 standardises straight into the prepared base; pool>1 holds
+        # an extra full-resolution normalised buffer (its square scratch is
+        # an aliased view, never counted).
+        assert plain.scratch_nbytes < pooled.scratch_nbytes
+        assert pooled.scratch_nbytes == (
+            pooled.prepared.nbytes
+            + pooled._stats64.nbytes
+            + pooled._normalized.nbytes
+        )
+
+    def test_prepared_is_arena_owned_and_overwritten(self):
+        raw_a = _raw(n=3, seed=10)
+        raw_b = _raw(n=3, seed=11)
+        arena = PreprocessArena(raw_a.shape, pool=5)
+        first = arena.prepare(raw_a)
+        held = np.asarray(first).copy()
+        second = arena.prepare(raw_b)
+        assert second is first  # same buffer...
+        assert not np.array_equal(np.asarray(first), held)  # ...new contents
+
+
+class TestValidatePrepareSpec:
+    def test_normalizes_defaults(self):
+        assert validate_prepare_spec({}) == {"pool": 1, "layout": "time-major"}
+
+    def test_rejects_unknown_keys_and_bad_values(self):
+        with pytest.raises(ValueError):
+            validate_prepare_spec({"pool": 1, "stride": 2})
+        with pytest.raises(ValueError):
+            validate_prepare_spec({"pool": 0})
+        with pytest.raises(ValueError):
+            validate_prepare_spec({"layout": "row-major"})
+        with pytest.raises(ValueError):
+            validate_prepare_spec([("pool", 1)])

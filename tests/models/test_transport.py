@@ -234,3 +234,137 @@ class TestSparsePayloads:
                 )
             finally:
                 executor.shutdown()
+
+
+def _block_pruned_lstm(seed=8, hidden=32, channels=16):
+    """A block-pruned LSTM classifier whose plan lowers block-sparse kernels."""
+    from repro.compression.pruning import prune_classifier_inplace
+    from repro.nn.inference import SparsityConfig
+
+    classifier = EEGLSTM(LSTMConfig(hidden_size=hidden), seed=seed)
+    classifier.ensure_network(channels, WINDOW)
+    prune_classifier_inplace(classifier, 0.9, tile=(8, 8))
+    classifier.plan_sparsity = SparsityConfig(mode="always", min_size=0)
+    return classifier
+
+
+class TestBlockSparsePayloads:
+    def test_block_pruned_classifier_round_trips_exactly(self):
+        classifier = _block_pruned_lstm()
+        compiled = classifier.ensure_compiled()
+        assert any("block" in k for k in compiled.plan.describe())
+        replica = CompiledClassifier.from_payload(compiled.to_payload())
+        assert replica.plan.describe() == compiled.plan.describe()
+        windows = np.random.default_rng(13).standard_normal((5, 16, WINDOW))
+        np.testing.assert_array_equal(
+            replica.predict_proba(windows), compiled.predict_proba(windows)
+        )
+
+    def test_replica_block_operands_are_identical(self):
+        from repro.nn.sparse import BlockSparseWeight
+
+        compiled = _block_pruned_lstm(seed=9).ensure_compiled()
+        replica = CompiledClassifier.from_payload(compiled.to_payload())
+        pairs = [
+            (mine, theirs)
+            for kernel, copy in zip(compiled.plan.kernels, replica.plan.kernels)
+            if hasattr(kernel, "layers")
+            for layer, layer_copy in zip(kernel.layers, copy.layers)
+            for mine, theirs in zip(layer[:2], layer_copy[:2])
+            if isinstance(mine, BlockSparseWeight)
+        ]
+        assert pairs  # the pruned projections really did lower block-sparse
+        for mine, theirs in pairs:
+            assert isinstance(theirs, BlockSparseWeight)
+            assert theirs.tile == mine.tile
+            assert np.array_equal(theirs.block_indices, mine.block_indices)
+            assert np.array_equal(theirs.blocks, mine.blocks)
+
+    def test_shard_worker_serves_a_block_sparse_plan(self):
+        classifier = _block_pruned_lstm(seed=10)
+        assert any(
+            "block" in k for k in classifier.ensure_compiled().plan.describe()
+        )
+        prepared = PreparedBatch(
+            session_ids=["a", "b", "c"],
+            windows=np.random.default_rng(14).standard_normal((3, 16, WINDOW)),
+            chunk_size=3,
+        )
+        serial = SerialExecutor()
+        serial.bind({"block": classifier}, SYSTEM_CLOCK)
+        reference = serial.submit_flush("block", prepared).result()
+        executor = ProcessShardExecutor()
+        with hard_timeout(240, what="block-sparse shard-worker smoke"):
+            executor.bind({"block": classifier}, SYSTEM_CLOCK)
+            try:
+                execution = executor.submit_flush("block", prepared).result()
+                np.testing.assert_allclose(
+                    execution.probabilities,
+                    reference.probabilities,
+                    atol=1e-7,
+                    rtol=0,
+                )
+            finally:
+                executor.shutdown()
+
+
+class TestAutotunePayloadSeeding:
+    @pytest.fixture
+    def isolated_cache(self, tmp_path):
+        from repro.nn.autotune import AutotuneCache, set_default_cache
+
+        cache = AutotuneCache(path=str(tmp_path / "autotune.json"))
+        previous = set_default_cache(cache)
+        try:
+            yield cache
+        finally:
+            set_default_cache(previous)
+
+    def _calibrated_compiled(self, monkeypatch):
+        from repro.nn import autotune
+        from repro.nn.inference import SparsityConfig
+
+        monkeypatch.setattr(
+            autotune, "median_call_time_s", lambda call, repeats=5: (call(), 1e-4)[1]
+        )
+        classifier = EEGLSTM(LSTMConfig(hidden_size=32), seed=11)
+        classifier.ensure_network(16, WINDOW)
+        from repro.compression.pruning import prune_classifier_inplace
+
+        prune_classifier_inplace(classifier, 0.9, tile=(8, 8))
+        classifier.plan_sparsity = SparsityConfig(mode="auto", min_size=0)
+        return classifier.ensure_compiled()
+
+    def test_payload_carries_the_calibration_entries(
+        self, isolated_cache, monkeypatch
+    ):
+        import io
+        import json
+
+        from repro.nn.autotune import host_fingerprint
+
+        compiled = self._calibrated_compiled(monkeypatch)
+        keys = [
+            r["key"] for r in compiled.plan.lowering_records if r.get("key")
+        ]
+        assert keys  # auto mode calibrated at least one matmul
+        with np.load(io.BytesIO(compiled.to_payload()), allow_pickle=False) as archive:
+            meta = json.loads(str(archive[InferencePlan.META_KEY]))
+        autotune_meta = meta["autotune"]
+        assert autotune_meta["fingerprint"] == host_fingerprint()
+        assert set(autotune_meta["entries"]) == set(keys)
+
+    def test_from_payload_seeds_the_worker_cache(self, isolated_cache, monkeypatch):
+        from repro.nn.autotune import AutotuneCache, set_default_cache
+
+        compiled = self._calibrated_compiled(monkeypatch)
+        payload = compiled.to_payload()
+        keys = [r["key"] for r in compiled.plan.lowering_records if r.get("key")]
+        # Fresh empty cache = a newly spawned worker process.
+        worker_cache = AutotuneCache(path=None)
+        set_default_cache(worker_cache)
+        try:
+            CompiledClassifier.from_payload(payload)
+            assert all(worker_cache.get(key) is not None for key in keys)
+        finally:
+            set_default_cache(isolated_cache)

@@ -1,0 +1,381 @@
+"""Tests for the persistent per-host autotune cache (repro.nn.autotune)."""
+
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.nn import autotune
+from repro.nn.autotune import (
+    CACHE_ENV_VAR,
+    CACHE_VERSION,
+    AutotuneCache,
+    choose_matmul_variant,
+    host_fingerprint,
+    matmul_cache_key,
+    resolve_cache_path,
+    set_default_cache,
+    sparsity_bucket,
+    variant_name,
+)
+from repro.nn.inference import SparsityConfig, compile_network
+from repro.nn.layers import Dense
+from repro.nn.module import Sequential
+from repro.nn.sparse import BlockSparseWeight, ColumnSparseWeight
+
+
+@pytest.fixture
+def isolated_default_cache(tmp_path):
+    """Swap the process-wide cache for a throwaway one for the test's duration."""
+    cache = AutotuneCache(path=str(tmp_path / "autotune.json"))
+    previous = set_default_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_default_cache(previous)
+
+
+def _pruned_matrix(shape=(64, 32), sparsity=0.9, seed=0):
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal(shape).astype(np.float32)
+    dense[rng.random(shape) < sparsity] = 0.0
+    return dense
+
+
+def _candidates(dense):
+    return {"ell": ColumnSparseWeight.from_dense(dense)}
+
+
+def _count_timings(monkeypatch, value=1e-4):
+    """Replace the timing primitive with a deterministic call counter."""
+    calls = {"n": 0}
+
+    def fake(call, repeats=5):
+        calls["n"] += 1
+        call()
+        return value
+
+    monkeypatch.setattr(autotune, "median_call_time_s", fake)
+    return calls
+
+
+class TestKeying:
+    def test_sparsity_bucket_rounds_to_width(self):
+        assert sparsity_bucket(0.9) == "0.90"
+        assert sparsity_bucket(0.91) == "0.90"
+        assert sparsity_bucket(0.93) == "0.95"
+        assert sparsity_bucket(1.7) == "1.00"  # clamped
+        assert sparsity_bucket(-0.2) == "0.00"
+
+    def test_key_includes_every_dimension(self):
+        key = matmul_cache_key(
+            "dense", (64, 32), np.float32, 0.9, tile=(8, 8), fingerprint="abc"
+        )
+        assert key == "dense|64x32|float32|s0.90|t8x8|abc"
+        # No tile → placeholder, not absence (keys stay fixed-arity).
+        assert "|t-|" in matmul_cache_key(
+            "dense", (64, 32), np.float32, 0.9, fingerprint="abc"
+        )
+
+    def test_key_defaults_to_this_hosts_fingerprint(self):
+        key = matmul_cache_key("dense", (8, 8), np.float64, 0.5)
+        assert key.endswith(host_fingerprint())
+
+    def test_fingerprint_is_stable_and_short(self):
+        assert host_fingerprint() == host_fingerprint()
+        assert len(host_fingerprint()) == 12
+
+
+class TestCachePathResolution:
+    def test_default_is_under_home_cache(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        path = resolve_cache_path()
+        assert path is not None and path.endswith(os.path.join("repro", "autotune.json"))
+
+    def test_env_var_relocates_the_file(self, monkeypatch, tmp_path):
+        target = str(tmp_path / "tuned.json")
+        monkeypatch.setenv(CACHE_ENV_VAR, target)
+        assert resolve_cache_path() == target
+
+    @pytest.mark.parametrize("raw", ["", "off", "OFF", "0", "none"])
+    def test_env_var_disables_persistence(self, monkeypatch, raw):
+        monkeypatch.setenv(CACHE_ENV_VAR, raw)
+        assert resolve_cache_path() is None
+
+
+class TestAutotuneCachePersistence:
+    def test_put_creates_a_versioned_json_file(self, tmp_path):
+        path = tmp_path / "cache" / "autotune.json"
+        cache = AutotuneCache(path=str(path))
+        cache.put("k1", {"variant": "ell"})
+        payload = json.loads(path.read_text())
+        assert payload["version"] == CACHE_VERSION
+        assert payload["entries"]["k1"]["variant"] == "ell"
+
+    def test_second_cache_instance_reads_the_file(self, tmp_path):
+        path = str(tmp_path / "autotune.json")
+        AutotuneCache(path=path).put("k1", {"variant": "dense"})
+        fresh = AutotuneCache(path=path)
+        assert fresh.get("k1") == {"variant": "dense"}
+
+    def test_corrupt_file_degrades_to_empty_and_is_rewritten(self, tmp_path):
+        path = tmp_path / "autotune.json"
+        path.write_text("{ not json !!")
+        cache = AutotuneCache(path=str(path))
+        assert cache.get("anything") is None
+        assert cache.persist_errors == 0
+        cache.put("k1", {"variant": "ell"})
+        assert json.loads(path.read_text())["entries"]["k1"]["variant"] == "ell"
+
+    def test_wrong_version_file_is_ignored(self, tmp_path):
+        path = tmp_path / "autotune.json"
+        path.write_text(
+            json.dumps({"version": CACHE_VERSION + 1, "entries": {"k1": {"variant": "ell"}}})
+        )
+        assert AutotuneCache(path=str(path)).get("k1") is None
+
+    def test_non_dict_entries_are_dropped_on_load(self, tmp_path):
+        path = tmp_path / "autotune.json"
+        path.write_text(
+            json.dumps(
+                {"version": CACHE_VERSION, "entries": {"ok": {"variant": "ell"}, "bad": 7}}
+            )
+        )
+        cache = AutotuneCache(path=str(path))
+        assert cache.get("ok") == {"variant": "ell"}
+        assert cache.get("bad") is None
+
+    def test_unwritable_location_counts_instead_of_raising(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        cache = AutotuneCache(path=str(blocker / "nested" / "autotune.json"))
+        cache.put("k1", {"variant": "ell"})  # must not raise
+        assert cache.persist_errors == 1
+        assert cache.get("k1") == {"variant": "ell"}  # memory still works
+
+    def test_memory_only_mode_never_touches_disk(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        cache = AutotuneCache(path=None)
+        cache.put("k1", {"variant": "dense"})
+        assert cache.get("k1") == {"variant": "dense"}
+        assert list(tmp_path.iterdir()) == []
+
+    def test_merge_on_write_unions_concurrent_compiles(self, tmp_path):
+        path = str(tmp_path / "autotune.json")
+        a = AutotuneCache(path=path)
+        b = AutotuneCache(path=path)
+        a.put("ka", {"variant": "ell"})
+        b.put("kb", {"variant": "dense"})  # b loaded before a's write? either way:
+        entries = json.loads((tmp_path / "autotune.json").read_text())["entries"]
+        assert entries["ka"]["variant"] == "ell"
+        assert entries["kb"]["variant"] == "dense"
+
+    def test_concurrent_threads_on_one_cache_lose_nothing(self, tmp_path):
+        path = str(tmp_path / "autotune.json")
+        cache = AutotuneCache(path=path)
+
+        def writer(tag):
+            for i in range(10):
+                cache.put(f"{tag}-{i}", {"variant": "ell", "i": i})
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        payload = json.loads((tmp_path / "autotune.json").read_text())
+        assert payload["version"] == CACHE_VERSION
+        assert len(payload["entries"]) == 40
+        # The atomic-replace discipline leaves no temp droppings behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["autotune.json"]
+
+    def test_racing_cache_instances_never_tear_the_file(self, tmp_path):
+        """Independent processes may lose a race, but never corrupt the file."""
+        path = str(tmp_path / "autotune.json")
+        caches = [AutotuneCache(path=path) for _ in range(4)]
+
+        def writer(cache, tag):
+            for i in range(10):
+                cache.put(f"{tag}-{i}", {"variant": "ell", "i": i})
+
+        threads = [
+            threading.Thread(target=writer, args=(cache, t))
+            for t, cache in enumerate(caches)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        payload = json.loads((tmp_path / "autotune.json").read_text())
+        assert payload["version"] == CACHE_VERSION
+        # Every surviving entry is intact; each writer's own view is complete.
+        assert all(v["variant"] == "ell" for v in payload["entries"].values())
+        for tag, cache in enumerate(caches):
+            assert all(cache.get(f"{tag}-{i}") is not None for i in range(10))
+        assert [p.name for p in tmp_path.iterdir()] == ["autotune.json"]
+
+
+class TestSeeding:
+    def test_seed_adds_only_new_entries_local_wins(self, tmp_path):
+        cache = AutotuneCache(path=str(tmp_path / "autotune.json"))
+        cache.put("local", {"variant": "ell"})
+        added = cache.seed(
+            {"local": {"variant": "dense"}, "remote": {"variant": "block8x8"}, "junk": 3}
+        )
+        assert added == 1
+        assert cache.get("local") == {"variant": "ell"}  # local measurement wins
+        assert cache.get("remote") == {"variant": "block8x8"}
+
+    def test_seed_does_not_write_the_file(self, tmp_path):
+        path = tmp_path / "autotune.json"
+        cache = AutotuneCache(path=str(path))
+        cache.seed({"remote": {"variant": "ell"}})
+        assert not path.exists()
+
+    def test_export_entries_selects_the_requested_keys(self, tmp_path):
+        cache = AutotuneCache(path=None)
+        cache.put("a", {"variant": "ell"})
+        cache.put("b", {"variant": "dense"})
+        assert cache.export_entries(["a", "missing"]) == {"a": {"variant": "ell"}}
+
+
+class TestChooseMatmulVariant:
+    def test_cold_call_measures_and_persists(self, tmp_path, monkeypatch):
+        calls = _count_timings(monkeypatch)
+        cache = AutotuneCache(path=str(tmp_path / "autotune.json"))
+        dense = _pruned_matrix()
+        decision = choose_matmul_variant(
+            "dense", dense, _candidates(dense), rows=8, cache=cache
+        )
+        assert decision.cached is False
+        assert calls["n"] == 2  # dense baseline + one candidate
+        assert set(decision.timings) == {"dense", "ell"}
+        assert decision.key is not None
+        assert cache.misses == 1 and cache.hits == 0
+        assert cache.get(decision.key)["variant"] == decision.variant
+
+    def test_warm_call_performs_zero_timings(self, tmp_path, monkeypatch):
+        calls = _count_timings(monkeypatch)
+        cache = AutotuneCache(path=str(tmp_path / "autotune.json"))
+        dense = _pruned_matrix()
+        cold = choose_matmul_variant("dense", dense, _candidates(dense), rows=8, cache=cache)
+        before = calls["n"]
+        warm = choose_matmul_variant("dense", dense, _candidates(dense), rows=8, cache=cache)
+        assert calls["n"] == before  # no new measurements
+        assert warm.cached is True
+        assert warm.variant == cold.variant
+        assert cache.hits == 1
+
+    def test_warm_across_processes_via_the_file(self, tmp_path, monkeypatch):
+        calls = _count_timings(monkeypatch)
+        path = str(tmp_path / "autotune.json")
+        dense = _pruned_matrix()
+        choose_matmul_variant(
+            "dense", dense, _candidates(dense), rows=8, cache=AutotuneCache(path=path)
+        )
+        before = calls["n"]
+        # A fresh cache instance = a fresh process reading the same file.
+        warm = choose_matmul_variant(
+            "dense", dense, _candidates(dense), rows=8, cache=AutotuneCache(path=path)
+        )
+        assert warm.cached is True and calls["n"] == before
+
+    def test_margin_keeps_borderline_matrices_dense(self, tmp_path, monkeypatch):
+        # Sparse exactly as fast as dense: must NOT win under margin < 1.
+        _count_timings(monkeypatch, value=1e-4)
+        cache = AutotuneCache(path=None)
+        dense = _pruned_matrix()
+        decision = choose_matmul_variant(
+            "dense", dense, _candidates(dense), rows=8, margin=0.9, cache=cache
+        )
+        assert decision.variant == "dense"
+
+    def test_mismatched_fingerprint_entries_are_not_hits(self, tmp_path, monkeypatch):
+        calls = _count_timings(monkeypatch)
+        path = str(tmp_path / "autotune.json")
+        dense = _pruned_matrix()
+        other_host = AutotuneCache(path=path, fingerprint="cafecafecafe")
+        choose_matmul_variant("dense", dense, _candidates(dense), rows=8, cache=other_host)
+        before = calls["n"]
+        here = AutotuneCache(path=path)  # this host's real fingerprint
+        decision = choose_matmul_variant(
+            "dense", dense, _candidates(dense), rows=8, cache=here
+        )
+        assert decision.cached is False  # foreign timings are not trusted
+        assert calls["n"] > before
+        # Both hosts' entries coexist in the shared file.
+        assert len(json.loads((tmp_path / "autotune.json").read_text())["entries"]) == 2
+
+    def test_stale_entry_naming_a_gone_variant_remeasures(self, monkeypatch):
+        calls = _count_timings(monkeypatch)
+        cache = AutotuneCache(path=None)
+        dense = _pruned_matrix()
+        cold = choose_matmul_variant(
+            "dense", dense, _candidates(dense), rows=8, cache=cache
+        )
+        cache.put(cold.key, {"variant": "block8x8"})  # not in candidates
+        before = calls["n"]
+        redo = choose_matmul_variant("dense", dense, _candidates(dense), rows=8, cache=cache)
+        assert redo.cached is False and calls["n"] > before
+
+    def test_no_candidates_short_circuits_to_dense(self, monkeypatch):
+        calls = _count_timings(monkeypatch)
+        decision = choose_matmul_variant(
+            "dense", _pruned_matrix(), {}, rows=8, cache=AutotuneCache(path=None)
+        )
+        assert decision.variant == "dense" and calls["n"] == 0
+
+    def test_variant_name_distinguishes_layouts(self):
+        dense = _pruned_matrix(shape=(16, 16))
+        assert variant_name(ColumnSparseWeight.from_dense(dense)) == "ell"
+        assert variant_name(BlockSparseWeight.from_dense(dense, (8, 8))) == "block8x8"
+
+
+class TestCompileLevelCaching:
+    """The acceptance claim: the second compile performs zero timings."""
+
+    def _pruned_net(self):
+        net = Sequential(Dense(64, 32, seed=0), Dense(32, 3, seed=1))
+        rng = np.random.default_rng(2)
+        for layer in net.layers:
+            layer.weight.data[rng.random(layer.weight.data.shape) < 0.9] = 0.0
+        return net
+
+    def test_second_compile_is_pure_cache_hits(self, tmp_path, monkeypatch):
+        calls = _count_timings(monkeypatch)
+        cache = AutotuneCache(path=str(tmp_path / "autotune.json"))
+        cfg = SparsityConfig(mode="auto", min_size=0)
+        net = self._pruned_net()
+        first = compile_network(net, sparsity=cfg, tuner=cache)
+        assert calls["n"] > 0
+        before = calls["n"]
+        second = compile_network(net, sparsity=cfg, tuner=cache)
+        assert calls["n"] == before  # zero calibration timings
+        assert [r["variant"] for r in first.lowering_report()] == [
+            r["variant"] for r in second.lowering_report()
+        ]
+        assert all(
+            r["cached"] is True
+            for r in second.lowering_report()
+            if r["reason"] == "calibrated"
+        )
+        x = np.random.default_rng(3).standard_normal((5, 64))
+        assert np.array_equal(first(x), second(x))
+
+    def test_lowering_report_records_calibration_rows(self, tmp_path, monkeypatch):
+        _count_timings(monkeypatch)
+        cache = AutotuneCache(path=None)
+        cfg = SparsityConfig(mode="auto", min_size=0, calibration_rows=8)
+        plan = compile_network(self._pruned_net(), sparsity=cfg, tuner=cache)
+        calibrated = [r for r in plan.lowering_report() if r["reason"] == "calibrated"]
+        assert calibrated and all(r["rows"] == 8 for r in calibrated)
+
+    def test_default_cache_is_used_when_no_tuner_given(
+        self, isolated_default_cache, monkeypatch
+    ):
+        _count_timings(monkeypatch)
+        cfg = SparsityConfig(mode="auto", min_size=0)
+        compile_network(self._pruned_net(), sparsity=cfg)
+        assert isolated_default_cache.misses > 0

@@ -18,7 +18,7 @@ from repro.nn.inference import (
 from repro.nn.layers import Dense
 from repro.nn.lstm import LSTM
 from repro.nn.module import Sequential
-from repro.nn.sparse import ColumnSparseWeight
+from repro.nn.sparse import BlockSparseWeight, ColumnSparseWeight
 
 
 def _forward_autograd(module, x):
@@ -223,3 +223,182 @@ class TestSparseTransport:
         rebuilt = InferencePlan.from_payload(payload)
         x = np.random.default_rng(10).standard_normal((2, 6, 4))
         assert np.array_equal(plan(x), rebuilt(x))
+
+
+# ---------------------------------------------------------------------- #
+# Block-structured layout (tile slabs)
+# ---------------------------------------------------------------------- #
+def _block_pruned(shape, tile, keep=0.2, seed=0, dtype=np.float32):
+    """A dense matrix keeping exactly ``keep`` of its tiles (rest all-zero)."""
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal(shape).astype(dtype)
+    th, tw = tile
+    n_row, n_col = shape[0] // th, shape[1] // tw
+    n_tiles = n_row * n_col
+    n_keep = max(1, int(round(keep * n_tiles)))
+    mask = np.zeros(n_tiles, dtype=bool)
+    mask[rng.permutation(n_tiles)[:n_keep]] = True
+    tiles = dense.reshape(n_row, th, n_col, tw)
+    tiles *= mask.reshape(n_row, n_col)[:, None, :, None]
+    return dense
+
+
+class TestBlockSparseWeight:
+    @pytest.mark.parametrize("tile", [(8, 8), (16, 1), (4, 2)])
+    @pytest.mark.parametrize("batch", [1, 7, 64])
+    def test_matmul_matches_dense(self, tile, batch):
+        dense = _block_pruned((32, 16), tile, seed=1)
+        weight = BlockSparseWeight.from_dense(dense, tile)
+        x = np.random.default_rng(2).standard_normal((batch, 32)).astype(np.float32)
+        np.testing.assert_allclose(weight.matmul(x), x @ dense, atol=1e-5)
+        assert weight.nnz == int(np.count_nonzero(dense))
+
+    @pytest.mark.parametrize("tile", [(8, 8), (16, 1)])
+    def test_bound_scratch_matches_allocating_path_bitwise(self, tile):
+        dense = _block_pruned((32, 16), tile, seed=3)
+        weight = BlockSparseWeight.from_dense(dense, tile)
+        x = np.random.default_rng(4).standard_normal((5, 32)).astype(np.float32)
+        out = np.empty((5, 16), dtype=np.float32)
+        panels, prod = weight.matmul_scratch(5, np.float32)
+        weight.matmul(x, out=out, panels=panels, prod=prod)
+        assert np.array_equal(out, weight.matmul(x))
+
+    def test_tile_must_divide_the_matrix(self):
+        with pytest.raises(ValueError):
+            BlockSparseWeight.from_dense(np.zeros((30, 16), dtype=np.float32), (8, 8))
+        with pytest.raises(ValueError):
+            BlockSparseWeight.from_dense(np.zeros((32, 15), dtype=np.float32), (8, 8))
+
+    def test_all_zero_matrix_supported(self):
+        weight = BlockSparseWeight.from_dense(np.zeros((16, 8), dtype=np.float32), (8, 8))
+        out = weight.matmul(np.ones((3, 16), dtype=np.float32))
+        np.testing.assert_array_equal(out, np.zeros((3, 8), dtype=np.float32))
+        assert weight.tiles_kept == 0
+
+    def test_occupancy_reports_the_tile_grid(self):
+        dense = np.zeros((16, 16), dtype=np.float32)
+        dense[:8, :8] = 1.0  # exactly one of four (8, 8) tiles survives
+        weight = BlockSparseWeight.from_dense(dense, (8, 8))
+        assert weight.tiles_total == 4
+        assert weight.tiles_kept == 1
+        assert weight.block_occupancy == 0.25
+        assert weight.kmax == 1
+
+    def test_construction_is_deterministic(self):
+        dense = _block_pruned((32, 16), (8, 8), seed=5)
+        a = BlockSparseWeight.from_dense(dense, (8, 8))
+        b = BlockSparseWeight.from_dense(dense.copy(), (8, 8))
+        assert np.array_equal(a.block_indices, b.block_indices)
+        assert np.array_equal(a.blocks, b.blocks)
+
+    def test_state_round_trips_exactly(self):
+        dense = _block_pruned((32, 16), (16, 1), seed=6)
+        weight = BlockSparseWeight.from_dense(dense, (16, 1))
+        rebuilt = BlockSparseWeight.from_state(
+            weight.shape, weight.tile, weight.state_arrays(), np.float32
+        )
+        x = np.random.default_rng(7).standard_normal((4, 32)).astype(np.float32)
+        assert np.array_equal(weight.matmul(x), rebuilt.matmul(x))
+
+    def test_slab_is_smaller_than_dense_at_high_sparsity(self):
+        dense = _block_pruned((128, 64), (8, 8), keep=0.1, seed=8)
+        weight = BlockSparseWeight.from_dense(dense, (8, 8))
+        assert weight.nbytes < dense.nbytes
+
+
+class TestBlockLowering:
+    def test_block_pruned_dense_lowers_to_block_kernel(self):
+        layer = Dense(32, 16, seed=0)
+        layer.weight.data = _block_pruned((32, 16), (8, 8), keep=0.1, seed=9)
+        plan = compile_network(Sequential(layer), sparsity=TINY_ALWAYS)
+        kernel = plan.kernels[0]
+        assert isinstance(kernel, SparseDenseKernel)
+        assert isinstance(kernel.weight, BlockSparseWeight)
+        assert "block8x8" in plan.describe()[0]
+
+    def test_elementwise_pruning_stays_ell(self):
+        layer = Dense(32, 16, seed=0)
+        _prune_to(layer.weight, 0.9)  # unstructured zeros ignore the tile grid
+        plan = compile_network(Sequential(layer), sparsity=TINY_ALWAYS)
+        assert isinstance(plan.kernels[0].weight, ColumnSparseWeight)
+
+    def test_indivisible_shape_falls_back_to_ell(self):
+        layer = Dense(30, 12, seed=0)  # no configured tile divides (30, 12)
+        layer.weight.data[np.random.default_rng(10).random((30, 12)) < 0.9] = 0.0
+        plan = compile_network(Sequential(layer), sparsity=TINY_ALWAYS)
+        assert isinstance(plan.kernels[0].weight, ColumnSparseWeight)
+
+    def test_block_dense_matches_autograd(self):
+        net = Sequential(Dense(32, 16, seed=0, activation="relu"), Dense(16, 3, seed=1))
+        net.layers[0].weight.data = _block_pruned((32, 16), (8, 8), keep=0.2, seed=11)
+        plan = compile_network(net, sparsity=TINY_ALWAYS)
+        assert isinstance(plan.kernels[0].weight, BlockSparseWeight)
+        assert plan.kernels[0].activation == "relu"
+        x = np.random.default_rng(12).standard_normal((6, 32))
+        np.testing.assert_allclose(plan(x), _forward_autograd(net, x), atol=1e-5)
+
+    def test_block_pruned_lstm_lowers_row_tiles(self):
+        lstm = LSTM(input_size=16, hidden_size=32, seed=0)
+        cell = lstm.cells[0]
+        cell.weight_ih.data = _block_pruned((16, 128), (16, 1), keep=0.1, seed=13)
+        cell.weight_hh.data = _block_pruned((32, 128), (16, 1), keep=0.1, seed=14)
+        plan = compile_network(Sequential(lstm), sparsity=TINY_ALWAYS)
+        kernel = plan.kernels[0]
+        assert isinstance(kernel, LSTMKernel)
+        w_ih, w_hh, _ = kernel.layers[0]
+        assert isinstance(w_ih, BlockSparseWeight) and w_ih.tile == (16, 1)
+        assert isinstance(w_hh, BlockSparseWeight) and w_hh.tile == (16, 1)
+        assert "block" in kernel.describe()
+        x = np.random.default_rng(15).standard_normal((4, 9, 16))
+        np.testing.assert_allclose(plan(x), _forward_autograd(lstm, x), atol=1e-5)
+
+    def test_block_lstm_specialized_is_bit_for_bit_generic(self):
+        lstm = LSTM(input_size=16, hidden_size=32, seed=1)
+        cell = lstm.cells[0]
+        cell.weight_ih.data = _block_pruned((16, 128), (16, 1), keep=0.15, seed=16)
+        cell.weight_hh.data = _block_pruned((32, 128), (16, 1), keep=0.15, seed=17)
+        plan = compile_network(Sequential(lstm), sparsity=TINY_ALWAYS)
+        plan.append(SoftmaxKernel())
+        x = np.random.default_rng(18).standard_normal((5, 9, 16))
+        generic = plan(x).copy()
+        assert plan.specialize(5)
+        plan(x)
+        assert np.array_equal(generic, plan(x))
+
+    def test_block_plans_round_trip_through_payloads(self):
+        lstm = LSTM(input_size=16, hidden_size=32, seed=2)
+        cell = lstm.cells[0]
+        cell.weight_ih.data = _block_pruned((16, 128), (16, 1), keep=0.1, seed=19)
+        cell.weight_hh.data = _block_pruned((32, 128), (16, 1), keep=0.1, seed=20)
+        plan = compile_network(Sequential(lstm), sparsity=TINY_ALWAYS)
+        rebuilt = InferencePlan.from_payload(plan.to_payload())
+        w_ih, _, _ = rebuilt.kernels[0].layers[0]
+        assert isinstance(w_ih, BlockSparseWeight)
+        x = np.random.default_rng(21).standard_normal((3, 7, 16))
+        assert np.array_equal(plan(x), rebuilt(x))
+
+
+class TestBlockEquivalenceAtPaperLevels:
+    """Block-sparse serving matches the autograd oracle at every paper level."""
+
+    @pytest.mark.parametrize("level", [0.3, 0.5, 0.7, 0.9])
+    @pytest.mark.parametrize("batch", [1, 7, 64])
+    def test_dense_network(self, level, batch):
+        from repro.compression.pruning import apply_block_magnitude_pruning
+
+        net = Sequential(Dense(32, 16, seed=3, activation="relu"), Dense(16, 8, seed=4))
+        apply_block_magnitude_pruning(net, level, tile=(8, 8))
+        plan = compile_network(net, sparsity=TINY_ALWAYS)
+        x = np.random.default_rng(int(level * 10) + batch).standard_normal((batch, 32))
+        np.testing.assert_allclose(plan(x), _forward_autograd(net, x), atol=1e-5)
+
+    @pytest.mark.parametrize("level", [0.3, 0.5, 0.7, 0.9])
+    @pytest.mark.parametrize("batch", [1, 7, 64])
+    def test_lstm_network(self, level, batch):
+        from repro.compression.pruning import apply_block_magnitude_pruning
+
+        lstm = LSTM(input_size=16, hidden_size=32, seed=5)
+        apply_block_magnitude_pruning(Sequential(lstm), level)
+        plan = compile_network(Sequential(lstm), sparsity=TINY_ALWAYS)
+        x = np.random.default_rng(int(level * 100) + batch).standard_normal((batch, 9, 16))
+        np.testing.assert_allclose(plan(x), _forward_autograd(lstm, x), atol=1e-5)

@@ -221,3 +221,135 @@ class TestAutoSpecialization:
         prune_classifier_inplace(classifier, 0.5)
         self._flush(batcher, 3, seed=20)  # recompiled plan, streak restarts
         assert self._flush(batcher, 3, seed=30).specialized is True
+
+
+def _alloc_profile(call, warm=3):
+    """(net_bytes, peak_bytes) of one steady-state ``call`` under tracemalloc."""
+    import gc
+    import tracemalloc
+
+    for _ in range(warm):
+        call()
+    gc.collect()
+    tracemalloc.start()
+    try:
+        call()
+        call()
+        tracemalloc.reset_peak()
+        before = tracemalloc.get_traced_memory()[0]
+        call()
+        current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return current - before, peak - before
+
+
+class TestStackBuffers:
+    """prepare() reuses a batcher-owned stacking buffer on the inline path."""
+
+    def _windows(self, n, seed=0, dtype=np.float32):
+        return [
+            np.random.default_rng(seed + i).standard_normal((4, 10)).astype(dtype)
+            for i in range(n)
+        ]
+
+    def test_same_geometry_flushes_reuse_the_buffer(self, stub_classifier):
+        batcher = MicroBatcher(stub_classifier)
+        first_windows = self._windows(3, seed=0)
+        for i, w in enumerate(first_windows):
+            batcher.submit(f"s{i}", w)
+        first = batcher.prepare()
+        for i, w in enumerate(self._windows(3, seed=10)):
+            batcher.submit(f"s{i}", w)
+        second = batcher.prepare()
+        assert second.windows is first.windows  # same buffer, new contents
+        np.testing.assert_array_equal(
+            second.windows, np.stack(self._windows(3, seed=10))
+        )
+
+    def test_unspecialized_batcher_stacks_fresh_arrays(self, stub_classifier):
+        batcher = MicroBatcher(stub_classifier, specialize=False)
+        for i, w in enumerate(self._windows(3, seed=0)):
+            batcher.submit(f"s{i}", w)
+        first = batcher.prepare()
+        for i, w in enumerate(self._windows(3, seed=10)):
+            batcher.submit(f"s{i}", w)
+        second = batcher.prepare()
+        # Remote executors may still be reading the previous stack.
+        assert second.windows is not first.windows
+
+    def test_buffer_pool_is_lru_capped(self, stub_classifier):
+        batcher = MicroBatcher(stub_classifier)
+        for n in (2, 3, 4, 5):
+            for i, w in enumerate(self._windows(n, seed=n)):
+                batcher.submit(f"s{i}", w)
+            batcher.prepare()
+        assert len(batcher._stack_buffers) <= MicroBatcher.MAX_STACK_BUFFERS
+
+    def test_mixed_dtypes_fall_back_to_np_stack(self, stub_classifier):
+        batcher = MicroBatcher(stub_classifier)
+        batcher.submit("a", self._windows(1, seed=0)[0])
+        batcher.submit("b", self._windows(1, seed=1, dtype=np.float64)[0])
+        prepared = batcher.prepare()
+        assert prepared.windows.dtype == np.float64
+        assert not batcher._stack_buffers
+
+
+class TestEndToEndZeroAllocationFlush:
+    """The PR's acceptance gate: a specialised steady-state flush performs
+    zero window-sized allocations from raw windows to softmax rows.
+
+    The chain under test is the whole serving hot path — batcher stacking
+    buffer → preprocessing arena (standardise/pool/layout) → plan arena
+    (kernels + softmax) → per-session row copies.  The tracemalloc peak of
+    one flush must stay within numpy's constant-size iteration buffers,
+    *independent of the window geometry*; the raw batch alone is ~580 KB
+    here, so any window-sized temporary blows the bound.
+    """
+
+    def test_flush_peak_stays_within_iteration_buffers(self):
+        from repro.models.lstm_model import EEGLSTM, LSTMConfig
+
+        classifier = EEGLSTM(LSTMConfig(hidden_size=16), seed=0)
+        classifier.ensure_network(8, 130)
+        batcher = MicroBatcher(classifier)
+        rng = np.random.default_rng(1)
+        windows = rng.standard_normal((14, 8, 130)).astype(np.float32)
+
+        def flush():
+            for i in range(windows.shape[0]):
+                batcher.submit(f"s{i}", windows[i])
+            return batcher.flush()
+
+        flush()
+        result = flush()  # second same-size flush binds the plan arena
+        assert result.specialized is True
+        flush()  # the preprocess arena follows the plan arena one flush later
+        stats = batcher.specialization_stats()
+        assert stats["preprocess_arenas"] >= 1
+        assert stats["preprocess_scratch_bytes"] > 0
+
+        net_bytes, peak = _alloc_profile(flush)
+        bound = 128 * 1024
+        assert peak < bound, f"specialised flush peak {peak}B blows {bound}B"
+        assert net_bytes < 4096, f"specialised flush retains {net_bytes}B"
+
+    def test_specialized_flush_rows_match_the_generic_path(self):
+        """Zero-allocation must not mean approximately-equal."""
+        from repro.models.lstm_model import EEGLSTM, LSTMConfig
+
+        def rows(specialize):
+            classifier = EEGLSTM(LSTMConfig(hidden_size=16), seed=0)
+            classifier.ensure_network(8, 130)
+            batcher = MicroBatcher(classifier, specialize=specialize)
+            rng = np.random.default_rng(2)
+            out = []
+            for _ in range(3):
+                windows = rng.standard_normal((6, 8, 130)).astype(np.float32)
+                for i in range(windows.shape[0]):
+                    batcher.submit(f"s{i}", windows[i])
+                result = batcher.flush()
+                out.append([result.results[f"s{i}"] for i in range(6)])
+            return np.asarray(out)
+
+        np.testing.assert_array_equal(rows(True), rows(False))

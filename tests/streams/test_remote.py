@@ -258,3 +258,84 @@ class TestTwoProcessFanout:
             assert baseline_rows.keys() == remote_rows.keys()
             for key, row in baseline_rows.items():
                 np.testing.assert_allclose(remote_rows[key], row, atol=1e-7)
+
+
+class TestBlockSparseStreamWorker:
+    def test_worker_process_serves_a_block_sparse_plan(self):
+        """A block-pruned plan survives the stream payload hop bit-exactly."""
+        from repro.compression.pruning import prune_classifier_inplace
+        from repro.models.lstm_model import EEGLSTM, LSTMConfig
+        from repro.nn.inference import SparsityConfig
+
+        classifier = EEGLSTM(LSTMConfig(hidden_size=32), seed=21)
+        classifier.ensure_network(16, 50)
+        prune_classifier_inplace(classifier, 0.9, tile=(8, 8))
+        classifier.plan_sparsity = SparsityConfig(mode="always", min_size=0)
+        compiled = classifier.ensure_compiled()
+        assert any("block" in k for k in compiled.plan.describe())
+        payload = compiled.to_payload()
+
+        with hard_timeout(90, "block-sparse stream worker"):
+            registry = StreamRegistry()
+            server = StreamServer(registry).start()
+            stream, _ = registry.create("fleet/block")
+            result_stream, _ = registry.create("fleet/#results")
+            control_stream, _ = registry.create("fleet/#control")
+            rng = np.random.default_rng(22)
+            windows = rng.standard_normal((6, 16, 50))
+            for i in range(windows.shape[0]):
+                stream.append(
+                    WindowSubmission(
+                        session_id=f"s{i:02d}",
+                        cohort="block",
+                        window=windows[i],
+                        submitted_at_s=registry.clock.now(),
+                        sequence=0,
+                    )
+                )
+            ctx = multiprocessing.get_context("spawn")
+            worker = ctx.Process(
+                target=stream_consumer_worker,
+                args=(
+                    server.address,
+                    DEFAULT_AUTHKEY,
+                    {"block": "fleet/block"},
+                    "fleet/#results",
+                    "fleet/#control",
+                    {"block": payload},
+                    CONFIG,
+                    SCHEDULER_GROUP,
+                    "worker-block",
+                ),
+                daemon=True,
+            )
+            worker.start()
+            try:
+                settle_by = time.monotonic() + 60
+                while time.monotonic() < settle_by:
+                    if (
+                        stream.has_group(SCHEDULER_GROUP)
+                        and stream.depth(SCHEDULER_GROUP) == 0
+                    ):
+                        break
+                    time.sleep(0.01)
+                else:
+                    pytest.fail("worker never drained the block cohort stream")
+                control_stream.append(STOP_COMMAND)
+                worker.join(timeout=30)
+                assert worker.exitcode == 0
+            finally:
+                if worker.is_alive():
+                    worker.terminate()
+                server.stop()
+
+        remote_rows = _collect_rows(result_stream.range())
+        assert len(remote_rows) == windows.shape[0]
+        # In-process replica of the same payload is the oracle: the worker
+        # hop must be bit-exact, not merely close.
+        replica = CompiledClassifier.from_payload(payload)
+        expected = replica.predict_proba(windows)
+        for i in range(windows.shape[0]):
+            np.testing.assert_array_equal(
+                remote_rows[(f"s{i:02d}", 0)], expected[i]
+            )
