@@ -7,9 +7,38 @@ produces a textual version of the whole evaluation section.
 
 ``once`` wraps ``benchmark.pedantic`` so each expensive experiment executes a
 single round instead of pytest-benchmark's default calibration loop.
+
+``_isolated_autotune_cache`` points ``REPRO_AUTOTUNE_CACHE`` at a per-run
+temporary file for every benchmark in this directory: timing assertions must
+never be decided by whatever a previous run (or the developer's real
+``~/.cache/repro/autotune.json``) happened to record, and a benchmark run
+must never pollute the host's persistent cache with its own measurements.
 """
 
+import os
+
 import pytest
+
+from repro.nn import autotune
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_autotune_cache(tmp_path_factory):
+    """Route the autotune cache to a throwaway per-run file for all benchmarks."""
+    path = str(tmp_path_factory.mktemp("autotune") / "autotune.json")
+    previous_env = os.environ.get(autotune.CACHE_ENV_VAR)
+    os.environ[autotune.CACHE_ENV_VAR] = path
+    previous_cache = autotune.set_default_cache(
+        autotune.AutotuneCache(path=path)
+    )
+    try:
+        yield
+    finally:
+        if previous_env is None:
+            os.environ.pop(autotune.CACHE_ENV_VAR, None)
+        else:
+            os.environ[autotune.CACHE_ENV_VAR] = previous_env
+        autotune.set_default_cache(previous_cache)
 
 
 @pytest.fixture()

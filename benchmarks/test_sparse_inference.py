@@ -183,22 +183,79 @@ def test_block_kernel_beats_elementwise_gather_at_90pct():
     )
 
 
-def test_block_pruned_lstm_plan_beats_dense_on_multicore():
+def test_fused_gate_slab_beats_split_block_kernel():
+    """The fused-gate slab vs the split row-tile kernel it replaced.
+
+    The previous lowering ran the 90 %-block-pruned recurrent projection as
+    (16, 1) row tiles: one gather per surviving column element, four logical
+    gate panels sharing nothing.  The fused layout stores the four gates'
+    matching column slices in ONE ``(th, 4*tw)`` slab, so every gathered
+    input panel is reused across all four gate products by a single batched
+    micro-GEMM — a quarter of the index traffic and BLAS-shaped inner loops
+    instead of a reduction ladder.  Gate-coupled pruning makes the fused
+    occupancy identical to the per-gate occupancy, so this is pure kernel
+    win, not a sparsity trade.  This box measures ~5x; the 1.5x floor is the
+    regression gate.
+    """
+    hidden = 512
+    rng = np.random.default_rng(4)
+    shape = (hidden, 4 * hidden)
+    dense = rng.standard_normal(shape).astype(np.float32)
+    # Gate-coupled pruning on the (32, 8) LCM grid: keep 10 % of super-tiles,
+    # each spanning the same column slice of all four gate panels.
+    rows_g, cols_g = hidden // 32, hidden // 8
+    keep = rng.random((rows_g, cols_g)) < 0.1
+    view = dense.reshape(rows_g, 32, 4, cols_g, 8)
+    view *= keep[:, None, None, :, None]
+
+    split = BlockSparseWeight.from_dense(dense, (16, 1))
+    fused = BlockSparseWeight.from_dense(dense, (8, 8), groups=4)
+    x = rng.standard_normal((1, hidden)).astype(np.float32)
+    out = np.empty((1, 4 * hidden), dtype=np.float32)
+    split_scratch = split.matmul_scratch(1, np.float32)
+    fused_scratch = fused.matmul_scratch(1, np.float32)
+
+    dense_s = median_call_time_s(lambda: np.matmul(x, dense, out=out), REPEATS)
+    split_s = median_call_time_s(
+        lambda: split.matmul(x, out=out, panels=split_scratch[0], prod=split_scratch[1]),
+        REPEATS,
+    )
+    fused_s = median_call_time_s(
+        lambda: fused.matmul(x, out=out, panels=fused_scratch[0], prod=fused_scratch[1]),
+        REPEATS,
+    )
+    _report(f"w_hh {shape[0]}x{shape[1]} @ 90% split16x1", dense_s, split_s)
+    _report(f"w_hh {shape[0]}x{shape[1]} @ 90% fused8x8g4", dense_s, fused_s)
+    floor = 1.5
+    assert split_s / fused_s >= floor, (
+        f"fused-gate slab only {split_s / fused_s:.2f}x over the split "
+        f"(16, 1) kernel at 90% gate-coupled sparsity (regression floor "
+        f"{floor}x)"
+    )
+
+
+def test_block_pruned_lstm_plan_beats_dense():
     """The 90 % *block*-pruned LSTM plan vs its dense plan (§III-E1 regime).
 
-    Block pruning at (8, 8) tiles (LSTM projections: (16, 1)) lets the plan
-    run every surviving weight as contiguous panel gathers.  Whether that
-    beats a dense SGEMM of the full matrix is a **core-count** property: the
-    panel gather is memory-bound and shares no units with the FMA stream, so
-    with a second core the gather overlaps BLAS and the block plan wins
-    >=1.2x; on a single core both serialize onto the same port and dense wins
-    (this container: 0.75x at hidden=512).  The win gate therefore applies
-    only on multicore hosts — single-core hosts get the printed row and an
-    honest skip, with the block-vs-ELL kernel gate above still enforced.
+    Gate-coupled menu pruning plus the fused-gate slab kernel turned this
+    from a core-count property into an unconditional one.  The old split
+    (16, 1) lowering lost to dense on single-core hosts (the panel gather
+    and the FMA stream serialised onto the same port: 0.75x here), so the
+    win gate used to hide behind a >=2-core skip.  The fused slab gathers a
+    quarter of the panels and spends the rest of its time inside batched
+    SGEMM, so it beats the dense plan on ONE core — this box measures ~3.6x
+    at hidden=512 — and the 1.2x floor now applies everywhere, no skip.
+
+    The geometry stays at the paper's 512 units even in fast mode:
+    shrinking the recurrent matrix pulls it fully into cache where dense
+    BLAS closes most of the gap (1.3x at hidden=256) and the gate would
+    measure the cache, not the kernel.
     """
-    hidden = 256 if FAST else 512
+    hidden = 512
     classifier = EEGLSTM(LSTMConfig(hidden_size=hidden), seed=0)
     classifier.ensure_network(N_CHANNELS, WINDOW)
+    # tile=(8, 8) covers the dense heads; the LSTM projections take the
+    # default tile menu, pruned gate-coupled on the menu's LCM grid.
     pruned, report = prune_classifier(classifier, 0.9, tile=(8, 8))
     assert pruned.network is not None
     pruned.network.eval()
@@ -229,18 +286,10 @@ def test_block_pruned_lstm_plan_beats_dense_on_multicore():
         f"{'':<34} effective params {report.effective_parameters} "
         f"of {report.total_weights}; block plan: {block_plan.describe()[0]}"
     )
-    cores = os.cpu_count() or 1
-    if cores < 2:
-        pytest.skip(
-            f"host has {cores} core(s): the block panel gather cannot overlap "
-            "the dense BLAS stream it competes with, so dense wins here "
-            f"(measured {dense_s / block_s:.2f}x) — the >=1.2x block-vs-dense "
-            "gate applies on >=2-core hosts only; block-vs-ELL is gated "
-            "unconditionally above"
-        )
     assert dense_s / block_s >= 1.2, (
         f"block-pruned lstm-{hidden} plan only {dense_s / block_s:.2f}x over "
-        f"its dense plan on a {cores}-core host (floor 1.2x)"
+        f"its dense plan (floor 1.2x, unconditional — the fused-gate slab "
+        f"kernel does not need a second core to win)"
     )
 
 

@@ -8,10 +8,15 @@ accuracy drop for this safety-critical use.
 """
 
 from repro.compression.pruning import (
+    DEFAULT_TILE,
+    LSTM_TILE_MENU,
+    BlockOccupancy,
     PruningReport,
+    apply_block_magnitude_pruning,
     apply_global_magnitude_pruning,
     prune_classifier,
     prune_classifier_inplace,
+    pruning_grid,
     sparsity,
 )
 from repro.compression.quantization import (
@@ -25,8 +30,13 @@ from repro.compression.quantization import (
 )
 
 __all__ = [
+    "DEFAULT_TILE",
+    "LSTM_TILE_MENU",
+    "BlockOccupancy",
     "PruningReport",
+    "apply_block_magnitude_pruning",
     "apply_global_magnitude_pruning",
+    "pruning_grid",
     "prune_classifier",
     "prune_classifier_inplace",
     "sparsity",

@@ -13,16 +13,29 @@ the latency benefit real on CPU hosts: instead of ranking individual
 weights it ranks whole ``(th, tw)`` *tiles* by mean magnitude and zeroes
 the weakest tiles globally, so the surviving zeros line up with the tile
 grid the block-sparse kernels (:class:`repro.nn.sparse.BlockSparseWeight`)
-can actually skip.  LSTM input/recurrent projections default to ``(16, 1)``
-row tiles — each output gate column keeps contiguous 16-feature input runs,
-which is the shape the per-timestep matvec gathers fastest.
+can actually skip.
+
+Tiles may be given as a *menu* of shapes (e.g. ``((8, 8), (16, 1),
+(32, 1))``): pruning then drops tiles on the per-axis least-common-multiple
+grid of the menu, so every menu tile sees perfectly aligned zero tiles and
+the compiler's autotuner is free to pick whichever layout is fastest on the
+serving host rather than whichever one the pruning happened to align with.
+
+LSTM input/recurrent projections are additionally *gate-coupled*: the four
+tiles at the same ``(row-block, within-gate-column)`` position of the
+``[i, f, g, o]`` gate panels are scored and dropped as one unit.  The
+surviving zero pattern is then identical across gates, which is exactly
+what lets the fused-gate kernel (``BlockSparseWeight(groups=4)``) share one
+input-panel gather across all four gates with zero padding overhead.
 """
 
 from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from functools import reduce
+from math import lcm
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -38,9 +51,13 @@ class BlockOccupancy:
     """Tile-level survival stats for one parameter after block pruning."""
 
     #: Tile shape the grid was cut with (clamped to the parameter dims).
+    #: For a tile *menu* this is the per-axis LCM pruning grid.
     tile: Tuple[int, int]
     tiles_total: int
     tiles_kept: int
+    #: Whether the grid was gate-coupled (LSTM projections): each counted
+    #: tile spans the same position in all four gate panels.
+    gate_coupled: bool = False
 
     @property
     def block_sparsity(self) -> float:
@@ -187,24 +204,88 @@ def apply_global_magnitude_pruning(module: Module, ratio: float) -> PruningRepor
 #: micro-GEMM wide enough to amortise the gather.
 DEFAULT_TILE: Tuple[int, int] = (8, 8)
 
-#: Row-tile default for LSTM input/recurrent projections (``weight_ih`` /
-#: ``weight_hh``): each surviving tile is a contiguous 16-feature input run
-#: feeding one gate column — the shape the per-timestep matvec gathers as a
-#: straight memcpy.
+#: Legacy single row-tile for LSTM input/recurrent projections: each
+#: surviving tile is a contiguous 16-feature input run feeding one gate
+#: column.  Kept for callers that want to pin one layout; the default is
+#: now :data:`LSTM_TILE_MENU`.
 LSTM_TILE: Tuple[int, int] = (16, 1)
 
+#: Default tile *menu* for LSTM projections.  Pruning drops tiles on the
+#: per-axis LCM grid of the menu (``(32, 8)``), so all three layouts see
+#: perfectly aligned zero tiles and the compiler's autotuner picks the
+#: fastest one per host instead of pruning pre-committing to a layout.
+LSTM_TILE_MENU: Tuple[Tuple[int, int], ...] = ((8, 8), (16, 1), (32, 1))
 
-def _tile_for(name: str, lstm_tile: Tuple[int, int], tile: Tuple[int, int]) -> Tuple[int, int]:
+#: A tile shape or a menu of tile shapes.
+TileSpec = Union[Tuple[int, int], Sequence[Tuple[int, int]]]
+
+#: Gate panels in the LSTM's concatenated ``[i, f, g, o]`` projections.
+_LSTM_GATE_GROUPS = 4
+
+
+def _menu_tiles(spec: TileSpec) -> Tuple[Tuple[int, int], ...]:
+    """Normalise a tile-or-menu spec to a tuple of ``(th, tw)`` tiles."""
+    seq = tuple(spec)
+    if len(seq) == 2 and all(isinstance(v, (int, np.integer)) for v in seq):
+        return ((int(seq[0]), int(seq[1])),)
+    if not seq:
+        raise ValueError("tile menu must name at least one tile")
+    return tuple((int(t[0]), int(t[1])) for t in seq)
+
+
+def pruning_grid(spec: TileSpec) -> Tuple[int, int]:
+    """The grid pruning actually drops on: per-axis LCM over the menu.
+
+    Every menu tile divides the LCM tile, so a zero LCM tile decomposes
+    into entirely-zero menu tiles for *all* menu shapes at once — the
+    pruning commits to a sparsity pattern, not to a kernel layout.
+    """
+    tiles = _menu_tiles(spec)
+    return (
+        reduce(lcm, (t[0] for t in tiles)),
+        reduce(lcm, (t[1] for t in tiles)),
+    )
+
+
+def _tile_for(name: str, lstm_tile: TileSpec, tile: TileSpec) -> TileSpec:
     if name.endswith("weight_ih") or name.endswith("weight_hh"):
         return lstm_tile
     return tile
 
 
+def _is_lstm_projection(name: str) -> bool:
+    return name.endswith("weight_ih") or name.endswith("weight_hh")
+
+
+def _interleave_gates(matrix: np.ndarray, groups: int) -> np.ndarray:
+    """Reorder ``[g0 | g1 | ...]`` columns so coupled columns sit adjacent.
+
+    Column ``j * groups + g`` of the result is gate ``g``'s within-gate
+    column ``j``, so a ``(th, groups*tw)`` tile of the result covers the
+    same ``(row-block, within-gate-column)`` position in every gate — the
+    unit gate-coupled pruning scores and drops as one.
+    """
+    rows, cols = matrix.shape
+    width = cols // groups
+    return np.ascontiguousarray(
+        matrix.reshape(rows, groups, width).transpose(0, 2, 1).reshape(rows, cols)
+    )
+
+
+def _deinterleave_gates(matrix: np.ndarray, groups: int) -> np.ndarray:
+    """Inverse of :func:`_interleave_gates`."""
+    rows, cols = matrix.shape
+    width = cols // groups
+    return np.ascontiguousarray(
+        matrix.reshape(rows, width, groups).transpose(0, 2, 1).reshape(rows, cols)
+    )
+
+
 def apply_block_magnitude_pruning(
     module: Module,
     ratio: float,
-    tile: Tuple[int, int] = DEFAULT_TILE,
-    lstm_tile: Tuple[int, int] = LSTM_TILE,
+    tile: TileSpec = DEFAULT_TILE,
+    lstm_tile: TileSpec = LSTM_TILE_MENU,
 ) -> PruningReport:
     """Zero the weakest-magnitude tiles globally until ``ratio`` is pruned.
 
@@ -214,8 +295,16 @@ def apply_block_magnitude_pruning(
     until the element budget ``ratio * total`` is met as closely as the
     tile granularity allows.  Already-zero tiles score ``0`` and are dropped
     first, mirroring how the element-wise threshold swallows existing
-    zeros.  LSTM ``weight_ih``/``weight_hh`` projections are tiled with
-    ``lstm_tile`` row tiles; everything else uses ``tile``; >2-D parameters
+    zeros.
+
+    ``tile`` and ``lstm_tile`` accept a single ``(th, tw)`` shape or a menu
+    of shapes; a menu prunes on its per-axis LCM grid
+    (:func:`pruning_grid`) so every menu layout qualifies for the kernels
+    afterwards.  LSTM ``weight_ih``/``weight_hh`` projections use
+    ``lstm_tile`` and are *gate-coupled*: the four tiles at the same
+    position of the ``[i, f, g, o]`` gate panels score and drop as one
+    unit, keeping the zero pattern identical across gates (what the
+    fused-gate kernel needs to share one panel gather).  >2-D parameters
     (conv filters) are tiled over ``(out_channels, flattened-rest)``.
     """
     if not 0.0 <= ratio < 1.0:
@@ -229,10 +318,20 @@ def apply_block_magnitude_pruning(
     all_scores: List[np.ndarray] = []
     all_sizes: List[np.ndarray] = []
     for name, param in params:
-        scores, sizes, nonzeros, clamped = _tile_stats(
-            _as_matrix(param.data), _tile_for(name, lstm_tile, tile)
+        matrix = _as_matrix(param.data)
+        grid = pruning_grid(_tile_for(name, lstm_tile, tile))
+        coupled = (
+            _is_lstm_projection(name)
+            and matrix.shape[1] % _LSTM_GATE_GROUPS == 0
         )
-        per_param.append((name, param, scores, sizes, nonzeros, clamped))
+        if coupled:
+            stats_matrix = _interleave_gates(matrix, _LSTM_GATE_GROUPS)
+            stats_tile = (grid[0], grid[1] * _LSTM_GATE_GROUPS)
+        else:
+            stats_matrix = matrix
+            stats_tile = grid
+        scores, sizes, nonzeros, clamped = _tile_stats(stats_matrix, stats_tile)
+        per_param.append((name, param, scores, sizes, nonzeros, clamped, coupled))
         all_scores.append(scores.reshape(-1))
         all_sizes.append(sizes.reshape(-1))
 
@@ -257,17 +356,29 @@ def apply_block_magnitude_pruning(
     pruned = 0
     per_parameter: Dict[str, float] = {}
     occupancy: Dict[str, BlockOccupancy] = {}
-    for name, param, scores, sizes, nonzeros, clamped in per_param:
+    for name, param, scores, sizes, nonzeros, clamped, coupled in per_param:
+        matrix = _as_matrix(param.data)
         if threshold is not None:
             drop = scores <= threshold
-            _zero_tiles(param.data, drop, clamped)
+            if coupled:
+                # Zero in the gate-interleaved copy, then scatter back so
+                # all four gates lose the same within-gate tiles.
+                inter = _interleave_gates(matrix, _LSTM_GATE_GROUPS)
+                _zero_tiles(inter, drop, clamped)
+                matrix[:] = _deinterleave_gates(inter, _LSTM_GATE_GROUPS)
+            else:
+                _zero_tiles(param.data, drop, clamped)
             pruned += int(sizes[drop].sum())
         # Recompute survival from the post-prune zero pattern.
-        _, sizes_after, nonzeros_after, _ = _tile_stats(_as_matrix(param.data), clamped)
+        after = (
+            _interleave_gates(matrix, _LSTM_GATE_GROUPS) if coupled else matrix
+        )
+        _, sizes_after, nonzeros_after, _ = _tile_stats(after, clamped)
         occupancy[name] = BlockOccupancy(
             tile=clamped,
             tiles_total=int(sizes_after.size),
             tiles_kept=int(np.count_nonzero(nonzeros_after)),
+            gate_coupled=coupled,
         )
         per_parameter[name] = float((param.data == 0).mean())
     return PruningReport(
@@ -283,8 +394,8 @@ def apply_block_magnitude_pruning(
 def prune_classifier(
     classifier: NeuralEEGClassifier,
     ratio: float,
-    tile: Optional[Tuple[int, int]] = None,
-    lstm_tile: Tuple[int, int] = LSTM_TILE,
+    tile: Optional[TileSpec] = None,
+    lstm_tile: TileSpec = LSTM_TILE_MENU,
 ) -> Tuple[NeuralEEGClassifier, PruningReport]:
     """Return a pruned deep copy of a fitted neural classifier.
 
@@ -311,8 +422,8 @@ def prune_classifier(
 def prune_classifier_inplace(
     classifier: NeuralEEGClassifier,
     ratio: float,
-    tile: Optional[Tuple[int, int]] = None,
-    lstm_tile: Tuple[int, int] = LSTM_TILE,
+    tile: Optional[TileSpec] = None,
+    lstm_tile: TileSpec = LSTM_TILE_MENU,
 ) -> PruningReport:
     """Prune a fitted classifier's live network, without the deep copy.
 

@@ -54,6 +54,10 @@ class LatencyProfile:
     autotune_hits: Optional[int] = None
     #: Calibration timings the compile actually had to run (cache misses).
     autotune_misses: Optional[int] = None
+    #: One row per (matmul op, raced candidate) from the plan's lowering
+    #: records — see :func:`variant_timing_table`.  Empty for autograd-served
+    #: classifiers and payload-rebuilt plans (no timings survive transport).
+    variant_timings: List[dict] = field(default_factory=list)
 
     @property
     def throughput_hz(self) -> float:
@@ -67,6 +71,45 @@ class LatencyProfile:
         if self.autograd_latency_s is None or self.measured_latency_s <= 0:
             return None
         return self.autograd_latency_s / self.measured_latency_s
+
+
+def _variant_tile(variant: str) -> str:
+    """The tile geometry a variant name encodes (``8x8``, ``16x1g4``, ``-``)."""
+    if variant.startswith("block"):
+        return variant[len("block") :]
+    return "-"
+
+
+def variant_timing_table(plan) -> List[dict]:
+    """Flatten a plan's lowering records into a per-candidate timing table.
+
+    One row per ``(matmul op, raced variant)``: what the autotuner measured
+    (microseconds, best of the interleaved rounds), which candidate won, the
+    tile geometry block candidates carried, and whether the decision was
+    replayed from the autotune cache (cached decisions ship the *stored*
+    timings; payload-rebuilt plans have none, so their winner rows carry
+    ``us=None``).  The losers matter: a ``block8x8g4`` row a hair behind the
+    fused winner says the menu was competitive, a 10x-slower ``ell`` row
+    says the gather wall is real on this host.
+    """
+    rows: List[dict] = []
+    for record in plan.lowering_report():
+        timings = record.get("timings") or {}
+        shape = record.get("shape")
+        for name in sorted(timings) or [str(record["variant"])]:
+            seconds = timings.get(name)
+            rows.append(
+                {
+                    "op": record["op"],
+                    "shape": list(shape) if shape is not None else None,
+                    "variant": name,
+                    "tile": _variant_tile(name),
+                    "chosen": name == record["variant"],
+                    "cached": record.get("cached"),
+                    "us": None if seconds is None else round(float(seconds) * 1e6, 2),
+                }
+            )
+    return rows
 
 
 def _effective_parameters(classifier: EEGClassifier) -> int:
@@ -159,7 +202,9 @@ def profile_classifier(
     kernel_variants: List[str] = []
     autotune_hits: Optional[int] = None
     autotune_misses: Optional[int] = None
+    variant_timings: List[dict] = []
     if compiled is not None:
+        variant_timings = variant_timing_table(compiled.plan)
         stats = compiled.specialization_stats()
         scratch = int(stats["scratch_bytes"])
         hit_rate = float(stats["hit_rate"])
@@ -194,4 +239,5 @@ def profile_classifier(
         kernel_variants=kernel_variants,
         autotune_hits=autotune_hits,
         autotune_misses=autotune_misses,
+        variant_timings=variant_timings,
     )

@@ -39,7 +39,7 @@ import platform
 import tempfile
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple, Union
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -106,16 +106,37 @@ def sparsity_bucket(zero_fraction: float, width: float = 0.05) -> str:
     return f"{min(1.0, max(0.0, bucket)):.2f}"
 
 
+def tile_token(tile: Tuple[int, int], groups: int = 1) -> str:
+    """Key token for one block-tile candidate: ``8x8``, ``16x1g4``, ..."""
+    tag = f"{int(tile[0])}x{int(tile[1])}"
+    return tag + (f"g{int(groups)}" if int(groups) > 1 else "")
+
+
 def matmul_cache_key(
     op: str,
     shape: Tuple[int, int],
     dtype: np.dtype,
     zero_fraction: float,
-    tile: Optional[Tuple[int, int]] = None,
+    tile: Union[None, str, Tuple[int, int], Sequence[str]] = None,
     fingerprint: Optional[str] = None,
 ) -> str:
-    """The full cache key for one matmul lowering decision."""
-    tile_tag = f"{tile[0]}x{tile[1]}" if tile is not None else "-"
+    """The full cache key for one matmul lowering decision.
+
+    ``tile`` names the block-candidate geometry the decision chose *among*:
+    ``None`` (no block candidate), a single ``(th, tw)`` tuple, one
+    :func:`tile_token` string, or a sequence of tokens for a tile menu —
+    menu tokens are sorted and ``+``-joined so the same candidate set always
+    produces the same key, and a decision made over one menu never answers
+    a query for a different one.
+    """
+    if tile is None:
+        tile_tag = "-"
+    elif isinstance(tile, str):
+        tile_tag = tile
+    elif len(tile) == 2 and all(isinstance(v, (int, np.integer)) for v in tile):
+        tile_tag = f"{tile[0]}x{tile[1]}"
+    else:
+        tile_tag = "+".join(sorted(str(token) for token in tile))
     return "|".join(
         [
             op,
@@ -159,6 +180,7 @@ class AutotuneCache:
         self.fingerprint = fingerprint or host_fingerprint()
         self._entries: Dict[str, dict] = {}
         self._loaded = False
+        self._writable = True
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
@@ -168,39 +190,54 @@ class AutotuneCache:
     # persistence
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _read_file(path: str) -> Dict[str, dict]:
+    def _read_file(path: str) -> Tuple[Dict[str, dict], bool]:
+        """Parse the cache file: ``(entries, writable)``.
+
+        A missing, empty, or corrupt file yields no entries and stays
+        *writable* — the next save rewrites it whole.  A structurally valid
+        JSON file whose ``version`` is not ours was written by a different
+        (likely newer) release: its entries are ignored AND the file is
+        marked non-writable, so this process degrades to memory-only
+        operation instead of clobbering state it cannot interpret.
+        """
         try:
             with open(path, encoding="utf-8") as fh:
                 payload = json.load(fh)
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            return {}
-        if not isinstance(payload, dict) or payload.get("version") != CACHE_VERSION:
-            return {}
+            return {}, True
+        if not isinstance(payload, dict):
+            return {}, True
+        if payload.get("version") != CACHE_VERSION:
+            return {}, False
         entries = payload.get("entries")
         if not isinstance(entries, dict):
-            return {}
+            return {}, True
         return {
             key: value for key, value in entries.items() if isinstance(value, dict)
-        }
+        }, True
 
     def _ensure_loaded_locked(self) -> None:
         if self._loaded:
             return
         if self.path is not None:
-            disk = self._read_file(self.path)
+            disk, writable = self._read_file(self.path)
+            self._writable = writable
             disk.update(self._entries)  # seeded/in-memory entries win
             self._entries = disk
         self._loaded = True
 
     def _save_locked(self) -> None:
-        if self.path is None:
+        if self.path is None or not self._writable:
             return
         try:
             directory = os.path.dirname(self.path) or "."
             os.makedirs(directory, exist_ok=True)
             # Merge-on-write: another process may have added entries since
             # we loaded; union them so independent compiles accumulate.
-            merged = self._read_file(self.path)
+            merged, writable = self._read_file(self.path)
+            if not writable:  # file turned foreign under us: never clobber
+                self._writable = False
+                return
             merged.update(self._entries)
             self._entries = merged
             payload = {"version": CACHE_VERSION, "entries": merged}
@@ -275,6 +312,7 @@ class AutotuneCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "persist_errors": self.persist_errors,
+                "writable": self._writable,
             }
 
 
@@ -306,7 +344,8 @@ def set_default_cache(cache: Optional[AutotuneCache]) -> Optional[AutotuneCache]
 class VariantDecision:
     """Outcome of one lowering decision, cached or freshly measured."""
 
-    #: Winning variant name: ``"dense"``, ``"ell"``, or ``"block<th>x<tw>"``.
+    #: Winning variant name: ``"dense"``, ``"ell"``, ``"block<th>x<tw>"``,
+    #: or ``"block<th>x<tw>g<G>"`` for fused-gate slabs.
     variant: str
     #: Whether the decision came from the cache (no timings this compile).
     cached: bool
@@ -321,14 +360,14 @@ class VariantDecision:
 
 def variant_name(operand: SparseOperand) -> str:
     if isinstance(operand, BlockSparseWeight):
-        return f"block{operand.tile[0]}x{operand.tile[1]}"
+        return "block" + tile_token(operand.tile, operand.groups)
     return "ell"
 
 
-def _timed_product(
-    dense: np.ndarray, operand: Optional[SparseOperand], rows: int, repeats: int
-) -> float:
-    """Median seconds for one ``(rows, in) @ (in, out)`` product."""
+def _product_closure(
+    dense: np.ndarray, operand: Optional[SparseOperand], rows: int
+) -> Callable[[], None]:
+    """One ``(rows, in) @ (in, out)`` product with pre-bound scratch."""
     x = np.full((rows, dense.shape[0]), 0.5, dtype=dense.dtype)
     out = np.empty((rows, dense.shape[1]), dtype=dense.dtype)
     if operand is None:
@@ -348,8 +387,32 @@ def _timed_product(
         def product() -> None:
             operand.matmul(x, out=out, gather=gather)
 
-    product()  # warm before timing
-    return median_call_time_s(product, repeats)
+    return product
+
+
+def measure_variants(
+    products: Dict[str, Callable[[], None]], repeats: int
+) -> Dict[str, float]:
+    """Per-variant best-of-``repeats`` seconds, measured *interleaved*.
+
+    Every closure is warmed before anything is timed, then one call of each
+    variant is timed per round (A, B, A, B, ...) and the per-variant minimum
+    wins.  Sequential per-variant timing systematically penalised whichever
+    candidate ran first (cold caches) and whichever ran while a transient
+    competitor (another core's turbo window, a page fault burst) happened to
+    land; interleaving spreads transient noise across all candidates and the
+    minimum discards it.  This is the seam tests monkeypatch to count or
+    fake timing work.
+    """
+    for product in products.values():
+        product()  # warm every candidate before timing any
+    best = {name: float("inf") for name in products}
+    for _ in range(max(1, repeats)):
+        for name, product in products.items():
+            duration = median_call_time_s(product, repeats=1)
+            if duration < best[name]:
+                best[name] = duration
+    return best
 
 
 def choose_matmul_variant(
@@ -375,14 +438,20 @@ def choose_matmul_variant(
     if not candidates:
         return VariantDecision(variant="dense", cached=False, rows=rows)
     zero_fraction = 1.0 - np.count_nonzero(dense) / max(1, dense.size)
-    tile = next(
-        (
-            operand.tile
-            for operand in candidates.values()
-            if isinstance(operand, BlockSparseWeight)
-        ),
-        None,
+    # The key encodes the FULL block-candidate menu, so a decision made over
+    # one tile set never answers a compile offering a different one.
+    tokens = sorted(
+        tile_token(operand.tile, operand.groups)
+        for operand in candidates.values()
+        if isinstance(operand, BlockSparseWeight)
     )
+    tile: Union[None, str, Sequence[str]]
+    if not tokens:
+        tile = None
+    elif len(tokens) == 1:
+        tile = tokens[0]
+    else:
+        tile = tokens
     key = matmul_cache_key(
         op, dense.shape, dense.dtype, zero_fraction, tile, cache.fingerprint
     )
@@ -399,9 +468,10 @@ def choose_matmul_variant(
                 rows=int(entry.get("rows", rows)),
             )
     cache.misses += 1
-    timings = {"dense": _timed_product(dense, None, rows, repeats)}
+    products = {"dense": _product_closure(dense, None, rows)}
     for name, operand in candidates.items():
-        timings[name] = _timed_product(dense, operand, rows, repeats)
+        products[name] = _product_closure(dense, operand, rows)
+    timings = measure_variants(products, repeats)
     best = min(candidates, key=lambda name: timings[name])
     variant = best if timings[best] < margin * timings["dense"] else "dense"
     cache.put(key, {"variant": variant, "timings": timings, "rows": rows})

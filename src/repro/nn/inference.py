@@ -283,8 +283,7 @@ def _sparse_scratch(
 ) -> Tuple[np.ndarray, ...]:
     """The per-call scratch buffers a sparse operand's matmul needs."""
     if isinstance(weight, BlockSparseWeight):
-        panels, prod = weight.matmul_scratch(n, dtype)
-        return (panels,) if prod is None else (panels, prod)
+        return weight.matmul_scratch(n, dtype)  # (panels, prod)
     return (weight.gather_scratch(n, dtype),)
 
 
@@ -378,9 +377,8 @@ class SparseDenseKernel(Kernel):
         shape = "x".join(map(str, self.weight.shape))
         act = f"+{self.activation}" if self.activation else ""
         if isinstance(self.weight, BlockSparseWeight):
-            th, tw = self.weight.tile
             return (
-                f"sparse-dense[{shape},block{th}x{tw},"
+                f"sparse-dense[{shape},{autotune.variant_name(self.weight)},"
                 f"{self.weight.density:.0%}]{act}"
             )
         return f"sparse-dense[{shape},{self.weight.density:.0%}]{act}"
@@ -1229,11 +1227,9 @@ class PlanArena:
 
 
 def _operand_variant(weight: LSTMWeight) -> str:
-    """Variant label of a matmul operand: ``dense``/``ell``/``block<th>x<tw>``."""
-    if isinstance(weight, BlockSparseWeight):
-        return f"block{weight.tile[0]}x{weight.tile[1]}"
-    if isinstance(weight, ColumnSparseWeight):
-        return "ell"
+    """Variant label of a matmul operand: ``dense``/``ell``/``block<th>x<tw>[g<G>]``."""
+    if isinstance(weight, _SPARSE_OPERANDS):
+        return autotune.variant_name(weight)
     return "dense"
 
 
@@ -1584,10 +1580,12 @@ class SparsityConfig:
     #: ``calibration_rows * calibration_sequence``.  Default 26 = the
     #: paper's 130-sample window after temporal pooling of 5.
     calibration_sequence: int = 26
-    #: Candidate block-tile shapes for structured lowering, tried in order;
-    #: a tile qualifies when it divides the matrix exactly and the fraction
-    #: of all-zero tiles reaches ``threshold``.
-    block_tiles: Tuple[Tuple[int, int], ...] = ((8, 8), (16, 1))
+    #: Candidate block-tile menu for structured lowering; every tile that
+    #: divides the matrix exactly and whose fraction of all-zero tiles
+    #: reaches ``threshold`` becomes a candidate (plus a fused-gate variant
+    #: for gate-concatenated operands), and the autotuner picks the winner
+    #: per host.  ``"always"`` mode picks deterministically by slab size.
+    block_tiles: Tuple[Tuple[int, int], ...] = ((8, 8), (16, 1), (32, 1))
 
     def __post_init__(self) -> None:
         if self.mode not in ("auto", "always", "never"):
@@ -1616,31 +1614,58 @@ DENSE_ONLY = SparsityConfig(mode="never")
 SPARSE_ALWAYS = SparsityConfig(mode="always")
 
 
-def _block_candidate(
-    cast: np.ndarray, config: SparsityConfig
-) -> Optional[BlockSparseWeight]:
-    """The best-qualifying block layout for this zero pattern, if any.
+def _block_candidates(
+    cast: np.ndarray, config: SparsityConfig, groups: int = 1
+) -> Dict[str, BlockSparseWeight]:
+    """Every qualifying block layout for this zero pattern, in menu order.
 
     A candidate tile must divide the matrix exactly and leave at least
     ``config.threshold`` of the elements inside entirely-zero tiles (i.e.
     the pruning was *structured* at that tile — element-wise pruning almost
-    never qualifies).  Among qualifying tiles the one storing the smallest
-    padded slab wins: the slab size is the work the kernel actually does.
+    never qualifies).  For gate-concatenated operands (``groups > 1``, the
+    LSTM projections) each tile additionally offers a fused-gate variant
+    when the *union* of the per-gate zero patterns still clears the
+    threshold: gate-coupled pruning makes the union equal each gate's own
+    pattern (fusion is free), while uncoupled patterns fail here and are
+    never fused blind into a padded slab.  All candidates go to the
+    autotuner; ``"always"`` mode picks among them by slab size.
     """
     rows, cols = cast.shape
-    best: Optional[BlockSparseWeight] = None
+    candidates: Dict[str, BlockSparseWeight] = {}
     for tile in config.block_tiles:
         th, tw = int(tile[0]), int(tile[1])
         if th < 1 or tw < 1 or rows % th or cols % tw:
             continue
         tiles = cast.reshape(rows // th, th, cols // tw, tw)
         keep = np.any(tiles != 0, axis=(1, 3))
-        if 1.0 - np.count_nonzero(keep) / keep.size < config.threshold:
-            continue
-        candidate = BlockSparseWeight.from_dense(cast, (th, tw))
-        if best is None or candidate.blocks.size < best.blocks.size:
-            best = candidate
-    return best
+        if 1.0 - np.count_nonzero(keep) / keep.size >= config.threshold:
+            operand = BlockSparseWeight.from_dense(cast, (th, tw))
+            candidates[autotune.variant_name(operand)] = operand
+        if groups > 1 and cols % (groups * tw) == 0:
+            gates = cast.reshape(rows // th, th, groups, cols // (groups * tw), tw)
+            union = np.any(gates != 0, axis=(1, 2, 4))
+            if 1.0 - np.count_nonzero(union) / union.size >= config.threshold:
+                operand = BlockSparseWeight.from_dense(cast, (th, tw), groups=groups)
+                candidates[autotune.variant_name(operand)] = operand
+    return candidates
+
+
+def _pick_pinned_block(
+    candidates: Dict[str, BlockSparseWeight]
+) -> Optional[BlockSparseWeight]:
+    """Deterministic ``"always"``-mode choice among block candidates.
+
+    Smallest padded slab wins (the slab is the work the kernel actually
+    does); ties prefer the fused layout (its gather amortises across
+    gates at the same slab size), then menu order.
+    """
+    if not candidates:
+        return None
+    order = {name: index for index, name in enumerate(candidates)}
+    return min(
+        candidates.values(),
+        key=lambda op: (op.blocks.size, -op.groups, order[autotune.variant_name(op)]),
+    )
 
 
 def _lower_matmul_weight(
@@ -1652,14 +1677,16 @@ def _lower_matmul_weight(
     op: str,
     tuner: Optional["AutotuneCache"] = None,
     log: Optional[List[Dict[str, object]]] = None,
+    groups: int = 1,
 ) -> Union[PlanWeight, SparseOperand]:
     """Extract one matmul operand, sparse when pruning (and the host) allow.
 
     ``rows`` is the calibration row count (derived from the config's
     serving-batch hint by the caller), ``op`` names the product for the
     autotune cache key, ``tuner`` is the :class:`AutotuneCache` consulted
-    before any timing, and ``log`` collects the decision for
-    :meth:`InferencePlan.lowering_report`.
+    before any timing, ``log`` collects the decision for
+    :meth:`InferencePlan.lowering_report`, and ``groups`` marks
+    gate-concatenated operands eligible for fused-gate block candidates.
     """
     shape = list(values.shape)
 
@@ -1692,13 +1719,13 @@ def _lower_matmul_weight(
         return _make_weight(values, dtype, quantizer)
     cast = np.asarray(values, dtype=dtype)
     candidates: Dict[str, SparseOperand] = {"ell": ColumnSparseWeight.from_dense(cast)}
-    block = _block_candidate(cast, sparsity)
-    if block is not None:
-        candidates[autotune.variant_name(block)] = block
+    blocks = _block_candidates(cast, sparsity, groups=groups)
+    candidates.update(blocks)
     if sparsity.mode == "always":
         # Pinned lowering skips calibration; the structured layout wins when
         # the zero pattern supports it (tile panels gather strictly cheaper
         # than ELL's scattered elements at the same sparsity).
+        block = _pick_pinned_block(blocks)
         chosen: SparseOperand = block if block is not None else candidates["ell"]
         record(autotune.variant_name(chosen), reason="pinned-always")
         return chosen
@@ -1808,17 +1835,21 @@ def _compile_lstm(
     # runs once per call over every timestep's rows
     # (``calibration_rows * calibration_sequence``), the recurrent
     # projection is a per-step matvec over ``calibration_rows``.
+    # Both projections are gate-concatenated (in, 4H) matrices, so sparsity
+    # lowering may fuse the four gate panels into one block slab
+    # (``groups=4``): the per-timestep recurrence then gathers its input
+    # panels once for all four gates instead of once per gate.
     extracted = [
         (
             _lower_matmul_weight(
                 cell.weight_ih.data[:, perm], dtype, quantizer, sparsity,
                 rows=sparsity.calibration_rows * sparsity.calibration_sequence,
-                op="lstm-ih", tuner=tuner, log=log,
+                op="lstm-ih", tuner=tuner, log=log, groups=4,
             ),
             _lower_matmul_weight(
                 cell.weight_hh.data[:, perm], dtype, quantizer, sparsity,
                 rows=sparsity.calibration_rows,
-                op="lstm-hh", tuner=tuner, log=log,
+                op="lstm-hh", tuner=tuner, log=log, groups=4,
             ),
             _make_elementwise(cell.bias.data[perm], dtype, quantizer),
         )
@@ -2034,6 +2065,7 @@ def _sparse_state(
             "kind": "block",
             "shape": list(weight.shape),
             "tile": list(weight.tile),
+            "groups": weight.groups,
         }
     return {"kind": "sparse", "shape": list(weight.shape)}
 
@@ -2050,6 +2082,7 @@ def _sparse_load(
                 "blocks": arrays[f"{name}.blocks"],
             },
             dtype,
+            groups=int(meta.get("groups", 1)),  # pre-fusion payloads: 1
         )
     return ColumnSparseWeight.from_state(
         tuple(meta["shape"]),

@@ -175,19 +175,28 @@ class BlockSparseWeight:
         ``(C, kmax)`` — for each column block, the row-block ids of its
         surviving tiles (ascending, padded with row block 0);
     ``blocks``
-        ``(C, kmax, th, tw)`` — the tile values (padding tiles are zero and
-        contribute exactly ``+0.0``, like ELL padding).
+        ``(C, kmax, th, groups*tw)`` — the tile values (padding tiles are
+        zero and contribute exactly ``+0.0``, like ELL padding).
+
+    ``groups`` is the fused-gate extension: for a gate-concatenated matrix
+    ``(in, G*W)`` (the LSTM's ``[i, f, o, g]`` projections), ``groups=G``
+    fuses the ``G`` tiles at the same ``(row-block, within-gate-column)``
+    position into one ``(th, G*tw)`` super-tile, so a single input-panel
+    gather feeds all ``G`` gates — the gather and index fetch amortise
+    ``G``-fold.  Column block ``j`` then covers the *union* of the per-gate
+    zero patterns; gate-coupled pruning (see
+    :func:`repro.compression.pruning.apply_block_magnitude_pruning`) keeps
+    that union equal to each gate's own pattern, so fusion costs no padding.
+    ``groups=1`` is the plain layout.
 
     Execution gathers whole ``th``-row input panels (contiguous runs, so the
-    gather is a strided memcpy rather than ELL's per-element pick) and then
-    contracts them against the slab:
-
-    * ``tw == 1`` (row-tile layout, the LSTM projection shape): one
-      broadcast multiply plus one ``add.reduce`` over ``(kmax, th)`` — the
-      ELL pattern with a contiguous inner axis.
-    * ``tw > 1``: one batched micro-GEMM per column block,
-      ``(n, kmax*th) @ (kmax*th, tw)``, via a single ``np.matmul`` over the
-      ``C`` axis, accumulating each output tile in BLAS.
+    gather is a strided memcpy rather than ELL's per-element pick) and
+    contracts them against the slab with one batched row-blocked micro-GEMM:
+    ``(n, kmax*th) @ (kmax*th, groups*tw)`` per column block, a single
+    ``np.matmul`` over the ``C`` axis, so every surviving tile accumulates
+    in BLAS.  (Earlier revisions special-cased ``tw == 1`` with a
+    ``multiply + add.reduce`` pass; the micro-GEMM is strictly faster on
+    every measured host and batch size, so all layouts now share it.)
 
     Both paths run with caller-owned scratch (``matmul_scratch``) so a plan
     arena executes them with zero allocations, and the scratch path is
@@ -198,6 +207,7 @@ class BlockSparseWeight:
     __slots__ = (
         "shape",
         "tile",
+        "groups",
         "kmax",
         "n_row_blocks",
         "n_col_blocks",
@@ -207,7 +217,6 @@ class BlockSparseWeight:
         "tiles_kept",
         "_flat_indices",
         "_mat",
-        "_vals3",
     )
 
     def __init__(
@@ -216,28 +225,35 @@ class BlockSparseWeight:
         tile: Tuple[int, int],
         block_indices: np.ndarray,
         blocks: np.ndarray,
+        groups: int = 1,
     ) -> None:
         in_features, out_features = int(shape[0]), int(shape[1])
         th, tw = int(tile[0]), int(tile[1])
+        groups = int(groups)
         if th < 1 or tw < 1:
             raise ValueError(f"tile dims must be positive, got {(th, tw)}")
-        if in_features % th or out_features % tw:
+        if groups < 1:
+            raise ValueError(f"groups must be positive, got {groups}")
+        if in_features % th or out_features % (groups * tw):
             raise ValueError(
-                f"tile {(th, tw)} does not divide matrix {(in_features, out_features)}"
+                f"tile {(th, tw)} x {groups} groups does not divide matrix "
+                f"{(in_features, out_features)}"
             )
         n_row_blocks = in_features // th
-        n_col_blocks = out_features // tw
+        n_col_blocks = out_features // (groups * tw)
         if block_indices.ndim != 2 or block_indices.shape[0] != n_col_blocks:
             raise ValueError(
                 f"block_indices must be (n_col_blocks, kmax); got {block_indices.shape}"
             )
         kmax = int(block_indices.shape[1])
-        if blocks.shape != (n_col_blocks, kmax, th, tw):
+        if blocks.shape != (n_col_blocks, kmax, th, groups * tw):
             raise ValueError(
-                f"blocks must be {(n_col_blocks, kmax, th, tw)}; got {blocks.shape}"
+                f"blocks must be {(n_col_blocks, kmax, th, groups * tw)}; "
+                f"got {blocks.shape}"
             )
         self.shape = (in_features, out_features)
         self.tile = (th, tw)
+        self.groups = groups
         self.kmax = kmax
         self.n_row_blocks = n_row_blocks
         self.n_col_blocks = n_col_blocks
@@ -246,43 +262,52 @@ class BlockSparseWeight:
         self.nnz = int(np.count_nonzero(self.blocks))
         self.tiles_kept = int(np.count_nonzero(np.any(self.blocks != 0, axis=(2, 3))))
         self._flat_indices = self.block_indices.reshape(-1)
-        # Contiguous views used by the two execution paths.
-        self._mat = self.blocks.reshape(n_col_blocks, kmax * th, tw)
-        self._vals3 = self.blocks.reshape(n_col_blocks, kmax, th * tw)
+        # Contiguous micro-GEMM view of the slab.
+        self._mat = self.blocks.reshape(n_col_blocks, kmax * th, groups * tw)
 
     @classmethod
-    def from_dense(cls, dense: np.ndarray, tile: Tuple[int, int]) -> "BlockSparseWeight":
+    def from_dense(
+        cls, dense: np.ndarray, tile: Tuple[int, int], groups: int = 1
+    ) -> "BlockSparseWeight":
         """Compress a ``(in, out)`` matrix into surviving ``tile`` blocks.
 
-        Requires the tile to divide the matrix exactly (the pruning side
-        clamps edge tiles, the kernel side does not).  Tiles within a column
-        block are kept in ascending row-block order, so the layout is fully
+        Requires the tile (times ``groups`` along the columns) to divide the
+        matrix exactly (the pruning side clamps edge tiles, the kernel side
+        does not).  With ``groups=G`` the matrix is read as ``G``
+        concatenated gate panels and a super-tile survives when *any* gate's
+        tile at that position holds a non-zero.  Tiles within a column block
+        are kept in ascending row-block order, so the layout is fully
         determined by the zero pattern.
         """
         if dense.ndim != 2:
             raise ValueError("BlockSparseWeight needs a 2-D matrix")
         in_features, out_features = dense.shape
-        th, tw = int(tile[0]), int(tile[1])
-        if th < 1 or tw < 1 or in_features % th or out_features % tw:
+        th, tw, g = int(tile[0]), int(tile[1]), int(groups)
+        if th < 1 or tw < 1 or g < 1 or in_features % th or out_features % (g * tw):
             raise ValueError(
-                f"tile {(th, tw)} does not divide matrix {dense.shape}"
+                f"tile {(th, tw)} x {g} groups does not divide matrix {dense.shape}"
             )
         n_row_blocks = in_features // th
-        n_col_blocks = out_features // tw
-        # (C, R, th, tw) tile view of the dense matrix.
-        tiles = dense.reshape(n_row_blocks, th, n_col_blocks, tw).transpose(2, 0, 1, 3)
-        keep = np.any(tiles != 0, axis=(2, 3))  # (C, R)
+        n_col_blocks = out_features // (g * tw)
+        # (C, R, th, g, tw) tile view: column block j spans the same
+        # tw-wide slice of every group (for g == 1 this is the plain grid).
+        tiles = dense.reshape(n_row_blocks, th, g, n_col_blocks, tw).transpose(
+            3, 0, 1, 2, 4
+        )
+        keep = np.any(tiles != 0, axis=(2, 3, 4))  # (C, R) union over groups
         counts = keep.sum(axis=1)
         kmax = max(1, int(counts.max()) if counts.size else 1)
         block_indices = np.zeros((n_col_blocks, kmax), dtype=np.intp)
-        blocks = np.zeros((n_col_blocks, kmax, th, tw), dtype=dense.dtype)
+        blocks = np.zeros((n_col_blocks, kmax, th, g * tw), dtype=dense.dtype)
         # np.nonzero on (C, R) is row-major: ascending row blocks per column.
         cols, rows = np.nonzero(keep)
         starts = np.concatenate(([0], np.cumsum(counts)))
         within = np.arange(rows.size) - starts[cols]
         block_indices[cols, within] = rows
-        blocks[cols, within] = tiles[cols, rows]
-        return cls((in_features, out_features), (th, tw), block_indices, blocks)
+        blocks[cols, within] = tiles[cols, rows].reshape(-1, th, g * tw)
+        return cls(
+            (in_features, out_features), (th, tw), block_indices, blocks, groups=g
+        )
 
     # ------------------------------------------------------------------ #
     # execution
@@ -303,6 +328,7 @@ class BlockSparseWeight:
         """
         n = x.shape[0]
         th, tw = self.tile
+        g = self.groups
         x3 = x.reshape(n, self.n_row_blocks, th)
         if panels is None:
             panels = np.empty((n, self.n_col_blocks * self.kmax, th), dtype=x.dtype)
@@ -313,27 +339,27 @@ class BlockSparseWeight:
         x3.take(self._flat_indices, axis=1, out=panels, mode="clip")
         if out is None:
             out = np.empty((n, self.shape[1]), dtype=x.dtype)
-        if tw == 1:
-            gathered = panels.reshape(n, self.n_col_blocks, self.kmax * th)
-            np.multiply(gathered, self._vals3.reshape(self.n_col_blocks, -1), out=gathered)
-            np.add.reduce(gathered, axis=-1, out=out)
-            return out
+        if prod is None:
+            prod = np.empty((self.n_col_blocks, n, g * tw), dtype=x.dtype)
         # (C, n, kmax*th) strided view — last axis contiguous, so each 2-D
         # slice feeds BLAS without an internal copy.
         lhs = panels.reshape(n, self.n_col_blocks, self.kmax * th).transpose(1, 0, 2)
-        if prod is None:
-            prod = np.empty((self.n_col_blocks, n, tw), dtype=x.dtype)
         np.matmul(lhs, self._mat, out=prod)
-        np.copyto(out.reshape(n, self.n_col_blocks, tw), prod.transpose(1, 0, 2))
+        # Scatter column blocks back to the (gate-major) output layout: for
+        # groups == 1 this is the plain (n, C, tw) interleave.
+        np.copyto(
+            out.reshape(n, g, self.n_col_blocks, tw),
+            prod.reshape(self.n_col_blocks, n, g, tw).transpose(1, 2, 0, 3),
+        )
         return out
 
     def matmul_scratch(
         self, n: int, dtype: np.dtype
-    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """The ``(panels, prod)`` buffers :meth:`matmul` needs for ``n`` rows."""
         th, tw = self.tile
         panels = np.empty((n, self.n_col_blocks * self.kmax, th), dtype=dtype)
-        prod = None if tw == 1 else np.empty((self.n_col_blocks, n, tw), dtype=dtype)
+        prod = np.empty((self.n_col_blocks, n, self.groups * tw), dtype=dtype)
         return panels, prod
 
     # ------------------------------------------------------------------ #
@@ -347,6 +373,7 @@ class BlockSparseWeight:
 
     @property
     def tiles_total(self) -> int:
+        """Super-tiles in the grid (each spans all ``groups`` gates)."""
         return self.n_row_blocks * self.n_col_blocks
 
     @property
@@ -373,17 +400,20 @@ class BlockSparseWeight:
         tile: Tuple[int, int],
         arrays: Dict[str, np.ndarray],
         dtype: np.dtype,
+        groups: int = 1,
     ) -> "BlockSparseWeight":
         return cls(
             shape,
             tile,
             np.asarray(arrays["block_indices"]),
             np.asarray(arrays["blocks"], dtype=dtype),
+            groups=groups,
         )
 
     def __repr__(self) -> str:
+        gtag = f", groups={self.groups}" if self.groups > 1 else ""
         return (
             f"BlockSparseWeight({self.shape[0]}x{self.shape[1]}, "
-            f"tile={self.tile[0]}x{self.tile[1]}, "
+            f"tile={self.tile[0]}x{self.tile[1]}{gtag}, "
             f"tiles={self.tiles_kept}/{self.tiles_total}, kmax={self.kmax})"
         )

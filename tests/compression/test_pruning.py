@@ -243,10 +243,11 @@ class TestBlockPruning:
         report = apply_global_magnitude_pruning(self._block_mlp(seed=6), 0.5)
         assert report.block_occupancy == {}
 
-    def test_lstm_projections_use_the_row_tile(self):
+    def test_lstm_projections_use_the_gate_coupled_grid(self):
         from repro.compression.pruning import (
-            LSTM_TILE,
+            LSTM_TILE_MENU,
             apply_block_magnitude_pruning,
+            pruning_grid,
         )
         from repro.nn.lstm import LSTM
 
@@ -254,8 +255,91 @@ class TestBlockPruning:
         report = apply_block_magnitude_pruning(Sequential(lstm), 0.7)
         ih = next(k for k in report.block_occupancy if k.endswith("weight_ih"))
         hh = next(k for k in report.block_occupancy if k.endswith("weight_hh"))
-        assert report.block_occupancy[ih].tile == LSTM_TILE
-        assert report.block_occupancy[hh].tile == LSTM_TILE
+        grid = pruning_grid(LSTM_TILE_MENU)
+        assert grid == (32, 8)  # per-axis LCM of the menu
+        # Gate-coupled: the scoring tile spans the matching column slice of
+        # all four gate panels, so occupancy reports (th, 4*tw) — clamped to
+        # the matrix (weight_ih here has only 16 rows).
+        assert report.block_occupancy[ih].tile == (16, grid[1] * 4)
+        assert report.block_occupancy[hh].tile == (grid[0], grid[1] * 4)
+        assert report.block_occupancy[ih].gate_coupled is True
+        assert report.block_occupancy[hh].gate_coupled is True
+
+    def test_pruning_grid_is_the_menu_lcm(self):
+        from repro.compression.pruning import pruning_grid
+
+        assert pruning_grid(((8, 8), (16, 1), (32, 1))) == (32, 8)
+        assert pruning_grid((8, 8)) == (8, 8)  # single tile passes through
+        assert pruning_grid(((4, 2), (6, 3))) == (12, 6)
+
+    def test_gate_coupled_zero_patterns_match_across_gates(self):
+        """The four gate panels of a pruned projection share one zero mask.
+
+        This is the invariant that makes fused-gate slabs free: the fused
+        union keeps a column slab iff every gate's slice at that position
+        was kept, so fusing never re-admits pruned weights.
+        """
+        from repro.compression.pruning import apply_block_magnitude_pruning
+        from repro.nn.lstm import LSTM
+
+        lstm = LSTM(input_size=32, hidden_size=64, seed=3)
+        apply_block_magnitude_pruning(Sequential(lstm), 0.9)
+        for name, param in Sequential(lstm).named_parameters():
+            if not (name.endswith("weight_ih") or name.endswith("weight_hh")):
+                continue
+            rows, cols = param.data.shape
+            gates = (param.data == 0).reshape(rows, 4, cols // 4)
+            for gate in range(1, 4):
+                np.testing.assert_array_equal(
+                    gates[:, gate, :],
+                    gates[:, 0, :],
+                    err_msg=f"{name}: gate {gate} zero mask diverges from gate 0",
+                )
+
+    def test_menu_zeros_land_on_every_menu_tile(self):
+        """LCM-grid pruning aligns zeros for ALL menu tiles at once.
+
+        Each gate panel must present whole-tile zeros at (8, 8), (16, 1) and
+        (32, 1) simultaneously — that is what lets the autotuner race every
+        layout instead of committing to one at pruning time.
+        """
+        from repro.compression.pruning import (
+            LSTM_TILE_MENU,
+            apply_block_magnitude_pruning,
+        )
+        from repro.nn.lstm import LSTM
+
+        lstm = LSTM(input_size=32, hidden_size=64, seed=4)
+        before = {
+            name: param.data.copy()
+            for name, param in Sequential(lstm).named_parameters()
+        }
+        apply_block_magnitude_pruning(Sequential(lstm), 0.9)
+        for name, param in Sequential(lstm).named_parameters():
+            if not name.endswith("weight_hh"):
+                continue
+            matrix, original = param.data, before[name]
+            zeroed = (matrix == 0) & (original != 0)
+            for th, tw in LSTM_TILE_MENU:
+                tiles = matrix.reshape(
+                    matrix.shape[0] // th, th, matrix.shape[1] // tw, tw
+                )
+                zeroed_tiles = zeroed.reshape(tiles.shape).any(axis=(1, 3))
+                dead_tiles = ~np.any(tiles != 0, axis=(1, 3))
+                assert (zeroed_tiles <= dead_tiles).all(), (
+                    f"{name}: pruning left a partially-zero ({th}, {tw}) tile"
+                )
+
+    def test_gate_coupled_sparsity_still_tracks_the_request(self):
+        from repro.compression.pruning import apply_block_magnitude_pruning
+        from repro.nn.lstm import LSTM
+
+        for ratio in (0.5, 0.7, 0.9):
+            lstm = LSTM(input_size=32, hidden_size=64, seed=5)
+            report = apply_block_magnitude_pruning(Sequential(lstm), ratio)
+            # Super-tile granularity on small matrices is coarse; the LCM
+            # grid must still land within a tile of the request.
+            assert report.achieved_sparsity == pytest.approx(ratio, abs=0.12)
 
     def test_oversized_tile_is_clamped_to_the_matrix(self):
         from repro.compression.pruning import apply_block_magnitude_pruning

@@ -137,3 +137,75 @@ class TestKernelVariantReporting:
         profile = profile_classifier(classifier, _windows(4), repeats=2)
         assert profile.kernel_variants == []
         assert profile.autotune_hits is None
+        assert profile.variant_timings == []
+
+
+class TestVariantTimingTable:
+    def _calibrated_profile(self, tmp_path, monkeypatch, repeats=2):
+        from repro.nn import autotune
+        from repro.nn.autotune import AutotuneCache, set_default_cache
+
+        monkeypatch.setattr(
+            autotune, "median_call_time_s", lambda call, repeats=5: (call(), 1e-4)[1]
+        )
+        cache = AutotuneCache(path=str(tmp_path / "autotune.json"))
+        previous = set_default_cache(cache)
+        try:
+            classifier = TestKernelVariantReporting()._block_pruned_lstm(mode="auto")
+            return profile_classifier(
+                classifier, TestKernelVariantReporting._windows8(), repeats=repeats
+            )
+        finally:
+            set_default_cache(previous)
+
+    def test_table_lists_every_raced_candidate(self, tmp_path, monkeypatch):
+        profile = self._calibrated_profile(tmp_path, monkeypatch)
+        assert profile.variant_timings
+        raced = {row["variant"] for row in profile.variant_timings}
+        # The calibrator raced the BLAS baseline, the elementwise gather,
+        # and at least one block layout — losers included.
+        assert "dense" in raced and "ell" in raced
+        assert any(v.startswith("block") for v in raced)
+        # Calibrated decisions carry measurements; matmuls the compiler kept
+        # dense without racing (below the sparsity threshold) appear as a
+        # single winner row with no microseconds.
+        calibrated = [r for r in profile.variant_timings if r["cached"] is False]
+        assert calibrated
+        for row in calibrated:
+            assert row["us"] is not None and row["us"] > 0
+
+    def test_exactly_one_winner_per_matmul(self, tmp_path, monkeypatch):
+        profile = self._calibrated_profile(tmp_path, monkeypatch)
+        by_op = {}
+        for row in profile.variant_timings:
+            key = (row["op"], tuple(row["shape"]))
+            by_op.setdefault(key, []).append(row)
+        for key, rows in by_op.items():
+            assert sum(row["chosen"] for row in rows) == 1, key
+
+    def test_tile_column_decodes_block_geometry(self, tmp_path, monkeypatch):
+        from repro.deployment.profiler import _variant_tile
+
+        assert _variant_tile("dense") == "-"
+        assert _variant_tile("ell") == "-"
+        assert _variant_tile("block8x8") == "8x8"
+        assert _variant_tile("block16x1g4") == "16x1g4"
+        profile = self._calibrated_profile(tmp_path, monkeypatch)
+        block_rows = [
+            row for row in profile.variant_timings
+            if row["variant"].startswith("block")
+        ]
+        assert block_rows
+        for row in block_rows:
+            assert row["tile"] == row["variant"][len("block"):]
+
+    def test_pinned_plan_reports_winner_rows_without_timings(self):
+        classifier = TestKernelVariantReporting()._block_pruned_lstm(mode="always")
+        profile = profile_classifier(
+            classifier, TestKernelVariantReporting._windows8(), repeats=2
+        )
+        assert profile.variant_timings
+        # Pinned lowering never timed anything: one row per matmul, the
+        # winner only, with no microsecond column to lie about.
+        assert all(row["chosen"] for row in profile.variant_timings)
+        assert all(row["us"] is None for row in profile.variant_timings)

@@ -274,9 +274,13 @@ class TestBlockSparsePayloads:
             if isinstance(mine, BlockSparseWeight)
         ]
         assert pairs  # the pruned projections really did lower block-sparse
+        # Gate-coupled pruning + pinned lowering: the projections ship as
+        # fused-gate slabs, and the payload must carry that geometry.
+        assert any(mine.groups == 4 for mine, _ in pairs)
         for mine, theirs in pairs:
             assert isinstance(theirs, BlockSparseWeight)
             assert theirs.tile == mine.tile
+            assert theirs.groups == mine.groups
             assert np.array_equal(theirs.block_indices, mine.block_indices)
             assert np.array_equal(theirs.blocks, mine.blocks)
 

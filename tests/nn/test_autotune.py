@@ -79,6 +79,37 @@ class TestKeying:
             "dense", (64, 32), np.float32, 0.9, fingerprint="abc"
         )
 
+    def test_tile_token_encodes_groups(self):
+        from repro.nn.autotune import tile_token
+
+        assert tile_token((8, 8)) == "8x8"
+        assert tile_token((16, 1), groups=4) == "16x1g4"
+        assert tile_token((32, 1), groups=1) == "32x1"
+
+    def test_menu_keys_are_order_insensitive_and_distinct(self):
+        menu = matmul_cache_key(
+            "lstm-hh",
+            (64, 256),
+            np.float32,
+            0.9,
+            tile=["16x1g4", "8x8g4", "32x1g4"],
+            fingerprint="abc",
+        )
+        reordered = matmul_cache_key(
+            "lstm-hh",
+            (64, 256),
+            np.float32,
+            0.9,
+            tile=["8x8g4", "32x1g4", "16x1g4"],
+            fingerprint="abc",
+        )
+        assert menu == reordered  # tokens are sorted before joining
+        assert "|t16x1g4+32x1g4+8x8g4|" in menu
+        single = matmul_cache_key(
+            "lstm-hh", (64, 256), np.float32, 0.9, tile="8x8g4", fingerprint="abc"
+        )
+        assert single != menu  # a one-tile decision never answers a menu query
+
     def test_key_defaults_to_this_hosts_fingerprint(self):
         key = matmul_cache_key("dense", (8, 8), np.float64, 0.5)
         assert key.endswith(host_fingerprint())
@@ -135,6 +166,60 @@ class TestAutotuneCachePersistence:
             json.dumps({"version": CACHE_VERSION + 1, "entries": {"k1": {"variant": "ell"}}})
         )
         assert AutotuneCache(path=str(path)).get("k1") is None
+
+    def test_newer_version_file_is_never_clobbered(self, tmp_path):
+        """Forward compatibility: a foreign-version file degrades this
+        process to memory-only operation instead of being rewritten.
+
+        A wrong-version file was plausibly written by a NEWER release sharing
+        the same home directory; destroying its measurements to store ours
+        would make the two releases fight over the file on every compile.
+        """
+        path = tmp_path / "autotune.json"
+        foreign = json.dumps(
+            {"version": CACHE_VERSION + 1, "entries": {"k1": {"variant": "ell"}}}
+        )
+        path.write_text(foreign)
+        cache = AutotuneCache(path=str(path))
+        cache.put("mine", {"variant": "dense"})  # must not raise, must not write
+        assert path.read_text() == foreign  # file byte-identical
+        assert cache.get("mine") == {"variant": "dense"}  # memory still serves
+        assert cache.persist_errors == 0  # degraded, not broken
+        assert cache.stats()["writable"] is False
+
+    def test_file_turning_foreign_between_load_and_save_is_preserved(self, tmp_path):
+        """The merge-on-write re-read must honour a version flip under us."""
+        path = tmp_path / "autotune.json"
+        cache = AutotuneCache(path=str(path))
+        cache.put("k1", {"variant": "ell"})  # loads + writes a v-current file
+        foreign = json.dumps({"version": CACHE_VERSION + 1, "entries": {}})
+        path.write_text(foreign)  # a newer release replaces the file mid-run
+        cache.put("k2", {"variant": "dense"})
+        assert path.read_text() == foreign
+        assert cache.stats()["writable"] is False
+        assert cache.get("k2") == {"variant": "dense"}
+
+    def test_unknown_entry_keys_are_ignored_not_fatal(self, tmp_path, monkeypatch):
+        """Entries may grow fields we do not know; a hit must still replay."""
+        calls = _count_timings(monkeypatch)
+        path = tmp_path / "autotune.json"
+        dense = _pruned_matrix()
+        cache = AutotuneCache(path=str(path))
+        cold = choose_matmul_variant(
+            "dense", dense, _candidates(dense), rows=8, cache=cache
+        )
+        entry = json.loads(path.read_text())["entries"][cold.key]
+        entry["a_future_field"] = {"nested": [1, 2, 3]}
+        path.write_text(
+            json.dumps({"version": CACHE_VERSION, "entries": {cold.key: entry}})
+        )
+        before = calls["n"]
+        fresh = AutotuneCache(path=str(path))  # re-reads the annotated file
+        warm = choose_matmul_variant(
+            "dense", dense, _candidates(dense), rows=8, cache=fresh
+        )
+        assert warm.cached is True and warm.variant == cold.variant
+        assert calls["n"] == before  # the unknown field cost no re-measure
 
     def test_non_dict_entries_are_dropped_on_load(self, tmp_path):
         path = tmp_path / "autotune.json"
@@ -250,7 +335,8 @@ class TestChooseMatmulVariant:
             "dense", dense, _candidates(dense), rows=8, cache=cache
         )
         assert decision.cached is False
-        assert calls["n"] == 2  # dense baseline + one candidate
+        # Interleaved timing: 5 rounds x (dense baseline + one candidate).
+        assert calls["n"] == 10
         assert set(decision.timings) == {"dense", "ell"}
         assert decision.key is not None
         assert cache.misses == 1 and cache.hits == 0
@@ -331,6 +417,51 @@ class TestChooseMatmulVariant:
         dense = _pruned_matrix(shape=(16, 16))
         assert variant_name(ColumnSparseWeight.from_dense(dense)) == "ell"
         assert variant_name(BlockSparseWeight.from_dense(dense, (8, 8))) == "block8x8"
+        wide = _pruned_matrix(shape=(16, 64))
+        assert (
+            variant_name(BlockSparseWeight.from_dense(wide, (8, 8), groups=4))
+            == "block8x8g4"
+        )
+
+    def test_tile_selection_keys_round_trip_per_menu(self, monkeypatch):
+        """A decision under one tile menu never answers a different one.
+
+        An entry recorded while racing the (8, 8) candidate must be a MISS
+        for a compile racing (16, 1) on the same matrix — the menus name
+        different layout spaces, and replaying across them would pin a
+        variant the new menu cannot even construct.
+        """
+        calls = _count_timings(monkeypatch)
+        cache = AutotuneCache(path=None)
+        dense = _pruned_matrix(shape=(64, 32))
+
+        def menu(*tiles):
+            candidates = {"ell": ColumnSparseWeight.from_dense(dense)}
+            for tile in tiles:
+                weight = BlockSparseWeight.from_dense(dense, tile)
+                candidates[variant_name(weight)] = weight
+            return candidates
+
+        first = choose_matmul_variant(
+            "dense", dense, menu((8, 8)), rows=8, cache=cache
+        )
+        assert first.cached is False and "t8x8" in first.key
+        other = choose_matmul_variant(
+            "dense", dense, menu((16, 1)), rows=8, cache=cache
+        )
+        assert other.cached is False  # t16x1 query: the t8x8 entry stays silent
+        assert other.key != first.key and "t16x1" in other.key
+        both = choose_matmul_variant(
+            "dense", dense, menu((8, 8), (16, 1)), rows=8, cache=cache
+        )
+        assert both.cached is False  # the two-tile menu is a third key
+        assert "t16x1+8x8" in both.key
+        before = calls["n"]
+        replay = choose_matmul_variant(
+            "dense", dense, menu((8, 8)), rows=8, cache=cache
+        )
+        assert replay.cached is True and replay.key == first.key
+        assert calls["n"] == before
 
 
 class TestCompileLevelCaching:
@@ -379,3 +510,48 @@ class TestCompileLevelCaching:
         cfg = SparsityConfig(mode="auto", min_size=0)
         compile_network(self._pruned_net(), sparsity=cfg)
         assert isolated_default_cache.misses > 0
+
+    def _coupled_lstm_net(self, seed=12):
+        from repro.compression.pruning import apply_block_magnitude_pruning
+        from repro.nn.lstm import LSTM
+        from repro.nn.module import Sequential as Seq
+
+        lstm = LSTM(input_size=32, hidden_size=64, seed=seed)
+        net = Seq(lstm)
+        apply_block_magnitude_pruning(net, 0.9)
+        return net
+
+    def test_warm_block_lstm_compile_performs_zero_timings(
+        self, tmp_path, monkeypatch
+    ):
+        """The acceptance claim at full menu width: a seeded cache replays
+        the fused/split/ELL race for a gate-coupled LSTM without a single
+        timing call, asserted through the hit/miss counters."""
+        calls = _count_timings(monkeypatch)
+        path = str(tmp_path / "autotune.json")
+        cfg = SparsityConfig(mode="auto", min_size=0)
+        net = self._coupled_lstm_net()
+        cold_cache = AutotuneCache(path=path)
+        first = compile_network(net, sparsity=cfg, tuner=cold_cache)
+        assert calls["n"] > 0
+        assert cold_cache.misses > 0 and cold_cache.hits == 0
+        calibrated = [
+            r for r in first.lowering_report() if r["reason"] == "calibrated"
+        ]
+        # The LSTM projections raced the fused-slab menu, not just ELL.
+        assert any(
+            any(name.endswith("g4") for name in record["timings"])
+            for record in calibrated
+        )
+        before = calls["n"]
+        # A fresh cache instance on the same file = a new process, warm disk.
+        warm_cache = AutotuneCache(path=path)
+        second = compile_network(net, sparsity=cfg, tuner=warm_cache)
+        assert calls["n"] == before  # zero timing calls end to end
+        assert warm_cache.misses == 0
+        assert warm_cache.hits == len(
+            [r for r in second.lowering_report() if r["reason"] == "calibrated"]
+        )
+        assert [r["variant"] for r in first.lowering_report()] == [
+            r["variant"] for r in second.lowering_report()
+        ]

@@ -366,3 +366,54 @@ class TestShapeSpecialization:
         for batch in range(1, Conv2dKernel.MAX_PAD_BUFFERS + 4):
             plan(rng.standard_normal((batch, 1, 6, 7)).astype(np.float32))
         assert len(kernel._pad_buffers) == Conv2dKernel.MAX_PAD_BUFFERS
+
+
+class TestBlockSparseSpecialization:
+    """The zero-allocation arena contract extends to block-sparse plans.
+
+    The fused-gate slab kernels add their own scratch (gathered input
+    panels, the micro-GEMM product buffer); a specialised block plan must
+    pre-bind ALL of it, so a steady-state flush stays within numpy's
+    constant-size iteration buffers exactly like the dense plans gated in
+    :class:`TestShapeSpecialization`.
+    """
+
+    @staticmethod
+    def _block_plan():
+        from repro.compression.pruning import apply_block_magnitude_pruning
+        from repro.nn.inference import SparsityConfig
+        from repro.nn.sparse import BlockSparseWeight
+
+        net = Sequential(
+            LSTM(input_size=32, hidden_size=64, seed=7),
+            Dense(64, 8, seed=8),
+        )
+        apply_block_magnitude_pruning(net, 0.9)
+        plan = compile_network(
+            net, sparsity=SparsityConfig(mode="always", min_size=0)
+        )
+        plan.append(SoftmaxKernel())
+        w_ih, w_hh, _ = plan.kernels[0].layers[0]
+        assert isinstance(w_hh, BlockSparseWeight) and w_hh.groups == 4
+        assert isinstance(w_ih, BlockSparseWeight) and w_ih.groups == 4
+        return plan
+
+    def test_steady_state_block_flush_allocates_no_arrays(self):
+        plan = self._block_plan()
+        x = np.random.default_rng(11).standard_normal((32, 9, 32)).astype(
+            np.float32
+        )
+        assert plan.specialize(32)
+        bound = 128 * 1024
+        net_bytes, peak = _alloc_profile(lambda: plan(x))
+        assert peak < bound, f"specialised block peak {peak}B blows {bound}B"
+        assert net_bytes < 4096, f"specialised block call retains {net_bytes}B"
+
+    @pytest.mark.parametrize("batch", [1, 7, 64])
+    def test_specialized_block_plan_is_bit_for_bit_generic(self, batch):
+        plan = self._block_plan()
+        x = np.random.default_rng(12 + batch).standard_normal((batch, 9, 32))
+        generic = plan(x).copy()
+        assert plan.specialize(batch)
+        plan(x)  # binds the arena
+        assert np.array_equal(generic, plan(x))

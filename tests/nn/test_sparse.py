@@ -306,6 +306,143 @@ class TestBlockSparseWeight:
         assert weight.nbytes < dense.nbytes
 
 
+def _gate_coupled_pruned(hidden=64, groups=4, grid=(32, 8), keep=0.15, seed=0):
+    """A (hidden, groups*hidden) matrix pruned gate-coupled on the LCM grid.
+
+    Every kept super-tile spans the same column slice of all ``groups`` gate
+    panels — the pattern ``apply_block_magnitude_pruning`` produces for LSTM
+    projections, under which the fused union occupancy equals the per-gate
+    occupancy exactly.
+    """
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((hidden, groups * hidden)).astype(np.float32)
+    rows_g, cols_g = hidden // grid[0], hidden // grid[1]
+    mask = rng.random((rows_g, cols_g)) < keep
+    view = dense.reshape(rows_g, grid[0], groups, cols_g, grid[1])
+    view *= mask[:, None, None, :, None]
+    return dense
+
+
+class TestFusedGateSlabs:
+    """The gate-fused block layout: one slab per column across all four gates."""
+
+    TILES = [(8, 8), (16, 1), (32, 1)]
+
+    @pytest.mark.parametrize("tile", TILES)
+    @pytest.mark.parametrize("batch", [1, 7, 64])
+    def test_fused_matmul_matches_dense(self, tile, batch):
+        dense = _gate_coupled_pruned(seed=31)
+        fused = BlockSparseWeight.from_dense(dense, tile, groups=4)
+        assert fused.groups == 4
+        assert fused.nnz == int(np.count_nonzero(dense))
+        x = np.random.default_rng(32).standard_normal((batch, 64)).astype(np.float32)
+        np.testing.assert_allclose(fused.matmul(x), x @ dense, atol=1e-5)
+
+    @pytest.mark.parametrize("tile", TILES)
+    @pytest.mark.parametrize("batch", [1, 7, 64])
+    def test_fused_matches_the_split_layout(self, tile, batch):
+        """Same matrix, split (groups=1) vs fused slabs: same product.
+
+        Not bit-for-bit — fusing changes the BLAS problem shape, and with it
+        the kernel's accumulation order — but within float32 rounding of the
+        identical sum.
+        """
+        dense = _gate_coupled_pruned(seed=33)
+        split = BlockSparseWeight.from_dense(dense, tile)
+        fused = BlockSparseWeight.from_dense(dense, tile, groups=4)
+        x = np.random.default_rng(34).standard_normal((batch, 64)).astype(np.float32)
+        np.testing.assert_allclose(fused.matmul(x), split.matmul(x), atol=1e-5)
+
+    def test_gate_coupling_makes_fusion_free(self):
+        """Coupled patterns: the fused union keeps exactly the split tiles."""
+        dense = _gate_coupled_pruned(seed=35)
+        split = BlockSparseWeight.from_dense(dense, (8, 8))
+        fused = BlockSparseWeight.from_dense(dense, (8, 8), groups=4)
+        # Four split tiles collapse into one 4x-wide slab: same stored count.
+        assert fused.tiles_kept * 4 == split.tiles_kept
+        assert fused.blocks.size == split.blocks.size
+
+    @pytest.mark.parametrize("tile", [(8, 8), (16, 1)])
+    def test_fused_bound_scratch_matches_allocating_path_bitwise(self, tile):
+        dense = _gate_coupled_pruned(seed=36)
+        fused = BlockSparseWeight.from_dense(dense, tile, groups=4)
+        x = np.random.default_rng(37).standard_normal((5, 64)).astype(np.float32)
+        out = np.empty((5, 256), dtype=np.float32)
+        panels, prod = fused.matmul_scratch(5, np.float32)
+        fused.matmul(x, out=out, panels=panels, prod=prod)
+        assert np.array_equal(out, fused.matmul(x))
+
+    def test_fused_state_round_trips_exactly(self):
+        dense = _gate_coupled_pruned(seed=38)
+        fused = BlockSparseWeight.from_dense(dense, (8, 8), groups=4)
+        rebuilt = BlockSparseWeight.from_state(
+            fused.shape, fused.tile, fused.state_arrays(), np.float32, groups=4
+        )
+        assert rebuilt.groups == 4
+        x = np.random.default_rng(39).standard_normal((4, 64)).astype(np.float32)
+        assert np.array_equal(fused.matmul(x), rebuilt.matmul(x))
+
+    def test_groups_must_divide_the_columns(self):
+        with pytest.raises(ValueError):
+            BlockSparseWeight.from_dense(
+                np.zeros((16, 24), dtype=np.float32), (8, 8), groups=4
+            )
+
+    def test_repr_names_the_slab_geometry(self):
+        dense = _gate_coupled_pruned(seed=40)
+        fused = BlockSparseWeight.from_dense(dense, (8, 8), groups=4)
+        assert "groups=4" in repr(fused)
+
+
+class TestFusedGateLowering:
+    """Gate-coupled pruned LSTMs lower to ONE fused slab per projection."""
+
+    def _coupled_lstm(self, seed=41):
+        from repro.compression.pruning import apply_block_magnitude_pruning
+
+        lstm = LSTM(input_size=32, hidden_size=64, seed=seed)
+        apply_block_magnitude_pruning(Sequential(lstm), 0.9)
+        return lstm
+
+    def test_coupled_lstm_lowers_fused_slabs(self):
+        lstm = self._coupled_lstm()
+        plan = compile_network(Sequential(lstm), sparsity=TINY_ALWAYS)
+        kernel = plan.kernels[0]
+        assert isinstance(kernel, LSTMKernel)
+        w_ih, w_hh, _ = kernel.layers[0]
+        assert isinstance(w_ih, BlockSparseWeight) and w_ih.groups == 4
+        assert isinstance(w_hh, BlockSparseWeight) and w_hh.groups == 4
+        x = np.random.default_rng(42).standard_normal((4, 9, 32))
+        np.testing.assert_allclose(plan(x), _forward_autograd(lstm, x), atol=1e-5)
+
+    @pytest.mark.parametrize("batch", [1, 7, 64])
+    def test_fused_plan_matches_autograd_across_batches(self, batch):
+        lstm = self._coupled_lstm(seed=43)
+        plan = compile_network(Sequential(lstm), sparsity=TINY_ALWAYS)
+        x = np.random.default_rng(44 + batch).standard_normal((batch, 9, 32))
+        np.testing.assert_allclose(plan(x), _forward_autograd(lstm, x), atol=1e-5)
+
+    def test_fused_specialized_is_bit_for_bit_generic(self):
+        lstm = self._coupled_lstm(seed=45)
+        plan = compile_network(Sequential(lstm), sparsity=TINY_ALWAYS)
+        plan.append(SoftmaxKernel())
+        x = np.random.default_rng(46).standard_normal((5, 9, 32))
+        generic = plan(x).copy()
+        assert plan.specialize(5)
+        plan(x)  # bind the arena
+        assert np.array_equal(generic, plan(x))
+
+    def test_fused_plan_round_trips_through_payloads(self):
+        lstm = self._coupled_lstm(seed=47)
+        plan = compile_network(Sequential(lstm), sparsity=TINY_ALWAYS)
+        rebuilt = InferencePlan.from_payload(plan.to_payload())
+        w_ih, w_hh, _ = rebuilt.kernels[0].layers[0]
+        assert isinstance(w_ih, BlockSparseWeight) and w_ih.groups == 4
+        assert isinstance(w_hh, BlockSparseWeight) and w_hh.groups == 4
+        x = np.random.default_rng(48).standard_normal((3, 7, 32))
+        assert np.array_equal(plan(x), rebuilt(x))
+
+
 class TestBlockLowering:
     def test_block_pruned_dense_lowers_to_block_kernel(self):
         layer = Dense(32, 16, seed=0)

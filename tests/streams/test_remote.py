@@ -273,6 +273,17 @@ class TestBlockSparseStreamWorker:
         classifier.plan_sparsity = SparsityConfig(mode="always", min_size=0)
         compiled = classifier.ensure_compiled()
         assert any("block" in k for k in compiled.plan.describe())
+        # Gate-coupled pruning pins the recurrent projections to fused-gate
+        # slabs — the stream hop below must round-trip that geometry too.
+        from repro.nn.sparse import BlockSparseWeight
+
+        assert any(
+            isinstance(operand, BlockSparseWeight) and operand.groups == 4
+            for kernel in compiled.plan.kernels
+            if hasattr(kernel, "layers")
+            for layer in kernel.layers
+            for operand in layer[:2]
+        )
         payload = compiled.to_payload()
 
         with hard_timeout(90, "block-sparse stream worker"):
