@@ -82,9 +82,14 @@ class CompiledClassifier:
         self,
         classifier: NeuralEEGClassifier,
         plan: InferencePlan,
+        revision: int = 0,
     ) -> None:
         self.classifier = classifier
         self.plan = plan
+        #: Plan revision carried through transport payloads; the serving
+        #: stack uses it to correlate hot-swapped plans with telemetry
+        #: (``FleetTickRecord.plan_version``).  0 = never assigned.
+        self.revision = int(revision)
         spec_hook = getattr(classifier, "prepare_spec", None)
         spec = spec_hook() if spec_hook is not None else None
         #: The transportable prepare spec, when the classifier has one.
@@ -221,6 +226,7 @@ class CompiledClassifier:
         meta["classifier"] = {
             "family": self.classifier.family,
             "prepare": validate_prepare_spec(spec),
+            "revision": self.revision,
         }
         autotune_meta = self._autotune_payload()
         if autotune_meta is not None:
@@ -277,7 +283,25 @@ class CompiledClassifier:
         shim = TransportedPreprocessor(
             classifier_meta["family"], classifier_meta["prepare"]
         )
-        return cls(shim, plan)
+        return cls(shim, plan, revision=int(classifier_meta.get("revision", 0)))
+
+
+def payload_revision(data: bytes) -> int:
+    """Plan revision embedded in ``to_payload`` bytes, without a rebuild.
+
+    Cheap metadata peek for supervisors deciding whether a cached respawn
+    payload is already at the fleet's current plan version.  Returns 0 for
+    payloads written before revisions existed.
+    """
+    with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+        meta = json.loads(str(archive[InferencePlan.META_KEY]))
+    classifier_meta = meta.get("classifier")
+    if classifier_meta is None:
+        raise PlanTransportError(
+            "payload has no classifier metadata; was it written by "
+            "InferencePlan.to_payload instead of CompiledClassifier?"
+        )
+    return int(classifier_meta.get("revision", 0))
 
 
 def compile_classifier(

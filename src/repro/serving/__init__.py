@@ -21,6 +21,15 @@ Flush *execution* is pluggable behind the
 (one worker process per cohort, each pinning a reconstructed compiled plan
 shipped as an ``.npz``-geometry payload — see
 :meth:`repro.models.compiled.CompiledClassifier.to_payload`).
+
+The shard fleet self-heals: a :class:`ShardSupervisor` respawns dead
+workers with capped exponential backoff, quarantines cohorts that flap
+(the scheduler then degrades them to an inline :class:`SerialExecutor`
+fallback), and serving plans hot-swap under traffic via
+``AsyncFleetScheduler.swap_plan`` with a per-flush ``plan_version``
+telemetry contract.  :mod:`repro.serving.chaos` provides the
+deterministic fault-injection harness that soaks all of this on a
+virtual clock.
 """
 
 from repro.serving.batcher import (
@@ -30,14 +39,29 @@ from repro.serving.batcher import (
     PreparedBatch,
     execute_windows,
 )
+from repro.serving.chaos import (
+    FaultInjector,
+    Injection,
+    SimulatedShardExecutor,
+    recovery_latencies,
+    window_conservation,
+)
 from repro.serving.executors import (
+    WORKER_QUARANTINED,
+    WORKER_RESPAWNING,
+    WORKER_RUNNING,
+    CohortQuarantinedError,
+    ExecutorClosedError,
     FlushExecutionError,
     FlushExecutor,
     FlushTicket,
     ProcessShardExecutor,
     SerialExecutor,
+    ShardSupervisor,
+    SupervisorConfig,
     ThreadPoolFlushExecutor,
     WorkerDiedError,
+    WorkerRespawnPending,
 )
 from repro.serving.scheduler import (
     AdmissionController,
@@ -60,20 +84,33 @@ __all__ = [
     "AdmissionController",
     "AsyncFleetScheduler",
     "BatchResult",
+    "CohortQuarantinedError",
     "ExecutionResult",
+    "ExecutorClosedError",
+    "FaultInjector",
     "FlushEvent",
     "FlushExecutionError",
     "FlushExecutor",
     "FlushTicket",
+    "Injection",
     "MicroBatcher",
     "ModelRouter",
     "PreparedBatch",
     "ProcessShardExecutor",
     "SchedulerConfig",
     "SerialExecutor",
+    "ShardSupervisor",
+    "SimulatedShardExecutor",
+    "SupervisorConfig",
     "ThreadPoolFlushExecutor",
+    "WORKER_QUARANTINED",
+    "WORKER_RESPAWNING",
+    "WORKER_RUNNING",
     "WorkerDiedError",
+    "WorkerRespawnPending",
     "execute_windows",
+    "recovery_latencies",
+    "window_conservation",
     "FleetReport",
     "FleetServer",
     "ServingSession",

@@ -100,6 +100,11 @@ class ExecutionResult:
     #: Whether every ``predict_proba`` call of this execution ran on a
     #: shape-specialised plan arena (False when the classifier has no plan).
     specialized: bool = False
+    #: Version of the inference plan that served this execution (0 when the
+    #: executor is not version-aware; shard workers echo the version their
+    #: replica was built from, so hot-swap transitions are observable
+    #: per-flush in telemetry).
+    plan_version: int = 0
 
 
 def _specialized_calls(classifier: EEGClassifier) -> Optional[int]:
@@ -119,6 +124,7 @@ def execute_windows(
     chunk_size: int,
     clock: Optional[Clock] = None,
     worker: str = "",
+    plan_version: int = 0,
 ) -> ExecutionResult:
     """Classify stacked windows in ``chunk_size`` blocks, timing service only.
 
@@ -161,6 +167,7 @@ def execute_windows(
         service_s=elapsed,
         worker=worker,
         specialized=specialized,
+        plan_version=plan_version,
     )
 
 
@@ -225,6 +232,29 @@ class MicroBatcher:
             # preference survives plan invalidation/recompiles and applies
             # even when the network is not built yet); CompiledClassifier
             # replicas expose the same hook directly.
+            auto = getattr(classifier, "enable_auto_specialization", None)
+            if auto is not None:
+                auto()
+
+    def swap_classifier(self, classifier: EEGClassifier) -> None:
+        """Replace the serving classifier between flushes (plan hot-swap).
+
+        Refuses while windows are pending: a mid-batch swap would classify
+        half the batch on each plan, which is exactly the mixed-version
+        flush the hot-swap contract rules out.  The replacement goes through
+        the same warm-up as the constructor (precompile, and re-request
+        auto-specialisation when this batcher serves inline).
+        """
+        if self._pending:
+            raise RuntimeError(
+                f"cannot swap classifier with {len(self._pending)} windows "
+                "pending; flush first"
+            )
+        self.classifier = classifier
+        ensure_compiled = getattr(classifier, "ensure_compiled", None)
+        if ensure_compiled is not None:
+            ensure_compiled()
+        if self.specialize:
             auto = getattr(classifier, "enable_auto_specialization", None)
             if auto is not None:
                 auto()

@@ -21,6 +21,18 @@ with decides *where* the classification runs.  Three backends ship:
   service with their local monotonic clock (an injected virtual clock
   cannot cross a process boundary — see the README's clock caveats).
 
+The process backend is *supervised*: a :class:`ShardSupervisor` tracks each
+cohort worker's lifecycle (``running`` → ``respawning`` → ``quarantined``).
+When a worker dies, the executor respawns it from the cohort's cached
+payload with capped exponential backoff + deterministic jitter, re-running
+the ready handshake; more than ``max_restarts`` deaths inside a sliding
+window quarantines the cohort, and the scheduler degrades it to an inline
+:class:`SerialExecutor` fallback instead of crashing the fleet.  Workers
+also support zero-downtime plan hot-swap (:meth:`ProcessShardExecutor.
+swap_plan`): a new payload travels over the existing pipe as a versioned
+control message, the worker double-buffers the replica and flips between
+flushes, and every flush reply echoes the ``plan_version`` it served.
+
 Executors hand back :class:`FlushTicket` futures; the scheduler tracks one
 in-flight ticket per cohort and folds the completed
 :class:`~repro.serving.batcher.ExecutionResult` back into session state on
@@ -30,15 +42,33 @@ its own thread, so sessions and telemetry are never touched concurrently.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import random
+import signal
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor as _ThreadPool
 from concurrent.futures import TimeoutError as _FutureTimeoutError
-from typing import Dict, Mapping, Optional, Protocol, Tuple, runtime_checkable
+from dataclasses import dataclass
+from typing import (
+    Deque,
+    Dict,
+    Mapping,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.models.base import EEGClassifier
 from repro.serving.batcher import ExecutionResult, PreparedBatch, execute_windows
 from repro.utils.timing import SYSTEM_CLOCK, Clock
+
+#: Supervisor states of one cohort's worker lane.
+WORKER_RUNNING = "running"
+WORKER_RESPAWNING = "respawning"
+WORKER_QUARANTINED = "quarantined"
 
 
 class FlushExecutionError(RuntimeError):
@@ -74,6 +104,43 @@ class WorkerDiedError(FlushExecutionError):
         self.cohort = cohort
         #: Tickets for flushes handed to the worker and never answered.
         self.pending = tuple(pending)
+
+
+class WorkerRespawnPending(FlushExecutionError):
+    """The cohort's worker is between backoff and respawn; try again later.
+
+    Raised by a supervised executor when a flush is submitted before the
+    supervisor's backoff delay has elapsed.  The windows stay queued (the
+    scheduler restores them) and :attr:`retry_at_s` tells the caller when
+    the respawn attempt becomes due on the executor's clock.
+    """
+
+    def __init__(self, cohort: str, retry_at_s: float) -> None:
+        super().__init__(
+            f"shard worker {cohort!r} is respawning; retry at t={retry_at_s:.6f}"
+        )
+        self.cohort = cohort
+        self.retry_at_s = retry_at_s
+
+
+class CohortQuarantinedError(FlushExecutionError):
+    """The cohort burned through its restart budget and is quarantined.
+
+    The supervisor refuses further respawns; the scheduler degrades the
+    cohort to its inline serial fallback so the fleet keeps serving.
+    """
+
+    def __init__(self, cohort: str, deaths: int, window_s: float) -> None:
+        super().__init__(
+            f"cohort {cohort!r} quarantined: {deaths} worker deaths within "
+            f"{window_s}s exhausted the restart budget"
+        )
+        self.cohort = cohort
+        self.deaths = deaths
+
+
+class ExecutorClosedError(FlushExecutionError):
+    """The executor was shut down; no further binds or flushes are accepted."""
 
 
 @runtime_checkable
@@ -126,6 +193,156 @@ class CompletedTicket:
         return self._execution
 
 
+# ---------------------------------------------------------------------- #
+# supervision policy
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Respawn/quarantine policy for supervised shard executors.
+
+    Parameters
+    ----------
+    max_restarts:
+        Worker deaths tolerated inside ``restart_window_s`` before the
+        cohort is quarantined (the death that *exceeds* this count
+        quarantines, so ``max_restarts=3`` allows three respawns in the
+        window and quarantines on the fourth death).
+    restart_window_s:
+        Length of the sliding window the death count is measured over.
+    backoff_initial_s / backoff_factor / backoff_max_s:
+        Capped exponential backoff between a death and the respawn attempt:
+        the n-th *consecutive* failure waits
+        ``min(backoff_max_s, backoff_initial_s * backoff_factor**(n-1))``.
+        A successful respawn resets the exponent.
+    jitter_fraction:
+        Uniform jitter added on top of the backoff, as a fraction of it,
+        drawn from a per-cohort seeded RNG — deterministic under test,
+        decorrelated across cohorts in production.
+    seed:
+        Base seed of the jitter RNGs.
+    """
+
+    max_restarts: int = 3
+    restart_window_s: float = 60.0
+    backoff_initial_s: float = 0.05
+    backoff_max_s: float = 2.0
+    backoff_factor: float = 2.0
+    jitter_fraction: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        if self.restart_window_s <= 0:
+            raise ValueError("restart_window_s must be positive")
+        if self.backoff_initial_s < 0:
+            raise ValueError("backoff_initial_s must be non-negative")
+        if self.backoff_max_s < self.backoff_initial_s:
+            raise ValueError("backoff_max_s must be >= backoff_initial_s")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1]")
+
+    def max_backoff_budget_s(self) -> float:
+        """Upper bound on any single death→retry delay (backoff + jitter)."""
+        return self.backoff_max_s * (1.0 + self.jitter_fraction)
+
+
+class ShardSupervisor:
+    """Pure, clock-injected lifecycle policy for a fleet of worker lanes.
+
+    Tracks one state machine per cohort (``running`` → ``respawning`` →
+    back to ``running`` on a successful respawn, or ``quarantined`` once
+    the sliding-window death count exceeds the budget) plus the capped
+    exponential backoff + jitter that spaces respawn attempts.  It never
+    touches processes itself — executors call :meth:`record_death` /
+    :meth:`record_respawn_success` and ask :meth:`state` /
+    :meth:`retry_at_s` before acting — which is what makes the policy
+    exactly testable on a virtual clock and shareable between the real
+    process backend and the simulated chaos backend.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SupervisorConfig] = None,
+        clock: Clock = SYSTEM_CLOCK,
+    ) -> None:
+        self.config = config or SupervisorConfig()
+        self.clock = clock
+        self._state: Dict[str, str] = {}
+        self._deaths: Dict[str, Deque[float]] = {}
+        self._consecutive: Dict[str, int] = {}
+        self._retry_at: Dict[str, float] = {}
+        self._restarts: Dict[str, int] = {}
+        self._rng: Dict[str, random.Random] = {}
+
+    def watch(self, cohort: str) -> None:
+        """Start supervising a cohort lane (idempotent)."""
+        if cohort not in self._state:
+            self._state[cohort] = WORKER_RUNNING
+            self._deaths[cohort] = deque()
+            self._consecutive[cohort] = 0
+            self._restarts[cohort] = 0
+            self._rng[cohort] = random.Random(
+                (self.config.seed, cohort).__hash__() & 0x7FFFFFFF
+            )
+
+    def state(self, cohort: str) -> str:
+        return self._state.get(cohort, WORKER_RUNNING)
+
+    def states(self) -> Dict[str, str]:
+        return dict(self._state)
+
+    def retry_at_s(self, cohort: str) -> Optional[float]:
+        """Clock time the next respawn attempt becomes due (respawning only)."""
+        if self.state(cohort) != WORKER_RESPAWNING:
+            return None
+        return self._retry_at[cohort]
+
+    def restart_count(self, cohort: str) -> int:
+        """Successful respawns of this cohort's lane so far."""
+        return self._restarts.get(cohort, 0)
+
+    def respawn_due(self, cohort: str) -> bool:
+        retry_at = self.retry_at_s(cohort)
+        return retry_at is not None and self.clock.now() >= retry_at
+
+    def record_death(self, cohort: str) -> str:
+        """Fold one worker death in; returns the cohort's new state."""
+        self.watch(cohort)
+        if self._state[cohort] == WORKER_QUARANTINED:
+            return WORKER_QUARANTINED
+        now = self.clock.now()
+        deaths = self._deaths[cohort]
+        horizon = now - self.config.restart_window_s
+        while deaths and deaths[0] < horizon:
+            deaths.popleft()
+        deaths.append(now)
+        if len(deaths) > self.config.max_restarts:
+            self._state[cohort] = WORKER_QUARANTINED
+            return WORKER_QUARANTINED
+        failures = self._consecutive[cohort] = self._consecutive[cohort] + 1
+        backoff = min(
+            self.config.backoff_max_s,
+            self.config.backoff_initial_s
+            * self.config.backoff_factor ** (failures - 1),
+        )
+        jitter = backoff * self.config.jitter_fraction * self._rng[cohort].random()
+        self._retry_at[cohort] = now + backoff + jitter
+        self._state[cohort] = WORKER_RESPAWNING
+        return WORKER_RESPAWNING
+
+    def record_respawn_success(self, cohort: str) -> None:
+        self.watch(cohort)
+        self._state[cohort] = WORKER_RUNNING
+        self._consecutive[cohort] = 0
+        self._restarts[cohort] += 1
+
+    def deaths_in_window(self, cohort: str) -> int:
+        return len(self._deaths.get(cohort, ()))
+
+
 class _BoundMixin:
     """Shared bind-once bookkeeping for the concrete executors."""
 
@@ -154,17 +371,37 @@ class _BoundMixin:
         except KeyError:
             raise KeyError(f"executor has no cohort {cohort!r}") from None
 
+    def swap_classifier(self, cohort: str, classifier: EEGClassifier) -> None:
+        """Replace a cohort's classifier between flushes (plan hot-swap).
+
+        Local executors serve the shared classifier object directly, so the
+        swap is a dictionary write; the caller (the scheduler) is
+        responsible for never swapping while that cohort has a flush in
+        flight.
+        """
+        if self._classifiers is None:
+            raise RuntimeError("executor is not bound; call bind() first")
+        if cohort not in self._classifiers:
+            raise KeyError(f"executor has no cohort {cohort!r}")
+        self._classifiers[cohort] = classifier
+
 
 class SerialExecutor(_BoundMixin):
     """Inline execution on the caller's thread — today's behaviour, exactly.
 
     Uses the scheduler's injected clock for service timing, so virtual-clock
     tests stay exact, and returns already-completed tickets, so the
-    scheduler's flush path is synchronous end to end.
+    scheduler's flush path is synchronous end to end.  ``label`` names the
+    execution lane in telemetry — the scheduler's degraded-cohort fallback
+    uses ``"degraded:<cohort>"`` so healed traffic is distinguishable.
     """
 
     serializes_flushes = True
     remote_execution = False
+
+    def __init__(self, label: str = "serial") -> None:
+        super().__init__()
+        self.label = label
 
     def bind(self, classifiers: Mapping[str, EEGClassifier], clock: Clock) -> None:
         self._check_bind(classifiers)
@@ -179,7 +416,7 @@ class SerialExecutor(_BoundMixin):
                 prepared.windows,
                 prepared.chunk_size,
                 self._clock,
-                worker="serial",
+                worker=self.label,
             )
         )
 
@@ -259,13 +496,28 @@ class ThreadPoolFlushExecutor(_BoundMixin):
 # ---------------------------------------------------------------------- #
 # Process sharding
 # ---------------------------------------------------------------------- #
-def _shard_worker_main(conn, cohort: str, payload: bytes) -> None:
+def _shard_worker_main(
+    conn, cohort: str, payload: bytes, plan_version: int = 1
+) -> None:
     """Entry point of one shard worker: pin a plan replica, serve flushes.
 
     Runs in a child process.  Reconstructs the cohort's compiled classifier
     from its transport payload once, acknowledges readiness, then answers
-    ``(windows, chunk_size)`` requests until the ``None`` sentinel arrives.
-    Service time is measured with the worker's own monotonic clock.
+    tagged pipe messages until the ``None`` sentinel arrives:
+
+    - ``("flush", windows, chunk_size)`` → ``("ok", probabilities,
+      batch_sizes, service_s, worker, specialized, plan_version)`` or
+      ``("error", message)``;
+    - ``("swap", version, payload)`` → the worker builds the *new* replica
+      fully (double-buffered — the old one keeps serving if the build
+      fails) and flips to it atomically between flushes, acking
+      ``("swapped", version)`` or ``("swap-error", version, message)``;
+    - ``("stall", duration_s)`` → sleeps (fault injection for slow-worker
+      scenarios), acking ``("stalled", duration_s)``.
+
+    The loop is single-threaded, so a flip between flushes *is* atomic: no
+    flush can ever observe a half-updated plan.  Service time is measured
+    with the worker's own monotonic clock.
     """
     try:
         from repro.models.compiled import CompiledClassifier
@@ -279,6 +531,7 @@ def _shard_worker_main(conn, cohort: str, payload: bytes) -> None:
         conn.close()
         return
     worker_id = f"shard:{cohort}"
+    version = int(plan_version)
     conn.send(("ready", worker_id))
     while True:
         try:
@@ -287,7 +540,29 @@ def _shard_worker_main(conn, cohort: str, payload: bytes) -> None:
             break
         if message is None:
             break
-        windows, chunk_size = message
+        tag = message[0]
+        if tag == "swap":
+            _, new_version, new_payload = message
+            try:
+                fresh = CompiledClassifier.from_payload(new_payload)
+                fresh.enable_auto_specialization()
+            except Exception as exc:  # noqa: BLE001 — keep serving the old plan
+                conn.send(
+                    ("swap-error", new_version, f"{type(exc).__name__}: {exc}")
+                )
+                continue
+            replica = fresh
+            version = int(new_version)
+            conn.send(("swapped", version))
+            continue
+        if tag == "stall":
+            time.sleep(float(message[1]))
+            conn.send(("stalled", float(message[1])))
+            continue
+        if tag != "flush":
+            conn.send(("error", f"unknown message tag {tag!r}"))
+            continue
+        _, windows, chunk_size = message
         try:
             execution = execute_windows(
                 replica, windows, chunk_size, worker=worker_id
@@ -300,6 +575,7 @@ def _shard_worker_main(conn, cohort: str, payload: bytes) -> None:
                     execution.service_s,
                     execution.worker,
                     execution.specialized,
+                    version,
                 )
             )
         except Exception as exc:  # noqa: BLE001
@@ -310,10 +586,22 @@ def _shard_worker_main(conn, cohort: str, payload: bytes) -> None:
 class _ShardTicket:
     """Pending response from one shard worker's pipe."""
 
-    def __init__(self, shard: "_Shard", timeout_s: Optional[float]) -> None:
+    def __init__(
+        self,
+        shard: "_Shard",
+        timeout_s: Optional[float],
+        executor: Optional["ProcessShardExecutor"] = None,
+    ) -> None:
         self._shard = shard
         self._timeout_s = timeout_s
+        self._executor = executor
         self._execution: Optional[ExecutionResult] = None
+
+    def _died(self, detail: str) -> WorkerDiedError:
+        self._shard.busy = False
+        if self._executor is not None:
+            self._executor._note_worker_death(self._shard)
+        return WorkerDiedError(self._shard.cohort, pending=(self,), detail=detail)
 
     def done(self) -> bool:
         return self._execution is not None or self._shard.conn.poll(0)
@@ -322,46 +610,53 @@ class _ShardTicket:
         if self._execution is not None:
             return self._execution
         timeout = self._timeout_s if timeout is None else timeout
-        try:
-            answered = self._shard.conn.poll(timeout)
-        except (EOFError, BrokenPipeError, OSError):
-            self._shard.busy = False
-            raise WorkerDiedError(
-                self._shard.cohort, pending=(self,), detail="pipe closed"
-            ) from None
-        if not answered:
-            if not self._shard.process.is_alive():
-                # The worker died mid-flush: the request will never be
-                # answered, so waiting longer only wedges the cohort.
-                self._shard.busy = False
-                raise WorkerDiedError(
-                    self._shard.cohort,
-                    pending=(self,),
-                    detail=f"exitcode {self._shard.process.exitcode}",
+        while True:
+            try:
+                answered = self._shard.conn.poll(timeout)
+            except (EOFError, BrokenPipeError, OSError):
+                raise self._died("pipe closed") from None
+            if not answered:
+                if not self._shard.process.is_alive():
+                    # The worker died mid-flush: the request will never be
+                    # answered, so waiting longer only wedges the cohort.
+                    raise self._died(
+                        f"exitcode {self._shard.process.exitcode}"
+                    )
+                raise TimeoutError(
+                    f"shard worker {self._shard.cohort!r} did not answer within "
+                    f"{timeout}s"
                 )
-            raise TimeoutError(
-                f"shard worker {self._shard.cohort!r} did not answer within "
-                f"{timeout}s"
-            )
-        try:
-            message = self._shard.conn.recv()
-        except (EOFError, BrokenPipeError, OSError):
-            self._shard.busy = False
-            raise WorkerDiedError(
-                self._shard.cohort, pending=(self,), detail="pipe closed"
-            ) from None
+            try:
+                message = self._shard.conn.recv()
+            except (EOFError, BrokenPipeError, OSError):
+                raise self._died("pipe closed") from None
+            # Control acks (swap/stall issued while this flush was in
+            # flight) arrive in pipe order ahead of or behind the flush
+            # reply; fold them into parent-side state and keep reading.
+            if self._shard.absorb_control(message):
+                continue
+            break
         self._shard.busy = False
         if message[0] == "error":
             raise FlushExecutionError(
                 f"shard worker {self._shard.cohort!r} failed: {message[1]}"
             )
-        _, probabilities, batch_sizes, service_s, worker, specialized = message
+        (
+            _,
+            probabilities,
+            batch_sizes,
+            service_s,
+            worker,
+            specialized,
+            plan_version,
+        ) = message
         self._execution = ExecutionResult(
             probabilities=probabilities,
             batch_sizes=list(batch_sizes),
             service_s=float(service_s),
             worker=str(worker),
             specialized=bool(specialized),
+            plan_version=int(plan_version),
         )
         return self._execution
 
@@ -369,7 +664,7 @@ class _ShardTicket:
 class _Shard:
     """Parent-side handle on one cohort's worker process."""
 
-    def __init__(self, cohort: str, process, conn) -> None:
+    def __init__(self, cohort: str, process, conn, plan_version: int = 1) -> None:
         self.cohort = cohort
         self.process = process
         self.conn = conn
@@ -377,16 +672,49 @@ class _Shard:
         #: Most recent ticket handed out; carried by :class:`WorkerDiedError`
         #: so a caller can recover the in-flight flush it maps to.
         self.ticket: Optional[_ShardTicket] = None
+        #: Plan version the worker last acknowledged serving.
+        self.plan_version = plan_version
+        #: Version of a swap shipped while the worker was busy, until acked.
+        self.pending_swap: Optional[int] = None
+        #: Most recent worker-side swap failure (the old plan kept serving).
+        self.swap_error: Optional[str] = None
+
+    def absorb_control(self, message) -> bool:
+        """Fold a control ack into parent state; True if it was one."""
+        tag = message[0]
+        if tag == "swapped":
+            self.plan_version = int(message[1])
+            if self.pending_swap == self.plan_version:
+                self.pending_swap = None
+            return True
+        if tag == "swap-error":
+            self.swap_error = str(message[2])
+            if self.pending_swap == int(message[1]):
+                self.pending_swap = None
+            return True
+        if tag == "stalled":
+            return True
+        return False
 
 
 class ProcessShardExecutor(_BoundMixin):
-    """One worker process per cohort, each pinning a reconstructed plan.
+    """One supervised worker process per cohort, each pinning a plan replica.
 
     Requires every cohort classifier to be transportable: a
     :class:`~repro.models.compiled.CompiledClassifier`, or a neural
     classifier whose ``ensure_compiled()`` yields one with a prepare spec.
     Workers never see the Module tree or autograd — they rebuild the fused
     kernels from the payload and serve those.
+
+    Worker death is a recoverable event: the :class:`ShardSupervisor`
+    schedules a respawn from the cohort's cached payload (capped
+    exponential backoff + jitter), the executor re-runs the ready handshake
+    on the next submit once the backoff elapses, and the in-flight flush is
+    carried on the raised :class:`WorkerDiedError` so the scheduler can
+    requeue it with a fresh deadline.  Past ``max_restarts`` deaths in the
+    sliding window the cohort is quarantined
+    (:class:`CohortQuarantinedError`) and the scheduler degrades it to an
+    inline serial fallback.
 
     Parameters
     ----------
@@ -400,8 +728,10 @@ class ProcessShardExecutor(_BoundMixin):
         per-call ``result(timeout=...)`` overrides it.  ``None`` waits
         forever.
     start_timeout_s:
-        How long :meth:`bind` waits for each worker to reconstruct its plan
-        and report ready.
+        How long :meth:`bind` (and every respawn) waits for a worker to
+        reconstruct its plan and report ready.
+    supervisor_config:
+        Respawn/quarantine policy; defaults to :class:`SupervisorConfig`.
     """
 
     serializes_flushes = False
@@ -412,12 +742,18 @@ class ProcessShardExecutor(_BoundMixin):
         mp_context: str = "spawn",
         request_timeout_s: Optional[float] = 60.0,
         start_timeout_s: float = 120.0,
+        supervisor_config: Optional[SupervisorConfig] = None,
     ) -> None:
         super().__init__()
         self._ctx = multiprocessing.get_context(mp_context)
         self.request_timeout_s = request_timeout_s
         self.start_timeout_s = start_timeout_s
+        self.supervisor_config = supervisor_config or SupervisorConfig()
+        self.supervisor = ShardSupervisor(self.supervisor_config)
         self._shards: Dict[str, _Shard] = {}
+        self._payloads: Dict[str, bytes] = {}
+        self._versions: Dict[str, int] = {}
+        self.closed = False
 
     @staticmethod
     def _payload_for(cohort: str, classifier: EEGClassifier) -> bytes:
@@ -438,45 +774,142 @@ class ProcessShardExecutor(_BoundMixin):
         return compiled.to_payload()
 
     def bind(self, classifiers: Mapping[str, EEGClassifier], clock: Clock) -> None:
+        if self.closed:
+            raise ExecutorClosedError(
+                "executor was shut down; build a fresh one instead of rebinding"
+            )
         self._check_bind(classifiers)
         payloads = {
             cohort: self._payload_for(cohort, classifier)
             for cohort, classifier in classifiers.items()
         }
         self._classifiers = dict(classifiers)
-        self._clock = clock  # unused for timing; kept for interface symmetry
+        self._clock = clock  # supervisor timing; worker service uses its own
+        self.supervisor = ShardSupervisor(self.supervisor_config, clock)
+        self._payloads = payloads
+        self._versions = {cohort: 1 for cohort in payloads}
         try:
-            for cohort, payload in payloads.items():
-                parent_conn, child_conn = self._ctx.Pipe()
-                process = self._ctx.Process(
-                    target=_shard_worker_main,
-                    args=(child_conn, cohort, payload),
-                    name=f"shard-{cohort}",
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()
-                self._shards[cohort] = _Shard(cohort, process, parent_conn)
+            for cohort in payloads:
+                self._shards[cohort] = self._spawn_process(cohort)
             deadline = time.monotonic() + self.start_timeout_s
             for shard in self._shards.values():
-                remaining = max(0.0, deadline - time.monotonic())
-                if not shard.conn.poll(remaining):
-                    raise FlushExecutionError(
-                        f"shard worker {shard.cohort!r} did not start within "
-                        f"{self.start_timeout_s}s"
-                    )
-                message = shard.conn.recv()
-                if message[0] != "ready":
-                    raise FlushExecutionError(
-                        f"shard worker {shard.cohort!r} failed to build its "
-                        f"plan replica: {message[1]}"
-                    )
+                self._await_ready(shard, deadline)
+            for cohort in payloads:
+                self.supervisor.watch(cohort)
         except Exception:
             self.shutdown()
             raise
 
+    # ------------------------------------------------------------------ #
+    # spawn / respawn machinery
+    # ------------------------------------------------------------------ #
+    def _spawn_process(self, cohort: str) -> _Shard:
+        version = self._versions[cohort]
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn, cohort, self._payloads[cohort], version),
+            name=f"shard-{cohort}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Shard(cohort, process, parent_conn, plan_version=version)
+
+    def _await_ready(self, shard: _Shard, deadline: float) -> None:
+        remaining = max(0.0, deadline - time.monotonic())
+        if not shard.conn.poll(remaining):
+            raise FlushExecutionError(
+                f"shard worker {shard.cohort!r} did not start within "
+                f"{self.start_timeout_s}s"
+            )
+        message = shard.conn.recv()
+        if message[0] != "ready":
+            raise FlushExecutionError(
+                f"shard worker {shard.cohort!r} failed to build its "
+                f"plan replica: {message[1]}"
+            )
+
+    def _note_worker_death(self, shard: _Shard) -> str:
+        """Record one death with the supervisor; returns the new state."""
+        shard.busy = False
+        return self.supervisor.record_death(shard.cohort)
+
+    def _reap(self, shard: _Shard) -> None:
+        """Release a dead shard's process/pipe resources, quietly."""
+        try:
+            shard.conn.close()
+        except OSError:
+            pass
+        if shard.process.is_alive():
+            shard.process.terminate()
+        shard.process.join(timeout=5.0)
+
+    def _respawn(self, cohort: str) -> None:
+        """Respawn a cohort's worker from its cached payload (handshake too)."""
+        old = self._shards.get(cohort)
+        if old is not None:
+            self._reap(old)
+        try:
+            shard = self._spawn_process(cohort)
+            self._await_ready(shard, time.monotonic() + self.start_timeout_s)
+        except FlushExecutionError as exc:
+            state = self.supervisor.record_death(cohort)
+            if state == WORKER_QUARANTINED:
+                raise CohortQuarantinedError(
+                    cohort,
+                    deaths=self.supervisor.deaths_in_window(cohort),
+                    window_s=self.supervisor_config.restart_window_s,
+                ) from exc
+            raise WorkerDiedError(
+                cohort, detail=f"respawn failed: {exc}"
+            ) from exc
+        self._shards[cohort] = shard
+        self.supervisor.record_respawn_success(cohort)
+
+    # ------------------------------------------------------------------ #
+    # supervision surface (the scheduler keys healing decisions off this)
+    # ------------------------------------------------------------------ #
+    def worker_state(self, cohort: str) -> str:
+        """Supervisor state of the cohort lane (running/respawning/quarantined)."""
+        return self.supervisor.state(cohort)
+
+    def fleet_states(self) -> Dict[str, str]:
+        return self.supervisor.states()
+
+    def respawn_due_s(self, cohort: str) -> Optional[float]:
+        """When the cohort's pending respawn becomes due (None if not pending)."""
+        return self.supervisor.retry_at_s(cohort)
+
+    def restart_count(self, cohort: str) -> int:
+        return self.supervisor.restart_count(cohort)
+
+    def plan_version(self, cohort: str) -> int:
+        """Latest plan version shipped to (or cached for) the cohort."""
+        return self._versions.get(cohort, 0)
+
+    # ------------------------------------------------------------------ #
+    # flush path
+    # ------------------------------------------------------------------ #
     def submit_flush(self, cohort: str, prepared: PreparedBatch) -> _ShardTicket:
+        if self.closed:
+            raise ExecutorClosedError(
+                f"cannot flush cohort {cohort!r}: executor was shut down"
+            )
         self._classifier_for(cohort)  # raises on unknown cohort / unbound
+        state = self.supervisor.state(cohort)
+        if state == WORKER_QUARANTINED:
+            raise CohortQuarantinedError(
+                cohort,
+                deaths=self.supervisor.deaths_in_window(cohort),
+                window_s=self.supervisor_config.restart_window_s,
+            )
+        if state == WORKER_RESPAWNING:
+            retry_at = self.supervisor.retry_at_s(cohort)
+            assert retry_at is not None
+            if self._clock.now() < retry_at:
+                raise WorkerRespawnPending(cohort, retry_at)
+            self._respawn(cohort)
         shard = self._shards[cohort]
         if shard.busy:
             raise FlushExecutionError(
@@ -484,31 +917,169 @@ class ProcessShardExecutor(_BoundMixin):
                 "scheduler must not double-flush a cohort"
             )
         if not shard.process.is_alive():
+            # Idle death, detected at submit: any ticket the worker never
+            # answered rides on the error so the caller can requeue it.
             unanswered = shard.ticket is not None and shard.ticket._execution is None
+            self._note_worker_death(shard)
             raise WorkerDiedError(
                 cohort,
-                pending=(shard.ticket,) if shard.busy and unanswered else (),
+                pending=(shard.ticket,) if unanswered else (),
                 detail=f"exitcode {shard.process.exitcode}",
             )
         try:
-            shard.conn.send((prepared.windows, prepared.chunk_size))
+            shard.conn.send(("flush", prepared.windows, prepared.chunk_size))
         except (BrokenPipeError, OSError):
+            self._note_worker_death(shard)
             raise WorkerDiedError(cohort, detail="pipe closed") from None
         shard.busy = True
-        shard.ticket = _ShardTicket(shard, self.request_timeout_s)
+        shard.ticket = _ShardTicket(shard, self.request_timeout_s, executor=self)
         return shard.ticket
 
+    # ------------------------------------------------------------------ #
+    # plan hot-swap
+    # ------------------------------------------------------------------ #
+    def swap_plan(self, cohort: str, payload: bytes) -> int:
+        """Ship a new plan payload to the cohort's worker; returns its version.
+
+        The worker double-buffers: it builds the new replica completely,
+        then flips between flushes, so no flush ever observes a
+        half-updated plan — a failed build keeps the old plan serving and
+        surfaces as a :class:`FlushExecutionError` (idle worker) or on
+        :meth:`last_swap_error` (swap shipped behind an in-flight flush).
+        The payload also becomes the respawn image, so a worker that dies
+        after the swap comes back on the *new* plan.
+        """
+        if self.closed:
+            raise ExecutorClosedError(
+                f"cannot swap cohort {cohort!r}: executor was shut down"
+            )
+        self._classifier_for(cohort)
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            # A classifier object: lower it to its transport payload here so
+            # callers can hand either form to any swap-capable executor.
+            payload = self._payload_for(cohort, payload)
+        version = self._versions[cohort] + 1
+        self._versions[cohort] = version
+        self._payloads[cohort] = bytes(payload)
+        shard = self._shards.get(cohort)
+        if (
+            shard is None
+            or self.supervisor.state(cohort) != WORKER_RUNNING
+            or not shard.process.is_alive()
+        ):
+            # Lane is down or respawning: the respawn serves the new image.
+            return version
+        try:
+            shard.conn.send(("swap", version, self._payloads[cohort]))
+        except (BrokenPipeError, OSError):
+            self._note_worker_death(shard)
+            return version
+        if shard.busy:
+            # In-order pipe: the worker answers the in-flight flush on the
+            # old plan first, then flips; the ack folds in at harvest.
+            shard.pending_swap = version
+            return version
+        self._await_swap_ack(shard, version)
+        return version
+
+    def _await_swap_ack(self, shard: _Shard, version: int) -> None:
+        deadline = (
+            None
+            if self.request_timeout_s is None
+            else time.monotonic() + self.request_timeout_s
+        )
+        while shard.plan_version < version:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            try:
+                if not shard.conn.poll(remaining):
+                    raise TimeoutError(
+                        f"shard worker {shard.cohort!r} did not ack plan "
+                        f"swap v{version} within {self.request_timeout_s}s"
+                    )
+                message = shard.conn.recv()
+            except (EOFError, BrokenPipeError, OSError):
+                self._note_worker_death(shard)
+                raise WorkerDiedError(
+                    shard.cohort, detail="pipe closed during plan swap"
+                ) from None
+            if not shard.absorb_control(message):
+                raise FlushExecutionError(
+                    f"shard worker {shard.cohort!r} sent unexpected reply "
+                    f"{message[0]!r} during plan swap"
+                )
+            if shard.swap_error is not None and shard.plan_version < version:
+                error, shard.swap_error = shard.swap_error, None
+                raise FlushExecutionError(
+                    f"shard worker {shard.cohort!r} rejected plan swap "
+                    f"v{version}: {error} (old plan keeps serving)"
+                )
+
+    def acked_plan_version(self, cohort: str) -> int:
+        """Plan version the cohort's worker last acknowledged serving."""
+        shard = self._shards.get(cohort)
+        return shard.plan_version if shard is not None else 0
+
+    def last_swap_error(self, cohort: str) -> Optional[str]:
+        """Worker-side failure of a deferred swap, if one has surfaced."""
+        shard = self._shards.get(cohort)
+        return shard.swap_error if shard is not None else None
+
+    # ------------------------------------------------------------------ #
+    # fault injection surface (chaos harness)
+    # ------------------------------------------------------------------ #
+    def inject_kill(self, cohort: str, phase: str = "idle") -> None:
+        """SIGKILL the cohort's worker (``phase`` is advisory for parity
+        with the simulated backend — a real kill lands wherever the worker
+        happens to be)."""
+        shard = self._shards.get(cohort)
+        if shard is None or not shard.process.is_alive():
+            return
+        os.kill(shard.process.pid, signal.SIGKILL)
+        shard.process.join(timeout=10.0)
+
+    def inject_pipe_close(self, cohort: str) -> None:
+        """Close the parent end of the cohort's pipe (transport loss)."""
+        shard = self._shards.get(cohort)
+        if shard is None:
+            return
+        try:
+            shard.conn.close()
+        except OSError:
+            pass
+
+    def inject_stall(self, cohort: str, duration_s: float) -> None:
+        """Make the cohort's worker sleep before its next reply."""
+        shard = self._shards.get(cohort)
+        if shard is None:
+            return
+        try:
+            shard.conn.send(("stall", float(duration_s)))
+        except (BrokenPipeError, OSError):
+            pass
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
     def shutdown(self) -> None:
-        for shard in self._shards.values():
+        """Stop every worker; idempotent, and terminal for this executor."""
+        self.closed = True
+        shards, self._shards = self._shards, {}
+        for shard in shards.values():
             try:
                 shard.conn.send(None)
             except (BrokenPipeError, OSError):
                 pass
-            shard.conn.close()
-        for shard in self._shards.values():
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+        for shard in shards.values():
             shard.process.join(timeout=10.0)
             if shard.process.is_alive():
                 shard.process.terminate()
                 shard.process.join(timeout=5.0)
-        self._shards = {}
+        self._payloads = {}
+        self._versions = {}
         self._classifiers = None

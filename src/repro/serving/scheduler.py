@@ -48,10 +48,14 @@ from repro.core.config import CognitiveArmConfig
 from repro.models.base import EEGClassifier
 from repro.serving.batcher import MicroBatcher, PreparedBatch
 from repro.serving.executors import (
+    WORKER_QUARANTINED,
+    WORKER_RESPAWNING,
+    CohortQuarantinedError,
     FlushExecutor,
     FlushTicket,
     SerialExecutor,
     WorkerDiedError,
+    WorkerRespawnPending,
 )
 from repro.serving.server import FleetReport
 from repro.serving.session import ServingSession, next_session_id
@@ -296,6 +300,19 @@ class ModelRouter:
         self.classifier_for(cohort)
         return cohort
 
+    def replace(self, cohort: str, classifier: EEGClassifier) -> None:
+        """Swap a cohort's classifier in place (plan hot-swap).
+
+        Only existing cohorts can be replaced — the cohort set is fixed at
+        scheduler construction (queues, batchers and executor lanes are all
+        keyed on it).
+        """
+        if cohort not in self._classifiers:
+            raise KeyError(
+                f"unknown cohort {cohort!r}; routable cohorts: {list(self._classifiers)}"
+            )
+        self._classifiers[cohort] = classifier
+
 
 @dataclass
 class QueuedWindow:
@@ -342,6 +359,9 @@ class _InFlightFlush:
     violations: int
     prepared: PreparedBatch
     ticket: FlushTicket
+    #: True when the flush ran on a degraded (quarantined-cohort serial
+    #: fallback) lane rather than the configured executor.
+    degraded: bool = False
 
 
 class AsyncFleetScheduler:
@@ -414,6 +434,19 @@ class AsyncFleetScheduler:
         self._queues: Dict[str, List[QueuedWindow]] = {
             cohort: [] for cohort in self.router.cohorts
         }
+        #: Worker deaths observed (and healed) by this scheduler.
+        self.worker_deaths = 0
+        #: Plan hot-swaps completed through :meth:`swap_plan`.
+        self.plan_swaps = 0
+        #: Current plan version per cohort; stamped onto every flush record.
+        self._plan_versions: Dict[str, int] = {
+            cohort: 1 for cohort in self.router.cohorts
+        }
+        #: Quarantined cohorts now served by their inline serial fallback.
+        self._degraded: set = set()
+        #: Lazily-built per-cohort serial fallbacks (degraded serving and
+        #: drain-time service of cohorts whose worker is mid-respawn).
+        self._fallbacks: Dict[str, SerialExecutor] = {}
         # Per-cohort EWMA of flush *service* time (execute only).  ``None``
         # means "no sample yet": a genuine zero-latency sample (exact under a
         # virtual clock) must seed the estimate, not reset it.
@@ -556,10 +589,132 @@ class AsyncFleetScheduler:
         if (
             len(queue) >= self.scheduler_config.max_batch_size
             and cohort not in self._inflight
+            and self._cohort_available(cohort)
         ):
-            self._flush(cohort, reason="full")
+            flight = self._try_begin_flush(cohort, reason="full")
+            if flight is None:
+                # The worker died or went respawning at submit; the windows
+                # stay queued and a later pump (or drain) serves them.
+                return SUBMIT_QUEUED
+            event = self._complete(cohort)
+            if event.reason == "worker-died":
+                return SUBMIT_QUEUED
             return SUBMIT_FLUSHED
         return SUBMIT_QUEUED
+
+    # ------------------------------------------------------------------ #
+    # supervision / self-healing
+    # ------------------------------------------------------------------ #
+    def _supervised(self) -> bool:
+        """Whether the executor exposes the worker-supervision surface."""
+        return hasattr(self.executor, "worker_state")
+
+    def _fallback_for(self, cohort: str) -> SerialExecutor:
+        """The cohort's inline serial fallback lane, built on first use."""
+        fallback = self._fallbacks.get(cohort)
+        if fallback is None:
+            fallback = SerialExecutor(label=f"degraded:{cohort}")
+            fallback.bind(
+                {cohort: self.router.classifier_for(cohort)}, clock=self.clock
+            )
+            self._fallbacks[cohort] = fallback
+        return fallback
+
+    def _degrade(self, cohort: str) -> None:
+        """Permanently route a quarantined cohort to its serial fallback."""
+        if cohort in self._degraded:
+            return
+        self._degraded.add(cohort)
+        self._fallback_for(cohort)
+
+    def _executor_for(self, cohort: str) -> FlushExecutor:
+        if cohort in self._degraded:
+            return self._fallbacks[cohort]
+        return self.executor
+
+    def _cohort_available(self, cohort: str) -> bool:
+        """Whether a flush submitted for this cohort now would be accepted.
+
+        Respawning cohorts are unavailable until their backoff elapses (the
+        windows keep queueing; :meth:`_schedule` pushes their wake time to
+        the retry); quarantined cohorts degrade to the serial fallback and
+        become available again immediately.
+        """
+        if cohort in self._degraded or not self._supervised():
+            return True
+        state = self.executor.worker_state(cohort)
+        if state == WORKER_QUARANTINED:
+            self._degrade(cohort)
+            return True
+        if state == WORKER_RESPAWNING:
+            retry_at = self.executor.respawn_due_s(cohort)
+            return retry_at is None or self.clock.now() >= retry_at
+        return True
+
+    def _effective_due_s(self, cohort: str, due_s: float) -> float:
+        """A queued window's due time, pushed back to any pending respawn.
+
+        A cohort whose worker is mid-backoff cannot flush before the retry
+        time no matter how overdue its windows are; scheduling the wake at
+        the original due time would spin the pump without progress.
+        """
+        if cohort in self._degraded or not self._supervised():
+            return due_s
+        if self.executor.worker_state(cohort) == WORKER_RESPAWNING:
+            retry_at = self.executor.respawn_due_s(cohort)
+            if retry_at is not None:
+                return max(due_s, retry_at)
+        return due_s
+
+    def _heal_worker_death(self, cohort: str) -> bool:
+        """Absorb one worker death; ``False`` means the caller must raise.
+
+        Healing is only possible when the executor supervises its workers
+        (it respawns the lane; the scheduler merely waits out the backoff).
+        Counts the death, emits a ``worker-died`` telemetry record, and
+        degrades the cohort if the supervisor quarantined it.
+        """
+        if not self._supervised():
+            return False
+        self.worker_deaths += 1
+        self._record(
+            batch_size=0,
+            latency_s=0.0,
+            violations=0,
+            max_wait=0.0,
+            reason="worker-died",
+            cohort=cohort,
+            completed_at_s=self.clock.now(),
+            plan_version=self._plan_versions.get(cohort, 0),
+        )
+        if self.executor.worker_state(cohort) == WORKER_QUARANTINED:
+            self._degrade(cohort)
+        return True
+
+    def _try_begin_flush(
+        self, cohort: str, reason: str
+    ) -> Optional[_InFlightFlush]:
+        """Begin a flush, absorbing recoverable executor failures.
+
+        Returns ``None`` when the flush could not start but the windows are
+        safely back in the queue: the worker died at submit (healed — the
+        supervisor respawns it), the cohort is mid-backoff, or it was just
+        quarantined (degraded — the next attempt serves via the fallback).
+        Unrecoverable failures (or deaths on an unsupervised executor)
+        propagate exactly as before.
+        """
+        try:
+            return self._begin_flush(cohort, reason)
+        except WorkerDiedError:
+            # _begin_flush already restored the queue before re-raising.
+            if not self._heal_worker_death(cohort):
+                raise
+            return None
+        except WorkerRespawnPending:
+            return None
+        except CohortQuarantinedError:
+            self._degrade(cohort)
+            return None
 
     def service_estimate_s(self, cohort: str) -> Optional[float]:
         """Current EWMA of the cohort's flush service time (None = no sample)."""
@@ -580,7 +735,7 @@ class AsyncFleetScheduler:
         wake time is simply the earliest due time.
         """
         pending = sorted(
-            (queue[0].due_s, cohort)
+            (self._effective_due_s(cohort, queue[0].due_s), cohort)
             for cohort, queue in self._queues.items()
             if queue
         )
@@ -652,16 +807,33 @@ class AsyncFleetScheduler:
                 wake, order = self._schedule()
                 if wake is None or self.clock.now() + horizon_s < wake - _DEADLINE_EPS:
                     break
-                cohort = next((c for c in order if c not in self._inflight), None)
+                cohort = next(
+                    (
+                        c
+                        for c in order
+                        if c not in self._inflight and self._cohort_available(c)
+                    ),
+                    None,
+                )
                 reason = "deadline"
                 if cohort is None:
-                    # Every due cohort already has a flush in flight: wait
-                    # the most urgent one out, then reconsider (its queue
-                    # may have refilled while it executed).
-                    events.append(self._complete(order[0]))
+                    # Every due cohort is either in flight or waiting out a
+                    # respawn backoff.  Wait the most urgent in-flight one
+                    # out and reconsider (its queue may have refilled); with
+                    # nothing in flight there is no progress to make now —
+                    # the respawning cohorts' wake times are in the future.
+                    busy = next((c for c in order if c in self._inflight), None)
+                    if busy is None:
+                        break
+                    events.append(self._complete(busy))
                     continue
-            self._begin_flush(cohort, reason=reason)
-            if self._inflight[cohort].ticket.done():
+            flight = self._try_begin_flush(cohort, reason=reason)
+            if flight is None:
+                # Worker death absorbed (or backoff hit) — the windows are
+                # back in the queue and the cohort is unavailable until its
+                # respawn, so the next _schedule() pass moves past it.
+                continue
+            if flight.ticket.done():
                 events.append(self._complete(cohort))
         if wait:
             # Wait out *everything* in flight — flushes started here and any
@@ -669,7 +841,10 @@ class AsyncFleetScheduler:
             # contract holds: no executor work remains when pump() returns.
             events.extend(self._harvest(block=True))
             while (cohort := self._next_full_cohort()) is not None:
-                events.append(self._flush(cohort, reason="full"))
+                flight = self._try_begin_flush(cohort, reason="full")
+                if flight is None:
+                    break  # cohort went respawning; a later pump serves it
+                events.append(self._complete(cohort))
         return events
 
     def drain(self) -> List[FlushEvent]:
@@ -679,9 +854,30 @@ class AsyncFleetScheduler:
         executor, so after ``drain()`` no window and no future is pending.
         """
         events = self._harvest(block=True)
-        for cohort, queue in self._queues.items():
-            if queue:
-                events.append(self._flush(cohort, reason="drain"))
+        passes = 0
+        while any(self._queues.values()):
+            passes += 1
+            if passes > 64:
+                raise RuntimeError(
+                    "drain() did not converge: workers keep dying faster "
+                    "than the fallback can serve"
+                )
+            for cohort in [c for c, q in self._queues.items() if q]:
+                if not self._queues[cohort]:
+                    continue
+                if self._cohort_available(cohort):
+                    flight = self._try_begin_flush(cohort, reason="drain")
+                    if flight is not None:
+                        events.append(self._complete(cohort))
+                        continue
+                if self._queues[cohort]:
+                    # The cohort's worker is mid-respawn and drain cannot
+                    # wait out virtual backoffs: serve this one flush on
+                    # the inline fallback without degrading the cohort.
+                    self._begin_flush(
+                        cohort, reason="drain", executor=self._fallback_for(cohort)
+                    )
+                    events.append(self._complete(cohort))
         if self._shed_since_flush or self._stalled_since_flush:
             # Sheds/stalls after the last flush would otherwise never reach
             # telemetry; emit an empty record to carry the counters (empty
@@ -705,17 +901,30 @@ class AsyncFleetScheduler:
             if (
                 len(queue) >= self.scheduler_config.max_batch_size
                 and cohort not in self._inflight
+                and self._cohort_available(cohort)
             ):
                 return cohort
         return None
 
-    def _begin_flush(self, cohort: str, reason: str) -> _InFlightFlush:
-        """Hand a cohort's queued windows to the executor (phase one)."""
+    def _begin_flush(
+        self,
+        cohort: str,
+        reason: str,
+        executor: Optional[FlushExecutor] = None,
+    ) -> _InFlightFlush:
+        """Hand a cohort's queued windows to the executor (phase one).
+
+        ``executor`` overrides the cohort's routed lane for this one flush
+        (drain uses it to serve a mid-respawn cohort on the inline fallback
+        without degrading it permanently).
+        """
         if cohort in self._inflight:
             raise RuntimeError(
                 f"cohort {cohort!r} already has a flush in flight; "
                 "double-flushes are refused"
             )
+        if executor is None:
+            executor = self._executor_for(cohort)
         queue, self._queues[cohort] = self._queues[cohort], []
         if not queue:
             raise RuntimeError(f"internal: flush of empty cohort queue {cohort!r}")
@@ -730,7 +939,7 @@ class AsyncFleetScheduler:
         prepared = batcher.prepare()
         assert prepared is not None
         try:
-            ticket = self.executor.submit_flush(cohort, prepared)
+            ticket = executor.submit_flush(cohort, prepared)
         except Exception:
             # The executor refused the batch (worker died, pool shut down).
             # Put the windows back so no admitted window is silently lost:
@@ -746,6 +955,7 @@ class AsyncFleetScheduler:
             violations=violations,
             prepared=prepared,
             ticket=ticket,
+            degraded=executor is not self.executor,
         )
         self._inflight[cohort] = flight
         return flight
@@ -760,12 +970,22 @@ class AsyncFleetScheduler:
             execution = flight.ticket.result()
         except WorkerDiedError:
             # The worker is gone and this flush will never be answered:
-            # requeue the windows (a recovered executor or drain serves
-            # them) instead of wedging the cohort behind a dead lane, then
-            # let the caller decide how to replace the worker.
+            # requeue the windows (the respawned worker, fallback or drain
+            # serves them) instead of wedging the cohort behind a dead lane.
+            # On a supervised executor the death is absorbed — the
+            # supervisor schedules the respawn and a synthetic event marks
+            # the spot; unsupervised executors raise exactly as before.
             del self._inflight[cohort]
             self._requeue(flight)
-            raise
+            if not self._heal_worker_death(cohort):
+                raise
+            event = FlushEvent(
+                cohort=cohort,
+                reason="worker-died",
+                flushed_at_s=flight.started_at_s,
+            )
+            self.last_flush_event = event
+            return event
         del self._inflight[cohort]
         result = self._batchers[cohort].finalize(flight.prepared, execution)
         completed_at = self.clock.now()
@@ -800,6 +1020,9 @@ class AsyncFleetScheduler:
             executor_wait_s=executor_wait,
             completed_at_s=completed_at,
             specialized=execution.specialized,
+            plan_version=execution.plan_version
+            or self._plan_versions.get(cohort, 0),
+            degraded=flight.degraded,
         )
         event = FlushEvent(
             cohort=cohort,
@@ -864,6 +1087,8 @@ class AsyncFleetScheduler:
         executor_wait_s: float = 0.0,
         completed_at_s: float = 0.0,
         specialized: bool = False,
+        plan_version: int = 0,
+        degraded: bool = False,
     ) -> None:
         self.telemetry.record(
             FleetTickRecord(
@@ -884,6 +1109,8 @@ class AsyncFleetScheduler:
                 executor_wait_s=executor_wait_s,
                 completed_at_s=completed_at_s,
                 specialized=specialized,
+                plan_version=plan_version,
+                degraded=degraded,
             )
         )
         self._record_index += 1
@@ -975,12 +1202,105 @@ class AsyncFleetScheduler:
         return ticks
 
     # ------------------------------------------------------------------ #
+    # plan hot-swap
+    # ------------------------------------------------------------------ #
+    def swap_plan(
+        self,
+        cohort: Optional[str] = None,
+        payload: Optional[bytes] = None,
+        classifier: Optional[EEGClassifier] = None,
+    ) -> int:
+        """Swap a cohort's serving plan under traffic; returns the new version.
+
+        Pass exactly one of ``payload`` (``.npz`` transport bytes from
+        :meth:`repro.models.compiled.CompiledClassifier.to_payload`) or
+        ``classifier`` (a live classifier object).  Any in-flight flush for
+        the cohort is harvested first, so no flush straddles the swap: every
+        flush serves entirely on the old plan or entirely on the new one,
+        and version-aware executors stamp which on each record.
+
+        On a remote, swap-capable executor (process shards, the chaos
+        simulator) the payload ships to the worker as a versioned control
+        message and the worker double-buffers the flip; the local router,
+        batcher and fallback are updated in lockstep so drain-time and
+        degraded serving also use the new plan.  On local executors the
+        swap is a synchronous classifier replacement between flushes.
+        """
+        cohort = self.router.resolve(cohort)
+        if (payload is None) == (classifier is None):
+            raise ValueError("pass exactly one of payload= or classifier=")
+        if cohort in self._inflight:
+            self._complete(cohort)
+        executor = self.executor
+        remote_swap = getattr(executor, "remote_execution", False) and hasattr(
+            executor, "swap_plan"
+        )
+        if classifier is not None:
+            local = classifier
+        else:
+            from repro.models.compiled import CompiledClassifier
+
+            local = CompiledClassifier.from_payload(payload)
+        if remote_swap:
+            version = executor.swap_plan(
+                cohort, payload if payload is not None else classifier
+            )
+        else:
+            version = self._plan_versions.get(cohort, 0) + 1
+            swap = getattr(executor, "swap_classifier", None)
+            if swap is not None:
+                swap(cohort, local)
+        self.router.replace(cohort, local)
+        self._batchers[cohort].swap_classifier(local)
+        if cohort in self._fallbacks:
+            self._fallbacks[cohort].swap_classifier(cohort, local)
+        self._plan_versions[cohort] = version
+        self.plan_swaps += 1
+        return version
+
+    def plan_version(self, cohort: Optional[str] = None) -> int:
+        """Current plan version of a cohort (1 until the first swap)."""
+        return self._plan_versions.get(self.router.resolve(cohort), 0)
+
+    def fleet_health(self) -> Dict[str, Dict[str, Any]]:
+        """Per-cohort supervision snapshot: state, plan version, restarts.
+
+        ``state`` is ``"degraded"`` once a cohort serves from its serial
+        fallback, otherwise the supervisor's view (``running`` /
+        ``respawning`` / ``quarantined``; plain ``running`` on unsupervised
+        executors, which have no lanes to lose).
+        """
+        health: Dict[str, Dict[str, Any]] = {}
+        supervised = self._supervised()
+        for cohort in self.router.cohorts:
+            if cohort in self._degraded:
+                state = "degraded"
+            elif supervised:
+                state = self.executor.worker_state(cohort)
+            else:
+                state = "running"
+            restarts = 0
+            if supervised and hasattr(self.executor, "restart_count"):
+                restarts = self.executor.restart_count(cohort)
+            health[cohort] = {
+                "state": state,
+                "plan_version": self._plan_versions.get(cohort, 0),
+                "restarts": restarts,
+                "queued": len(self._queues[cohort]),
+            }
+        return health
+
+    # ------------------------------------------------------------------ #
     # reporting / lifecycle
     # ------------------------------------------------------------------ #
     def shutdown(self) -> None:
         """Drain pending work, stop the executor, then every session."""
         self.drain()
         self.executor.shutdown()
+        for fallback in self._fallbacks.values():
+            fallback.shutdown()
+        self._fallbacks = {}
+        self._degraded = set()
         for session_id in list(self._sessions):
             self.remove_session(session_id)
 

@@ -64,6 +64,14 @@ class FleetTickRecord:
     #: Un-acked depth of the cohort's window stream when the flush started
     #: (0 off the streaming data plane).
     stream_depth: int = 0
+    #: Version of the inference plan that served this flush (0 before the
+    #: scheduler is version-aware — e.g. lock-step ticks).  A hot-swap shows
+    #: up as the cohort's records stepping from one version to the next with
+    #: no interleaving.
+    plan_version: int = 0
+    #: Whether this flush was served by a degraded (quarantined-cohort
+    #: serial fallback) lane rather than the configured executor.
+    degraded: bool = False
 
 
 @dataclass
@@ -182,6 +190,31 @@ class FleetTelemetry:
             return 0
         return max(r.stream_depth for r in self.records)
 
+    def plan_version_transitions(self) -> Dict[str, List[tuple]]:
+        """Per-cohort ``(tick_index, old_version, new_version)`` transitions.
+
+        Scans each cohort's version-stamped records in order and reports
+        every tick at which the serving plan version changed — the
+        observable trace of a hot-swap.  Unversioned records (``0``) are
+        skipped so pre-swap executors don't register phantom transitions.
+        """
+        last: Dict[str, int] = {}
+        transitions: Dict[str, List[tuple]] = {}
+        for record in self.records:
+            if not record.cohort or record.plan_version <= 0:
+                continue
+            previous = last.get(record.cohort)
+            if previous is not None and record.plan_version != previous:
+                transitions.setdefault(record.cohort, []).append(
+                    (record.tick_index, previous, record.plan_version)
+                )
+            last[record.cohort] = record.plan_version
+        return transitions
+
+    def worker_death_count(self) -> int:
+        """Worker deaths observed across the run (one record per death)."""
+        return sum(1 for r in self.records if r.flush_reason == "worker-died")
+
     def max_executor_wait_s(self) -> float:
         """Longest observed executor queueing/transport overhead."""
         if not self.records:
@@ -220,6 +253,13 @@ class FleetTelemetry:
                     sum(r.deadline_violations for r in records)
                 ),
                 "shed_windows": float(sum(r.shed_sessions for r in records)),
+                "worker_deaths": float(
+                    sum(1 for r in records if r.flush_reason == "worker-died")
+                ),
+                "degraded_flushes": float(sum(1 for r in records if r.degraded)),
+                "plan_version": float(
+                    max((r.plan_version for r in records), default=0)
+                ),
             }
         return breakdown
 
@@ -266,6 +306,10 @@ class FleetTelemetry:
             "max_stream_depth": float(self.max_stream_depth()),
             "workers": float(len({r.worker for r in self.records if r.worker})),
             "specialized_hit_rate": self.specialized_hit_rate(),
+            "worker_deaths": float(self.worker_death_count()),
+            "plan_swaps": float(
+                sum(len(t) for t in self.plan_version_transitions().values())
+            ),
         }
 
 

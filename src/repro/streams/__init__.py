@@ -18,7 +18,7 @@ drives exactly like ``AsyncFleetScheduler``.
 """
 
 from repro.streams.consumer import SCHEDULER_GROUP, StreamConsumerScheduler
-from repro.streams.messages import FlushResult, WindowSubmission
+from repro.streams.messages import FlushResult, PlanSwap, WindowSubmission
 from repro.streams.producer import (
     PRODUCER_GROUP,
     StreamDuplex,
@@ -57,6 +57,7 @@ __all__ = [
     "STOP_COMMAND",
     "FlushResult",
     "PendingEntry",
+    "PlanSwap",
     "RecordedEntry",
     "RemoteStream",
     "RemoteStreamError",

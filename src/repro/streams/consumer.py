@@ -42,10 +42,14 @@ import numpy as np
 from repro.models.base import EEGClassifier
 from repro.serving.batcher import MicroBatcher, PreparedBatch
 from repro.serving.executors import (
+    WORKER_QUARANTINED,
+    WORKER_RESPAWNING,
+    CohortQuarantinedError,
     FlushExecutor,
     FlushTicket,
     SerialExecutor,
     WorkerDiedError,
+    WorkerRespawnPending,
 )
 from repro.serving.scheduler import (
     _SERVICE_EWMA_ALPHA,
@@ -96,6 +100,8 @@ class _InFlightFlush:
     superseded_ids: Tuple[int, ...]
     stream_lag_s: float
     stream_depth: int
+    #: True when the flush ran on the degraded serial fallback lane.
+    degraded: bool = False
 
 
 class StreamConsumerScheduler:
@@ -201,6 +207,12 @@ class StreamConsumerScheduler:
         self._record_index = 0
         self.superseded_count = 0
         self.worker_deaths = 0
+        self.plan_swaps = 0
+        self._plan_versions: Dict[str, int] = {
+            cohort: 1 for cohort in self._streams
+        }
+        self._degraded: set = set()
+        self._fallbacks: Dict[str, SerialExecutor] = {}
         self.last_flush_event: Optional[FlushEvent] = None
         for cohort, stream in self._streams.items():
             stream.create_group(self.group, exists_ok=True)
@@ -281,9 +293,108 @@ class StreamConsumerScheduler:
             if (
                 len(self._backlog[cohort]) >= self.scheduler_config.max_batch_size
                 and cohort not in self._inflight
+                and self._cohort_available(cohort)
             ):
-                events.append(self._flush(cohort, reason="full"))
+                flight = self._try_begin_flush(cohort, reason="full")
+                if flight is not None:
+                    events.append(self._complete(cohort))
         return events
+
+    # ------------------------------------------------------------------ #
+    # supervision / self-healing (mirrors AsyncFleetScheduler)
+    # ------------------------------------------------------------------ #
+    def _supervised(self) -> bool:
+        return hasattr(self.executor, "worker_state")
+
+    def _fallback_for(self, cohort: str) -> SerialExecutor:
+        fallback = self._fallbacks.get(cohort)
+        if fallback is None:
+            fallback = SerialExecutor(label=f"degraded:{cohort}")
+            fallback.bind(
+                {cohort: self.router.classifier_for(cohort)}, clock=self.clock
+            )
+            self._fallbacks[cohort] = fallback
+        return fallback
+
+    def _degrade(self, cohort: str) -> None:
+        if cohort in self._degraded:
+            return
+        self._degraded.add(cohort)
+        self._fallback_for(cohort)
+
+    def _executor_for(self, cohort: str) -> FlushExecutor:
+        if cohort in self._degraded:
+            return self._fallbacks[cohort]
+        return self.executor
+
+    def _cohort_available(self, cohort: str) -> bool:
+        if cohort in self._degraded or not self._supervised():
+            return True
+        state = self.executor.worker_state(cohort)
+        if state == WORKER_QUARANTINED:
+            self._degrade(cohort)
+            return True
+        if state == WORKER_RESPAWNING:
+            retry_at = self.executor.respawn_due_s(cohort)
+            return retry_at is None or self.clock.now() >= retry_at
+        return True
+
+    def _effective_due_s(self, cohort: str, due_s: float) -> float:
+        if cohort in self._degraded or not self._supervised():
+            return due_s
+        if self.executor.worker_state(cohort) == WORKER_RESPAWNING:
+            retry_at = self.executor.respawn_due_s(cohort)
+            if retry_at is not None:
+                return max(due_s, retry_at)
+        return due_s
+
+    def _heal_worker_death(self, cohort: str) -> bool:
+        """Absorb one worker death; ``False`` means the caller must raise.
+
+        The death is always *counted* (the caller increments
+        :attr:`worker_deaths` first); healing additionally emits the
+        ``worker-died`` telemetry record and degrades a quarantined cohort,
+        and is only possible on a supervised executor.  The restored
+        backlog entries stay pending in the consumer group either way, so
+        even an unhealed death loses nothing.
+        """
+        if not self._supervised():
+            return False
+        self.telemetry.record(
+            FleetTickRecord(
+                tick_index=self._record_index,
+                n_sessions=len(self._seen_sessions),
+                batch_size=0,
+                stalled_sessions=0,
+                batch_latency_s=0.0,
+                backlog_depth=self.backlog_depth(),
+                flush_reason="worker-died",
+                cohort=cohort,
+                completed_at_s=self.clock.now(),
+                plan_version=self._plan_versions.get(cohort, 0),
+            )
+        )
+        self._record_index += 1
+        if self.executor.worker_state(cohort) == WORKER_QUARANTINED:
+            self._degrade(cohort)
+        return True
+
+    def _try_begin_flush(
+        self, cohort: str, reason: str
+    ) -> Optional[_InFlightFlush]:
+        """Begin a flush, absorbing recoverable executor failures (or None)."""
+        try:
+            return self._begin_flush(cohort, reason)
+        except WorkerDiedError:
+            self.worker_deaths += 1
+            if not self._heal_worker_death(cohort):
+                raise
+            return None
+        except WorkerRespawnPending:
+            return None
+        except CohortQuarantinedError:
+            self._degrade(cohort)
+            return None
 
     # ------------------------------------------------------------------ #
     # flush scheduling
@@ -307,7 +418,7 @@ class StreamConsumerScheduler:
         concurrent executor every deadline stands alone.
         """
         pending = sorted(
-            (backlog[0].due_s, cohort)
+            (self._effective_due_s(cohort, backlog[0].due_s), cohort)
             for cohort, backlog in self._backlog.items()
             if backlog
         )
@@ -356,18 +467,33 @@ class StreamConsumerScheduler:
                 wake, order = self._schedule()
                 if wake is None or self.clock.now() + horizon_s < wake - _DEADLINE_EPS:
                     break
-                cohort = next((c for c in order if c not in self._inflight), None)
+                cohort = next(
+                    (
+                        c
+                        for c in order
+                        if c not in self._inflight and self._cohort_available(c)
+                    ),
+                    None,
+                )
                 reason = "deadline"
                 if cohort is None:
-                    events.append(self._complete(order[0]))
+                    busy = next((c for c in order if c in self._inflight), None)
+                    if busy is None:
+                        break  # everything due is waiting out a respawn
+                    events.append(self._complete(busy))
                     continue
-            self._begin_flush(cohort, reason=reason)
-            if self._inflight[cohort].ticket.done():
+            flight = self._try_begin_flush(cohort, reason=reason)
+            if flight is None:
+                continue  # healed: the cohort is unavailable until respawn
+            if flight.ticket.done():
                 events.append(self._complete(cohort))
         if wait:
             events.extend(self._harvest(block=True))
             while (cohort := self._next_full_cohort()) is not None:
-                events.append(self._flush(cohort, reason="full"))
+                flight = self._try_begin_flush(cohort, reason="full")
+                if flight is None:
+                    break
+                events.append(self._complete(cohort))
         return events
 
     def drain(self) -> List[FlushEvent]:
@@ -377,9 +503,29 @@ class StreamConsumerScheduler:
         on an empty ``FlushResult`` so producer-side conservation holds.
         """
         events = self._harvest(block=True)
-        for cohort, backlog in self._backlog.items():
-            if backlog:
-                events.append(self._flush(cohort, reason="drain"))
+        passes = 0
+        while any(self._backlog.values()):
+            passes += 1
+            if passes > 64:
+                raise RuntimeError(
+                    "drain() did not converge: workers keep dying faster "
+                    "than the fallback can serve"
+                )
+            for cohort in [c for c, b in self._backlog.items() if b]:
+                if not self._backlog[cohort]:
+                    continue
+                if self._cohort_available(cohort):
+                    flight = self._try_begin_flush(cohort, reason="drain")
+                    if flight is not None:
+                        events.append(self._complete(cohort))
+                        continue
+                if self._backlog[cohort]:
+                    # Serve a mid-respawn cohort on the inline fallback
+                    # without degrading it permanently.
+                    self._begin_flush(
+                        cohort, reason="drain", executor=self._fallback_for(cohort)
+                    )
+                    events.append(self._complete(cohort))
         for cohort, leftovers in self._superseded.items():
             if leftovers:
                 self._publish_empty(cohort, leftovers)
@@ -391,6 +537,7 @@ class StreamConsumerScheduler:
             if (
                 len(backlog) >= self.scheduler_config.max_batch_size
                 and cohort not in self._inflight
+                and self._cohort_available(cohort)
             ):
                 return cohort
         return None
@@ -405,12 +552,19 @@ class StreamConsumerScheduler:
     # ------------------------------------------------------------------ #
     # flush mechanics
     # ------------------------------------------------------------------ #
-    def _begin_flush(self, cohort: str, reason: str) -> _InFlightFlush:
+    def _begin_flush(
+        self,
+        cohort: str,
+        reason: str,
+        executor: Optional[FlushExecutor] = None,
+    ) -> _InFlightFlush:
         if cohort in self._inflight:
             raise RuntimeError(
                 f"cohort {cohort!r} already has a flush in flight; "
                 "double-flushes are refused"
             )
+        if executor is None:
+            executor = self._executor_for(cohort)
         backlog = self._backlog[cohort]
         if not backlog:
             raise RuntimeError(f"internal: flush of empty cohort backlog {cohort!r}")
@@ -432,7 +586,7 @@ class StreamConsumerScheduler:
         superseded = self._superseded[cohort]
         self._superseded[cohort] = []
         try:
-            ticket = self.executor.submit_flush(cohort, prepared)
+            ticket = executor.submit_flush(cohort, prepared)
         except Exception:
             # The executor refused the batch: restore the backlog and the
             # unreported supersessions so nothing is lost; the entries also
@@ -454,6 +608,7 @@ class StreamConsumerScheduler:
             superseded_ids=tuple(entry_id for entry_id, _, _ in superseded),
             stream_lag_s=stream_lag_s,
             stream_depth=stream_depth,
+            degraded=executor is not self.executor,
         )
         self._inflight[cohort] = flight
         return flight
@@ -498,7 +653,18 @@ class StreamConsumerScheduler:
                 )
                 + self._superseded[cohort]
             )
-            raise
+            # On a supervised executor the death is absorbed: the
+            # supervisor respawns the lane and a synthetic event marks the
+            # spot; unsupervised executors raise exactly as before.
+            if not self._heal_worker_death(cohort):
+                raise
+            event = FlushEvent(
+                cohort=cohort,
+                reason="worker-died",
+                flushed_at_s=flight.started_at_s,
+            )
+            self.last_flush_event = event
+            return event
         del self._inflight[cohort]
         result = self._batchers[cohort].finalize(flight.prepared, execution)
         completed_at = self.clock.now()
@@ -560,6 +726,9 @@ class StreamConsumerScheduler:
                 specialized=execution.specialized,
                 stream_lag_s=flight.stream_lag_s,
                 stream_depth=flight.stream_depth,
+                plan_version=execution.plan_version
+                or self._plan_versions.get(cohort, 0),
+                degraded=flight.degraded,
             )
         )
         self._record_index += 1
@@ -606,6 +775,80 @@ class StreamConsumerScheduler:
         )
 
     # ------------------------------------------------------------------ #
+    # plan hot-swap / fleet health (mirrors AsyncFleetScheduler)
+    # ------------------------------------------------------------------ #
+    def swap_plan(
+        self,
+        cohort: str,
+        payload: Optional[bytes] = None,
+        classifier: Optional[EEGClassifier] = None,
+    ) -> int:
+        """Swap a cohort's serving plan under traffic; returns the new version.
+
+        Pass exactly one of ``payload`` (``.npz`` transport bytes) or
+        ``classifier``.  Any in-flight flush for the cohort is harvested
+        first, so no flush straddles the swap.  This is also the handler
+        for :class:`~repro.streams.messages.PlanSwap` control-stream
+        entries (see :func:`repro.streams.remote.stream_consumer_worker`).
+        """
+        if (payload is None) == (classifier is None):
+            raise ValueError("pass exactly one of payload= or classifier=")
+        if cohort in self._inflight:
+            self._complete(cohort)
+        executor = self.executor
+        remote_swap = getattr(executor, "remote_execution", False) and hasattr(
+            executor, "swap_plan"
+        )
+        if classifier is not None:
+            local = classifier
+        else:
+            from repro.models.compiled import CompiledClassifier
+
+            local = CompiledClassifier.from_payload(payload)
+        if remote_swap:
+            version = executor.swap_plan(
+                cohort, payload if payload is not None else classifier
+            )
+        else:
+            version = self._plan_versions.get(cohort, 0) + 1
+            swap = getattr(executor, "swap_classifier", None)
+            if swap is not None:
+                swap(cohort, local)
+        self.router.replace(cohort, local)
+        self._batchers[cohort].swap_classifier(local)
+        if cohort in self._fallbacks:
+            self._fallbacks[cohort].swap_classifier(cohort, local)
+        self._plan_versions[cohort] = version
+        self.plan_swaps += 1
+        return version
+
+    def plan_version(self, cohort: str) -> int:
+        """Current plan version of a cohort (1 until the first swap)."""
+        return self._plan_versions.get(cohort, 0)
+
+    def fleet_health(self) -> Dict[str, Dict[str, Any]]:
+        """Per-cohort supervision snapshot: state, plan version, restarts."""
+        health: Dict[str, Dict[str, Any]] = {}
+        supervised = self._supervised()
+        for cohort in self._streams:
+            if cohort in self._degraded:
+                state = "degraded"
+            elif supervised:
+                state = self.executor.worker_state(cohort)
+            else:
+                state = "running"
+            restarts = 0
+            if supervised and hasattr(self.executor, "restart_count"):
+                restarts = self.executor.restart_count(cohort)
+            health[cohort] = {
+                "state": state,
+                "plan_version": self._plan_versions.get(cohort, 0),
+                "restarts": restarts,
+                "queued": len(self._backlog[cohort]),
+            }
+        return health
+
+    # ------------------------------------------------------------------ #
     # reporting / lifecycle
     # ------------------------------------------------------------------ #
     def report(self) -> "FleetReport":
@@ -631,6 +874,10 @@ class StreamConsumerScheduler:
         )
 
     def shutdown(self) -> None:
-        """Drain local work, then stop the executor."""
+        """Drain local work, then stop the executor (and any fallbacks)."""
         self.drain()
         self.executor.shutdown()
+        for fallback in self._fallbacks.values():
+            fallback.shutdown()
+        self._fallbacks = {}
+        self._degraded = set()

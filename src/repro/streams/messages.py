@@ -70,3 +70,22 @@ class FlushResult:
 
     def __len__(self) -> int:
         return len(self.session_ids)
+
+
+@dataclass(frozen=True)
+class PlanSwap:
+    """Control-stream command: hot-swap one cohort's serving plan.
+
+    Carries the new plan as transport bytes
+    (:meth:`repro.models.compiled.CompiledClassifier.to_payload`) so it
+    crosses the socket like any other record; consumer processes apply it
+    via :meth:`StreamConsumerScheduler.swap_plan` between flushes, and
+    subsequent :class:`FlushResult` records serve from the new plan.
+    """
+
+    cohort: str
+    #: ``.npz`` transport payload of the replacement plan.
+    payload: bytes
+    #: Producer-side version hint (0 = let the consumer assign the next
+    #: version); consumers echo their own per-cohort version in telemetry.
+    version: int = 0

@@ -22,6 +22,7 @@ and exits when the control stream says stop.
 from __future__ import annotations
 
 import threading
+import time as _time
 from multiprocessing.connection import Client, Connection, Listener
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -164,14 +165,47 @@ class StreamClient:
     All proxies from one client share one socket; a lock keeps each
     request/response pair atomic, so a client may be used from multiple
     threads (each call round-trips serially).
+
+    Connecting retries transient failures (``ConnectionRefusedError`` /
+    reset / socket-file-not-yet-bound) with capped exponential backoff:
+    consumer processes routinely start before the producer's
+    :class:`StreamServer` finishes binding, and failing the whole worker on
+    that race would make every multi-process launch order-sensitive.
+    ``connect_retries`` bounds the attempts (total worst-case wait is the
+    backoff series, ~1.5 s at the defaults); a server that is genuinely
+    absent still fails fast with :class:`RemoteStreamError`.
     """
+
+    #: Transient connect failures worth retrying; anything else (bad
+    #: authkey, unroutable address) raises immediately.
+    _TRANSIENT = (
+        ConnectionRefusedError,
+        ConnectionResetError,
+        FileNotFoundError,
+    )
 
     def __init__(
         self,
         address: Tuple[str, int],
         authkey: bytes = DEFAULT_AUTHKEY,
+        connect_retries: int = 5,
+        connect_backoff_s: float = 0.05,
     ) -> None:
-        self._conn = Client(address, authkey=authkey)
+        if connect_retries < 0:
+            raise ValueError("connect_retries must be non-negative")
+        attempt = 0
+        while True:
+            try:
+                self._conn = Client(address, authkey=authkey)
+                break
+            except self._TRANSIENT as exc:
+                if attempt >= connect_retries:
+                    raise RemoteStreamError(
+                        f"stream server at {address} unreachable after "
+                        f"{attempt + 1} attempt(s) ({exc})"
+                    ) from exc
+                _time.sleep(min(0.5, connect_backoff_s * (2.0**attempt)))
+                attempt += 1
         self._lock = threading.Lock()
 
     def _request(self, request: Any) -> Any:
@@ -300,6 +334,7 @@ def stream_consumer_worker(
 
     from repro.models.compiled import CompiledClassifier
     from repro.streams.consumer import StreamConsumerScheduler
+    from repro.streams.messages import PlanSwap
 
     client = StreamClient(address, authkey=authkey)
     classifiers = {}
@@ -332,6 +367,15 @@ def stream_consumer_worker(
                 control_stream.ack(control_group, entry.entry_id)
                 if entry.payload == STOP_COMMAND:
                     stop = True
+                elif isinstance(entry.payload, PlanSwap):
+                    # Hot-swap between flushes: the scheduler harvests any
+                    # in-flight flush first, so no flush straddles plans.
+                    # Control fans out to every worker; swaps for cohorts
+                    # this worker does not own are someone else's business.
+                    if entry.payload.cohort in streams:
+                        scheduler.swap_plan(
+                            entry.payload.cohort, payload=entry.payload.payload
+                        )
             if stop:
                 break
             scheduler.poll()

@@ -14,7 +14,11 @@ import pytest
 
 from repro.compression.quantization import compile_quantized_plan
 from repro.models.cnn import CNNConfig, EEGCNN
-from repro.models.compiled import CompiledClassifier, TransportedPreprocessor
+from repro.models.compiled import (
+    CompiledClassifier,
+    TransportedPreprocessor,
+    payload_revision,
+)
 from repro.models.lstm_model import EEGLSTM, LSTMConfig
 from repro.models.transformer_model import EEGTransformer, TransformerConfig
 from repro.nn.inference import InferencePlan, Kernel, PlanTransportError
@@ -119,6 +123,39 @@ class TestPayloadRoundTrip:
         # pickled objects anywhere (allow_pickle stays False).
         with np.load(io.BytesIO(data), allow_pickle=False) as archive:
             assert InferencePlan.META_KEY in archive.files
+
+
+class TestPlanRevision:
+    """Hot-swap correlates plans across processes by revision number: it
+    must ride the payload bytes and survive repeated round trips."""
+
+    def test_revision_survives_the_round_trip(self, built_classifier):
+        compiled = built_classifier.ensure_compiled()
+        stamped = CompiledClassifier(
+            compiled.classifier, compiled.plan, revision=7
+        )
+        data = stamped.to_payload()
+        assert payload_revision(data) == 7
+        replica = CompiledClassifier.from_payload(data)
+        assert replica.revision == 7
+        # ...and again: the replica re-emits the same revision.
+        assert payload_revision(replica.to_payload()) == 7
+
+    def test_revision_defaults_to_zero(self, built_classifier):
+        compiled = built_classifier.ensure_compiled()
+        assert compiled.revision == 0
+        data = compiled.to_payload()
+        assert payload_revision(data) == 0
+        assert CompiledClassifier.from_payload(data).revision == 0
+
+    def test_payload_revision_rejects_plan_only_payloads(self):
+        model = EEGLSTM(LSTMConfig(hidden_size=8), seed=0)
+        model.ensure_network(N_CHANNELS, WINDOW)
+        plan_only = model.ensure_compiled().plan.to_payload()
+        buffer = io.BytesIO()
+        np.savez(buffer, **plan_only)
+        with pytest.raises(PlanTransportError, match="classifier metadata"):
+            payload_revision(buffer.getvalue())
 
 
 class TestTransportErrors:

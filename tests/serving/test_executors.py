@@ -12,10 +12,17 @@ import pytest
 from repro.models.lstm_model import EEGLSTM, LSTMConfig
 from repro.serving.batcher import MicroBatcher, PreparedBatch, execute_windows
 from repro.serving.executors import (
+    WORKER_QUARANTINED,
+    WORKER_RESPAWNING,
+    WORKER_RUNNING,
+    ExecutorClosedError,
     FlushExecutionError,
     ProcessShardExecutor,
     SerialExecutor,
+    ShardSupervisor,
+    SupervisorConfig,
     ThreadPoolFlushExecutor,
+    WorkerDiedError,
 )
 from repro.serving.scheduler import (
     SUBMIT_FLUSHED,
@@ -519,6 +526,188 @@ class TestProcessShardExecutor:
         executor = ProcessShardExecutor()
         with pytest.raises(ValueError, match="compiled inference plan"):
             executor.bind({"default": ClockedStubClassifier()}, SYSTEM_CLOCK)
+
+    def test_sigkilled_worker_respawns_and_serves_identically(self):
+        classifier = _lstm()
+        rng = np.random.default_rng(1)
+        prepared = PreparedBatch(
+            session_ids=["a", "b"],
+            windows=rng.standard_normal((2, 4, 50)),
+            chunk_size=8,
+        )
+        # Zero backoff: the respawn is due immediately, so the real-clock
+        # test never sleeps through a backoff window.
+        executor = ProcessShardExecutor(
+            supervisor_config=SupervisorConfig(
+                backoff_initial_s=0.0, jitter_fraction=0.0
+            )
+        )
+        with hard_timeout(240, what="sigkill respawn smoke"):
+            executor.bind({"default": classifier}, SYSTEM_CLOCK)
+            try:
+                reference = executor.submit_flush("default", prepared).result()
+                executor.inject_kill("default")
+                with pytest.raises(WorkerDiedError) as err:
+                    executor.submit_flush("default", prepared)
+                assert err.value.cohort == "default"
+                # The previous flush was answered; a stale ticket must not
+                # ride along as "pending" (it has nothing to requeue).
+                assert err.value.pending == ()
+                assert executor.worker_state("default") == WORKER_RESPAWNING
+                execution = executor.submit_flush("default", prepared).result()
+            finally:
+                executor.shutdown()
+        assert executor.restart_count("default") == 1
+        np.testing.assert_allclose(
+            execution.probabilities, reference.probabilities, atol=1e-7, rtol=0
+        )
+
+    def test_hot_swap_ships_new_plan_to_live_worker(self):
+        old, new = _lstm(seed=4), _lstm(seed=9)
+        rng = np.random.default_rng(2)
+        prepared = PreparedBatch(
+            session_ids=["a", "b"],
+            windows=rng.standard_normal((2, 4, 50)),
+            chunk_size=8,
+        )
+        serial = SerialExecutor()
+        serial.bind({"default": new}, SYSTEM_CLOCK)
+        reference = serial.submit_flush("default", prepared).result()
+        executor = ProcessShardExecutor()
+        with hard_timeout(240, what="hot-swap smoke"):
+            executor.bind({"default": old}, SYSTEM_CLOCK)
+            try:
+                first = executor.submit_flush("default", prepared).result()
+                assert first.plan_version == 1
+                version = executor.swap_plan("default", new)
+                assert version == 2
+                assert executor.acked_plan_version("default") == 2
+                second = executor.submit_flush("default", prepared).result()
+            finally:
+                executor.shutdown()
+        assert second.plan_version == 2
+        np.testing.assert_allclose(
+            second.probabilities, reference.probabilities, atol=1e-7, rtol=0
+        )
+
+    def test_shutdown_is_idempotent_and_terminal(self):
+        executor = ProcessShardExecutor()
+        executor.shutdown()
+        executor.shutdown()  # second call is a quiet no-op
+        prepared = PreparedBatch(
+            session_ids=["a"], windows=np.zeros((1, 4, 50)), chunk_size=8
+        )
+        with pytest.raises(ExecutorClosedError):
+            executor.submit_flush("default", prepared)
+        with pytest.raises(ExecutorClosedError):
+            executor.bind({"default": _lstm()}, SYSTEM_CLOCK)
+        with pytest.raises(ExecutorClosedError):
+            executor.swap_plan("default", b"")
+
+
+class TestShardSupervisor:
+    def _supervisor(self, **overrides):
+        defaults = dict(
+            max_restarts=3,
+            restart_window_s=10.0,
+            backoff_initial_s=0.1,
+            backoff_max_s=0.4,
+            backoff_factor=2.0,
+            jitter_fraction=0.0,
+        )
+        defaults.update(overrides)
+        clock = FakeClock()
+        return ShardSupervisor(SupervisorConfig(**defaults), clock), clock
+
+    def test_backoff_doubles_per_consecutive_failure_and_caps(self):
+        supervisor, clock = self._supervisor(max_restarts=10)
+        supervisor.watch("c")
+        for expected in (0.1, 0.2, 0.4, 0.4):  # doubles, then hits the cap
+            assert supervisor.record_death("c") == WORKER_RESPAWNING
+            assert supervisor.retry_at_s("c") == pytest.approx(
+                clock.now() + expected
+            )
+            clock.advance(0.5)
+
+    def test_respawn_success_resets_the_backoff_exponent(self):
+        supervisor, clock = self._supervisor(max_restarts=10)
+        supervisor.record_death("c")
+        clock.advance(1.0)
+        supervisor.record_death("c")  # second consecutive: 0.2s
+        assert supervisor.retry_at_s("c") == pytest.approx(clock.now() + 0.2)
+        supervisor.record_respawn_success("c")
+        assert supervisor.state("c") == WORKER_RUNNING
+        assert supervisor.restart_count("c") == 1
+        clock.advance(1.0)
+        supervisor.record_death("c")  # exponent reset: back to 0.1s
+        assert supervisor.retry_at_s("c") == pytest.approx(clock.now() + 0.1)
+
+    def test_quarantines_when_window_death_count_exceeds_budget(self):
+        supervisor, clock = self._supervisor(max_restarts=2)
+        for _ in range(2):
+            assert supervisor.record_death("c") == WORKER_RESPAWNING
+            supervisor.record_respawn_success("c")
+            clock.advance(1.0)
+        assert supervisor.record_death("c") == WORKER_QUARANTINED
+        assert supervisor.state("c") == WORKER_QUARANTINED
+        assert supervisor.deaths_in_window("c") == 3
+        # Quarantine is terminal: further deaths never resurrect the lane.
+        assert supervisor.record_death("c") == WORKER_QUARANTINED
+
+    def test_sliding_window_forgives_old_deaths(self):
+        supervisor, clock = self._supervisor(max_restarts=2, restart_window_s=10.0)
+        supervisor.record_death("c")
+        supervisor.record_respawn_success("c")
+        clock.advance(1.0)
+        supervisor.record_death("c")
+        supervisor.record_respawn_success("c")
+        clock.advance(20.0)  # both deaths age out of the window
+        assert supervisor.record_death("c") == WORKER_RESPAWNING
+        assert supervisor.deaths_in_window("c") == 1
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        def retry_delays(seed):
+            clock = FakeClock()
+            supervisor = ShardSupervisor(
+                SupervisorConfig(
+                    max_restarts=100, jitter_fraction=0.25, seed=seed
+                ),
+                clock,
+            )
+            delays = []
+            for _ in range(5):
+                supervisor.record_death("c")
+                delays.append(supervisor.retry_at_s("c") - clock.now())
+                supervisor.record_respawn_success("c")
+                clock.advance(0.01)
+            return delays
+
+        config = SupervisorConfig(max_restarts=100, jitter_fraction=0.25)
+        assert retry_delays(0) == retry_delays(0)  # seeded: reproducible
+        assert retry_delays(0) != retry_delays(1)
+        for delay in retry_delays(3):
+            assert 0.0 < delay <= config.max_backoff_budget_s()
+
+    def test_unwatched_cohort_reads_as_running(self):
+        supervisor, _ = self._supervisor()
+        assert supervisor.state("ghost") == WORKER_RUNNING
+        assert supervisor.retry_at_s("ghost") is None
+        assert supervisor.restart_count("ghost") == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_restarts": -1},
+            {"restart_window_s": 0.0},
+            {"backoff_initial_s": -0.1},
+            {"backoff_initial_s": 1.0, "backoff_max_s": 0.5},
+            {"backoff_factor": 0.5},
+            {"jitter_fraction": 1.5},
+        ],
+    )
+    def test_config_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            SupervisorConfig(**kwargs)
 
 
 class TestRemoteExecutionFlag:

@@ -129,6 +129,49 @@ class TestAdmissionController:
         assert decisions.count(False) == 50  # every other submission shed
         assert controller.shed_count == 50
 
+    def test_saturated_window_exactly_at_budget_never_triggers(self):
+        # The trigger is strictly greater-than: a fleet running *at* its
+        # budget is healthy, and a full window of exactly-at-budget samples
+        # must never flip the controller.
+        controller = AdmissionController(budget_s=0.010, window=8)
+        for _ in range(8):
+            controller.observe(0.010)
+        assert controller.observed_p95() == pytest.approx(0.010)
+        assert not controller.shedding
+        assert controller.activations == 0
+        assert all(controller.admit() for _ in range(50))
+
+    def test_recovery_exactly_at_fraction_of_budget_recovers(self):
+        # Recovery is inclusive: p95 == recovery_fraction * budget flips
+        # the controller back to admitting.
+        controller = AdmissionController(
+            budget_s=0.010, window=4, recovery_fraction=0.5
+        )
+        controller.observe(0.020)
+        assert controller.shedding
+        for _ in range(4):  # flush the spike; land exactly on the threshold
+            controller.observe(0.005)
+        assert controller.observed_p95() == pytest.approx(0.005)
+        assert not controller.shedding
+
+    def test_lag_holds_shedding_after_latency_recovers(self):
+        # Both signals share one state machine: a latency activation while
+        # lag is also over the budget is a single activation, and recovery
+        # needs *every* enabled signal back under its hysteresis threshold.
+        controller = AdmissionController(
+            budget_s=0.010, window=4, recovery_fraction=0.5, lag_budget_s=1.0
+        )
+        controller.observe(0.020)
+        assert controller.shedding
+        controller.observe_lag(2.0)  # lag joins in; no second activation
+        assert controller.activations == 1
+        for _ in range(4):  # latency fully recovers...
+            controller.observe(0.004)
+        assert controller.observed_p95() <= 0.005
+        assert controller.shedding  # ...but lag still pins the state
+        controller.observe_lag(0.5)  # exactly recovery_fraction * lag budget
+        assert not controller.shedding
+
 
 class TestDeadlineFlush:
     def test_due_time_is_arrival_plus_deadline(self):

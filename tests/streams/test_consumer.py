@@ -320,3 +320,75 @@ class TestCompetingConsumers:
         assert sorted(served) == [f"s{i}" for i in range(6)]
         consumers = {r.consumer for r in results}
         assert consumers == {"left", "right"}
+
+
+class TestSupervisedHealing:
+    """With a supervised executor the consumer absorbs deaths and hot-swaps."""
+
+    def _supervised(self, topology, clock, **cfg):
+        from repro.serving.chaos import SimulatedShardExecutor
+        from repro.serving.executors import SupervisorConfig
+
+        executor = SimulatedShardExecutor(
+            supervisor_config=SupervisorConfig(
+                backoff_initial_s=0.02, jitter_fraction=0.0
+            )
+        )
+        return make_consumer(topology, clock, executor=executor, **cfg), executor
+
+    def test_worker_death_is_healed_not_raised(self, topology, clock):
+        consumer, executor = self._supervised(topology, clock)
+        stream = topology.cohort_stream("a")
+        stream.append(submission("s0", "a", clock, 0))
+        stream.append(submission("s1", "a", clock, 0))
+        consumer.poll()
+        executor.inject_kill("a", phase="idle")
+        clock.advance(0.05)
+        # No raise: the idle death is discovered at submit and absorbed
+        # (no flush started, so no FlushEvent — telemetry carries the mark).
+        assert consumer.pump() == []
+        assert consumer.worker_deaths == 1
+        assert consumer.backlog_depth() == 2
+        assert len(stream.pending(SCHEDULER_GROUP)) == 2
+        died = [
+            r
+            for r in consumer.telemetry.records
+            if r.flush_reason == "worker-died"
+        ]
+        assert len(died) == 1
+        # Once the respawn backoff elapses the requeued windows are served.
+        clock.advance(0.05)
+        (event,) = consumer.pump()
+        assert event.batch_size == 2
+        assert stream.pending(SCHEDULER_GROUP) == []
+        (result,) = harvest_results(topology)
+        assert result.session_ids == ("s0", "s1")
+
+    def test_hot_swap_versions_flushes_on_the_result_path(self, topology, clock):
+        consumer, executor = self._supervised(topology, clock)
+        stream = topology.cohort_stream("a")
+        stream.append(submission("s0", "a", clock, 0))
+        consumer.poll()
+        clock.advance(0.05)
+        consumer.pump()
+        version = consumer.swap_plan(
+            "a", classifier=ClockedStubClassifier(clock, peak_class=2)
+        )
+        assert version == 2
+        assert consumer.plan_version("a") == 2
+        stream.append(submission("s0", "a", clock, 1))
+        consumer.poll()
+        clock.advance(0.05)
+        consumer.pump()
+        served = [r for r in consumer.telemetry.records if r.batch_size > 0]
+        assert [r.plan_version for r in served] == [1, 2]
+        transitions = consumer.telemetry.plan_version_transitions()
+        assert [t[1:] for t in transitions["a"]] == [(1, 2)]
+        assert consumer.plan_swaps == 1
+        health = consumer.fleet_health()
+        assert health["a"]["plan_version"] == 2
+
+    def test_swap_requires_exactly_one_plan_source(self, topology, clock):
+        consumer, _ = self._supervised(topology, clock)
+        with pytest.raises(ValueError, match="exactly one"):
+            consumer.swap_plan("a")

@@ -5,6 +5,7 @@ SerialExecutor consumer fed the same recorded entries.
 """
 
 import multiprocessing
+import socket
 import time
 
 import numpy as np
@@ -19,6 +20,7 @@ from repro.streams import (
     DEFAULT_AUTHKEY,
     SCHEDULER_GROUP,
     STOP_COMMAND,
+    PlanSwap,
     RemoteStreamError,
     StreamClient,
     StreamConsumerScheduler,
@@ -119,6 +121,53 @@ class TestServerClient:
         client.close()
         with pytest.raises(RemoteStreamError, match="connection lost"):
             proxy.append("x")
+
+
+class TestConnectRetry:
+    """Worker processes race the server's listener at fleet start: the
+    client must ride out a cold server instead of dying on the first
+    ``ConnectionRefusedError``."""
+
+    def test_transient_refusals_are_retried_until_the_server_answers(
+        self, served_registry, monkeypatch
+    ):
+        import repro.streams.remote as remote_mod
+
+        registry, server = served_registry
+        real_client = remote_mod.Client
+        attempts = []
+
+        def cold_then_warm(address, authkey=None):
+            attempts.append(address)
+            if len(attempts) <= 2:
+                raise ConnectionRefusedError("listener not up yet")
+            return real_client(address, authkey=authkey)
+
+        monkeypatch.setattr(remote_mod, "Client", cold_then_warm)
+        client = StreamClient(
+            server.address, connect_retries=5, connect_backoff_s=0.001
+        )
+        assert len(attempts) == 3
+        assert client.ping()
+        client.close()
+
+    def test_exhausted_retries_raise_with_attempt_count(self):
+        # A port nothing listens on: refused instantly on loopback.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        before = time.monotonic()
+        with pytest.raises(RemoteStreamError, match="unreachable after 3 attempt"):
+            StreamClient(
+                ("127.0.0.1", port), connect_retries=2, connect_backoff_s=0.001
+            )
+        # Backoff actually slept between attempts but stayed bounded.
+        assert time.monotonic() - before < 5.0
+
+    def test_negative_retry_budget_is_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            StreamClient(("127.0.0.1", 1), connect_retries=-1)
 
 
 # ---------------------------------------------------------------------- #
@@ -350,3 +399,128 @@ class TestBlockSparseStreamWorker:
             np.testing.assert_array_equal(
                 remote_rows[(f"s{i:02d}", 0)], expected[i]
             )
+
+
+class TestPlanSwapOverControlStream:
+    def test_swap_reroutes_rows_and_spares_other_workers(self):
+        """A PlanSwap on the fanned-out control stream re-plans exactly the
+        targeted cohort: rows after the swap match the replacement plan,
+        rows before it match the original, and the worker owning the other
+        cohort ignores the command and exits cleanly."""
+        old_plan = _compiled(0)
+        new_plan = _compiled(5)
+        beta_plan = _compiled(1)
+        rng = np.random.default_rng(11)
+        pre = rng.standard_normal((4, 4, 50))
+        post = rng.standard_normal((4, 4, 50))
+        beta_windows = rng.standard_normal((4, 4, 50))
+
+        with hard_timeout(90, "plan hot-swap over control stream"):
+            registry = StreamRegistry()
+            server = StreamServer(registry).start()
+            streams = {
+                cohort: registry.create(f"fleet/{cohort}")[0]
+                for cohort in ("alpha", "beta")
+            }
+            result_stream, _ = registry.create("fleet/#results")
+            control_stream, _ = registry.create("fleet/#control")
+
+            def submit(cohort, tag, windows):
+                for i in range(windows.shape[0]):
+                    streams[cohort].append(
+                        WindowSubmission(
+                            session_id=f"{tag}{i}",
+                            cohort=cohort,
+                            window=windows[i],
+                            submitted_at_s=registry.clock.now(),
+                            sequence=0,
+                        )
+                    )
+
+            def await_drained(cohorts, what):
+                settle_by = time.monotonic() + 60
+                while time.monotonic() < settle_by:
+                    if all(
+                        streams[c].has_group(SCHEDULER_GROUP)
+                        and streams[c].depth(SCHEDULER_GROUP) == 0
+                        for c in cohorts
+                    ):
+                        return
+                    time.sleep(0.01)
+                pytest.fail(f"workers never drained {what}")
+
+            submit("alpha", "pre", pre)
+            submit("beta", "b", beta_windows)
+            ctx = multiprocessing.get_context("spawn")
+            workers = []
+            for cohort, plan in (("alpha", old_plan), ("beta", beta_plan)):
+                worker = ctx.Process(
+                    target=stream_consumer_worker,
+                    args=(
+                        server.address,
+                        DEFAULT_AUTHKEY,
+                        {cohort: f"fleet/{cohort}"},
+                        "fleet/#results",
+                        "fleet/#control",
+                        {cohort: plan.to_payload()},
+                        CONFIG,
+                        SCHEDULER_GROUP,
+                        f"swap-{cohort}",
+                    ),
+                    daemon=True,
+                )
+                worker.start()
+                workers.append(worker)
+            try:
+                await_drained(("alpha", "beta"), "the pre-swap windows")
+                control_stream.append(
+                    PlanSwap(cohort="alpha", payload=new_plan.to_payload())
+                )
+                # Wait for every worker to ack the swap before submitting
+                # post-swap traffic, so no post row can ride the old plan.
+                seen_by = time.monotonic() + 60
+                while time.monotonic() < seen_by:
+                    if all(
+                        control_stream.has_group(f"ctl-swap-{c}")
+                        and control_stream.depth(f"ctl-swap-{c}") == 0
+                        for c in ("alpha", "beta")
+                    ):
+                        break
+                    time.sleep(0.01)
+                else:
+                    pytest.fail("workers never consumed the PlanSwap entry")
+                submit("alpha", "post", post)
+                await_drained(("alpha",), "the post-swap windows")
+                control_stream.append(STOP_COMMAND)
+                for worker in workers:
+                    worker.join(timeout=30)
+                # The beta worker saw a swap for a cohort it does not own
+                # and must shrug it off rather than crash.
+                assert all(worker.exitcode == 0 for worker in workers)
+            finally:
+                for worker in workers:
+                    if worker.is_alive():
+                        worker.terminate()
+                server.stop()
+
+        rows = _collect_rows(result_stream.range())
+        assert len(rows) == 12
+        old_replica = CompiledClassifier.from_payload(old_plan.to_payload())
+        new_replica = CompiledClassifier.from_payload(new_plan.to_payload())
+        np.testing.assert_allclose(
+            np.stack([rows[(f"pre{i}", 0)] for i in range(4)]),
+            old_replica.predict_proba(pre),
+            atol=1e-7,
+        )
+        np.testing.assert_allclose(
+            np.stack([rows[(f"post{i}", 0)] for i in range(4)]),
+            new_replica.predict_proba(post),
+            atol=1e-7,
+        )
+        # The swap visibly changed the plan: the same rows under the old
+        # replica must NOT match (seeds 0 and 5 differ materially).
+        assert not np.allclose(
+            np.stack([rows[(f"post{i}", 0)] for i in range(4)]),
+            old_replica.predict_proba(post),
+            atol=1e-3,
+        )
